@@ -1,0 +1,26 @@
+"""Benchmark fixtures: shared translated/compiled artifacts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Optimizations, make_translator
+from repro.cexec import gcc_available
+
+requires_gcc = pytest.mark.skipif(not gcc_available(), reason="gcc not available")
+
+
+@pytest.fixture(scope="session")
+def matrix_translator():
+    return make_translator(["matrix"])
+
+
+@pytest.fixture(scope="session")
+def full_translator():
+    return make_translator(["matrix", "transform"])
+
+
+@pytest.fixture(scope="session")
+def ssh_cube():
+    return np.random.default_rng(0).normal(0, 0.4, (48, 64, 64)).astype(np.float32)

@@ -1,0 +1,90 @@
+"""Backend comparison: gcc-compiled native code vs the instrumented
+Python interpreter, plus translator-pipeline stage costs.
+
+Not a paper experiment — context for all the other numbers: how much the
+"traditional compiler" step (§II) buys over direct interpretation, and
+where translator time goes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import Optimizations, compile_source, make_translator
+from repro.cexec import CompiledProgram, gcc_available
+from repro.cexec.interp import Interpreter
+from repro.cexec.rmat import write_rmat
+from repro.programs import load
+
+CUBE = np.random.default_rng(0).normal(0, 1, (12, 12, 16)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def translated():
+    t = make_translator(["matrix"], options=Optimizations(parallelize=False))
+    result = t.compile(load("fig1"))
+    assert result.ok
+    return result
+
+
+class TestInterpreterThroughput:
+    def test_bench_interpreter_fig1(self, benchmark, translated, tmp_path):
+        write_rmat(tmp_path / "ssh.data", CUBE)
+
+        def run():
+            interp = Interpreter(translated.lowered, translated.ctx,
+                                 workdir=tmp_path)
+            return interp.run_main()
+
+        rc = benchmark(run)
+        assert rc == 0
+
+    @pytest.mark.skipif(not gcc_available(), reason="gcc not available")
+    def test_bench_native_fig1_same_cube(self, benchmark, translated):
+        prog = CompiledProgram(translated.c_source)
+        try:
+            def run():
+                return prog.run({"ssh.data": CUBE}, collect_stats=False)
+
+            out = benchmark(run)
+            assert out.returncode == 0
+        finally:
+            prog.cleanup()
+
+
+class TestPipelineStages:
+    SRC = load("fig8")
+
+    @pytest.fixture(scope="class")
+    def translator(self):
+        return make_translator(["matrix"])
+
+    def test_bench_stage_parse(self, benchmark, translator):
+        root = benchmark(translator.parse, self.SRC)
+        assert root.prod == "root"
+
+    def test_bench_stage_errors(self, benchmark, translator):
+        root = translator.parse(self.SRC)
+
+        def check():
+            dn, _ctx = translator.decorate(root)
+            return dn.att("errors")
+
+        errors = benchmark(check)
+        assert errors == []
+
+    def test_bench_stage_lowering(self, benchmark, translator):
+        root = translator.parse(self.SRC)
+
+        def lower():
+            dn, ctx = translator.decorate(root)
+            return dn.att("lowered"), ctx
+
+        lowered, _ = benchmark(lower)
+        assert lowered.prod == "root"
+
+    def test_bench_stage_emit(self, benchmark, translator):
+        root = translator.parse(self.SRC)
+        dn, ctx = translator.decorate(root)
+        lowered = dn.att("lowered")
+        c = benchmark(translator.emit_c, lowered, ctx)
+        assert "int main" in c

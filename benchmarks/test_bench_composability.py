@@ -1,0 +1,118 @@
+"""E-VI: the modular analyses (§VI) — the pass/fail table and their cost.
+
+Regenerates the paper's composability results:
+
+| extension              | isComposable | MWDA |
+|------------------------|--------------|------|
+| matrix                 | PASS         | PASS |
+| transform (on matrix)  | PASS         | PASS |
+| tuples (standalone)    | FAIL         |  —   | -> packaged with host
+| tuples with (| |)      | PASS         |  —   |
+
+and benchmarks the analyses themselves (they run at extension-development
+time, so their cost is what an extension author experiences).
+"""
+
+import pytest
+
+from repro.ag import check_well_definedness
+from repro.api import module_registry
+from repro.exts.tuples import marked_tuples_grammar, standalone_tuples_grammar
+from repro.mda import is_composable, verify_composition_theorem
+
+
+@pytest.fixture(scope="module")
+def reg():
+    return module_registry()
+
+
+@pytest.fixture(scope="module")
+def prefer(reg):
+    return reg["cminus"].prefer_shift
+
+
+class TestPaperTable:
+    def test_matrix_passes(self, reg, prefer):
+        report = is_composable(reg["cminus"].grammar, reg["matrix"].grammar,
+                               prefer_shift=prefer)
+        assert report.passed, str(report)
+
+    def test_transform_passes_layered(self, reg, prefer):
+        report = is_composable(reg["cminus"].grammar, reg["transform"].grammar,
+                               base=(reg["matrix"].grammar,), prefer_shift=prefer)
+        assert report.passed, str(report)
+
+    def test_tuples_fails_exactly_as_paper_says(self, reg, prefer):
+        """§VI-A: "the initial symbol for tuple expressions is a
+        left-paren '(' which violates the restriction that a unique
+        initial terminal symbol is needed"."""
+        report = is_composable(reg["cminus"].grammar,
+                               standalone_tuples_grammar(), prefer_shift=prefer)
+        assert not report.passed
+        assert any("does not begin with a marking terminal" in v
+                   and "LParen" in v for v in report.violations)
+
+    def test_marked_tuples_pass(self, reg, prefer):
+        """§VI-A's remedy: "modify the tuple terminals to be (| and |)"."""
+        report = is_composable(reg["cminus"].grammar, marked_tuples_grammar(),
+                               prefer_shift=prefer)
+        assert report.passed, str(report)
+
+    def test_composition_theorem_holds(self, reg, prefer):
+        assert verify_composition_theorem(
+            reg["cminus"].grammar,
+            [reg["matrix"].grammar],
+            prefer_shift=prefer,
+        )
+
+    def test_mwda_all_modules_pass(self, reg):
+        """§VI-B: "All extensions described above pass this analysis"."""
+        composed = reg["cminus"].ag.compose(reg["matrix"].ag, reg["transform"].ag)
+        for module in ("cminus", "matrix", "transform", None):
+            report = check_well_definedness(composed, module=module)
+            assert report.passed, str(report)
+
+    def test_print_table(self, reg, prefer, capsys):
+        rows = [
+            ("matrix", is_composable(reg["cminus"].grammar,
+                                     reg["matrix"].grammar,
+                                     prefer_shift=prefer).passed),
+            ("transform (on matrix)", is_composable(
+                reg["cminus"].grammar, reg["transform"].grammar,
+                base=(reg["matrix"].grammar,), prefer_shift=prefer).passed),
+            ("tuples (standalone)", is_composable(
+                reg["cminus"].grammar, standalone_tuples_grammar(),
+                prefer_shift=prefer).passed),
+            ("tuples with (| |)", is_composable(
+                reg["cminus"].grammar, marked_tuples_grammar(),
+                prefer_shift=prefer).passed),
+        ]
+        with capsys.disabled():
+            print("\nisComposable results (paper §VI-A):")
+            for name, ok in rows:
+                print(f"  {name:24s} {'PASS' if ok else 'FAIL'}")
+        assert [ok for _n, ok in rows] == [True, True, False, True]
+
+
+class TestAnalysisPerformance:
+    def test_bench_mda_matrix(self, benchmark, reg, prefer):
+        report = benchmark(
+            is_composable, reg["cminus"].grammar, reg["matrix"].grammar,
+            prefer_shift=prefer,
+        )
+        assert report.passed
+
+    def test_bench_mwda_full(self, benchmark, reg):
+        composed = reg["cminus"].ag.compose(reg["matrix"].ag, reg["transform"].ag)
+        report = benchmark(check_well_definedness, composed)
+        assert report.passed
+
+    def test_bench_lalr_construction_composed(self, benchmark, reg):
+        from repro.parsing import build_tables
+
+        grammar = reg["cminus"].grammar.compose(
+            reg["matrix"].grammar, reg["transform"].grammar
+        ).build()
+        tables = benchmark(build_tables, grammar,
+                           prefer_shift=reg["cminus"].prefer_shift)
+        assert tables.num_states > 100

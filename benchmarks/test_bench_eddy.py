@@ -1,0 +1,113 @@
+"""E-F4 / E-F7 / E-F8: the spatio-temporal data-mining application (§IV).
+
+Runs the paper's two applications (eddy scoring, connected components)
+natively at a scaled-down AVISO-like grid, validates against the numpy
+references, reports detection quality against the synthetic ground
+truth, and benchmarks end-to-end throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import compile_source
+from repro.cexec import CompiledProgram, gcc_available
+from repro.eddy import (
+    conn_comp,
+    detection_quality,
+    synthetic_ssh,
+    temporal_scores,
+)
+from repro.programs import load
+
+
+@pytest.fixture(scope="module")
+def ssh_data():
+    # 1/16-per-axis scale of the paper's 721x1440x954 grid
+    return synthetic_ssh((45, 90, 60), n_eddies=4, seed=17)
+
+
+@pytest.mark.skipif(not gcc_available(), reason="gcc not available")
+class TestFig8Native:
+    @pytest.fixture(scope="class")
+    def prog(self):
+        result = compile_source(load("fig8"), ["matrix"])
+        p = CompiledProgram(result.c_source)
+        yield p
+        p.cleanup()
+
+    def test_matches_reference_at_scale(self, prog, ssh_data):
+        run = prog.run({"ssh.data": ssh_data.cube},
+                       output_names=["temporalScores.data"], nthreads=2)
+        got = run.outputs["temporalScores.data"]
+        ref = temporal_scores(ssh_data.cube)
+        assert np.allclose(got, ref, atol=1e-2, rtol=1e-3)
+        assert run.stats.leaked == 0
+
+    def test_detection_quality(self, prog, ssh_data, capsys):
+        run = prog.run({"ssh.data": ssh_data.cube},
+                       output_names=["temporalScores.data"], nthreads=2)
+        q = detection_quality(run.outputs["temporalScores.data"],
+                              ssh_data.eddy_mask())
+        base = ssh_data.eddy_mask().mean()
+        with capsys.disabled():
+            print(f"\nE-F8 eddy detection: precision={q['precision']:.2f} "
+                  f"recall={q['recall']:.2f} (base rate {base:.2f})")
+        assert q["precision"] > 2 * base
+        assert q["recall"] > 0.4
+
+    def test_bench_eddy_scoring(self, benchmark, prog, ssh_data):
+        def run():
+            return prog.run({"ssh.data": ssh_data.cube},
+                            output_names=["temporalScores.data"],
+                            collect_stats=False)
+
+        out = benchmark(run)
+        assert out.returncode == 0
+
+
+@pytest.mark.skipif(not gcc_available(), reason="gcc not available")
+class TestFig4Native:
+    @pytest.fixture(scope="class")
+    def prog(self):
+        result = compile_source(load("fig4"), ["matrix"])
+        p = CompiledProgram(result.c_source)
+        yield p
+        p.cleanup()
+
+    @pytest.fixture(scope="class")
+    def inputs(self):
+        rng = np.random.default_rng(23)
+        ssh = rng.normal(0.15, 0.5, (24, 30, 8)).astype(np.float32)
+        dates = np.array([1011990 + 5 * k for k in range(8)], dtype=np.int32)
+        return {"ssh.data": ssh, "dates.data": dates}
+
+    def test_labels_match_reference(self, prog, inputs):
+        run = prog.run(inputs, output_names=["eddyLabels.data"], nthreads=2)
+        labels = run.outputs["eddyLabels.data"]
+        ssh, dates = inputs["ssh.data"], inputs["dates.data"]
+        kept = np.where(dates >= 1012000)[0]
+        assert labels.shape[2] == len(kept)
+        for out_t, src_t in enumerate(kept):
+            assert (labels[:, :, out_t] == conn_comp(ssh[:, :, src_t])).all()
+        assert run.stats.leaked == 0
+
+    def test_bench_conncomp(self, benchmark, prog, inputs):
+        def run():
+            return prog.run(inputs, output_names=["eddyLabels.data"],
+                            collect_stats=False)
+
+        out = benchmark(run)
+        assert out.returncode == 0
+
+
+class TestReferenceThroughput:
+    """The numpy oracle's own cost (context for the native numbers)."""
+
+    def test_bench_numpy_reference_scoring(self, benchmark):
+        data = synthetic_ssh((24, 30, 48), n_eddies=2, seed=3)
+        out = benchmark(temporal_scores, data.cube)
+        assert out.shape == data.cube.shape
+
+    def test_bench_synthetic_generation(self, benchmark):
+        out = benchmark(synthetic_ssh, (45, 90, 60), n_eddies=4, seed=17)
+        assert out.cube.shape == (45, 90, 60)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The ocean-eddy application (paper §IV, Figs 6-8).
+
+Generates synthetic SSH data with injected eddy signatures, runs the
+paper's Fig 8 eddy-scoring program through the extensible translator,
+and evaluates how well the trough-area scores identify the real eddies.
+
+Run:  python examples/ocean_eddy.py [--render] [--shape LAT LON TIME]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.cexec import compile_and_run, gcc_available, run_program
+from repro.eddy import detection_quality, synthetic_ssh, temporal_scores
+from repro.programs import load
+
+
+def render_field(field: np.ndarray, title: str, width: int = 72) -> None:
+    """ASCII heat map (the Fig 6 stand-in: eddies visible in SSH data)."""
+    chars = " .:-=+*#%@"
+    m, n = field.shape
+    lo, hi = float(field.min()), float(field.max())
+    span = (hi - lo) or 1.0
+    print(f"--- {title} (min={lo:.2f} max={hi:.2f}) ---")
+    step = max(1, n // width)
+    for i in range(0, m, max(1, m // 24)):
+        row = ""
+        for j in range(0, n, step):
+            level = int((field[i, j] - lo) / span * (len(chars) - 1))
+            row += chars[level]
+        print(row)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--render", action="store_true", help="draw ASCII maps")
+    ap.add_argument("--shape", nargs=3, type=int, default=[24, 36, 64],
+                    metavar=("LAT", "LON", "TIME"))
+    ap.add_argument("--eddies", type=int, default=3)
+    ap.add_argument("--threads", type=int, default=4)
+    args = ap.parse_args()
+
+    data = synthetic_ssh(tuple(args.shape), n_eddies=args.eddies, seed=7)
+    print(f"synthetic SSH cube {data.cube.shape} with {len(data.tracks)} eddies")
+
+    source = load("fig8")
+    if gcc_available():
+        run = compile_and_run(source, ["matrix"], {"ssh.data": data.cube},
+                              output_names=["temporalScores.data"],
+                              nthreads=args.threads)
+        scores = run.outputs["temporalScores.data"]
+        print(f"native run: {run.stats}")
+    else:
+        _rc, outs, stats, _ = run_program(source, ["matrix"],
+                                          {"ssh.data": data.cube},
+                                          output_names=["temporalScores.data"])
+        scores = outs["temporalScores.data"]
+        print(f"interpreted run: {stats}")
+
+    reference = temporal_scores(data.cube)
+    agree = np.allclose(scores, reference, atol=1e-3)
+    print(f"translated program == numpy reference: {agree}")
+
+    quality = detection_quality(scores, data.eddy_mask())
+    print(f"eddy detection from trough-area scores: "
+          f"precision={quality['precision']:.2f} recall={quality['recall']:.2f} "
+          f"(top-{int(quality['k'])} ranked points)")
+
+    if args.render:
+        t_mid = data.cube.shape[2] // 2
+        render_field(data.cube[:, :, t_mid], f"SSH at t={t_mid} (Fig 6 analogue)")
+        render_field(scores.max(axis=2), "max trough-area score per point")
+        render_field(data.eddy_mask().astype(float), "ground-truth eddy mask")
+
+
+if __name__ == "__main__":
+    main()

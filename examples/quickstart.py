@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: translate and run the paper's Fig 1 temporal-mean program.
+
+Demonstrates the basic workflow of the extensible translator:
+
+1. pick extensions (here: matrix) and generate a custom translator;
+2. translate an extended-C program to plain parallel C;
+3. execute it (gcc if available, else the interpreter) on real data;
+4. check the result against numpy.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.api import compile_source
+from repro.cexec import gcc_available
+from repro.eddy import temporal_mean
+from repro.programs import load
+
+
+def main() -> None:
+    source = load("fig1")
+    print("=== extended C source (Fig 1) " + "=" * 40)
+    print(source)
+
+    result = compile_source(source, extensions=["matrix"], nthreads=4)
+    if not result.ok:
+        raise SystemExit("\n".join(result.errors))
+
+    print("=== generated C (user main only) " + "=" * 37)
+    main_start = result.c_source.index("int __user_main")
+    print(result.c_source[main_start:main_start + 1400])
+    print("    ... (full runtime + lifted worker functions above)")
+
+    rng = np.random.default_rng(0)
+    ssh = rng.normal(0.0, 0.3, (48, 64, 100)).astype(np.float32)
+
+    if gcc_available():
+        from repro.cexec import compile_and_run
+
+        run = compile_and_run(source, ["matrix"], {"ssh.data": ssh},
+                              output_names=["means.data"], nthreads=4)
+        means = run.outputs["means.data"]
+        print(f"=== executed natively: {run.stats}")
+    else:
+        from repro.cexec import run_program
+
+        _rc, outs, stats, _ = run_program(source, ["matrix"], {"ssh.data": ssh},
+                                          output_names=["means.data"])
+        means = outs["means.data"]
+        print(f"=== executed by interpreter: {stats}")
+
+    reference = temporal_mean(ssh)
+    err = float(np.abs(means - reference).max())
+    print(f"max abs error vs numpy: {err:.2e}")
+    assert err < 1e-4, "translated program disagrees with numpy"
+    print("OK: translated parallel C reproduces the temporal mean.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""repro — reproduction of *A Compiler Extension for Parallel Matrix
+Programming* (Williams, Le, Kaminski, Van Wyk; ICPP 2014).
+
+An extensible C translator: a CMINUS host language plus automatically
+composable language extensions (MATLAB/SAC-style matrices with parallel
+with-loops and matrixMap, tuples, reference-counting pointers, and explicit
+loop transformations), together with the modular determinism and modular
+well-definedness analyses that guarantee chosen extensions compose into a
+working translator.  Extended C programs are checked for domain-specific
+errors and lowered to plain parallel C (pthreads / SSE / OpenMP pragma).
+
+Public entry points live in :mod:`repro.api`:
+
+>>> from repro.api import compile_source, MATRIX
+>>> result = compile_source("int main() { return 0; }", extensions=[MATRIX])
+>>> print(result.c_source)  # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"

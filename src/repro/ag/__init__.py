@@ -1,0 +1,32 @@
+"""Attribute-grammar engine (the Silver reproduction, §VI-B).
+
+Synthesized/inherited attributes with demand-driven evaluation, autocopy,
+defaults, forwarding, and higher-order attributes; plus the modular
+well-definedness analysis.
+"""
+
+from repro.ag.core import AbstractProduction, AGError, AGSpec, AttrDecl
+from repro.ag.eval import (
+    AGEvalError,
+    CyclicAttributeError,
+    DecoratedNode,
+    MissingEquationError,
+    decorate,
+)
+from repro.ag.mwda import MWDAReport, check_well_definedness
+from repro.ag.tree import Node
+
+__all__ = [
+    "AbstractProduction",
+    "AGError",
+    "AGEvalError",
+    "AGSpec",
+    "AttrDecl",
+    "CyclicAttributeError",
+    "DecoratedNode",
+    "MissingEquationError",
+    "MWDAReport",
+    "Node",
+    "check_well_definedness",
+    "decorate",
+]

@@ -1,0 +1,218 @@
+"""Attribute-grammar specifications, in the manner of Silver (paper [8]).
+
+A :class:`AGSpec` declares, each tagged with the module ("origin") that
+declared it so the modular well-definedness analysis can reason about
+composition:
+
+* **nonterminals** and **abstract productions** (name, LHS, RHS signature);
+* **synthesized** and **inherited attributes**, with the nonterminals they
+  *occur on*; inherited attributes may be ``autocopy`` (Silver's pattern for
+  environments: copied unchanged to children unless overridden);
+* **equations**: for a synthesized attribute, per production; for an
+  inherited attribute, per (production, child index);
+* **defaults** for synthesized attributes (used when a production has no
+  explicit equation and does not forward);
+* **forwarding** [Silver]: a production may define a forward tree — the
+  host-language translation of an extension construct.  Any synthesized
+  attribute the production does not define explicitly is evaluated on the
+  decorated forward tree.  This is precisely how the paper's extensions
+  "translate the construct down to plain C code".
+
+AGSpecs compose with :meth:`AGSpec.compose`, mirroring grammar composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.ag.tree import Node
+
+
+class AGError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class AttrDecl:
+    name: str
+    kind: str  # "syn" | "inh"
+    origin: str
+    autocopy: bool = False
+    # occurs-on is stored in AGSpec.occurrences
+
+
+@dataclass(frozen=True)
+class AbstractProduction:
+    name: str
+    lhs: str
+    rhs: tuple[str, ...]  # nonterminal names or leaf kinds ("#token", "#value")
+    origin: str
+
+    def nt_child_indices(self) -> list[int]:
+        return [i for i, s in enumerate(self.rhs) if not s.startswith("#")]
+
+
+# Equation signatures: synthesized/forward/default take the decorated node;
+# inherited equations take the decorated *parent* node.
+EqFn = Callable[[Any], Any]
+
+
+@dataclass
+class AGSpec:
+    name: str
+    nonterminals: dict[str, str] = field(default_factory=dict)  # name -> origin
+    productions: dict[str, AbstractProduction] = field(default_factory=dict)
+    attrs: dict[str, AttrDecl] = field(default_factory=dict)
+    occurrences: dict[str, set[str]] = field(default_factory=dict)  # attr -> {nt}
+    occurrence_origin: dict[tuple[str, str], str] = field(default_factory=dict)
+    syn_equations: dict[tuple[str, str], EqFn] = field(default_factory=dict)
+    inh_equations: dict[tuple[str, int, str], EqFn] = field(default_factory=dict)
+    defaults: dict[str, EqFn] = field(default_factory=dict)
+    forwards: dict[str, EqFn] = field(default_factory=dict)
+    equation_origin: dict[tuple[str, str], str] = field(default_factory=dict)
+
+    # -- declarations -----------------------------------------------------------
+
+    def nonterminal(self, name: str, *, origin: str | None = None) -> str:
+        if name in self.nonterminals:
+            raise AGError(f"duplicate nonterminal {name!r}")
+        self.nonterminals[name] = origin or self.name
+        return name
+
+    def abstract_production(
+        self, name: str, lhs: str, rhs: list[str], *, origin: str | None = None
+    ) -> AbstractProduction:
+        if name in self.productions:
+            raise AGError(f"duplicate abstract production {name!r}")
+        prod = AbstractProduction(name, lhs, tuple(rhs), origin or self.name)
+        self.productions[name] = prod
+        return prod
+
+    def synthesized(
+        self, name: str, on: list[str] | str, *, origin: str | None = None
+    ) -> None:
+        self._declare_attr(name, "syn", on, origin=origin)
+
+    def inherited(
+        self,
+        name: str,
+        on: list[str] | str,
+        *,
+        autocopy: bool = False,
+        origin: str | None = None,
+    ) -> None:
+        self._declare_attr(name, "inh", on, autocopy=autocopy, origin=origin)
+
+    def _declare_attr(self, name, kind, on, *, autocopy=False, origin=None):
+        origin = origin or self.name
+        if name in self.attrs:
+            decl = self.attrs[name]
+            if decl.kind != kind or decl.autocopy != autocopy:
+                raise AGError(f"attribute {name!r} redeclared incompatibly")
+            # A re-declaration (an extension adding occurrences of a host
+            # attribute to its own nonterminals) keeps the original origin.
+        else:
+            self.attrs[name] = AttrDecl(name, kind, origin, autocopy)
+            self.occurrences[name] = set()
+        nts = [on] if isinstance(on, str) else list(on)
+        for nt in nts:
+            self.occurrences[name].add(nt)
+            self.occurrence_origin.setdefault((name, nt), origin)
+
+    def equation(self, prod: str, attr: str, fn: EqFn, *, origin: str | None = None) -> None:
+        """Define a synthesized-attribute equation on a production."""
+        key = (prod, attr)
+        if key in self.syn_equations:
+            raise AGError(f"duplicate equation for {attr!r} on {prod!r}")
+        self.syn_equations[key] = fn
+        self.equation_origin[key] = origin or self.name
+
+    def inh_equation(
+        self, prod: str, child: int, attr: str, fn: EqFn, *, origin: str | None = None
+    ) -> None:
+        """Define an inherited-attribute equation for a production's child."""
+        key = (prod, child, attr)
+        if key in self.inh_equations:
+            raise AGError(f"duplicate inherited equation {attr!r} on {prod!r}.{child}")
+        self.inh_equations[key] = fn
+
+    def default(self, attr: str, fn: EqFn, *, origin: str | None = None) -> None:
+        if attr in self.defaults:
+            raise AGError(f"duplicate default for {attr!r}")
+        self.defaults[attr] = fn
+
+    def forward(self, prod: str, fn: EqFn, *, origin: str | None = None) -> None:
+        """Declare that ``prod`` forwards to the tree computed by ``fn``."""
+        if prod in self.forwards:
+            raise AGError(f"production {prod!r} already forwards")
+        self.forwards[prod] = fn
+
+    # -- composition --------------------------------------------------------------
+
+    def compose(self, *extensions: "AGSpec") -> "AGSpec":
+        out = AGSpec(name="+".join([self.name, *(e.name for e in extensions)]))
+        for spec in (self, *extensions):
+            for nt, origin in spec.nonterminals.items():
+                if nt not in out.nonterminals:
+                    out.nonterminals[nt] = origin
+            for pname, prod in spec.productions.items():
+                if pname in out.productions:
+                    raise AGError(f"production {pname!r} declared by two modules")
+                out.productions[pname] = prod
+            for aname, decl in spec.attrs.items():
+                if aname in out.attrs:
+                    prev = out.attrs[aname]
+                    # Occurrence re-declarations across modules are fine as
+                    # long as kind/autocopy agree (origin may differ: an
+                    # extension mentions a host attribute by name).
+                    if prev.kind != decl.kind or prev.autocopy != decl.autocopy:
+                        raise AGError(f"attribute {aname!r} declared incompatibly")
+                else:
+                    out.attrs[aname] = decl
+                    out.occurrences[aname] = set()
+                out.occurrences[aname] |= spec.occurrences.get(aname, set())
+            out.occurrence_origin.update(spec.occurrence_origin)
+            for key, fn in spec.syn_equations.items():
+                if key in out.syn_equations:
+                    raise AGError(f"equation for {key} from two modules")
+                out.syn_equations[key] = fn
+            out.equation_origin.update(spec.equation_origin)
+            for key, fn in spec.inh_equations.items():
+                if key in out.inh_equations:
+                    raise AGError(f"inherited equation for {key} from two modules")
+                out.inh_equations[key] = fn
+            for aname, fn in spec.defaults.items():
+                if aname in out.defaults:
+                    raise AGError(f"default for {aname!r} from two modules")
+                out.defaults[aname] = fn
+            for pname, fn in spec.forwards.items():
+                if pname in out.forwards:
+                    raise AGError(f"forward for {pname!r} from two modules")
+                out.forwards[pname] = fn
+        return out
+
+    # -- tree construction ----------------------------------------------------------
+
+    def make(self, prod: str, children: list[Any] | None = None, span=None) -> Node:
+        """Build a Node, arity-checked against the abstract production."""
+        children = children or []
+        decl = self.productions.get(prod)
+        if decl is None:
+            raise AGError(f"unknown abstract production {prod!r}")
+        if len(children) != len(decl.rhs):
+            raise AGError(
+                f"production {prod!r} expects {len(decl.rhs)} children, "
+                f"got {len(children)}"
+            )
+        return Node(prod, children, span)
+
+    def occurs_on(self, attr: str, nt: str) -> bool:
+        return nt in self.occurrences.get(attr, set())
+
+    def attrs_on(self, nt: str, kind: str | None = None) -> list[str]:
+        return [
+            a
+            for a, nts in self.occurrences.items()
+            if nt in nts and (kind is None or self.attrs[a].kind == kind)
+        ]

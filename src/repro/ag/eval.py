@@ -1,0 +1,233 @@
+"""Demand-driven attribute evaluation over decorated trees.
+
+A :class:`DecoratedNode` pairs an undecorated :class:`~repro.ag.tree.Node`
+with its context (parent + child index, or explicit inherited values at the
+root).  Attribute values are memoized per decorated node; evaluation is
+demand-driven with cycle detection — the strategy Silver uses, which makes
+attribute order declarative.
+
+Forwarding: if a production declares a forward tree, any synthesized
+attribute it does not define is evaluated on the decorated forward, which
+receives the same inherited attributes as the forwarding node (Silver's
+semantics).  Equations may also *decorate* locally constructed trees
+(higher-order attributes) via :meth:`DecoratedNode.decorate`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ag.core import AGSpec
+from repro.ag.tree import Node
+
+_PENDING = object()
+
+
+class AGEvalError(Exception):
+    """Attribute evaluation failure."""
+
+
+class MissingEquationError(AGEvalError):
+    pass
+
+
+class CyclicAttributeError(AGEvalError):
+    pass
+
+
+class DecoratedNode:
+    """A node decorated with a context supplying inherited attributes."""
+
+    __slots__ = (
+        "spec", "node", "parent", "child_index", "_root_inh",
+        "_syn_cache", "_inh_cache", "_children_cache", "_forward_cache",
+    )
+
+    def __init__(
+        self,
+        spec: AGSpec,
+        node: Node,
+        parent: "DecoratedNode | None" = None,
+        child_index: int = -1,
+        root_inherited: dict[str, Any] | None = None,
+    ):
+        self.spec = spec
+        self.node = node
+        self.parent = parent
+        self.child_index = child_index
+        self._root_inh = root_inherited or {}
+        self._syn_cache: dict[str, Any] = {}
+        self._inh_cache: dict[str, Any] = {}
+        self._children_cache: dict[int, Any] = {}
+        self._forward_cache: Any = None
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def prod(self) -> str:
+        return self.node.prod
+
+    @property
+    def span(self):
+        return self.node.span
+
+    def child(self, i: int) -> Any:
+        """The i-th child: a DecoratedNode for node children, else the raw
+        leaf value (token / string / number / python list)."""
+        if i in self._children_cache:
+            return self._children_cache[i]
+        raw = self.node.children[i]
+        out = (
+            DecoratedNode(self.spec, raw, parent=self, child_index=i)
+            if isinstance(raw, Node)
+            else raw
+        )
+        self._children_cache[i] = out
+        return out
+
+    def children(self) -> list[Any]:
+        return [self.child(i) for i in range(len(self.node.children))]
+
+    def __getitem__(self, i: int) -> Any:
+        return self.child(i)
+
+    def decorate(self, tree: Node, inherited: dict[str, Any] | None = None) -> "DecoratedNode":
+        """Decorate a locally constructed tree (higher-order attribute).
+
+        By default the new root inherits *this* node's inherited attributes
+        (the common case for translation trees); entries in ``inherited``
+        override or extend them.
+        """
+        inh = dict(self._all_inherited())
+        if inherited:
+            inh.update(inherited)
+        return DecoratedNode(self.spec, tree, root_inherited=inh)
+
+    def _all_inherited(self) -> dict[str, Any]:
+        """Inherited attribute values available to this node (lazily pulled)."""
+        out: dict[str, Any] = {}
+        lhs = self.spec.productions[self.prod].lhs if self.prod in self.spec.productions else None
+        for attr in self.spec.attrs_on(lhs, "inh") if lhs else []:
+            try:
+                out[attr] = self.inh(attr)
+            except MissingEquationError:
+                pass
+        return out
+
+    # -- attribute access ---------------------------------------------------------
+
+    def att(self, name: str) -> Any:
+        decl = self.spec.attrs.get(name)
+        if decl is None:
+            raise AGEvalError(f"unknown attribute {name!r}")
+        return self.syn(name) if decl.kind == "syn" else self.inh(name)
+
+    def __getattr__(self, name: str) -> Any:
+        # Convenience: dn.typerep == dn.att("typerep").  Unknown attributes
+        # and missing equations propagate as AG errors (not AttributeError)
+        # so that specification bugs fail loudly.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.att(name)
+
+    def syn(self, name: str) -> Any:
+        cached = self._syn_cache.get(name, None)
+        if name in self._syn_cache:
+            if cached is _PENDING:
+                raise CyclicAttributeError(
+                    f"cycle evaluating synthesized {name!r} on {self.prod}"
+                )
+            return cached
+        self._syn_cache[name] = _PENDING
+        try:
+            value = self._eval_syn(name)
+        except BaseException:
+            del self._syn_cache[name]
+            raise
+        self._syn_cache[name] = value
+        return value
+
+    def _eval_syn(self, name: str) -> Any:
+        fn = self.spec.syn_equations.get((self.prod, name))
+        if fn is not None:
+            return fn(self)
+        fwd_fn = self.spec.forwards.get(self.prod)
+        if fwd_fn is not None:
+            return self.forward().syn(name)
+        default = self.spec.defaults.get(name)
+        if default is not None:
+            return default(self)
+        raise MissingEquationError(
+            f"no equation for synthesized attribute {name!r} on production "
+            f"{self.prod!r} (and it does not forward)"
+        )
+
+    def forward(self) -> "DecoratedNode":
+        """The decorated forward tree of this node (Silver forwarding)."""
+        if self._forward_cache is not None:
+            return self._forward_cache
+        fwd_fn = self.spec.forwards.get(self.prod)
+        if fwd_fn is None:
+            raise AGEvalError(f"production {self.prod!r} does not forward")
+        tree = fwd_fn(self)
+        if not isinstance(tree, Node):
+            raise AGEvalError(f"forward of {self.prod!r} returned {type(tree).__name__}")
+        # The forward receives the same inherited attributes as this node,
+        # computed lazily by chaining to self.
+        fwd = _ForwardNode(self.spec, tree, self)
+        self._forward_cache = fwd
+        return fwd
+
+    def inh(self, name: str) -> Any:
+        if name in self._inh_cache:
+            cached = self._inh_cache[name]
+            if cached is _PENDING:
+                raise CyclicAttributeError(
+                    f"cycle evaluating inherited {name!r} on {self.prod}"
+                )
+            return cached
+        self._inh_cache[name] = _PENDING
+        try:
+            value = self._eval_inh(name)
+        except BaseException:
+            del self._inh_cache[name]
+            raise
+        self._inh_cache[name] = value
+        return value
+
+    def _eval_inh(self, name: str) -> Any:
+        if self.parent is None:
+            if name in self._root_inh:
+                return self._root_inh[name]
+            raise MissingEquationError(
+                f"inherited attribute {name!r} not supplied at tree root "
+                f"({self.prod})"
+            )
+        fn = self.spec.inh_equations.get((self.parent.prod, self.child_index, name))
+        if fn is not None:
+            return fn(self.parent)
+        decl = self.spec.attrs[name]
+        if decl.autocopy:
+            return self.parent.inh(name)
+        raise MissingEquationError(
+            f"no equation for inherited attribute {name!r} on child "
+            f"{self.child_index} of production {self.parent.prod!r}"
+        )
+
+
+class _ForwardNode(DecoratedNode):
+    """Decorated forward tree: inherited attributes chain to the forwarder."""
+
+    __slots__ = ("forwarder",)
+
+    def __init__(self, spec: AGSpec, tree: Node, forwarder: DecoratedNode):
+        super().__init__(spec, tree)
+        self.forwarder = forwarder
+
+    def _eval_inh(self, name: str) -> Any:
+        return self.forwarder.inh(name)
+
+
+def decorate(spec: AGSpec, tree: Node, inherited: dict[str, Any] | None = None) -> DecoratedNode:
+    """Decorate ``tree`` as a root with explicit inherited attribute values."""
+    return DecoratedNode(spec, tree, root_inherited=inherited or {})

@@ -1,0 +1,123 @@
+"""Modular well-definedness analysis (paper §VI-B, reference [26]).
+
+Silver's analysis guarantees: if every extension passes this check in
+isolation (against the host), then *any* composition of passing extensions
+yields a well-defined attribute grammar — every attribute demanded on every
+tree has a defining equation.
+
+We implement the effective-completeness core of that analysis:
+
+1. **Synthesized completeness.**  For every production ``p`` with LHS ``N``
+   and every synthesized attribute ``a`` occurring on ``N``: ``p`` has an
+   explicit equation for ``a``, or ``p`` forwards, or ``a`` has a default.
+
+2. **Inherited completeness.**  For every production ``p``, child ``i`` of
+   nonterminal ``M``, and inherited attribute ``a`` occurring on ``M``:
+   there is an equation for ``(p, i, a)``, or ``a`` is autocopy **and**
+   occurs on ``p``'s LHS (so the copy is well-founded).
+
+3. **Modularity (non-interference).**  An extension may not add equations
+   to *host* productions for *host* attributes (two independently developed
+   extensions doing so could collide — this is the condition that makes the
+   guarantee compositional).  New attributes introduced by an extension and
+   occurring on host nonterminals must carry a default or equations for all
+   host productions of those nonterminals.
+
+4. **Forward soundness.**  Forwarding productions of an extension must have
+   a host-language nonterminal as LHS target (so host attributes can be
+   computed through the forward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ag.core import AGSpec
+
+
+@dataclass
+class MWDAReport:
+    module: str
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        lines = [f"MWDA[{self.module}]: {status}"]
+        lines += [f"  - {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def check_well_definedness(spec: AGSpec, *, module: str | None = None) -> MWDAReport:
+    """Check the composed spec; if ``module`` is given, report only the
+    violations attributable to that module (the extension author's view)."""
+    report = MWDAReport(module or spec.name)
+
+    for prod in spec.productions.values():
+        if module and prod.origin != module and not _touches_module(spec, prod.name, module):
+            continue
+        # 1. synthesized completeness
+        for attr in spec.attrs_on(prod.lhs, "syn"):
+            if (prod.name, attr) in spec.syn_equations:
+                continue
+            if prod.name in spec.forwards:
+                continue
+            if attr in spec.defaults:
+                continue
+            blame = spec.occurrence_origin.get((attr, prod.lhs), "?")
+            if module and prod.origin != module and blame != module:
+                continue
+            report.violations.append(
+                f"production {prod.name!r} ({prod.origin}) lacks an equation for "
+                f"synthesized attribute {attr!r} on {prod.lhs} and does not forward"
+            )
+        # 2. inherited completeness
+        for i, child_nt in enumerate(prod.rhs):
+            if child_nt.startswith("#"):
+                continue
+            for attr in spec.attrs_on(child_nt, "inh"):
+                if (prod.name, i, attr) in spec.inh_equations:
+                    continue
+                decl = spec.attrs[attr]
+                if decl.autocopy and spec.occurs_on(attr, prod.lhs):
+                    continue
+                if module and prod.origin != module and decl.origin != module:
+                    continue
+                report.violations.append(
+                    f"child {i} ({child_nt}) of production {prod.name!r} lacks "
+                    f"inherited attribute {attr!r} (not autocopy-reachable)"
+                )
+
+    # 3. modularity: no equations on foreign productions for foreign attrs
+    for (pname, attr), origin in spec.equation_origin.items():
+        prod = spec.productions.get(pname)
+        if prod is None:
+            report.violations.append(f"equation on undeclared production {pname!r}")
+            continue
+        attr_origin = spec.attrs[attr].origin if attr in spec.attrs else "?"
+        if origin != prod.origin and origin != attr_origin:
+            if module and origin != module:
+                continue
+            report.violations.append(
+                f"module {origin!r} defines equation for foreign attribute "
+                f"{attr!r} ({attr_origin}) on foreign production {pname!r} "
+                f"({prod.origin}) — breaks composability"
+            )
+
+    # 4. forwarding targets must be declared productions when inspectable
+    for pname in spec.forwards:
+        if pname not in spec.productions:
+            report.violations.append(f"forward on undeclared production {pname!r}")
+
+    return report
+
+
+def _touches_module(spec: AGSpec, prod_name: str, module: str) -> bool:
+    """Does ``module`` contribute any equation/occurrence relevant to prod?"""
+    for (p, _a), origin in spec.equation_origin.items():
+        if p == prod_name and origin == module:
+            return True
+    return False

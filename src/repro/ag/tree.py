@@ -1,0 +1,102 @@
+"""Undecorated syntax trees for the attribute-grammar engine.
+
+A :class:`Node` is a plain tree: a production name plus children (child
+nodes, scanner tokens, or literal leaf values such as identifiers and
+numbers).  Attribute evaluation happens on *decorated* views of these
+trees (:mod:`repro.ag.eval`); the same undecorated tree may be decorated
+several times with different inherited attributes — which is exactly what
+higher-order attributes [25] require.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.lexing.scanner import Token
+from repro.util.diagnostics import SourceSpan
+
+
+class Node:
+    """An undecorated AST node: production name + children."""
+
+    __slots__ = ("prod", "children", "span")
+
+    def __init__(self, prod: str, children: list[Any] | None = None,
+                 span: SourceSpan | None = None):
+        self.prod = prod
+        self.children: list[Any] = children or []
+        self.span = span or _infer_span(self.children)
+
+    def __repr__(self) -> str:
+        return f"{self.prod}({', '.join(map(_short, self.children))})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Node)
+            and self.prod == other.prod
+            and self.children == other.children
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - nodes rarely hashed
+        return hash((self.prod, len(self.children)))
+
+    # -- structure helpers ----------------------------------------------------
+
+    def child_nodes(self) -> Iterator["Node"]:
+        for c in self.children:
+            if isinstance(c, Node):
+                yield c
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal of all descendant nodes (including self)."""
+        yield self
+        for c in self.child_nodes():
+            yield from c.walk()
+
+    def count(self, prod: str) -> int:
+        return sum(1 for n in self.walk() if n.prod == prod)
+
+    def find_all(self, prod: str) -> list["Node"]:
+        return [n for n in self.walk() if n.prod == prod]
+
+    def replace(self, old: "Node", new: "Node") -> "Node":
+        """Tree with ``old`` (by identity) replaced by ``new``; untouched
+        subtrees are shared, the spine is rebuilt (trees are immutable in
+        spirit, as in Silver)."""
+        if self is old:
+            return new
+        changed = False
+        kids: list[Any] = []
+        for c in self.children:
+            if isinstance(c, Node):
+                r = c.replace(old, new)
+                changed = changed or (r is not c)
+                kids.append(r)
+            else:
+                kids.append(c)
+        return Node(self.prod, kids, self.span) if changed else self
+
+
+def _infer_span(children: list[Any]) -> SourceSpan:
+    starts = []
+    ends = []
+    for c in children:
+        if isinstance(c, Node):
+            starts.append(c.span.start)
+            ends.append(c.span.end)
+        elif isinstance(c, Token):
+            starts.append(c.span.start)
+            ends.append(c.span.end)
+    if not starts:
+        return SourceSpan()
+    return SourceSpan(
+        min(starts, key=lambda l: l.offset), max(ends, key=lambda l: l.offset)
+    )
+
+
+def _short(c: Any) -> str:
+    if isinstance(c, Node):
+        return c.prod
+    if isinstance(c, Token):
+        return repr(c.lexeme)
+    return repr(c)

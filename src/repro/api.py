@@ -1,0 +1,105 @@
+"""Public API: module registry and convenience entry points.
+
+>>> from repro.api import compile_source, MATRIX, TRANSFORM
+>>> result = compile_source(program_text, extensions=[MATRIX, TRANSFORM])
+>>> print(result.c_source)
+
+Extension names: ``"matrix"``, ``"tuples"`` (always packaged with the
+host, see §VI-A), ``"refcount"``, ``"transform"``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cminus.env import Optimizations
+from repro.driver import CompileError, CompileResult, LanguageModule, Translator
+
+MATRIX = "matrix"
+TUPLES = "tuples"
+REFCOUNT = "refcount"
+TRANSFORM = "transform"
+CILK = "cilk"
+
+
+@lru_cache(maxsize=1)
+def _registry() -> dict[str, LanguageModule]:
+    # Imports deferred: each module file installs its AG declarations on
+    # first import.
+    from repro.cminus.module import host_module
+    from repro.exts.cilk import cilk_module
+    from repro.exts.matrix import matrix_module
+    from repro.exts.refcount import refcount_module
+    from repro.exts.transform import transform_module
+    from repro.exts.tuples import tuples_module
+
+    from repro.exts.unrolljam import unrolljam_module
+
+    mods = [
+        host_module(),
+        tuples_module(),
+        refcount_module(),
+        matrix_module(),
+        transform_module(),
+        cilk_module(),
+        unrolljam_module(),
+    ]
+    return {m.name: m for m in mods}
+
+
+def module_registry() -> dict[str, LanguageModule]:
+    return _registry()
+
+
+def host_only() -> list[LanguageModule]:
+    reg = module_registry()
+    # Tuples are packaged with the host (they fail the determinism
+    # analysis, §VI-A) — exactly as the paper does.
+    return [reg["cminus"], reg["tuples"]]
+
+
+def make_translator(
+    extensions: list[str] | None = None,
+    *,
+    options: Optimizations | None = None,
+    nthreads: int = 4,
+) -> Translator:
+    """Generate a custom translator for the chosen extension set."""
+    reg = module_registry()
+    modules = host_only()
+    for name in extensions or []:
+        if name in ("cminus", "tuples"):
+            continue
+        if name not in reg:
+            raise ValueError(f"unknown extension {name!r}; have {sorted(reg)}")
+        modules.append(reg[name])
+    return Translator(modules, options=options, nthreads=nthreads)
+
+
+def compile_source(
+    source: str,
+    extensions: list[str] | None = None,
+    *,
+    options: Optimizations | None = None,
+    nthreads: int = 4,
+    filename: str = "<input>",
+) -> CompileResult:
+    """One-shot compile with a fresh translator."""
+    t = make_translator(extensions, options=options, nthreads=nthreads)
+    return t.compile(source, filename)
+
+
+__all__ = [
+    "CompileError",
+    "CompileResult",
+    "MATRIX",
+    "Optimizations",
+    "REFCOUNT",
+    "TRANSFORM",
+    "TUPLES",
+    "Translator",
+    "compile_source",
+    "host_only",
+    "make_translator",
+    "module_registry",
+]

@@ -1,0 +1,35 @@
+"""Execution backends for translated programs.
+
+* :mod:`repro.cexec.gcc_backend` — compile the generated C with gcc and
+  run natively (pthreads/SSE/OpenMP), the paper's actual toolchain;
+* :mod:`repro.cexec.interp` — a pure-Python interpreter over the lowered
+  trees with an instrumented runtime (allocation counts, pool traces);
+* :mod:`repro.cexec.rmat` — the RMAT binary matrix format both share.
+"""
+
+from repro.cexec.gcc_backend import (
+    BackendError,
+    CompiledProgram,
+    RunResult,
+    RunStats,
+    compile_and_run,
+    gcc_available,
+)
+from repro.cexec.interp import Interpreter, InterpError, InterpStats, RuntimeTrap, run_program
+from repro.cexec.rmat import read_rmat, write_rmat
+
+__all__ = [
+    "BackendError",
+    "CompiledProgram",
+    "Interpreter",
+    "InterpError",
+    "InterpStats",
+    "RunResult",
+    "RunStats",
+    "RuntimeTrap",
+    "compile_and_run",
+    "gcc_available",
+    "read_rmat",
+    "run_program",
+    "write_rmat",
+]

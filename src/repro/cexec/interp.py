@@ -1,0 +1,562 @@
+"""Pure-Python interpreter for lowered (plain-C) host trees.
+
+The second execution backend: it runs the *same* lowered trees the C
+printer emits, with the runtime (matrices, refcounting, the fork-join
+pool, 4-lane vectors, RMAT I/O) implemented as Python intrinsics.  Used
+when gcc is unavailable and by tests that want instrumented execution
+(allocation counts, pool-region traces, refcount balance) without a
+compile step.
+
+C semantics are modeled where they differ from Python: integer division
+truncates toward zero, `%` follows C, matrices hold float32, and `&&`/
+`||` short-circuit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.ag.tree import Node
+from repro.cexec.rmat import read_rmat, write_rmat
+from repro.cminus.absyn import node_cons_to_list
+
+
+class InterpError(Exception):
+    pass
+
+
+class RuntimeTrap(InterpError):
+    """A runtime check failed (the C runtime would exit(2))."""
+
+
+@dataclass
+class RTMat:
+    kind: str  # "f" | "i"
+    dims: tuple[int, ...]
+    data: np.ndarray
+    rc: int = 1
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def as_numpy(self) -> np.ndarray:
+        return self.data.reshape(self.dims).copy()
+
+
+@dataclass
+class InterpStats:
+    allocs: int = 0
+    frees: int = 0
+    copies: int = 0
+    parallel_regions: int = 0
+    tasks_spawned: int = 0
+    region_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def leaked(self) -> int:
+        return self.allocs - self.frees
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class Scope:
+    __slots__ = ("vars", "parent")
+
+    def __init__(self, parent: "Scope | None" = None):
+        self.vars: dict[str, Any] = {}
+        self.parent = parent
+
+    def lookup_scope(self, name: str) -> "Scope | None":
+        s: Scope | None = self
+        while s is not None:
+            if name in s.vars:
+                return s
+            s = s.parent
+        return None
+
+    def get(self, name: str) -> Any:
+        s = self.lookup_scope(name)
+        if s is None:
+            raise InterpError(f"undefined variable {name!r}")
+        return s.vars[name]
+
+    def set(self, name: str, value: Any) -> None:
+        s = self.lookup_scope(name)
+        if s is None:
+            raise InterpError(f"assignment to undefined variable {name!r}")
+        s.vars[name] = value
+
+    def declare(self, name: str, value: Any) -> None:
+        self.vars[name] = value
+
+
+def c_div(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise RuntimeTrap("integer division by zero")
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    return a / b
+
+
+def c_mod(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise RuntimeTrap("integer modulo by zero")
+        return a - c_div(a, b) * b
+    return math.fmod(a, b)
+
+
+_BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": c_div,
+    "%": c_mod,
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+}
+
+
+class Interpreter:
+    """Executes a lowered Root node."""
+
+    def __init__(self, lowered_root: Node, ctx, *, workdir: str | Path = ".",
+                 nthreads: int = 1):
+        self.workdir = Path(workdir)
+        self.nthreads = max(1, nthreads)
+        self.stats = InterpStats()
+        self.functions: dict[str, Node] = {}
+        for f in node_cons_to_list(lowered_root.children[0]):
+            self.functions[f.children[1]] = f
+        # lifted pool workers: name -> (body Node, capture names).  Cilk
+        # SpawnedFuncs carry no tree body (the interpreter runs spawned
+        # calls inline) and are skipped.
+        self.lifted: dict[str, tuple[Node, list[str]]] = {}
+        for lf in getattr(ctx, "lifted", []):
+            if hasattr(lf, "body"):
+                self.lifted[lf.name] = (lf.body, [n for _t, n in lf.captures])
+        self.stdout: list[str] = []
+
+    # -- entry points ------------------------------------------------------------
+
+    def run_main(self, argv: list[str] | None = None) -> int:
+        if "main" not in self.functions:
+            raise InterpError("no main function")
+        out = self.call_function("main", [])
+        return int(out) if out is not None else 0
+
+    def call_function(self, name: str, args: list[Any]) -> Any:
+        func = self.functions.get(name)
+        if func is None:
+            raise InterpError(f"call to unknown function {name!r}")
+        _rett, _name, params, body = func.children
+        scope = Scope()
+        pnames = [p.children[1] for p in node_cons_to_list(params)]
+        if len(pnames) != len(args):
+            raise InterpError(f"{name}: expected {len(pnames)} args, got {len(args)}")
+        for p, a in zip(pnames, args):
+            scope.declare(p, a)
+        try:
+            self.exec_stmt(body, scope)
+        except _Return as r:
+            return r.value
+        return None
+
+    # -- statements -----------------------------------------------------------------
+
+    def exec_stmt(self, node: Node, scope: Scope) -> None:
+        p = node.prod
+        ch = node.children
+        if p == "block":
+            inner = Scope(scope)
+            for s in node_cons_to_list(ch[0]):
+                self.exec_stmt(s, inner)
+        elif p == "seqStmt":
+            for s in node_cons_to_list(ch[0]):
+                self.exec_stmt(s, scope)
+        elif p in ("decl",):
+            scope.declare(ch[1], _zero_of(ch[0]))
+        elif p == "declInit":
+            scope.declare(ch[1], self.eval(ch[2], scope))
+        elif p == "exprStmt":
+            self.eval(ch[0], scope)
+        elif p == "ifStmt":
+            if self._truthy(self.eval(ch[0], scope)):
+                self.exec_stmt(ch[1], scope)
+        elif p == "ifElse":
+            if self._truthy(self.eval(ch[0], scope)):
+                self.exec_stmt(ch[1], scope)
+            else:
+                self.exec_stmt(ch[2], scope)
+        elif p == "whileStmt":
+            while self._truthy(self.eval(ch[0], scope)):
+                try:
+                    self.exec_stmt(ch[1], scope)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif p == "doWhile":
+            while True:
+                try:
+                    self.exec_stmt(ch[0], scope)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if not self._truthy(self.eval(ch[1], scope)):
+                    break
+        elif p == "forStmt":
+            inner = Scope(scope)
+            init = ch[0]
+            if init.prod == "forDecl":
+                inner.declare(init.children[1], self.eval(init.children[2], inner))
+            else:
+                self.eval(init.children[0], inner)
+            while self._truthy(self.eval(ch[1], inner)):
+                try:
+                    self.exec_stmt(ch[3], inner)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                self.eval(ch[2], inner)
+        elif p == "returnStmt":
+            raise _Return(self.eval(ch[0], scope))
+        elif p == "returnVoid":
+            raise _Return(None)
+        elif p == "breakStmt":
+            raise _Break()
+        elif p == "continueStmt":
+            raise _Continue()
+        elif p == "rawStmt":
+            text = ch[0].strip()
+            if not text.startswith("#pragma"):
+                raise InterpError(f"cannot interpret raw statement {text!r}")
+        else:
+            raise InterpError(f"cannot interpret statement {p!r}")
+
+    @staticmethod
+    def _truthy(v: Any) -> bool:
+        return bool(v)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def eval(self, node: Node, scope: Scope) -> Any:
+        p = node.prod
+        ch = node.children
+        if p == "intLit":
+            return ch[0]
+        if p == "floatLit":
+            return float(np.float32(ch[0]))
+        if p == "boolLit":
+            return int(ch[0])
+        if p == "strLit":
+            return ch[0]
+        if p == "var":
+            return scope.get(ch[0])
+        if p == "rawExpr":
+            if ch[0] == "NULL":
+                return None
+            raise InterpError(f"cannot interpret raw expression {ch[0]!r}")
+        if p == "binop":
+            op = ch[0]
+            if op == "&&":
+                return int(self._truthy(self.eval(ch[1], scope))
+                           and self._truthy(self.eval(ch[2], scope)))
+            if op == "||":
+                return int(self._truthy(self.eval(ch[1], scope))
+                           or self._truthy(self.eval(ch[2], scope)))
+            a = self.eval(ch[1], scope)
+            b = self.eval(ch[2], scope)
+            return _BINOPS[op](a, b)
+        if p == "unop":
+            v = self.eval(ch[1], scope)
+            return -v if ch[0] == "-" else int(not self._truthy(v))
+        if p == "assign":
+            if ch[0].prod != "var":
+                raise InterpError(f"assignment target {ch[0].prod!r} in lowered code")
+            value = self.eval(ch[1], scope)
+            scope.set(ch[0].children[0], value)
+            return value
+        if p == "castE":
+            v = self.eval(ch[1], scope)
+            ctype = ch[0].children[0] if ch[0].prod == "tRaw" else ch[0].prod
+            if ctype in ("tInt", "int", "long", "tBool", "tChar"):
+                return int(v)
+            if ctype in ("tFloat", "float"):
+                return float(np.float32(v))
+            return v
+        if p == "call":
+            return self.eval_call(node, scope)
+        raise InterpError(f"cannot interpret expression {p!r}")
+
+    # -- calls ------------------------------------------------------------------------
+
+    def eval_call(self, node: Node, scope: Scope) -> Any:
+        name = node.children[0]
+        argnodes = node_cons_to_list(node.children[1])
+
+        if name == "__rt_pool_run":
+            return self._pool_run(argnodes, scope)
+        if name in ("__rt_spawn", "__rt_spawn_into"):
+            # Cilk sequential elision: run the spawned call inline.
+            into = name == "__rt_spawn_into"
+            callee = argnodes[1].children[0]
+            target = argnodes[2].children[0] if into else None
+            value_args = [self.eval(a, scope)
+                          for a in (argnodes[3:] if into else argnodes[2:])]
+            self.stats.tasks_spawned += 1
+            result = self.call_function(callee, value_args)
+            if target is not None:
+                scope.set(target, result)
+            return None
+        if name == "rt_sync":
+            return None  # elided tasks are already complete
+        if name.startswith("__tuple_"):
+            return tuple(self.eval(a, scope) for a in argnodes)
+        if name.startswith("__tget_"):
+            idx = int(name[len("__tget_"):])
+            return self.eval(argnodes[0], scope)[idx]
+
+        args = [self.eval(a, scope) for a in argnodes]
+        intrinsic = getattr(self, f"rt_{name[3:]}", None) if name.startswith("rt_") else None
+        if intrinsic is not None:
+            return intrinsic(*args)
+        if name == "rc_inc":
+            m = args[0]
+            if m is not None:
+                m.rc += 1
+            return None
+        if name == "rc_dec":
+            self._rc_dec(args[0])
+            return None
+        if name == "readMatrix":
+            return self._read_matrix(args[0])
+        if name == "writeMatrix":
+            write_rmat(self.workdir / args[0], args[1].as_numpy())
+            return None
+        if name == "printInt":
+            self.stdout.append(str(int(args[0])))
+            return None
+        if name == "printFloat":
+            self.stdout.append(f"{args[0]:g}")
+            return None
+        return self.call_function(name, args)
+
+    def _rc_dec(self, m: "RTMat | None") -> None:
+        if m is None:
+            return
+        m.rc -= 1
+        if m.rc == 0:
+            self.stats.frees += 1
+            m.data = np.empty(0, dtype=m.data.dtype)  # poison reuse
+        elif m.rc < 0:
+            raise RuntimeTrap("refcount underflow (double free)")
+
+    def _read_matrix(self, fname: str) -> RTMat:
+        arr = read_rmat(self.workdir / fname)
+        kind = "f" if arr.dtype.kind == "f" else "i"
+        self.stats.allocs += 1
+        return RTMat(kind, arr.shape,
+                     arr.reshape(-1).astype(np.float32 if kind == "f" else np.int32))
+
+    def _pool_run(self, argnodes: list[Node], scope: Scope) -> None:
+        fname = argnodes[0].children[0]
+        total = int(self.eval(argnodes[1], scope))
+        captures = [self.eval(a, scope) for a in argnodes[2:]]
+        body, names = self.lifted[fname]
+        self.stats.parallel_regions += 1
+        self.stats.region_sizes.append(total)
+        per = -(-total // self.nthreads)
+        for t in range(self.nthreads):
+            lo, hi = min(t * per, total), min((t + 1) * per, total)
+            if lo >= hi:
+                continue
+            s = Scope()
+            for n, v in zip(names, captures):
+                s.declare(n, v)
+            s.declare("__lo", lo)
+            s.declare("__hi", hi)
+            self.exec_stmt(body, s)
+
+    # -- runtime intrinsics (rt_*) --------------------------------------------------------
+
+    def _alloc(self, kind: str, rank: int, dims: list[int]) -> RTMat:
+        dims = tuple(int(d) for d in dims[:rank])
+        if any(d < 0 for d in dims):
+            raise RuntimeTrap(f"negative dimension in allocation: {dims}")
+        size = 1
+        for d in dims:
+            size *= d
+        self.stats.allocs += 1
+        dtype = np.float32 if kind == "f" else np.int32
+        return RTMat(kind, dims, np.zeros(size, dtype=dtype))
+
+    def rt_allocf(self, rank, d0, d1, d2, d3):
+        return self._alloc("f", int(rank), [d0, d1, d2, d3])
+
+    def rt_alloci(self, rank, d0, d1, d2, d3):
+        return self._alloc("i", int(rank), [d0, d1, d2, d3])
+
+    def rt_dim(self, m: RTMat, d) -> int:
+        return int(m.dims[int(d)])
+
+    def rt_size(self, m: RTMat) -> int:
+        return m.size
+
+    def rt_getf(self, m: RTMat, i) -> float:
+        return float(m.data[int(i)])
+
+    def rt_setf(self, m: RTMat, i, v) -> None:
+        m.data[int(i)] = np.float32(v)
+
+    def rt_geti(self, m: RTMat, i) -> int:
+        return int(m.data[int(i)])
+
+    def rt_seti(self, m: RTMat, i, v) -> None:
+        m.data[int(i)] = int(v)
+
+    def rt_bounds_check(self, lo, hi, dim, what) -> None:
+        if lo < 0 or hi > dim:
+            raise RuntimeTrap(f"{what} range [{lo},{hi}) outside dimension {dim}")
+
+    def rt_require_dim(self, m: "RTMat | None", d, n) -> None:
+        if m is None:
+            raise RuntimeTrap("use of unallocated matrix")
+        if m.dims[int(d)] != int(n):
+            raise RuntimeTrap(f"dimension {d} is {m.dims[int(d)]}, expected {n}")
+
+    def rt_check_rank(self, m: RTMat, rank, is_float) -> None:
+        want = "f" if is_float else "i"
+        if len(m.dims) != int(rank) or m.kind != want:
+            raise RuntimeTrap(
+                f"matrix has rank {len(m.dims)}/{m.kind}, declared {rank}/{want}"
+            )
+
+    def rt_matmul_check(self, a: RTMat, b: RTMat) -> None:
+        if len(a.dims) != 2 or len(b.dims) != 2 or a.dims[1] != b.dims[0]:
+            raise RuntimeTrap(f"matrix multiply of {a.dims} by {b.dims}")
+
+    def rt_shape_check(self, a: RTMat, b: RTMat, op) -> None:
+        if a.dims != b.dims:
+            raise RuntimeTrap(f"{op} on shapes {a.dims} vs {b.dims}")
+
+    def rt_require_divisible(self, n, f, what) -> None:
+        if f <= 0 or n % f != 0:
+            raise RuntimeTrap(f"{what}: trip count {n} not divisible by {f}")
+
+    def rt_assign_copy(self, dst: "RTMat | None", src: RTMat) -> RTMat:
+        if dst is not None and src is not None and dst is not src \
+                and dst.dims == src.dims and dst.kind == src.kind:
+            dst.data[:] = src.data
+            self.stats.copies += 1
+            self._rc_dec(src)
+            return dst
+        self._rc_dec(dst)
+        return src
+
+    # 4-lane vectors: numpy float32 arrays of length 4
+    def rt_vsplatf(self, x):
+        return np.full(4, x, dtype=np.float32)
+
+    def rt_viotaf(self, base):
+        return np.arange(base, base + 4, dtype=np.float32)
+
+    def rt_vloadf(self, m: RTMat, i):
+        i = int(i)
+        return m.data[i:i + 4].astype(np.float32)
+
+    def rt_vstoref(self, m: RTMat, i, v):
+        i = int(i)
+        m.data[i:i + 4] = v
+
+    def rt_vgatherf(self, m: RTMat, i, stride):
+        i, stride = int(i), int(stride)
+        return m.data[[i, i + stride, i + 2 * stride, i + 3 * stride]].astype(np.float32)
+
+    def rt_vscatterf(self, m: RTMat, i, stride, v):
+        i, stride = int(i), int(stride)
+        m.data[[i, i + stride, i + 2 * stride, i + 3 * stride]] = v
+
+    def rt_vaddf(self, a, b):
+        return a + b
+
+    def rt_vsubf(self, a, b):
+        return a - b
+
+    def rt_vmulf(self, a, b):
+        return a * b
+
+    def rt_vdivf(self, a, b):
+        return a / b
+
+    def rt_vsumf(self, v):
+        return float(v[0] + v[1] + v[2] + v[3])
+
+
+def _zero_of(type_node: Node) -> Any:
+    if type_node.prod == "tRaw":
+        text = type_node.children[0]
+        if "rt_mat" in text:
+            return None
+        if text in ("float", "double"):
+            return 0.0
+        return 0
+    if type_node.prod == "tFloat":
+        return 0.0
+    return 0
+
+
+def run_program(
+    source: str,
+    extensions: list[str],
+    inputs: dict[str, np.ndarray] | None = None,
+    *,
+    workdir: str | Path | None = None,
+    output_names: list[str] | None = None,
+    nthreads: int = 1,
+    options=None,
+) -> tuple[int, dict[str, np.ndarray], InterpStats, Interpreter]:
+    """Translate and interpret an extended-C program with RMAT inputs."""
+    import tempfile
+
+    from repro.api import compile_source
+
+    cr = compile_source(source, extensions, options=options, nthreads=nthreads)
+    if not cr.ok:
+        raise InterpError("translation failed:\n" + "\n".join(cr.errors))
+    wd = Path(workdir) if workdir else Path(tempfile.mkdtemp(prefix="repro-interp-"))
+    wd.mkdir(parents=True, exist_ok=True)
+    for name, arr in (inputs or {}).items():
+        write_rmat(wd / name, arr)
+    interp = Interpreter(cr.lowered, cr.ctx, workdir=wd, nthreads=nthreads)
+    rc = interp.run_main()
+    outputs = {}
+    for name in output_names or []:
+        path = wd / name
+        if path.exists():
+            outputs[name] = read_rmat(path)
+    return rc, outputs, interp.stats, interp

@@ -1,0 +1,54 @@
+"""The RMAT binary matrix format, Python side.
+
+Layout (little-endian): ``"RMAT" | int32 elemkind (0=int/bool, 1=float)
+| int32 rank | int64 dims[rank] | payload`` — matching the C runtime's
+readMatrix/writeMatrix (repro.codegen.runtime_c).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+MAGIC = b"RMAT"
+
+
+class RMATError(ValueError):
+    pass
+
+
+def write_rmat(path: str | Path, arr: np.ndarray) -> None:
+    arr = np.asarray(arr)
+    if arr.dtype.kind == "b":
+        arr = arr.astype(np.int32)
+    if arr.dtype.kind == "f":
+        kind, payload = 1, arr.astype("<f4")
+    elif arr.dtype.kind in "iu":
+        kind, payload = 0, arr.astype("<i4")
+    else:
+        raise RMATError(f"unsupported dtype {arr.dtype}")
+    with open(path, "wb") as f:
+        f.write(MAGIC)
+        f.write(struct.pack("<ii", kind, arr.ndim))
+        for d in arr.shape:
+            f.write(struct.pack("<q", d))
+        f.write(np.ascontiguousarray(payload).tobytes())
+
+
+def read_rmat(path: str | Path) -> np.ndarray:
+    with open(path, "rb") as f:
+        magic = f.read(4)
+        if magic != MAGIC:
+            raise RMATError(f"{path}: not an RMAT file")
+        kind, rank = struct.unpack("<ii", f.read(8))
+        dims = [struct.unpack("<q", f.read(8))[0] for _ in range(rank)]
+        dtype = "<f4" if kind == 1 else "<i4"
+        data = np.frombuffer(f.read(), dtype=dtype)
+        expected = int(np.prod(dims)) if dims else 0
+        if data.size != expected:
+            raise RMATError(
+                f"{path}: payload has {data.size} elements, header says {expected}"
+            )
+        return data.reshape(dims).copy()

@@ -1,0 +1,21 @@
+"""The CMINUS host language: a rather complete subset of ANSI C (§III).
+
+Concrete syntax (grammar.py), abstract syntax (absyn.py), types
+(types.py), scoped environments (env.py), semantic analysis (sema.py),
+lowering (lower.py), and the C pretty-printer (pp.py), assembled into a
+:class:`~repro.driver.LanguageModule` by module.py.
+"""
+
+from repro.cminus.env import Binding, CompileContext, Env, Optimizations
+from repro.cminus.types import (
+    BOOL, CHAR, ERROR, FLOAT, INT, STRING, VOID,
+    OverloadTable, TBool, TChar, TError, TFloat, TFunc, TInt, TPointer,
+    TString, TTuple, TVoid, Type,
+)
+
+__all__ = [
+    "BOOL", "Binding", "CHAR", "CompileContext", "ERROR", "Env", "FLOAT",
+    "INT", "Optimizations", "OverloadTable", "STRING", "TBool", "TChar",
+    "TError", "TFloat", "TFunc", "TInt", "TPointer", "TString", "TTuple",
+    "TVoid", "Type", "VOID",
+]

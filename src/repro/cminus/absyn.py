@@ -1,0 +1,183 @@
+"""CMINUS abstract syntax: nonterminals and abstract productions.
+
+The host AST doubles as the plain-C target language: extension constructs
+*forward* to trees built from these productions, so a fully lowered tree
+contains only host nodes and can be pretty-printed as C or executed by the
+interpreter.
+
+Sequences are cons-lists (``stmtCons``/``stmtNil`` …) so that inherited
+attributes (environments) flow left-to-right through them, as in Silver.
+
+Leaf children are tagged ``#...`` in signatures: ``#name``/``#op`` are
+strings, ``#value`` literals, ``#names`` a list of strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ag.core import AGSpec
+from repro.ag.tree import Node
+
+HOST = "cminus"
+
+
+def declare_absyn(ag: AGSpec) -> None:
+    """Declare all host nonterminals and abstract productions on ``ag``."""
+    for nt in [
+        "Root", "TU", "ExtDecl", "Params", "Param", "StmtList", "Stmt",
+        "ForInit", "Expr", "ExprList", "IndexList", "Index", "TypeExpr",
+        "TypeList",
+    ]:
+        ag.nonterminal(nt, origin=HOST)
+
+    P = ag.abstract_production
+    # -- top level ------------------------------------------------------------
+    P("root", "Root", ["TU"], origin=HOST)
+    P("tuCons", "TU", ["ExtDecl", "TU"], origin=HOST)
+    P("tuNil", "TU", [], origin=HOST)
+    P("funcDef", "ExtDecl", ["TypeExpr", "#name", "Params", "Stmt"], origin=HOST)
+    P("paramCons", "Params", ["Param", "Params"], origin=HOST)
+    P("paramNil", "Params", [], origin=HOST)
+    P("param", "Param", ["TypeExpr", "#name"], origin=HOST)
+
+    # -- statements --------------------------------------------------------------
+    P("block", "Stmt", ["StmtList"], origin=HOST)
+    P("stmtCons", "StmtList", ["Stmt", "StmtList"], origin=HOST)
+    P("stmtNil", "StmtList", [], origin=HOST)
+    P("decl", "Stmt", ["TypeExpr", "#name"], origin=HOST)
+    P("declInit", "Stmt", ["TypeExpr", "#name", "Expr"], origin=HOST)
+    P("exprStmt", "Stmt", ["Expr"], origin=HOST)
+    P("ifStmt", "Stmt", ["Expr", "Stmt"], origin=HOST)
+    P("ifElse", "Stmt", ["Expr", "Stmt", "Stmt"], origin=HOST)
+    P("whileStmt", "Stmt", ["Expr", "Stmt"], origin=HOST)
+    P("doWhile", "Stmt", ["Stmt", "Expr"], origin=HOST)
+    P("forStmt", "Stmt", ["ForInit", "Expr", "Expr", "Stmt"], origin=HOST)
+    P("forDecl", "ForInit", ["TypeExpr", "#name", "Expr"], origin=HOST)
+    P("forExpr", "ForInit", ["Expr"], origin=HOST)
+    P("returnStmt", "Stmt", ["Expr"], origin=HOST)
+    P("returnVoid", "Stmt", [], origin=HOST)
+    P("breakStmt", "Stmt", [], origin=HOST)
+    P("continueStmt", "Stmt", [], origin=HOST)
+    # Raw C statement (used by lowerings for runtime calls with odd shapes
+    # and by the transform extension for pragmas).
+    P("rawStmt", "Stmt", ["#text"], origin=HOST)
+    # A statement sequence printed without braces: lowering may expand one
+    # statement into several (hoisted loops, refcount ops) without opening
+    # a new C scope.
+    P("seqStmt", "Stmt", ["StmtList"], origin=HOST)
+
+    # -- expressions -----------------------------------------------------------------
+    P("intLit", "Expr", ["#value"], origin=HOST)
+    P("floatLit", "Expr", ["#value"], origin=HOST)
+    P("boolLit", "Expr", ["#value"], origin=HOST)
+    P("strLit", "Expr", ["#value"], origin=HOST)
+    P("var", "Expr", ["#name"], origin=HOST)
+    P("binop", "Expr", ["#op", "Expr", "Expr"], origin=HOST)
+    P("unop", "Expr", ["#op", "Expr"], origin=HOST)
+    P("assign", "Expr", ["Expr", "Expr"], origin=HOST)
+    P("call", "Expr", ["#name", "ExprList"], origin=HOST)
+    P("index", "Expr", ["Expr", "IndexList"], origin=HOST)
+    P("castE", "Expr", ["TypeExpr", "Expr"], origin=HOST)
+    # Host-packaged syntax with extension-supplied semantics (§VI-A: such
+    # constructs fail the determinism analysis and ship with the host, like
+    # the tuples extension in the paper):
+    P("rangeE", "Expr", ["Expr", "Expr"], origin=HOST)      # a :: b
+    P("endE", "Expr", [], origin=HOST)                       # `end` in indexes
+    P("tupleE", "Expr", ["ExprList"], origin=HOST)           # (a, b, c)
+    P("rawExpr", "Expr", ["#text"], origin=HOST)             # codegen escape
+
+    P("eCons", "ExprList", ["Expr", "ExprList"], origin=HOST)
+    P("eNil", "ExprList", [], origin=HOST)
+
+    # -- indexing ------------------------------------------------------------------
+    P("idxCons", "IndexList", ["Index", "IndexList"], origin=HOST)
+    P("idxNil", "IndexList", [], origin=HOST)
+    P("idxExpr", "Index", ["Expr"], origin=HOST)
+    P("idxRange", "Index", ["Expr", "Expr"], origin=HOST)    # a : b
+    P("idxAll", "Index", [], origin=HOST)                    # :
+
+    # -- types --------------------------------------------------------------------
+    P("tInt", "TypeExpr", [], origin=HOST)
+    P("tFloat", "TypeExpr", [], origin=HOST)
+    P("tBool", "TypeExpr", [], origin=HOST)
+    P("tChar", "TypeExpr", [], origin=HOST)
+    P("tVoid", "TypeExpr", [], origin=HOST)
+    P("tPtr", "TypeExpr", ["TypeExpr"], origin=HOST)
+    P("tTuple", "TypeExpr", ["TypeList"], origin=HOST)       # (int, float)
+    P("tRaw", "TypeExpr", ["#text"], origin=HOST)            # codegen escape
+    P("tCons", "TypeList", ["TypeExpr", "TypeList"], origin=HOST)
+    P("tNil", "TypeList", [], origin=HOST)
+
+
+class Mk:
+    """Ergonomic node builders: ``mk.binop("+", a, b)`` etc."""
+
+    def __init__(self, ag: AGSpec):
+        self._ag = ag
+
+    def __getattr__(self, prod: str):
+        def build(*children: Any, span=None) -> Node:
+            return self._ag.make(prod, list(children), span)
+
+        build.__name__ = prod
+        return build
+
+    # -- list helpers ------------------------------------------------------------
+
+    def expr_list(self, items: list[Any]) -> Node:
+        out = self._ag.make("eNil", [])
+        for item in reversed(items):
+            out = self._ag.make("eCons", [item, out])
+        return out
+
+    def stmt_list(self, items: list[Any]) -> Node:
+        out = self._ag.make("stmtNil", [])
+        for item in reversed(items):
+            out = self._ag.make("stmtCons", [item, out])
+        return out
+
+    def idx_list(self, items: list[Any]) -> Node:
+        out = self._ag.make("idxNil", [])
+        for item in reversed(items):
+            out = self._ag.make("idxCons", [item, out])
+        return out
+
+    def param_list(self, items: list[Any]) -> Node:
+        out = self._ag.make("paramNil", [])
+        for item in reversed(items):
+            out = self._ag.make("paramCons", [item, out])
+        return out
+
+    def type_list(self, items: list[Any]) -> Node:
+        out = self._ag.make("tNil", [])
+        for item in reversed(items):
+            out = self._ag.make("tCons", [item, out])
+        return out
+
+    def tu(self, decls: list[Any]) -> Node:
+        out = self._ag.make("tuNil", [])
+        for d in reversed(decls):
+            out = self._ag.make("tuCons", [d, out])
+        return out
+
+    def body(self, stmts: list[Any]) -> Node:
+        return self._ag.make("block", [self.stmt_list(stmts)])
+
+
+def cons_to_list(dn) -> list:
+    """Flatten a decorated cons-list node into decorated element views."""
+    out = []
+    while len(dn.node.children) == 2:
+        out.append(dn.child(0))
+        dn = dn.child(1)
+    return out
+
+
+def node_cons_to_list(node: Node) -> list:
+    """Flatten an *undecorated* cons-list node into element nodes."""
+    out = []
+    while len(node.children) == 2:
+        out.append(node.children[0])
+        node = node.children[1]
+    return out

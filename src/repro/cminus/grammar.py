@@ -1,0 +1,198 @@
+"""CMINUS concrete syntax: terminals and LALR(1) productions with actions.
+
+The grammar follows the classic C expression stratification (assignment >
+logical > equality > relational > additive > multiplicative > cast > unary
+> postfix > primary) with three *host-packaged* generalizations whose
+semantics are supplied by extensions (see DESIGN.md and §VI-A of the
+paper — syntax that cannot pass the modular determinism analysis ships
+with the host, exactly as the paper does for tuples):
+
+* multi-index postfix indexing with ranges: ``m[i, 0:4, :, end-1]``;
+* the range expression ``a :: b``;
+* elementwise multiplication ``.*``;
+* tuple expressions ``(a, b, c)`` and tuple types ``(int, float) t``.
+"""
+
+from __future__ import annotations
+
+from repro.ag.core import AGSpec
+from repro.cminus.absyn import HOST, Mk, declare_absyn
+from repro.grammar.cfg import GrammarSpec
+
+# Module-level singletons: the host AG spec and its node builders.  Parser
+# actions close over `mk`; extension modules import `mk` to build host
+# trees in their forwards/lowerings.
+HOST_AG = AGSpec(HOST)
+declare_absyn(HOST_AG)
+mk = Mk(HOST_AG)
+
+# Terminals the host prefers to shift on (dangling else).
+PREFER_SHIFT = frozenset({"Else"})
+
+
+def _terminals(g: GrammarSpec) -> None:
+    t = g.terminal
+    t("WS", r"[ \t\r\n]+", layout=True)
+    t("LineComment", r"//[^\n]*", layout=True)
+    t("BlockComment", r"/\*([^*]|\*+[^*/])*\*+/", layout=True)
+
+    t("Identifier", r"[a-zA-Z_]\w*")
+    t("FloatLit", r"\d+\.\d+([eE][+-]?\d+)?|\d+[eE][+-]?\d+")
+    t("IntLit", r"\d+")
+    t("StringLit", r'"([^"\\\n]|\\.)*"')
+
+    for kw in ["int", "float", "bool", "char", "void", "if", "else", "while",
+               "do", "for", "return", "break", "continue", "true", "false",
+               "end"]:
+        t(kw.capitalize(), kw, keyword=True)
+
+    t("PlusEq", r"\+="); t("MinusEq", "-=")
+    t("OrOr", r"\|\|"); t("AndAnd", "&&")
+    t("EqEq", "=="); t("BangEq", "!=")
+    t("Le", "<="); t("Ge", ">=")
+    t("ColonColon", "::"); t("Colon", ":")
+    t("DotTimes", r"\.\*")
+    t("Plus", r"\+"); t("Minus", "-"); t("Times", r"\*")
+    t("Div", "/"); t("Mod", "%")
+    t("Lt", "<"); t("Gt", ">")
+    t("Bang", "!"); t("Eq", "=")
+    t("Semi", ";"); t("Comma", ",")
+    t("LParen", r"\("); t("RParen", r"\)")
+    t("LBracket", r"\["); t("RBracket", r"\]")
+    t("LBrace", r"\{"); t("RBrace", r"\}")
+
+
+def _unescape(s: str) -> str:
+    return (
+        s[1:-1]
+        .replace(r"\n", "\n").replace(r"\t", "\t").replace(r"\\", "\\")
+        .replace(r"\"", '"')
+    )
+
+
+def build_host_grammar() -> GrammarSpec:
+    g = GrammarSpec(HOST, start="Root")
+    _terminals(g)
+    p = g.production
+
+    # -- top level ---------------------------------------------------------------
+    p("Root ::= TU", lambda c: mk.root(c[0]))
+    p("TU ::= ExtDecl TU", lambda c: mk.tuCons(c[0], c[1]))
+    p("TU ::=", lambda c: mk.tuNil())
+    p("ExtDecl ::= TypeExpr Identifier LParen ParamsOpt RParen Block",
+      lambda c: mk.funcDef(c[0], c[1].lexeme, c[3], c[5]))
+    p("ParamsOpt ::=", lambda c: mk.paramNil())
+    p("ParamsOpt ::= Params", lambda c: mk.param_list(c[0]))
+    p("Params ::= ParamDecl", lambda c: [c[0]])
+    p("Params ::= ParamDecl Comma Params", lambda c: [c[0]] + c[2])
+    p("ParamDecl ::= TypeExpr Identifier", lambda c: mk.param(c[0], c[1].lexeme))
+
+    # -- statements ----------------------------------------------------------------
+    p("Block ::= LBrace StmtList RBrace", lambda c: mk.block(c[1]))
+    p("StmtList ::= Stmt StmtList", lambda c: mk.stmtCons(c[0], c[1]))
+    p("StmtList ::=", lambda c: mk.stmtNil())
+    p("Stmt ::= Block", lambda c: c[0])
+    p("Stmt ::= Decl Semi", lambda c: c[0])
+    p("Stmt ::= Expr Semi", lambda c: mk.exprStmt(c[0]))
+    p("Stmt ::= If LParen Expr RParen Stmt", lambda c: mk.ifStmt(c[2], c[4]))
+    p("Stmt ::= If LParen Expr RParen Stmt Else Stmt",
+      lambda c: mk.ifElse(c[2], c[4], c[6]))
+    p("Stmt ::= While LParen Expr RParen Stmt", lambda c: mk.whileStmt(c[2], c[4]))
+    p("Stmt ::= Do Stmt While LParen Expr RParen Semi",
+      lambda c: mk.doWhile(c[1], c[4]))
+    p("Stmt ::= For LParen ForInit Semi Expr Semi Expr RParen Stmt",
+      lambda c: mk.forStmt(c[2], c[4], c[6], c[8]))
+    p("Stmt ::= Return Expr Semi", lambda c: mk.returnStmt(c[1]))
+    p("Stmt ::= Return Semi", lambda c: mk.returnVoid())
+    p("Stmt ::= Break Semi", lambda c: mk.breakStmt())
+    p("Stmt ::= Continue Semi", lambda c: mk.continueStmt())
+    p("Decl ::= TypeExpr Identifier", lambda c: mk.decl(c[0], c[1].lexeme))
+    p("Decl ::= TypeExpr Identifier Eq Expr",
+      lambda c: mk.declInit(c[0], c[1].lexeme, c[3]))
+    p("ForInit ::= TypeExpr Identifier Eq Expr",
+      lambda c: mk.forDecl(c[0], c[1].lexeme, c[3]))
+    p("ForInit ::= Expr", lambda c: mk.forExpr(c[0]))
+
+    # -- expressions ------------------------------------------------------------------
+    p("Expr ::= AssignExpr", lambda c: c[0])
+    p("AssignExpr ::= OrExpr", lambda c: c[0])
+    p("AssignExpr ::= UnaryExpr Eq AssignExpr", lambda c: mk.assign(c[0], c[2]))
+    p("AssignExpr ::= UnaryExpr PlusEq AssignExpr",
+      lambda c: mk.assign(c[0], mk.binop("+", c[0], c[2])))
+    p("AssignExpr ::= UnaryExpr MinusEq AssignExpr",
+      lambda c: mk.assign(c[0], mk.binop("-", c[0], c[2])))
+
+    def binop_rule(rule: str, op: str) -> None:
+        p(rule, lambda c, op=op: mk.binop(op, c[0], c[2]))
+
+    binop_rule("OrExpr ::= OrExpr OrOr AndExpr", "||")
+    p("OrExpr ::= AndExpr", lambda c: c[0])
+    binop_rule("AndExpr ::= AndExpr AndAnd EqExpr", "&&")
+    p("AndExpr ::= EqExpr", lambda c: c[0])
+    binop_rule("EqExpr ::= EqExpr EqEq RelExpr", "==")
+    binop_rule("EqExpr ::= EqExpr BangEq RelExpr", "!=")
+    p("EqExpr ::= RelExpr", lambda c: c[0])
+    binop_rule("RelExpr ::= RelExpr Lt RangeExpr", "<")
+    binop_rule("RelExpr ::= RelExpr Le RangeExpr", "<=")
+    binop_rule("RelExpr ::= RelExpr Gt RangeExpr", ">")
+    binop_rule("RelExpr ::= RelExpr Ge RangeExpr", ">=")
+    p("RelExpr ::= RangeExpr", lambda c: c[0])
+    p("RangeExpr ::= AddExpr ColonColon AddExpr", lambda c: mk.rangeE(c[0], c[2]))
+    p("RangeExpr ::= AddExpr", lambda c: c[0])
+    binop_rule("AddExpr ::= AddExpr Plus MulExpr", "+")
+    binop_rule("AddExpr ::= AddExpr Minus MulExpr", "-")
+    p("AddExpr ::= MulExpr", lambda c: c[0])
+    binop_rule("MulExpr ::= MulExpr Times CastExpr", "*")
+    binop_rule("MulExpr ::= MulExpr Div CastExpr", "/")
+    binop_rule("MulExpr ::= MulExpr Mod CastExpr", "%")
+    binop_rule("MulExpr ::= MulExpr DotTimes CastExpr", ".*")
+    p("MulExpr ::= CastExpr", lambda c: c[0])
+    p("CastExpr ::= LParen TypeExpr RParen CastExpr", lambda c: mk.castE(c[1], c[3]))
+    p("CastExpr ::= UnaryExpr", lambda c: c[0])
+    p("UnaryExpr ::= Minus UnaryExpr", lambda c: mk.unop("-", c[1]))
+    p("UnaryExpr ::= Bang UnaryExpr", lambda c: mk.unop("!", c[1]))
+    p("UnaryExpr ::= PostfixExpr", lambda c: c[0])
+    p("PostfixExpr ::= PostfixExpr LBracket IndexList RBracket",
+      lambda c: mk.index(c[0], mk.idx_list(c[2])))
+    p("PostfixExpr ::= Identifier LParen ArgsOpt RParen",
+      lambda c: mk.call(c[0].lexeme, mk.expr_list(c[2])))
+    p("PostfixExpr ::= Primary", lambda c: c[0])
+    p("Primary ::= Identifier", lambda c: mk.var(c[0].lexeme))
+    p("Primary ::= IntLit", lambda c: mk.intLit(int(c[0].lexeme)))
+    p("Primary ::= FloatLit", lambda c: mk.floatLit(float(c[0].lexeme)))
+    p("Primary ::= True", lambda c: mk.boolLit(True))
+    p("Primary ::= False", lambda c: mk.boolLit(False))
+    p("Primary ::= StringLit", lambda c: mk.strLit(_unescape(c[0].lexeme)))
+    p("Primary ::= End", lambda c: mk.endE())
+    p("Primary ::= LParen Expr RParen", lambda c: c[1])
+    # Host-packaged tuple syntax (paper §VI-A: tuples fail isComposable).
+    p("Primary ::= LParen Expr Comma Args RParen",
+      lambda c: mk.tupleE(mk.expr_list([c[1]] + c[3])))
+
+    p("ArgsOpt ::=", lambda c: [])
+    p("ArgsOpt ::= Args", lambda c: c[0])
+    p("Args ::= Expr", lambda c: [c[0]])
+    p("Args ::= Expr Comma Args", lambda c: [c[0]] + c[2])
+
+    # -- indexing --------------------------------------------------------------------
+    p("IndexList ::= Index", lambda c: [c[0]])
+    p("IndexList ::= Index Comma IndexList", lambda c: [c[0]] + c[2])
+    p("Index ::= Expr", lambda c: mk.idxExpr(c[0]))
+    p("Index ::= Expr Colon Expr", lambda c: mk.idxRange(c[0], c[2]))
+    p("Index ::= Colon", lambda c: mk.idxAll())
+
+    # -- types ------------------------------------------------------------------------
+    p("TypeExpr ::= BaseType", lambda c: c[0])
+    p("TypeExpr ::= TypeExpr Times", lambda c: mk.tPtr(c[0]))
+    p("BaseType ::= Int", lambda c: mk.tInt())
+    p("BaseType ::= Float", lambda c: mk.tFloat())
+    p("BaseType ::= Bool", lambda c: mk.tBool())
+    p("BaseType ::= Char", lambda c: mk.tChar())
+    p("BaseType ::= Void", lambda c: mk.tVoid())
+    # Host-packaged tuple types: (int, float) — at least two members.
+    p("BaseType ::= LParen TypeExpr Comma TypeListTail RParen",
+      lambda c: mk.tTuple(mk.type_list([c[1]] + c[3])))
+    p("TypeListTail ::= TypeExpr", lambda c: [c[0]])
+    p("TypeListTail ::= TypeExpr Comma TypeListTail", lambda c: [c[0]] + c[2])
+
+    return g

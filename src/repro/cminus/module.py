@@ -1,0 +1,28 @@
+"""Assembly of the CMINUS host language module (install-once)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cminus import lower, sema
+from repro.cminus.env import Binding
+from repro.cminus.grammar import HOST_AG, PREFER_SHIFT, build_host_grammar
+from repro.cminus.types import FLOAT, INT, TFunc, VOID
+from repro.driver import LanguageModule
+
+
+@lru_cache(maxsize=1)
+def host_module() -> LanguageModule:
+    sema.install()
+    lower.install()
+    builtins = [
+        Binding("printInt", TFunc((INT,), VOID), "func"),
+        Binding("printFloat", TFunc((FLOAT,), VOID), "func"),
+    ]
+    return LanguageModule(
+        name="cminus",
+        grammar=build_host_grammar(),
+        ag=HOST_AG,
+        builtins=builtins,
+        prefer_shift=PREFER_SHIFT,
+    )

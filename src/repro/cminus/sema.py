@@ -1,0 +1,510 @@
+"""CMINUS semantic analysis as attribute-grammar equations.
+
+Attributes declared here (all on the host AG spec, origin "cminus"):
+
+* ``errors``  (syn, everywhere)  — list of diagnostic strings; the default
+  equation collects children's errors, so only productions with their own
+  checks need equations.
+* ``env``     (inh, autocopy)    — scoped environment; statement lists
+  thread definitions left-to-right.
+* ``ctx``     (inh, autocopy)    — the mutable CompileContext.
+* ``typerep`` (syn on Expr/TypeExpr) — type representation; operator
+  overloading on non-scalar types dispatches through ctx.overloads.
+* ``defs``    (syn on Stmt/ForInit/Param...) — bindings introduced.
+* ``fun_ret`` (inh) — enclosing function's return type.
+* ``in_loop`` (inh) — break/continue legality.
+* ``in_index``(inh) — `end` legality (host-packaged matrix index syntax).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ag.eval import DecoratedNode
+from repro.cminus.absyn import cons_to_list
+from repro.cminus.env import Binding
+from repro.cminus.grammar import HOST_AG
+from repro.cminus.types import (
+    BOOL, CHAR, ERROR, FLOAT, INT, STRING, VOID,
+    TBool, TFunc, TInt, TPointer, TTuple, TVoid, Type,
+    assignable, is_error, unify_arith,
+)
+
+ag = HOST_AG
+
+CONTENT_NTS = [
+    "TU", "ExtDecl", "Params", "Param", "StmtList", "Stmt", "ForInit",
+    "Expr", "ExprList", "IndexList", "Index", "TypeExpr", "TypeList",
+]
+
+
+def err(dn: DecoratedNode, message: str) -> str:
+    return f"{dn.span.start}: error: {message}"
+
+
+def child_errors(dn: DecoratedNode) -> list[str]:
+    out: list[str] = []
+    for i in range(len(dn.node.children)):
+        c = dn.child(i)
+        if isinstance(c, DecoratedNode):
+            out.extend(c.att("errors"))
+    return out
+
+
+def declare_attributes() -> None:
+    ag.synthesized("errors", on=["Root"] + CONTENT_NTS)
+    ag.default("errors", child_errors)
+
+    ag.inherited("env", on=CONTENT_NTS, autocopy=True)
+    ag.inherited("ctx", on=["Root"] + CONTENT_NTS, autocopy=True)
+    ag.inherited("fun_ret", on=["StmtList", "Stmt", "ForInit"], autocopy=True)
+    ag.inherited("in_loop", on=["StmtList", "Stmt"], autocopy=True)
+    # `in_index` flows from any statement down into expressions, flipping
+    # to True under an Index — so it occurs on the whole statement spine.
+    ag.inherited(
+        "in_index",
+        on=["TU", "ExtDecl", "StmtList", "Stmt", "ForInit",
+            "Expr", "ExprList", "Index", "IndexList"],
+        autocopy=True,
+    )
+
+    ag.synthesized("typerep", on=["Expr", "TypeExpr", "Index"])
+    ag.synthesized("defs", on=["Stmt", "ForInit", "Param"])
+    ag.default("defs", lambda n: [])
+    ag.synthesized("topdefs", on=["TU", "ExtDecl"])
+
+
+# ---------------------------------------------------------------------------
+# types of type expressions
+# ---------------------------------------------------------------------------
+
+def declare_type_equations() -> None:
+    eq = ag.equation
+    eq("tInt", "typerep", lambda n: INT)
+    eq("tFloat", "typerep", lambda n: FLOAT)
+    eq("tBool", "typerep", lambda n: BOOL)
+    eq("tChar", "typerep", lambda n: CHAR)
+    eq("tVoid", "typerep", lambda n: VOID)
+    eq("tPtr", "typerep", lambda n: TPointer(n[0].typerep))
+    eq("tRaw", "typerep", lambda n: ERROR)  # only appears post-lowering
+
+    eq("tTuple", "typerep",
+       lambda n: TTuple(tuple(t.typerep for t in cons_to_list(n[0]))))
+
+
+# ---------------------------------------------------------------------------
+# top level: global environment and signatures
+# ---------------------------------------------------------------------------
+
+def func_signature(n: DecoratedNode) -> Binding:
+    """Signature of a funcDef node (demands only TypeExpr typereps)."""
+    params = [p.child(0).typerep for p in cons_to_list(n.child(2))]
+    return Binding(n.node.children[1], TFunc(tuple(params), n[0].typerep), "func")
+
+
+def declare_toplevel_equations() -> None:
+    eq = ag.equation
+
+    eq("tuCons", "topdefs", lambda n: n[0].topdefs + n[1].topdefs)
+    eq("tuNil", "topdefs", lambda n: [])
+    eq("funcDef", "topdefs", lambda n: [func_signature(n)])
+
+    def root_errors(n):
+        out = list(n[0].att("errors"))
+        seen: set[str] = set()
+        for b in n[0].topdefs:
+            if b.name in seen:
+                out.append(err(n, f"duplicate definition of function {b.name!r}"))
+            seen.add(b.name)
+        if "main" not in seen:
+            out.append(err(n, "missing definition of function 'main'"))
+        return out
+
+    eq("root", "errors", root_errors)
+
+    # The TU's environment is the root env (builtins) extended with every
+    # function signature (functions are mutually visible, C-with-prototypes
+    # style).
+    ag.inh_equation(
+        "root", 0, "env",
+        lambda p: p.inh("env").extended(p[0].topdefs),
+    )
+    ag.inh_equation("root", 0, "in_index", lambda p: False)
+
+    def funcdef_errors(n):
+        out = list(n[2].att("errors")) + list(n[3].att("errors"))
+        seen: set[str] = set()
+        for p in cons_to_list(n.child(2)):
+            name = p.node.children[1]
+            if name in seen:
+                out.append(err(p, f"duplicate parameter {name!r}"))
+            seen.add(name)
+            t = p.child(0).typerep
+            if isinstance(t, TVoid):
+                out.append(err(p, f"parameter {name!r} has void type"))
+        return out
+
+    eq("funcDef", "errors", funcdef_errors)
+    eq("param", "defs", lambda n: [Binding(n.node.children[1], n[0].typerep, "param")])
+
+    # Function bodies: params in scope, fun_ret set, not in a loop.
+    def body_env(p):
+        params = [b for prm in cons_to_list(p.child(2)) for b in prm.defs]
+        return p.inh("env").new_scope(params)
+
+    ag.inh_equation("funcDef", 3, "env", body_env)
+    ag.inh_equation("funcDef", 3, "fun_ret", lambda p: p[0].typerep)
+    ag.inh_equation("funcDef", 3, "in_loop", lambda p: False)
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+def declare_statement_equations() -> None:
+    eq = ag.equation
+    inh = ag.inh_equation
+
+    # Blocks open a scope; statement lists thread defs left-to-right.
+    inh("block", 0, "env", lambda p: p.inh("env").new_scope())
+    inh("stmtCons", 1, "env", lambda p: p.inh("env").extended(p[0].defs))
+    inh("forStmt", 1, "env", lambda p: p.inh("env").extended(p[0].defs))
+    inh("forStmt", 2, "env", lambda p: p.inh("env").extended(p[0].defs))
+    inh("forStmt", 3, "env", lambda p: p.inh("env").new_scope(p[0].defs))
+
+    inh("whileStmt", 1, "in_loop", lambda p: True)
+    inh("doWhile", 0, "in_loop", lambda p: True)
+    inh("forStmt", 3, "in_loop", lambda p: True)
+
+    def decl_defs(n):
+        return [Binding(n.node.children[1], n[0].typerep, "var")]
+
+    eq("decl", "defs", decl_defs)
+    eq("declInit", "defs", decl_defs)
+    eq("forDecl", "defs", decl_defs)
+
+    def decl_errors(n):
+        out = child_errors(n)
+        name = n.node.children[1]
+        t = n[0].typerep
+        if isinstance(t, TVoid):
+            out.append(err(n, f"variable {name!r} declared void"))
+        if n.inh("env").defined_here(name):
+            out.append(err(n, f"redeclaration of {name!r}"))
+        return out
+
+    def declinit_errors(n):
+        out = decl_errors(n)
+        out.extend(
+            check_assign_types(n, n[0].typerep, n.child(2))
+        )
+        return out
+
+    eq("decl", "errors", decl_errors)
+    eq("declInit", "errors", declinit_errors)
+    eq("forDecl", "errors", declinit_errors)
+
+    def cond_errors(n, cond_ix=0):
+        out = child_errors(n)
+        t = n[cond_ix].typerep
+        if not is_error(t) and not isinstance(t, (TBool, TInt)):
+            out.append(err(n, f"condition has type {t}, expected bool or int"))
+        return out
+
+    eq("ifStmt", "errors", cond_errors)
+    eq("ifElse", "errors", cond_errors)
+    eq("whileStmt", "errors", cond_errors)
+    eq("doWhile", "errors", lambda n: cond_errors(n, 1))
+    eq("forStmt", "errors", lambda n: cond_errors(n, 1))
+
+    def return_errors(n):
+        out = child_errors(n)
+        ret = n.inh("fun_ret")
+        t = n[0].typerep
+        if not check_assignable_with_overloads(n, ret, t):
+            out.append(err(n, f"return of type {t} from function returning {ret}"))
+        return out
+
+    eq("returnStmt", "errors", return_errors)
+
+    def return_void_errors(n):
+        ret = n.inh("fun_ret")
+        if not isinstance(ret, TVoid):
+            return [err(n, f"return without value in function returning {ret}")]
+        return []
+
+    eq("returnVoid", "errors", return_void_errors)
+
+    def break_errors(n):
+        if not n.inh("in_loop"):
+            return [err(n, f"'{n.prod.replace('Stmt', '')}' outside of a loop")]
+        return []
+
+    eq("breakStmt", "errors", break_errors)
+    eq("continueStmt", "errors", break_errors)
+
+    def expr_stmt_errors(n):
+        out = child_errors(n)
+        # Statement expressions must be assignments or calls (C would warn;
+        # we are stricter to catch `a == b;` typos).
+        if n.node.children[0].prod not in ("assign", "call", "rawExpr"):
+            out.append(err(n, "expression statement has no effect"))
+        return out
+
+    eq("exprStmt", "errors", expr_stmt_errors)
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+def check_assignable_with_overloads(n: DecoratedNode, target: Type, value: Type) -> bool:
+    if assignable(target, value):
+        return True
+    result = n.inh("ctx").overloads.resolve_type("assign", target, value, n)
+    return result is not None and not isinstance(result, TVoid)
+
+
+def check_assign_types(n: DecoratedNode, target: Type, value_dn: Any) -> list[str]:
+    vt = value_dn.typerep
+    if not check_assignable_with_overloads(n, target, vt):
+        return [err(n, f"cannot assign value of type {vt} to {target}")]
+    return []
+
+
+def declare_expression_equations() -> None:
+    eq = ag.equation
+
+    eq("intLit", "typerep", lambda n: INT)
+    eq("floatLit", "typerep", lambda n: FLOAT)
+    eq("boolLit", "typerep", lambda n: BOOL)
+    eq("strLit", "typerep", lambda n: STRING)
+    eq("rawExpr", "typerep", lambda n: ERROR)
+
+    def var_typerep(n):
+        b = n.inh("env").lookup(n.node.children[0])
+        return b.type if b else ERROR
+
+    def var_errors(n):
+        if n.inh("env").lookup(n.node.children[0]) is None:
+            return [err(n, f"undeclared identifier {n.node.children[0]!r}")]
+        return []
+
+    eq("var", "typerep", var_typerep)
+    eq("var", "errors", var_errors)
+
+    def binop_typerep(n):
+        op = n.node.children[0]
+        lt, rt = n[1].typerep, n[2].typerep
+        if is_error(lt) or is_error(rt):
+            return ERROR
+        if op in ("+", "-", "*", "/", "%"):
+            if lt.is_scalar() and rt.is_scalar():
+                if op == "%":
+                    return INT if isinstance(lt, (TInt, TBool)) and isinstance(rt, (TInt, TBool)) else ERROR
+                u = unify_arith(lt, rt)
+                if u is not None:
+                    return u
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            if lt.is_scalar() and rt.is_scalar():
+                return BOOL
+        if op in ("&&", "||"):
+            if isinstance(lt, (TBool, TInt)) and isinstance(rt, (TBool, TInt)):
+                return BOOL
+        resolved = n.inh("ctx").overloads.resolve_type(op, lt, rt, n)
+        return resolved if resolved is not None else ERROR
+
+    def binop_errors(n):
+        out = child_errors(n)
+        if is_error(n.att("typerep")) and not (
+            is_error(n[1].typerep) or is_error(n[2].typerep)
+        ):
+            op = n.node.children[0]
+            out.append(
+                err(n, f"invalid operands to {op!r}: {n[1].typerep} and {n[2].typerep}")
+            )
+        return out
+
+    eq("binop", "typerep", binop_typerep)
+    eq("binop", "errors", binop_errors)
+
+    def unop_typerep(n):
+        op = n.node.children[0]
+        t = n[1].typerep
+        if is_error(t):
+            return ERROR
+        if op == "-" and t.is_numeric():
+            return t
+        if op == "!" and isinstance(t, (TBool, TInt)):
+            return BOOL
+        resolved = n.inh("ctx").overloads.resolve_type(op, t, None, n)
+        return resolved if resolved is not None else ERROR
+
+    def unop_errors(n):
+        out = child_errors(n)
+        if is_error(n.att("typerep")) and not is_error(n[1].typerep):
+            out.append(err(n, f"invalid operand to unary {n.node.children[0]!r}: {n[1].typerep}"))
+        return out
+
+    eq("unop", "typerep", unop_typerep)
+    eq("unop", "errors", unop_errors)
+
+    def assign_typerep(n):
+        return n[0].typerep
+
+    def assign_errors(n):
+        out = child_errors(n)
+        lhs = n.node.children[0]
+        if lhs.prod not in ("var", "index", "tupleE"):
+            out.append(err(n, "assignment target is not an lvalue"))
+            return out
+        out.extend(check_assign_types(n, n[0].typerep, n.child(1)))
+        return out
+
+    eq("assign", "typerep", assign_typerep)
+    eq("assign", "errors", assign_errors)
+
+    def call_typerep(n):
+        b = n.inh("env").lookup(n.node.children[0])
+        if b is None or not isinstance(b.type, TFunc):
+            return ERROR
+        return b.type.ret
+
+    def call_errors(n):
+        out = child_errors(n)
+        name = n.node.children[0]
+        b = n.inh("env").lookup(name)
+        if b is None:
+            out.append(err(n, f"call to undeclared function {name!r}"))
+            return out
+        if not isinstance(b.type, TFunc):
+            out.append(err(n, f"{name!r} is not a function (type {b.type})"))
+            return out
+        args = cons_to_list(n.child(1))
+        if len(args) != len(b.type.params):
+            out.append(
+                err(n, f"{name!r} expects {len(b.type.params)} arguments, got {len(args)}")
+            )
+            return out
+        for i, (arg, pt) in enumerate(zip(args, b.type.params)):
+            if not check_assignable_with_overloads(n, pt, arg.typerep):
+                out.append(
+                    err(n, f"argument {i + 1} of {name!r}: cannot pass {arg.typerep} as {pt}")
+                )
+        return out
+
+    eq("call", "typerep", call_typerep)
+    eq("call", "errors", call_errors)
+
+    def cast_typerep(n):
+        return n[0].typerep
+
+    def cast_errors(n):
+        out = child_errors(n)
+        src, dst = n[1].typerep, n[0].typerep
+        if is_error(src) or is_error(dst):
+            return out
+        ok = (src.is_scalar() and dst.is_scalar()) or src == dst
+        if not ok:
+            out.append(err(n, f"invalid cast from {src} to {dst}"))
+        return out
+
+    eq("castE", "typerep", cast_typerep)
+    eq("castE", "errors", cast_errors)
+
+    # `end`: int inside an index, error elsewhere.
+    def end_typerep(n):
+        return INT if n.inh("in_index") else ERROR
+
+    def end_errors(n):
+        if not n.inh("in_index"):
+            return [err(n, "'end' used outside of a matrix index")]
+        return []
+
+    eq("endE", "typerep", end_typerep)
+    eq("endE", "errors", end_errors)
+
+    # Ranges: the host has no semantics for `a :: b`; the matrix extension
+    # overloads it (producing a rank-1 int matrix).
+    def range_typerep(n):
+        lt, rt = n[0].typerep, n[1].typerep
+        if is_error(lt) or is_error(rt):
+            return ERROR
+        resolved = n.inh("ctx").overloads.resolve_type("::", lt, rt, n)
+        return resolved if resolved is not None else ERROR
+
+    def range_errors(n):
+        out = child_errors(n)
+        if is_error(n.att("typerep")) and not (
+            is_error(n[0].typerep) or is_error(n[1].typerep)
+        ):
+            out.append(
+                err(n, "range expression has no meaning here "
+                       "(no extension provides '::' for these types)")
+            )
+        return out
+
+    eq("rangeE", "typerep", range_typerep)
+    eq("rangeE", "errors", range_errors)
+
+    # Tuples: host-packaged (per the paper's §VI-A conclusion).
+    eq("tupleE", "typerep",
+       lambda n: TTuple(tuple(e.typerep for e in cons_to_list(n.child(0)))))
+
+    def tuple_expr_errors(n):
+        out = child_errors(n)
+        if not n.inh("in_index") and n.parent is not None:
+            # As an assignment *target*, every component must be an lvalue.
+            if n.parent.prod == "assign" and n.child_index == 0:
+                for e in cons_to_list(n.child(0)):
+                    if e.node.prod not in ("var", "index"):
+                        out.append(err(e, "tuple assignment target component "
+                                          "is not an lvalue"))
+        return out
+
+    eq("tupleE", "errors", tuple_expr_errors)
+
+    # Indexing: scalar types reject; overloads (matrix) accept.
+    def index_typerep(n):
+        base = n[0].typerep
+        if is_error(base):
+            return ERROR
+        resolved = n.inh("ctx").overloads.resolve_type("index", base, None, n)
+        return resolved if resolved is not None else ERROR
+
+    def index_errors(n):
+        out = child_errors(n)
+        if is_error(n.att("typerep")) and not is_error(n[0].typerep):
+            out.append(err(n, f"type {n[0].typerep} is not indexable"))
+        return out
+
+    eq("index", "typerep", index_typerep)
+    eq("index", "errors", index_errors)
+
+    # Everything under an Index is "in an index" for `end` purposes.
+    ag.inh_equation("index", 1, "in_index", lambda p: True)
+    # ...but a fresh index base (m in m[...]) is not.
+    ag.inh_equation("index", 0, "in_index", lambda p: False)
+
+    # Index kinds for consumers (matrix extension).
+    eq("idxExpr", "typerep", lambda n: n[0].typerep)
+    eq("idxRange", "typerep", lambda n: INT)
+    eq("idxAll", "typerep", lambda n: INT)
+
+    def idx_range_errors(n):
+        out = child_errors(n)
+        for i in (0, 1):
+            t = n[i].typerep
+            if not is_error(t) and not isinstance(t, (TInt, TBool)):
+                out.append(err(n, f"range bound has type {t}, expected int"))
+        return out
+
+    eq("idxRange", "errors", idx_range_errors)
+
+
+def install() -> None:
+    declare_attributes()
+    declare_type_equations()
+    declare_toplevel_equations()
+    declare_statement_equations()
+    declare_expression_equations()

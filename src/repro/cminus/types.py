@@ -1,0 +1,218 @@
+"""Type representations for CMINUS and its extensions.
+
+The host knows the scalar C types; extensions contribute their own type
+representations (``TMatrix``, ``TTuple``, ``TRange``) and register
+*overloads* for host operators on those types.  Operator overloading goes
+through :class:`OverloadTable` — the host's type-checking and lowering
+equations dispatch through it, which is how the paper's extensions
+"overload the arithmetic and comparison operators in the host language"
+without adding equations to host productions (which would break the
+modular well-definedness guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class Type:
+    """Base class for type representations."""
+
+    __slots__ = ()
+
+    #: True for types whose values are heap allocations managed by the
+    #: reference-counting extension (matrices).  Kept on the base class so
+    #: the refcount module stays generic ("general purpose", §III-B).
+    managed = False
+
+    def is_numeric(self) -> bool:
+        return False
+
+    def is_scalar(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class TInt(Type):
+    def __str__(self) -> str:
+        return "int"
+
+    def is_numeric(self) -> bool:
+        return True
+
+    def is_scalar(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class TFloat(Type):
+    def __str__(self) -> str:
+        return "float"
+
+    def is_numeric(self) -> bool:
+        return True
+
+    def is_scalar(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class TBool(Type):
+    def __str__(self) -> str:
+        return "bool"
+
+    def is_scalar(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class TChar(Type):
+    def __str__(self) -> str:
+        return "char"
+
+    def is_scalar(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class TVoid(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True, slots=True)
+class TString(Type):
+    """C string (char*); appears as the type of string literals."""
+
+    def __str__(self) -> str:
+        return "char *"
+
+
+@dataclass(frozen=True, slots=True)
+class TPointer(Type):
+    target: Type
+
+    def __str__(self) -> str:
+        return f"{self.target} *"
+
+
+@dataclass(frozen=True, slots=True)
+class TFunc(Type):
+    params: tuple[Type, ...]
+    ret: Type
+
+    def __str__(self) -> str:
+        ps = ", ".join(map(str, self.params)) or "void"
+        return f"{self.ret} ({ps})"
+
+
+@dataclass(frozen=True, slots=True)
+class TTuple(Type):
+    """Tuple type ``(int, float, bool)``.
+
+    Tuples are a general-purpose *extension* in the paper (§III-B), but —
+    as §VI-A works out — their syntax cannot pass the modular determinism
+    analysis (the initial ``(`` is not a unique marking terminal), so the
+    extension "will be packaged as part of the host language".  We follow
+    suit: the type lives with the host.
+    """
+
+    elems: tuple[Type, ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(map(str, self.elems)) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class TError(Type):
+    """Poison type: produced by ill-typed expressions, swallows cascades."""
+
+    def __str__(self) -> str:
+        return "<error>"
+
+
+INT = TInt()
+FLOAT = TFloat()
+BOOL = TBool()
+CHAR = TChar()
+VOID = TVoid()
+STRING = TString()
+ERROR = TError()
+
+
+def is_error(t: Type) -> bool:
+    return isinstance(t, TError)
+
+
+def unify_arith(lhs: Type, rhs: Type) -> Type | None:
+    """Result type of scalar arithmetic, or None if inapplicable."""
+    if is_error(lhs) or is_error(rhs):
+        return ERROR
+    if isinstance(lhs, (TInt, TBool)) and isinstance(rhs, (TInt, TBool)):
+        return INT
+    if isinstance(lhs, (TInt, TFloat, TBool)) and isinstance(rhs, (TInt, TFloat, TBool)):
+        return FLOAT
+    return None
+
+
+def assignable(target: Type, value: Type) -> bool:
+    """Scalar assignment compatibility (int<->float coerce, as in C)."""
+    if is_error(target) or is_error(value):
+        return True
+    if target == value:
+        return True
+    if isinstance(target, (TInt, TFloat)) and isinstance(value, (TInt, TFloat, TBool)):
+        return True
+    if isinstance(target, TBool) and isinstance(value, (TInt, TBool)):
+        return True
+    if isinstance(target, (TString, TPointer)) and value == STRING:
+        return True
+    if isinstance(target, TTuple) and isinstance(value, TTuple):
+        return len(target.elems) == len(value.elems) and all(
+            assignable(t, v) for t, v in zip(target.elems, value.elems)
+        )
+    return False
+
+
+# --- operator overloading -------------------------------------------------------
+
+# An overload handler: (op, lhs_type, rhs_type, decorated_node) -> result
+# Type, or None to decline.  For unary ops rhs_type is None.
+TypeHandler = Callable[[str, Type, "Type | None", Any], "Type | None"]
+# A lowering handler: (op, decorated_node) -> lowered Node, or None.
+LowerHandler = Callable[[str, Any], Any]
+
+
+@dataclass
+class OverloadTable:
+    """Extensible dispatch for operators and assignment on non-host types.
+
+    The host consults ``type_handlers`` during type checking and
+    ``lower_handlers`` during translation whenever an operand's type is not
+    a plain scalar.  Extensions (matrix, tuples) register handlers keyed by
+    the extension name so diagnostics can say who is responsible.
+    """
+
+    type_handlers: list[tuple[str, TypeHandler]] = field(default_factory=list)
+    lower_handlers: list[tuple[str, LowerHandler]] = field(default_factory=list)
+
+    def register_types(self, origin: str, handler: TypeHandler) -> None:
+        self.type_handlers.append((origin, handler))
+
+    def register_lowering(self, origin: str, handler: LowerHandler) -> None:
+        self.lower_handlers.append((origin, handler))
+
+    def resolve_type(self, op: str, lhs: Type, rhs: Type | None, node: Any) -> Type | None:
+        for _origin, h in self.type_handlers:
+            result = h(op, lhs, rhs, node)
+            if result is not None:
+                return result
+        return None
+
+    def resolve_lowering(self, op: str, node: Any) -> Any | None:
+        for _origin, h in self.lower_handlers:
+            result = h(op, node)
+            if result is not None:
+                return result
+        return None

@@ -1,0 +1,6 @@
+"""Code generation: C program assembly, runtime library, loop utilities."""
+
+from repro.codegen.emit import LiftedFunc, assemble_c_program
+from repro.codegen.runtime_c import runtime_source
+
+__all__ = ["LiftedFunc", "assemble_c_program", "runtime_source"]

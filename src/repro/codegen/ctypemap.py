@@ -1,0 +1,56 @@
+"""Mapping from CMINUS type representations to C type spellings."""
+
+from __future__ import annotations
+
+from repro.cminus.env import CompileContext
+from repro.cminus.types import (
+    TBool, TChar, TFloat, TInt, TPointer, TString, TTuple, TVoid, Type,
+)
+
+
+class CTypeError(Exception):
+    pass
+
+
+_LETTER = {"int": "i", "float": "f", "char": "c", "void": "v"}
+
+
+def ctype_of(t: Type, ctx: CompileContext) -> str:
+    """The C spelling of ``t``; registers tuple structs on the context."""
+    if isinstance(t, TInt) or isinstance(t, TBool):
+        return "int"
+    if isinstance(t, TFloat):
+        return "float"
+    if isinstance(t, TChar):
+        return "char"
+    if isinstance(t, TVoid):
+        return "void"
+    if isinstance(t, TString):
+        return "const char *"
+    if isinstance(t, TPointer):
+        return ctype_of(t.target, ctx) + " *"
+    if isinstance(t, TTuple):
+        return tuple_struct(t, ctx)
+    for hook in getattr(ctx, "ctype_hooks", []):
+        out = hook(t, ctx)
+        if out is not None:
+            return out
+    raise CTypeError(f"no C representation for type {t}")
+
+
+def _mangle(t: Type, ctx: CompileContext) -> str:
+    c = ctype_of(t, ctx)
+    out = _LETTER.get(c)
+    if out is not None:
+        return out
+    return "".join(ch if ch.isalnum() else "_" for ch in c)
+
+
+def tuple_struct(t: TTuple, ctx: CompileContext) -> str:
+    """Struct typedef name for a tuple type, registered for emission."""
+    if not hasattr(ctx, "tuple_structs"):
+        ctx.tuple_structs = {}
+    fields = [ctype_of(e, ctx) for e in t.elems]
+    name = "tup_" + "_".join(_mangle(e, ctx) for e in t.elems)
+    ctx.tuple_structs.setdefault(name, fields)
+    return name

@@ -1,0 +1,165 @@
+"""The translator driver: compose host + chosen extensions, run pipeline.
+
+This is the paper's §II workflow: the programmer picks a set of language
+extensions; the "compiler-generating tools" compose their specifications
+with the host and produce a custom translator.  :class:`Translator` is
+that generated translator: it scans/parses with the composed grammar,
+decorates the tree with the composed attribute grammar, reports
+domain-specific errors, and emits plain parallel C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.ag.core import AGSpec
+from repro.ag.eval import decorate
+from repro.ag.tree import Node
+from repro.cminus.env import Binding, CompileContext, Env, Optimizations
+from repro.cminus.types import VOID
+from repro.grammar.cfg import GrammarSpec
+from repro.parsing.parser import Parser
+
+
+@dataclass
+class LanguageModule:
+    """A composable language-extension (or host) specification bundle."""
+
+    name: str
+    grammar: GrammarSpec
+    ag: AGSpec
+    builtins: list[Binding] = field(default_factory=list)
+    # Called with the fresh CompileContext before decoration; registers
+    # operator overload handlers, refcount hooks, etc.
+    context_hooks: list[Callable[[CompileContext], None]] = field(default_factory=list)
+    prefer_shift: frozenset[str] = frozenset()
+    requires: tuple[str, ...] = ()
+    # Names of runtime features this module's lowerings may request.
+    runtime_features: tuple[str, ...] = ()
+
+
+class CompileError(Exception):
+    def __init__(self, errors: list[str]):
+        self.errors = errors
+        super().__init__("\n".join(errors))
+
+
+@dataclass
+class CompileResult:
+    source: str
+    root: Node
+    errors: list[str]
+    lowered: Node | None
+    c_source: str | None
+    ctx: CompileContext
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+class Translator:
+    """A custom translator generated from host + extension modules."""
+
+    def __init__(
+        self,
+        modules: list[LanguageModule],
+        *,
+        options: Optimizations | None = None,
+        nthreads: int = 4,
+    ):
+        if not modules:
+            raise ValueError("need at least the host module")
+        self.modules = resolve_dependencies(modules)
+        self.options = options or Optimizations()
+        self.nthreads = nthreads
+
+        host, *exts = self.modules
+        grammar = host.grammar.compose(*(e.grammar for e in exts)).build()
+        self.ag: AGSpec = host.ag.compose(*(e.ag for e in exts)) if exts else host.ag
+        prefer = frozenset().union(*(m.prefer_shift for m in self.modules))
+        self.parser = Parser(grammar, prefer_shift=prefer)
+        self.builtins = [b for m in self.modules for b in m.builtins]
+
+    # -- pipeline -----------------------------------------------------------------
+
+    def parse(self, source: str, filename: str = "<input>") -> Node:
+        return self.parser.parse(source, filename)
+
+    def fresh_context(self) -> CompileContext:
+        ctx = CompileContext(options=self.options)
+        ctx.nthreads = self.nthreads
+        for m in self.modules:
+            for hook in m.context_hooks:
+                hook(ctx)
+        return ctx
+
+    def decorate(self, root: Node, ctx: CompileContext | None = None):
+        ctx = ctx or self.fresh_context()
+        env = Env({b.name: b for b in self.builtins})
+        return decorate(
+            self.ag,
+            root,
+            {
+                "env": env,
+                "ctx": ctx,
+                "in_index": False,
+                "in_loop": False,
+                "fun_ret": VOID,
+            },
+        ), ctx
+
+    def compile(
+        self, source: str, filename: str = "<input>", *, check_only: bool = False
+    ) -> CompileResult:
+        root = self.parse(source, filename)
+        dn, ctx = self.decorate(root)
+        errors = list(dn.att("errors"))
+        if errors or check_only:
+            return CompileResult(source, root, errors, None, None, ctx)
+        lowered = dn.att("lowered")
+        c_source = self.emit_c(lowered, ctx)
+        return CompileResult(source, root, errors, lowered, c_source, ctx)
+
+    def compile_or_raise(self, source: str, filename: str = "<input>") -> CompileResult:
+        result = self.compile(source, filename)
+        if not result.ok:
+            raise CompileError(result.errors)
+        return result
+
+    # -- C assembly ------------------------------------------------------------------
+
+    def emit_c(self, lowered: Node, ctx: CompileContext) -> str:
+        from repro.codegen.emit import assemble_c_program
+
+        return assemble_c_program(lowered, ctx)
+
+
+def resolve_dependencies(modules: list[LanguageModule]) -> list[LanguageModule]:
+    """Add required modules (by registry name) and order host-first."""
+    from repro.api import module_registry
+
+    registry = module_registry()
+    by_name = {m.name: m for m in modules}
+    order: list[LanguageModule] = []
+    visiting: set[str] = set()
+
+    def visit(m: LanguageModule) -> None:
+        if m.name in visiting:
+            return
+        visiting.add(m.name)
+        for dep in m.requires:
+            dep_mod = by_name.get(dep) or registry.get(dep)
+            if dep_mod is None:
+                raise ValueError(f"module {m.name!r} requires unknown module {dep!r}")
+            by_name.setdefault(dep, dep_mod)
+            visit(dep_mod)
+        if m not in order:
+            order.append(m)
+
+    for m in list(modules):
+        visit(m)
+    # Host (no requirements, name "cminus") must come first.
+    order.sort(key=lambda m: 0 if m.name == "cminus" else 1)
+    return order

@@ -1,0 +1,33 @@
+"""The ocean-eddy application substrate (paper §IV).
+
+Synthetic SSH data with injected eddy signatures (:mod:`synth`) and
+numpy reference implementations of the paper's algorithms
+(:mod:`reference`) used as oracles for the translated programs.
+"""
+
+from repro.eddy.reference import (
+    compute_area,
+    conn_comp,
+    conn_comp_networkx,
+    detection_quality,
+    get_trough,
+    score_time_series,
+    temporal_mean,
+    temporal_scores,
+)
+from repro.eddy.synth import EddyTrack, SSHData, fig7_series, synthetic_ssh
+
+__all__ = [
+    "EddyTrack",
+    "SSHData",
+    "compute_area",
+    "conn_comp",
+    "conn_comp_networkx",
+    "detection_quality",
+    "fig7_series",
+    "get_trough",
+    "score_time_series",
+    "synthetic_ssh",
+    "temporal_mean",
+    "temporal_scores",
+]

@@ -1,0 +1,262 @@
+"""Cilk-style task parallelism — the paper's stated future work (§VIII).
+
+"To this end we are also developing a extension that adds Cilk [4] style
+parallelism constructs to C.  The goal is to determine how sophisticated
+run-times, like in Cilk, can be delivered as a pluggable language
+extension."
+
+This module delivers that extension under the same composability regime
+as the others:
+
+* syntax (both forms marked by the ``spawn`` / ``sync`` keywords, so the
+  extension passes the modular determinism analysis)::
+
+      spawn f(a, b);            // fire-and-forget task
+      spawn x = f(a, b);        // task whose result lands in x
+      sync;                     // wait for all outstanding tasks
+
+* semantic analysis: the spawned callee must be a declared function with
+  matching arguments; the assignment form checks result compatibility;
+
+* lowering: each spawn lifts the call into a task function taking a
+  heap-allocated environment (argument values + a pointer to the result
+  slot); the C runtime runs tasks on detached pthreads up to a cap and
+  inlines beyond it, and ``sync`` joins everything outstanding.  The
+  Python interpreter uses Cilk's *sequential elision* — running the call
+  inline at the spawn point — which is a valid Cilk schedule, so both
+  backends agree on every data-race-free program.
+
+The run-time here is deliberately simpler than Cilk's work-stealing
+deques; what the extension demonstrates is the paper's point — that a
+task-parallel runtime can be *packaged as a composable extension* — not
+a competitive scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.ag.core import AGSpec
+from repro.ag.eval import DecoratedNode
+from repro.ag.tree import Node
+from repro.cminus.absyn import cons_to_list
+from repro.cminus.grammar import mk
+from repro.cminus.sema import child_errors, err
+from repro.cminus.types import TFunc, TVoid, assignable, is_error
+from repro.codegen.ctypemap import ctype_of
+from repro.driver import LanguageModule
+from repro.grammar.cfg import GrammarSpec
+from repro.lexing.scanner import Token
+
+CILK = "cilk"
+
+CILK_AG = AGSpec(CILK)
+
+_declared = False
+
+
+@dataclass
+class SpawnedFunc:
+    """A lifted task body; duck-types LiftedFunc's C rendering interface."""
+
+    name: str
+    call_name: str
+    arg_ctypes: list[str]
+    result_ctype: str | None  # None for the fire-and-forget form
+
+    def c_env_struct(self) -> str:
+        fields = "".join(
+            f"    {t} a{i};\n" for i, t in enumerate(self.arg_ctypes)
+        )
+        if self.result_ctype is not None:
+            fields += f"    {self.result_ctype} *r;\n"
+        return f"struct {self.name}_env {{\n{fields}}};"
+
+    def c_definition(self) -> str:
+        unpack = ", ".join(f"__e->a{i}" for i in range(len(self.arg_ctypes)))
+        call = f"{self.call_name}({unpack})"
+        body = f"*(__e->r) = {call};" if self.result_ctype is not None else f"{call};"
+        return (
+            f"static void {self.name}(void *__env) {{\n"
+            f"    struct {self.name}_env *__e = (struct {self.name}_env *)__env;\n"
+            f"    {body}\n"
+            f"    free(__e);\n"
+            f"}}"
+        )
+
+    def c_wrapper(self) -> str:
+        return ""  # tasks are launched through rt_spawn, no pool wrapper
+
+
+def declare_cilk_absyn() -> None:
+    global _declared
+    if _declared:
+        return
+    _declared = True
+    P = CILK_AG.abstract_production
+    P("spawnStmt", "Stmt", ["#fname", "ExprList"], origin=CILK)
+    P("spawnAssign", "Stmt", ["Expr", "#fname", "ExprList"], origin=CILK)
+    P("syncStmt", "Stmt", [], origin=CILK)
+
+
+def build_cilk_grammar() -> GrammarSpec:
+    declare_cilk_absyn()
+    g = GrammarSpec(CILK)
+    g.terminal("Spawn", "spawn", keyword=True, marking=True)
+    g.terminal("Sync", "sync", keyword=True, marking=True)
+    p = g.production
+    p("Stmt ::= Spawn Identifier LParen ArgsOpt RParen Semi",
+      lambda c: CILK_AG.make("spawnStmt", [c[1].lexeme, mk.expr_list(c[3])]))
+    p("Stmt ::= Spawn UnaryExpr Eq Identifier LParen ArgsOpt RParen Semi",
+      lambda c: CILK_AG.make("spawnAssign", [c[1], c[3].lexeme, mk.expr_list(c[5])]))
+    p("Stmt ::= Sync Semi", lambda c: CILK_AG.make("syncStmt", []))
+    return g
+
+
+# ---------------------------------------------------------------------------
+# semantic analysis
+# ---------------------------------------------------------------------------
+
+def _check_call(n: DecoratedNode, fname: str, args_child: int) -> list[str]:
+    out = child_errors(n)
+    b = n.inh("env").lookup(fname)
+    if b is None:
+        out.append(err(n, f"spawn of undeclared function {fname!r}"))
+        return out
+    if not isinstance(b.type, TFunc):
+        out.append(err(n, f"spawn of non-function {fname!r}"))
+        return out
+    args = cons_to_list(n.child(args_child))
+    if len(args) != len(b.type.params):
+        out.append(err(n, f"{fname!r} expects {len(b.type.params)} "
+                          f"arguments, got {len(args)}"))
+        return out
+    for i, (a, pt) in enumerate(zip(args, b.type.params)):
+        at = a.att("typerep")
+        if not is_error(at) and not assignable(pt, at):
+            out.append(err(n, f"argument {i + 1} of spawned {fname!r}: "
+                              f"cannot pass {at} as {pt}"))
+        if getattr(at, "managed", False) and a.node.prod != "var":
+            # A matrix-valued temporary would be freed by the spawning
+            # statement's refcount drain while the task still reads it
+            # (the caller must keep spawn arguments alive until sync).
+            out.append(err(n, f"argument {i + 1} of spawned {fname!r} is a "
+                              f"matrix-valued expression; bind it to a "
+                              f"variable that lives until the sync"))
+    return out
+
+
+def _spawn_ret_type(n: DecoratedNode, fname: str):
+    b = n.inh("env").lookup(fname)
+    if b is not None and isinstance(b.type, TFunc):
+        return b.type.ret
+    return None
+
+
+def _install_sema() -> None:
+    ag = CILK_AG
+    ag.equation("spawnStmt", "errors",
+                lambda n: _check_call(n, n.node.children[0], 1))
+
+    def spawn_assign_errors(n: DecoratedNode):
+        fname = n.node.children[1]
+        out = _check_call(n, fname, 2)
+        if n.node.children[0].prod != "var":
+            out.append(err(n, "spawn result target must be a variable"))
+            return out
+        ret = _spawn_ret_type(n, fname)
+        tgt = n.child(0).att("typerep")
+        if ret is not None and not is_error(tgt):
+            if isinstance(ret, TVoid):
+                out.append(err(n, f"spawned {fname!r} returns void; "
+                                  f"use the statement form"))
+            elif not assignable(tgt, ret) or getattr(ret, "managed", False):
+                # managed (matrix) spawn results would race with refcount
+                # bookkeeping; the prototype restricts results to scalars,
+                # as Cilk-5 restricted spawn receivers.
+                out.append(err(n, f"cannot receive spawned {ret} into {tgt} "
+                                  f"(spawn results must be scalars)"))
+        return out
+
+    ag.equation("spawnAssign", "errors", spawn_assign_errors)
+    ag.equation("syncStmt", "errors", lambda n: [])
+    # spawn/sync introduce no bindings
+    ag.equation("spawnStmt", "defs", lambda n: [])
+    ag.equation("spawnAssign", "defs", lambda n: [])
+    ag.equation("syncStmt", "defs", lambda n: [])
+
+
+# ---------------------------------------------------------------------------
+# lowering
+# ---------------------------------------------------------------------------
+
+def _lower_spawn(n: DecoratedNode, *, fname: str, args_child: int,
+                 target_var: str | None) -> Node:
+    """Lower to a structured launch both backends understand:
+
+    ``__rt_spawn(<taskfn>, <callee>, [<target-var>,] args...)``
+
+    The C printer expands it to env-struct setup + ``rt_spawn``; the
+    interpreter executes the call inline (sequential elision).
+    """
+    from repro.cminus.lower import finish_stmt
+
+    ctx = n.inh("ctx")
+    ctx.need("tasks")
+    hoisted: list[Node] = []
+    arg_nodes: list[Node] = []
+    arg_ctypes: list[str] = []
+    for a in cons_to_list(n.child(args_child)):
+        hs, low = a.att("lowpair")
+        hoisted.extend(hs)
+        arg_nodes.append(low)
+        arg_ctypes.append(ctype_of(a.att("typerep"), ctx))
+
+    result_ctype = None
+    if target_var is not None:
+        result_ctype = ctype_of(n.child(0).att("typerep"), ctx)
+
+    task_name = ctx.gensym("task")
+    ctx.lift_function(SpawnedFunc(task_name, fname, arg_ctypes, result_ctype))
+
+    launch_args = [mk.strLit(task_name), mk.strLit(fname)]
+    launch_name = "__rt_spawn"
+    if target_var is not None:
+        launch_name = "__rt_spawn_into"
+        launch_args.append(mk.strLit(target_var))
+    launch = mk.exprStmt(mk.call(launch_name, mk.expr_list(launch_args + arg_nodes)))
+    return finish_stmt(n, mk.seqStmt(mk.stmt_list(hoisted + [launch])), [])
+
+
+def _install_lowering() -> None:
+    ag = CILK_AG
+    ag.equation(
+        "spawnStmt", "lowered",
+        lambda n: _lower_spawn(n, fname=n.node.children[0], args_child=1,
+                               target_var=None),
+    )
+    ag.equation(
+        "spawnAssign", "lowered",
+        lambda n: _lower_spawn(n, fname=n.node.children[1], args_child=2,
+                               target_var=n.node.children[0].children[0]),
+    )
+
+    def lower_sync(n: DecoratedNode):
+        n.inh("ctx").need("tasks")
+        return mk.exprStmt(mk.call("rt_sync", mk.expr_list([])))
+
+    ag.equation("syncStmt", "lowered", lower_sync)
+
+
+@lru_cache(maxsize=1)
+def cilk_module() -> LanguageModule:
+    declare_cilk_absyn()
+    _install_sema()
+    _install_lowering()
+    return LanguageModule(
+        name=CILK,
+        grammar=build_cilk_grammar(),
+        ag=CILK_AG,
+        runtime_features=("tasks",),
+    )

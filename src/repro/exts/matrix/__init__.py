@@ -1,0 +1,110 @@
+"""The matrix language extension (paper §III) — the domain-specific
+extension adding MATLAB/SAC-style matrices to CMINUS.
+
+Components:
+
+* grammar.py — concrete syntax (with-loops, matrixMap, init, Matrix type),
+  all bridge productions marked per the determinism analysis;
+* sema.py — type checking and error reporting, plus the overload handlers
+  giving host operators their matrix meanings;
+* lower.py / ops.py / stmts.py — translation to plain parallel C;
+* types.py — TMatrix / TAnyMatrix.
+
+The extension *requires* the refcount extension: "we build the underlying
+implementation of matrices on top of the reference counting pointers"
+(§III-C).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cminus.env import Binding
+from repro.cminus.types import INT, STRING, TFunc, VOID, Type
+from repro.driver import LanguageModule
+from repro.exts.matrix import ops, stmts
+from repro.exts.matrix.grammar import MATRIX_AG, build_matrix_grammar, declare_matrix_absyn
+from repro.exts.matrix.lower import fold_lowpair, genarray_lowpair, with_lowpair, index_lowpair
+from repro.exts.matrix.sema import install_sema, matrix_type_handler
+from repro.exts.matrix.types import ANY_MATRIX, TAnyMatrix, TMatrix, is_matrix
+
+__all__ = ["ANY_MATRIX", "TAnyMatrix", "TMatrix", "is_matrix", "matrix_module"]
+
+_equations_installed = False
+
+
+def _install_lowering_equations() -> None:
+    global _equations_installed
+    if _equations_installed:
+        return
+    _equations_installed = True
+    ag = MATRIX_AG
+    ag.equation("withE", "lowpair", with_lowpair)
+    ag.equation("matrixMapE", "lowpair", stmts.matrixmap_lowpair)
+    ag.equation("initE", "lowpair", stmts.init_lowpair)
+    ag.equation("tMatrix", "lowered", lambda n: _traw())
+    # Declare host-attribute occurrences on extension nonterminals so the
+    # well-definedness analysis can reason about them.
+    ag.synthesized("errors", on=["Generator", "WithOp", "TransformOpt"])
+    ag.inherited("env", on=["Generator", "WithOp"], autocopy=True)
+    ag.inherited("ctx", on=["Generator", "WithOp", "TransformOpt"], autocopy=True)
+    ag.inherited("in_index", on=["Generator", "WithOp"], autocopy=True)
+
+
+def _traw():
+    from repro.cminus.grammar import mk
+
+    return mk.tRaw("rt_mat *")
+
+
+def _matrix_ctype_hook(t: Type, ctx) -> str | None:
+    if isinstance(t, (TMatrix, TAnyMatrix)):
+        return "rt_mat *"
+    return None
+
+
+def _lowering_dispatch(kind: str, n) -> object | None:
+    if kind == "binop":
+        return ops.binop_lowpair(n)
+    if kind == "unop":
+        return ops.unop_lowpair(n)
+    if kind == "range":
+        return ops.range_lowpair(n)
+    if kind == "index":
+        return index_lowpair(n)
+    if kind == "exprStmt":
+        return stmts.exprstmt_lowered(n)
+    if kind == "declInit":
+        return stmts.declinit_lowered(n)
+    if kind == "call":
+        return stmts.call_lowpair(n)
+    return None
+
+
+def _context_hook(ctx) -> None:
+    ctx.overloads.register_types("matrix", matrix_type_handler)
+    ctx.overloads.register_lowering("matrix", _lowering_dispatch)
+    if not hasattr(ctx, "ctype_hooks"):
+        ctx.ctype_hooks = []
+    ctx.ctype_hooks.append(_matrix_ctype_hook)
+
+
+@lru_cache(maxsize=1)
+def matrix_module() -> LanguageModule:
+    declare_matrix_absyn()
+    install_sema()
+    _install_lowering_equations()
+    builtins = [
+        Binding("readMatrix", TFunc((STRING,), ANY_MATRIX), "func"),
+        Binding("writeMatrix", TFunc((STRING, ANY_MATRIX), VOID), "func"),
+        Binding("dimSize", TFunc((ANY_MATRIX, INT), INT), "func"),
+    ]
+    return LanguageModule(
+        name="matrix",
+        grammar=build_matrix_grammar(),
+        ag=MATRIX_AG,
+        builtins=builtins,
+        context_hooks=[_context_hook],
+        requires=("refcount",),
+        runtime_features=("matrix", "io"),
+    )

@@ -1,0 +1,108 @@
+"""Concrete syntax of the matrix extension (paper §III-A).
+
+Every bridge production starts with one of the extension's marking
+terminals (``Matrix``, ``with``, ``matrixMap``, ``init``), which is what
+lets the extension pass the modular determinism analysis (§VI-A) — see
+``benchmarks/test_bench_composability.py``.
+
+    TypeExpr  ::= Matrix (int|bool|float) < IntLit >
+    Primary   ::= with ( Generator ) Operation TransformOpt
+    Generator ::= [ ExprList ] (<=|<) [ IdList ] (<=|<) [ ExprList ]
+    Operation ::= genarray ( [ ExprList ] , Expr )
+                | fold ( (+|*|max|min) , Expr , Expr )
+    Primary   ::= matrixMap ( Identifier , Expr , [ ExprList ] )
+    Primary   ::= init ( TypeExpr , ExprList )
+
+Ranges ``a : b`` (inclusive, per §III-A.3's 0:4 -> 5 elements), whole
+dimensions ``:``, ``end``, logical indexing, the ``::`` range expression
+and ``.*`` are host-packaged syntax whose *semantics* this extension
+supplies through the overload table.
+"""
+
+from __future__ import annotations
+
+from repro.ag.core import AGSpec
+from repro.grammar.cfg import GrammarSpec
+
+MATRIX = "matrix"
+
+# The matrix extension's abstract syntax lives in its own AG spec.
+MATRIX_AG = AGSpec(MATRIX)
+
+_declared = False
+
+
+def declare_matrix_absyn() -> None:
+    global _declared
+    if _declared:
+        return
+    _declared = True
+    MATRIX_AG.nonterminal("Generator", origin=MATRIX)
+    MATRIX_AG.nonterminal("WithOp", origin=MATRIX)
+    MATRIX_AG.nonterminal("TransformOpt", origin=MATRIX)
+    P = MATRIX_AG.abstract_production
+    P("withE", "Expr", ["Generator", "WithOp", "TransformOpt"], origin=MATRIX)
+    P("generator", "Generator",
+      ["ExprList", "#rel", "#ids", "#rel2", "ExprList"], origin=MATRIX)
+    P("genarrayOp", "WithOp", ["ExprList", "Expr"], origin=MATRIX)
+    P("foldOp", "WithOp", ["#op", "Expr", "Expr"], origin=MATRIX)
+    P("noTransform", "TransformOpt", [], origin=MATRIX)
+    P("matrixMapE", "Expr", ["#fname", "Expr", "ExprList"], origin=MATRIX)
+    P("initE", "Expr", ["TypeExpr", "ExprList"], origin=MATRIX)
+    P("tMatrix", "TypeExpr", ["TypeExpr", "#rank"], origin=MATRIX)
+
+
+def build_matrix_grammar() -> GrammarSpec:
+    from repro.cminus.grammar import mk  # host node builders
+
+    declare_matrix_absyn()
+    g = GrammarSpec(MATRIX)
+    t = g.terminal
+    t("MatrixKw", "Matrix", keyword=True, marking=True)
+    t("With", "with", keyword=True, marking=True)
+    t("MatrixMapKw", "matrixMap", keyword=True, marking=True)
+    t("InitKw", "init", keyword=True, marking=True)
+    t("Genarray", "genarray", keyword=True)
+    t("Fold", "fold", keyword=True)
+    t("MaxKw", "max", keyword=True)
+    t("MinKw", "min", keyword=True)
+
+    p = g.production
+    ag = MATRIX_AG
+
+    # Matrix type: Matrix float <3>
+    p("BaseType ::= MatrixKw BaseType Lt IntLit Gt",
+      lambda c: ag.make("tMatrix", [c[1], int(c[3].lexeme)]))
+
+    # With-loop (Fig 2).
+    p("Primary ::= With LParen Generator RParen Operation TransformOpt",
+      lambda c: ag.make("withE", [c[2], c[4], c[5]]))
+    p("TransformOpt ::=", lambda c: ag.make("noTransform", []))
+
+    p("Generator ::= LBracket Args RBracket Rel LBracket IdList RBracket Rel LBracket Args RBracket",
+      lambda c: ag.make("generator", [
+          mk.expr_list(c[1]), c[3], c[5], c[7], mk.expr_list(c[9]),
+      ]))
+    p("Rel ::= Le", lambda c: "<=")
+    p("Rel ::= Lt", lambda c: "<")
+    p("IdList ::= Identifier", lambda c: [c[0].lexeme])
+    p("IdList ::= Identifier Comma IdList", lambda c: [c[0].lexeme] + c[2])
+
+    p("Operation ::= Genarray LParen LBracket Args RBracket Comma Expr RParen",
+      lambda c: ag.make("genarrayOp", [mk.expr_list(c[3]), c[6]]))
+    p("Operation ::= Fold LParen FoldOpTok Comma Expr Comma Expr RParen",
+      lambda c: ag.make("foldOp", [c[2], c[4], c[6]]))
+    p("FoldOpTok ::= Plus", lambda c: "+")
+    p("FoldOpTok ::= Times", lambda c: "*")
+    p("FoldOpTok ::= MaxKw", lambda c: "max")
+    p("FoldOpTok ::= MinKw", lambda c: "min")
+
+    # matrixMap(scoreTS, data, [2])   (Fig 4 / Fig 8)
+    p("Primary ::= MatrixMapKw LParen Identifier Comma Expr Comma LBracket Args RBracket RParen",
+      lambda c: ag.make("matrixMapE", [c[2].lexeme, c[4], mk.expr_list(c[7])]))
+
+    # init(Matrix int <2>, 721, 1440)   (Fig 4)
+    p("Primary ::= InitKw LParen TypeExpr Comma Args RParen",
+      lambda c: ag.make("initE", [c[2], mk.expr_list(c[4])]))
+
+    return g

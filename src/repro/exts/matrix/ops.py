@@ -1,0 +1,175 @@
+"""Lowering of overloaded operators on matrices (§III-A.2).
+
+Elementwise arithmetic/comparison (matrix⊕matrix and matrix⊕scalar),
+``.*`` elementwise multiply, ``*`` as true matrix multiplication on
+rank-2 matrices, unary elementwise ops, and materialization of the range
+expression ``a :: b`` into a rank-1 int matrix.
+"""
+
+from __future__ import annotations
+
+from repro.ag.eval import DecoratedNode
+from repro.ag.tree import Node
+from repro.cminus.grammar import mk
+from repro.exts.matrix.lower import (
+    LONG, alloc_node, as_var, call_n, for_loop, get_elem, ilit, ldecl, lvar,
+    nest_loops, note_matrix_temp, rt_dim_n, set_elem, _note_gensym_type,
+)
+from repro.exts.matrix.types import TMatrix, is_matrix
+
+_CMP = {"<", "<=", ">", ">=", "==", "!="}
+
+
+def binop_lowpair(n: DecoratedNode):
+    """Handler for host `binop` lowering when a matrix operand is involved."""
+    lt = n.child(1).att("typerep")
+    rt = n.child(2).att("typerep")
+    if not (is_matrix(lt) or is_matrix(rt)):
+        return None
+    ctx = n.inh("ctx")
+    ctx.need("matrix")
+    op: str = n.node.children[0]
+    result_t: TMatrix = n.att("typerep")
+
+    if op == "*" and isinstance(lt, TMatrix) and isinstance(rt, TMatrix):
+        return _matmul_lowpair(n, ctx, result_t)
+
+    hoisted: list[Node] = []
+    operands = []
+    for i, t in ((1, lt), (2, rt)):
+        hs, low = n.child(i).att("lowpair")
+        hoisted.extend(hs)
+        if is_matrix(t):
+            low = as_var(ctx, hoisted, low, "m", "rt_mat *")
+        else:
+            low = as_var(ctx, hoisted, low,
+                         "s", "float" if str(t) == "float" else "int")
+        operands.append((low, t))
+
+    (a, at), (b, bt) = operands
+    if is_matrix(at) and is_matrix(bt):
+        hoisted.append(mk.exprStmt(call_n(
+            "rt_shape_check", [a, b, mk.strLit(f"elementwise {op}")])))
+        model = a
+    else:
+        model = a if is_matrix(at) else b
+
+    result = _alloc_like(ctx, hoisted, result_t, model)
+
+    i = ctx.gensym("i")
+    lhs_e = get_elem(at.elem, a, lvar(i)) if is_matrix(at) else a
+    rhs_e = get_elem(bt.elem, b, lvar(i)) if is_matrix(bt) else b
+    body_op = "*" if op == ".*" else op
+    val = mk.binop(body_op, lhs_e, rhs_e)
+    hoisted.append(for_loop(i, ilit(0), call_n("rt_size", [model]), [
+        set_elem(result_t.elem, lvar(result), lvar(i), val),
+    ]))
+    note_matrix_temp(ctx, result)
+    return hoisted, lvar(result)
+
+
+def _alloc_like(ctx, hoisted, result_t: TMatrix, model: Node) -> str:
+    dims = [rt_dim_n(model, k) for k in range(result_t.rank)]
+    name = ctx.gensym("ew")
+    _note_gensym_type(ctx, name, "rt_mat *")
+    hoisted.append(mk.declInit(
+        mk.tRaw("rt_mat *"), name, alloc_node(result_t.elem, result_t.rank, dims)
+    ))
+    return name
+
+
+def _matmul_lowpair(n: DecoratedNode, ctx, result_t: TMatrix):
+    """True rank-2 matrix multiplication (the paper's linear-algebra `*`)."""
+    hoisted: list[Node] = []
+    ahs, alow = n.child(1).att("lowpair")
+    bhs, blow = n.child(2).att("lowpair")
+    hoisted.extend(ahs)
+    hoisted.extend(bhs)
+    a = as_var(ctx, hoisted, alow, "ma", "rt_mat *")
+    b = as_var(ctx, hoisted, blow, "mb", "rt_mat *")
+    hoisted.append(mk.exprStmt(call_n(
+        "rt_matmul_check", [a, b])))
+
+    m_d = as_var(ctx, hoisted, rt_dim_n(a, 0), "m", LONG)
+    k_d = as_var(ctx, hoisted, rt_dim_n(a, 1), "k", LONG)
+    n_d = as_var(ctx, hoisted, rt_dim_n(b, 1), "n", LONG)
+    result = ctx.gensym("mm")
+    _note_gensym_type(ctx, result, "rt_mat *")
+    hoisted.append(mk.declInit(
+        mk.tRaw("rt_mat *"), result, alloc_node(result_t.elem, 2, [m_d, n_d])
+    ))
+
+    at: TMatrix = n.child(1).att("typerep")
+    bt: TMatrix = n.child(2).att("typerep")
+    i, j, k = ctx.gensym("i"), ctx.gensym("j"), ctx.gensym("k")
+    ctype = "float" if str(result_t.elem) == "float" else "int"
+    acc, acc_decl = ldecl(ctx, "acc", ilit(0), ctype)
+    inner_update = mk.exprStmt(mk.assign(
+        lvar(acc),
+        mk.binop("+", lvar(acc), mk.binop(
+            "*",
+            get_elem(at.elem, a, mk.binop("+", mk.binop("*", lvar(i), k_d), lvar(k))),
+            get_elem(bt.elem, b, mk.binop("+", mk.binop("*", lvar(k), n_d), lvar(j))),
+        )),
+    ))
+    body = [
+        acc_decl,
+        for_loop(k, ilit(0), k_d, [inner_update]),
+        set_elem(result_t.elem, lvar(result),
+                 mk.binop("+", mk.binop("*", lvar(i), n_d), lvar(j)),
+                 lvar(acc)),
+    ]
+    hoisted.append(nest_loops([(i, ilit(0), m_d), (j, ilit(0), n_d)], body))
+    note_matrix_temp(ctx, result)
+    return hoisted, lvar(result)
+
+
+def unop_lowpair(n: DecoratedNode):
+    t = n.child(1).att("typerep")
+    if not is_matrix(t):
+        return None
+    ctx = n.inh("ctx")
+    ctx.need("matrix")
+    op: str = n.node.children[0]
+    result_t: TMatrix = n.att("typerep")
+    hoisted: list[Node] = []
+    hs, low = n.child(1).att("lowpair")
+    hoisted.extend(hs)
+    a = as_var(ctx, hoisted, low, "m", "rt_mat *")
+    result = _alloc_like(ctx, hoisted, result_t, a)
+    i = ctx.gensym("i")
+    val = mk.unop(op, get_elem(t.elem, a, lvar(i)))
+    hoisted.append(for_loop(i, ilit(0), call_n("rt_size", [a]), [
+        set_elem(result_t.elem, lvar(result), lvar(i), val),
+    ]))
+    note_matrix_temp(ctx, result)
+    return hoisted, lvar(result)
+
+
+def range_lowpair(n: DecoratedNode):
+    """Materialize ``a :: b`` (inclusive) into a rank-1 int matrix —
+    Fig 8 line 27: ``Matrix float <1> Line = (x1::x2) * m + b``."""
+    ctx = n.inh("ctx")
+    ctx.need("matrix")
+    hoisted: list[Node] = []
+    ahs, alow = n.child(0).att("lowpair")
+    bhs, blow = n.child(1).att("lowpair")
+    hoisted.extend(ahs)
+    hoisted.extend(bhs)
+    a = as_var(ctx, hoisted, alow, "a", LONG)
+    b = as_var(ctx, hoisted, blow, "b", LONG)
+    size = mk.binop("+", mk.binop("-", b, a), ilit(1))
+    svar = as_var(ctx, hoisted, size, "n", LONG)
+    from repro.cminus.types import INT
+
+    result = ctx.gensym("rng")
+    _note_gensym_type(ctx, result, "rt_mat *")
+    hoisted.append(mk.declInit(
+        mk.tRaw("rt_mat *"), result, alloc_node(INT, 1, [svar])
+    ))
+    i = ctx.gensym("i")
+    hoisted.append(for_loop(i, ilit(0), svar, [
+        set_elem(INT, lvar(result), lvar(i), mk.binop("+", a, lvar(i))),
+    ]))
+    note_matrix_temp(ctx, result)
+    return hoisted, lvar(result)

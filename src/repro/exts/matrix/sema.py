@@ -1,0 +1,348 @@
+"""Semantic analysis of the matrix extension (paper §III-A).
+
+Two kinds of contributions:
+
+* attribute equations on the extension's own productions (with-loops,
+  matrixMap, init, the Matrix type) — typerep/errors/defs;
+* an :class:`~repro.cminus.types.OverloadTable` type handler giving host
+  operators (arithmetic, comparison, ``*`` vs ``.*``, ``::``, indexing,
+  assignment) their matrix meanings.
+"""
+
+from __future__ import annotations
+
+from repro.ag.eval import DecoratedNode
+from repro.cminus.absyn import cons_to_list
+from repro.cminus.env import Binding
+from repro.cminus.sema import child_errors, err
+from repro.cminus.types import (
+    BOOL, ERROR, FLOAT, INT, TBool, TFloat, TInt, Type, assignable, is_error,
+)
+from repro.exts.matrix.grammar import MATRIX_AG, declare_matrix_absyn
+from repro.exts.matrix.types import (
+    TAnyMatrix, TMatrix, VALID_ELEMS, elem_unify, is_matrix,
+)
+
+ag = MATRIX_AG
+
+_installed = False
+
+ARITH_OPS = {"+", "-", "/", "%", ".*"}
+CMP_OPS = {"<", "<=", ">", ">=", "==", "!="}
+
+
+def generator_parts(gen: DecoratedNode):
+    los = cons_to_list(gen.child(0))
+    ids: list[str] = gen.node.children[2]
+    his = cons_to_list(gen.child(4))
+    return los, gen.node.children[1], ids, gen.node.children[3], his
+
+
+def install_sema() -> None:
+    global _installed
+    if _installed:
+        return
+    _installed = True
+    declare_matrix_absyn()
+    eq = ag.equation
+    inh = ag.inh_equation
+
+    # -- Matrix type expressions ------------------------------------------------
+    def tmatrix_typerep(n):
+        elem = n[0].typerep
+        rank = n.node.children[1]
+        if not isinstance(elem, VALID_ELEMS):
+            return ERROR
+        return TMatrix(elem, rank)
+
+    def tmatrix_errors(n):
+        out = child_errors(n)
+        elem = n[0].typerep
+        rank = n.node.children[1]
+        if not is_error(elem) and not isinstance(elem, VALID_ELEMS):
+            out.append(err(n, f"matrix elements must be int, bool or float, "
+                              f"not {elem}"))
+        if rank < 1 or rank > 8:
+            out.append(err(n, f"matrix rank must be between 1 and 8, got {rank}"))
+        return out
+
+    eq("tMatrix", "typerep", tmatrix_typerep)
+    eq("tMatrix", "errors", tmatrix_errors)
+
+    # -- with-loops ------------------------------------------------------------------
+    def with_ids_env(p):
+        """Generator index variables are in scope inside the Operation."""
+        gen = p.child(0)
+        ids = gen.node.children[2]
+        return p.inh("env").new_scope([Binding(i, INT, "index") for i in ids])
+
+    inh("withE", 1, "env", with_ids_env)
+
+    def withE_typerep(n):
+        op = n.child(1)
+        if op.prod == "genarrayOp":
+            shape = cons_to_list(op.child(0))
+            body_t = op.child(1).att("typerep")
+            if is_error(body_t):
+                return ERROR
+            if not isinstance(body_t, VALID_ELEMS):
+                return ERROR
+            return TMatrix(body_t, len(shape))
+        # fold
+        neutral_t = op.child(1).att("typerep")
+        body_t = op.child(2).att("typerep")
+        if is_error(neutral_t) or is_error(body_t):
+            return ERROR
+        if isinstance(neutral_t, TFloat) or isinstance(body_t, TFloat):
+            return FLOAT
+        if isinstance(neutral_t, TInt) or isinstance(body_t, TInt):
+            return INT
+        return ERROR
+
+    def withE_errors(n):
+        out = child_errors(n)
+        gen = n.child(0)
+        los, _r1, ids, _r2, his = generator_parts(gen)
+        # Paper: "The number of expressions in both the upper bound and
+        # lower bound should match the number of Id's provided, which
+        # should also match the number of dimensions in the Operation."
+        if len(los) != len(ids) or len(his) != len(ids):
+            out.append(err(n, f"with-loop generator has {len(ids)} index "
+                              f"variable(s) but bounds of length "
+                              f"{len(los)} and {len(his)}"))
+        if len(set(ids)) != len(ids):
+            out.append(err(n, "duplicate index variable in with-loop generator"))
+        for b in los + his:
+            t = b.att("typerep")
+            if not is_error(t) and not isinstance(t, (TInt, TBool)):
+                out.append(err(b, f"with-loop bound has type {t}, expected int"))
+        op = n.child(1)
+        if op.prod == "genarrayOp":
+            shape = cons_to_list(op.child(0))
+            if len(shape) != len(ids):
+                out.append(err(n, f"genarray shape has {len(shape)} dimension(s) "
+                                  f"but the generator binds {len(ids)} index "
+                                  f"variable(s)"))
+            for s in shape:
+                t = s.att("typerep")
+                if not is_error(t) and not isinstance(t, (TInt, TBool)):
+                    out.append(err(s, f"genarray shape entry has type {t}, "
+                                      f"expected int"))
+            body_t = op.child(1).att("typerep")
+            if not is_error(body_t) and not isinstance(body_t, VALID_ELEMS):
+                out.append(err(op, f"genarray element expression has type "
+                                   f"{body_t}, expected a scalar"))
+        else:
+            fold_op = op.node.children[0]
+            neutral_t = op.child(1).att("typerep")
+            body_t = op.child(2).att("typerep")
+            for t, what in [(neutral_t, "neutral element"), (body_t, "body")]:
+                if not is_error(t) and not isinstance(t, (TInt, TFloat, TBool)):
+                    out.append(err(op, f"fold {what} has type {t}, "
+                                       f"expected a numeric scalar"))
+            if fold_op in ("max", "min") and isinstance(neutral_t, TBool):
+                out.append(err(op, f"fold operator {fold_op!r} needs numeric "
+                                   f"operands"))
+        return out
+
+    eq("withE", "typerep", withE_typerep)
+    eq("withE", "errors", withE_errors)
+
+    # -- matrixMap ------------------------------------------------------------------------
+    def mm_parts(n):
+        fname = n.node.children[0]
+        dims = cons_to_list(n.child(2))
+        return fname, n.child(1), dims
+
+    def matrixmap_typerep(n):
+        fname, m, dims = mm_parts(n)
+        t = m.att("typerep")
+        # Result is "always the same size and rank as the matrix getting
+        # mapped over" (§III-A.5); the element type follows the mapped
+        # function's return type (Fig 4 maps float SSH to int labels).
+        if not isinstance(t, TMatrix):
+            return ERROR
+        from repro.cminus.types import TFunc
+        b = n.inh("env").lookup(fname)
+        if b is not None and isinstance(b.type, TFunc) and isinstance(b.type.ret, TMatrix):
+            return TMatrix(b.type.ret.elem, t.rank)
+        return t
+
+    def matrixmap_errors(n):
+        out = child_errors(n)
+        fname, m, dims = mm_parts(n)
+        mt = m.att("typerep")
+        if not isinstance(mt, TMatrix):
+            if not is_error(mt):
+                out.append(err(n, f"matrixMap over non-matrix type {mt}"))
+            return out
+        dim_vals = []
+        for d in dims:
+            if d.node.prod != "intLit":
+                out.append(err(d, "matrixMap dimensions must be integer literals"))
+                return out
+            dim_vals.append(d.node.children[0])
+        if sorted(dim_vals) != dim_vals or len(set(dim_vals)) != len(dim_vals):
+            out.append(err(n, "matrixMap dimensions must be strictly increasing"))
+        if any(d < 0 or d >= mt.rank for d in dim_vals):
+            out.append(err(n, f"matrixMap dimension out of range for rank "
+                              f"{mt.rank} matrix"))
+        if not dim_vals:
+            out.append(err(n, "matrixMap needs at least one dimension"))
+            return out
+        b = n.inh("env").lookup(fname)
+        from repro.cminus.types import TFunc
+        want = TMatrix(mt.elem, len(dim_vals))
+        if b is None:
+            out.append(err(n, f"matrixMap of undeclared function {fname!r}"))
+        elif not isinstance(b.type, TFunc):
+            out.append(err(n, f"matrixMap of non-function {fname!r}"))
+        elif (
+            len(b.type.params) != 1
+            or not assignable(b.type.params[0], want)
+            or not isinstance(b.type.ret, TMatrix)
+            or b.type.ret.rank != len(dim_vals)
+        ):
+            out.append(err(n, f"matrixMap function {fname!r} has type "
+                              f"{b.type}; expected {want} -> a rank-"
+                              f"{len(dim_vals)} matrix"))
+        return out
+
+    eq("matrixMapE", "typerep", matrixmap_typerep)
+    eq("matrixMapE", "errors", matrixmap_errors)
+
+    # -- init -----------------------------------------------------------------------------
+    def init_typerep(n):
+        return n[0].typerep
+
+    def init_errors(n):
+        out = child_errors(n)
+        t = n[0].typerep
+        if not isinstance(t, TMatrix):
+            if not is_error(t):
+                out.append(err(n, f"init of non-matrix type {t}"))
+            return out
+        dims = cons_to_list(n.child(1))
+        if len(dims) != t.rank:
+            out.append(err(n, f"init of rank-{t.rank} matrix with "
+                              f"{len(dims)} dimension(s)"))
+        for d in dims:
+            dt = d.att("typerep")
+            if not is_error(dt) and not isinstance(dt, (TInt, TBool)):
+                out.append(err(d, f"init dimension has type {dt}, expected int"))
+        return out
+
+    eq("initE", "typerep", init_typerep)
+    eq("initE", "errors", init_errors)
+
+
+# ---------------------------------------------------------------------------
+# operator overloading: the matrix meanings of host operators
+# ---------------------------------------------------------------------------
+
+def index_selector_kinds(n: DecoratedNode) -> list[tuple[str, DecoratedNode]] | None:
+    """Classify each index of an `index` node: ("scalar"|"range"|"all"|
+    "logical"|"gather", decorated index node); None if some index is
+    ill-typed."""
+    out = []
+    for idx in cons_to_list(n.child(1)):
+        if idx.prod == "idxAll":
+            out.append(("all", idx))
+        elif idx.prod == "idxRange":
+            out.append(("range", idx))
+        else:  # idxExpr
+            t = idx.child(0).att("typerep")
+            if isinstance(t, (TInt, TBool)):
+                out.append(("scalar", idx))
+            elif isinstance(t, TMatrix) and t.rank == 1 and isinstance(t.elem, TBool):
+                out.append(("logical", idx))
+            elif isinstance(t, TMatrix) and t.rank == 1 and isinstance(t.elem, TInt):
+                out.append(("gather", idx))
+            else:
+                return None
+    return out
+
+
+def matrix_type_handler(op: str, lhs: Type, rhs: Type | None, n: DecoratedNode) -> Type | None:
+    """OverloadTable type handler registered by the matrix module."""
+    # assignment compatibility, incl. the readMatrix wildcard
+    if op == "assign":
+        if isinstance(lhs, TAnyMatrix) and is_matrix(rhs):
+            return rhs
+        if isinstance(rhs, TAnyMatrix) and is_matrix(lhs):
+            return lhs
+        if isinstance(lhs, TMatrix) and isinstance(rhs, TMatrix):
+            if lhs.rank == rhs.rank and type(lhs.elem) == type(rhs.elem):
+                return lhs
+        if isinstance(lhs, TMatrix) and rhs is not None and rhs.is_scalar():
+            # slice broadcast: scores[a:b] = 0.0
+            return lhs
+        return None
+
+    if op == "::":
+        if isinstance(lhs, (TInt, TBool)) and isinstance(rhs, (TInt, TBool)):
+            return TMatrix(INT, 1)
+        return None
+
+    if op == "index":
+        if not isinstance(lhs, TMatrix):
+            return None
+        kinds = index_selector_kinds(n)
+        if kinds is None or len(kinds) != lhs.rank:
+            return None
+        kept = sum(1 for k, _ in kinds if k != "scalar")
+        return lhs.elem if kept == 0 else TMatrix(lhs.elem, kept)
+
+    if op == "unop-":
+        return None  # handled via "-" unary below
+
+    mat_l = isinstance(lhs, TMatrix)
+    mat_r = isinstance(rhs, TMatrix)
+    if not mat_l and not mat_r:
+        return None
+
+    if op in ("-", "!") and rhs is None:  # unary
+        if mat_l and op == "-" and not isinstance(lhs.elem, TBool):
+            return lhs
+        if mat_l and op == "!" and isinstance(lhs.elem, TBool):
+            return lhs
+        return None
+
+    def scalar_ok(t):
+        return t is not None and t.is_scalar()
+
+    if op in ARITH_OPS or op == "*":
+        def int_like(t):
+            return isinstance(t, (TInt, TBool))
+
+        if op == "%":
+            # elementwise modulo is integer-only (C has no float %)
+            l_elem = lhs.elem if mat_l else lhs
+            r_elem = rhs.elem if mat_r else rhs
+            if not (int_like(l_elem) and int_like(r_elem)):
+                return None
+        if mat_l and mat_r:
+            if lhs.rank != rhs.rank:
+                return None
+            if op == "*":
+                # true matrix multiplication: rank-2 only (§III-A.2)
+                if lhs.rank != 2:
+                    return None
+                return TMatrix(elem_unify(lhs.elem, rhs.elem), 2)
+            return TMatrix(elem_unify(lhs.elem, rhs.elem), lhs.rank)
+        if mat_l and scalar_ok(rhs):
+            return TMatrix(elem_unify(lhs.elem, rhs), lhs.rank)
+        if mat_r and scalar_ok(lhs):
+            return TMatrix(elem_unify(lhs, rhs.elem), rhs.rank)
+        return None
+
+    if op in CMP_OPS:
+        if mat_l and mat_r and lhs.rank == rhs.rank:
+            return TMatrix(BOOL, lhs.rank)
+        if mat_l and scalar_ok(rhs):
+            return TMatrix(BOOL, lhs.rank)
+        if mat_r and scalar_ok(lhs):
+            return TMatrix(BOOL, rhs.rank)
+        return None
+
+    return None

@@ -1,0 +1,377 @@
+"""Statement-level matrix lowerings: assignment (with with-loop fusion,
+§III-A.4), slice writes, declarations, builtin calls, matrixMap and init.
+"""
+
+from __future__ import annotations
+
+from repro.ag.eval import DecoratedNode
+from repro.ag.tree import Node
+from repro.cminus.absyn import cons_to_list
+from repro.cminus.grammar import mk
+from repro.cminus.lower import finish_stmt
+from repro.exts.matrix.lower import (
+    LONG, alloc_node, as_var, call_n, drain_marker, drain_since, for_loop,
+    genarray_lowpair, get_elem, ilit, ldecl, linear_index, lower_owned, lvar,
+    nest_loops, note_matrix_temp, parallelize_loop, rt_dim_n, set_elem,
+    _lower_selectors, _note_gensym_type,
+)
+from repro.exts.matrix.sema import index_selector_kinds
+from repro.exts.matrix.types import TAnyMatrix, TMatrix, is_matrix
+
+
+def _is_genarray_with(dn: DecoratedNode) -> bool:
+    return dn.prod == "withE" and dn.node.children[1].prod == "genarrayOp"
+
+
+# ---------------------------------------------------------------------------
+# exprStmt: assignment statements involving matrices
+# ---------------------------------------------------------------------------
+
+def exprstmt_lowered(n: DecoratedNode):
+    """Handler for host exprStmt lowering; returns None to decline."""
+    inner = n.child(0)
+    if inner.prod != "assign":
+        return None
+    lhs, rhs = inner.child(0), inner.child(1)
+    lhs_t = lhs.att("typerep")
+    rhs_t = rhs.att("typerep")
+    indexed_matrix_write = (
+        lhs.prod == "index" and is_matrix(lhs.child(0).att("typerep"))
+    )
+    if not (is_matrix(lhs_t) or is_matrix(rhs_t) or indexed_matrix_write):
+        return None
+    ctx = n.inh("ctx")
+    ctx.need("matrix")
+
+    if lhs.prod == "var":
+        name = lhs.node.children[0]
+        if _is_genarray_with(rhs) and ctx.options.fuse_assignment:
+            # Fusion (§III-A.4): the generated loops write straight into
+            # the target's storage — "move the assignment and avoid an
+            # extraneous copy".
+            hoisted, _res = genarray_lowpair(rhs, target=lvar(name))
+            return finish_stmt(n, mk.seqStmt(mk.stmt_list(hoisted)), [])
+        if _is_genarray_with(rhs):
+            # Library-style baseline: materialize a temp, then copy it
+            # into the existing storage via rt_assign_copy.
+            hoisted, temp = rhs.att("lowpair")
+            rc = getattr(ctx, "rc", None)
+            if rc is not None:
+                rc.forget_temp(temp)  # consumed by rt_assign_copy
+            stmt = mk.exprStmt(mk.assign(
+                lvar(name), call_n("rt_assign_copy", [lvar(name), temp])))
+            return finish_stmt(n, mk.seqStmt(mk.stmt_list(list(hoisted) + [stmt])), [])
+        # General matrix assignment: reference semantics with refcounts —
+        # take ownership of the rhs, drop the old referent.
+        hoisted, owned = lower_owned(ctx, rhs)
+        stmts = list(hoisted)
+        rc = getattr(ctx, "rc", None)
+        if rc is not None:
+            rc.forget_temp(owned)
+            stmts.append(rc.dec_stmt(lvar(name)))
+        if isinstance(rhs_t, TAnyMatrix) and isinstance(lhs_t, TMatrix):
+            owned_var = as_var(ctx, stmts, owned, "rm", "rt_mat *")
+            stmts.append(_rank_check(owned_var, lhs_t))
+            owned = owned_var
+        stmts.append(mk.exprStmt(mk.assign(lvar(name), owned)))
+        return finish_stmt(n, mk.seqStmt(mk.stmt_list(stmts)), [])
+
+    if indexed_matrix_write:
+        return _lower_slice_write(n, lhs, rhs, ctx)
+
+    return None
+
+
+def _rank_check(var: Node, t: TMatrix) -> Node:
+    return mk.exprStmt(call_n(
+        "rt_check_rank", [var, ilit(t.rank), ilit(1 if str(t.elem) == "float" else 0)]
+    ))
+
+
+def _lower_slice_write(n: DecoratedNode, lhs: DecoratedNode, rhs: DecoratedNode, ctx):
+    """scores[beginning::i] = computeArea(trough);  /  m[i,j] = v;  /
+    labels[mask, :] = 0;"""
+    base_t: TMatrix = lhs.child(0).att("typerep")
+    hoisted: list[Node] = []
+    bhs, blow = lhs.child(0).att("lowpair")
+    hoisted.extend(bhs)
+    bvar = as_var(ctx, hoisted, blow, "m", "rt_mat *")
+
+    kinds = index_selector_kinds(lhs)
+    sels = _lower_selectors(lhs, kinds, bvar, ctx, hoisted)
+    rhs_t = rhs.att("typerep")
+
+    if all(s["kind"] == "scalar" for s in sels):
+        # plain element write
+        rhs_hs, rhs_low = rhs.att("lowpair")
+        hoisted.extend(rhs_hs)
+        coords = [s["expr"] for s in sels]
+        stmt = set_elem(base_t.elem, bvar,
+                        linear_index(bvar, coords, base_t.rank), rhs_low)
+        return finish_stmt(n, mk.seqStmt(mk.stmt_list(hoisted + [stmt])), [])
+
+    kept = [s for s in sels if s["kind"] != "scalar"]
+    rvars = [ctx.gensym("r") for _ in kept]
+    src_coords = []
+    ri = 0
+    for s in sels:
+        if s["kind"] == "scalar":
+            src_coords.append(s["expr"])
+        else:
+            src_coords.append(s["source"](lvar(rvars[ri])))
+            ri += 1
+
+    if is_matrix(rhs_t):
+        mark = drain_marker(ctx)
+        rhs_hs, rhs_low = rhs.att("lowpair")
+        hoisted.extend(rhs_hs)
+        rvar_m = as_var(ctx, hoisted, rhs_low, "src", "rt_mat *")
+        # the selected block and the rhs must agree elementwise
+        for k2, s in enumerate(kept):
+            hoisted.append(mk.exprStmt(call_n(
+                "rt_require_dim", [rvar_m, ilit(k2), s["size"]])))
+        value = get_elem(rhs_t.elem, rvar_m,
+                         linear_index(rvar_m, [lvar(r) for r in rvars], len(kept)))
+        cleanup = drain_since(ctx, mark)
+    else:
+        rhs_hs, rhs_low = rhs.att("lowpair")
+        hoisted.extend(rhs_hs)
+        sv = as_var(ctx, hoisted, rhs_low, "sv",
+                    "float" if str(base_t.elem) == "float" else "int")
+        value = sv  # broadcast scalar
+        cleanup = []
+
+    inner = [set_elem(base_t.elem, bvar,
+                      linear_index(bvar, src_coords, base_t.rank), value)]
+    loop = nest_loops(
+        [(rvars[k], ilit(0), kept[k]["size"]) for k in range(len(kept))], inner
+    )
+    stmts = hoisted + [loop] + cleanup
+    return finish_stmt(n, mk.seqStmt(mk.stmt_list(stmts)), [])
+
+
+# ---------------------------------------------------------------------------
+# declInit of matrix type
+# ---------------------------------------------------------------------------
+
+def declinit_lowered(n: DecoratedNode):
+    t = n.child(0).att("typerep")
+    if not is_matrix(t):
+        return None
+    ctx = n.inh("ctx")
+    ctx.need("matrix")
+    name = n.node.children[1]
+    rhs = n.child(2)
+    rhs_t = rhs.att("typerep")
+
+    hoisted, owned = lower_owned(ctx, rhs)
+    stmts = list(hoisted)
+    rc = getattr(ctx, "rc", None)
+    if rc is not None:
+        rc.forget_temp(owned)  # the declared variable takes ownership
+    if isinstance(rhs_t, TAnyMatrix) and isinstance(t, TMatrix):
+        owned = as_var(ctx, stmts, owned, "rm", "rt_mat *")
+        stmts.append(_rank_check(owned, t))
+    stmts.append(mk.declInit(mk.tRaw("rt_mat *"), name, owned))
+    return finish_stmt(n, mk.seqStmt(mk.stmt_list(stmts)), [])
+
+
+# ---------------------------------------------------------------------------
+# calls: builtins + user functions returning matrices
+# ---------------------------------------------------------------------------
+
+_BUILTIN_RENAME = {"dimSize": "rt_dim"}
+_IO_BUILTINS = {"readMatrix", "writeMatrix"}
+
+
+def call_lowpair(n: DecoratedNode):
+    name = n.node.children[0]
+    ctx = n.inh("ctx")
+    ret_t = n.att("typerep")
+    interesting = (
+        name in _BUILTIN_RENAME
+        or name in _IO_BUILTINS
+        or is_matrix(ret_t)
+        or any(is_matrix(a.att("typerep")) for a in cons_to_list(n.child(1)))
+    )
+    if not interesting:
+        return None
+    ctx.need("matrix")
+    if name in _IO_BUILTINS:
+        ctx.need("io")
+
+    hoisted: list[Node] = []
+    args: list[Node] = []
+    for a in cons_to_list(n.child(1)):
+        hs, low = a.att("lowpair")
+        hoisted.extend(hs)
+        args.append(low)
+    call = mk.call(_BUILTIN_RENAME.get(name, name), mk.expr_list(args))
+
+    if is_matrix(ret_t):
+        # call results are owned references: bind and register the temp
+        tmp = ctx.gensym("call")
+        _note_gensym_type(ctx, tmp, "rt_mat *")
+        hoisted.append(mk.declInit(mk.tRaw("rt_mat *"), tmp, call))
+        note_matrix_temp(ctx, tmp)
+        return hoisted, lvar(tmp)
+    return hoisted, call
+
+
+# ---------------------------------------------------------------------------
+# init(Matrix T <r>, dims...)
+# ---------------------------------------------------------------------------
+
+def init_lowpair(n: DecoratedNode):
+    ctx = n.inh("ctx")
+    ctx.need("matrix")
+    t: TMatrix = n.att("typerep")
+    hoisted: list[Node] = []
+    dims = []
+    for d in cons_to_list(n.child(1)):
+        hs, low = d.att("lowpair")
+        hoisted.extend(hs)
+        dims.append(low)
+    tmp = ctx.gensym("init")
+    _note_gensym_type(ctx, tmp, "rt_mat *")
+    hoisted.append(mk.declInit(mk.tRaw("rt_mat *"), tmp,
+                               alloc_node(t.elem, t.rank, dims)))
+    note_matrix_temp(ctx, tmp)
+    return hoisted, lvar(tmp)
+
+
+# ---------------------------------------------------------------------------
+# matrixMap (§III-A.5)
+# ---------------------------------------------------------------------------
+
+def matrixmap_lowpair(n: DecoratedNode):
+    """matrixMap(f, m, [d...]): apply f to every [d...]-slice of m.
+
+    The per-outer-point body is lifted into a new function so the pool's
+    worker threads "can get direct access to it" (paper), then launched
+    over the linearized space of non-mapped dimensions.
+    """
+    ctx = n.inh("ctx")
+    ctx.need("matrix")
+    fname: str = n.node.children[0]
+    mt: TMatrix = n.child(1).att("typerep")
+    result_t: TMatrix = n.att("typerep")  # elem may differ (Fig 4)
+    map_dims = [d.node.children[0] for d in cons_to_list(n.child(2))]
+    outer_dims = [d for d in range(mt.rank) if d not in map_dims]
+
+    hoisted: list[Node] = []
+    mhs, mlow = n.child(1).att("lowpair")
+    hoisted.extend(mhs)
+    mvar = as_var(ctx, hoisted, mlow, "mm", "rt_mat *")
+
+    result = ctx.gensym("map")
+    _note_gensym_type(ctx, result, "rt_mat *")
+    hoisted.append(mk.declInit(
+        mk.tRaw("rt_mat *"), result,
+        alloc_node(result_t.elem, mt.rank,
+                   [rt_dim_n(mvar, k) for k in range(mt.rank)]),
+    ))
+
+    # total outer iterations
+    total: Node = ilit(1)
+    for d in outer_dims:
+        total = mk.binop("*", total, rt_dim_n(mvar, d))
+    tvar_name, tdecl = ldecl(ctx, "total", total, LONG)
+    hoisted.append(tdecl)
+
+    body_stmts = _matrixmap_body(ctx, fname, mvar, lvar(result), mt, result_t,
+                                 map_dims, outer_dims)
+    t = ctx.gensym("t")
+    loop = for_loop(t, ilit(0), lvar(tvar_name), body_stmts(lvar(t)))
+    if ctx.options.parallelize and outer_dims:
+        loop = parallelize_loop(loop, n, ctx, hint="mmap")
+    if not outer_dims:
+        # mapping over every dimension: a single application
+        loop = mk.block(mk.stmt_list(body_stmts(ilit(0))))
+    hoisted.append(loop)
+    note_matrix_temp(ctx, result)
+    return hoisted, lvar(result)
+
+
+def _matrixmap_body(ctx, fname, mvar, result, mt: TMatrix, result_t: TMatrix,
+                    map_dims, outer_dims):
+    """Build the per-outer-point statements as a function of the linear
+    outer index expression (so it can sit inside a loop or stand alone)."""
+
+    def build(t_expr: Node) -> list[Node]:
+        stmts: list[Node] = []
+        # decompose t into outer coordinates (row-major over outer dims)
+        coord: dict[int, Node] = {}
+        rem_name, rem_decl = ldecl(ctx, "rem", t_expr, LONG)
+        stmts.append(rem_decl)
+        rem: Node = lvar(rem_name)
+        for idx, d in enumerate(outer_dims):
+            if idx == len(outer_dims) - 1:
+                coord[d] = rem
+            else:
+                # stride = product of later outer dims
+                stride: Node = ilit(1)
+                for d2 in outer_dims[idx + 1:]:
+                    stride = mk.binop("*", stride, rt_dim_n(mvar, d2))
+                s_name, s_decl = ldecl(ctx, "st", stride, LONG)
+                stmts.append(s_decl)
+                c_name, c_decl = ldecl(ctx, "c", mk.binop("/", rem, lvar(s_name)), LONG)
+                stmts.append(c_decl)
+                r_name, r_decl = ldecl(ctx, "rm2", mk.binop("%", rem, lvar(s_name)), LONG)
+                stmts.append(r_decl)
+                coord[d] = lvar(c_name)
+                rem = lvar(r_name)
+
+        # materialize the slice over the mapped dimensions
+        slice_name = ctx.gensym("slice")
+        _note_gensym_type(ctx, slice_name, "rt_mat *")
+        stmts.append(mk.declInit(
+            mk.tRaw("rt_mat *"), slice_name,
+            alloc_node(mt.elem, len(map_dims),
+                       [rt_dim_n(mvar, d) for d in map_dims]),
+        ))
+        svars = [ctx.gensym("s") for _ in map_dims]
+        for i, d in enumerate(map_dims):
+            coord[d] = lvar(svars[i])
+        full = [coord[d] for d in range(mt.rank)]
+        copy_in = [set_elem(
+            mt.elem, lvar(slice_name),
+            linear_index(lvar(slice_name), [lvar(s) for s in svars], len(map_dims)),
+            get_elem(mt.elem, mvar, linear_index(mvar, full, mt.rank)),
+        )]
+        stmts.append(nest_loops(
+            [(svars[i], ilit(0), rt_dim_n(mvar, map_dims[i]))
+             for i in range(len(map_dims))],
+            copy_in,
+        ))
+
+        # apply the function
+        rslice_name = ctx.gensym("rs")
+        _note_gensym_type(ctx, rslice_name, "rt_mat *")
+        stmts.append(mk.declInit(
+            mk.tRaw("rt_mat *"), rslice_name,
+            call_n(fname, [lvar(slice_name)]),
+        ))
+        stmts.append(mk.exprStmt(call_n(
+            "rt_shape_check",
+            [lvar(rslice_name), lvar(slice_name), mk.strLit("matrixMap")])))
+
+        # copy the result back (the function's element type, Fig 4)
+        copy_out = [set_elem(
+            result_t.elem, result,
+            linear_index(result, full, mt.rank),
+            get_elem(result_t.elem, lvar(rslice_name),
+                     linear_index(lvar(rslice_name), [lvar(s) for s in svars],
+                                  len(map_dims))),
+        )]
+        stmts.append(nest_loops(
+            [(svars[i], ilit(0), rt_dim_n(mvar, map_dims[i]))
+             for i in range(len(map_dims))],
+            copy_out,
+        ))
+        # free the per-point temporaries
+        stmts.append(mk.exprStmt(call_n("rc_dec", [lvar(slice_name)])))
+        stmts.append(mk.exprStmt(call_n("rc_dec", [lvar(rslice_name)])))
+        return stmts
+
+    return build

@@ -1,0 +1,218 @@
+"""Reference-counting pointers (paper §III-B) — automatic memory management.
+
+"We attach an extra 4 bytes to every piece of memory that gets allocated
+... if another variable also becomes a reference ... increment ... anytime
+a variable goes out of scope, or gets assigned a new piece of data ...
+decrement ... if a reference counter ever reaches zero, then we free."
+
+The extension is generic over *managed* types (``Type.managed``); the
+matrix extension builds its matrices on top of it (§III-C).  The
+:class:`RefcountHooks` object installed on the compile context implements
+the ownership discipline:
+
+* every expression of managed type evaluates to an **owned** reference,
+  except a bare variable read, which is **borrowed**;
+* assignments/declarations take ownership (incrementing borrowed values,
+  decrementing the overwritten referent);
+* owned temporaries not consumed by the end of their statement are
+  decremented then (``drain_stmt_temps``);
+* scope exit decrements every managed local of the scope; ``return``
+  decrements all function-scope locals after securing the return value;
+  ``break``/``continue`` decrement scopes down to the loop boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.ag.core import AGSpec
+from repro.ag.eval import DecoratedNode
+from repro.ag.tree import Node
+from repro.cminus.grammar import mk
+from repro.cminus.types import Type
+from repro.driver import LanguageModule
+from repro.grammar.cfg import GrammarSpec
+
+__all__ = ["RefcountHooks", "refcount_module"]
+
+
+@dataclass
+class _Frame:
+    kind: str  # "func" | "block" | "loop"
+    names: list[str] = field(default_factory=list)
+
+
+class RefcountHooks:
+    """Installed as ``ctx.rc``; consulted by host and matrix lowerings."""
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.frames: list[_Frame] = []
+        self.stmt_temps: list[str] = []
+        ctx.need("refcount")
+
+    # -- classification ------------------------------------------------------
+
+    def is_managed(self, t: Type | None) -> bool:
+        return t is not None and t.managed
+
+    # -- primitive statements ---------------------------------------------------
+
+    def inc_stmt(self, expr: Node) -> Node:
+        return mk.exprStmt(mk.call("rc_inc", mk.expr_list([expr])))
+
+    def dec_stmt(self, expr: Node) -> Node:
+        return mk.exprStmt(mk.call("rc_dec", mk.expr_list([expr])))
+
+    # -- owned temporaries --------------------------------------------------------
+
+    def note_temp(self, name: str) -> None:
+        self.stmt_temps.append(name)
+
+    def forget_temp(self, node_or_name) -> None:
+        name = node_or_name.children[0] if isinstance(node_or_name, Node) else node_or_name
+        if name in self.stmt_temps:
+            self.stmt_temps.remove(name)
+
+    def drain_stmt_temps(self) -> list[Node]:
+        out = [self.dec_stmt(mk.var(t)) for t in self.stmt_temps]
+        self.stmt_temps.clear()
+        return out
+
+    def owned(self, dn: DecoratedNode) -> tuple[list[Node], Node]:
+        """Lower ``dn`` to an owned reference: (hoisted_stmts, expr)."""
+        hs, low = dn.att("lowpair")
+        hs = list(hs)
+        if low.prod == "var":
+            if low.children[0] in self.stmt_temps:
+                self.forget_temp(low)  # transfer ownership of the temp
+            else:
+                hs.append(self.inc_stmt(low))  # borrowed -> owned
+        return hs, low
+
+    # -- scopes ---------------------------------------------------------------------
+
+    def push_frame(self, kind: str) -> _Frame:
+        f = _Frame(kind)
+        self.frames.append(f)
+        return f
+
+    def pop_frame(self) -> _Frame:
+        return self.frames.pop()
+
+    def track_local(self, name: str) -> None:
+        if self.frames:
+            self.frames[-1].names.append(name)
+
+    def _dec_frames(self, frames: list[_Frame]) -> list[Node]:
+        out = []
+        for f in reversed(frames):
+            for name in reversed(f.names):
+                out.append(self.dec_stmt(mk.var(name)))
+        return out
+
+    def scope_exit_decs(self, *, upto: str) -> list[Node]:
+        """Decrements for frames from innermost up to (and including, for
+        "func") the nearest frame of the given kind."""
+        selected: list[_Frame] = []
+        for f in reversed(self.frames):
+            selected.append(f)
+            if upto == "func" and f.kind == "func":
+                break
+            if upto == "loop" and f.kind == "loop":
+                break
+        return self._dec_frames(list(reversed(selected)))
+
+    # -- statement-level lowerings called from the host ---------------------------------
+
+    def lower_funcdef(self, n: DecoratedNode) -> Node:
+        from repro.cminus.lower import rebuild_generic
+
+        self.push_frame("func")
+        try:
+            return rebuild_generic(n)
+        finally:
+            self.pop_frame()
+
+    def lower_block(self, n: DecoratedNode) -> Node:
+        """Lower a block, tracking managed locals and freeing them at the
+        end of the scope."""
+        parent = n.parent
+        is_loop_body = parent is not None and (
+            (parent.prod == "whileStmt" and n.child_index == 1)
+            or (parent.prod == "doWhile" and n.child_index == 0)
+            or (parent.prod == "forStmt" and n.child_index == 3)
+        )
+        frame = self.push_frame("loop" if is_loop_body else "block")
+        try:
+            stmts = []
+            sl = n.child(0)
+            while len(sl.node.children) == 2:
+                stmt = sl.child(0)
+                stmts.append(stmt.att("lowered"))
+                if stmt.prod in ("decl", "declInit"):
+                    if self.is_managed(stmt.child(0).att("typerep")):
+                        self.track_local(stmt.node.children[1])
+                sl = sl.child(1)
+            stmts.extend(self._dec_frames([frame]))
+            return mk.block(mk.stmt_list(stmts))
+        finally:
+            self.pop_frame()
+
+    def lower_breakish(self, n: DecoratedNode) -> Node:
+        decs = self.scope_exit_decs(upto="loop")
+        terminal = Node(n.prod, [], n.span)
+        if not decs:
+            return terminal
+        return mk.seqStmt(mk.stmt_list(decs + [terminal]))
+
+    def lower_return(self, n: DecoratedNode) -> Node:
+        from repro.codegen.ctypemap import ctype_of
+
+        ctx = self.ctx
+        rett = n.inh("fun_ret")
+        hs, val = n.child(0).att("lowpair")
+        stmts: list[Node] = list(hs)
+
+        needs_temp = bool(self.frames and any(f.names for f in self.frames)) \
+            or bool(self.stmt_temps) or self.is_managed(rett)
+        if needs_temp and val.prod != "var":
+            tmp = ctx.gensym("ret")
+            stmts.append(mk.declInit(mk.tRaw(ctype_of(rett, ctx)), tmp, val))
+            val = mk.var(tmp)
+        if self.is_managed(rett):
+            name = val.children[0]
+            if name in self.stmt_temps:
+                self.forget_temp(name)  # call result: already owned
+            else:
+                stmts.append(self.inc_stmt(val))  # returning a local/param
+        stmts.extend(self.drain_stmt_temps())
+        stmts.extend(self.scope_exit_decs(upto="func"))
+        stmts.append(mk.returnStmt(val))
+        if len(stmts) == 1:
+            return stmts[0]
+        return mk.seqStmt(mk.stmt_list(stmts))
+
+    def lower_return_void(self, n: DecoratedNode) -> Node:
+        stmts = self.drain_stmt_temps() + self.scope_exit_decs(upto="func")
+        if not stmts:
+            return mk.returnVoid()
+        return mk.seqStmt(mk.stmt_list(stmts + [mk.returnVoid()]))
+
+
+def _install_hooks(ctx) -> None:
+    ctx.rc = RefcountHooks(ctx)
+
+
+@lru_cache(maxsize=1)
+def refcount_module() -> LanguageModule:
+    """The refcount extension adds no syntax — it contributes the runtime
+    and the ownership lowering hooks (general-purpose extension, §III-B)."""
+    return LanguageModule(
+        name="refcount",
+        grammar=GrammarSpec("refcount"),
+        ag=AGSpec("refcount"),
+        context_hooks=[_install_hooks],
+        runtime_features=("refcount",),
+    )

@@ -1,0 +1,164 @@
+"""The explicit program transformation and optimization extension (§V).
+
+Gives the programmer Halide/CHiLL-style control over the for-loops
+generated from with-loops: split, vectorize, parallelize, reorder,
+interchange, unroll, and tile (the paper's "two splits and a reorder").
+Layered on the matrix extension (its bridge production extends the matrix
+extension's ``TransformOpt`` nonterminal).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ag.eval import DecoratedNode
+from repro.ag.tree import Node
+from repro.cminus.grammar import mk
+from repro.driver import LanguageModule
+from repro.exts.transform.grammar import (
+    TRANSFORM_AG, Clause, Interchange, Parallelize, Reorder, Split, Tile,
+    Unroll, Vectorize, build_transform_grammar, declare_transform_absyn,
+)
+from repro.exts.transform.loopxf import (
+    TransformError, apply_interchange, apply_parallelize, apply_reorder,
+    apply_split, apply_tile, apply_unroll,
+)
+from repro.exts.transform.vectorize import apply_vectorize
+
+__all__ = [
+    "Clause", "Interchange", "Parallelize", "Reorder", "Split", "Tile",
+    "TransformError", "Unroll", "Vectorize", "transform_module",
+]
+
+_installed = False
+
+
+# Clause-application registry.  §V: "new transformation specifications can
+# be easily added, in the same way in which new independently-developed
+# language extensions are added to the host language" — an independent
+# module registers its clause type here and its concrete syntax on the
+# Clause nonterminal (see repro.exts.unrolljam for a worked example).
+#
+# An applier takes (nest, clause, ctx) and returns either the transformed
+# nest or a (nest, hoisted_stmts) pair.
+ClauseApplier = "Callable[[Node, Clause, object], Node | tuple[Node, list[Node]]]"
+
+_APPLIERS: dict[type, object] = {}
+
+
+def register_clause(clause_type: type, applier) -> None:
+    """Register the applier for a clause dataclass (extension hook)."""
+    if clause_type in _APPLIERS:
+        raise TransformError(f"clause type {clause_type.__name__} already registered")
+    _APPLIERS[clause_type] = applier
+
+
+register_clause(Split, apply_split)
+register_clause(Parallelize, apply_parallelize)
+register_clause(Reorder, lambda nest, c, ctx: apply_reorder(nest, c.order, ctx))
+register_clause(Interchange, apply_interchange)
+register_clause(Unroll, apply_unroll)
+register_clause(Tile, apply_tile)
+register_clause(Vectorize,
+                lambda nest, c, ctx: apply_vectorize(nest, c.target, ctx))
+
+
+def apply_clauses(nest: Node, clauses: tuple[Clause, ...], ctx) -> Node:
+    """Apply clauses in program order (§V: "applying the transformations
+    in the order in which they appear")."""
+    hoisted: list[Node] = []
+    for clause in clauses:
+        applier = _APPLIERS.get(type(clause))
+        if applier is None:
+            raise TransformError(f"no applier registered for clause "
+                                 f"{type(clause).__name__}")
+        result = applier(nest, clause, ctx)
+        if isinstance(result, tuple):
+            nest, splats = result
+            hoisted.extend(splats)
+        else:
+            nest = result
+    if hoisted:
+        return mk.seqStmt(mk.stmt_list(hoisted + [nest]))
+    return nest
+
+
+def _loop_transformer(loop: Node, xform_dn: DecoratedNode, with_dn: DecoratedNode, ctx) -> Node:
+    clauses: tuple[Clause, ...] = xform_dn.node.children[0]
+    try:
+        return apply_clauses(loop, clauses, ctx)
+    except TransformError as e:
+        raise TransformError(f"{with_dn.span.start}: {e}") from e
+
+
+def _install_equations() -> None:
+    global _installed
+    if _installed:
+        return
+    _installed = True
+    declare_transform_absyn()
+    ag = TRANSFORM_AG
+
+    def transforms_errors(n: DecoratedNode):
+        """Static check (§V): "the loop indices in the transformations
+        correspond to loops in the code being transformed"."""
+        out: list[str] = []
+        with_node = n.parent
+        if with_node is None or with_node.prod != "withE":
+            return out
+        known = set(with_node.child(0).node.children[2])  # generator ids
+        clauses: tuple[Clause, ...] = n.node.children[0]
+        loc = n.span.start
+        for clause in clauses:
+            if isinstance(clause, Split):
+                if clause.target not in known:
+                    out.append(f"{loc}: error: split of unknown loop index "
+                               f"{clause.target!r}")
+                known.discard(clause.target)
+                known |= {clause.inner, clause.outer}
+            elif isinstance(clause, Tile):
+                for t in (clause.a, clause.b):
+                    if t not in known:
+                        out.append(f"{loc}: error: tile of unknown loop index {t!r}")
+                known |= {clause.a + "_in", clause.a + "_out",
+                          clause.b + "_in", clause.b + "_out"}
+                known -= {clause.a, clause.b}
+            elif isinstance(clause, Reorder):
+                for t in clause.order:
+                    if t not in known:
+                        out.append(f"{loc}: error: reorder of unknown loop index {t!r}")
+            elif isinstance(clause, Interchange):
+                for t in (clause.a, clause.b):
+                    if t not in known:
+                        out.append(f"{loc}: error: interchange of unknown loop "
+                                   f"index {t!r}")
+            elif hasattr(clause, "check_indices"):
+                # extension-supplied clauses (§V extensibility) validate
+                # themselves against the known index set
+                for msg in clause.check_indices(known):
+                    out.append(f"{loc}: error: {msg}")
+            else:
+                target = clause.target
+                if target not in known:
+                    out.append(f"{loc}: error: {type(clause).__name__.lower()} "
+                               f"of unknown loop index {target!r}")
+        return out
+
+    ag.equation("transforms", "errors", transforms_errors)
+
+
+def _context_hook(ctx) -> None:
+    ctx.loop_transformer = _loop_transformer
+
+
+@lru_cache(maxsize=1)
+def transform_module() -> LanguageModule:
+    _install_equations()
+    return LanguageModule(
+        name="transform",
+        grammar=build_transform_grammar(),
+        ag=TRANSFORM_AG,
+        context_hooks=[_context_hook],
+        requires=("matrix",),
+        runtime_features=("vector",),
+    )

@@ -1,0 +1,130 @@
+"""Concrete syntax of the explicit-transformation extension (paper §V).
+
+Layered on the matrix extension: its bridge production extends the matrix
+extension's ``TransformOpt`` nonterminal, marked by the ``transform``
+keyword (Fig 9)::
+
+    means = with([0,0] <= [i,j] < [m,n])
+            genarray([m,n], ...)
+            transform split j by 4, jin, jout.
+                      vectorize jin.
+                      parallelize i;
+
+Clauses: ``split I by N, Iin, Iout`` / ``vectorize I`` / ``parallelize I``
+/ ``reorder I, J, ...`` / ``unroll I by N`` / ``interchange I J`` /
+``tile I J by N M`` (the paper's "two splits and a reorder", packaged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ag.core import AGSpec
+from repro.grammar.cfg import GrammarSpec
+
+TRANSFORM = "transform"
+
+TRANSFORM_AG = AGSpec(TRANSFORM)
+
+_declared = False
+
+
+@dataclass(frozen=True)
+class Split:
+    target: str
+    factor: int
+    inner: str
+    outer: str
+
+
+@dataclass(frozen=True)
+class Vectorize:
+    target: str
+
+
+@dataclass(frozen=True)
+class Parallelize:
+    target: str
+
+
+@dataclass(frozen=True)
+class Reorder:
+    order: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Unroll:
+    target: str
+    factor: int
+
+
+@dataclass(frozen=True)
+class Interchange:
+    a: str
+    b: str
+
+
+@dataclass(frozen=True)
+class Tile:
+    a: str
+    b: str
+    fa: int
+    fb: int
+
+
+Clause = Split | Vectorize | Parallelize | Reorder | Unroll | Interchange | Tile
+
+
+def declare_transform_absyn() -> None:
+    global _declared
+    if _declared:
+        return
+    _declared = True
+    TRANSFORM_AG.abstract_production(
+        "transforms", "TransformOpt", ["#clauses"], origin=TRANSFORM
+    )
+
+
+def build_transform_grammar() -> GrammarSpec:
+    declare_transform_absyn()
+    g = GrammarSpec(TRANSFORM)
+    t = g.terminal
+    t("Transform", "transform", keyword=True, marking=True)
+    t("Split", "split", keyword=True)
+    t("By", "by", keyword=True)
+    t("Vectorize", "vectorize", keyword=True)
+    t("Parallelize", "parallelize", keyword=True)
+    t("Reorder", "reorder", keyword=True)
+    t("Unroll", "unroll", keyword=True)
+    t("Interchange", "interchange", keyword=True)
+    t("Tile", "tile", keyword=True)
+    t("Dot", r"\.")
+
+    p = g.production
+    ag = TRANSFORM_AG
+
+    p("TransformOpt ::= Transform ClauseList",
+      lambda c: ag.make("transforms", [tuple(c[1])]))
+    p("ClauseList ::= Clause", lambda c: [c[0]])
+    p("ClauseList ::= Clause Dot ClauseList", lambda c: [c[0]] + c[2])
+
+    p("Clause ::= Split Identifier By IntLit Comma Identifier Comma Identifier",
+      lambda c: Split(c[1].lexeme, int(c[3].lexeme), c[5].lexeme, c[7].lexeme))
+    p("Clause ::= Vectorize Identifier", lambda c: Vectorize(c[1].lexeme))
+    p("Clause ::= Parallelize Identifier", lambda c: Parallelize(c[1].lexeme))
+    # reorder takes a parenthesized index list: a bare comma-separated list
+    # would be ambiguous with the host's argument-list comma when a
+    # with-expression appears as a call argument (found by the LALR check).
+    p("Clause ::= Reorder LParen ReorderIds RParen", lambda c: Reorder(tuple(c[2])))
+    p("ReorderIds ::= Identifier Comma Identifier",
+      lambda c: [c[0].lexeme, c[2].lexeme])
+    p("ReorderIds ::= ReorderIds Comma Identifier",
+      lambda c: c[0] + [c[2].lexeme])
+    p("Clause ::= Unroll Identifier By IntLit",
+      lambda c: Unroll(c[1].lexeme, int(c[3].lexeme)))
+    p("Clause ::= Interchange Identifier Identifier",
+      lambda c: Interchange(c[1].lexeme, c[2].lexeme))
+    p("Clause ::= Tile Identifier Identifier By IntLit IntLit",
+      lambda c: Tile(c[1].lexeme, c[2].lexeme, int(c[4].lexeme), int(c[5].lexeme)))
+
+    return g

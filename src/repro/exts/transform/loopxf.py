@@ -1,0 +1,294 @@
+"""Loop-nest transformations (paper §V, Figs 9-11).
+
+These operate on the *generated host trees* the matrix extension's
+with-loop lowering produces — exactly the paper's design, where the
+transformation extension manipulates code fragments via higher-order
+attributes: "The split transformation, for example, uses these to extract
+the body of the loop, modify the appropriate index variables, and
+generate the two nested loops that replace the one being split."
+
+Canonical loop shape (produced by with-loop expansion)::
+
+    for (long i = <lo>; i < <hi>; i = i + 1) { ... }
+
+* split i by F, iin, iout — two nested loops; occurrences of ``i`` are
+  replaced by ``lo + iout*F + iin`` (just ``iout*F + iin`` when lo is 0,
+  matching Fig 10); the trip count must be divisible by F (the paper
+  "assume[s] that the dimension n is a multiple of 4"; we check at
+  runtime instead).
+* reorder / interchange — permute a perfect nest.
+* vectorize iin — widen the loop body to 128-bit 4-lane float vectors
+  (Fig 11): unit-stride accesses become vector load/store, other strides
+  become gathers, loop-invariant scalars become hoisted splats
+  ("floated above the outermost for loop").
+* parallelize i — an OpenMP ``parallel for`` pragma on the loop (Fig 11);
+  the generated C compiles with or without -fopenmp.
+* unroll i by F — body replicated F times.
+* tile i j by Fi Fj — the paper's derived transformation: "two splits and
+  a reorder".
+"""
+
+from __future__ import annotations
+
+from repro.ag.tree import Node
+from repro.cminus.grammar import mk
+from repro.cminus.lower import LoweringError
+from repro.exts.transform.grammar import (
+    Interchange, Parallelize, Split, Tile, Unroll,
+)
+
+
+class TransformError(LoweringError):
+    pass
+
+
+def ilit(v: int) -> Node:
+    return mk.intLit(v)
+
+
+# ---------------------------------------------------------------------------
+# loop nest access
+# ---------------------------------------------------------------------------
+
+def is_canonical_loop(node: Node) -> bool:
+    return (
+        node.prod == "forStmt"
+        and node.children[0].prod == "forDecl"
+        and node.children[1].prod == "binop"
+        and node.children[1].children[0] == "<"
+    )
+
+
+def loop_var(node: Node) -> str:
+    return node.children[0].children[1]
+
+
+def loop_bounds(node: Node) -> tuple[Node, Node]:
+    return node.children[0].children[2], node.children[1].children[2]
+
+
+def loop_body(node: Node) -> Node:
+    return node.children[3]
+
+
+def find_loop(tree: Node, name: str) -> Node | None:
+    for n in tree.walk():
+        if is_canonical_loop(n) and loop_var(n) == name:
+            return n
+    return None
+
+
+def substitute_var(tree: Node, name: str, replacement: Node) -> Node:
+    if tree.prod == "var" and tree.children[0] == name:
+        return replacement
+    kids = []
+    changed = False
+    for c in tree.children:
+        if isinstance(c, Node):
+            r = substitute_var(c, name, replacement)
+            changed = changed or r is not c
+            kids.append(r)
+        else:
+            kids.append(c)
+    return Node(tree.prod, kids, tree.span) if changed else tree
+
+
+def mentions_var(tree: Node, name: str) -> bool:
+    return any(
+        n.prod == "var" and n.children[0] == name for n in tree.walk()
+    )
+
+
+# ---------------------------------------------------------------------------
+# split
+# ---------------------------------------------------------------------------
+
+def apply_split(nest: Node, clause: Split, ctx) -> Node:
+    loop = find_loop(nest, clause.target)
+    if loop is None:
+        raise TransformError(f"split: no loop indexed by {clause.target!r}")
+    lo, hi = loop_bounds(loop)
+    factor = clause.factor
+    if factor < 2:
+        raise TransformError(f"split factor must be >= 2, got {factor}")
+
+    trip = mk.binop("-", hi, lo) if not _is_zero(lo) else hi
+    check = mk.exprStmt(mk.call("rt_require_divisible", mk.expr_list([
+        trip, ilit(factor), mk.strLit(f"split {clause.target}"),
+    ])))
+
+    # i := lo + iout*F + iin   (just iout*F + iin when lo == 0, as Fig 10)
+    recon = mk.binop("+", mk.binop("*", mk.var(clause.outer), ilit(factor)),
+                     mk.var(clause.inner))
+    if not _is_zero(lo):
+        recon = mk.binop("+", lo, recon)
+    body = substitute_var(loop_body(loop), clause.target, recon)
+
+    inner = Node("forStmt", [
+        Node("forDecl", [mk.tRaw("long"), clause.inner, ilit(0)]),
+        mk.binop("<", mk.var(clause.inner), ilit(factor)),
+        mk.assign(mk.var(clause.inner), mk.binop("+", mk.var(clause.inner), ilit(1))),
+        body,
+    ])
+    outer_hi = mk.binop("/", trip, ilit(factor))
+    outer = Node("forStmt", [
+        Node("forDecl", [mk.tRaw("long"), clause.outer, ilit(0)]),
+        mk.binop("<", mk.var(clause.outer), outer_hi),
+        mk.assign(mk.var(clause.outer), mk.binop("+", mk.var(clause.outer), ilit(1))),
+        mk.block(mk.stmt_list([inner])),
+    ])
+    replacement = mk.seqStmt(mk.stmt_list([check, outer]))
+    return nest.replace(loop, replacement)
+
+
+def _is_zero(node: Node) -> bool:
+    return node.prod == "intLit" and node.children[0] == 0
+
+
+# ---------------------------------------------------------------------------
+# reorder / interchange / tile
+# ---------------------------------------------------------------------------
+
+def _collect_perfect_nest(nest: Node, names: list[str]) -> tuple[list[Node], list[Node]]:
+    """The loops named in ``names`` must form a perfect prefix nest in
+    their current order somewhere inside ``nest`` (runtime-check
+    statements produced by earlier splits may sit between levels; they
+    are peeled off and returned as a loop-invariant prelude)."""
+    loops: list[Node] = []
+    prelude: list[Node] = []
+    current = find_loop(nest, _outermost_of(nest, names))
+    remaining = set(names)
+    while current is not None and loop_var(current) in remaining:
+        loops.append(current)
+        remaining.discard(loop_var(current))
+        if not remaining:
+            break
+        pre, inner = _peel_sole_loop(loop_body(current))
+        prelude.extend(pre)
+        current = inner
+    if remaining:
+        raise TransformError(
+            f"reorder: loops {sorted(remaining)} do not form a perfect nest"
+        )
+    return loops, prelude
+
+
+def _outermost_of(nest: Node, names: list[str]) -> str:
+    for n in nest.walk():
+        if is_canonical_loop(n) and loop_var(n) in names:
+            return loop_var(n)
+    raise TransformError(f"reorder: no loop named among {names}")
+
+
+def _flatten_stmts(body: Node) -> list[Node]:
+    if body.prod in ("block", "seqStmt"):
+        out: list[Node] = []
+        node = body.children[0]
+        while len(node.children) == 2:
+            out.extend(_flatten_stmts(node.children[0])
+                       if node.children[0].prod == "seqStmt"
+                       else [node.children[0]])
+            node = node.children[1]
+        return out
+    return [body]
+
+
+def _peel_sole_loop(body: Node) -> tuple[list[Node], Node | None]:
+    """If the body is a single loop possibly preceded by loop-invariant
+    runtime checks (from earlier splits), return (checks, loop)."""
+    stmts = _flatten_stmts(body)
+    loops = [s for s in stmts if is_canonical_loop(s)]
+    others = [s for s in stmts if not is_canonical_loop(s)]
+    hoistable = all(
+        s.prod == "exprStmt" and s.children[0].prod == "call" for s in others
+    )
+    if len(loops) == 1 and hoistable:
+        return others, loops[0]
+    return [], None
+
+
+def apply_reorder(nest: Node, order: tuple[str, ...], ctx) -> Node:
+    loops, prelude = _collect_perfect_nest(nest, list(order))
+    current_order = [loop_var(l) for l in loops]
+    if set(current_order) != set(order):
+        raise TransformError(
+            f"reorder: nest is {current_order}, requested {list(order)}"
+        )
+    by_name = {loop_var(l): l for l in loops}
+    innermost_body = loop_body(loops[-1])
+    rebuilt = innermost_body
+    for name in reversed(order):
+        src = by_name[name]
+        rebuilt = Node("forStmt", [
+            src.children[0], src.children[1], src.children[2],
+            rebuilt if rebuilt.prod in ("block", "seqStmt")
+            else mk.block(mk.stmt_list([rebuilt])),
+        ])
+    if prelude:
+        rebuilt = mk.seqStmt(mk.stmt_list(prelude + [rebuilt]))
+    return nest.replace(loops[0], rebuilt)
+
+
+def apply_interchange(nest: Node, clause: Interchange, ctx) -> Node:
+    loops, _prelude = _collect_perfect_nest(nest, [clause.a, clause.b])
+    names = [loop_var(l) for l in loops]
+    return apply_reorder(nest, tuple(reversed(names)), ctx)
+
+
+def apply_tile(nest: Node, clause: Tile, ctx) -> Node:
+    """Tiling as the paper specifies: two splits and a reorder into
+    (a_out, b_out, a_in, b_in)."""
+    a_in, a_out = clause.a + "_in", clause.a + "_out"
+    b_in, b_out = clause.b + "_in", clause.b + "_out"
+    nest = apply_split(nest, Split(clause.a, clause.fa, a_in, a_out), ctx)
+    nest = apply_split(nest, Split(clause.b, clause.fb, b_in, b_out), ctx)
+    # The splits leave: a_out { a_in { b_out { b_in ... } } } plus the
+    # divisibility checks in seqStmts; reorder the four loops.
+    return apply_reorder(nest, (a_out, b_out, a_in, b_in), ctx)
+
+
+# ---------------------------------------------------------------------------
+# unroll
+# ---------------------------------------------------------------------------
+
+def apply_unroll(nest: Node, clause: Unroll, ctx) -> Node:
+    loop = find_loop(nest, clause.target)
+    if loop is None:
+        raise TransformError(f"unroll: no loop indexed by {clause.target!r}")
+    lo, hi = loop_bounds(loop)
+    f = clause.factor
+    if f < 2:
+        raise TransformError(f"unroll factor must be >= 2, got {f}")
+    var = loop_var(loop)
+    trip = mk.binop("-", hi, lo) if not _is_zero(lo) else hi
+    check = mk.exprStmt(mk.call("rt_require_divisible", mk.expr_list([
+        trip, ilit(f), mk.strLit(f"unroll {var}"),
+    ])))
+    bodies = []
+    for k in range(f):
+        shifted = (
+            loop_body(loop) if k == 0
+            else substitute_var(loop_body(loop), var,
+                                mk.binop("+", mk.var(var), ilit(k)))
+        )
+        bodies.append(shifted)
+    new_loop = Node("forStmt", [
+        loop.children[0],
+        loop.children[1],
+        mk.assign(mk.var(var), mk.binop("+", mk.var(var), ilit(f))),
+        mk.block(mk.stmt_list(bodies)),
+    ])
+    return nest.replace(loop, mk.seqStmt(mk.stmt_list([check, new_loop])))
+
+
+# ---------------------------------------------------------------------------
+# parallelize (OpenMP pragma, Fig 11)
+# ---------------------------------------------------------------------------
+
+def apply_parallelize(nest: Node, clause: Parallelize, ctx) -> Node:
+    loop = find_loop(nest, clause.target)
+    if loop is None:
+        raise TransformError(f"parallelize: no loop indexed by {clause.target!r}")
+    ctx.need("pool")  # stats/observability; OpenMP supplies the threads
+    pragma = Node("rawStmt", ["#pragma omp parallel for"])
+    return nest.replace(loop, mk.seqStmt(mk.stmt_list([pragma, loop])))

@@ -1,0 +1,308 @@
+"""The vectorize transformation (paper §V, Fig 10 -> Fig 11).
+
+Widens the body of a (typically split-produced) inner loop to 128-bit
+4-lane float vectors:
+
+* float temporaries become ``rt_v4f`` accumulators (the fold accumulator
+  in Fig 11);
+* loads with unit stride in the vectorized index become ``rt_vloadf``;
+  other strides become 4-element gathers (``rt_vgatherf``);
+* stores become ``rt_vstoref`` / ``rt_vscatterf``;
+* loop-invariant scalars become splats, hoisted above the loop nest when
+  they depend on no loop index at all ("floated above the outermost for
+  loop ... because they are unchanged by the loops", Fig 11).
+
+Stride analysis is a small symbolic derivative over the generated index
+expressions.  Anything outside the widenable fragment (conditionals on
+lanes, int computations that vary by lane) raises a diagnosable
+:class:`TransformError` — the paper's extension performs the analogous
+"basic semantic analysis for error checking".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ag.tree import Node
+from repro.cminus.grammar import mk
+from repro.exts.transform.loopxf import (
+    TransformError, find_loop, ilit, is_canonical_loop, loop_body,
+    loop_bounds, loop_var, mentions_var,
+)
+
+_VOP = {"+": "rt_vaddf", "-": "rt_vsubf", "*": "rt_vmulf", "/": "rt_vdivf"}
+
+LANES = 4
+
+
+@dataclass
+class _Widen:
+    var: str                       # the vectorized loop index
+    nest_vars: set[str]            # all loop indexes in the nest
+    ctx: object
+    widened: dict[str, str] = field(default_factory=dict)  # scalar -> vec var
+    hoisted: list[Node] = field(default_factory=list)      # splats above nest
+
+    # -- helpers ---------------------------------------------------------------
+
+    def lane_invariant(self, tree: Node) -> bool:
+        if mentions_var(tree, self.var):
+            return False
+        return not any(
+            n.prod == "var" and n.children[0] in self.widened
+            for n in tree.walk()
+        )
+
+    def splat(self, tree: Node) -> Node:
+        call = mk.call("rt_vsplatf", mk.expr_list([tree]))
+        if not any(mentions_var(tree, v) for v in self.nest_vars):
+            name = self.ctx.gensym("vs")
+            self.hoisted.append(mk.declInit(mk.tRaw("rt_v4f"), name, call))
+            return mk.var(name)
+        return call
+
+    # -- expressions ------------------------------------------------------------
+
+    def vec(self, tree: Node) -> Node:
+        if self.lane_invariant(tree):
+            return self.splat(tree)
+        if tree.prod == "var":
+            name = tree.children[0]
+            if name in self.widened:
+                return mk.var(self.widened[name])
+            if name == self.var:
+                return mk.call("rt_viotaf", mk.expr_list([tree]))
+            raise TransformError(
+                f"vectorize: lane-varying scalar {name!r}"
+            )  # pragma: no cover - lane_invariant covers other vars
+        if tree.prod == "binop":
+            op = tree.children[0]
+            if op not in _VOP:
+                raise TransformError(f"vectorize: cannot widen operator {op!r}")
+            return mk.call(_VOP[op], mk.expr_list([
+                self.vec(tree.children[1]), self.vec(tree.children[2]),
+            ]))
+        if tree.prod == "unop" and tree.children[0] == "-":
+            zero = self.splat(mk.floatLit(0.0))
+            return mk.call("rt_vsubf", mk.expr_list([zero, self.vec(tree.children[1])]))
+        if tree.prod == "call" and tree.children[0] in ("rt_getf", "rt_geti"):
+            args = _args(tree)
+            m, idx = args[0], args[1]
+            stride = diff(idx, self.var, self.widened)
+            if stride is None:
+                raise TransformError(
+                    "vectorize: load index is not affine in the vectorized "
+                    "loop variable"
+                )
+            if _is_lit(stride, 0):
+                return self.splat(tree)
+            if _is_lit(stride, 1):
+                return mk.call("rt_vloadf", mk.expr_list([m, idx]))
+            return mk.call("rt_vgatherf", mk.expr_list([m, idx, stride]))
+        if tree.prod == "castE":
+            return self.vec(tree.children[1])
+        raise TransformError(
+            f"vectorize: cannot widen expression node {tree.prod!r}"
+        )
+
+    # -- statements -----------------------------------------------------------------
+
+    def stmt(self, tree: Node) -> Node:
+        p = tree.prod
+        if p in ("block", "seqStmt"):
+            items = []
+            node = tree.children[0]
+            while len(node.children) == 2:
+                items.append(self.stmt(node.children[0]))
+                node = node.children[1]
+            return Node(p, [mk.stmt_list(items)], tree.span)
+        if p == "declInit":
+            ctype = tree.children[0]
+            name = tree.children[1]
+            init = tree.children[2]
+            if ctype.prod == "tRaw" and ctype.children[0] == "float":
+                vname = self.ctx.gensym(f"v_{name}")
+                self.widened[name] = vname
+                return mk.declInit(mk.tRaw("rt_v4f"), vname, self.vec(init))
+            if not self.lane_invariant(init):
+                raise TransformError(
+                    f"vectorize: lane-varying non-float temporary {name!r}"
+                )
+            return tree
+        if p == "exprStmt":
+            inner = tree.children[0]
+            if inner.prod == "assign" and inner.children[0].prod == "var":
+                name = inner.children[0].children[0]
+                if name in self.widened:
+                    return mk.exprStmt(mk.assign(
+                        mk.var(self.widened[name]), self.vec(inner.children[1])
+                    ))
+                if not self.lane_invariant(inner.children[1]):
+                    raise TransformError(
+                        f"vectorize: lane-varying assignment to scalar {name!r}"
+                    )
+                return tree
+            if inner.prod == "call" and inner.children[0] in ("rt_setf", "rt_seti"):
+                m, idx, val = _args(inner)
+                stride = diff(idx, self.var, self.widened)
+                if stride is None:
+                    raise TransformError(
+                        "vectorize: store index is not affine in the "
+                        "vectorized loop variable"
+                    )
+                if _is_lit(stride, 0):
+                    raise TransformError(
+                        "vectorize: store does not vary with the vectorized "
+                        "loop (lane write race)"
+                    )
+                if _is_lit(stride, 1):
+                    return mk.exprStmt(mk.call("rt_vstoref", mk.expr_list([
+                        m, idx, self.vec(val)])))
+                return mk.exprStmt(mk.call("rt_vscatterf", mk.expr_list([
+                    m, idx, stride, self.vec(val)])))
+            if inner.prod == "call":
+                if self.lane_invariant(inner):
+                    return tree
+                raise TransformError(
+                    f"vectorize: cannot widen call to {inner.children[0]!r}"
+                )
+            raise TransformError(
+                f"vectorize: cannot widen statement expression {inner.prod!r}"
+            )
+        if p == "forStmt":
+            # inner sequential loop (the fold's k loop in Fig 11)
+            if mentions_var(tree.children[0], self.var) or mentions_var(
+                tree.children[1], self.var
+            ):
+                raise TransformError(
+                    "vectorize: inner loop bounds vary with the vectorized index"
+                )
+            return Node("forStmt", [
+                tree.children[0], tree.children[1], tree.children[2],
+                self.stmt(tree.children[3]),
+            ], tree.span)
+        if p in ("decl", "rawStmt"):
+            return tree
+        raise TransformError(f"vectorize: cannot widen statement {p!r}")
+
+
+def _args(call: Node) -> list[Node]:
+    out = []
+    node = call.children[1]
+    while len(node.children) == 2:
+        out.append(node.children[0])
+        node = node.children[1]
+    return out
+
+
+def _is_lit(node: Node, v: int) -> bool:
+    return node.prod == "intLit" and node.children[0] == v
+
+
+# ---------------------------------------------------------------------------
+# symbolic stride: d(expr)/d(var)
+# ---------------------------------------------------------------------------
+
+def diff(tree: Node, var: str, widened: dict[str, str]) -> Node | None:
+    """Derivative of an integer index expression w.r.t. ``var``;
+    None = not affine."""
+    p = tree.prod
+    if p == "var":
+        if tree.children[0] == var:
+            return ilit(1)
+        if tree.children[0] in widened:
+            return None
+        return ilit(0)
+    if p in ("intLit", "floatLit", "boolLit", "strLit", "endE", "rawExpr"):
+        return ilit(0)
+    if p == "call":
+        # runtime geometry queries are loop-invariant
+        if tree.children[0] in ("rt_dim", "rt_size"):
+            return ilit(0)
+        return None if mentions_var(tree, var) else ilit(0)
+    if p == "binop":
+        op, a, b = tree.children
+        da, db = diff(a, var, widened), diff(b, var, widened)
+        if da is None or db is None:
+            return None
+        if op == "+":
+            return _add(da, db)
+        if op == "-":
+            return _sub(da, db)
+        if op == "*":
+            if _is_lit(da, 0):
+                return _mul(a, db)
+            if _is_lit(db, 0):
+                return _mul(da, b)
+            return None
+        if op in ("/", "%"):
+            return ilit(0) if _is_lit(da, 0) and not mentions_var(b, var) else None
+        return None
+    if p == "castE":
+        return diff(tree.children[1], var, widened)
+    if p == "unop" and tree.children[0] == "-":
+        d = diff(tree.children[1], var, widened)
+        return None if d is None else _sub(ilit(0), d)
+    return None if mentions_var(tree, var) else ilit(0)
+
+
+def _add(a: Node, b: Node) -> Node:
+    if _is_lit(a, 0):
+        return b
+    if _is_lit(b, 0):
+        return a
+    if a.prod == "intLit" and b.prod == "intLit":
+        return ilit(a.children[0] + b.children[0])
+    return mk.binop("+", a, b)
+
+
+def _sub(a: Node, b: Node) -> Node:
+    if _is_lit(b, 0):
+        return a
+    if a.prod == "intLit" and b.prod == "intLit":
+        return ilit(a.children[0] - b.children[0])
+    return mk.binop("-", a, b)
+
+
+def _mul(a: Node, b: Node) -> Node:
+    if _is_lit(a, 0) or _is_lit(b, 0):
+        return ilit(0)
+    if _is_lit(a, 1):
+        return b
+    if _is_lit(b, 1):
+        return a
+    if a.prod == "intLit" and b.prod == "intLit":
+        return ilit(a.children[0] * b.children[0])
+    return mk.binop("*", a, b)
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def apply_vectorize(nest: Node, target: str, ctx) -> tuple[Node, list[Node]]:
+    """Vectorize the loop indexed by ``target``; returns the transformed
+    nest plus splat declarations to hoist above it."""
+    loop = find_loop(nest, target)
+    if loop is None:
+        raise TransformError(f"vectorize: no loop indexed by {target!r}")
+    lo, hi = loop_bounds(loop)
+
+    nest_vars = {loop_var(n) for n in nest.walk() if is_canonical_loop(n)}
+    w = _Widen(var=target, nest_vars=nest_vars, ctx=ctx)
+    body = w.stmt(loop_body(loop))
+    ctx.need("vector")
+
+    trip = hi if _is_lit(lo, 0) else mk.binop("-", hi, lo)
+    check = mk.exprStmt(mk.call("rt_require_divisible", mk.expr_list([
+        trip, ilit(LANES), mk.strLit(f"vectorize {target}"),
+    ])))
+    var = loop_var(loop)
+    new_loop = Node("forStmt", [
+        loop.children[0],
+        loop.children[1],
+        mk.assign(mk.var(var), mk.binop("+", mk.var(var), ilit(LANES))),
+        body,
+    ], loop.span)
+    replacement = mk.seqStmt(mk.stmt_list([check, new_loop]))
+    return nest.replace(loop, replacement), w.hoisted

@@ -1,0 +1,64 @@
+"""The tuples extension (§III-B) — packaged with the host (§VI-A).
+
+The paper's punchline for tuples: their natural concrete syntax begins
+with ``(``, which is not a unique marking terminal, so the extension
+*fails* the modular determinism analysis and is therefore "packaged as
+part of the host language".  This package holds:
+
+* :func:`tuples_module` — the marker module (the working syntax and
+  semantics live in the host; see ``cminus/grammar.py`` and
+  ``cminus/lower.py``);
+* :func:`standalone_tuples_grammar` — what the extension's grammar
+  *would* look like as an independent extension; the composability
+  benchmark runs ``isComposable`` on it to reproduce the FAIL verdict;
+* :func:`marked_tuples_grammar` — the paper's suggested fix with
+  distinguishable delimiters ``(| ... |)``, which passes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ag.core import AGSpec
+from repro.cminus.types import TTuple
+from repro.driver import LanguageModule
+from repro.grammar.cfg import GrammarSpec
+
+__all__ = [
+    "TTuple",
+    "marked_tuples_grammar",
+    "standalone_tuples_grammar",
+    "tuples_module",
+]
+
+
+@lru_cache(maxsize=1)
+def tuples_module() -> LanguageModule:
+    # Marker module: everything ships inside the host (the paper's own
+    # resolution).  An empty grammar/AG composes neutrally.
+    return LanguageModule(
+        name="tuples",
+        grammar=GrammarSpec("tuples"),
+        ag=AGSpec("tuples"),
+    )
+
+
+def standalone_tuples_grammar() -> GrammarSpec:
+    """The tuples extension as it would be written independently.
+
+    Bridge production begins with the host's LParen — not a marking
+    terminal — so ``isComposable`` must reject it (paper §VI-A).
+    """
+    e = GrammarSpec("tuples-standalone")
+    e.production("Primary ::= LParen Expr Comma Args RParen")
+    e.production("BaseType ::= LParen TypeExpr Comma TypeListTail RParen")
+    return e
+
+
+def marked_tuples_grammar() -> GrammarSpec:
+    """The paper's fix: "modify the tuple terminals to be (| and |)"."""
+    e = GrammarSpec("tuples-marked")
+    e.terminal("LTup", r"\(\|", marking=True)
+    e.terminal("RTup", r"\|\)")
+    e.production("Primary ::= LTup Expr Comma Args RTup")
+    return e

@@ -1,0 +1,96 @@
+"""Unroll-and-jam as an *independently developed* transformation spec.
+
+The paper's §V closes: "An important feature here is that new
+transformation specifications can be easily added, in the same way in
+which new independently-developed language extensions are added to the
+host language."  This module is the demonstration: a third party (this
+file knows nothing the transform extension's internals don't export)
+contributes
+
+    unrolljam I J by F
+
+— unroll the outer loop ``I`` by ``F`` and jam the copies into the inner
+loop ``J``'s body — by (a) adding a bridge production on the transform
+extension's ``Clause`` nonterminal, marked by its own ``unrolljam``
+keyword (so it passes the determinism analysis layered on
+host+matrix+transform), and (b) registering a clause applier built from
+the transform extension's exported primitives (split + reorder + unroll,
+like the paper builds tile from "two splits and a reorder").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.ag.core import AGSpec
+from repro.ag.tree import Node
+from repro.driver import LanguageModule
+from repro.exts.transform import register_clause
+from repro.exts.transform.loopxf import apply_reorder, apply_split
+from repro.grammar.cfg import GrammarSpec
+
+UNROLLJAM = "unrolljam"
+
+
+@dataclass(frozen=True)
+class UnrollJam:
+    outer: str
+    inner: str
+    factor: int
+
+    def check_indices(self, known: set[str]) -> list[str]:
+        """Static index validation; mutates ``known`` with the derived
+        loop names (the protocol the transform extension's checker uses)."""
+        out = []
+        for t in (self.outer, self.inner):
+            if t not in known:
+                out.append(f"unrolljam of unknown loop index {t!r}")
+        known.discard(self.outer)
+        known.add(self.outer + "_jin")
+        known.add(self.outer + "_jout")
+        return out
+
+
+def apply_unrolljam(nest: Node, clause: UnrollJam, ctx) -> Node:
+    """unroll-and-jam = split the outer loop by F, then sink the F-wide
+    inner part *inside* the jam target: reorder (outer_out, inner,
+    outer_in).  Composed purely from the transform extension's exported
+    split/reorder, exactly the tile recipe's style."""
+    from repro.exts.transform.grammar import Split
+
+    o_in, o_out = clause.outer + "_jin", clause.outer + "_jout"
+    nest = apply_split(nest, Split(clause.outer, clause.factor, o_in, o_out), ctx)
+    return apply_reorder(nest, (o_out, clause.inner, o_in), ctx)
+
+
+_registered = False
+
+
+def _register() -> None:
+    global _registered
+    if _registered:
+        return
+    _registered = True
+    register_clause(UnrollJam, apply_unrolljam)
+
+
+def build_unrolljam_grammar() -> GrammarSpec:
+    g = GrammarSpec(UNROLLJAM)
+    g.terminal("UnrollJam", "unrolljam", keyword=True, marking=True)
+    g.production(
+        "Clause ::= UnrollJam Identifier Identifier By IntLit",
+        lambda c: UnrollJam(c[1].lexeme, c[2].lexeme, int(c[4].lexeme)),
+    )
+    return g
+
+
+@lru_cache(maxsize=1)
+def unrolljam_module() -> LanguageModule:
+    _register()
+    return LanguageModule(
+        name=UNROLLJAM,
+        grammar=build_unrolljam_grammar(),
+        ag=AGSpec(UNROLLJAM),  # no new tree shapes: clauses are plain values
+        requires=("transform",),
+    )

@@ -1,0 +1,19 @@
+"""Context-free grammar specifications, composition, and FIRST/FOLLOW sets."""
+
+from repro.grammar.cfg import (
+    START,
+    Grammar,
+    GrammarError,
+    GrammarSpec,
+    Production,
+)
+from repro.grammar.sets import GrammarSets
+
+__all__ = [
+    "Grammar",
+    "GrammarError",
+    "GrammarSpec",
+    "GrammarSets",
+    "Production",
+    "START",
+]

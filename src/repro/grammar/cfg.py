@@ -1,0 +1,173 @@
+"""Context-free grammar specifications, in the shape Silver/Copper compose.
+
+A :class:`GrammarSpec` bundles terminal declarations (with their regexes),
+productions (with semantic actions building AST nodes), and metadata the
+modular determinism analysis needs: which module declared each production
+and which terminals are *marking terminals* (the unique tokens that start
+an extension's syntax).
+
+Productions are written concretely, e.g.::
+
+    g.production("AddExpr ::= AddExpr Plus MulExpr", action=mk_add)
+    g.production("ExprList ::= Expr", action=lambda c: [c[0]])
+
+Symbol classification (terminal vs nonterminal) is deferred to
+:meth:`GrammarSpec.build`, after all compositions have happened — an
+extension's production may freely mention host nonterminals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.lexing.scanner import EOF
+from repro.lexing.terminals import TerminalSet
+
+Action = Callable[[list[Any]], Any]
+
+START = "$START"  # augmented start symbol
+
+
+@dataclass(frozen=True)
+class Production:
+    index: int
+    lhs: str
+    rhs: tuple[str, ...]
+    action: Action | None = None
+    name: str = ""
+    origin: str = "host"
+
+    def __str__(self) -> str:
+        rhs = " ".join(self.rhs) if self.rhs else "ε"
+        return f"{self.lhs} ::= {rhs}"
+
+
+def default_action(prod: Production) -> Action:
+    label = prod.name or prod.lhs
+
+    def build(children: list[Any]) -> Any:
+        return (label, *children)
+
+    return build
+
+
+class GrammarError(ValueError):
+    pass
+
+
+@dataclass
+class GrammarSpec:
+    """A host-language or extension grammar module (pre-composition)."""
+
+    name: str
+    start: str | None = None
+    terminals: TerminalSet = field(default_factory=TerminalSet)
+    raw_productions: list[tuple[str, tuple[str, ...], Action | None, str, str]] = field(
+        default_factory=list
+    )
+
+    def terminal(self, name: str, pattern: str, **kw: Any):
+        kw.setdefault("origin", self.name)
+        return self.terminals.declare(name, pattern, **kw)
+
+    def production(
+        self, rule: str, action: Action | None = None, name: str = ""
+    ) -> None:
+        """Add a production written as ``"Lhs ::= Sym1 Sym2 ..."``."""
+        if "::=" not in rule:
+            raise GrammarError(f"production missing '::=': {rule!r}")
+        lhs_text, rhs_text = rule.split("::=", 1)
+        lhs = lhs_text.strip()
+        if not lhs or " " in lhs:
+            raise GrammarError(f"malformed production lhs in {rule!r}")
+        rhs = tuple(rhs_text.split())
+        self.raw_productions.append((lhs, rhs, action, name, self.name))
+
+    def compose(self, *extensions: "GrammarSpec") -> "GrammarSpec":
+        """Compose this (host) grammar with extension grammars.
+
+        Terminal sets are merged (identical shared declarations allowed);
+        production lists are concatenated.  The start symbol is the host's.
+        """
+        out = GrammarSpec(
+            name="+".join([self.name, *(e.name for e in extensions)]),
+            start=self.start,
+        )
+        out.terminals = self.terminals
+        out.raw_productions = list(self.raw_productions)
+        for ext in extensions:
+            out.terminals = out.terminals.merge(ext.terminals)
+            out.raw_productions.extend(ext.raw_productions)
+        return out
+
+    def build(self) -> "Grammar":
+        """Resolve symbols and produce an immutable, augmented grammar."""
+        if self.start is None:
+            raise GrammarError(f"grammar {self.name!r} has no start symbol")
+        productions: list[Production] = [
+            Production(0, START, (self.start, EOF), action=lambda c: c[0], origin=self.name)
+        ]
+        seen: set[tuple[str, tuple[str, ...]]] = set()
+        for lhs, rhs, action, name, origin in self.raw_productions:
+            key = (lhs, rhs)
+            if key in seen:
+                raise GrammarError(f"duplicate production {lhs} ::= {' '.join(rhs)}")
+            seen.add(key)
+            productions.append(
+                Production(len(productions), lhs, rhs, action, name, origin)
+            )
+        return Grammar(self.name, self.start, self.terminals, tuple(productions))
+
+
+class Grammar:
+    """An immutable grammar with resolved symbol classification."""
+
+    def __init__(
+        self,
+        name: str,
+        start: str,
+        terminals: TerminalSet,
+        productions: tuple[Production, ...],
+    ):
+        self.name = name
+        self.start = start
+        self.terminal_set = terminals
+        self.productions = productions
+        self.terminals: frozenset[str] = frozenset(
+            t.name for t in terminals if not t.layout
+        ) | {EOF}
+        self.nonterminals: frozenset[str] = frozenset(p.lhs for p in productions)
+
+        overlap = self.terminals & self.nonterminals
+        if overlap:
+            raise GrammarError(f"symbols both terminal and nonterminal: {sorted(overlap)}")
+
+        self.by_lhs: dict[str, list[Production]] = {}
+        for p in productions:
+            self.by_lhs.setdefault(p.lhs, []).append(p)
+
+        undefined: set[str] = set()
+        for p in productions:
+            for sym in p.rhs:
+                if sym not in self.terminals and sym not in self.nonterminals:
+                    undefined.add(sym)
+        if undefined:
+            raise GrammarError(
+                f"undefined symbols (no terminal declaration or production): "
+                f"{sorted(undefined)}"
+            )
+        if start not in self.nonterminals:
+            raise GrammarError(f"start symbol {start!r} has no productions")
+
+    def is_terminal(self, sym: str) -> bool:
+        return sym in self.terminals
+
+    def prods_for(self, nt: str) -> list[Production]:
+        return self.by_lhs.get(nt, [])
+
+    def __repr__(self) -> str:
+        return (
+            f"Grammar({self.name}: {len(self.productions)} productions, "
+            f"{len(self.terminals)} terminals, {len(self.nonterminals)} nonterminals)"
+        )

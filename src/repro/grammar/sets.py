@@ -1,0 +1,92 @@
+"""Nullable / FIRST / FOLLOW computations (fixpoint over the grammar)."""
+
+from __future__ import annotations
+
+from repro.grammar.cfg import Grammar
+
+
+class GrammarSets:
+    """Nullable, FIRST and FOLLOW sets for a built grammar."""
+
+    def __init__(self, grammar: Grammar):
+        self.grammar = grammar
+        self.nullable: set[str] = set()
+        self.first: dict[str, set[str]] = {}
+        self.follow: dict[str, set[str]] = {}
+        self._compute_nullable()
+        self._compute_first()
+        self._compute_follow()
+
+    # -- nullable -------------------------------------------------------------
+
+    def _compute_nullable(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for p in self.grammar.productions:
+                if p.lhs in self.nullable:
+                    continue
+                if all(
+                    sym in self.nullable
+                    for sym in p.rhs
+                    if not self.grammar.is_terminal(sym)
+                ) and not any(self.grammar.is_terminal(sym) for sym in p.rhs):
+                    self.nullable.add(p.lhs)
+                    changed = True
+
+    def is_nullable_seq(self, symbols: tuple[str, ...]) -> bool:
+        return all(
+            (not self.grammar.is_terminal(s)) and s in self.nullable for s in symbols
+        )
+
+    # -- FIRST ------------------------------------------------------------------
+
+    def _compute_first(self) -> None:
+        g = self.grammar
+        for t in g.terminals:
+            self.first[t] = {t}
+        for nt in g.nonterminals:
+            self.first[nt] = set()
+        changed = True
+        while changed:
+            changed = False
+            for p in g.productions:
+                target = self.first[p.lhs]
+                before = len(target)
+                for sym in p.rhs:
+                    target |= self.first[sym]
+                    if g.is_terminal(sym) or sym not in self.nullable:
+                        break
+                if len(target) != before:
+                    changed = True
+
+    def first_of_seq(self, symbols: tuple[str, ...]) -> set[str]:
+        """FIRST of a symbol string (no epsilon marker; use is_nullable_seq)."""
+        out: set[str] = set()
+        for sym in symbols:
+            out |= self.first[sym]
+            if self.grammar.is_terminal(sym) or sym not in self.nullable:
+                break
+        return out
+
+    # -- FOLLOW -------------------------------------------------------------------
+
+    def _compute_follow(self) -> None:
+        g = self.grammar
+        for nt in g.nonterminals:
+            self.follow[nt] = set()
+        changed = True
+        while changed:
+            changed = False
+            for p in g.productions:
+                for i, sym in enumerate(p.rhs):
+                    if g.is_terminal(sym):
+                        continue
+                    target = self.follow[sym]
+                    before = len(target)
+                    rest = p.rhs[i + 1:]
+                    target |= self.first_of_seq(rest)
+                    if self.is_nullable_seq(rest):
+                        target |= self.follow[p.lhs]
+                    if len(target) != before:
+                        changed = True

@@ -1,0 +1,32 @@
+"""Lexical substrate: regexes, NFA/DFA construction, context-aware scanning.
+
+This is the reproduction of the scanning half of Copper (paper §VI-A):
+terminals are declared with regexes, compiled through Thompson NFAs and a
+subset-construction DFA, and scanned *context-aware* — restricted at each
+point to the terminals the LR parser considers valid.
+"""
+
+from repro.lexing.charset import CharSet
+from repro.lexing.regex import Regex, literal, parse_regex
+from repro.lexing.scanner import (
+    EOF,
+    ContextAwareScanner,
+    LexicalAmbiguityError,
+    ScanError,
+    Token,
+)
+from repro.lexing.terminals import Terminal, TerminalSet
+
+__all__ = [
+    "CharSet",
+    "ContextAwareScanner",
+    "EOF",
+    "LexicalAmbiguityError",
+    "Regex",
+    "ScanError",
+    "Terminal",
+    "TerminalSet",
+    "Token",
+    "literal",
+    "parse_regex",
+]

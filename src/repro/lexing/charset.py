@@ -1,0 +1,169 @@
+"""Character sets represented as sorted disjoint codepoint intervals.
+
+NFA/DFA transitions are labeled with :class:`CharSet` values rather than
+individual characters so that classes like ``[^"\\n]`` or ``.`` need not
+enumerate the alphabet.  All set algebra needed by the subset construction
+(union, intersection, difference, complement, atom partitioning) lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+MAX_CODEPOINT = 0x10FFFF
+
+
+@dataclass(frozen=True, slots=True)
+class CharSet:
+    """An immutable set of codepoints stored as disjoint inclusive intervals."""
+
+    intervals: tuple[tuple[int, int], ...] = ()
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "CharSet":
+        return _EMPTY
+
+    @staticmethod
+    def single(ch: str) -> "CharSet":
+        cp = ord(ch)
+        return CharSet(((cp, cp),))
+
+    @staticmethod
+    def of(chars: Iterable[str]) -> "CharSet":
+        return CharSet.from_intervals((ord(c), ord(c)) for c in chars)
+
+    @staticmethod
+    def range(lo: str, hi: str) -> "CharSet":
+        a, b = ord(lo), ord(hi)
+        if a > b:
+            raise ValueError(f"invalid character range {lo!r}-{hi!r}")
+        return CharSet(((a, b),))
+
+    @staticmethod
+    def any_char() -> "CharSet":
+        return CharSet(((0, MAX_CODEPOINT),))
+
+    @staticmethod
+    def from_intervals(pairs: Iterable[tuple[int, int]]) -> "CharSet":
+        """Normalize arbitrary (possibly overlapping, unsorted) intervals."""
+        items = sorted(pairs)
+        merged: list[tuple[int, int]] = []
+        for lo, hi in items:
+            if lo > hi:
+                continue
+            if merged and lo <= merged[-1][1] + 1:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        return CharSet(tuple(merged))
+
+    # -- queries -------------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return bool(self.intervals)
+
+    def __contains__(self, ch: str) -> bool:
+        return self.contains_cp(ord(ch))
+
+    def contains_cp(self, cp: int) -> bool:
+        lo, hi = 0, len(self.intervals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            a, b = self.intervals[mid]
+            if cp < a:
+                hi = mid - 1
+            elif cp > b:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def size(self) -> int:
+        return sum(hi - lo + 1 for lo, hi in self.intervals)
+
+    def sample(self) -> str:
+        """An arbitrary member character (for error messages and tests)."""
+        if not self.intervals:
+            raise ValueError("sample() of empty CharSet")
+        return chr(self.intervals[0][0])
+
+    def chars(self) -> Iterator[str]:
+        for lo, hi in self.intervals:
+            for cp in range(lo, hi + 1):
+                yield chr(cp)
+
+    # -- algebra --------------------------------------------------------------
+
+    def union(self, other: "CharSet") -> "CharSet":
+        return CharSet.from_intervals((*self.intervals, *other.intervals))
+
+    def intersect(self, other: "CharSet") -> "CharSet":
+        out: list[tuple[int, int]] = []
+        i = j = 0
+        a, b = self.intervals, other.intervals
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo <= hi:
+                out.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return CharSet(tuple(out))
+
+    def subtract(self, other: "CharSet") -> "CharSet":
+        return self.intersect(other.complement())
+
+    def complement(self) -> "CharSet":
+        out: list[tuple[int, int]] = []
+        prev = 0
+        for lo, hi in self.intervals:
+            if lo > prev:
+                out.append((prev, lo - 1))
+            prev = hi + 1
+        if prev <= MAX_CODEPOINT:
+            out.append((prev, MAX_CODEPOINT))
+        return CharSet(tuple(out))
+
+    def __repr__(self) -> str:
+        parts = []
+        for lo, hi in self.intervals[:8]:
+            if lo == hi:
+                parts.append(repr(chr(lo)))
+            else:
+                parts.append(f"{chr(lo)!r}-{chr(hi)!r}")
+        if len(self.intervals) > 8:
+            parts.append("...")
+        return f"CharSet({', '.join(parts)})"
+
+
+_EMPTY = CharSet(())
+
+
+def partition_atoms(sets: Iterable[CharSet]) -> list[CharSet]:
+    """Split a collection of charsets into disjoint *atoms*.
+
+    Every input set is expressible as a union of returned atoms, and the
+    atoms are pairwise disjoint.  Used by the subset construction so a DFA
+    state's outgoing edges are deterministic by construction.
+    """
+    # Boundary method: collect all interval endpoints, sweep once.
+    boundaries: set[int] = set()
+    live = [s for s in sets if s]
+    for s in live:
+        for lo, hi in s.intervals:
+            boundaries.add(lo)
+            boundaries.add(hi + 1)
+    if not boundaries:
+        return []
+    points = sorted(boundaries)
+    atoms: list[CharSet] = []
+    for lo, nxt in zip(points, points[1:]):
+        piece = CharSet(((lo, nxt - 1),))
+        if any(s.intersect(piece) for s in live):
+            atoms.append(piece)
+    return atoms

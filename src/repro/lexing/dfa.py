@@ -1,0 +1,166 @@
+"""Subset construction and Hopcroft minimization for scanner DFAs.
+
+The DFA's transition labels are disjoint :class:`CharSet` atoms, so lookup
+walks a short list of interval sets per state (terminal alphabets here are
+tiny after atom partitioning).  Accepting states carry the *set* of
+terminal names matched; the context-aware scanner intersects that set with
+the parser's valid-lookahead set at match time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lexing.charset import CharSet, partition_atoms
+from repro.lexing.nfa import NFA
+
+
+@dataclass
+class DFA:
+    """Deterministic scanner automaton.
+
+    ``transitions[s]`` is a list of ``(CharSet, target)`` pairs with pairwise
+    disjoint charsets.  ``accepts[s]`` is the frozenset of terminal names
+    accepted in state ``s`` (empty frozenset = non-accepting).
+    """
+
+    transitions: list[list[tuple[CharSet, int]]] = field(default_factory=list)
+    accepts: list[frozenset[str]] = field(default_factory=list)
+    start: int = 0
+
+    @property
+    def num_states(self) -> int:
+        return len(self.transitions)
+
+    def step(self, state: int, ch: str) -> int | None:
+        cp = ord(ch)
+        for cs, dst in self.transitions[state]:
+            if cs.contains_cp(cp):
+                return dst
+        return None
+
+    def match_prefixes(self, text: str, pos: int = 0):
+        """Yield ``(end_pos, accept_set)`` for every accepting prefix of
+        ``text[pos:]``, in increasing length order."""
+        state = self.start
+        if self.accepts[state]:
+            yield pos, self.accepts[state]
+        i = pos
+        n = len(text)
+        while i < n:
+            nxt = self.step(state, text[i])
+            if nxt is None:
+                return
+            state = nxt
+            i += 1
+            if self.accepts[state]:
+                yield i, self.accepts[state]
+
+    def longest_match(self, text: str, pos: int = 0) -> tuple[int, frozenset[str]] | None:
+        """Longest accepting prefix starting at ``pos`` (unrestricted)."""
+        best = None
+        for end, names in self.match_prefixes(text, pos):
+            best = (end, names)
+        return best
+
+
+def subset_construct(nfa: NFA) -> DFA:
+    """Classic subset construction over charset atoms."""
+    start_set = nfa.epsilon_closure(frozenset({nfa.start}))
+    index: dict[frozenset[int], int] = {start_set: 0}
+    order: list[frozenset[int]] = [start_set]
+    dfa = DFA()
+    dfa.transitions.append([])
+    dfa.accepts.append(frozenset(nfa.accepts[s] for s in start_set if s in nfa.accepts))
+
+    work = [start_set]
+    while work:
+        current = work.pop()
+        src = index[current]
+        labels = [
+            label
+            for s in current
+            for (label, _dst) in nfa.transitions[s]
+            if label is not None
+        ]
+        for atom in partition_atoms(labels):
+            targets = set()
+            for s in current:
+                for label, dst in nfa.transitions[s]:
+                    if label is not None and label.intersect(atom):
+                        targets.add(dst)
+            closure = nfa.epsilon_closure(frozenset(targets))
+            if closure not in index:
+                index[closure] = len(order)
+                order.append(closure)
+                dfa.transitions.append([])
+                dfa.accepts.append(
+                    frozenset(nfa.accepts[s] for s in closure if s in nfa.accepts)
+                )
+                work.append(closure)
+            dfa.transitions[src].append((atom, index[closure]))
+    return dfa
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Hopcroft-style partition refinement.
+
+    Initial partition groups states by accept-set; refinement splits blocks
+    whose members disagree on which block an atom leads to.  (A dead state
+    is modeled implicitly: missing transition = dead.)
+    """
+    n = dfa.num_states
+    # Global atom alphabet so signatures are comparable across states.
+    atoms = partition_atoms(
+        [cs for row in dfa.transitions for (cs, _t) in row]
+    )
+    block_of = {}
+    blocks: dict[frozenset[str], list[int]] = {}
+    for s in range(n):
+        blocks.setdefault(dfa.accepts[s], []).append(s)
+    for i, members in enumerate(blocks.values()):
+        for s in members:
+            block_of[s] = i
+
+    changed = True
+    while changed:
+        changed = False
+        new_block_of: dict[int, int] = {}
+        signature_index: dict[tuple, int] = {}
+        for s in range(n):
+            sig_parts = [block_of[s]]
+            for atom in atoms:
+                target = dfa.step(s, atom.sample())
+                sig_parts.append(-1 if target is None else block_of[target])
+            sig = tuple(sig_parts)
+            if sig not in signature_index:
+                signature_index[sig] = len(signature_index)
+            new_block_of[s] = signature_index[sig]
+        if len(set(new_block_of.values())) != len(set(block_of.values())):
+            changed = True
+        block_of = new_block_of
+
+    num_blocks = len(set(block_of.values()))
+    out = DFA()
+    out.transitions = [[] for _ in range(num_blocks)]
+    out.accepts = [frozenset() for _ in range(num_blocks)]
+    out.start = block_of[dfa.start]
+    seen_rep: set[int] = set()
+    for s in range(n):
+        b = block_of[s]
+        out.accepts[b] = dfa.accepts[s]
+        if b in seen_rep:
+            continue
+        seen_rep.add(b)
+        # Merge this representative's edges by target block.
+        merged: dict[int, CharSet] = {}
+        for cs, dst in dfa.transitions[s]:
+            tb = block_of[dst]
+            merged[tb] = merged.get(tb, CharSet.empty()).union(cs)
+        out.transitions[b] = [(cs, tb) for tb, cs in merged.items()]
+    return out
+
+
+def build_scanner_dfa(nfa: NFA, do_minimize: bool = True) -> DFA:
+    dfa = subset_construct(nfa)
+    return minimize(dfa) if do_minimize else dfa

@@ -1,0 +1,118 @@
+"""Thompson construction: regex AST -> nondeterministic finite automaton.
+
+States are small integers; transitions are labeled with :class:`CharSet`
+values (``None`` label = epsilon).  A combined NFA for a whole terminal
+set is built by :func:`build_combined_nfa`, whose accepting states are
+tagged with the terminal they recognize — the shape Copper feeds into its
+subset construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lexing.charset import CharSet
+from repro.lexing.regex import Alt, Chars, Concat, Epsilon, Regex, Star
+
+
+@dataclass
+class NFA:
+    """An NFA under construction.  ``accepts`` maps state -> terminal name."""
+
+    transitions: list[list[tuple[CharSet | None, int]]] = field(default_factory=list)
+    start: int = 0
+    accepts: dict[int, str] = field(default_factory=dict)
+
+    def new_state(self) -> int:
+        self.transitions.append([])
+        return len(self.transitions) - 1
+
+    def add_edge(self, src: int, label: CharSet | None, dst: int) -> None:
+        self.transitions[src].append((label, dst))
+
+    @property
+    def num_states(self) -> int:
+        return len(self.transitions)
+
+    # -- simulation (reference semantics, used by property tests) ------------
+
+    def epsilon_closure(self, states: frozenset[int]) -> frozenset[int]:
+        stack = list(states)
+        seen = set(states)
+        while stack:
+            s = stack.pop()
+            for label, dst in self.transitions[s]:
+                if label is None and dst not in seen:
+                    seen.add(dst)
+                    stack.append(dst)
+        return frozenset(seen)
+
+    def step(self, states: frozenset[int], ch: str) -> frozenset[int]:
+        out = set()
+        for s in states:
+            for label, dst in self.transitions[s]:
+                if label is not None and ch in label:
+                    out.add(dst)
+        return self.epsilon_closure(frozenset(out))
+
+    def matches(self, text: str) -> set[str]:
+        """Terminals accepting exactly ``text`` (reference simulation)."""
+        current = self.epsilon_closure(frozenset({self.start}))
+        for ch in text:
+            current = self.step(current, ch)
+            if not current:
+                return set()
+        return {self.accepts[s] for s in current if s in self.accepts}
+
+
+def _compile(nfa: NFA, node: Regex, entry: int, exit_: int) -> None:
+    """Wire ``node`` between the existing states ``entry`` and ``exit_``."""
+    if isinstance(node, Epsilon):
+        nfa.add_edge(entry, None, exit_)
+    elif isinstance(node, Chars):
+        nfa.add_edge(entry, node.charset, exit_)
+    elif isinstance(node, Concat):
+        mid = nfa.new_state()
+        _compile(nfa, node.left, entry, mid)
+        _compile(nfa, node.right, mid, exit_)
+    elif isinstance(node, Alt):
+        _compile(nfa, node.left, entry, exit_)
+        _compile(nfa, node.right, entry, exit_)
+    elif isinstance(node, Star):
+        hub = nfa.new_state()
+        nfa.add_edge(entry, None, hub)
+        _compile(nfa, node.body, hub, hub)
+        nfa.add_edge(hub, None, exit_)
+    else:  # pragma: no cover - exhaustive over Regex subclasses
+        raise TypeError(f"unknown regex node {node!r}")
+
+
+def build_nfa(node: Regex, terminal: str = "<accept>") -> NFA:
+    """Compile a single regex into an NFA accepting ``terminal``."""
+    nfa = NFA()
+    start = nfa.new_state()
+    end = nfa.new_state()
+    nfa.start = start
+    _compile(nfa, node, start, end)
+    nfa.accepts[end] = terminal
+    return nfa
+
+
+def build_combined_nfa(terminals: dict[str, Regex]) -> NFA:
+    """One NFA whose accepting states are tagged per terminal.
+
+    A fresh start state has an epsilon edge into each terminal's sub-NFA, so
+    the later subset construction yields a single scanner DFA that reports,
+    at each accepting DFA state, the *set* of terminals matched — the input
+    the context-aware scanner disambiguates with parser context.
+    """
+    nfa = NFA()
+    start = nfa.new_state()
+    nfa.start = start
+    for name, node in terminals.items():
+        entry = nfa.new_state()
+        end = nfa.new_state()
+        nfa.add_edge(start, None, entry)
+        _compile(nfa, node, entry, end)
+        nfa.accepts[end] = name
+    return nfa

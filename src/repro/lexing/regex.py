@@ -1,0 +1,279 @@
+"""Regular-expression abstract syntax and a parser for a practical subset.
+
+Terminals of the host language and of extensions declare their lexical
+syntax with these regexes (the paper's Copper does the same).  Supported
+syntax: literal characters, escapes (``\\n \\t \\r \\\\ \\d \\w \\s`` and
+escaped metacharacters), ``.``, character classes ``[a-z]`` / ``[^...]``,
+grouping ``( )``, alternation ``|``, and the quantifiers ``* + ?`` and
+``{n}`` / ``{n,m}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lexing.charset import CharSet
+
+
+class RegexError(ValueError):
+    """Malformed regular expression."""
+
+
+class Regex:
+    """Base class of regex AST nodes."""
+
+    __slots__ = ()
+
+    def nullable(self) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Regex):
+    def nullable(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class Chars(Regex):
+    """Match one character drawn from a :class:`CharSet`."""
+
+    charset: CharSet
+
+    def nullable(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Regex):
+    left: Regex
+    right: Regex
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+
+@dataclass(frozen=True, slots=True)
+class Alt(Regex):
+    left: Regex
+    right: Regex
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Regex):
+    body: Regex
+
+    def nullable(self) -> bool:
+        return True
+
+
+def concat_all(parts: list[Regex]) -> Regex:
+    if not parts:
+        return Epsilon()
+    out = parts[0]
+    for p in parts[1:]:
+        out = Concat(out, p)
+    return out
+
+
+def alt_all(parts: list[Regex]) -> Regex:
+    if not parts:
+        raise RegexError("empty alternation")
+    out = parts[0]
+    for p in parts[1:]:
+        out = Alt(out, p)
+    return out
+
+
+def plus(body: Regex) -> Regex:
+    return Concat(body, Star(body))
+
+
+def opt(body: Regex) -> Regex:
+    return Alt(body, Epsilon())
+
+
+def literal(text: str) -> Regex:
+    """A regex matching exactly ``text``."""
+    return concat_all([Chars(CharSet.single(c)) for c in text])
+
+
+_ESCAPE_CLASSES = {
+    "d": CharSet.range("0", "9"),
+    "w": (
+        CharSet.range("a", "z")
+        .union(CharSet.range("A", "Z"))
+        .union(CharSet.range("0", "9"))
+        .union(CharSet.single("_"))
+    ),
+    "s": CharSet.of(" \t\n\r\f\v"),
+}
+
+_ESCAPE_CHARS = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+}
+
+_METACHARS = set("|*+?()[]{}.\\^$-")
+
+
+class _Parser:
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+
+    def error(self, msg: str) -> RegexError:
+        return RegexError(f"{msg} at position {self.pos} in regex {self.pattern!r}")
+
+    def peek(self) -> str | None:
+        return self.pattern[self.pos] if self.pos < len(self.pattern) else None
+
+    def next(self) -> str:
+        if self.pos >= len(self.pattern):
+            raise self.error("unexpected end of pattern")
+        ch = self.pattern[self.pos]
+        self.pos += 1
+        return ch
+
+    def parse(self) -> Regex:
+        node = self.alternation()
+        if self.pos != len(self.pattern):
+            raise self.error(f"unexpected {self.pattern[self.pos]!r}")
+        return node
+
+    def alternation(self) -> Regex:
+        parts = [self.concatenation()]
+        while self.peek() == "|":
+            self.next()
+            parts.append(self.concatenation())
+        return alt_all(parts)
+
+    def concatenation(self) -> Regex:
+        parts: list[Regex] = []
+        while (c := self.peek()) is not None and c not in "|)":
+            parts.append(self.repetition())
+        return concat_all(parts)
+
+    def repetition(self) -> Regex:
+        node = self.atom()
+        while (c := self.peek()) is not None and c in "*+?{":
+            if c == "*":
+                self.next()
+                node = Star(node)
+            elif c == "+":
+                self.next()
+                node = plus(node)
+            elif c == "?":
+                self.next()
+                node = opt(node)
+            else:
+                node = self._bounded(node)
+        return node
+
+    def _bounded(self, node: Regex) -> Regex:
+        start = self.pos
+        self.next()  # '{'
+        digits = ""
+        while (c := self.peek()) is not None and c.isdigit():
+            digits += self.next()
+        if not digits:
+            raise self.error("expected count in {n} quantifier")
+        lo = int(digits)
+        hi = lo
+        if self.peek() == ",":
+            self.next()
+            digits = ""
+            while (c := self.peek()) is not None and c.isdigit():
+                digits += self.next()
+            if not digits:
+                raise self.error("expected upper bound in {n,m} quantifier")
+            hi = int(digits)
+        if self.peek() != "}":
+            self.pos = start
+            raise self.error("unterminated {n,m} quantifier")
+        self.next()
+        if hi < lo:
+            raise self.error(f"quantifier bounds reversed: {{{lo},{hi}}}")
+        required = [node] * lo
+        optional = [opt(node)] * (hi - lo)
+        return concat_all(required + optional) if (required or optional) else Epsilon()
+
+    def atom(self) -> Regex:
+        c = self.next()
+        if c == "(":
+            node = self.alternation()
+            if self.peek() != ")":
+                raise self.error("unterminated group")
+            self.next()
+            return node
+        if c == ".":
+            return Chars(CharSet.single("\n").complement())
+        if c == "[":
+            return Chars(self.char_class())
+        if c == "\\":
+            return Chars(self.escape())
+        if c in "*+?{":
+            raise self.error(f"quantifier {c!r} with nothing to repeat")
+        if c in ")]":
+            raise self.error(f"unbalanced {c!r}")
+        return Chars(CharSet.single(c))
+
+    def escape(self) -> CharSet:
+        c = self.next()
+        if c in _ESCAPE_CLASSES:
+            return _ESCAPE_CLASSES[c]
+        if c.upper() in _ESCAPE_CLASSES:  # \D \W \S
+            return _ESCAPE_CLASSES[c.lower()].complement()
+        if c in _ESCAPE_CHARS:
+            return CharSet.single(_ESCAPE_CHARS[c])
+        if c in _METACHARS or c in "\"'/ ":
+            return CharSet.single(c)
+        raise self.error(f"unknown escape \\{c}")
+
+    def char_class(self) -> CharSet:
+        negate = False
+        if self.peek() == "^":
+            self.next()
+            negate = True
+        out = CharSet.empty()
+        first = True
+        while True:
+            c = self.peek()
+            if c is None:
+                raise self.error("unterminated character class")
+            if c == "]" and not first:
+                self.next()
+                break
+            first = False
+            lo = self._class_char()
+            if self.peek() == "-" and self.pos + 1 < len(self.pattern) and self.pattern[self.pos + 1] != "]":
+                self.next()
+                hi = self._class_char()
+                if isinstance(lo, CharSet) or isinstance(hi, CharSet):
+                    raise self.error("character range endpoint cannot be a class escape")
+                out = out.union(CharSet.range(lo, hi))
+            else:
+                out = out.union(lo if isinstance(lo, CharSet) else CharSet.single(lo))
+        return out.complement() if negate else out
+
+    def _class_char(self) -> "str | CharSet":
+        c = self.next()
+        if c == "\\":
+            nxt = self.peek()
+            if nxt is not None and (nxt in _ESCAPE_CLASSES or nxt.lower() in _ESCAPE_CLASSES):
+                return self.escape()
+            cs = self.escape()
+            return cs.sample()
+        return c
+
+
+def parse_regex(pattern: str) -> Regex:
+    """Parse ``pattern`` into a :class:`Regex` AST."""
+    return _Parser(pattern).parse()

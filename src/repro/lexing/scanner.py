@@ -1,0 +1,151 @@
+"""Context-aware scanning (Van Wyk & Schwerdfeger, GPCE'07 — the paper's [9]).
+
+A conventional scanner resolves "which terminal is this?" globally; a
+context-aware scanner asks the *parser* which terminals are valid in the
+current LR state and only matches those.  This is what lets independently
+developed extensions reuse keywords (e.g. ``with``) without clashing with
+host identifiers, and is the mechanism §VI-A relies on.
+
+The scan algorithm at each point:
+
+1. Run the combined DFA for the longest prefix whose accept-set intersects
+   ``valid ∪ layout`` (maximal munch, restricted to context).
+2. Intersect the accept-set with the valid set; apply lexical precedence
+   (``dominates``) to shrink it.
+3. One survivor -> token.  Several -> :class:`LexicalAmbiguityError`.
+   None at any length -> :class:`ScanError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lexing.dfa import DFA, build_scanner_dfa
+from repro.lexing.nfa import build_combined_nfa
+from repro.lexing.terminals import TerminalSet
+from repro.util.diagnostics import SourceLocation, SourceSpan
+
+EOF = "$EOF"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    terminal: str
+    lexeme: str
+    span: SourceSpan
+
+    def __repr__(self) -> str:
+        return f"Token({self.terminal}, {self.lexeme!r})"
+
+
+class ScanError(Exception):
+    def __init__(self, message: str, location: SourceLocation):
+        self.location = location
+        super().__init__(f"{location}: {message}")
+
+
+class LexicalAmbiguityError(ScanError):
+    pass
+
+
+class ContextAwareScanner:
+    """Scanner over a :class:`TerminalSet`, driven by valid-lookahead sets."""
+
+    def __init__(self, terminal_set: TerminalSet, *, minimize_dfa: bool = True):
+        self.terminals = terminal_set
+        self.layout = terminal_set.layout_names()
+        nfa = build_combined_nfa(terminal_set.regexes())
+        self.dfa: DFA = build_scanner_dfa(nfa, do_minimize=minimize_dfa)
+
+    # -- disambiguation -------------------------------------------------------
+
+    def _disambiguate(self, candidates: frozenset[str]) -> set[str]:
+        """Apply lexical precedence: drop any terminal dominated by another
+        candidate (keywords dominate Identifier)."""
+        survivors = set(candidates)
+        for name in candidates:
+            term = self.terminals[name]
+            for other in candidates:
+                if other != name and other in term.dominates:
+                    survivors.discard(other)
+        return survivors
+
+    # -- scanning --------------------------------------------------------------
+
+    def scan(
+        self,
+        text: str,
+        location: SourceLocation,
+        valid: frozenset[str],
+    ) -> Token:
+        """Return the next non-layout token at ``location`` given the parser's
+        valid terminal set.  EOF is reported as a token named ``$EOF`` when
+        (and only when) it is in ``valid``."""
+        pos = location.offset
+
+        while True:
+            if pos >= len(text):
+                if EOF in valid:
+                    return Token(EOF, "", SourceSpan.at(location))
+                raise ScanError(
+                    f"unexpected end of input; expected one of {_fmt(valid)}",
+                    location,
+                )
+
+            interesting = valid | self.layout
+            best_end = None
+            best_names: frozenset[str] = frozenset()
+            for end, names in self.dfa.match_prefixes(text, pos):
+                if end == pos:
+                    continue  # never emit empty tokens
+                hit = names & interesting
+                if hit:
+                    best_end, best_names = end, frozenset(hit)
+            if best_end is None:
+                raise ScanError(
+                    f"no valid token at {text[pos:pos + 20]!r}; "
+                    f"expected one of {_fmt(valid)}",
+                    location,
+                )
+
+            lexeme = text[pos:best_end]
+            end_loc = location.advanced_by(lexeme)
+
+            layout_hit = best_names & self.layout
+            valid_hit = best_names & valid
+            if valid_hit:
+                chosen = self._disambiguate(frozenset(valid_hit))
+                if len(chosen) > 1:
+                    raise LexicalAmbiguityError(
+                        f"lexical ambiguity between {_fmt(frozenset(chosen))} "
+                        f"on {lexeme!r} — add a disambiguation annotation",
+                        location,
+                    )
+                if chosen:
+                    return Token(next(iter(chosen)), lexeme, SourceSpan(location, end_loc))
+            if layout_hit:
+                pos = best_end
+                location = end_loc
+                continue
+            raise ScanError(  # pragma: no cover - guarded by best_names & interesting
+                f"internal scanner error on {lexeme!r}", location
+            )
+
+    def tokenize_all(self, text: str, filename: str = "<input>") -> list[Token]:
+        """Context-free tokenization (all terminals valid) — for tests/tools."""
+        valid = frozenset(t.name for t in self.terminals if not t.layout) | {EOF}
+        loc = SourceLocation(filename=filename)
+        out: list[Token] = []
+        while True:
+            tok = self.scan(text, loc, valid)
+            out.append(tok)
+            if tok.terminal == EOF:
+                return out
+            loc = tok.span.end
+
+
+def _fmt(names: frozenset[str]) -> str:
+    listed = sorted(names)
+    if len(listed) > 8:
+        listed = listed[:8] + ["..."]
+    return "{" + ", ".join(listed) + "}"

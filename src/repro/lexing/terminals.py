@@ -1,0 +1,99 @@
+"""Terminal symbol declarations with lexical precedence.
+
+A terminal couples a name with a regex and Copper-style disambiguation
+metadata: a terminal may *dominate* others (keywords dominate identifiers),
+may be *layout* (whitespace/comments, skipped between tokens), and may be
+declared a *marking terminal* — the unique terminal that introduces an
+extension's syntax, which the modular determinism analysis (§VI-A)
+requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lexing.regex import Regex, literal, parse_regex
+
+
+@dataclass(frozen=True)
+class Terminal:
+    name: str
+    regex: Regex
+    dominates: frozenset[str] = frozenset()
+    layout: bool = False
+    marking: bool = False
+    origin: str = "host"  # which grammar module declared it
+
+    def __repr__(self) -> str:
+        return f"Terminal({self.name})"
+
+
+@dataclass
+class TerminalSet:
+    """An ordered collection of terminal declarations."""
+
+    terminals: dict[str, Terminal] = field(default_factory=dict)
+
+    def declare(
+        self,
+        name: str,
+        pattern: str,
+        *,
+        keyword: bool = False,
+        dominates: tuple[str, ...] = (),
+        layout: bool = False,
+        marking: bool = False,
+        origin: str = "host",
+        regex: Regex | None = None,
+    ) -> Terminal:
+        """Declare a terminal.
+
+        ``keyword=True`` means ``pattern`` is a literal string and the
+        terminal dominates ``Identifier`` — the common case for ``with``,
+        ``genarray`` etc.  Otherwise ``pattern`` is regex syntax.
+        """
+        if name in self.terminals:
+            raise ValueError(f"duplicate terminal {name!r}")
+        if regex is None:
+            regex = literal(pattern) if keyword else parse_regex(pattern)
+        doms = set(dominates)
+        if keyword:
+            doms.add("Identifier")
+        term = Terminal(
+            name=name,
+            regex=regex,
+            dominates=frozenset(doms),
+            layout=layout,
+            marking=marking,
+            origin=origin,
+        )
+        self.terminals[name] = term
+        return term
+
+    def merge(self, other: "TerminalSet") -> "TerminalSet":
+        """Compose terminal sets (host ∪ extension); names must not clash
+        unless the declarations are identical (shared host terminals)."""
+        out = TerminalSet(dict(self.terminals))
+        for name, term in other.terminals.items():
+            if name in out.terminals and out.terminals[name] != term:
+                raise ValueError(
+                    f"terminal {name!r} declared incompatibly by "
+                    f"{out.terminals[name].origin!r} and {term.origin!r}"
+                )
+            out.terminals.setdefault(name, term)
+        return out
+
+    def __iter__(self):
+        return iter(self.terminals.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.terminals
+
+    def __getitem__(self, name: str) -> Terminal:
+        return self.terminals[name]
+
+    def layout_names(self) -> frozenset[str]:
+        return frozenset(t.name for t in self if t.layout)
+
+    def regexes(self) -> dict[str, Regex]:
+        return {t.name: t.regex for t in self}

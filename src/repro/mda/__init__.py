@@ -1,0 +1,5 @@
+"""Modular determinism analysis for composable concrete syntax (§VI-A)."""
+
+from repro.mda.analysis import MDAReport, is_composable, verify_composition_theorem
+
+__all__ = ["MDAReport", "is_composable", "verify_composition_theorem"]

@@ -1,0 +1,26 @@
+"""LALR(1) parser generation and the context-aware LR driver."""
+
+from repro.parsing.lalr import LR0Automaton, build_lr0, compute_lalr_lookaheads
+from repro.parsing.parser import ParseError, Parser
+from repro.parsing.tables import (
+    ActionKind,
+    Conflict,
+    LALRConflictError,
+    ParseTables,
+    build_tables,
+    find_conflicts,
+)
+
+__all__ = [
+    "ActionKind",
+    "Conflict",
+    "LALRConflictError",
+    "LR0Automaton",
+    "ParseError",
+    "ParseTables",
+    "Parser",
+    "build_lr0",
+    "build_tables",
+    "compute_lalr_lookaheads",
+    "find_conflicts",
+]

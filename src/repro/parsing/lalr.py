@@ -1,0 +1,182 @@
+"""LR(0) automaton construction and LALR(1) lookahead computation.
+
+The construction follows the textbook pipeline Copper uses underneath:
+
+1. canonical LR(0) collection (kernel item sets + GOTO function);
+2. LALR(1) lookaheads by the spontaneous-generation / propagation
+   algorithm (Dragon Book alg. 4.63), using a dummy lookahead ``#``;
+3. the table builder in :mod:`repro.parsing.tables` turns the automaton
+   plus lookaheads into ACTION/GOTO tables and reports conflicts.
+
+The end-of-file terminal is a *real* grammar symbol here (the augmented
+production is ``$START ::= Start $EOF``), which simplifies both the
+scanner interface (EOF is just another valid terminal) and the modular
+determinism analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grammar.cfg import Grammar
+from repro.grammar.sets import GrammarSets
+
+# Dummy lookahead used during lookahead discovery.
+HASH = "$#"
+
+# An LR(0) item: (production index, dot position).
+Item = tuple[int, int]
+Kernel = frozenset[Item]
+
+
+@dataclass
+class LR0Automaton:
+    grammar: Grammar
+    states: list[Kernel] = field(default_factory=list)
+    goto: dict[tuple[int, str], int] = field(default_factory=dict)
+
+    def describe_item(self, item: Item) -> str:
+        prod = self.grammar.productions[item[0]]
+        rhs = list(prod.rhs)
+        rhs.insert(item[1], "·")
+        return f"{prod.lhs} ::= {' '.join(rhs) if rhs else '·'}"
+
+    def describe_state(self, s: int) -> str:
+        lines = [self.describe_item(i) for i in sorted(self.states[s])]
+        return "\n".join(lines)
+
+
+def lr0_closure(grammar: Grammar, kernel: Kernel) -> set[Item]:
+    """All items derivable from a kernel by expanding dots before NTs."""
+    out: set[Item] = set(kernel)
+    work = list(kernel)
+    while work:
+        prod_i, dot = work.pop()
+        rhs = grammar.productions[prod_i].rhs
+        if dot < len(rhs):
+            sym = rhs[dot]
+            if not grammar.is_terminal(sym):
+                for p in grammar.prods_for(sym):
+                    item = (p.index, 0)
+                    if item not in out:
+                        out.add(item)
+                        work.append(item)
+    return out
+
+
+def build_lr0(grammar: Grammar) -> LR0Automaton:
+    start_kernel: Kernel = frozenset({(0, 0)})
+    auto = LR0Automaton(grammar, [start_kernel])
+    index: dict[Kernel, int] = {start_kernel: 0}
+    work = [0]
+    while work:
+        si = work.pop()
+        closure = lr0_closure(grammar, auto.states[si])
+        moves: dict[str, set[Item]] = {}
+        for prod_i, dot in closure:
+            rhs = grammar.productions[prod_i].rhs
+            if dot < len(rhs):
+                moves.setdefault(rhs[dot], set()).add((prod_i, dot + 1))
+        for sym in sorted(moves):
+            kernel: Kernel = frozenset(moves[sym])
+            if kernel not in index:
+                index[kernel] = len(auto.states)
+                auto.states.append(kernel)
+                work.append(index[kernel])
+            auto.goto[(si, sym)] = index[kernel]
+    return auto
+
+
+def lr1_closure(
+    grammar: Grammar, sets: GrammarSets, items: set[tuple[Item, str]]
+) -> set[tuple[Item, str]]:
+    """LR(1) closure where lookaheads may be the dummy ``HASH``."""
+    out = set(items)
+    work = list(items)
+    while work:
+        (prod_i, dot), la = work.pop()
+        rhs = grammar.productions[prod_i].rhs
+        if dot >= len(rhs):
+            continue
+        sym = rhs[dot]
+        if grammar.is_terminal(sym):
+            continue
+        beta = rhs[dot + 1:]
+        first_beta = sets.first_of_seq(beta)
+        lookaheads = set(first_beta)
+        if sets.is_nullable_seq(beta):
+            lookaheads.add(la)
+        for p in grammar.prods_for(sym):
+            for b in lookaheads:
+                entry = ((p.index, 0), b)
+                if entry not in out:
+                    out.add(entry)
+                    work.append(entry)
+    return out
+
+
+@dataclass
+class LALRResult:
+    automaton: LR0Automaton
+    # (state, item) -> lookahead terminal set, for every item in each
+    # state's *closure* whose dot can reach the end (reduce decisions only
+    # consult completed items).
+    lookaheads: dict[tuple[int, Item], set[str]]
+
+
+def compute_lalr_lookaheads(grammar: Grammar, auto: LR0Automaton, sets: GrammarSets) -> LALRResult:
+    """Spontaneous generation + propagation over kernel items, then a final
+    pass pushing kernel lookaheads through each state's LR(1) closure so
+    completed (reduce) items carry their lookahead sets."""
+    kernels: dict[tuple[int, Item], set[str]] = {}
+    propagate: dict[tuple[int, Item], set[tuple[int, Item]]] = {}
+
+    for si, kernel in enumerate(auto.states):
+        for kitem in kernel:
+            kernels.setdefault((si, kitem), set())
+            closure = lr1_closure(grammar, sets, {(kitem, HASH)})
+            for (prod_i, dot), la in closure:
+                rhs = grammar.productions[prod_i].rhs
+                if dot >= len(rhs):
+                    continue
+                sym = rhs[dot]
+                target_state = auto.goto.get((si, sym))
+                if target_state is None:
+                    continue
+                target_item = (prod_i, dot + 1)
+                key = (target_state, target_item)
+                if la == HASH:
+                    propagate.setdefault((si, kitem), set()).add(key)
+                else:
+                    kernels.setdefault(key, set()).add(la)
+
+    # The initial kernel item's lookahead is irrelevant (EOF is a real
+    # symbol), but seed it so propagation is well-founded.
+    kernels[(0, (0, 0))].add(HASH)
+
+    changed = True
+    while changed:
+        changed = False
+        for src, targets in propagate.items():
+            src_las = kernels.get(src, set())
+            for tgt in targets:
+                tgt_las = kernels.setdefault(tgt, set())
+                before = len(tgt_las)
+                tgt_las |= src_las
+                if len(tgt_las) != before:
+                    changed = True
+
+    # Final pass: lookaheads for every completed item via in-state closure.
+    lookaheads: dict[tuple[int, Item], set[str]] = {}
+    for si, kernel in enumerate(auto.states):
+        seed = {
+            (kitem, la)
+            for kitem in kernel
+            for la in kernels.get((si, kitem), set())
+        }
+        closure = lr1_closure(grammar, sets, seed)
+        for (prod_i, dot), la in closure:
+            if la == HASH:
+                continue
+            lookaheads.setdefault((si, (prod_i, dot)), set()).add(la)
+    return LALRResult(auto, lookaheads)

@@ -1,0 +1,130 @@
+"""The LR parser driver, coupled to the context-aware scanner.
+
+The driver asks the scanner for the next token *relative to the current
+LR state's valid-lookahead set* — the defining loop of a Copper-generated
+parser.  Reductions run production actions immediately (bottom-up tree
+construction); terminal children are :class:`~repro.lexing.scanner.Token`
+objects carrying lexemes and source spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.grammar.cfg import Grammar, default_action
+from repro.lexing.scanner import EOF, ContextAwareScanner, Token
+from repro.parsing.tables import ActionKind, ParseTables, build_tables
+from repro.util.diagnostics import SourceLocation
+
+
+def _is_spanless_node(value: Any) -> bool:
+    from repro.ag.tree import Node
+
+    return (
+        isinstance(value, Node)
+        and value.span.start.offset == 0
+        and value.span.end.offset == 0
+    )
+
+
+def _infer_span(children: list[Any]):
+    from repro.ag.tree import Node
+    from repro.util.diagnostics import SourceSpan
+
+    starts = []
+    ends = []
+    for c in children:
+        span = None
+        if isinstance(c, (Node, Token)):
+            span = c.span
+        if span is not None and not (span.start.offset == span.end.offset == 0):
+            starts.append(span.start)
+            ends.append(span.end)
+    if not starts:
+        return None
+    return SourceSpan(
+        min(starts, key=lambda l: l.offset), max(ends, key=lambda l: l.offset)
+    )
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, location: SourceLocation):
+        self.location = location
+        super().__init__(f"{location}: {message}")
+
+
+@dataclass
+class ParseResult:
+    value: Any
+    tokens_consumed: int
+
+
+class Parser:
+    """A generated parser for one composed grammar."""
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        *,
+        prefer_shift: frozenset[str] | set[str] = frozenset(),
+        tables: ParseTables | None = None,
+        scanner: ContextAwareScanner | None = None,
+    ):
+        self.grammar = grammar
+        self.tables = tables or build_tables(grammar, prefer_shift=prefer_shift)
+        self.scanner = scanner or ContextAwareScanner(grammar.terminal_set)
+
+    def parse(self, text: str, filename: str = "<input>") -> Any:
+        """Parse ``text``, returning the start production's action value."""
+        state_stack: list[int] = [0]
+        value_stack: list[Any] = []
+        loc = SourceLocation(filename=filename)
+        tokens = 0
+
+        token: Token | None = None
+        while True:
+            state = state_stack[-1]
+            valid = self.tables.valid_terminals(state)
+            if token is None:
+                token = self.scanner.scan(text, loc, valid)
+                tokens += 1
+            act = self.tables.action[state].get(token.terminal)
+            if act is None:
+                expected = ", ".join(sorted(valid - {EOF})[:10])
+                raise ParseError(
+                    f"syntax error at {token.lexeme!r} ({token.terminal}); "
+                    f"expected one of: {expected}",
+                    token.span.start,
+                )
+            if act.kind is ActionKind.SHIFT:
+                state_stack.append(act.target)
+                value_stack.append(token)
+                loc = token.span.end
+                token = None
+            elif act.kind is ActionKind.REDUCE:
+                prod = self.grammar.productions[act.target]
+                n = len(prod.rhs)
+                children = value_stack[len(value_stack) - n:] if n else []
+                if n:
+                    del state_stack[len(state_stack) - n:]
+                    del value_stack[len(value_stack) - n:]
+                action = prod.action or default_action(prod)
+                value = action(list(children))
+                # Attach source spans to freshly built AST nodes whose
+                # actions dropped the tokens (the common case).
+                if _is_spanless_node(value):
+                    span = _infer_span(children)
+                    if span is not None:
+                        value.span = span
+                goto = self.tables.goto[state_stack[-1]].get(prod.lhs)
+                if goto is None:  # pragma: no cover - table construction invariant
+                    raise ParseError(
+                        f"internal parser error: no goto for {prod.lhs}",
+                        token.span.start,
+                    )
+                state_stack.append(goto)
+                value_stack.append(value)
+            else:  # ACCEPT
+                # Stack holds exactly the start symbol's value.
+                return ParseResult(value_stack[-1], tokens).value

@@ -1,0 +1,170 @@
+"""ACTION/GOTO table construction with conflict detection and reporting.
+
+Composed extended grammars are required to be LALR(1) (paper §VI-A); any
+shift/reduce or reduce/reduce conflict is reported with the offending
+state's items so an extension author can diagnose it.  The single
+deliberate exception is the dangling-``else`` shift preference, declared
+per-terminal via ``prefer_shift`` exactly where a Copper/yacc user would
+expect it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.grammar.cfg import Grammar
+from repro.grammar.sets import GrammarSets
+from repro.lexing.scanner import EOF
+from repro.parsing.lalr import (
+    LR0Automaton,
+    build_lr0,
+    compute_lalr_lookaheads,
+    lr0_closure,
+)
+
+
+class ActionKind(enum.Enum):
+    SHIFT = "shift"
+    REDUCE = "reduce"
+    ACCEPT = "accept"
+
+
+@dataclass(frozen=True, slots=True)
+class ParseAction:
+    kind: ActionKind
+    target: int = -1  # shift: next state; reduce: production index
+
+    def __repr__(self) -> str:
+        return f"{self.kind.value}({self.target})"
+
+
+@dataclass(frozen=True)
+class Conflict:
+    state: int
+    terminal: str
+    kind: str  # "shift/reduce" | "reduce/reduce"
+    detail: str
+
+
+class LALRConflictError(Exception):
+    def __init__(self, conflicts: list[Conflict], auto: LR0Automaton):
+        self.conflicts = conflicts
+        lines = []
+        for c in conflicts[:10]:
+            lines.append(
+                f"{c.kind} conflict in state {c.state} on {c.terminal!r}: {c.detail}\n"
+                f"state items:\n{_indent(auto.describe_state(c.state))}"
+            )
+        if len(conflicts) > 10:
+            lines.append(f"... and {len(conflicts) - 10} more")
+        super().__init__("grammar is not LALR(1):\n" + "\n".join(lines))
+
+
+def _indent(text: str) -> str:
+    return "\n".join("    " + line for line in text.splitlines())
+
+
+@dataclass
+class ParseTables:
+    grammar: Grammar
+    automaton: LR0Automaton
+    action: list[dict[str, ParseAction]] = field(default_factory=list)
+    goto: list[dict[str, int]] = field(default_factory=list)
+    resolved_conflicts: list[Conflict] = field(default_factory=list)
+
+    def valid_terminals(self, state: int) -> frozenset[str]:
+        """The context-aware scanner's valid-lookahead set for a state."""
+        return frozenset(self.action[state].keys())
+
+    @property
+    def num_states(self) -> int:
+        return len(self.action)
+
+
+def build_tables(
+    grammar: Grammar,
+    *,
+    prefer_shift: frozenset[str] | set[str] = frozenset(),
+    allow_conflicts: bool = False,
+) -> ParseTables:
+    """Construct LALR(1) tables; raise :class:`LALRConflictError` on
+    unresolved conflicts unless ``allow_conflicts`` (used by the modular
+    determinism analysis, which wants the conflict list, not an error)."""
+    sets = GrammarSets(grammar)
+    auto = build_lr0(grammar)
+    lalr = compute_lalr_lookaheads(grammar, auto, sets)
+
+    tables = ParseTables(grammar, auto)
+    conflicts: list[Conflict] = []
+    prefer_shift = frozenset(prefer_shift)
+
+    for si in range(len(auto.states)):
+        actions: dict[str, ParseAction] = {}
+        gotos: dict[str, int] = {}
+
+        for sym in grammar.terminals:
+            tgt = auto.goto.get((si, sym))
+            if tgt is not None:
+                actions[sym] = ParseAction(ActionKind.SHIFT, tgt)
+        for sym in grammar.nonterminals:
+            tgt = auto.goto.get((si, sym))
+            if tgt is not None:
+                gotos[sym] = tgt
+
+        closure = lr0_closure(grammar, auto.states[si])
+        for item in closure:
+            prod_i, dot = item
+            prod = grammar.productions[prod_i]
+            if dot != len(prod.rhs):
+                # Accept: dot before EOF in the augmented production.
+                if prod.index == 0 and dot == 1 and prod.rhs[dot] == EOF:
+                    actions[EOF] = ParseAction(ActionKind.ACCEPT)
+                continue
+            if prod.index == 0:
+                continue
+            for la in lalr.lookaheads.get((si, item), set()):
+                existing = actions.get(la)
+                new = ParseAction(ActionKind.REDUCE, prod_i)
+                if existing is None:
+                    actions[la] = new
+                    continue
+                if existing.kind is ActionKind.SHIFT:
+                    if la in prefer_shift:
+                        tables.resolved_conflicts.append(
+                            Conflict(si, la, "shift/reduce",
+                                     f"resolved as shift over reduce {prod}")
+                        )
+                        continue
+                    conflicts.append(
+                        Conflict(si, la, "shift/reduce",
+                                 f"shift {existing.target} vs reduce {prod}")
+                    )
+                elif existing.kind is ActionKind.REDUCE and existing.target != prod_i:
+                    other = grammar.productions[existing.target]
+                    conflicts.append(
+                        Conflict(si, la, "reduce/reduce", f"{other} vs {prod}")
+                    )
+                elif existing.kind is ActionKind.ACCEPT:  # pragma: no cover
+                    conflicts.append(
+                        Conflict(si, la, "shift/reduce", f"accept vs reduce {prod}")
+                    )
+        tables.action.append(actions)
+        tables.goto.append(gotos)
+
+    if conflicts and not allow_conflicts:
+        raise LALRConflictError(conflicts, auto)
+    if conflicts:
+        tables.resolved_conflicts.extend(conflicts)
+    return tables
+
+
+def find_conflicts(
+    grammar: Grammar, *, prefer_shift: frozenset[str] | set[str] = frozenset()
+) -> list[Conflict]:
+    """All unresolved LALR(1) conflicts of ``grammar`` (MDA entry point)."""
+    try:
+        tables = build_tables(grammar, prefer_shift=prefer_shift)
+    except LALRConflictError as e:
+        return e.conflicts
+    return [c for c in tables.resolved_conflicts if "resolved" not in c.detail]

@@ -1,0 +1,28 @@
+"""The paper's example programs in extended C, shipped as package data."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_DIR = Path(__file__).parent
+
+PROGRAMS = {
+    "fig1": "fig1_temporal_mean.xc",
+    "fig4": "fig4_conncomp.xc",
+    "fig8": "fig8_eddy_scoring.xc",
+    "fig9": "fig9_transformed_mean.xc",
+}
+
+
+def load(name: str) -> str:
+    """Source text of a paper program ("fig1", "fig4", "fig8", "fig9"
+    or a bare filename)."""
+    fname = PROGRAMS.get(name, name)
+    path = _DIR / fname
+    if not path.exists():
+        raise FileNotFoundError(f"no such program {name!r}; have {sorted(PROGRAMS)}")
+    return path.read_text()
+
+
+def path_of(name: str) -> Path:
+    return _DIR / PROGRAMS.get(name, name)

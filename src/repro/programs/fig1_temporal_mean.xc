@@ -1,0 +1,15 @@
+// Paper Fig. 1: temporal mean of sea-surface-height data.
+// For every measured point on the ocean's surface, the average sea
+// height over time.  mat is latitude x longitude x time.
+int main() {
+    Matrix float <3> mat = readMatrix("ssh.data");
+    int m = dimSize(mat, 0);
+    int n = dimSize(mat, 1);
+    int p = dimSize(mat, 2);
+    Matrix float <2> means = init(Matrix float <2>, m, n);
+    means = with ([0,0] <= [i,j] < [m,n])
+        genarray([m,n],
+            (with ([0] <= [k] < [p]) fold(+, 0.0, mat[i,j,:][k])) / p);
+    writeMatrix("means.data", means);
+    return 0;
+}

@@ -1,0 +1,52 @@
+// Paper Fig. 4: connected-component labeling mapped over the time
+// dimension of an SSH cube.  The paper elides connComp's body ("compute
+// connected components"); here it is written out as iterative
+// min-label propagation over the 4-neighborhood of below-threshold
+// cells — identifying eddy candidates by "thresholding the SSH data and
+// searching for connected components" (§IV).
+
+Matrix int <2> connComp(Matrix float <2> ssh) {
+    int m = dimSize(ssh, 0);
+    int n = dimSize(ssh, 1);
+    Matrix bool <2> binary = ssh < 0.0;
+    Matrix int <2> labels = init(Matrix int <2>, m, n);
+    for (int i = 0; i < m; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+            if (binary[i, j])
+                labels[i, j] = i * n + j + 1;
+        }
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int i = 0; i < m; i = i + 1) {
+            for (int j = 0; j < n; j = j + 1) {
+                if (labels[i, j] > 0) {
+                    int best = labels[i, j];
+                    if (i > 0 && labels[i - 1, j] > 0 && labels[i - 1, j] < best)
+                        best = labels[i - 1, j];
+                    if (j > 0 && labels[i, j - 1] > 0 && labels[i, j - 1] < best)
+                        best = labels[i, j - 1];
+                    if (i < m - 1 && labels[i + 1, j] > 0 && labels[i + 1, j] < best)
+                        best = labels[i + 1, j];
+                    if (j < n - 1 && labels[i, j + 1] > 0 && labels[i, j + 1] < best)
+                        best = labels[i, j + 1];
+                    if (best < labels[i, j]) {
+                        labels[i, j] = best;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    return labels;
+}
+
+int main() {
+    Matrix float <3> ssh = readMatrix("ssh.data");
+    Matrix int <1> dates = readMatrix("dates.data");
+    ssh = ssh[:, :, dates >= 1012000];
+    Matrix int <3> labels = matrixMap(connComp, ssh, [0, 1]);
+    writeMatrix("eddyLabels.data", labels);
+    return 0;
+}

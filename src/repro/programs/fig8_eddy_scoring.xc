@@ -1,0 +1,60 @@
+// Paper Fig. 8: ocean eddy scoring.
+// scoreTS computes, for every point of a time series, the "area" of the
+// trough it belongs to (Fig. 7); main maps it over the time dimension of
+// the SSH cube.  Uses the tuples extension (getTrough returns three
+// values) and the matrix extension (ranges, `end`, with-loops,
+// matrixMap).
+
+(Matrix float <1>, int, int)
+getTrough(Matrix float <1> ts, int i) {
+    int beginning = i;
+    int n = dimSize(ts, 0);
+    // Walk downwards
+    while (i + 1 < n && ts[i] >= ts[i + 1])
+        i = i + 1;
+    // Walk upwards
+    while (i + 1 < n && ts[i] < ts[i + 1])
+        i = i + 1;
+    // Return the trough
+    return (ts[beginning : i], beginning, i);
+}
+
+Matrix float <1>
+computeArea(Matrix float <1> areaOfInterest) {
+    float y1 = areaOfInterest[0];
+    float y2 = areaOfInterest[end];
+    int x1 = 0;
+    int x2 = dimSize(areaOfInterest, 0) - 1;
+    // compute slope
+    float m = (y1 - y2) / ((float) (x1 - x2));
+    // compute y intercept
+    float b = y1 - m * x1;
+    Matrix float <1> Line = (x1 :: x2) * m + b;
+    float area = with ([0] <= [i] < [dimSize(Line, 0)])
+        fold(+, 0.0, Line[i] - areaOfInterest[i]);
+    return with ([0] <= [i] < [dimSize(Line, 0)])
+        genarray([dimSize(Line, 0)], area);
+}
+
+Matrix float <1> scoreTS(Matrix float <1> ts) {
+    Matrix float <1> scores = init(Matrix float <1>, dimSize(ts, 0));
+    int n = dimSize(ts, 0);
+    int i = 0;
+    while (i + 1 < n && ts[i] < ts[i + 1]) // trimming
+        i = i + 1;
+    int beginning = 0;
+    Matrix float <1> trough;
+    while (i < n - 1) {
+        (trough, beginning, i) = getTrough(ts, i);
+        scores[beginning : i] = computeArea(trough);
+    }
+    return scores;
+}
+
+int main() {
+    // Shape of SSH in the paper: 721 x 1440 x 954
+    Matrix float <3> data = readMatrix("ssh.data");
+    Matrix float <3> scores = matrixMap(scoreTS, data, [2]);
+    writeMatrix("temporalScores.data", scores);
+    return 0;
+}

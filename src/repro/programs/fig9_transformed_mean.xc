@@ -1,0 +1,18 @@
+// Paper Fig. 9: the temporal-mean with-loop with programmer-specified
+// transformations: split the j loop by 4, vectorize the inner part,
+// parallelize the i loop (OpenMP pragma, Fig. 11).
+int main() {
+    Matrix float <3> mat = readMatrix("ssh.data");
+    int m = dimSize(mat, 0);
+    int n = dimSize(mat, 1);
+    int p = dimSize(mat, 2);
+    Matrix float <2> means = init(Matrix float <2>, m, n);
+    means = with ([0,0] <= [i,j] < [m,n])
+        genarray([m,n],
+            (with ([0] <= [k] < [p]) fold(+, 0.0, mat[i,j,:][k])) / p)
+        transform split j by 4, jin, jout.
+                  vectorize jin.
+                  parallelize i;
+    writeMatrix("means.data", means);
+    return 0;
+}

@@ -1,0 +1,19 @@
+"""Shared infrastructure: source locations, diagnostics, ordered structures."""
+
+from repro.util.diagnostics import (
+    Diagnostic,
+    DiagnosticError,
+    Diagnostics,
+    Severity,
+    SourceLocation,
+    SourceSpan,
+)
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticError",
+    "Diagnostics",
+    "Severity",
+    "SourceLocation",
+    "SourceSpan",
+]

@@ -1,0 +1,120 @@
+"""Source locations and diagnostic (error/warning) reporting.
+
+Every phase of the translator — scanning, parsing, semantic analysis, the
+modular analyses — reports problems through a :class:`Diagnostics` sink so
+that a single compilation can accumulate and present all errors at once,
+the way the paper's extended translator "checks this extended program for
+errors" before translating.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """A point in a source file: 1-based line, 0-based column, absolute offset."""
+
+    line: int = 1
+    column: int = 0
+    offset: int = 0
+    filename: str = "<input>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column + 1}"
+
+    def advanced_by(self, text: str) -> "SourceLocation":
+        """Location after consuming ``text`` starting at this location."""
+        nl = text.count("\n")
+        if nl:
+            line = self.line + nl
+            column = len(text) - text.rfind("\n") - 1
+        else:
+            line = self.line
+            column = self.column + len(text)
+        return SourceLocation(line, column, self.offset + len(text), self.filename)
+
+
+@dataclass(frozen=True, slots=True)
+class SourceSpan:
+    """A half-open region ``[start, end)`` of a source file."""
+
+    start: SourceLocation = field(default_factory=SourceLocation)
+    end: SourceLocation = field(default_factory=SourceLocation)
+
+    @staticmethod
+    def at(loc: SourceLocation) -> "SourceSpan":
+        return SourceSpan(loc, loc)
+
+    def __str__(self) -> str:
+        return str(self.start)
+
+
+class Severity(enum.IntEnum):
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    severity: Severity
+    message: str
+    span: SourceSpan = field(default_factory=SourceSpan)
+    phase: str = ""
+
+    def __str__(self) -> str:
+        tag = self.severity.name.lower()
+        where = f"{self.span}" if self.span else "<unknown>"
+        prefix = f"[{self.phase}] " if self.phase else ""
+        return f"{where}: {tag}: {prefix}{self.message}"
+
+
+class DiagnosticError(Exception):
+    """Raised when a phase cannot continue past accumulated errors."""
+
+    def __init__(self, diagnostics: "Diagnostics"):
+        self.diagnostics = diagnostics
+        super().__init__("\n".join(str(d) for d in diagnostics.errors()))
+
+
+class Diagnostics:
+    """An append-only sink of diagnostics shared across translator phases."""
+
+    def __init__(self) -> None:
+        self._items: list[Diagnostic] = []
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def emit(self, diag: Diagnostic) -> None:
+        self._items.append(diag)
+
+    def error(self, message: str, span: SourceSpan | None = None, phase: str = "") -> None:
+        self.emit(Diagnostic(Severity.ERROR, message, span or SourceSpan(), phase))
+
+    def warning(self, message: str, span: SourceSpan | None = None, phase: str = "") -> None:
+        self.emit(Diagnostic(Severity.WARNING, message, span or SourceSpan(), phase))
+
+    def note(self, message: str, span: SourceSpan | None = None, phase: str = "") -> None:
+        self.emit(Diagnostic(Severity.NOTE, message, span or SourceSpan(), phase))
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity is Severity.ERROR]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self._items)
+
+    def check(self) -> None:
+        """Raise :class:`DiagnosticError` if any error has been emitted."""
+        if self.has_errors:
+            raise DiagnosticError(self)
+
+    def format(self) -> str:
+        return "\n".join(str(d) for d in self._items)

@@ -1,0 +1,257 @@
+"""Attribute evaluation: synthesized, inherited, autocopy, forwarding,
+higher-order attributes, cycles, and memoization."""
+
+import pytest
+
+from repro.ag import (
+    AGError,
+    AGSpec,
+    CyclicAttributeError,
+    MissingEquationError,
+    Node,
+    decorate,
+)
+
+
+@pytest.fixture()
+def arith() -> AGSpec:
+    """A tiny arithmetic language: value synthesis + env inheritance."""
+    ag = AGSpec("arith")
+    ag.nonterminal("Expr")
+    ag.abstract_production("num", "Expr", ["#value"])
+    ag.abstract_production("var", "Expr", ["#value"])
+    ag.abstract_production("add", "Expr", ["Expr", "Expr"])
+    ag.abstract_production("let", "Expr", ["#value", "Expr", "Expr"])
+    ag.synthesized("value", on="Expr")
+    ag.inherited("env", on="Expr", autocopy=True)
+    ag.equation("num", "value", lambda n: n.node.children[0])
+    ag.equation("var", "value", lambda n: n.inh("env")[n.node.children[0]])
+    ag.equation("add", "value", lambda n: n[0].value + n[1].value)
+    ag.equation("let", "value", lambda n: n[2].value)
+    ag.inh_equation(
+        "let", 2, "env",
+        lambda p: {**p.inh("env"), p.node.children[0]: p[1].value},
+    )
+    return ag
+
+
+def test_synthesized_evaluation(arith):
+    t = arith.make("add", [arith.make("num", [2]), arith.make("num", [3])])
+    assert decorate(arith, t).value == 5
+
+
+def test_inherited_env_via_root(arith):
+    t = arith.make("var", ["x"])
+    assert decorate(arith, t, {"env": {"x": 7}}).value == 7
+
+
+def test_autocopy_through_add(arith):
+    t = arith.make("add", [arith.make("var", ["x"]), arith.make("num", [1])])
+    assert decorate(arith, t, {"env": {"x": 10}}).value == 11
+
+
+def test_let_overrides_env(arith):
+    # let x = 4 in x + x  (outer env also has x, shadowed)
+    t = arith.make(
+        "let",
+        ["x", arith.make("num", [4]),
+         arith.make("add", [arith.make("var", ["x"]), arith.make("var", ["x"])])],
+    )
+    assert decorate(arith, t, {"env": {"x": 99}}).value == 8
+
+
+def test_let_binding_expr_sees_outer_env(arith):
+    # let x = y in x   with y bound outside
+    t = arith.make(
+        "let", ["x", arith.make("var", ["y"]), arith.make("var", ["x"])]
+    )
+    assert decorate(arith, t, {"env": {"y": 3}}).value == 3
+
+
+def test_missing_root_inherited_raises(arith):
+    t = arith.make("var", ["x"])
+    with pytest.raises(MissingEquationError, match="not supplied at tree root"):
+        decorate(arith, t).value
+
+
+def test_missing_syn_equation_raises():
+    ag = AGSpec("g")
+    ag.nonterminal("E")
+    ag.abstract_production("leaf", "E", [])
+    ag.synthesized("v", on="E")
+    with pytest.raises(MissingEquationError, match="does not forward"):
+        decorate(ag, ag.make("leaf")).att("v")
+
+
+def test_default_used_when_no_equation():
+    ag = AGSpec("g")
+    ag.nonterminal("E")
+    ag.abstract_production("leaf", "E", [])
+    ag.synthesized("errors", on="E")
+    ag.default("errors", lambda n: [])
+    assert decorate(ag, ag.make("leaf")).att("errors") == []
+
+
+def test_arity_check():
+    ag = AGSpec("g")
+    ag.nonterminal("E")
+    ag.abstract_production("pair", "E", ["E", "E"])
+    with pytest.raises(AGError, match="expects 2"):
+        ag.make("pair", [])
+
+
+def test_unknown_production():
+    ag = AGSpec("g")
+    with pytest.raises(AGError, match="unknown"):
+        ag.make("nope")
+
+
+def test_cycle_detection():
+    ag = AGSpec("g")
+    ag.nonterminal("E")
+    ag.abstract_production("loop", "E", [])
+    ag.synthesized("v", on="E")
+    ag.equation("loop", "v", lambda n: n.att("v"))
+    with pytest.raises(CyclicAttributeError):
+        decorate(ag, ag.make("loop")).att("v")
+
+
+def test_memoization_evaluates_once():
+    calls = []
+    ag = AGSpec("g")
+    ag.nonterminal("E")
+    ag.abstract_production("leaf", "E", [])
+    ag.synthesized("v", on="E")
+    ag.equation("leaf", "v", lambda n: calls.append(1) or 42)
+    dn = decorate(ag, ag.make("leaf"))
+    assert dn.att("v") == 42 and dn.att("v") == 42
+    assert len(calls) == 1
+
+
+class TestForwarding:
+    """Forwarding: the translation mechanism for extension constructs."""
+
+    @pytest.fixture()
+    def spec(self) -> AGSpec:
+        ag = AGSpec("host")
+        ag.nonterminal("Expr")
+        ag.abstract_production("num", "Expr", ["#value"])
+        ag.abstract_production("add", "Expr", ["Expr", "Expr"])
+        ag.synthesized("value", on="Expr")
+        ag.synthesized("ctrans", on="Expr")
+        ag.inherited("env", on="Expr", autocopy=True)
+        ag.equation("num", "value", lambda n: n.node.children[0])
+        ag.equation("add", "value", lambda n: n[0].value + n[1].value)
+        ag.equation("num", "ctrans", lambda n: str(n.node.children[0]))
+        ag.equation("add", "ctrans", lambda n: f"({n[0].ctrans} + {n[1].ctrans})")
+        # Extension: `double e` forwards to `e + e`.
+        ag.abstract_production("double", "Expr", ["Expr"], origin="ext")
+        ag.forward(
+            "double",
+            lambda n: ag.make("add", [n.node.children[0], n.node.children[0]]),
+        )
+        return ag
+
+    def test_forward_provides_all_host_attributes(self, spec):
+        t = spec.make("double", [spec.make("num", [21])])
+        dn = decorate(spec, t)
+        assert dn.value == 42
+        assert dn.ctrans == "(21 + 21)"
+
+    def test_explicit_equation_overrides_forward(self, spec):
+        spec.equation("double", "ctrans", lambda n: f"2*{n[0].ctrans}")
+        t = spec.make("double", [spec.make("num", [21])])
+        assert decorate(spec, t).ctrans == "2*21"
+        assert decorate(spec, t).value == 42  # still via forward
+
+    def test_forward_chains(self, spec):
+        # quadruple forwards to double which forwards to add: attributes
+        # flow through a chain of forwards (extension-on-extension).
+        spec.abstract_production("quadruple", "Expr", ["Expr"], origin="ext2")
+        spec.forward(
+            "quadruple",
+            lambda n: spec.make("double",
+                                [spec.make("double", [n.node.children[0]])]),
+        )
+        t = spec.make("quadruple", [spec.make("num", [5])])
+        from repro.ag import decorate
+
+        dn = decorate(spec, t)
+        assert dn.value == 20
+        assert dn.ctrans == "((5 + 5) + (5 + 5))"
+
+    def test_forward_receives_forwarder_inherited(self, spec):
+        # A forward whose tree mentions variables must see the same env.
+        spec.abstract_production("var", "Expr", ["#value"])
+        spec.equation("var", "value", lambda n: n.inh("env")[n.node.children[0]])
+        spec.equation("var", "ctrans", lambda n: n.node.children[0])
+        spec.abstract_production("incr", "Expr", ["#value"], origin="ext")
+        spec.forward(
+            "incr",
+            lambda n: spec.make(
+                "add", [spec.make("var", [n.node.children[0]]), spec.make("num", [1])]
+            ),
+        )
+        t = spec.make("incr", ["x"])
+        assert decorate(spec, t, {"env": {"x": 9}}).value == 10
+
+
+class TestHigherOrder:
+    def test_decorate_local_tree(self):
+        """A higher-order attribute: an equation builds and decorates a tree."""
+        ag = AGSpec("g")
+        ag.nonterminal("E")
+        ag.abstract_production("num", "E", ["#value"])
+        ag.abstract_production("add", "E", ["E", "E"])
+        ag.abstract_production("square", "E", ["E"])
+        ag.synthesized("value", on="E")
+        ag.equation("num", "value", lambda n: n.node.children[0])
+        ag.equation("add", "value", lambda n: n[0].value + n[1].value)
+
+        def square_value(n):
+            # Build `e + e ... ` no — build add(e, e) then sum with itself:
+            doubled = ag.make("add", [n.node.children[0], n.node.children[0]])
+            v = n.decorate(doubled).value
+            return v * v // 4
+
+        ag.equation("square", "value", square_value)
+        t = ag.make("square", [ag.make("num", [6])])
+        assert decorate(ag, t).value == 36
+
+    def test_decorated_local_tree_gets_inherited(self):
+        ag = AGSpec("g")
+        ag.nonterminal("E")
+        ag.abstract_production("var", "E", ["#value"])
+        ag.abstract_production("twice_x", "E", [])
+        ag.synthesized("value", on="E")
+        ag.inherited("env", on="E", autocopy=True)
+        ag.equation("var", "value", lambda n: n.inh("env")[n.node.children[0]])
+        ag.equation(
+            "twice_x",
+            "value",
+            lambda n: n.decorate(ag.make("var", ["x"])).value * 2,
+        )
+        t = ag.make("twice_x")
+        assert decorate(ag, t, {"env": {"x": 5}}).value == 10
+
+
+class TestComposition:
+    def test_compose_merges_and_rejects_duplicates(self):
+        host = AGSpec("host")
+        host.nonterminal("E")
+        host.abstract_production("num", "E", ["#value"])
+        host.synthesized("v", on="E")
+        host.equation("num", "v", lambda n: n.node.children[0])
+
+        ext = AGSpec("ext")
+        ext.abstract_production("neg", "E", ["E"], origin="ext")
+        ext.equation("neg", "v", lambda n: -n[0].att("v"))
+
+        composed = host.compose(ext)
+        t = composed.make("neg", [composed.make("num", [3])])
+        assert decorate(composed, t).att("v") == -3
+
+        bad = AGSpec("bad")
+        bad.abstract_production("num", "E", ["#value"])
+        with pytest.raises(AGError, match="two modules"):
+            host.compose(bad)

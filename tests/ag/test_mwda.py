@@ -1,0 +1,98 @@
+"""Modular well-definedness analysis (§VI-B)."""
+
+from repro.ag import AGSpec, check_well_definedness
+
+
+def host_spec() -> AGSpec:
+    ag = AGSpec("host")
+    ag.nonterminal("Expr")
+    ag.abstract_production("num", "Expr", ["#value"])
+    ag.abstract_production("add", "Expr", ["Expr", "Expr"])
+    ag.synthesized("ctrans", on="Expr")
+    ag.synthesized("errors", on="Expr")
+    ag.inherited("env", on="Expr", autocopy=True)
+    ag.default("errors", lambda n: [])
+    ag.equation("num", "ctrans", lambda n: str(n.node.children[0]))
+    ag.equation("add", "ctrans", lambda n: f"{n[0].ctrans}+{n[1].ctrans}")
+    return ag
+
+
+def test_complete_host_passes():
+    report = check_well_definedness(host_spec())
+    assert report.passed, str(report)
+
+
+def test_missing_equation_fails():
+    ag = host_spec()
+    ag.abstract_production("sub", "Expr", ["Expr", "Expr"])  # no ctrans eq
+    report = check_well_definedness(ag)
+    assert not report.passed
+    assert any("sub" in v and "ctrans" in v for v in report.violations)
+
+
+def test_forwarding_production_passes_without_equations():
+    ag = host_spec()
+    ag.abstract_production("double", "Expr", ["Expr"], origin="ext")
+    ag.forward("double", lambda n: ag.make("add", [n.node.children[0], n.node.children[0]]))
+    report = check_well_definedness(ag)
+    assert report.passed, str(report)
+
+
+def test_default_satisfies_completeness():
+    # `errors` has a default, so no production needs an explicit equation.
+    report = check_well_definedness(host_spec())
+    assert not any("errors" in v for v in report.violations)
+
+
+def test_non_autocopy_inherited_needs_equations():
+    ag = AGSpec("g")
+    ag.nonterminal("E")
+    ag.abstract_production("wrap", "E", ["E"])
+    ag.abstract_production("leaf", "E", [])
+    ag.inherited("depth", on="E", autocopy=False)
+    report = check_well_definedness(ag)
+    assert not report.passed
+    assert any("depth" in v for v in report.violations)
+
+
+def test_autocopy_requires_occurrence_on_lhs():
+    ag = AGSpec("g")
+    ag.nonterminal("S")
+    ag.nonterminal("E")
+    ag.abstract_production("root", "S", ["E"])
+    ag.abstract_production("leaf", "E", [])
+    # env occurs on E but NOT on S: autocopy from root is not well-founded.
+    ag.inherited("env", on="E", autocopy=True)
+    report = check_well_definedness(ag)
+    assert not report.passed
+    assert any("env" in v for v in report.violations)
+
+
+def test_extension_equation_on_foreign_prod_and_attr_flagged():
+    host = host_spec()
+    ext = AGSpec("ext")
+    # ext defines an equation for the HOST attribute ctrans on the HOST
+    # production num — interference two extensions could collide on.
+    ext.abstract_production("neg", "Expr", ["Expr"], origin="ext")
+    ext.equation("neg", "ctrans", lambda n: f"-{n[0].ctrans}", origin="ext")
+    ext.equation_origin[("num", "ctrans2")] = "ext"  # simulate foreign override
+
+    composed = host.compose(ext)
+    # The simulated foreign equation targets an undeclared production/attr
+    # combination; MWDA reports it rather than crashing.
+    report = check_well_definedness(composed)
+    assert not report.passed
+
+
+def test_extension_view_blames_only_extension():
+    host = host_spec()
+    host.abstract_production("sub", "Expr", ["Expr", "Expr"])  # host bug
+    ext = AGSpec("ext")
+    ext.abstract_production("neg", "Expr", ["Expr"], origin="ext")
+    ext.equation("neg", "ctrans", lambda n: f"-{n[0].att('ctrans')}", origin="ext")
+    composed = host.compose(ext)
+    # Full check sees the host bug...
+    assert not check_well_definedness(composed).passed
+    # ...but the extension-scoped view passes: ext's own obligations are met.
+    report = check_well_definedness(composed, module="ext")
+    assert report.passed, str(report)

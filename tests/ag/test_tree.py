@@ -1,0 +1,76 @@
+"""Node tree utilities (the substrate higher-order transforms rely on)."""
+
+from repro.ag.tree import Node
+from repro.cminus.grammar import mk
+
+
+def sample() -> Node:
+    return mk.binop("+", mk.binop("*", mk.var("a"), mk.intLit(2)),
+                    mk.var("b"))
+
+
+class TestWalk:
+    def test_preorder(self):
+        t = sample()
+        prods = [n.prod for n in t.walk()]
+        assert prods == ["binop", "binop", "var", "intLit", "var"]
+
+    def test_count_and_find(self):
+        t = sample()
+        assert t.count("var") == 2
+        assert len(t.find_all("binop")) == 2
+
+
+class TestReplace:
+    def test_replace_by_identity(self):
+        t = sample()
+        target = t.children[2]  # var b
+        new = mk.intLit(9)
+        out = t.replace(target, new)
+        assert out.children[2] is new
+        # untouched subtree shared, not copied
+        assert out.children[1] is t.children[1]
+        # original unchanged
+        assert t.children[2] is target
+
+    def test_replace_no_match_returns_self(self):
+        t = sample()
+        assert t.replace(mk.var("zzz"), mk.intLit(0)) is t
+
+    def test_replace_deep(self):
+        t = sample()
+        inner_a = t.children[1].children[1]
+        out = t.replace(inner_a, mk.var("c"))
+        assert out.children[1].children[1].children[0] == "c"
+        # the spine is rebuilt, the sibling leaf shared
+        assert out.children[1] is not t.children[1]
+        assert out.children[2] is t.children[2]
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        assert sample() == sample()
+
+    def test_inequality(self):
+        a = sample()
+        b = mk.binop("-", mk.var("a"), mk.var("b"))
+        assert a != b
+
+
+class TestSpans:
+    def test_inferred_from_token_children(self):
+        from repro.lexing.scanner import Token
+        from repro.util.diagnostics import SourceLocation, SourceSpan
+
+        t1 = Token("IntLit", "1", SourceSpan(
+            SourceLocation(1, 0, 0), SourceLocation(1, 1, 1)))
+        t2 = Token("IntLit", "22", SourceSpan(
+            SourceLocation(1, 4, 4), SourceLocation(1, 6, 6)))
+        n = Node("pair", [t1, t2])
+        assert n.span.start.offset == 0
+        assert n.span.end.offset == 6
+
+    def test_parser_attaches_spans(self, host_translator):
+        root = host_translator.parse("int main() {\n  return 1 + 2;\n}")
+        adds = root.find_all("binop")
+        assert adds and adds[0].span.start.line == 2

@@ -1,0 +1,120 @@
+"""RMAT format: roundtrips (Python<->Python and Python<->C runtime)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.cexec.rmat import RMATError, read_rmat, write_rmat
+
+
+class TestRoundtrip:
+    def test_float_cube(self, tmp_path):
+        a = np.random.default_rng(0).normal(0, 1, (3, 4, 5)).astype(np.float32)
+        write_rmat(tmp_path / "x", a)
+        assert np.array_equal(read_rmat(tmp_path / "x"), a)
+
+    def test_int_vector(self, tmp_path):
+        a = np.array([-5, 0, 7, 123456], dtype=np.int32)
+        write_rmat(tmp_path / "x", a)
+        got = read_rmat(tmp_path / "x")
+        assert got.dtype.kind == "i" and np.array_equal(got, a)
+
+    def test_bool_becomes_int(self, tmp_path):
+        a = np.array([True, False, True])
+        write_rmat(tmp_path / "x", a)
+        got = read_rmat(tmp_path / "x")
+        assert got.dtype.kind == "i" and np.array_equal(got, a.astype(np.int32))
+
+    def test_float64_downcast(self, tmp_path):
+        a = np.array([1.5, 2.5], dtype=np.float64)
+        write_rmat(tmp_path / "x", a)
+        assert read_rmat(tmp_path / "x").dtype == np.float32
+
+    def test_noncontiguous_input(self, tmp_path):
+        a = np.arange(24, dtype=np.float32).reshape(4, 6)[:, ::2]
+        write_rmat(tmp_path / "x", a)
+        assert np.array_equal(read_rmat(tmp_path / "x"), a)
+
+    def test_bad_magic(self, tmp_path):
+        (tmp_path / "x").write_bytes(b"NOPE1234")
+        with pytest.raises(RMATError, match="not an RMAT"):
+            read_rmat(tmp_path / "x")
+
+    def test_truncated_payload(self, tmp_path):
+        a = np.zeros((4, 4), dtype=np.float32)
+        write_rmat(tmp_path / "x", a)
+        data = (tmp_path / "x").read_bytes()
+        (tmp_path / "x").write_bytes(data[:-8])
+        with pytest.raises(RMATError, match="payload"):
+            read_rmat(tmp_path / "x")
+
+    def test_unsupported_dtype(self, tmp_path):
+        with pytest.raises(RMATError, match="unsupported"):
+            write_rmat(tmp_path / "x", np.array(["a", "b"]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays(np.float32,
+              array_shapes(min_dims=1, max_dims=4, min_side=0, max_side=6),
+              elements=st.floats(-1e6, 1e6, width=32)))
+def test_roundtrip_property_float(tmp_path_factory, a):
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as td:
+        p = Path(td) / "x"
+        write_rmat(p, a)
+        got = read_rmat(p)
+    assert got.shape == a.shape
+    assert np.array_equal(got, a, equal_nan=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.int32,
+              array_shapes(min_dims=1, max_dims=3, min_side=0, max_side=8),
+              elements=st.integers(-2**31, 2**31 - 1)))
+def test_roundtrip_property_int(a):
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as td:
+        p = Path(td) / "x"
+        write_rmat(p, a)
+        got = read_rmat(p)
+    assert np.array_equal(got, a)
+
+
+class TestCInterop:
+    """The C runtime and the Python reader agree on the format."""
+
+    def test_python_write_c_read_c_write_python_read(self, tmp_path):
+        from repro.cexec import compile_and_run, gcc_available
+
+        if not gcc_available():
+            pytest.skip("gcc not available")
+        a = np.random.default_rng(1).normal(0, 1, (5, 7)).astype(np.float32)
+        src = """int main() {
+            Matrix float <2> m = readMatrix("in.data");
+            writeMatrix("out.data", m);
+            return 0;
+        }"""
+        run = compile_and_run(src, ["matrix"], {"in.data": a},
+                              output_names=["out.data"])
+        assert np.array_equal(run.outputs["out.data"], a)
+
+    def test_int_matrix_through_c(self, tmp_path):
+        from repro.cexec import compile_and_run, gcc_available
+
+        if not gcc_available():
+            pytest.skip("gcc not available")
+        a = np.arange(-6, 6, dtype=np.int32).reshape(3, 4)
+        src = """int main() {
+            Matrix int <2> m = readMatrix("in.data");
+            writeMatrix("out.data", m + 1);
+            return 0;
+        }"""
+        run = compile_and_run(src, ["matrix"], {"in.data": a},
+                              output_names=["out.data"])
+        assert np.array_equal(run.outputs["out.data"], a + 1)

@@ -1,0 +1,246 @@
+"""Host-language execution semantics (interpreter backend, C semantics)."""
+
+import pytest
+
+
+def ret(xc_host, src: str) -> int:
+    rc, _outs, _interp = xc_host.run(src)
+    return rc
+
+
+def printed(xc_host, src: str) -> list[str]:
+    _rc, _outs, interp = xc_host.run(src)
+    return interp.stdout
+
+
+class TestArithmetic:
+    def test_basic(self, xc_host):
+        assert ret(xc_host, "int main() { return 2 + 3 * 4; }") == 14
+
+    def test_int_division_truncates_toward_zero(self, xc_host):
+        assert ret(xc_host, "int main() { return 7 / 2; }") == 3
+        assert ret(xc_host, "int main() { return -7 / 2; }") == -3
+        assert ret(xc_host, "int main() { return 7 / -2; }") == -3
+
+    def test_c_modulo_sign(self, xc_host):
+        assert ret(xc_host, "int main() { return -7 % 3; }") == -1
+        assert ret(xc_host, "int main() { return 7 % -3; }") == 1
+
+    def test_float_to_int_cast_truncates(self, xc_host):
+        assert ret(xc_host, "int main() { return (int) 2.9; }") == 2
+
+    def test_mixed_arith_promotes(self, xc_host):
+        out = printed(xc_host, "int main() { printFloat(1 / 2.0); return 0; }")
+        assert out == ["0.5"]
+
+    def test_unary_ops(self, xc_host):
+        assert ret(xc_host, "int main() { return -(-5); }") == 5
+        assert ret(xc_host, "int main() { if (!false) return 1; return 0; }") == 1
+
+    def test_compound_assign(self, xc_host):
+        assert ret(xc_host, "int main() { int x = 10; x += 5; x -= 3; return x; }") == 12
+
+
+class TestControlFlow:
+    def test_if_else_chain(self, xc_host):
+        src = """
+        int classify(int x) {
+            if (x < 0) return -1;
+            else if (x == 0) return 0;
+            else return 1;
+        }
+        int main() { return classify(-5) + classify(0) * 10 + classify(7) * 100; }
+        """
+        assert ret(xc_host, src) == 99
+
+    def test_while_with_break_continue(self, xc_host):
+        src = """
+        int main() {
+            int total = 0;
+            int i = 0;
+            while (true) {
+                i = i + 1;
+                if (i > 10) break;
+                if (i % 2 == 0) continue;
+                total = total + i;   // 1+3+5+7+9
+            }
+            return total;
+        }
+        """
+        assert ret(xc_host, src) == 25
+
+    def test_nested_loops(self, xc_host):
+        src = """
+        int main() {
+            int count = 0;
+            for (int i = 0; i < 4; i = i + 1)
+                for (int j = 0; j < 4; j = j + 1)
+                    if (i < j) count = count + 1;
+            return count;
+        }
+        """
+        assert ret(xc_host, src) == 6
+
+    def test_do_while_runs_at_least_once(self, xc_host):
+        assert ret(xc_host,
+                   "int main() { int x = 0; do x = 9; while (false); return x; }"
+                   ) == 9
+
+    def test_do_while_break_continue(self, xc_host):
+        src = """
+        int main() {
+            int i = 0;
+            int total = 0;
+            do {
+                total = total + i;
+                i = i + 1;
+                if (i == 4) continue;
+                if (i > 6) break;
+            } while (i < 100);
+            return total;   // 0+1+...+6
+        }
+        """
+        assert ret(xc_host, src) == 21
+
+    def test_short_circuit_and(self, xc_host):
+        # the second operand would divide by zero if evaluated
+        src = """
+        int boom(int x) { return 1 / x; }
+        int main() {
+            int z = 0;
+            if (z != 0 && boom(z) > 0) return 1;
+            return 42;
+        }
+        """
+        assert ret(xc_host, src) == 42
+
+    def test_short_circuit_or(self, xc_host):
+        src = """
+        int boom(int x) { return 1 / x; }
+        int main() {
+            int z = 0;
+            if (z == 0 || boom(z) > 0) return 42;
+            return 1;
+        }
+        """
+        assert ret(xc_host, src) == 42
+
+
+class TestFunctions:
+    def test_recursion(self, xc_host):
+        src = """
+        int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+        int main() { return fib(12); }
+        """
+        assert ret(xc_host, src) == 144
+
+    def test_mutual_recursion(self, xc_host):
+        src = """
+        int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+        int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+        int main() { return even(10) * 10 + odd(7); }
+        """
+        assert ret(xc_host, src) == 11
+
+    def test_params_by_value(self, xc_host):
+        src = """
+        void mutate(int x) { x = 99; }
+        int main() { int x = 5; mutate(x); return x; }
+        """
+        assert ret(xc_host, src) == 5
+
+    def test_void_function_side_effect_via_print(self, xc_host):
+        src = """
+        void report(int x) { printInt(x * 2); }
+        int main() { report(21); return 0; }
+        """
+        assert printed(xc_host, src) == ["42"]
+
+
+class TestTuples:
+    def test_destructuring(self, xc_host):
+        src = """
+        (int, int) divmod(int a, int b) { return (a / b, a % b); }
+        int main() {
+            int q = 0;
+            int r = 0;
+            (q, r) = divmod(17, 5);
+            return q * 10 + r;
+        }
+        """
+        assert ret(xc_host, src) == 32
+
+    def test_tuple_through_variable(self, xc_host):
+        src = """
+        int main() {
+            (int, float) t = (3, 2.5);
+            int a = 0;
+            float b = 0.0;
+            (a, b) = t;
+            return a;
+        }
+        """
+        assert ret(xc_host, src) == 3
+
+    def test_three_way_tuple(self, xc_host):
+        src = """
+        (int, int, int) three() { return (1, 2, 3); }
+        int main() {
+            int a = 0; int b = 0; int c = 0;
+            (a, b, c) = three();
+            return a * 100 + b * 10 + c;
+        }
+        """
+        assert ret(xc_host, src) == 123
+
+
+class TestScoping:
+    def test_block_shadowing(self, xc_host):
+        src = """
+        int main() {
+            int x = 1;
+            { int x = 2; x = x + 1; }
+            return x;
+        }
+        """
+        assert ret(xc_host, src) == 1
+
+    def test_for_scope_reuse(self, xc_host):
+        src = """
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 3; i = i + 1) total = total + i;
+            for (int i = 10; i < 12; i = i + 1) total = total + i;
+            return total;
+        }
+        """
+        assert ret(xc_host, src) == 24
+
+
+@pytest.mark.usefixtures("xc_host")
+class TestNativeAgreement:
+    """The interpreter and the gcc backend must agree on host programs."""
+
+    PROGRAMS = [
+        "int main() { return 7 / 2 + -7 / 2 + 100; }",
+        "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }"
+        " int main() { return fib(10); }",
+        "int main() { int t = 0; for (int i = 0; i < 10; i = i + 1)"
+        " { if (i % 3 == 0) continue; t = t + i; } return t; }",
+        "(int, int) p() { return (6, 7); } int main() { int a = 0; int b = 0;"
+        " (a, b) = p(); return a * b; }",
+    ]
+
+    @pytest.mark.parametrize("src", PROGRAMS, ids=["div", "fib", "loop", "tuple"])
+    def test_backends_agree(self, xc_host, src):
+        from tests.conftest import requires_gcc  # noqa: F401
+        from repro.cexec import gcc_available
+
+        interp_rc = ret(xc_host, src)
+        if gcc_available():
+            from repro.cexec import compile_and_run
+
+            native = compile_and_run(src, [], check=False)
+            assert native.returncode == interp_rc
+        else:
+            pytest.skip("gcc not available")

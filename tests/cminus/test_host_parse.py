@@ -1,0 +1,126 @@
+"""CMINUS concrete syntax: what parses and what doesn't."""
+
+import pytest
+
+from repro.lexing import ScanError
+from repro.parsing import ParseError
+
+
+def parses(tr, src: str) -> bool:
+    tr.parse(src)
+    return True
+
+
+GOOD = [
+    "int main() { return 0; }",
+    "void f() { } int main() { return 0; }",
+    "int main() { int x = 1; float y = 2.5; bool b = true; return x; }",
+    "int main() { int x = 1 + 2 * 3 - 4 / 5 % 6; return x; }",
+    "int main() { bool b = 1 < 2 && 3 >= 4 || !(5 == 6); return 0; }",
+    "int main() { if (true) return 1; else return 0; }",
+    "int main() { if (true) if (false) return 1; else return 2; return 0; }",
+    "int main() { while (1 < 2) break; return 0; }",
+    "int main() { for (int i = 0; i < 10; i = i + 1) continue; return 0; }",
+    "int main() { int i = 0; for (i = 1; i < 3; i = i + 1) { } return i; }",
+    "int f(int a, float b) { return a; } int main() { return f(1, 2.0); }",
+    "int main() { int x = 0; x += 2; x -= 1; return x; }",
+    "int main() { float f = (float) 3; int i = (int) 2.5; return i; }",
+    "int main(int argc, char ** argv) { return argc; }",
+    'int main() { int x = 1; /* block\ncomment */ return x; // line\n}',
+    "int main() { { int x = 1; } { int x = 2; } return 0; }",
+    # host-packaged syntax (semantics may error later; syntax parses)
+    "int main() { (int, float) t = (1, 2.0); return 0; }",
+    "int main() { float x = m[1, 0:4, :, end - 1]; return 0; }",
+    "int main() { int r = (0 :: 9); return 0; }",
+    "int main() { float y = a .* b; return 0; }",
+]
+
+BAD = [
+    "",                                      # empty program is not a TU? (it is; main check is semantic)
+    "int main() { return 0 }",               # missing semicolon
+    "int main() { int 3x = 1; return 0; }",  # bad identifier
+    "int main() { return (1 + ; }",          # broken expression
+    "int main() { if true return 1; }",      # missing parens
+    "int main() { for (int i = 0; i < 10) return 0; }",  # missing clause
+    "int main() { int x = 1; } }",           # extra brace
+    "int x;",                                # no globals in CMINUS
+    "int main() { x ==; }",                  # garbage statement
+    "int main() { 'c' }",                    # no char literals in CMINUS
+]
+
+
+@pytest.mark.parametrize("src", GOOD, ids=[f"good{i}" for i in range(len(GOOD))])
+def test_accepts(host_translator, src):
+    if src == "":
+        host_translator.parse(src)  # empty TU parses; sema flags missing main
+        return
+    assert parses(host_translator, src)
+
+
+@pytest.mark.parametrize("src", [s for s in BAD if s], ids=[f"bad{i}" for i in range(1, len(BAD))])
+def test_rejects(host_translator, src):
+    with pytest.raises((ParseError, ScanError)):
+        host_translator.parse(src)
+
+
+class TestPrecedence:
+    def find_binop(self, node, op):
+        return [n for n in node.walk() if n.prod == "binop" and n.children[0] == op]
+
+    def test_mul_binds_tighter(self, host_translator):
+        root = host_translator.parse("int main() { int x = 1 + 2 * 3; return x; }")
+        adds = self.find_binop(root, "+")
+        assert adds and adds[0].children[2].prod == "binop"  # rhs is the *
+
+    def test_comparison_of_sums(self, host_translator):
+        root = host_translator.parse("int main() { bool b = 1 + 2 < 3 + 4; return 0; }")
+        lts = self.find_binop(root, "<")
+        assert lts and lts[0].children[1].prod == "binop"
+
+    def test_unary_minus(self, host_translator):
+        root = host_translator.parse("int main() { int x = -1 + 2; return x; }")
+        adds = self.find_binop(root, "+")
+        assert adds and adds[0].children[1].prod == "unop"
+
+    def test_assignment_right_assoc(self, host_translator):
+        root = host_translator.parse("int main() { int a = 0; int b = 0; a = b = 1; return a; }")
+        assigns = [n for n in root.walk() if n.prod == "assign"]
+        # a = (b = 1)
+        outer = [a for a in assigns if a.children[0].children[0] == "a"][0]
+        assert outer.children[1].prod == "assign"
+
+    def test_dangling_else_binds_inner(self, host_translator):
+        root = host_translator.parse(
+            "int main() { if (true) if (false) return 1; else return 2; return 0; }"
+        )
+        # the else must belong to the inner if: outer is plain ifStmt
+        if_elses = [n for n in root.walk() if n.prod == "ifElse"]
+        if_plains = [n for n in root.walk() if n.prod == "ifStmt"]
+        assert len(if_elses) == 1 and len(if_plains) == 1
+        assert any(c is if_elses[0] for c in if_plains[0].walk())
+
+    def test_range_expr_precedence(self, host_translator):
+        # a+1 :: b*2 groups the arithmetic under the range
+        root = host_translator.parse("int main() { int r = (1 + 1 :: 2 * 3); return 0; }")
+        ranges = [n for n in root.walk() if n.prod == "rangeE"]
+        assert ranges and ranges[0].children[0].prod == "binop"
+
+
+class TestCommentsAndTokens:
+    def test_keyword_prefix_identifiers(self, host_translator):
+        host_translator.parse("int main() { int iffy = 1; int forx = 2; return iffy + forx; }")
+
+    def test_float_forms(self, host_translator):
+        host_translator.parse(
+            "int main() { float a = 1.5; float b = 2.0e3; float c = 1e2; return 0; }"
+        )
+
+    def test_string_escapes(self, host_translator):
+        root = host_translator.parse(r'int main() { printInt(0); return 0; }')
+        assert root.prod == "root"
+
+    def test_leading_zero_int_is_decimal(self, host_translator):
+        # the paper's Fig 4 uses `01012000`; CMINUS reads it as decimal
+        root = host_translator.parse("int main() { return 01012000; }")
+        lits = [n for n in root.walk() if n.prod == "intLit"]
+        assert lits[0].children[0] == 1012000

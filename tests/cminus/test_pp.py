@@ -1,0 +1,135 @@
+"""The C pretty-printer: output forms and the unlowered-node guards."""
+
+import pytest
+
+from repro.ag.tree import Node
+from repro.cminus.grammar import mk
+from repro.cminus.pp import (
+    PPError,
+    pp_expr,
+    pp_expr_bare,
+    pp_function,
+    pp_prototype,
+    pp_stmt,
+    pp_type,
+)
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert pp_expr(mk.intLit(42)) == "42"
+        assert pp_expr(mk.floatLit(2.5)) == "2.5f"
+        assert pp_expr(mk.boolLit(True)) == "1"
+        assert pp_expr(mk.boolLit(False)) == "0"
+
+    def test_string_escaping(self):
+        out = pp_expr(mk.strLit('he said "hi"\n'))
+        assert out == '"he said \\"hi\\"\\n"'
+
+    def test_binop_parenthesized(self):
+        e = mk.binop("+", mk.var("a"), mk.binop("*", mk.var("b"), mk.var("c")))
+        assert pp_expr(e) == "(a + (b * c))"
+
+    def test_bare_strips_outer_parens_only(self):
+        e = mk.binop("<", mk.var("i"), mk.binop("+", mk.var("n"), mk.intLit(1)))
+        assert pp_expr_bare(e) == "i < (n + 1)"
+
+    def test_cast(self):
+        assert pp_expr(mk.castE(mk.tFloat(), mk.var("x"))) == "((float) x)"
+
+    def test_call(self):
+        e = mk.call("f", mk.expr_list([mk.intLit(1), mk.var("y")]))
+        assert pp_expr(e) == "f(1, y)"
+
+    def test_tuple_literal_form(self):
+        e = mk.call("__tuple_tup_i_f", mk.expr_list([mk.intLit(1), mk.floatLit(2.0)]))
+        assert pp_expr(e) == "((tup_i_f){1, 2.0f})"
+
+    def test_tuple_get_form(self):
+        e = mk.call("__tget_1", mk.expr_list([mk.var("t")]))
+        assert pp_expr(e) == "(t).f1"
+
+    def test_unlowered_expr_rejected(self):
+        with pytest.raises(PPError, match="unlowered"):
+            pp_expr(mk.endE())
+        with pytest.raises(PPError, match="unlowered"):
+            pp_expr(mk.rangeE(mk.intLit(0), mk.intLit(3)))
+        with pytest.raises(PPError, match="unlowered operator"):
+            pp_expr(mk.binop(".*", mk.var("a"), mk.var("b")))
+
+
+class TestTypes:
+    def test_builtin_types(self):
+        assert pp_type(mk.tInt()) == "int"
+        assert pp_type(mk.tBool()) == "int"
+        assert pp_type(mk.tPtr(mk.tChar())) == "char *"
+        assert pp_type(mk.tRaw("rt_mat *")) == "rt_mat *"
+
+    def test_unlowered_type_rejected(self):
+        t = mk.tTuple(mk.type_list([mk.tInt(), mk.tFloat()]))
+        with pytest.raises(PPError, match="unlowered type"):
+            pp_type(t)
+
+
+class TestStatements:
+    def test_block_and_indent(self):
+        s = mk.block(mk.stmt_list([
+            mk.declInit(mk.tInt(), "x", mk.intLit(1)),
+            mk.returnStmt(mk.var("x")),
+        ]))
+        out = pp_stmt(s)
+        assert out.splitlines()[0] == "{"
+        assert "    int x = 1;" in out
+        assert "    return x;" in out
+        assert out.splitlines()[-1] == "}"
+
+    def test_seq_stmt_no_braces(self):
+        s = mk.seqStmt(mk.stmt_list([
+            mk.exprStmt(mk.assign(mk.var("a"), mk.intLit(1))),
+            mk.exprStmt(mk.assign(mk.var("b"), mk.intLit(2))),
+        ]))
+        out = pp_stmt(s)
+        assert "{" not in out
+        assert out == "a = 1;\nb = 2;"
+
+    def test_for_header_bare(self):
+        s = Node("forStmt", [
+            Node("forDecl", [mk.tRaw("long"), "i", mk.intLit(0)]),
+            mk.binop("<", mk.var("i"), mk.var("n")),
+            mk.assign(mk.var("i"), mk.binop("+", mk.var("i"), mk.intLit(1))),
+            mk.block(mk.stmt_list([])),
+        ])
+        out = pp_stmt(s)
+        assert "for (long i = 0; i < n; i = i + 1)" in out
+
+    def test_if_else(self):
+        s = mk.ifElse(mk.var("c"), mk.returnStmt(mk.intLit(1)),
+                      mk.returnStmt(mk.intLit(0)))
+        out = pp_stmt(s)
+        assert "if (c)" in out and "else" in out
+
+    def test_pragma_rawstmt(self):
+        assert pp_stmt(mk.rawStmt("#pragma omp parallel for")) == \
+            "#pragma omp parallel for"
+
+
+class TestFunctions:
+    def mk_func(self):
+        return mk.funcDef(
+            mk.tInt(), "f",
+            mk.param_list([mk.param(mk.tInt(), "a"),
+                           mk.param(mk.tFloat(), "b")]),
+            mk.block(mk.stmt_list([mk.returnStmt(mk.var("a"))])),
+        )
+
+    def test_definition(self):
+        out = pp_function(self.mk_func())
+        assert out.startswith("int f(int a, float b)")
+
+    def test_prototype(self):
+        assert pp_prototype(self.mk_func()) == "int f(int, float);"
+
+    def test_no_params_void(self):
+        f = mk.funcDef(mk.tVoid(), "g", mk.param_list([]),
+                       mk.block(mk.stmt_list([mk.returnVoid()])))
+        assert "void g(void)" in pp_function(f)

@@ -1,0 +1,204 @@
+"""Host semantic analysis: errors CMINUS must report (and not report)."""
+
+import pytest
+
+
+def errors_of(xc_host, src):
+    return xc_host.check(src)
+
+
+def assert_error(xc_host, src, fragment):
+    errs = errors_of(xc_host, src)
+    assert any(fragment in e for e in errs), f"expected {fragment!r} in {errs}"
+
+
+def assert_clean(xc_host, src):
+    errs = errors_of(xc_host, src)
+    assert errs == [], errs
+
+
+class TestNamesAndScopes:
+    def test_undeclared_identifier(self, xc_host):
+        assert_error(xc_host, "int main() { return x; }", "undeclared identifier 'x'")
+
+    def test_use_before_declaration_in_block(self, xc_host):
+        assert_error(xc_host, "int main() { int y = x; int x = 1; return y; }",
+                     "undeclared identifier 'x'")
+
+    def test_redeclaration_same_scope(self, xc_host):
+        assert_error(xc_host, "int main() { int x = 1; int x = 2; return x; }",
+                     "redeclaration of 'x'")
+
+    def test_shadowing_in_inner_scope_ok(self, xc_host):
+        assert_clean(xc_host,
+                     "int main() { int x = 1; { int x = 2; x = 3; } return x; }")
+
+    def test_functions_mutually_visible(self, xc_host):
+        assert_clean(xc_host, """
+            int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+            int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+            int main() { return even(4); }
+        """)
+
+    def test_duplicate_function(self, xc_host):
+        assert_error(xc_host,
+                     "int f() { return 0; } int f() { return 1; } int main() { return 0; }",
+                     "duplicate definition of function 'f'")
+
+    def test_missing_main(self, xc_host):
+        assert_error(xc_host, "int f() { return 0; }", "missing definition of function 'main'")
+
+    def test_duplicate_parameter(self, xc_host):
+        assert_error(xc_host, "int f(int a, int a) { return a; } int main() { return 0; }",
+                     "duplicate parameter 'a'")
+
+    def test_void_parameter(self, xc_host):
+        assert_error(xc_host, "int f(void v) { return 0; } int main() { return 0; }",
+                     "has void type")
+
+    def test_void_variable(self, xc_host):
+        assert_error(xc_host, "int main() { void v; return 0; }", "declared void")
+
+    def test_loop_variable_scoped_to_loop(self, xc_host):
+        assert_error(xc_host,
+                     "int main() { for (int i = 0; i < 3; i = i + 1) { } return i; }",
+                     "undeclared identifier 'i'")
+
+
+class TestTypes:
+    def test_int_float_coercion_ok(self, xc_host):
+        assert_clean(xc_host, "int main() { float f = 1; int i = 2; f = i; return i; }")
+
+    def test_assign_string_to_int(self, xc_host):
+        errs = errors_of(xc_host, 'int main() { int x = 1; x = 1 == 2 && true; return x; }')
+        assert errs == []  # bool->int fine
+
+    def test_bad_modulo_operands(self, xc_host):
+        assert_error(xc_host, "int main() { int x = 1 % 2.5; return x; }",
+                     "invalid operands to '%'")
+
+    def test_bool_modulo_coerces_like_c(self, xc_host):
+        assert_clean(xc_host, "int main() { bool b = true; int x = b % true; return x; }")
+
+    def test_condition_must_be_boolish(self, xc_host):
+        assert_error(xc_host, "int main() { if (2.5) return 1; return 0; }",
+                     "condition has type float")
+
+    def test_return_type_mismatch(self, xc_host):
+        assert_error(xc_host, "void f() { return 3; } int main() { return 0; }",
+                     "return of type int from function returning void")
+
+    def test_return_without_value(self, xc_host):
+        assert_error(xc_host, "int f() { return; } int main() { return 0; }",
+                     "return without value")
+
+    def test_void_return_ok(self, xc_host):
+        assert_clean(xc_host, "void f() { return; } int main() { f(); return 0; }")
+
+    def test_cast_between_scalars_ok(self, xc_host):
+        assert_clean(xc_host, "int main() { int i = (int) 2.5; float f = (float) i; return i; }")
+
+    def test_arith_on_comparison_result(self, xc_host):
+        # (a < b) + 1 : bool+int -> int, C-compatible
+        assert_clean(xc_host, "int main() { int x = (1 < 2) + 1; return x; }")
+
+
+class TestCalls:
+    def test_wrong_arity(self, xc_host):
+        assert_error(xc_host,
+                     "int f(int a) { return a; } int main() { return f(1, 2); }",
+                     "expects 1 arguments, got 2")
+
+    def test_wrong_arg_type(self, xc_host):
+        assert_error(xc_host,
+                     "int f(int a) { return a; } int main() { (int, int) t = (1, 2); return f(t); }",
+                     "argument 1 of 'f'")
+
+    def test_call_undeclared(self, xc_host):
+        assert_error(xc_host, "int main() { return g(1); }",
+                     "call to undeclared function 'g'")
+
+    def test_call_non_function(self, xc_host):
+        assert_error(xc_host, "int main() { int g = 1; return g(1); }",
+                     "'g' is not a function")
+
+    def test_builtin_print(self, xc_host):
+        assert_clean(xc_host, "int main() { printInt(3); printFloat(2.5); return 0; }")
+
+
+class TestControlFlow:
+    def test_break_outside_loop(self, xc_host):
+        assert_error(xc_host, "int main() { break; return 0; }", "outside of a loop")
+
+    def test_continue_outside_loop(self, xc_host):
+        assert_error(xc_host, "int main() { continue; return 0; }", "outside of a loop")
+
+    def test_break_in_if_inside_loop_ok(self, xc_host):
+        assert_clean(xc_host,
+                     "int main() { while (true) { if (true) break; } return 0; }")
+
+    def test_break_in_function_called_from_loop(self, xc_host):
+        # lexical, not dynamic: still an error in the callee
+        assert_error(xc_host,
+                     "void f() { break; } int main() { while (true) f(); return 0; }",
+                     "outside of a loop")
+
+    def test_statement_with_no_effect(self, xc_host):
+        assert_error(xc_host, "int main() { 1 + 2; return 0; }", "no effect")
+
+
+class TestHostPackagedSyntax:
+    def test_end_outside_index(self, xc_host):
+        assert_error(xc_host, "int main() { int x = end; return x; }",
+                     "'end' used outside of a matrix index")
+
+    def test_range_without_matrix_extension(self, xc_host):
+        assert_error(xc_host, "int main() { int r = (1 :: 4); return 0; }",
+                     "no extension provides '::'")
+
+    def test_indexing_scalar(self, xc_host):
+        assert_error(xc_host, "int main() { int x = 3; int y = x[0]; return y; }",
+                     "is not indexable")
+
+    def test_tuple_decl_assign(self, xc_host):
+        assert_clean(xc_host, """
+            (int, float) pair() { return (1, 2.5); }
+            int main() { int a = 0; float b = 0.0; (a, b) = pair(); return a; }
+        """)
+
+    def test_tuple_arity_mismatch(self, xc_host):
+        assert_error(xc_host, """
+            (int, float) pair() { return (1, 2.5); }
+            int main() { int a = 0; int b = 0; int c = 0; (a, b, c) = pair(); return a; }
+        """, "cannot assign")
+
+    def test_tuple_component_not_lvalue(self, xc_host):
+        assert_error(xc_host, """
+            (int, int) pair() { return (1, 2); }
+            int main() { int a = 0; (a, 3) = pair(); return a; }
+        """, "not an lvalue")
+
+    def test_tuple_element_type_mismatch(self, xc_host):
+        assert_error(xc_host, """
+            (int, float) pair() { return (1, 2.5); }
+            int main() { int a = 0; bool b = false; (a, b) = pair(); return a; }
+        """, "cannot assign")
+
+    def test_assignment_target_not_lvalue(self, xc_host):
+        assert_error(xc_host, "int main() { 1 = 2; return 0; }", "not an lvalue")
+
+
+class TestErrorAccumulation:
+    def test_multiple_errors_reported_at_once(self, xc_host):
+        errs = errors_of(xc_host, """
+            int main() {
+                int x = y;
+                break;
+                return z;
+            }
+        """)
+        assert len(errs) >= 3
+
+    def test_error_locations_present(self, xc_host):
+        errs = errors_of(xc_host, "int main() {\n  return nope;\n}")
+        assert any(":2:" in e for e in errs)

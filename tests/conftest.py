@@ -1,0 +1,94 @@
+"""Shared fixtures: cached translators and execution helpers.
+
+Translator construction (LALR table generation) takes ~0.5s for the full
+extension stack, so translators are built once per session per extension
+set.  ``run_xc`` executes a program on the interpreter backend by
+default (no compile step); tests that specifically exercise the native
+path use the ``gcc`` fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Optimizations, make_translator
+from repro.cexec import gcc_available
+from repro.cexec.interp import Interpreter
+from repro.cexec.rmat import read_rmat, write_rmat
+
+_TRANSLATORS: dict[tuple, object] = {}
+
+
+def get_translator(extensions: tuple[str, ...] = ("matrix",), **opt_kwargs):
+    key = (extensions, tuple(sorted(opt_kwargs.items())))
+    if key not in _TRANSLATORS:
+        options = Optimizations(**opt_kwargs) if opt_kwargs else None
+        _TRANSLATORS[key] = make_translator(list(extensions), options=options)
+    return _TRANSLATORS[key]
+
+
+@pytest.fixture(scope="session")
+def matrix_translator():
+    return get_translator(("matrix",))
+
+
+@pytest.fixture(scope="session")
+def full_translator():
+    return get_translator(("matrix", "transform"))
+
+
+@pytest.fixture(scope="session")
+def host_translator():
+    return get_translator(())
+
+
+class XCRunner:
+    """Translate + interpret extended-C programs inside a test tmpdir."""
+
+    def __init__(self, tmp_path, extensions=("matrix",), **opt_kwargs):
+        self.tmp_path = tmp_path
+        self.translator = get_translator(tuple(extensions), **opt_kwargs)
+
+    def check(self, source: str) -> list[str]:
+        """Errors only (no lowering)."""
+        return self.translator.compile(source, check_only=True).errors
+
+    def run(
+        self,
+        source: str,
+        inputs: dict[str, np.ndarray] | None = None,
+        outputs: list[str] | None = None,
+        nthreads: int = 1,
+    ):
+        result = self.translator.compile(source)
+        assert result.ok, "\n".join(result.errors)
+        for name, arr in (inputs or {}).items():
+            write_rmat(self.tmp_path / name, arr)
+        interp = Interpreter(result.lowered, result.ctx,
+                             workdir=self.tmp_path, nthreads=nthreads)
+        rc = interp.run_main()
+        outs = {}
+        for name in outputs or []:
+            p = self.tmp_path / name
+            if p.exists():
+                outs[name] = read_rmat(p)
+        return rc, outs, interp
+
+
+@pytest.fixture()
+def xc(tmp_path) -> XCRunner:
+    return XCRunner(tmp_path, ("matrix",))
+
+
+@pytest.fixture()
+def xct(tmp_path) -> XCRunner:
+    return XCRunner(tmp_path, ("matrix", "transform"))
+
+
+@pytest.fixture()
+def xc_host(tmp_path) -> XCRunner:
+    return XCRunner(tmp_path, ())
+
+
+requires_gcc = pytest.mark.skipif(not gcc_available(), reason="gcc not available")

@@ -1,0 +1,180 @@
+"""E-F7 and the eddy substrate: trough scoring identifies eddies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eddy import (
+    compute_area,
+    conn_comp,
+    conn_comp_networkx,
+    detection_quality,
+    fig7_series,
+    get_trough,
+    score_time_series,
+    synthetic_ssh,
+    temporal_scores,
+)
+
+
+class TestFig7:
+    def test_trough_area_dwarfs_noise_bumps(self):
+        """Fig 7's point: "Large areas will then correspond to ... troughs
+        that underwent substantial drops and rises, and those that are
+        shallow ... can be associated with noise"."""
+        s = fig7_series(trough_center=60, trough_depth=1.0, seed=1)
+        scores = score_time_series(s)
+        eddy_region = scores[50:70]
+        noise_region = np.concatenate([scores[:30], scores[95:]])
+        assert eddy_region.max() > 5 * max(noise_region.max(), 1e-6)
+
+    def test_score_scales_with_depth(self):
+        shallow = score_time_series(fig7_series(trough_depth=0.3, seed=2)).max()
+        deep = score_time_series(fig7_series(trough_depth=1.5, seed=2)).max()
+        assert deep > 2 * shallow
+
+    def test_every_point_in_trough_gets_same_area(self):
+        s = fig7_series(seed=4, noise_sigma=0.0, bump_amplitude=0.0)
+        scores = score_time_series(s)
+        mid = scores[55:65]
+        assert np.allclose(mid, mid[0])
+
+
+class TestGetTrough:
+    def test_walk_down_then_up(self):
+        ts = np.array([5, 4, 3, 1, 2, 4, 6, 5], dtype=np.float32)
+        trough, beg, end = get_trough(ts, 0)
+        assert beg == 0 and end == 6
+        assert np.allclose(trough, ts[0:7])
+
+    def test_flat_tail(self):
+        ts = np.array([3, 2, 1], dtype=np.float32)
+        trough, beg, end = get_trough(ts, 0)
+        assert (beg, end) == (0, 2)
+
+    def test_progress_guaranteed(self):
+        rng = np.random.default_rng(0)
+        ts = rng.normal(0, 1, 50).astype(np.float32)
+        i = 0
+        # simulate scoreTS's loop; must terminate
+        while ts[i] < ts[i + 1] and i + 1 < len(ts) - 1:
+            i += 1
+        steps = 0
+        while i < len(ts) - 1:
+            _t, _b, j = get_trough(ts, i)
+            assert j > i or j == len(ts) - 1
+            i = j
+            steps += 1
+            assert steps < 100
+
+
+class TestComputeArea:
+    def test_v_shape(self):
+        # line from 4 to 4 over a V of depth 4: area = sum(line - trough)
+        trough = np.array([4, 2, 0, 2, 4], dtype=np.float32)
+        out = compute_area(trough)
+        assert out.shape == (5,)
+        # line is flat at 4; area = (4-4)+(4-2)+(4-0)+(4-2)+(4-4) = 8
+        assert out[0] == pytest.approx(8.0)
+
+    def test_flat_trough_zero_area(self):
+        out = compute_area(np.array([1, 1, 1], dtype=np.float32))
+        assert np.allclose(out, 0.0, atol=1e-5)
+
+    def test_single_point(self):
+        out = compute_area(np.array([2.0], dtype=np.float32))
+        assert out.shape == (1,) and out[0] == 0.0
+
+
+class TestSyntheticSSH:
+    def test_shapes_and_truth(self):
+        data = synthetic_ssh((12, 14, 30), n_eddies=2, seed=0)
+        assert data.cube.shape == (12, 14, 30)
+        assert data.cube.dtype == np.float32
+        assert len(data.tracks) == 2
+        mask = data.eddy_mask()
+        assert mask.shape == (12, 14)
+        assert 0 < mask.sum() < mask.size
+
+    def test_eddies_leave_troughs(self):
+        data = synthetic_ssh((16, 16, 40), n_eddies=1, eddy_depth=1.5,
+                             noise_sigma=0.0, restlessness=0.0, seed=5)
+        tr = data.tracks[0]
+        t_mid = (tr.t_start + tr.t_end) // 2
+        ci, cj = tr.center_at(t_mid)
+        series = data.cube[int(ci), int(cj), :]
+        assert series.min() < -0.5 * tr.depth * 0.5
+
+    def test_detection_beats_chance(self):
+        data = synthetic_ssh((20, 24, 64), n_eddies=3, seed=13)
+        scores = temporal_scores(data.cube)
+        q = detection_quality(scores, data.eddy_mask())
+        base_rate = data.eddy_mask().mean()
+        assert q["precision"] > 2 * base_rate
+        assert q["recall"] > 0.4
+
+    def test_reproducible(self):
+        a = synthetic_ssh((8, 8, 16), seed=7).cube
+        b = synthetic_ssh((8, 8, 16), seed=7).cube
+        assert np.array_equal(a, b)
+
+
+class TestConnComp:
+    def test_matches_scipy_partition(self):
+        from scipy import ndimage
+
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            frame = rng.normal(0.2, 0.5, (12, 15)).astype(np.float32)
+            ours = conn_comp(frame)
+            ref, n = ndimage.label(frame < 0.0)
+            assert ((ours > 0) == (ref > 0)).all()
+            assert len(np.unique(ours[ours > 0])) == n
+            for lab in np.unique(ours[ours > 0]):
+                assert len(np.unique(ref[ours == lab])) == 1
+
+    def test_matches_networkx_count(self):
+        rng = np.random.default_rng(5)
+        frame = rng.normal(0.0, 0.5, (10, 10)).astype(np.float32)
+        ours = conn_comp(frame)
+        assert len(np.unique(ours[ours > 0])) == conn_comp_networkx(frame)
+
+    def test_all_background(self):
+        frame = np.ones((4, 4), dtype=np.float32)
+        assert (conn_comp(frame) == 0).all()
+
+    def test_all_foreground_single_component(self):
+        frame = -np.ones((4, 4), dtype=np.float32)
+        labels = conn_comp(frame)
+        assert (labels == 1).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_scoring_properties(seed):
+    """Properties of scoreTS on random series: shape-preserving, finite,
+    deterministic, and bounded by the series' total variation.  (Scores
+    can be slightly negative: a purely convex descent's peak-to-peak line
+    lies below the curve — noise artifacts the ranking ignores.)"""
+    rng = np.random.default_rng(seed)
+    ts = rng.normal(0, 1, 40).astype(np.float32)
+    scores = score_time_series(ts)
+    assert scores.shape == ts.shape
+    assert np.isfinite(scores).all()
+    total_variation = float(np.abs(np.diff(ts)).sum())
+    assert np.abs(scores).max() <= total_variation * len(ts)
+    assert np.array_equal(scores, score_time_series(ts))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 30), st.integers(0, 1000))
+def test_compute_area_nonnegative_for_true_troughs(n, seed):
+    """For a series that descends then ascends (a genuine trough), the
+    area between the peak line and the curve is non-negative."""
+    rng = np.random.default_rng(seed)
+    down = np.sort(rng.uniform(0, 1, n))[::-1]
+    up = np.sort(rng.uniform(0, float(down[-1] + 1), n))
+    trough = np.concatenate([down, up]).astype(np.float32)
+    out = compute_area(trough)
+    assert out[0] >= -1e-3

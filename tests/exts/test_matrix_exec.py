@@ -1,0 +1,469 @@
+"""Matrix execution semantics against the numpy oracle.
+
+Indexing (all five §III-A.3 variants), overloaded arithmetic, matrix
+multiplication, range expressions and slice writes — each checked by
+running a translated program on the interpreter and comparing with the
+equivalent numpy computation, plus hypothesis property tests over random
+shapes and slices.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def run_out(xc, src, inputs, out="out.data"):
+    rc, outs, _ = xc.run(src, inputs, [out])
+    assert rc == 0
+    return outs[out]
+
+
+IO3 = 'Matrix float <3> d = readMatrix("in.data");'
+IO2 = 'Matrix float <2> d = readMatrix("in.data");'
+IO1 = 'Matrix float <1> d = readMatrix("in.data");'
+
+
+def cube(shape, seed=0):
+    return np.random.default_rng(seed).normal(0, 1, shape).astype(np.float32)
+
+
+class TestScalarIndexing:
+    def test_single_element(self, xc):
+        a = cube((5, 6, 7))
+        src = f"""int main() {{
+            {IO3}
+            Matrix float <1> out = init(Matrix float <1>, 1);
+            out[0] = d[3, 4, 1];
+            writeMatrix("out.data", out);
+            return 0;
+        }}"""
+        out = run_out(xc, src, {"in.data": a})
+        assert out[0] == pytest.approx(a[3, 4, 1])
+
+    def test_end_is_last_element(self, xc):
+        a = cube((4, 9))
+        src = f"""int main() {{
+            {IO2}
+            Matrix float <1> out = init(Matrix float <1>, 2);
+            out[0] = d[end, end];
+            out[1] = d[end - 2, 0];
+            writeMatrix("out.data", out);
+            return 0;
+        }}"""
+        out = run_out(xc, src, {"in.data": a})
+        assert out[0] == pytest.approx(a[-1, -1])
+        assert out[1] == pytest.approx(a[-3, 0])
+
+    def test_element_write(self, xc):
+        a = cube((3, 3))
+        src = f"""int main() {{
+            {IO2}
+            d[1, 2] = 42.0;
+            writeMatrix("out.data", d);
+            return 0;
+        }}"""
+        out = run_out(xc, src, {"in.data": a})
+        want = a.copy()
+        want[1, 2] = 42.0
+        assert np.allclose(out, want)
+
+
+class TestRangeIndexing:
+    def test_paper_example_shape(self, xc):
+        """§III-A.3(b): data[0:4, end-4:end, 0:4] is 5x5x5 (inclusive)."""
+        a = cube((8, 9, 10))
+        src = f"""int main() {{
+            {IO3}
+            Matrix float <3> s = d[0:4, end-4:end, 0:4];
+            writeMatrix("out.data", s);
+            return 0;
+        }}"""
+        out = run_out(xc, src, {"in.data": a})
+        assert out.shape == (5, 5, 5)
+        assert np.allclose(out, a[0:5, -5:, 0:5])
+
+    def test_whole_dimension(self, xc):
+        """§III-A.3(c): data[0, end, :] is a vector of dimSize(data,2)."""
+        a = cube((4, 5, 6))
+        src = f"""int main() {{
+            {IO3}
+            Matrix float <1> v = d[0, end, :];
+            writeMatrix("out.data", v);
+            return 0;
+        }}"""
+        out = run_out(xc, src, {"in.data": a})
+        assert out.shape == (6,)
+        assert np.allclose(out, a[0, -1, :])
+
+    def test_out_of_bounds_range_traps(self, xc):
+        from repro.cexec import RuntimeTrap
+
+        a = cube((4, 4))
+        src = f"""int main() {{
+            {IO2}
+            Matrix float <2> s = d[0:9, :];
+            writeMatrix("out.data", s);
+            return 0;
+        }}"""
+        with pytest.raises(RuntimeTrap, match="range"):
+            xc.run(src, {"in.data": a}, ["out.data"])
+
+
+class TestLogicalIndexing:
+    def test_paper_example(self, xc):
+        """§III-A.3(d): data[v % 2 == 1, :] selects odd-v rows."""
+        a = cube((6, 5))
+        v = np.array([3, 4, 7, 10, 13, 2], dtype=np.int32)
+        src = """int main() {
+            Matrix float <2> d = readMatrix("in.data");
+            Matrix int <1> v = readMatrix("v.data");
+            Matrix float <2> s = d[v % 2 == 1, :];
+            writeMatrix("out.data", s);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"in.data": a, "v.data": v})
+        assert np.allclose(out, a[v % 2 == 1, :])
+
+    def test_logical_on_last_dim(self, xc):
+        """Fig 4's date filter: ssh[:, :, dates >= cutoff]."""
+        a = cube((3, 4, 6))
+        dates = np.array([5, 10, 15, 20, 25, 30], dtype=np.int32)
+        src = """int main() {
+            Matrix float <3> d = readMatrix("in.data");
+            Matrix int <1> t = readMatrix("t.data");
+            Matrix float <3> s = d[:, :, t >= 15];
+            writeMatrix("out.data", s);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"in.data": a, "t.data": dates})
+        assert np.allclose(out, a[:, :, dates >= 15])
+
+    def test_paper_shape_claim(self, xc):
+        """§III-A.3(d): data[v%2==1, :, 0] is n x dimSize(data,1)."""
+        a = cube((5, 7, 3))
+        v = np.array([1, 2, 3, 4, 5], dtype=np.int32)
+        src = """int main() {
+            Matrix float <3> d = readMatrix("in.data");
+            Matrix int <1> v = readMatrix("v.data");
+            Matrix float <2> s = d[v % 2 == 1, :, 0];
+            writeMatrix("out.data", s);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"in.data": a, "v.data": v})
+        n_true = int((v % 2 == 1).sum())
+        assert out.shape == (n_true, 7)
+        assert np.allclose(out, a[v % 2 == 1, :, 0])
+
+    def test_empty_selection(self, xc):
+        a = cube((3, 4))
+        v = np.zeros(3, dtype=np.int32)
+        src = """int main() {
+            Matrix float <2> d = readMatrix("in.data");
+            Matrix int <1> v = readMatrix("v.data");
+            Matrix float <2> s = d[v == 1, :];
+            writeMatrix("out.data", s);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"in.data": a, "v.data": v})
+        assert out.shape == (0, 4)
+
+
+class TestGatherIndexing:
+    def test_int_vector_selector(self, xc):
+        a = cube((6, 3))
+        idx = np.array([4, 0, 4, 2], dtype=np.int32)
+        src = """int main() {
+            Matrix float <2> d = readMatrix("in.data");
+            Matrix int <1> ix = readMatrix("ix.data");
+            Matrix float <2> s = d[ix, :];
+            writeMatrix("out.data", s);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"in.data": a, "ix.data": idx})
+        assert np.allclose(out, a[idx, :])
+
+    def test_range_expression_as_index(self, xc):
+        """Fig 8 line 12: ts[beginning::i] — `::` range inside an index."""
+        a = cube((10,))
+        src = f"""int main() {{
+            {IO1}
+            Matrix float <1> s = d[2 :: 6];
+            writeMatrix("out.data", s);
+            return 0;
+        }}"""
+        out = run_out(xc, src, {"in.data": a})
+        assert np.allclose(out, a[2:7])  # inclusive
+
+
+class TestArithmetic:
+    def test_elementwise_ops(self, xc):
+        a, b = cube((4, 5), 1), cube((4, 5), 2)
+        src = """int main() {
+            Matrix float <2> a = readMatrix("a.data");
+            Matrix float <2> b = readMatrix("b.data");
+            Matrix float <2> c = (a + b) .* (a - b) / (b + 10.0);
+            writeMatrix("out.data", c);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"a.data": a, "b.data": b})
+        assert np.allclose(out, (a + b) * (a - b) / (b + 10.0), atol=1e-4)
+
+    def test_scalar_broadcast_both_sides(self, xc):
+        a = cube((3, 4))
+        src = """int main() {
+            Matrix float <2> a = readMatrix("a.data");
+            Matrix float <2> c = 2.0 * a + 1.0;
+            writeMatrix("out.data", c);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"a.data": a})
+        assert np.allclose(out, 2 * a + 1, atol=1e-5)
+
+    def test_matrix_multiplication(self, xc):
+        a = cube((3, 4), 1)
+        b = cube((4, 5), 2)
+        src = """int main() {
+            Matrix float <2> a = readMatrix("a.data");
+            Matrix float <2> b = readMatrix("b.data");
+            Matrix float <2> c = a * b;
+            writeMatrix("out.data", c);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"a.data": a, "b.data": b})
+        assert np.allclose(out, a @ b, atol=1e-3)
+
+    def test_matmul_dimension_trap(self, xc):
+        from repro.cexec import RuntimeTrap
+
+        a, b = cube((3, 4)), cube((3, 4))
+        src = """int main() {
+            Matrix float <2> a = readMatrix("a.data");
+            Matrix float <2> b = readMatrix("b.data");
+            Matrix float <2> c = a * b;
+            writeMatrix("out.data", c);
+            return 0;
+        }"""
+        with pytest.raises(RuntimeTrap, match="multiply"):
+            xc.run(src, {"a.data": a, "b.data": b}, ["out.data"])
+
+    def test_shape_mismatch_trap(self, xc):
+        from repro.cexec import RuntimeTrap
+
+        src = """int main() {
+            Matrix float <2> a = init(Matrix float <2>, 2, 3);
+            Matrix float <2> b = init(Matrix float <2>, 3, 2);
+            Matrix float <2> c = a + b;
+            writeMatrix("out.data", c);
+            return 0;
+        }"""
+        with pytest.raises(RuntimeTrap, match="elementwise"):
+            xc.run(src, {}, [])
+
+    def test_unary_negate(self, xc):
+        a = cube((4,))
+        src = f"""int main() {{
+            {IO1}
+            Matrix float <1> c = -d;
+            writeMatrix("out.data", c);
+            return 0;
+        }}"""
+        out = run_out(xc, src, {"in.data": a})
+        assert np.allclose(out, -a)
+
+    def test_int_matrix_mod(self, xc):
+        v = np.array([1, 2, 3, 4, 5], dtype=np.int32)
+        src = """int main() {
+            Matrix int <1> v = readMatrix("v.data");
+            Matrix int <1> r = v % 2;
+            writeMatrix("out.data", r);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"v.data": v})
+        assert (out == v % 2).all()
+
+
+class TestRangeExpression:
+    def test_fig8_line(self, xc):
+        """Fig 8 line 27: Line = (x1::x2) * m + b."""
+        src = """int main() {
+            Matrix float <1> line = (0 :: 9) * 0.5 + 1.0;
+            writeMatrix("out.data", line);
+            return 0;
+        }"""
+        out = run_out(xc, src, {})
+        assert np.allclose(out, np.arange(10) * 0.5 + 1.0)
+
+
+class TestSliceWrites:
+    def test_range_write(self, xc):
+        a = cube((10,))
+        b = cube((4,), 5)
+        src = """int main() {
+            Matrix float <1> d = readMatrix("in.data");
+            Matrix float <1> s = readMatrix("s.data");
+            d[3 : 6] = s;
+            writeMatrix("out.data", d);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"in.data": a, "s.data": b})
+        want = a.copy()
+        want[3:7] = b
+        assert np.allclose(out, want)
+
+    def test_scalar_broadcast_write(self, xc):
+        a = cube((4, 6))
+        src = f"""int main() {{
+            {IO2}
+            d[1, :] = 0.0;
+            writeMatrix("out.data", d);
+            return 0;
+        }}"""
+        out = run_out(xc, src, {"in.data": a})
+        want = a.copy()
+        want[1, :] = 0
+        assert np.allclose(out, want)
+
+    def test_logical_write(self, xc):
+        a = cube((5,))
+        mask_v = np.array([1, 0, 1, 0, 1], dtype=np.int32)
+        src = """int main() {
+            Matrix float <1> d = readMatrix("in.data");
+            Matrix int <1> m = readMatrix("m.data");
+            d[m == 1] = -1.0;
+            writeMatrix("out.data", d);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"in.data": a, "m.data": mask_v})
+        want = a.copy()
+        want[mask_v == 1] = -1.0
+        assert np.allclose(out, want)
+
+    def test_slice_write_shape_trap(self, xc):
+        from repro.cexec import RuntimeTrap
+
+        src = """int main() {
+            Matrix float <1> d = init(Matrix float <1>, 10);
+            Matrix float <1> s = init(Matrix float <1>, 3);
+            d[0 : 4] = s;
+            writeMatrix("out.data", d);
+            return 0;
+        }"""
+        with pytest.raises(RuntimeTrap, match="dimension"):
+            xc.run(src, {}, [])
+
+
+class TestAllocationTraps:
+    def test_negative_dimension_interp(self, xc):
+        from repro.cexec import RuntimeTrap
+
+        src = """int main() {
+            int n = 0 - 4;
+            Matrix float <1> v = init(Matrix float <1>, n);
+            return 0;
+        }"""
+        with pytest.raises(RuntimeTrap, match="negative dimension"):
+            xc.run(src, {}, [])
+
+    def test_negative_dimension_native(self, xc):
+        from repro.cexec import compile_and_run, gcc_available
+
+        if not gcc_available():
+            pytest.skip("gcc not available")
+        src = """int main() {
+            int n = 0 - 4;
+            Matrix float <1> v = init(Matrix float <1>, n);
+            return 0;
+        }"""
+        run = compile_and_run(src, ["matrix"], check=False)
+        assert run.returncode == 2
+        assert "negative dimension" in run.stderr
+
+
+class TestReadMatrixChecks:
+    def test_rank_mismatch_trap(self, xc):
+        from repro.cexec import RuntimeTrap
+
+        a = cube((3, 3))
+        src = """int main() {
+            Matrix float <3> d = readMatrix("in.data");
+            return 0;
+        }"""
+        with pytest.raises(RuntimeTrap, match="rank"):
+            xc.run(src, {"in.data": a}, [])
+
+    def test_elem_kind_mismatch_trap(self, xc):
+        from repro.cexec import RuntimeTrap
+
+        a = np.arange(6, dtype=np.int32).reshape(2, 3)
+        src = """int main() {
+            Matrix float <2> d = readMatrix("in.data");
+            return 0;
+        }"""
+        with pytest.raises(RuntimeTrap, match="rank"):
+            xc.run(src, {"in.data": a}, [])
+
+
+# --- property tests ----------------------------------------------------------
+
+@st.composite
+def slice_specs(draw):
+    """A random 2-D matrix plus a random index pair (scalar/range/all)."""
+    m = draw(st.integers(2, 7))
+    n = draw(st.integers(2, 7))
+
+    def one_index(size):
+        kind = draw(st.sampled_from(["scalar", "range", "all", "end_scalar"]))
+        if kind == "scalar":
+            k = draw(st.integers(0, size - 1))
+            return str(k), k
+        if kind == "end_scalar":
+            back = draw(st.integers(0, size - 1))
+            return (f"end - {back}", size - 1 - back)
+        if kind == "range":
+            a = draw(st.integers(0, size - 1))
+            b = draw(st.integers(a, size - 1))
+            return f"{a} : {b}", slice(a, b + 1)
+        return ":", slice(None)
+
+    s0, p0 = one_index(m)
+    s1, p1 = one_index(n)
+    return m, n, f"{s0}, {s1}", (p0, p1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(slice_specs(), st.integers(0, 10_000))
+def test_indexing_matches_numpy(spec, seed):
+    from tests.conftest import XCRunner
+    import tempfile
+    from pathlib import Path
+
+    m, n, index_src, np_index = spec
+    a = np.random.default_rng(seed).normal(0, 1, (m, n)).astype(np.float32)
+    want = a[np_index]
+    scalar = not isinstance(want, np.ndarray) or want.ndim == 0
+    rank = 0 if scalar else want.ndim
+
+    with tempfile.TemporaryDirectory() as td:
+        xc = XCRunner(Path(td), ("matrix",))
+        if scalar:
+            src = f"""int main() {{
+                Matrix float <2> d = readMatrix("in.data");
+                Matrix float <1> out = init(Matrix float <1>, 1);
+                out[0] = d[{index_src}];
+                writeMatrix("out.data", out);
+                return 0;
+            }}"""
+        else:
+            src = f"""int main() {{
+                Matrix float <2> d = readMatrix("in.data");
+                Matrix float <{rank}> s = d[{index_src}];
+                writeMatrix("out.data", s);
+                return 0;
+            }}"""
+        out = run_out(xc, src, {"in.data": a})
+    if scalar:
+        assert out[0] == pytest.approx(float(want))
+    else:
+        assert out.shape == want.shape
+        assert np.allclose(out, want)

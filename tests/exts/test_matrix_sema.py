@@ -1,0 +1,298 @@
+"""Matrix extension semantic analysis: the domain-specific error checks
+the paper highlights (§III-A: bound/id/shape counts, element types, rank
+compatibility, matrixMap signatures)."""
+
+
+def assert_error(xc, src, fragment):
+    errs = xc.check(src)
+    assert any(fragment in e for e in errs), f"expected {fragment!r} in {errs}"
+
+
+def assert_clean(xc, src):
+    errs = xc.check(src)
+    assert errs == [], errs
+
+
+M22 = 'Matrix float <2> m = init(Matrix float <2>, 4, 4);'
+
+
+class TestMatrixTypes:
+    def test_invalid_element_type(self, xc):
+        assert_error(xc, "int main() { Matrix void <2> m = readMatrix(\"d\"); return 0; }",
+                     "matrix elements must be int, bool or float")
+
+    def test_rank_out_of_range(self, xc):
+        assert_error(xc, "int main() { Matrix float <9> m = readMatrix(\"d\"); return 0; }",
+                     "matrix rank must be between 1 and 8")
+
+    def test_rank_mismatch_assignment(self, xc):
+        assert_error(xc, f"""int main() {{
+            {M22}
+            Matrix float <3> c = init(Matrix float <3>, 2, 2, 2);
+            m = c;
+            return 0;
+        }}""", "cannot assign")
+
+    def test_elem_mismatch_assignment(self, xc):
+        assert_error(xc, f"""int main() {{
+            {M22}
+            Matrix int <2> c = init(Matrix int <2>, 4, 4);
+            m = c;
+            return 0;
+        }}""", "cannot assign")
+
+    def test_matrix_param_and_return(self, xc):
+        assert_clean(xc, """
+        Matrix float <1> double_it(Matrix float <1> v) { return v + v; }
+        int main() {
+            Matrix float <1> v = init(Matrix float <1>, 8);
+            Matrix float <1> w = double_it(v);
+            return 0;
+        }
+        """)
+
+
+class TestWithLoopChecks:
+    """Paper: "Our extended semantic analysis checks that these criteria
+    are met and can produce error messages if necessary."""
+
+    def test_bound_count_mismatch(self, xc):
+        assert_error(xc, f"""int main() {{
+            {M22}
+            m = with ([0] <= [i,j] < [4,4]) genarray([4,4], 1.0);
+            return 0;
+        }}""", "bounds of length 1 and 2")
+
+    def test_upper_bound_count_mismatch(self, xc):
+        assert_error(xc, f"""int main() {{
+            {M22}
+            m = with ([0,0] <= [i,j] < [4]) genarray([4,4], 1.0);
+            return 0;
+        }}""", "bounds of length 2 and 1")
+
+    def test_shape_count_mismatch(self, xc):
+        assert_error(xc, f"""int main() {{
+            {M22}
+            m = with ([0,0] <= [i,j] < [4,4]) genarray([4], 1.0);
+            return 0;
+        }}""", "genarray shape has 1 dimension(s) but the generator binds 2")
+
+    def test_duplicate_index_variable(self, xc):
+        assert_error(xc, f"""int main() {{
+            {M22}
+            m = with ([0,0] <= [i,i] < [4,4]) genarray([4,4], 1.0);
+            return 0;
+        }}""", "duplicate index variable")
+
+    def test_bound_must_be_int(self, xc):
+        assert_error(xc, """int main() {
+            float s = with ([0.5] <= [k] < [5]) fold(+, 0.0, 1.0);
+            return 0;
+        }""", "with-loop bound has type float")
+
+    def test_genarray_body_must_be_scalar(self, xc):
+        assert_error(xc, f"""int main() {{
+            {M22}
+            Matrix float <2> r = with ([0,0] <= [i,j] < [4,4]) genarray([4,4], m);
+            return 0;
+        }}""", "genarray element expression has type Matrix float <2>")
+
+    def test_index_vars_bound_in_body(self, xc):
+        assert_clean(xc, f"""int main() {{
+            {M22}
+            m = with ([0,0] <= [i,j] < [4,4]) genarray([4,4], (float)(i + j));
+            return 0;
+        }}""")
+
+    def test_index_vars_not_visible_outside(self, xc):
+        assert_error(xc, f"""int main() {{
+            {M22}
+            m = with ([0,0] <= [i,j] < [4,4]) genarray([4,4], 1.0);
+            return i;
+        }}""", "undeclared identifier 'i'")
+
+    def test_fold_body_must_be_scalar(self, xc):
+        assert_error(xc, f"""int main() {{
+            {M22}
+            float s = with ([0] <= [k] < [4]) fold(+, 0.0, m);
+            return 0;
+        }}""", "fold body has type")
+
+
+class TestIndexingChecks:
+    def test_wrong_index_count(self, xc):
+        assert_error(xc, f"""int main() {{
+            {M22}
+            float x = m[1];
+            return 0;
+        }}""", "is not indexable")
+
+    def test_float_index_rejected(self, xc):
+        assert_error(xc, f"""int main() {{
+            {M22}
+            float x = m[1.5, 0];
+            return 0;
+        }}""", "is not indexable")
+
+    def test_range_bounds_must_be_int(self, xc):
+        assert_error(xc, f"""int main() {{
+            {M22}
+            Matrix float <2> s = m[0.5:2.5, :];
+            return 0;
+        }}""", "range bound has type float")
+
+    def test_logical_index_needs_rank1_bool(self, xc):
+        assert_error(xc, f"""int main() {{
+            {M22}
+            Matrix bool <2> mask = m > 0.0;
+            Matrix float <2> s = m[mask, :];
+            return 0;
+        }}""", "is not indexable")
+
+    def test_valid_logical_index(self, xc):
+        assert_clean(xc, """int main() {
+            Matrix float <2> m = init(Matrix float <2>, 4, 6);
+            Matrix float <1> v = init(Matrix float <1>, 4);
+            Matrix bool <1> mask = v > 0.0;
+            Matrix float <2> s = m[mask, :];
+            return 0;
+        }""")
+
+    def test_end_arithmetic_in_index(self, xc):
+        assert_clean(xc, f"""int main() {{
+            {M22}
+            float x = m[end - 1, end / 2];
+            return 0;
+        }}""")
+
+
+class TestOperatorChecks:
+    def test_rank_mismatch_elementwise(self, xc):
+        assert_error(xc, """int main() {
+            Matrix float <2> a = init(Matrix float <2>, 2, 2);
+            Matrix float <1> b = init(Matrix float <1>, 2);
+            Matrix float <2> c = a + b;
+            return 0;
+        }""", "invalid operands to '+'")
+
+    def test_matmul_requires_rank2(self, xc):
+        assert_error(xc, """int main() {
+            Matrix float <3> a = init(Matrix float <3>, 2, 2, 2);
+            Matrix float <3> b = init(Matrix float <3>, 2, 2, 2);
+            Matrix float <3> c = a * b;
+            return 0;
+        }""", "invalid operands to '*'")
+
+    def test_elementwise_mult_any_rank(self, xc):
+        assert_clean(xc, """int main() {
+            Matrix float <3> a = init(Matrix float <3>, 2, 2, 2);
+            Matrix float <3> b = init(Matrix float <3>, 2, 2, 2);
+            Matrix float <3> c = a .* b;
+            return 0;
+        }""")
+
+    def test_comparison_produces_bool_matrix(self, xc):
+        # the paper's logical-indexing example: v % 2 == 1
+        assert_clean(xc, """int main() {
+            Matrix int <1> v = init(Matrix int <1>, 4);
+            Matrix bool <1> b = v % 2 == 1;
+            return 0;
+        }""")
+
+    def test_scalar_matrix_arith(self, xc):
+        assert_clean(xc, """int main() {
+            Matrix int <1> v = init(Matrix int <1>, 4);
+            Matrix float <1> w = v * 2.5 + 1.0;
+            return 0;
+        }""")
+
+    def test_float_matrix_modulo_rejected(self, xc):
+        # C has no float %, so elementwise % is integer-only
+        assert_error(xc, """int main() {
+            Matrix float <1> v = init(Matrix float <1>, 4);
+            Matrix float <1> r = v % 2;
+            return 0;
+        }""", "invalid operands to '%'")
+
+    def test_int_matrix_modulo_ok(self, xc):
+        assert_clean(xc, """int main() {
+            Matrix int <1> v = init(Matrix int <1>, 4);
+            Matrix int <1> r = v % 3;
+            return 0;
+        }""")
+
+    def test_unary_minus_on_bool_matrix_rejected(self, xc):
+        assert_error(xc, """int main() {
+            Matrix bool <1> b = init(Matrix bool <1>, 4) > 0;
+            Matrix bool <1> c = -b;
+            return 0;
+        }""", "invalid operand to unary '-'")
+
+
+class TestMatrixMapChecks:
+    def test_dims_must_be_literals(self, xc):
+        assert_error(xc, """
+        Matrix float <1> f(Matrix float <1> v) { return v; }
+        int main() {
+            Matrix float <2> m = init(Matrix float <2>, 2, 2);
+            int d = 1;
+            Matrix float <2> r = matrixMap(f, m, [d]);
+            return 0;
+        }""", "must be integer literals")
+
+    def test_dims_must_increase(self, xc):
+        assert_error(xc, """
+        Matrix float <2> f(Matrix float <2> v) { return v; }
+        int main() {
+            Matrix float <3> m = init(Matrix float <3>, 2, 2, 2);
+            Matrix float <3> r = matrixMap(f, m, [1, 0]);
+            return 0;
+        }""", "strictly increasing")
+
+    def test_dims_in_range(self, xc):
+        assert_error(xc, """
+        Matrix float <1> f(Matrix float <1> v) { return v; }
+        int main() {
+            Matrix float <2> m = init(Matrix float <2>, 2, 2);
+            Matrix float <2> r = matrixMap(f, m, [5]);
+            return 0;
+        }""", "out of range")
+
+    def test_function_signature_checked(self, xc):
+        assert_error(xc, """
+        Matrix float <2> f(Matrix float <2> v) { return v; }
+        int main() {
+            Matrix float <3> m = init(Matrix float <3>, 2, 2, 2);
+            Matrix float <3> r = matrixMap(f, m, [1]);
+            return 0;
+        }""", "matrixMap function 'f' has type")
+
+    def test_unknown_function(self, xc):
+        assert_error(xc, """int main() {
+            Matrix float <2> m = init(Matrix float <2>, 2, 2);
+            Matrix float <2> r = matrixMap(g, m, [0]);
+            return 0;
+        }""", "matrixMap of undeclared function 'g'")
+
+    def test_elem_changing_function_ok(self, xc):
+        assert_clean(xc, """
+        Matrix int <1> f(Matrix float <1> v) { return init(Matrix int <1>, dimSize(v, 0)); }
+        int main() {
+            Matrix float <2> m = init(Matrix float <2>, 2, 2);
+            Matrix int <2> r = matrixMap(f, m, [1]);
+            return 0;
+        }""")
+
+
+class TestInitChecks:
+    def test_init_dim_count(self, xc):
+        assert_error(xc, "int main() { Matrix float <2> m = init(Matrix float <2>, 4); return 0; }",
+                     "init of rank-2 matrix with 1 dimension(s)")
+
+    def test_init_non_matrix(self, xc):
+        assert_error(xc, "int main() { int x = init(int, 4); return 0; }",
+                     "init of non-matrix type")
+
+    def test_init_float_dim(self, xc):
+        assert_error(xc, "int main() { Matrix float <1> m = init(Matrix float <1>, 2.5); return 0; }",
+                     "init dimension has type float")

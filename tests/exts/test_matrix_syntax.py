@@ -1,0 +1,154 @@
+"""E-F2: with-loop and matrix concrete syntax — accept/reject suite."""
+
+import pytest
+
+from repro.lexing import ScanError
+from repro.parsing import ParseError
+
+GOOD = [
+    # Matrix types (Fig 1 line 2)
+    "int main() { Matrix float <3> m = readMatrix(\"x.data\"); return 0; }",
+    "int main() { Matrix int <1> v = init(Matrix int <1>, 4); return 0; }",
+    "int main() { Matrix bool <2> b = init(Matrix bool <2>, 2, 2); return 0; }",
+    # with-loops (Fig 2 syntax)
+    """int main() {
+        Matrix float <2> m = init(Matrix float <2>, 4, 4);
+        m = with ([0,0] <= [i,j] < [4,4]) genarray([4,4], 1.0);
+        return 0;
+    }""",
+    """int main() {
+        float s = with ([0] <= [k] < [10]) fold(+, 0.0, 1.0);
+        return 0;
+    }""",
+    "int main() { float s = with ([1] < [k] <= [9]) fold(*, 1.0, 2.0); return 0; }",
+    "int main() { float s = with ([0] <= [k] < [5]) fold(max, 0.0, 1.0); return 0; }",
+    "int main() { float s = with ([0] <= [k] < [5]) fold(min, 9.0, 1.0); return 0; }",
+    # matrixMap (Fig 4)
+    """Matrix float <1> f(Matrix float <1> v) { return v; }
+    int main() {
+        Matrix float <2> m = init(Matrix float <2>, 3, 4);
+        Matrix float <2> r = matrixMap(f, m, [1]);
+        return 0;
+    }""",
+    # indexing variants (§III-A.3)
+    "int main() { Matrix float <3> d = readMatrix(\"d\"); float x = d[6, 4, 1]; return 0; }",
+    "int main() { Matrix float <3> d = readMatrix(\"d\"); Matrix float <3> s = d[0:4, end-4:end, 0:4]; return 0; }",
+    "int main() { Matrix float <3> d = readMatrix(\"d\"); Matrix float <1> v = d[0, end, :]; return 0; }",
+    # `with` as identifier is impossible (keyword), but prefixes are fine:
+    "int main() { int withx = 1; int ends = 2; return withx + ends; }",
+]
+
+BAD = [
+    # bad rank literal
+    "int main() { Matrix float <x> m = readMatrix(\"d\"); return 0; }",
+    # missing operation
+    "int main() { float s = with ([0] <= [k] < [5]); return 0; }",
+    # missing generator brackets
+    "int main() { float s = with (0 <= k < 5) fold(+, 0.0, 1.0); return 0; }",
+    # fold with missing neutral
+    "int main() { float s = with ([0] <= [k] < [5]) fold(+, 1.0); return 0; }",
+    # genarray without shape
+    "int main() { float s = with ([0] <= [k] < [5]) genarray(1.0); return 0; }",
+    # bad fold operator
+    "int main() { float s = with ([0] <= [k] < [5]) fold(-, 0.0, 1.0); return 0; }",
+    # matrixMap with non-literal dim list syntax
+    "int main() { Matrix float <2> m = init(Matrix float <2>, 2, 2); Matrix float <2> r = matrixMap(f, m, 1); return 0; }",
+    # init without type
+    "int main() { Matrix int <1> v = init(4); return 0; }",
+]
+
+
+@pytest.mark.parametrize("src", GOOD, ids=[f"good{i}" for i in range(len(GOOD))])
+def test_accepts(matrix_translator, src):
+    matrix_translator.parse(src)
+
+
+@pytest.mark.parametrize("src", BAD, ids=[f"bad{i}" for i in range(len(BAD))])
+def test_rejects(matrix_translator, src):
+    with pytest.raises((ParseError, ScanError)):
+        matrix_translator.parse(src)
+
+
+class TestContextAwareKeywords:
+    """§VI-A: extension keywords stay usable as host identifiers where the
+    extension construct cannot appear."""
+
+    def test_max_min_as_variables(self, matrix_translator):
+        matrix_translator.parse(
+            "int main() { int max = 1; int min = 2; return max + min; }"
+        )
+
+    def test_fold_genarray_as_variables(self, matrix_translator):
+        matrix_translator.parse(
+            "int main() { int fold = 1; int genarray = 2; return fold + genarray; }"
+        )
+
+    def test_max_in_fold_context_is_keyword(self, matrix_translator):
+        matrix_translator.parse(
+            "int main() { int max = 3; float s = with ([0] <= [k] < [5]) "
+            "fold(max, 0.0, 1.0); return max; }"
+        )
+
+    def test_transform_keywords_free_without_extension(self, matrix_translator):
+        # `transform`, `split`, ... are not declared by the matrix-only
+        # translator, so they are plain identifiers.
+        matrix_translator.parse(
+            "int main() { int transform = 1; int split = 2; return transform + split; }"
+        )
+
+    def test_transform_keywords_as_identifiers_with_extension(self, full_translator):
+        # even with the transform extension composed, context-aware
+        # scanning keeps them usable as identifiers
+        full_translator.parse(
+            "int main() { int split = 2; int vectorize = 3; return split * vectorize; }"
+        )
+
+
+class TestTransformSyntax:
+    """E-F9: the Fig 9 clause list parses (transform extension composed)."""
+
+    def test_fig9_clauses(self, full_translator):
+        full_translator.parse("""
+        int main() {
+            Matrix float <2> means = init(Matrix float <2>, 4, 4);
+            means = with ([0,0] <= [i,j] < [4,4])
+                genarray([4,4], 1.0)
+                transform split j by 4, jin, jout.
+                          vectorize jin.
+                          parallelize i;
+            return 0;
+        }
+        """)
+
+    def test_all_clause_kinds(self, full_translator):
+        full_translator.parse("""
+        int main() {
+            Matrix float <2> m = init(Matrix float <2>, 8, 8);
+            m = with ([0,0] <= [i,j] < [8,8]) genarray([8,8], 1.0)
+                transform tile i j by 4 4.
+                          reorder (i_out, j_out, i_in, j_in).
+                          unroll j_in by 2;
+            return 0;
+        }
+        """)
+
+    def test_interchange(self, full_translator):
+        full_translator.parse("""
+        int main() {
+            Matrix float <2> m = init(Matrix float <2>, 4, 4);
+            m = with ([0,0] <= [i,j] < [4,4]) genarray([4,4], 1.0)
+                transform interchange i j;
+            return 0;
+        }
+        """)
+
+    def test_transform_without_extension_rejected(self, matrix_translator):
+        with pytest.raises((ParseError, ScanError)):
+            matrix_translator.parse("""
+            int main() {
+                Matrix float <2> m = init(Matrix float <2>, 4, 4);
+                m = with ([0,0] <= [i,j] < [4,4]) genarray([4,4], 1.0)
+                    transform parallelize i;
+                return 0;
+            }
+            """)

@@ -1,0 +1,354 @@
+"""E-RC: reference-counting memory management (§III-B).
+
+Every program path — assignments, reassignments, tuples, early returns,
+breaks, slice temporaries, nested with-loops — must end with every
+allocation freed exactly once (interpreter stats: allocs == frees), and
+freed storage must never be touched again (the interpreter poisons it).
+"""
+
+import numpy as np
+import pytest
+
+
+def leak_of(xc, src, inputs=None, nthreads=1):
+    rc, _outs, interp = xc.run(src, inputs or {}, [], nthreads=nthreads)
+    assert rc == 0
+    return interp.stats.leaked, interp.stats
+
+
+V = 'Matrix float <1> v = init(Matrix float <1>, 8);'
+
+
+class TestBasicOwnership:
+    def test_init_then_scope_exit(self, xc):
+        leaked, stats = leak_of(xc, f"int main() {{ {V} return 0; }}")
+        assert leaked == 0 and stats.allocs == 1
+
+    def test_alias_assignment_shares(self, xc):
+        leaked, stats = leak_of(xc, f"""int main() {{
+            {V}
+            Matrix float <1> w = v;
+            return 0;
+        }}""")
+        assert leaked == 0 and stats.allocs == 1
+
+    def test_reassignment_frees_old(self, xc):
+        leaked, stats = leak_of(xc, f"""int main() {{
+            {V}
+            v = init(Matrix float <1>, 4);
+            v = init(Matrix float <1>, 2);
+            return 0;
+        }}""")
+        assert leaked == 0 and stats.allocs == 3
+
+    def test_self_assignment(self, xc):
+        leaked, _ = leak_of(xc, f"""int main() {{
+            {V}
+            v = v;
+            return 0;
+        }}""")
+        assert leaked == 0
+
+    def test_expression_temp_freed(self, xc):
+        leaked, stats = leak_of(xc, f"""int main() {{
+            {V}
+            float x = (v + v)[0];
+            return 0;
+        }}""")
+        assert leaked == 0
+
+    def test_chained_temps_freed(self, xc):
+        leaked, stats = leak_of(xc, f"""int main() {{
+            {V}
+            Matrix float <1> w = (v + 1.0) .* (v - 1.0) + (v / 2.0);
+            return 0;
+        }}""")
+        assert leaked == 0
+
+    def test_unused_call_result_freed(self, xc):
+        leaked, _ = leak_of(xc, """
+        Matrix float <1> make() { return init(Matrix float <1>, 4); }
+        int main() { make(); return 0; }
+        """)
+        assert leaked == 0
+
+
+class TestFunctionBoundaries:
+    def test_returned_local_survives(self, xc):
+        leaked, _ = leak_of(xc, """
+        Matrix float <1> make() {
+            Matrix float <1> local = init(Matrix float <1>, 4);
+            local[0] = 42.0;
+            return local;
+        }
+        int main() {
+            Matrix float <1> got = make();
+            float check = got[0];
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+    def test_param_borrowing(self, xc):
+        leaked, _ = leak_of(xc, """
+        float head(Matrix float <1> v) { return v[0]; }
+        int main() {
+            Matrix float <1> v = init(Matrix float <1>, 4);
+            float a = head(v);
+            float b = head(v);
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+    def test_temp_passed_as_argument(self, xc):
+        leaked, _ = leak_of(xc, """
+        float head(Matrix float <1> v) { return v[0]; }
+        int main() {
+            Matrix float <1> v = init(Matrix float <1>, 4);
+            float a = head(v + 1.0);
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+    def test_early_return_frees_locals(self, xc):
+        leaked, _ = leak_of(xc, """
+        int f(int flag) {
+            Matrix float <1> big = init(Matrix float <1>, 100);
+            if (flag > 0) return 1;
+            return 0;
+        }
+        int main() { f(1); f(0); return 0; }
+        """)
+        assert leaked == 0
+
+    def test_return_param_incs(self, xc):
+        leaked, _ = leak_of(xc, """
+        Matrix float <1> ident(Matrix float <1> v) { return v; }
+        int main() {
+            Matrix float <1> v = init(Matrix float <1>, 4);
+            Matrix float <1> w = ident(v);
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+    def test_matrix_through_multiple_calls(self, xc):
+        leaked, _ = leak_of(xc, """
+        Matrix float <1> bump(Matrix float <1> v) { return v + 1.0; }
+        int main() {
+            Matrix float <1> v = init(Matrix float <1>, 4);
+            Matrix float <1> w = bump(bump(bump(v)));
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+
+class TestControlFlowPaths:
+    def test_break_frees_loop_locals(self, xc):
+        leaked, _ = leak_of(xc, """
+        int main() {
+            for (int i = 0; i < 5; i = i + 1) {
+                Matrix float <1> tmp = init(Matrix float <1>, 8);
+                if (i == 2) break;
+            }
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+    def test_loop_body_locals_freed_each_iteration(self, xc):
+        leaked, stats = leak_of(xc, """
+        int main() {
+            for (int i = 0; i < 5; i = i + 1) {
+                Matrix float <1> tmp = init(Matrix float <1>, 8);
+                tmp[0] = (float) i;
+            }
+            return 0;
+        }
+        """)
+        assert leaked == 0 and stats.allocs == 5
+
+    def test_declared_null_then_conditionally_assigned(self, xc):
+        leaked, _ = leak_of(xc, """
+        int main() {
+            Matrix float <1> maybe;
+            if (1 < 2) maybe = init(Matrix float <1>, 3);
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+    def test_never_assigned_is_fine(self, xc):
+        leaked, _ = leak_of(xc, """
+        int main() {
+            Matrix float <1> never;
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+
+class TestTuplesAndSlices:
+    def test_tuple_with_matrix_component(self, xc):
+        leaked, _ = leak_of(xc, """
+        (Matrix float <1>, int) pair() {
+            return (init(Matrix float <1>, 4), 7);
+        }
+        int main() {
+            Matrix float <1> m;
+            int k = 0;
+            (m, k) = pair();
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+    def test_tuple_reassignment_in_loop(self, xc):
+        """The Fig 8 pattern: (trough, beginning, i) = getTrough(...) in a
+        loop — the previous trough must be freed each time."""
+        leaked, stats = leak_of(xc, """
+        (Matrix float <1>, int) pair(int n) {
+            return (init(Matrix float <1>, n), n);
+        }
+        int main() {
+            Matrix float <1> m;
+            int k = 0;
+            for (int i = 1; i < 5; i = i + 1) {
+                (m, k) = pair(i);
+            }
+            return 0;
+        }
+        """)
+        assert leaked == 0 and stats.allocs == 4
+
+    def test_tuple_of_borrowed_var(self, xc):
+        leaked, _ = leak_of(xc, """
+        int main() {
+            Matrix float <1> v = init(Matrix float <1>, 4);
+            (Matrix float <1>, int) t = (v, 1);
+            Matrix float <1> w;
+            int k = 0;
+            (w, k) = t;
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+    def test_slice_read_temp_freed(self, xc):
+        leaked, _ = leak_of(xc, """
+        int main() {
+            Matrix float <2> m = init(Matrix float <2>, 4, 6);
+            Matrix float <1> row = m[1, :];
+            float x = m[2, 0:3][1];
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+    def test_slice_write_rhs_temp_freed(self, xc):
+        leaked, _ = leak_of(xc, """
+        int main() {
+            Matrix float <1> d = init(Matrix float <1>, 10);
+            d[2 : 5] = (0 :: 3) * 1.0;
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+    def test_logical_index_temps_freed(self, xc):
+        leaked, _ = leak_of(xc, """
+        int main() {
+            Matrix float <2> m = init(Matrix float <2>, 4, 6);
+            Matrix int <1> v = init(Matrix int <1>, 4);
+            Matrix float <2> s = m[v % 2 == 1, :];
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+
+class TestWithLoopsAndMaps:
+    def test_with_loop_temp_in_expression(self, xc):
+        leaked, _ = leak_of(xc, """
+        int main() {
+            float x = (with ([0] <= [i] < [4]) genarray([4], 1.0))[2];
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+    def test_fused_assignment_no_leak(self, xc):
+        leaked, _ = leak_of(xc, """
+        int main() {
+            Matrix float <2> m = init(Matrix float <2>, 3, 3);
+            m = with ([0,0] <= [i,j] < [3,3]) genarray([3,3], 1.0);
+            m = with ([0,0] <= [i,j] < [3,3]) genarray([3,3], 2.0);
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+    def test_matrixmap_slices_freed(self, xc):
+        leaked, stats = leak_of(xc, """
+        Matrix float <1> f(Matrix float <1> v) { return v + 1.0; }
+        int main() {
+            Matrix float <2> m = init(Matrix float <2>, 4, 5);
+            Matrix float <2> r = matrixMap(f, m, [1]);
+            return 0;
+        }
+        """)
+        assert leaked == 0
+
+    def test_fig8_whole_program_balance(self, xc):
+        from repro.programs import load
+
+        t = np.linspace(0, 2 * np.pi, 16, dtype=np.float32)
+        data = np.tile(np.cos(t), (2, 2, 1)).astype(np.float32)
+        rc, _outs, interp = xc.run(load("fig8"), {"ssh.data": data},
+                                   ["temporalScores.data"])
+        assert rc == 0
+        assert interp.stats.leaked == 0
+
+    def test_fig4_whole_program_balance(self, xc):
+        from repro.programs import load
+
+        rng = np.random.default_rng(2)
+        ssh = rng.normal(0.1, 0.4, (6, 7, 4)).astype(np.float32)
+        dates = np.array([1011999, 1012000, 1012001, 1012002], dtype=np.int32)
+        rc, _outs, interp = xc.run(load("fig4"),
+                                   {"ssh.data": ssh, "dates.data": dates},
+                                   ["eddyLabels.data"])
+        assert rc == 0
+        assert interp.stats.leaked == 0
+
+
+class TestUseAfterFreeDetection:
+    def test_freed_storage_poisoned(self, xc):
+        """The interpreter empties freed buffers, so a lowering bug that
+        reads freed memory raises instead of silently succeeding."""
+        # A correct program never triggers this; verify the mechanism via
+        # the interpreter API directly.
+        from repro.cexec.interp import Interpreter, RTMat
+        import numpy as np
+
+        m = RTMat("f", (4,), np.zeros(4, dtype=np.float32))
+        interp = Interpreter.__new__(Interpreter)
+        from repro.cexec.interp import InterpStats
+        interp.stats = InterpStats()
+        interp._rc_dec(m)
+        with pytest.raises(IndexError):
+            m.data[2]
+
+    def test_double_free_detected(self, xc):
+        from repro.cexec.interp import Interpreter, InterpStats, RTMat, RuntimeTrap
+        import numpy as np
+
+        m = RTMat("f", (4,), np.zeros(4, dtype=np.float32))
+        interp = Interpreter.__new__(Interpreter)
+        interp.stats = InterpStats()
+        interp._rc_dec(m)
+        with pytest.raises(RuntimeTrap, match="underflow"):
+            interp._rc_dec(m)

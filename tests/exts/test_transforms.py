@@ -1,0 +1,192 @@
+"""Transform extension (§V): clause semantics, generated shapes, errors."""
+
+import numpy as np
+import pytest
+
+from repro.api import Optimizations, compile_source
+
+BASE = """int main() {{
+    Matrix float <3> mat = readMatrix("in.data");
+    int m = dimSize(mat, 0);
+    int n = dimSize(mat, 1);
+    int p = dimSize(mat, 2);
+    Matrix float <2> means = init(Matrix float <2>, m, n);
+    means = with ([0,0] <= [i,j] < [m,n])
+        genarray([m,n],
+            (with ([0] <= [k] < [p]) fold(+, 0.0, mat[i,j,:][k])) / p){clause};
+    writeMatrix("out.data", means);
+    return 0;
+}}"""
+
+CUBE = np.random.default_rng(0).normal(0, 1, (8, 8, 8)).astype(np.float32)
+WANT = CUBE.mean(axis=2)
+
+
+def run_clause(xct, clause, cube=CUBE):
+    src = BASE.format(clause=clause)
+    rc, outs, interp = xct.run(src, {"in.data": cube}, ["out.data"])
+    assert rc == 0
+    return outs["out.data"], interp
+
+
+def c_of(clause, cube_unused=None, **opt):
+    src = BASE.format(clause=clause)
+    opts = Optimizations(parallelize=False, **opt)
+    result = compile_source(src, ["matrix", "transform"], options=opts)
+    assert result.ok, result.errors
+    return result.c_source
+
+
+class TestClauseCorrectness:
+    CLAUSES = {
+        "none": "",
+        "split": "\n transform split j by 4, jin, jout",
+        "split_vectorize": "\n transform split j by 4, jin, jout. vectorize jin",
+        "fig9": "\n transform split j by 4, jin, jout. vectorize jin. parallelize i",
+        "interchange": "\n transform interchange i j",
+        "reorder": "\n transform reorder (j, i)",
+        "tile": "\n transform tile i j by 4 4",
+        "unroll": "\n transform split j by 4, jin, jout. unroll jin by 2",
+        "parallelize": "\n transform parallelize i",
+    }
+
+    @pytest.mark.parametrize("name", list(CLAUSES))
+    def test_result_unchanged(self, xct, name):
+        out, _ = run_clause(xct, self.CLAUSES[name])
+        assert np.allclose(out, WANT, atol=1e-4), name
+
+    def test_split_nondivisible_traps(self, xct):
+        from repro.cexec import RuntimeTrap
+
+        cube = np.random.default_rng(1).normal(0, 1, (6, 7, 4)).astype(np.float32)
+        with pytest.raises(RuntimeTrap, match="divisible"):
+            run_clause(xct, "\n transform split j by 4, jin, jout", cube)
+
+
+class TestGeneratedShapes:
+    """E-F10 / E-F11: the generated code has the paper's structure."""
+
+    def test_fig10_split_shape(self):
+        c = c_of("\n transform split j by 4, jin, jout")
+        body = c[c.index("int __user_main"):]
+        # two nested loops replacing j, reconstruction jout*4 + jin
+        assert "for (long jout = 0" in body
+        assert "for (long jin = 0; jin < 4" in body
+        assert "(jout * 4) + jin" in body
+        assert "rt_require_divisible" in body
+
+    def test_fig11_vector_shape(self):
+        c = c_of("\n transform split j by 4, jin, jout. vectorize jin. parallelize i")
+        body = c[c.index("int __user_main"):]
+        # OpenMP pragma on the i loop (Fig 11)
+        assert "#pragma omp parallel for" in body
+        # hoisted splats "floated above the outermost for loop"
+        pragma_at = body.index("#pragma")
+        assert "rt_vsplatf" in body[:pragma_at]
+        # vector accumulator updated inside the k loop; vector store
+        assert "rt_vaddf" in body
+        assert "rt_vstoref" in body or "rt_vscatterf" in body
+        # division by p became a vector op
+        assert "rt_vdivf" in body
+
+    def test_vectorize_unit_stride_uses_vload(self):
+        src = """int main() {
+            Matrix float <1> a = readMatrix("in.data");
+            int n = dimSize(a, 0);
+            Matrix float <1> b = init(Matrix float <1>, n);
+            b = with ([0] <= [i] < [n]) genarray([n], a[i] * 2.0)
+                transform vectorize i;
+            writeMatrix("out.data", b);
+            return 0;
+        }"""
+        result = compile_source(src, ["matrix", "transform"],
+                                options=Optimizations(parallelize=False))
+        assert result.ok, result.errors
+        body = result.c_source[result.c_source.index("int __user_main"):]
+        assert "rt_vloadf" in body  # contiguous -> plain load
+        assert "rt_vgatherf" not in body
+
+    def test_tile_produces_four_loops(self):
+        c = c_of("\n transform tile i j by 4 4")
+        body = c[c.index("int __user_main"):]
+        for name in ("i_out", "j_out", "i_in", "j_in"):
+            assert f"for (long {name}" in body
+        # tile order: i_out outermost, then j_out, i_in, j_in
+        assert body.index("for (long i_out") < body.index("for (long j_out") \
+            < body.index("for (long i_in") < body.index("for (long j_in")
+
+    def test_unroll_replicates_body(self):
+        c = c_of("\n transform unroll i by 2")
+        body = c[c.index("int __user_main"):]
+        assert "i = i + 2" in body
+
+
+class TestStaticChecks:
+    """§V: "detect ... that the loop indices in the transformations
+    correspond to loops in the code being transformed"."""
+
+    def bad(self, clause, fragment):
+        src = BASE.format(clause=clause)
+        result = compile_source(src, ["matrix", "transform"])
+        assert not result.ok
+        assert any(fragment in e for e in result.errors), result.errors
+
+    def test_split_unknown_index(self):
+        self.bad("\n transform split z by 4, zin, zout",
+                 "split of unknown loop index 'z'")
+
+    def test_vectorize_unknown_index(self):
+        self.bad("\n transform vectorize q", "vectorize of unknown loop index 'q'")
+
+    def test_parallelize_unknown_index(self):
+        self.bad("\n transform parallelize q", "parallelize of unknown loop index")
+
+    def test_vectorize_of_consumed_split_target(self):
+        # after split, `j` no longer names a loop
+        self.bad("\n transform split j by 4, jin, jout. vectorize j",
+                 "vectorize of unknown loop index 'j'")
+
+    def test_split_result_names_usable(self):
+        src = BASE.format(
+            clause="\n transform split j by 4, jin, jout. unroll jout by 2"
+        )
+        result = compile_source(src, ["matrix", "transform"])
+        assert result.ok, result.errors
+
+    def test_reorder_unknown_index(self):
+        self.bad("\n transform reorder (i, q)", "reorder of unknown loop index 'q'")
+
+
+class TestVectorizeLimits:
+    def test_cannot_vectorize_non_affine(self):
+        from repro.exts.transform.loopxf import TransformError
+
+        src = """int main() {
+            Matrix float <1> a = readMatrix("in.data");
+            int n = dimSize(a, 0);
+            Matrix float <1> b = init(Matrix float <1>, n);
+            b = with ([0] <= [i] < [n]) genarray([n], a[(i * i) % n])
+                transform vectorize i;
+            writeMatrix("out.data", b);
+            return 0;
+        }"""
+        # static checks pass; the lowering (inside compile) raises
+        with pytest.raises(TransformError, match="not affine"):
+            compile_source(src, ["matrix", "transform"],
+                           options=Optimizations(parallelize=False))
+
+    def test_fold_max_cannot_vectorize(self):
+        from repro.exts.transform.loopxf import TransformError
+
+        src = """int main() {
+            Matrix float <1> a = readMatrix("in.data");
+            Matrix float <1> b = init(Matrix float <1>, 8);
+            b = with ([0] <= [i] < [8])
+                genarray([8], with ([0] <= [k] < [4]) fold(max, 0.0, a[i * 4 + k]))
+                transform vectorize i;
+            writeMatrix("out.data", b);
+            return 0;
+        }"""
+        with pytest.raises(TransformError):
+            compile_source(src, ["matrix", "transform"],
+                           options=Optimizations(parallelize=False))

@@ -1,0 +1,94 @@
+"""§V's extensibility claim: a transformation spec added by an
+independent module, composing with host+matrix+transform."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.api import Optimizations, compile_source, module_registry
+from repro.mda import is_composable
+
+SRC = """int main() {{
+    Matrix float <3> mat = readMatrix("in.data");
+    Matrix float <2> means = init(Matrix float <2>, 8, 8);
+    means = with ([0,0] <= [i,j] < [8,8])
+        genarray([8,8], (with ([0] <= [k] < [4]) fold(+, 0.0, mat[i,j,k])) / 4)
+        transform {clause};
+    writeMatrix("out.data", means);
+    return 0;
+}}"""
+
+EXTS = ("matrix", "transform", "unrolljam")
+
+
+@pytest.fixture()
+def xcu(tmp_path):
+    from tests.conftest import XCRunner
+
+    return XCRunner(tmp_path, EXTS, parallelize=False)
+
+
+def test_passes_mda_layered():
+    reg = module_registry()
+    report = is_composable(
+        reg["cminus"].grammar, reg["unrolljam"].grammar,
+        base=(reg["matrix"].grammar, reg["transform"].grammar),
+        prefer_shift=reg["cminus"].prefer_shift,
+    )
+    assert report.passed, str(report)
+
+
+def test_dependency_resolution_pulls_transform():
+    result = compile_source(SRC.format(clause="unrolljam i j by 4"),
+                            ["unrolljam"],
+                            options=Optimizations(parallelize=False))
+    assert result.ok, result.errors
+
+
+def test_generated_loop_order():
+    """unroll-and-jam: i split by 4, copies jammed inside j."""
+    result = compile_source(SRC.format(clause="unrolljam i j by 4"),
+                            list(EXTS),
+                            options=Optimizations(parallelize=False))
+    body = result.c_source[result.c_source.index("int __user_main"):]
+    order = re.findall(r"for \(long (\w+)", body)
+    assert order == ["i_jout", "j", "i_jin", "k"]
+
+
+def test_result_unchanged(xcu):
+    cube = np.random.default_rng(1).normal(0, 1, (8, 8, 4)).astype(np.float32)
+    rc, outs, _ = xcu.run(SRC.format(clause="unrolljam i j by 4"),
+                          {"in.data": cube}, ["out.data"])
+    assert rc == 0
+    assert np.allclose(outs["out.data"], cube.mean(axis=2), atol=1e-4)
+
+
+def test_composes_with_builtin_clauses(xcu):
+    cube = np.random.default_rng(2).normal(0, 1, (8, 8, 4)).astype(np.float32)
+    rc, outs, _ = xcu.run(
+        SRC.format(clause="unrolljam i j by 4. unroll i_jin by 2"),
+        {"in.data": cube}, ["out.data"],
+    )
+    assert rc == 0
+    assert np.allclose(outs["out.data"], cube.mean(axis=2), atol=1e-4)
+
+
+def test_static_index_check(xcu):
+    errs = xcu.check(SRC.format(clause="unrolljam z j by 4"))
+    assert any("unrolljam of unknown loop index 'z'" in e for e in errs)
+
+
+def test_keyword_still_an_identifier_elsewhere(xcu):
+    assert xcu.check(
+        "int main() { int unrolljam = 3; return unrolljam; }"
+    ) == []
+
+
+def test_duplicate_clause_registration_rejected():
+    from repro.exts.transform import TransformError, register_clause
+    from repro.exts.unrolljam import UnrollJam, _register
+
+    _register()  # idempotent
+    with pytest.raises(TransformError, match="already registered"):
+        register_clause(UnrollJam, lambda nest, c, ctx: nest)

@@ -1,0 +1,289 @@
+"""With-loop semantics (§III-A.4): genarray, fold, generators, bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def run_out(xc, src, inputs=None, out="out.data"):
+    rc, outs, _ = xc.run(src, inputs or {}, [out])
+    assert rc == 0
+    return outs[out]
+
+
+class TestGenarray:
+    def test_full_coverage(self, xc):
+        src = """int main() {
+            Matrix float <2> m = init(Matrix float <2>, 3, 4);
+            m = with ([0,0] <= [i,j] < [3,4]) genarray([3,4], (float)(i * 10 + j));
+            writeMatrix("out.data", m);
+            return 0;
+        }"""
+        out = run_out(xc, src)
+        want = np.fromfunction(lambda i, j: i * 10 + j, (3, 4))
+        assert np.allclose(out, want)
+
+    def test_partial_generator_zero_elsewhere(self, xc):
+        """§III-A.4: elements outside the generator's index set are 0."""
+        src = """int main() {
+            Matrix float <2> m = init(Matrix float <2>, 4, 4);
+            m = with ([1,1] <= [i,j] < [3,3]) genarray([4,4], 9.0);
+            writeMatrix("out.data", m);
+            return 0;
+        }"""
+        out = run_out(xc, src)
+        want = np.zeros((4, 4))
+        want[1:3, 1:3] = 9.0
+        assert np.allclose(out, want)
+
+    def test_inclusive_bounds(self, xc):
+        # lo < i  and  i <= hi
+        src = """int main() {
+            Matrix float <1> m = init(Matrix float <1>, 6);
+            m = with ([0] < [i] <= [4]) genarray([6], 1.0);
+            writeMatrix("out.data", m);
+            return 0;
+        }"""
+        out = run_out(xc, src)
+        assert np.allclose(out, [0, 1, 1, 1, 1, 0])
+
+    def test_generator_exceeding_shape_traps(self, xc):
+        """§III-A.4: "the shape ... must be a superset of the indexes in
+        the generator, which is ... checked at runtime"."""
+        from repro.cexec import RuntimeTrap
+
+        src = """int main() {
+            Matrix float <1> m = init(Matrix float <1>, 4);
+            m = with ([0] <= [i] < [9]) genarray([4], 1.0);
+            writeMatrix("out.data", m);
+            return 0;
+        }"""
+        with pytest.raises(RuntimeTrap, match="genarray"):
+            xc.run(src, {}, [])
+
+    def test_expression_position(self, xc):
+        # a with-loop as a subexpression (hoisted into the statement)
+        src = """int main() {
+            Matrix float <1> a = (with ([0] <= [i] < [4]) genarray([4], 2.0)) + 1.0;
+            writeMatrix("out.data", a);
+            return 0;
+        }"""
+        out = run_out(xc, src)
+        assert np.allclose(out, [3, 3, 3, 3])
+
+    def test_with_loop_in_if_condition(self, xc):
+        """Hoisted before the if (evaluated once)."""
+        src = """int main() {
+            Matrix float <1> out = init(Matrix float <1>, 1);
+            if ((with ([0] <= [i] < [4]) fold(+, 0.0, 1.0)) > 3.5)
+                out[0] = 1.0;
+            writeMatrix("out.data", out);
+            return 0;
+        }"""
+        out = run_out(xc, src)
+        assert out[0] == 1.0
+
+    def test_with_loop_in_while_condition_rejected(self, xc):
+        from repro.cminus.lower import LoweringError
+
+        src = """int main() {
+            int n = 0;
+            while ((with ([0] <= [i] < [4]) fold(+, 0.0, 1.0)) > (float) n)
+                n = n + 1;
+            return n;
+        }"""
+        with pytest.raises(LoweringError, match="loop condition"):
+            xc.run(src, {}, [])
+
+    def test_nested_genarray_fold(self, xc):
+        """The Fig 1 pattern: fold inside genarray."""
+        a = np.random.default_rng(0).normal(0, 1, (4, 5, 6)).astype(np.float32)
+        src = """int main() {
+            Matrix float <3> mat = readMatrix("in.data");
+            int m = dimSize(mat, 0);
+            int n = dimSize(mat, 1);
+            int p = dimSize(mat, 2);
+            Matrix float <2> means = init(Matrix float <2>, m, n);
+            means = with ([0,0] <= [i,j] < [m,n])
+                genarray([m,n], (with ([0] <= [k] < [p]) fold(+, 0.0, mat[i,j,k])) / p);
+            writeMatrix("out.data", means);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"in.data": a})
+        assert np.allclose(out, a.mean(axis=2), atol=1e-5)
+
+    def test_int_genarray(self, xc):
+        src = """int main() {
+            Matrix int <1> m = init(Matrix int <1>, 5);
+            m = with ([0] <= [i] < [5]) genarray([5], (int)(i * i));
+            writeMatrix("out.data", m);
+            return 0;
+        }"""
+        out = run_out(xc, src)
+        assert (out == np.arange(5) ** 2).all()
+
+
+class TestFold:
+    def test_sum(self, xc):
+        a = np.arange(10, dtype=np.float32)
+        src = """int main() {
+            Matrix float <1> v = readMatrix("in.data");
+            Matrix float <1> out = init(Matrix float <1>, 1);
+            out[0] = with ([0] <= [k] < [dimSize(v, 0)]) fold(+, 0.0, v[k]);
+            writeMatrix("out.data", out);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"in.data": a})
+        assert out[0] == pytest.approx(45.0)
+
+    def test_product(self, xc):
+        src = """int main() {
+            Matrix float <1> out = init(Matrix float <1>, 1);
+            out[0] = with ([1] <= [k] <= [5]) fold(*, 1.0, (float) k);
+            writeMatrix("out.data", out);
+            return 0;
+        }"""
+        out = run_out(xc, src)
+        assert out[0] == pytest.approx(120.0)
+
+    def test_max_min(self, xc):
+        a = np.array([3, -7, 12, 5, -2], dtype=np.float32)
+        src = """int main() {
+            Matrix float <1> v = readMatrix("in.data");
+            Matrix float <1> out = init(Matrix float <1>, 2);
+            out[0] = with ([0] <= [k] < [5]) fold(max, -1000.0, v[k]);
+            out[1] = with ([0] <= [k] < [5]) fold(min, 1000.0, v[k]);
+            writeMatrix("out.data", out);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"in.data": a})
+        assert out[0] == pytest.approx(12.0)
+        assert out[1] == pytest.approx(-7.0)
+
+    def test_multidim_fold(self, xc):
+        a = np.random.default_rng(1).normal(0, 1, (3, 4)).astype(np.float32)
+        src = """int main() {
+            Matrix float <2> m = readMatrix("in.data");
+            Matrix float <1> out = init(Matrix float <1>, 1);
+            out[0] = with ([0,0] <= [i,j] < [3,4]) fold(+, 0.0, m[i,j]);
+            writeMatrix("out.data", out);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"in.data": a})
+        assert out[0] == pytest.approx(float(a.sum()), abs=1e-4)
+
+    def test_empty_fold_returns_neutral(self, xc):
+        src = """int main() {
+            Matrix float <1> out = init(Matrix float <1>, 1);
+            out[0] = with ([5] <= [k] < [5]) fold(+, 7.5, 1.0);
+            writeMatrix("out.data", out);
+            return 0;
+        }"""
+        out = run_out(xc, src)
+        assert out[0] == pytest.approx(7.5)
+
+    def test_fold_over_slice_body(self, xc):
+        """The Fig 1 body shape: fold over mat[i,j,:][k] (slice-of-slice)."""
+        a = np.random.default_rng(3).normal(0, 1, (2, 3, 8)).astype(np.float32)
+        src = """int main() {
+            Matrix float <3> mat = readMatrix("in.data");
+            Matrix float <2> s = init(Matrix float <2>, 2, 3);
+            s = with ([0,0] <= [i,j] < [2,3])
+                genarray([2,3], with ([0] <= [k] < [8]) fold(+, 0.0, mat[i,j,:][k]));
+            writeMatrix("out.data", s);
+            return 0;
+        }"""
+        out = run_out(xc, src, {"in.data": a})
+        assert np.allclose(out, a.sum(axis=2), atol=1e-4)
+
+
+class TestSliceEliminationEquivalence:
+    """E-OPT correctness half: the optimization must not change results."""
+
+    SRC = """int main() {
+        Matrix float <3> mat = readMatrix("in.data");
+        Matrix float <2> s = init(Matrix float <2>, 4, 5);
+        s = with ([0,0] <= [i,j] < [4,5])
+            genarray([4,5], with ([0] <= [k] < [6]) fold(+, 0.0, mat[i,j,:][k]));
+        writeMatrix("out.data", s);
+        return 0;
+    }"""
+
+    def test_same_result_with_and_without(self, tmp_path):
+        from tests.conftest import XCRunner
+
+        a = np.random.default_rng(5).normal(0, 1, (4, 5, 6)).astype(np.float32)
+        d1 = tmp_path / "on"
+        d2 = tmp_path / "off"
+        d1.mkdir()
+        d2.mkdir()
+        on = XCRunner(d1, ("matrix",), eliminate_slices=True)
+        off = XCRunner(d2, ("matrix",), eliminate_slices=False)
+        _, o1, i1 = on.run(self.SRC, {"in.data": a}, ["out.data"])
+        _, o2, i2 = off.run(self.SRC, {"in.data": a}, ["out.data"])
+        assert np.allclose(o1["out.data"], o2["out.data"], atol=1e-5)
+        # the optimization's observable effect: fewer allocations
+        assert i1.stats.allocs < i2.stats.allocs
+        # and both balance their refcounts
+        assert i1.stats.leaked == 0 and i2.stats.leaked == 0
+
+    def test_fusion_equivalence(self, tmp_path):
+        from tests.conftest import XCRunner
+
+        a = np.random.default_rng(6).normal(0, 1, (6, 7, 4)).astype(np.float32)
+        src = """int main() {
+            Matrix float <3> mat = readMatrix("in.data");
+            Matrix float <2> m = init(Matrix float <2>, 6, 7);
+            m = with ([0,0] <= [i,j] < [6,7])
+                genarray([6,7], mat[i,j,0] + mat[i,j,1]);
+            writeMatrix("out.data", m);
+            return 0;
+        }"""
+        d1 = tmp_path / "on"
+        d2 = tmp_path / "off"
+        d1.mkdir()
+        d2.mkdir()
+        fused = XCRunner(d1, ("matrix",), fuse_assignment=True)
+        library = XCRunner(d2, ("matrix",), fuse_assignment=False)
+        _, o1, i1 = fused.run(src, {"in.data": a}, ["out.data"])
+        _, o2, i2 = library.run(src, {"in.data": a}, ["out.data"])
+        assert np.allclose(o1["out.data"], o2["out.data"])
+        # fused: writes in place, no temp, no copy
+        assert i1.stats.copies == 0
+        # library baseline: a temp matrix plus an elementwise copy
+        assert i2.stats.copies == 1
+        assert i2.stats.allocs > i1.stats.allocs
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    m=st.integers(1, 6), n=st.integers(1, 6),
+    lo0=st.integers(0, 2), lo1=st.integers(0, 2),
+    seed=st.integers(0, 1000),
+)
+def test_genarray_subset_matches_numpy(m, n, lo0, lo1, seed):
+    """Property: genarray over a sub-generator equals a numpy construction."""
+    import tempfile
+    from pathlib import Path
+
+    from tests.conftest import XCRunner
+
+    lo0, lo1 = min(lo0, m), min(lo1, n)
+    src = f"""int main() {{
+        Matrix float <2> g = init(Matrix float <2>, {m}, {n});
+        g = with ([{lo0},{lo1}] <= [i,j] < [{m},{n}])
+            genarray([{m},{n}], (float)(i * 100 + j + {seed}));
+        writeMatrix("out.data", g);
+        return 0;
+    }}"""
+    with tempfile.TemporaryDirectory() as td:
+        xc = XCRunner(Path(td), ("matrix",))
+        _, outs, interp = xc.run(src, {}, ["out.data"])
+    got = outs["out.data"]
+    want = np.zeros((m, n), dtype=np.float32)
+    for i in range(lo0, m):
+        for j in range(lo1, n):
+            want[i, j] = i * 100 + j + seed
+    assert np.allclose(got, want)
+    assert interp.stats.leaked == 0

@@ -1,0 +1,136 @@
+"""GrammarSpec construction, composition, and symbol resolution."""
+
+import pytest
+
+from repro.grammar import Grammar, GrammarError, GrammarSpec, GrammarSets
+
+
+def simple_spec() -> GrammarSpec:
+    g = GrammarSpec("host", start="S")
+    g.terminal("A", "a")
+    g.terminal("B", "b")
+    g.production("S ::= A S")
+    g.production("S ::= B")
+    return g
+
+
+class TestSpec:
+    def test_build(self):
+        gr = simple_spec().build()
+        assert "S" in gr.nonterminals
+        assert {"A", "B"} <= gr.terminals
+        # augmented production + two declared
+        assert len(gr.productions) == 3
+
+    def test_missing_start_raises(self):
+        g = GrammarSpec("g")
+        g.terminal("A", "a")
+        g.production("S ::= A")
+        g.start = None
+        with pytest.raises(GrammarError):
+            g.build()
+
+    def test_undefined_symbol_raises(self):
+        g = GrammarSpec("g", start="S")
+        g.production("S ::= Missing")
+        with pytest.raises(GrammarError, match="undefined"):
+            g.build()
+
+    def test_start_without_production_raises(self):
+        g = GrammarSpec("g", start="S")
+        g.terminal("A", "a")
+        g.production("T ::= A")
+        with pytest.raises(GrammarError):
+            g.build()
+
+    def test_duplicate_production_raises(self):
+        g = simple_spec()
+        g.production("S ::= B")
+        with pytest.raises(GrammarError, match="duplicate"):
+            g.build()
+
+    def test_malformed_rule_raises(self):
+        g = GrammarSpec("g", start="S")
+        with pytest.raises(GrammarError):
+            g.production("S A B")
+        with pytest.raises(GrammarError):
+            g.production("S T ::= A")
+
+    def test_terminal_nonterminal_overlap_raises(self):
+        g = GrammarSpec("g", start="S")
+        g.terminal("S", "s")
+        g.production("S ::= S")
+        with pytest.raises(GrammarError, match="both"):
+            g.build()
+
+    def test_epsilon_production(self):
+        g = GrammarSpec("g", start="S")
+        g.terminal("A", "a")
+        g.production("S ::= A S")
+        g.production("S ::=")
+        gr = g.build()
+        assert gr.productions[2].rhs == ()
+
+
+class TestComposition:
+    def test_extension_adds_production_on_host_nonterminal(self):
+        host = simple_spec()
+        ext = GrammarSpec("ext")
+        ext.terminal("C", "c")
+        ext.production("S ::= C")
+        composed = host.compose(ext).build()
+        assert len(composed.productions) == 4
+        origins = {p.origin for p in composed.productions}
+        assert {"host", "ext"} <= origins
+
+    def test_compose_keeps_host_start(self):
+        host = simple_spec()
+        ext = GrammarSpec("ext")
+        composed = host.compose(ext)
+        assert composed.start == "S"
+
+    def test_compose_merges_terminals(self):
+        host = simple_spec()
+        ext = GrammarSpec("ext")
+        ext.terminal("C", "c")
+        ext.production("S ::= C")
+        gr = host.compose(ext).build()
+        assert "C" in gr.terminals
+
+    def test_conflicting_terminal_decls_raise(self):
+        host = simple_spec()
+        ext = GrammarSpec("ext")
+        ext.terminal("A", "different")
+        with pytest.raises(ValueError):
+            host.compose(ext).build()
+
+
+class TestSets:
+    @pytest.fixture()
+    def sets(self) -> GrammarSets:
+        g = GrammarSpec("g", start="S")
+        for name, pat in [("A", "a"), ("B", "b"), ("C", "c")]:
+            g.terminal(name, pat)
+        # S -> A S | N B ;  N -> C | ε
+        g.production("S ::= A S")
+        g.production("S ::= N B")
+        g.production("N ::= C")
+        g.production("N ::=")
+        return GrammarSets(g.build())
+
+    def test_nullable(self, sets):
+        assert "N" in sets.nullable
+        assert "S" not in sets.nullable
+
+    def test_first(self, sets):
+        assert sets.first["S"] == {"A", "B", "C"}
+        assert sets.first["N"] == {"C"}
+
+    def test_follow(self, sets):
+        assert sets.follow["N"] == {"B"}
+        assert "$EOF" in sets.follow["S"]
+
+    def test_first_of_seq_skips_nullable(self, sets):
+        assert sets.first_of_seq(("N", "B")) == {"C", "B"}
+        assert sets.is_nullable_seq(("N",))
+        assert not sets.is_nullable_seq(("N", "B"))

@@ -1,0 +1,132 @@
+"""Unit and property tests for interval-based character sets."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lexing.charset import MAX_CODEPOINT, CharSet, partition_atoms
+
+# Small codepoint universe keeps brute-force oracles cheap.
+cp = st.integers(min_value=0, max_value=200)
+intervals = st.lists(st.tuples(cp, cp), max_size=6)
+
+
+def mk(pairs):
+    return CharSet.from_intervals((min(a, b), max(a, b)) for a, b in pairs)
+
+
+def members(cs: CharSet, limit: int = 300) -> set[int]:
+    return {p for p in range(limit) if cs.contains_cp(p)}
+
+
+class TestConstruction:
+    def test_single(self):
+        cs = CharSet.single("a")
+        assert "a" in cs and "b" not in cs
+        assert cs.size() == 1
+
+    def test_range(self):
+        cs = CharSet.range("a", "f")
+        assert all(c in cs for c in "abcdef")
+        assert "g" not in cs
+        assert cs.size() == 6
+
+    def test_range_reversed_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CharSet.range("z", "a")
+
+    def test_of_merges_adjacent(self):
+        cs = CharSet.of("abcxyz")
+        assert cs.intervals == ((ord("a"), ord("c")), (ord("x"), ord("z")))
+
+    def test_from_intervals_merges_overlap_and_adjacency(self):
+        cs = CharSet.from_intervals([(10, 20), (15, 30), (32, 40), (31, 31)])
+        assert cs.intervals == ((10, 40),)
+
+    def test_from_intervals_keeps_gaps(self):
+        cs = CharSet.from_intervals([(10, 20), (22, 40)])
+        assert cs.intervals == ((10, 20), (22, 40))
+
+    def test_empty_is_falsy(self):
+        assert not CharSet.empty()
+        assert CharSet.single("x")
+
+    def test_any_char(self):
+        cs = CharSet.any_char()
+        assert "a" in cs and "\n" in cs and chr(MAX_CODEPOINT) in cs
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = CharSet.range("a", "c")
+        b = CharSet.range("c", "e")
+        assert members(a.union(b)) == {ord(c) for c in "abcde"}
+
+    def test_intersect(self):
+        a = CharSet.range("a", "m")
+        b = CharSet.range("g", "z")
+        assert members(a.intersect(b)) == {ord(c) for c in "ghijklm"}
+
+    def test_subtract(self):
+        a = CharSet.range("a", "e")
+        b = CharSet.of("bc")
+        assert members(a.subtract(b)) == {ord(c) for c in "ade"}
+
+    def test_complement_roundtrip(self):
+        a = CharSet.of(string.ascii_lowercase)
+        assert a.complement().complement() == a
+
+    def test_complement_membership(self):
+        a = CharSet.single("a")
+        c = a.complement()
+        assert "a" not in c and "b" in c and "\n" in c
+
+
+@given(intervals, intervals)
+def test_union_is_set_union(p1, p2):
+    a, b = mk(p1), mk(p2)
+    assert members(a.union(b)) == members(a) | members(b)
+
+
+@given(intervals, intervals)
+def test_intersect_is_set_intersection(p1, p2):
+    a, b = mk(p1), mk(p2)
+    assert members(a.intersect(b)) == members(a) & members(b)
+
+
+@given(intervals, intervals)
+def test_subtract_is_set_difference(p1, p2):
+    a, b = mk(p1), mk(p2)
+    assert members(a.subtract(b)) == members(a) - members(b)
+
+
+@given(intervals)
+def test_normalization_is_canonical(p):
+    a = mk(p)
+    # Re-normalizing the normalized intervals is the identity.
+    assert CharSet.from_intervals(a.intervals) == a
+    # Intervals are sorted, disjoint, and non-adjacent.
+    for (l1, h1), (l2, h2) in zip(a.intervals, a.intervals[1:]):
+        assert h1 + 1 < l2
+
+
+@given(st.lists(intervals, max_size=4))
+def test_partition_atoms_cover_and_disjoint(sets):
+    css = [mk(p) for p in sets]
+    atoms = partition_atoms(css)
+    # Atoms are pairwise disjoint.
+    for i, a in enumerate(atoms):
+        for b in atoms[i + 1:]:
+            assert not a.intersect(b)
+    # Every input set equals the union of the atoms it intersects.
+    for cs in css:
+        covered = set()
+        for a in atoms:
+            if cs.intersect(a):
+                inter = cs.intersect(a)
+                assert inter == a, "atom must be wholly inside or outside each set"
+                covered |= members(a)
+        assert covered == members(cs)

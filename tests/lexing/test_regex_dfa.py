@@ -1,0 +1,166 @@
+"""Regex parsing, NFA/DFA construction, and NFA≡DFA property tests."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lexing.dfa import build_scanner_dfa, minimize, subset_construct
+from repro.lexing.nfa import build_combined_nfa, build_nfa
+from repro.lexing.regex import RegexError, literal, parse_regex
+
+
+def accepts(pattern: str, text: str) -> bool:
+    nfa = build_nfa(parse_regex(pattern))
+    return bool(nfa.matches(text))
+
+
+def dfa_accepts(pattern: str, text: str) -> bool:
+    dfa = build_scanner_dfa(build_nfa(parse_regex(pattern)))
+    state = dfa.start
+    for ch in text:
+        nxt = dfa.step(state, ch)
+        if nxt is None:
+            return False
+        state = nxt
+    return bool(dfa.accepts[state])
+
+
+class TestRegexParsing:
+    @pytest.mark.parametrize(
+        "pattern,yes,no",
+        [
+            ("abc", ["abc"], ["ab", "abcd", ""]),
+            ("a|b", ["a", "b"], ["ab", ""]),
+            ("a*", ["", "a", "aaaa"], ["b", "ab"]),
+            ("a+", ["a", "aa"], [""]),
+            ("a?b", ["b", "ab"], ["aab"]),
+            ("(ab)+", ["ab", "abab"], ["a", "aba"]),
+            ("[a-c]+", ["abc", "c"], ["d", ""]),
+            ("[^a-c]", ["d", "z", "0"], ["a", "b", ""]),
+            (r"\d+", ["0", "123"], ["a", ""]),
+            (r"\d+\.\d+", ["3.14"], ["3.", ".5", "3"]),
+            (r"\w+", ["foo_1"], ["-", ""]),
+            (r"a{3}", ["aaa"], ["aa", "aaaa"]),
+            (r"a{2,4}", ["aa", "aaa", "aaaa"], ["a", "aaaaa"]),
+            (r"//[^\n]*", ["// hi", "//"], ["/", "// x\n"]),
+            (r"\.", ["."], ["a"]),
+            (".", ["a", "."], ["\n", ""]),
+        ],
+    )
+    def test_membership(self, pattern, yes, no):
+        for t in yes:
+            assert accepts(pattern, t), (pattern, t)
+            assert dfa_accepts(pattern, t), (pattern, t)
+        for t in no:
+            assert not accepts(pattern, t), (pattern, t)
+            assert not dfa_accepts(pattern, t), (pattern, t)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["(a", "a)", "[abc", "*a", "+", "a{", "a{2", "a{4,2}", "a\\q", "a|*"],
+    )
+    def test_malformed_raise(self, bad):
+        with pytest.raises(RegexError):
+            parse_regex(bad)
+
+    def test_literal_escapes_metachars(self):
+        # literal() must match the text verbatim even if it contains metachars.
+        nfa = build_nfa(literal("a+b*(c)"))
+        assert nfa.matches("a+b*(c)")
+        assert not nfa.matches("aab")
+
+    def test_block_comment_regex(self):
+        # The classic C comment regex exercises classes and nesting-free loops.
+        pat = r"/\*([^*]|\*+[^*/])*\*+/"
+        for t in ["/**/", "/* x */", "/* a*b **/", "/***/"]:
+            assert accepts(pat, t), t
+        for t in ["/*", "/* */ */", "/**"]:
+            assert not accepts(pat, t), t
+
+
+class TestCombinedNFA:
+    def test_accept_sets(self):
+        terms = {
+            "Identifier": parse_regex(r"[a-z]+"),
+            "With": literal("with"),
+            "IntLit": parse_regex(r"\d+"),
+        }
+        nfa = build_combined_nfa(terms)
+        assert nfa.matches("with") == {"Identifier", "With"}
+        assert nfa.matches("withal") == {"Identifier"}
+        assert nfa.matches("42") == {"IntLit"}
+        assert nfa.matches("") == set()
+
+    def test_dfa_preserves_accept_sets(self):
+        terms = {
+            "Identifier": parse_regex(r"[a-z]+"),
+            "With": literal("with"),
+        }
+        dfa = build_scanner_dfa(build_combined_nfa(terms))
+        best = dfa.longest_match("with ")
+        assert best is not None
+        end, names = best
+        assert end == 4 and names == frozenset({"Identifier", "With"})
+
+
+class TestMinimization:
+    def test_minimize_smaller_or_equal(self):
+        nfa = build_nfa(parse_regex("(a|b)*abb"))
+        raw = subset_construct(nfa)
+        small = minimize(raw)
+        assert small.num_states <= raw.num_states
+
+    def test_minimize_preserves_language_on_samples(self):
+        pattern = "(a|b)*abb"
+        nfa = build_nfa(parse_regex(pattern))
+        raw = subset_construct(nfa)
+        small = minimize(raw)
+        for text in ["abb", "aabb", "babb", "ab", "abba", "", "abbabb"]:
+            def run(d):
+                s = d.start
+                for ch in text:
+                    s = d.step(s, ch)
+                    if s is None:
+                        return False
+                return bool(d.accepts[s])
+            assert run(raw) == run(small), text
+
+
+# --- property tests: our engine agrees with Python's re on a safe subset ----
+
+ALPHABET = "ab"
+
+
+@st.composite
+def simple_patterns(draw):
+    """Generate regexes valid in both engines (no backtracking pathologies)."""
+    depth = draw(st.integers(0, 3))
+
+    def go(d):
+        if d == 0:
+            return draw(st.sampled_from(["a", "b", "[ab]", "[^a]"]))
+        kind = draw(st.sampled_from(["cat", "alt", "star", "plus", "opt"]))
+        if kind == "cat":
+            return go(d - 1) + go(d - 1)
+        if kind == "alt":
+            return f"({go(d - 1)}|{go(d - 1)})"
+        inner = go(d - 1)
+        return f"({inner})" + {"star": "*", "plus": "+", "opt": "?"}[kind]
+
+    return go(depth)
+
+
+@settings(max_examples=150, deadline=None)
+@given(simple_patterns(), st.text(alphabet=ALPHABET, max_size=8))
+def test_engine_agrees_with_stdlib_re(pattern, text):
+    ours = accepts(pattern, text)
+    theirs = re.fullmatch(pattern, text) is not None
+    assert ours == theirs, (pattern, text)
+
+
+@settings(max_examples=100, deadline=None)
+@given(simple_patterns(), st.text(alphabet=ALPHABET, max_size=8))
+def test_dfa_equals_nfa(pattern, text):
+    assert dfa_accepts(pattern, text) == accepts(pattern, text)

@@ -1,0 +1,139 @@
+"""Context-aware scanner behaviour (paper §VI-A / Copper [9])."""
+
+import pytest
+
+from repro.lexing import (
+    EOF,
+    ContextAwareScanner,
+    LexicalAmbiguityError,
+    ScanError,
+    TerminalSet,
+)
+from repro.util.diagnostics import SourceLocation
+
+
+@pytest.fixture()
+def terminals() -> TerminalSet:
+    ts = TerminalSet()
+    ts.declare("WS", r"[ \t\r\n]+", layout=True)
+    ts.declare("LineComment", r"//[^\n]*", layout=True)
+    ts.declare("Identifier", r"[a-zA-Z_]\w*")
+    ts.declare("With", "with", keyword=True, marking=True, origin="matrix")
+    ts.declare("Genarray", "genarray", keyword=True, origin="matrix")
+    ts.declare("IntLit", r"\d+")
+    ts.declare("FloatLit", r"\d+\.\d+")
+    ts.declare("Plus", r"\+")
+    ts.declare("Le", r"<=")
+    ts.declare("Lt", r"<")
+    return ts
+
+
+@pytest.fixture()
+def scanner(terminals) -> ContextAwareScanner:
+    return ContextAwareScanner(terminals)
+
+
+def scan1(scanner, text, valid):
+    return scanner.scan(text, SourceLocation(), frozenset(valid))
+
+
+class TestMaximalMunch:
+    def test_longest_match_wins(self, scanner):
+        tok = scan1(scanner, "<=", {"Lt", "Le"})
+        assert tok.terminal == "Le"
+
+    def test_shorter_token_when_longer_invalid(self, scanner):
+        # Context-aware: if only Lt is valid, "<=" scans as "<".
+        tok = scan1(scanner, "<=", {"Lt"})
+        assert tok.terminal == "Lt" and tok.lexeme == "<"
+
+    def test_float_vs_int(self, scanner):
+        assert scan1(scanner, "3.5", {"IntLit", "FloatLit"}).terminal == "FloatLit"
+        assert scan1(scanner, "35", {"IntLit", "FloatLit"}).terminal == "IntLit"
+
+
+class TestContextAwareness:
+    def test_keyword_in_keyword_context(self, scanner):
+        assert scan1(scanner, "with", {"With", "Identifier"}).terminal == "With"
+
+    def test_keyword_as_identifier_when_keyword_invalid(self, scanner):
+        # THE point of context-aware scanning: `with` is a host identifier
+        # wherever the matrix extension's With cannot appear.
+        assert scan1(scanner, "with", {"Identifier"}).terminal == "Identifier"
+
+    def test_identifier_prefix_of_keyword(self, scanner):
+        tok = scan1(scanner, "withal", {"With", "Identifier"})
+        assert tok.terminal == "Identifier" and tok.lexeme == "withal"
+
+    def test_dominance_requires_declaration(self, terminals):
+        # Two overlapping non-dominating terminals in the same context are
+        # a lexical ambiguity the extension author must annotate away.
+        terminals.declare("With2", "with", origin="other")
+        sc = ContextAwareScanner(terminals)
+        with pytest.raises(LexicalAmbiguityError):
+            sc.scan("with", SourceLocation(), frozenset({"With", "With2"}))
+
+
+class TestLayout:
+    def test_layout_skipped(self, scanner):
+        tok = scan1(scanner, "   // c\n  foo", {"Identifier"})
+        assert tok.terminal == "Identifier"
+        assert tok.span.start.line == 2
+
+    def test_eof_after_trailing_layout(self, scanner):
+        tok = scan1(scanner, "  // comment", {EOF})
+        assert tok.terminal == EOF
+
+
+class TestErrors:
+    def test_no_valid_token(self, scanner):
+        with pytest.raises(ScanError) as ei:
+            scan1(scanner, "?", {"Identifier"})
+        assert "expected one of" in str(ei.value)
+
+    def test_unexpected_eof(self, scanner):
+        with pytest.raises(ScanError):
+            scan1(scanner, "", {"Identifier"})
+
+    def test_error_location(self, scanner):
+        # First token scans fine; the bad char on line 2 is reported there.
+        tok = scan1(scanner, "ab\n?", {"Identifier"})
+        assert tok.lexeme == "ab"
+        with pytest.raises(ScanError) as ei:
+            scanner.scan("ab\n?", tok.span.end, frozenset({"Identifier"}))
+        assert ei.value.location.line == 2
+
+
+class TestTokenizeAll:
+    def test_stream(self, scanner):
+        toks = scanner.tokenize_all("with x <= 4 + 3.5 // done")
+        assert [t.terminal for t in toks] == [
+            "With", "Identifier", "Le", "IntLit", "Plus", "FloatLit", EOF,
+        ]
+
+    def test_positions_advance(self, scanner):
+        toks = scanner.tokenize_all("a b\n c")
+        cols = [(t.span.start.line, t.span.start.column) for t in toks[:-1]]
+        assert cols == [(1, 0), (1, 2), (2, 1)]
+
+
+class TestTerminalSetComposition:
+    def test_merge_disjoint(self, terminals):
+        other = TerminalSet()
+        other.declare("Fold", "fold", keyword=True, origin="matrix")
+        merged = terminals.merge(other)
+        assert "Fold" in merged and "With" in merged
+
+    def test_merge_conflicting_raises(self, terminals):
+        other = TerminalSet()
+        other.declare("With", "WITH", keyword=True, origin="other")
+        with pytest.raises(ValueError):
+            terminals.merge(other)
+
+    def test_merge_identical_shared_ok(self, terminals):
+        merged = terminals.merge(terminals)
+        assert len(list(merged)) == len(list(terminals))
+
+    def test_duplicate_declare_raises(self, terminals):
+        with pytest.raises(ValueError):
+            terminals.declare("With", "with", keyword=True)

@@ -1,0 +1,135 @@
+"""Modular determinism analysis — isComposable (§VI-A)."""
+
+import pytest
+
+from repro.grammar import GrammarSpec
+from repro.mda import is_composable, verify_composition_theorem
+
+
+def tiny_host() -> GrammarSpec:
+    """A miniature statement/expression host language."""
+    g = GrammarSpec("host", start="Stmt")
+    g.terminal("WS", r"[ \t\n]+", layout=True)
+    g.terminal("Identifier", r"[a-zA-Z_]\w*")
+    g.terminal("IntLit", r"\d+")
+    g.terminal("Eq", "=")
+    g.terminal("Semi", ";")
+    g.terminal("Plus", r"\+")
+    g.terminal("LParen", r"\(")
+    g.terminal("RParen", r"\)")
+    g.terminal("Comma", ",")
+    g.production("Stmt ::= Identifier Eq Expr Semi")
+    g.production("Expr ::= Expr Plus Primary")
+    g.production("Expr ::= Primary")
+    g.production("Primary ::= IntLit")
+    g.production("Primary ::= Identifier")
+    g.production("Primary ::= LParen Expr RParen")
+    return g
+
+
+def with_ext() -> GrammarSpec:
+    """A with-loop-flavored extension: marked by the `with` keyword."""
+    e = GrammarSpec("withloop")
+    e.terminal("With", "with", keyword=True, marking=True)
+    e.terminal("Fold", "fold", keyword=True)
+    e.production("Primary ::= With WithBody")
+    e.production("WithBody ::= Fold LParen Expr RParen")
+    e.production("WithBody ::= LParen Expr RParen")
+    return e
+
+
+def tuple_ext() -> GrammarSpec:
+    """The paper's tuples extension: bridge begins with host's LParen."""
+    e = GrammarSpec("tuples")
+    e.production("Primary ::= LParen Expr Comma TupleRest RParen")
+    e.production("TupleRest ::= Expr")
+    e.production("TupleRest ::= Expr Comma TupleRest")
+    return e
+
+
+def marked_tuple_ext() -> GrammarSpec:
+    """The paper's suggested fix: distinguishable delimiters `(| ... |)`."""
+    e = GrammarSpec("tuples-marked")
+    e.terminal("LTup", r"\(\|", marking=True)
+    e.terminal("RTup", r"\|\)")
+    e.production("Primary ::= LTup TupleElems RTup")
+    e.production("TupleElems ::= Expr")
+    e.production("TupleElems ::= Expr Comma TupleElems")
+    return e
+
+
+class TestIsComposable:
+    def test_marked_extension_passes(self):
+        report = is_composable(tiny_host(), with_ext())
+        assert report.passed, str(report)
+
+    def test_tuples_fails_on_initial_lparen(self):
+        # Reproduces the paper's §VI-A result verbatim: the tuples
+        # extension's initial "(" is not a unique marking terminal.
+        report = is_composable(tiny_host(), tuple_ext())
+        assert not report.passed
+        assert any("marking terminal" in v for v in report.violations)
+
+    def test_marked_tuples_passes(self):
+        # "One could modify the tuple terminals to be (| and |) ... and
+        # thus pass this analysis."
+        report = is_composable(tiny_host(), marked_tuple_ext())
+        assert report.passed, str(report)
+
+    def test_marking_terminal_misuse_flagged(self):
+        e = GrammarSpec("bad")
+        e.terminal("Mark", "mark", keyword=True, marking=True)
+        e.production("Primary ::= Mark Expr Mark")  # marker reused mid-rhs
+        report = is_composable(tiny_host(), e)
+        assert any("outside bridge-initial" in v for v in report.violations)
+
+    def test_conflicting_extension_fails_lalr(self):
+        e = GrammarSpec("amb")
+        e.terminal("Mark", "mk", keyword=True, marking=True)
+        # Ambiguous internal syntax: E ::= E E style.
+        e.production("Primary ::= Mark AmbE")
+        e.production("AmbE ::= AmbE AmbE")
+        e.production("AmbE ::= IntLit")
+        report = is_composable(tiny_host(), e)
+        assert not report.passed
+        assert any("not LALR(1)" in v for v in report.violations)
+
+    def test_extension_without_bridges_passes_trivially(self):
+        e = GrammarSpec("empty")
+        report = is_composable(tiny_host(), e)
+        assert report.passed
+
+
+class TestCompositionTheorem:
+    def test_passing_extensions_compose(self):
+        host = tiny_host()
+        exts = [with_ext(), marked_tuple_ext()]
+        for e in exts:
+            assert is_composable(host, e).passed
+        assert verify_composition_theorem(host, exts)
+
+    def test_three_way_composition_parses(self):
+        from repro.parsing import Parser
+
+        host = tiny_host()
+        e1, e2 = with_ext(), marked_tuple_ext()
+        composed = host.compose(e1, e2).build()
+        parser = Parser(composed)
+        # Default actions produce labeled tuples; just check both extension
+        # syntaxes parse in one program composed from both extensions.
+        parser.parse("x = with fold (1 + 2);")
+        parser.parse("y = (| 1, 2, 3 |);")
+        parser.parse("z = (1 + 2);")  # host parens still fine
+
+    def test_layered_extension_uses_base(self):
+        host = tiny_host()
+        base = with_ext()
+        layered = GrammarSpec("transform")
+        layered.terminal("Transform", "transform", keyword=True, marking=True)
+        layered.production("WithBody ::= Transform LParen Expr RParen")
+        # Against host alone: WithBody is unknown -> composition fails.
+        report_alone = is_composable(host, layered)
+        assert not report_alone.passed
+        # With the matrix-like base treated as host: passes.
+        report = is_composable(host, layered, base=(base,))
+        assert report.passed, str(report)

@@ -1,0 +1,63 @@
+"""MDA condition 4: follow-set containment ("follow spillage").
+
+Two individually-LALR extensions can still conflict jointly when an
+extension's nonterminal can be followed by host context the bridged
+nonterminal never sees; the analysis flags the spillage pattern.
+"""
+
+from repro.grammar import GrammarSpec
+from repro.mda import is_composable
+
+
+def host() -> GrammarSpec:
+    g = GrammarSpec("host", start="S")
+    g.terminal("A", "a")
+    g.terminal("B", "b")
+    g.terminal("Semi", ";")
+    g.production("S ::= E Semi")
+    g.production("E ::= A")
+    return g
+
+
+def test_spillage_flagged():
+    # The extension's NT X is followed by the *host* terminal B via the
+    # extension's own production — but B can never follow the bridged
+    # host nonterminal E in the host grammar.
+    e = GrammarSpec("spill")
+    e.terminal("Mark", "mk", keyword=True, marking=True)
+    e.production("E ::= Mark X B")
+    e.production("X ::= A")
+    report = is_composable(host(), e)
+    assert not report.passed
+    assert any("follow spillage" in v and "'B'" in v for v in report.violations)
+
+
+def test_no_spillage_when_host_terminal_already_follows():
+    # Semi follows E in the host, so an extension NT followed by Semi
+    # spills nothing.
+    e = GrammarSpec("ok")
+    e.terminal("Mark", "mk", keyword=True, marking=True)
+    e.production("E ::= Mark X")
+    e.production("X ::= A")
+    report = is_composable(host(), e)
+    assert report.passed, str(report)
+
+
+def test_extension_own_terminals_allowed():
+    e = GrammarSpec("own")
+    e.terminal("Mark", "mk", keyword=True, marking=True)
+    e.terminal("Close", "end_mk", keyword=True)
+    e.production("E ::= Mark X Close")
+    e.production("X ::= A")
+    e.production("X ::= A X")
+    report = is_composable(host(), e)
+    assert report.passed, str(report)
+
+
+def test_real_extensions_have_no_spillage():
+    from repro.api import module_registry
+
+    reg = module_registry()
+    report = is_composable(reg["cminus"].grammar, reg["matrix"].grammar,
+                           prefer_shift=reg["cminus"].prefer_shift)
+    assert not any("spillage" in v for v in report.violations)

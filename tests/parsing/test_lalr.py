@@ -1,0 +1,101 @@
+"""LALR(1) table construction: automaton shape, lookaheads, conflicts."""
+
+import pytest
+
+from repro.grammar import GrammarSpec
+from repro.parsing import (
+    LALRConflictError,
+    build_lr0,
+    build_tables,
+    find_conflicts,
+)
+
+
+def expr_spec() -> GrammarSpec:
+    g = GrammarSpec("expr", start="E")
+    g.terminal("WS", r"[ \t\n]+", layout=True)
+    g.terminal("Num", r"\d+")
+    g.terminal("Id", r"[a-z]+")
+    g.terminal("Plus", r"\+")
+    g.terminal("Times", r"\*")
+    g.terminal("LP", r"\(")
+    g.terminal("RP", r"\)")
+    g.terminal("Eq", "=")
+    g.production("E ::= E Plus T", action=lambda c: ("+", c[0], c[2]))
+    g.production("E ::= T", action=lambda c: c[0])
+    g.production("T ::= T Times F", action=lambda c: ("*", c[0], c[2]))
+    g.production("T ::= F", action=lambda c: c[0])
+    g.production("F ::= Num", action=lambda c: int(c[0].lexeme))
+    g.production("F ::= LP E RP", action=lambda c: c[1])
+    return g
+
+
+class TestAutomaton:
+    def test_states_reachable_and_deterministic(self):
+        gr = expr_spec().build()
+        auto = build_lr0(gr)
+        assert auto.states[0] == frozenset({(0, 0)})
+        # goto is a function: keys unique by construction
+        assert len(auto.goto) == len(set(auto.goto))
+
+    def test_tables_accept_valid_terminal_sets(self):
+        gr = expr_spec().build()
+        tables = build_tables(gr)
+        # State 0 can start an expression: Num or LP only.
+        assert tables.valid_terminals(0) == frozenset({"Num", "LP"})
+
+
+class TestLR1Lookaheads:
+    def test_slr_insufficient_grammar(self):
+        # The classic grammar where SLR fails but LALR succeeds:
+        #   S -> L = R | R ;  L -> * R | id ;  R -> L
+        g = GrammarSpec("g", start="S")
+        g.terminal("Star", r"\*")
+        g.terminal("Id", "id")
+        g.terminal("Assign", "=")
+        g.production("S ::= L Assign R")
+        g.production("S ::= R")
+        g.production("L ::= Star R")
+        g.production("L ::= Id")
+        g.production("R ::= L")
+        tables = build_tables(g.build())  # must not raise
+        assert tables.num_states > 0
+
+
+class TestConflicts:
+    def test_ambiguous_grammar_rejected(self):
+        g = GrammarSpec("amb", start="E")
+        g.terminal("Num", r"\d+")
+        g.terminal("Plus", r"\+")
+        g.production("E ::= E Plus E")
+        g.production("E ::= Num")
+        with pytest.raises(LALRConflictError) as ei:
+            build_tables(g.build())
+        assert "shift/reduce" in str(ei.value)
+        assert "state items" in str(ei.value)
+
+    def test_reduce_reduce_reported(self):
+        g = GrammarSpec("rr", start="S")
+        g.terminal("A", "a")
+        g.production("S ::= X")
+        g.production("S ::= Y")
+        g.production("X ::= A")
+        g.production("Y ::= A")
+        conflicts = find_conflicts(g.build())
+        assert any(c.kind == "reduce/reduce" for c in conflicts)
+
+    def test_dangling_else_prefer_shift(self):
+        g = GrammarSpec("ifelse", start="S")
+        g.terminal("If", "if")
+        g.terminal("Else", "else")
+        g.terminal("Semi", ";")
+        g.production("S ::= If S")
+        g.production("S ::= If S Else S")
+        g.production("S ::= Semi")
+        with pytest.raises(LALRConflictError):
+            build_tables(g.build())
+        tables = build_tables(g.build(), prefer_shift={"Else"})
+        assert any(c.kind == "shift/reduce" for c in tables.resolved_conflicts)
+
+    def test_find_conflicts_empty_for_lalr(self):
+        assert find_conflicts(expr_spec().build()) == []

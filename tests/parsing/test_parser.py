@@ -1,0 +1,162 @@
+"""Parser driver: tree building, precedence via stratification, errors,
+keyword/identifier context interplay, and a parse/unparse property test."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar import GrammarSpec
+from repro.lexing import ScanError
+from repro.parsing import ParseError, Parser
+
+
+@pytest.fixture(scope="module")
+def expr_parser() -> Parser:
+    g = GrammarSpec("expr", start="E")
+    g.terminal("WS", r"[ \t\n]+", layout=True)
+    g.terminal("Num", r"\d+")
+    g.terminal("Plus", r"\+")
+    g.terminal("Minus", "-")
+    g.terminal("Times", r"\*")
+    g.terminal("LP", r"\(")
+    g.terminal("RP", r"\)")
+    g.production("E ::= E Plus T", action=lambda c: ("+", c[0], c[2]))
+    g.production("E ::= E Minus T", action=lambda c: ("-", c[0], c[2]))
+    g.production("E ::= T", action=lambda c: c[0])
+    g.production("T ::= T Times F", action=lambda c: ("*", c[0], c[2]))
+    g.production("T ::= F", action=lambda c: c[0])
+    g.production("F ::= Num", action=lambda c: int(c[0].lexeme))
+    g.production("F ::= LP E RP", action=lambda c: c[1])
+    return Parser(g.build())
+
+
+def evaluate(tree):
+    if isinstance(tree, int):
+        return tree
+    op, lhs, rhs = tree
+    l, r = evaluate(lhs), evaluate(rhs)
+    return {"+": l + r, "-": l - r, "*": l * r}[op]
+
+
+class TestDriver:
+    def test_precedence(self, expr_parser):
+        assert evaluate(expr_parser.parse("2 + 3 * 4")) == 14
+        assert evaluate(expr_parser.parse("(2 + 3) * 4")) == 20
+
+    def test_left_associativity(self, expr_parser):
+        assert expr_parser.parse("1 - 2 - 3") == ("-", ("-", 1, 2), 3)
+
+    def test_single_token(self, expr_parser):
+        assert expr_parser.parse("42") == 42
+
+    def test_deep_nesting(self, expr_parser):
+        depth = 200
+        text = "(" * depth + "1" + ")" * depth
+        assert expr_parser.parse(text) == 1
+
+    def test_syntax_error_position(self, expr_parser):
+        with pytest.raises((ParseError, ScanError)) as ei:
+            expr_parser.parse("1 +\n+ 2")
+        assert ei.value.location.line == 2
+
+    def test_trailing_garbage_rejected(self, expr_parser):
+        with pytest.raises((ParseError, ScanError)):
+            expr_parser.parse("1 2")
+
+    def test_empty_input_rejected(self, expr_parser):
+        with pytest.raises((ParseError, ScanError)):
+            expr_parser.parse("")
+
+
+class TestContextAwareKeywords:
+    """An extension keyword usable as a host identifier (§VI-A motivation)."""
+
+    @pytest.fixture(scope="class")
+    def parser(self) -> Parser:
+        g = GrammarSpec("kw", start="Stmt")
+        g.terminal("WS", r"[ \t\n]+", layout=True)
+        g.terminal("Id", r"[a-z]+")
+        # dominance is by terminal *name*; this grammar calls its identifier
+        # terminal "Id", so the keyword must dominate that name explicitly.
+        g.terminal("With", "with", marking=True, origin="matrix", dominates=("Id",))
+        g.terminal("Eq", "=")
+        g.terminal("Num", r"\d+")
+        # Stmt is either an assignment (host) or a with-construct (extension).
+        g.production("Stmt ::= Id Eq Num", action=lambda c: ("assign", c[0].lexeme))
+        g.production("Stmt ::= Id Eq Id", action=lambda c: ("copy", c[0].lexeme, c[2].lexeme))
+        g.production("Stmt ::= With Id", action=lambda c: ("with", c[1].lexeme))
+        return Parser(g.build())
+
+    def test_with_as_extension_keyword(self, parser):
+        assert parser.parse("with x") == ("with", "x")
+
+    def test_with_as_host_identifier_in_keyword_free_context(self, parser):
+        # After `x =` the parser's valid set contains Id but not With, so
+        # the context-aware scanner happily reads `with` as an identifier.
+        assert parser.parse("x = with") == ("copy", "x", "with")
+
+    def test_keyword_dominates_where_both_valid(self, parser):
+        # At statement start both Id and With are valid; lexical precedence
+        # picks the keyword, so `with = 3` is a syntax error (as in Copper).
+        with pytest.raises((ParseError, ScanError)):
+            parser.parse("with = 3")
+
+    def test_identifier_that_prefixes_keyword(self, parser):
+        assert parser.parse("wit = 3") == ("assign", "wit")
+
+
+class TestEpsilonProductions:
+    def test_optional_list(self):
+        g = GrammarSpec("lst", start="L")
+        g.terminal("WS", r"[ \t]+", layout=True)
+        g.terminal("A", "a")
+        g.production("L ::= L A", action=lambda c: c[0] + [c[1].lexeme])
+        g.production("L ::=", action=lambda c: [])
+        p = Parser(g.build())
+        assert p.parse("a a a") == ["a", "a", "a"]
+        assert p.parse("") == []
+
+
+# --- property test: parse(print(tree)) == tree -------------------------------
+
+exprs = st.deferred(
+    lambda: st.one_of(
+        st.integers(min_value=0, max_value=999),
+        st.tuples(st.sampled_from(["+", "-", "*"]), exprs, exprs),
+    )
+)
+
+
+def unparse(tree) -> str:
+    if isinstance(tree, int):
+        return str(tree)
+    op, l, r = tree
+    return f"({unparse(l)} {op} {unparse(r)})"
+
+
+def _build_roundtrip_parser() -> Parser:
+    g = GrammarSpec("expr", start="E")
+    g.terminal("WS", r"[ \t\n]+", layout=True)
+    g.terminal("Num", r"\d+")
+    g.terminal("Plus", r"\+")
+    g.terminal("Minus", "-")
+    g.terminal("Times", r"\*")
+    g.terminal("LP", r"\(")
+    g.terminal("RP", r"\)")
+    g.production("E ::= E Plus T", action=lambda c: ("+", c[0], c[2]))
+    g.production("E ::= E Minus T", action=lambda c: ("-", c[0], c[2]))
+    g.production("E ::= T", action=lambda c: c[0])
+    g.production("T ::= T Times F", action=lambda c: ("*", c[0], c[2]))
+    g.production("T ::= F", action=lambda c: c[0])
+    g.production("F ::= Num", action=lambda c: int(c[0].lexeme))
+    g.production("F ::= LP E RP", action=lambda c: c[1])
+    return Parser(g.build())
+
+
+_ROUNDTRIP_PARSER = _build_roundtrip_parser()
+
+
+@settings(max_examples=100, deadline=None)
+@given(exprs)
+def test_parse_unparse_roundtrip(tree):
+    assert _ROUNDTRIP_PARSER.parse(unparse(tree)) == tree

@@ -1,0 +1,80 @@
+"""The reproc command-line driver."""
+
+import numpy as np
+import pytest
+
+from repro.cexec import gcc_available
+from repro.cexec.rmat import read_rmat, write_rmat
+from repro.cli import main
+from repro.programs import load
+
+
+@pytest.fixture()
+def workdir(tmp_path):
+    (tmp_path / "prog.xc").write_text(load("fig1"))
+    write_rmat(tmp_path / "ssh.data",
+               np.random.default_rng(0).random((3, 4, 5), dtype=np.float32))
+    return tmp_path
+
+
+def test_list_extensions(capsys):
+    assert main(["--list-extensions"]) == 0
+    out = capsys.readouterr().out
+    for name in ("cminus", "matrix", "refcount", "transform", "tuples"):
+        assert name in out
+
+
+def test_translate_writes_c(workdir, capsys):
+    rc = main([str(workdir / "prog.xc"), "-x", "matrix"])
+    assert rc == 0
+    c = (workdir / "prog.c").read_text()
+    assert "rt_pool_run" in c or "for (long" in c
+
+
+def test_check_mode_clean(workdir, capsys):
+    assert main([str(workdir / "prog.xc"), "-x", "matrix", "--check"]) == 0
+    assert "no errors" in capsys.readouterr().out
+
+
+def test_check_mode_errors(tmp_path, capsys):
+    (tmp_path / "bad.xc").write_text("int main() { return nope; }")
+    assert main([str(tmp_path / "bad.xc"), "--check"]) == 1
+    assert "undeclared identifier" in capsys.readouterr().err
+
+
+def test_missing_file(capsys):
+    assert main(["/nonexistent.xc"]) == 1
+
+
+def test_output_path_option(workdir):
+    out = workdir / "custom.c"
+    assert main([str(workdir / "prog.xc"), "-x", "matrix", "-o", str(out)]) == 0
+    assert out.exists()
+
+
+def test_ablation_flags_change_output(workdir):
+    main([str(workdir / "prog.xc"), "-x", "matrix", "--sequential",
+          "-o", str(workdir / "a.c")])
+    main([str(workdir / "prog.xc"), "-x", "matrix", "--sequential",
+          "--no-fusion", "--no-slice-elim", "-o", str(workdir / "b.c")])
+    a = (workdir / "a.c").read_text()
+    b = (workdir / "b.c").read_text()
+    a_body = a[a.index("int __user_main"):]
+    b_body = b[b.index("int __user_main"):]
+    assert "rt_assign_copy" not in a_body
+    assert "rt_assign_copy" in b_body
+
+
+@pytest.mark.skipif(not gcc_available(), reason="gcc not available")
+def test_run_mode(workdir):
+    rc = main([str(workdir / "prog.xc"), "-x", "matrix", "--run",
+               "--threads", "2"])
+    assert rc == 0
+    got = read_rmat(workdir / "means.data")
+    want = read_rmat(workdir / "ssh.data").mean(axis=2)
+    assert np.allclose(got, want, atol=1e-5)
+
+
+def test_unknown_extension(workdir, capsys):
+    with pytest.raises(ValueError, match="unknown extension"):
+        main([str(workdir / "prog.xc"), "-x", "nonsense"])

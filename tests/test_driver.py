@@ -1,0 +1,141 @@
+"""Driver and public API: module composition, dependency resolution,
+compile pipeline plumbing."""
+
+import pytest
+
+from repro.api import (
+    compile_source,
+    host_only,
+    make_translator,
+    module_registry,
+)
+from repro.driver import CompileError, Translator, resolve_dependencies
+
+
+class TestRegistry:
+    def test_all_modules_present(self):
+        reg = module_registry()
+        assert set(reg) >= {"cminus", "tuples", "refcount", "matrix",
+                            "transform", "cilk"}
+
+    def test_host_only_includes_tuples(self):
+        names = [m.name for m in host_only()]
+        assert names == ["cminus", "tuples"]
+
+
+class TestDependencyResolution:
+    def test_matrix_pulls_refcount(self):
+        t = make_translator(["matrix"])
+        assert {m.name for m in t.modules} >= {"cminus", "refcount", "matrix"}
+
+    def test_transform_pulls_matrix_transitively(self):
+        t = make_translator(["transform"])
+        names = {m.name for m in t.modules}
+        assert {"matrix", "refcount", "transform"} <= names
+
+    def test_host_first(self):
+        t = make_translator(["transform", "cilk"])
+        assert t.modules[0].name == "cminus"
+
+    def test_unknown_extension_rejected(self):
+        with pytest.raises(ValueError, match="unknown extension"):
+            make_translator(["warp-drive"])
+
+    def test_unknown_requirement_rejected(self):
+        from repro.ag.core import AGSpec
+        from repro.driver import LanguageModule
+        from repro.grammar.cfg import GrammarSpec
+
+        reg = module_registry()
+        bogus = LanguageModule("bogus", GrammarSpec("bogus"), AGSpec("bogus"),
+                               requires=("no-such-module",))
+        with pytest.raises(ValueError, match="requires unknown module"):
+            resolve_dependencies([reg["cminus"], bogus])
+
+    def test_transform_program_without_explicit_matrix(self):
+        # requesting only "transform" must still give a translator that
+        # understands matrix syntax (its prerequisite)
+        result = compile_source("""
+        int main() {
+            Matrix float <1> v = init(Matrix float <1>, 8);
+            v = with ([0] <= [i] < [8]) genarray([8], 1.0)
+                transform unroll i by 2;
+            return 0;
+        }
+        """, ["transform"])
+        assert result.ok, result.errors
+
+
+class TestPipeline:
+    def test_check_only_skips_lowering(self):
+        t = make_translator(["matrix"])
+        result = t.compile("int main() { return 0; }", check_only=True)
+        assert result.ok and result.c_source is None and result.lowered is None
+
+    def test_compile_or_raise(self):
+        t = make_translator([])
+        with pytest.raises(CompileError, match="undeclared"):
+            t.compile_or_raise("int main() { return x; }")
+
+    def test_fresh_context_per_compile(self):
+        t = make_translator(["matrix"])
+        r1 = t.compile("int main() { Matrix float <1> v = init(Matrix float <1>, 2); return 0; }")
+        r2 = t.compile("int main() { Matrix float <1> v = init(Matrix float <1>, 2); return 0; }")
+        assert r1.ok and r2.ok
+        assert r1.ctx is not r2.ctx
+        # gensym counters restart: identical programs -> identical C
+        assert r1.c_source == r2.c_source
+
+    def test_translator_reuse_across_programs(self):
+        t = make_translator(["matrix"])
+        for i in range(3):
+            r = t.compile(f"int main() {{ return {i}; }}")
+            assert r.ok
+
+    def test_errors_returned_not_raised(self):
+        t = make_translator(["matrix"])
+        result = t.compile("int main() { Matrix float <1> v = init(Matrix float <1>, 1, 2); return 0; }")
+        assert not result.ok
+        assert any("rank-1" in e for e in result.errors)
+
+    def test_filename_in_errors(self):
+        t = make_translator([])
+        result = t.compile("int main() { return zz; }", filename="prog.xc")
+        assert any("prog.xc:" in e for e in result.errors)
+
+
+class TestRuntimeFeatureSelection:
+    def test_host_only_program_gets_no_matrix_runtime(self):
+        result = compile_source("int main() { return 0; }", [])
+        assert "rt_allocf" not in result.c_source
+        assert "rt_pool_init" in result.c_source  # main always brackets pool
+
+    def test_matrix_program_gets_matrix_runtime(self):
+        result = compile_source(
+            "int main() { Matrix float <1> v = init(Matrix float <1>, 2); return 0; }",
+            ["matrix"],
+        )
+        assert "rt_allocf" in result.c_source
+        assert "rc_dec" in result.c_source
+
+    def test_vector_runtime_only_when_vectorizing(self):
+        plain = compile_source("int main() { return 0; }", ["matrix", "transform"])
+        assert "rt_vloadf" not in plain.c_source
+        vec = compile_source("""
+        int main() {
+            Matrix float <1> v = init(Matrix float <1>, 8);
+            v = with ([0] <= [i] < [8]) genarray([8], 1.0)
+                transform vectorize i;
+            return 0;
+        }
+        """, ["matrix", "transform"])
+        assert "rt_vloadf" in vec.c_source
+
+    def test_tasks_runtime_only_with_spawn(self):
+        plain = compile_source("int main() { return 0; }", ["cilk"])
+        assert "rt_spawn" not in plain.c_source
+        spawned = compile_source("""
+        void f() { }
+        int main() { spawn f(); sync; return 0; }
+        """, ["cilk"])
+        assert "rt_spawn" in spawned.c_source

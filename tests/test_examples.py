@@ -1,0 +1,64 @@
+"""Smoke tests: every shipped example script runs to completion.
+
+Kept cheap: examples are invoked with small problem sizes where they
+accept one, and time-boxed.  These exist so the examples cannot rot
+silently as the library evolves.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cexec import gcc_available
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "OK: translated parallel C reproduces the temporal mean." in out
+
+
+def test_ocean_eddy():
+    out = run_example("ocean_eddy.py", "--shape", "12", "16", "32",
+                      "--eddies", "2", "--render")
+    assert "translated program == numpy reference: True" in out
+    assert "eddy detection" in out
+    assert "Fig 6 analogue" in out  # the rendered SSH map
+
+
+def test_conncomp_map():
+    out = run_example("conncomp_map.py")
+    assert "ALL FRAMES MATCH" in out
+
+
+@pytest.mark.skipif(not gcc_available(), reason="gcc not available")
+def test_transform_tuning():
+    out = run_example("transform_tuning.py", "--size", "16", "16", "16",
+                      timeout=300)
+    assert out.count("correct=True") == 5
+    assert "#pragma omp parallel for" in out
+
+
+def test_composability():
+    out = run_example("composability.py")
+    assert out.count("PASS") >= 8
+    assert "isComposable(cminus, tuples-standalone): FAIL" in out
+    assert 'All extensions described above pass this analysis.' in out
+
+
+def test_cilk_tasks():
+    out = run_example("cilk_tasks.py")
+    assert "isComposable(cminus, cilk): PASS" in out
+    assert "610" in out  # interpreter fib(15)
