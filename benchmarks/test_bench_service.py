@@ -1,0 +1,116 @@
+"""E-SVC: the compilation service layer (S21).
+
+Measures what the service buys: (a) warm translator acquisition — an
+in-memory or on-disk cache hit — against cold construction (grammar
+composition + LALR tables + scanner DFA), with a hard >=10x acceptance
+gate; (b) batch throughput over the bundled program corpus at pool sizes
+1/2/4.  Numbers are recorded in EXPERIMENTS.md (E-SVC).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.programs import PROGRAMS, load
+from repro.service import (
+    ArtifactStore,
+    CompileRequest,
+    CompileService,
+    TranslatorCache,
+)
+
+EXTS = ("matrix", "transform")
+CORPUS = sorted(PROGRAMS)
+
+
+def _best_of(n: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestWarmAcquisition:
+    def test_memory_warm_is_10x_faster_than_cold(self):
+        """Acceptance gate: warm acquisition >=10x faster than cold build."""
+        cold_cache = TranslatorCache(artifacts=ArtifactStore(None))
+        cold = _best_of(3, lambda: (cold_cache.clear(),
+                                    cold_cache.get(list(EXTS))))
+
+        warm_cache = TranslatorCache(artifacts=ArtifactStore(None))
+        warm_cache.get(list(EXTS))
+        warm = _best_of(20, lambda: warm_cache.get(list(EXTS)))
+
+        speedup = cold / warm
+        print(f"\ncold {cold * 1e3:.1f} ms  warm {warm * 1e3:.3f} ms  "
+              f"speedup {speedup:.0f}x")
+        assert speedup >= 10, f"warm acquisition only {speedup:.1f}x faster"
+
+    def test_disk_warm_is_10x_faster_than_cold(self, tmp_path):
+        """A fresh process restoring artifacts beats regenerating them."""
+        store = ArtifactStore(tmp_path / "artifacts")
+        TranslatorCache(artifacts=store).get(list(EXTS))  # populate disk
+
+        cold = _best_of(
+            3, lambda: TranslatorCache(artifacts=ArtifactStore(None)).get(list(EXTS))
+        )
+        disk_warm = _best_of(
+            3, lambda: TranslatorCache(artifacts=store).get(list(EXTS))
+        )
+        speedup = cold / disk_warm
+        print(f"\ncold {cold * 1e3:.1f} ms  disk-warm {disk_warm * 1e3:.1f} ms  "
+              f"speedup {speedup:.0f}x")
+        assert speedup >= 10, f"disk-warm acquisition only {speedup:.1f}x faster"
+
+    def test_bench_cold_construction(self, benchmark):
+        cache = TranslatorCache(artifacts=ArtifactStore(None))
+        benchmark(lambda: (cache.clear(), cache.get(list(EXTS))))
+
+    def test_bench_warm_acquisition(self, benchmark):
+        cache = TranslatorCache(artifacts=ArtifactStore(None))
+        cache.get(list(EXTS))
+        benchmark(lambda: cache.get(list(EXTS)))
+
+    def test_bench_disk_restore(self, benchmark, tmp_path):
+        store = ArtifactStore(tmp_path / "artifacts")
+        TranslatorCache(artifacts=store).get(list(EXTS))
+        benchmark(lambda: TranslatorCache(artifacts=store).get(list(EXTS)))
+
+
+class TestBatchThroughput:
+    @pytest.fixture(scope="class")
+    def service(self):
+        svc = CompileService(TranslatorCache(artifacts=ArtifactStore(None)))
+        svc.cache.get(list(EXTS))  # pre-warm: measure compile throughput
+        return svc
+
+    @pytest.fixture(scope="class")
+    def requests(self):
+        return [
+            CompileRequest(load(n), extensions=EXTS, filename=n) for n in CORPUS
+        ] * 4  # 16 programs per batch
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bench_batch_throughput(self, benchmark, service, requests, workers):
+        responses = benchmark(
+            service.compile_batch, requests, max_workers=workers
+        )
+        assert all(r.ok for r in responses)
+
+    def test_throughput_report(self, service, requests, capsys):
+        """Programs/sec at each pool size (recorded in EXPERIMENTS.md)."""
+        lines = []
+        for workers in (1, 2, 4):
+            dt = _best_of(
+                3, lambda w=workers: service.compile_batch(requests, max_workers=w)
+            )
+            lines.append(
+                f"pool={workers}: {len(requests) / dt:7.1f} programs/sec "
+                f"({dt * 1e3:.0f} ms / {len(requests)} programs)"
+            )
+        with capsys.disabled():
+            print("\n" + "\n".join(lines))

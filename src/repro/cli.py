@@ -10,6 +10,18 @@ Examples::
     reproc program.xc -x matrix --run --threads 4    # gcc-compile and run
     reproc program.xc -x matrix --check              # errors only
     reproc --list-extensions
+
+Batch mode (S21 compilation service) compiles many programs through one
+shared translator, fanning requests across a worker pool::
+
+    reproc batch a.xc b.xc c.xc -x matrix            # -> a.c b.c c.c
+    reproc batch *.xc -j 4 --stats                   # pool of 4 + counters
+    reproc batch *.xc --check --out-dir build/
+
+``--stats`` prints the service counters (translator-cache hits/misses,
+persistent-artifact hits, per-stage wall time).  The translator cache
+persists generated LALR tables and scanner DFAs under ``~/.cache/repro``
+(override with ``REPRO_CACHE_DIR``; ``REPRO_CACHE_DIR=off`` disables).
 """
 
 from __future__ import annotations
@@ -19,7 +31,89 @@ import sys
 from pathlib import Path
 
 
+def batch_main(argv: list[str]) -> int:
+    """``reproc batch`` — compile many .xc files via the compile service."""
+    ap = argparse.ArgumentParser(
+        prog="reproc batch",
+        description="Batch-compile extended-C programs through the "
+        "compilation service (shared cached translator, worker pool)",
+    )
+    ap.add_argument("sources", nargs="+", help="extended-C source files (.xc)")
+    ap.add_argument("-x", "--extensions", default="matrix",
+                    help="comma-separated extension list (default: matrix)")
+    ap.add_argument("-j", "--jobs", type=int, default=4,
+                    help="worker threads for the batch pool (default 4)")
+    ap.add_argument("--out-dir", help="directory for generated .c files "
+                    "(default: next to each source)")
+    ap.add_argument("--check", action="store_true",
+                    help="semantic analysis only, print errors")
+    ap.add_argument("--threads", type=int, default=4,
+                    help="thread count baked into generated code (default 4)")
+    ap.add_argument("--stats", action="store_true",
+                    help="print service counters after the batch")
+    ap.add_argument("--no-fusion", action="store_true",
+                    help="disable assignment fusion")
+    ap.add_argument("--no-slice-elim", action="store_true",
+                    help="disable fold slice elimination")
+    ap.add_argument("--sequential", action="store_true",
+                    help="disable automatic parallelization")
+    args = ap.parse_args(argv)
+
+    from repro.api import Optimizations
+    from repro.service import CompileRequest, CompileService
+    from repro.service.cache import shared_cache
+
+    paths = [Path(s) for s in args.sources]
+    missing = [p for p in paths if not p.exists()]
+    for p in missing:
+        print(f"reproc: {p}: no such file", file=sys.stderr)
+    if missing:
+        return 1
+
+    extensions = tuple(e for e in args.extensions.split(",") if e)
+    options = Optimizations(
+        fuse_assignment=not args.no_fusion,
+        eliminate_slices=not args.no_slice_elim,
+        parallelize=not args.sequential,
+    )
+    service = CompileService(shared_cache(), max_workers=args.jobs)
+    requests = [
+        CompileRequest(
+            p.read_text(), extensions=extensions, filename=str(p),
+            options=options, nthreads=args.threads, check_only=args.check,
+        )
+        for p in paths
+    ]
+    responses = service.compile_batch(requests)
+
+    out_dir = Path(args.out_dir) if args.out_dir else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    failed = 0
+    for path, resp in zip(paths, responses):
+        if not resp.ok:
+            failed += 1
+            for e in resp.errors:
+                print(e, file=sys.stderr)
+            continue
+        if args.check:
+            print(f"{path}: no errors")
+            continue
+        out = (out_dir / path.with_suffix(".c").name
+               if out_dir is not None else path.with_suffix(".c"))
+        out.write_text(resp.c_source)
+        print(f"wrote {out} ({resp.timings.total * 1e3:.1f} ms)")
+
+    if args.stats:
+        print(service.stats().pretty())
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="reproc",
         description="Extensible CMINUS translator (ICPP 2014 reproduction)",

@@ -60,7 +60,15 @@ class CompileResult:
 
 
 class Translator:
-    """A custom translator generated from host + extension modules."""
+    """A custom translator generated from host + extension modules.
+
+    Thread safety: a constructed translator is immutable — grammar, parse
+    tables, scanner DFA and AG spec are read-only after ``__init__`` —
+    and every ``compile()``/``parse()``/``decorate()`` call keeps its
+    mutable state (parser stacks, scan position, :class:`CompileContext`,
+    decorated-tree caches) local to the call, so one translator may serve
+    concurrent compiles (see ``tests/service/test_concurrency.py``).
+    """
 
     def __init__(
         self,
@@ -68,6 +76,7 @@ class Translator:
         *,
         options: Optimizations | None = None,
         nthreads: int = 4,
+        parser_factory: Callable[[GrammarSpec, frozenset[str]], Parser] | None = None,
     ):
         if not modules:
             raise ValueError("need at least the host module")
@@ -76,10 +85,17 @@ class Translator:
         self.nthreads = nthreads
 
         host, *exts = self.modules
-        grammar = host.grammar.compose(*(e.grammar for e in exts)).build()
+        spec = host.grammar.compose(*(e.grammar for e in exts))
         self.ag: AGSpec = host.ag.compose(*(e.ag for e in exts)) if exts else host.ag
-        prefer = frozenset().union(*(m.prefer_shift for m in self.modules))
-        self.parser = Parser(grammar, prefer_shift=prefer)
+        self.prefer_shift = frozenset().union(*(m.prefer_shift for m in self.modules))
+        # The compilation service passes a factory that restores LALR tables
+        # and the scanner DFA from the persistent artifact cache instead of
+        # regenerating them (see repro.service.artifacts).
+        if parser_factory is not None:
+            self.parser = parser_factory(spec, self.prefer_shift)
+        else:
+            self.parser = Parser(spec.build(), prefer_shift=self.prefer_shift)
+        self.grammar = self.parser.grammar
         self.builtins = [b for m in self.modules for b in m.builtins]
 
     # -- pipeline -----------------------------------------------------------------

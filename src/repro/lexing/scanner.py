@@ -51,11 +51,19 @@ class LexicalAmbiguityError(ScanError):
 class ContextAwareScanner:
     """Scanner over a :class:`TerminalSet`, driven by valid-lookahead sets."""
 
-    def __init__(self, terminal_set: TerminalSet, *, minimize_dfa: bool = True):
+    def __init__(
+        self,
+        terminal_set: TerminalSet,
+        *,
+        minimize_dfa: bool = True,
+        dfa: DFA | None = None,
+    ):
         self.terminals = terminal_set
         self.layout = terminal_set.layout_names()
-        nfa = build_combined_nfa(terminal_set.regexes())
-        self.dfa: DFA = build_scanner_dfa(nfa, do_minimize=minimize_dfa)
+        if dfa is None:
+            nfa = build_combined_nfa(terminal_set.regexes())
+            dfa = build_scanner_dfa(nfa, do_minimize=minimize_dfa)
+        self.dfa: DFA = dfa
 
     # -- disambiguation -------------------------------------------------------
 

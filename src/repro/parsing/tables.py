@@ -68,13 +68,26 @@ def _indent(text: str) -> str:
 @dataclass
 class ParseTables:
     grammar: Grammar
-    automaton: LR0Automaton
+    # None for tables restored from a serialized artifact (the automaton is
+    # only needed for conflict reporting at construction time).
+    automaton: LR0Automaton | None
     action: list[dict[str, ParseAction]] = field(default_factory=list)
     goto: list[dict[str, int]] = field(default_factory=list)
     resolved_conflicts: list[Conflict] = field(default_factory=list)
+    # Precomputed per-state valid-lookahead sets (see :meth:`finalize`).
+    _valid: list[frozenset[str]] = field(default_factory=list, repr=False)
+
+    def finalize(self) -> "ParseTables":
+        """Precompute the per-state valid-terminal sets once; the parser
+        queries them per token, and sharing one frozenset per state keeps
+        :meth:`Parser.parse` allocation-free and reentrant."""
+        self._valid = [frozenset(row.keys()) for row in self.action]
+        return self
 
     def valid_terminals(self, state: int) -> frozenset[str]:
         """The context-aware scanner's valid-lookahead set for a state."""
+        if self._valid:
+            return self._valid[state]
         return frozenset(self.action[state].keys())
 
     @property
@@ -156,7 +169,7 @@ def build_tables(
         raise LALRConflictError(conflicts, auto)
     if conflicts:
         tables.resolved_conflicts.extend(conflicts)
-    return tables
+    return tables.finalize()
 
 
 def find_conflicts(

@@ -1,0 +1,47 @@
+"""S21 — the compilation service layer.
+
+Turns the one-shot translator library into a reusable service:
+
+* :class:`TranslatorCache` — an in-memory LRU of generated translators,
+  keyed by a canonical fingerprint of (extension set, optimization
+  flags, thread count, package version), so translator generation is a
+  per-extension-set event exactly as the paper's §II workflow intends;
+* :class:`ArtifactStore` — persistent, versioned on-disk storage of the
+  expensive generated artifacts (LALR(1) tables, scanner DFA), restored
+  on cold start and invalidated by fingerprint whenever any grammar
+  specification or the package version changes;
+* :class:`CompileService` — per-request staged compilation with timings
+  plus :meth:`CompileService.compile_batch` thread-pool fan-out, with
+  counters exposed as :class:`ServiceStats`.
+
+>>> from repro.service import CompileService, CompileRequest
+>>> svc = CompileService()
+>>> responses = svc.compile_batch([CompileRequest(src) for src in sources])
+>>> print(svc.stats().pretty())
+"""
+
+from repro.service.artifacts import ArtifactStore, default_cache_dir
+from repro.service.cache import TranslatorCache, reset_shared_cache, shared_cache
+from repro.service.fingerprint import syntax_fingerprint, translator_fingerprint
+from repro.service.service import (
+    CompileRequest,
+    CompileResponse,
+    CompileService,
+    StageTimings,
+)
+from repro.service.stats import ServiceStats
+
+__all__ = [
+    "ArtifactStore",
+    "CompileRequest",
+    "CompileResponse",
+    "CompileService",
+    "ServiceStats",
+    "StageTimings",
+    "TranslatorCache",
+    "default_cache_dir",
+    "reset_shared_cache",
+    "shared_cache",
+    "syntax_fingerprint",
+    "translator_fingerprint",
+]

@@ -1,0 +1,191 @@
+"""Persistent parse-table / scanner-DFA artifacts.
+
+Generating a custom translator is dominated by LALR(1) table construction
+and scanner-DFA subset construction + minimization (§VI-A machinery).
+Both results are pure data — state-indexed action/goto maps and
+charset-labeled DFA transitions — so they are serialized to a versioned
+on-disk cache keyed by :func:`~repro.service.fingerprint.syntax_fingerprint`
+and restored into a :class:`~repro.parsing.parser.Parser` without touching
+the generators.  Semantic actions and attribute-grammar equations are
+*not* serialized; they are re-attached from the freshly composed grammar.
+
+Cache location: ``$REPRO_CACHE_DIR`` if set (the values ``off``, ``0``,
+``none`` and ``disabled`` turn persistence off entirely), else
+``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``.  Every load validates
+a magic header, format version and fingerprint echo; any mismatch, decode
+error or truncation discards the entry and falls back to a full rebuild —
+a corrupt cache can cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.grammar.cfg import Grammar
+from repro.lexing.charset import CharSet
+from repro.lexing.dfa import DFA
+from repro.parsing.tables import ActionKind, ParseAction, ParseTables
+from repro.service.fingerprint import ARTIFACT_FORMAT
+
+_MAGIC = "repro-artifact"
+_OFF_VALUES = {"off", "0", "none", "disabled"}
+
+
+def default_cache_dir() -> Path | None:
+    """Resolve the artifact directory from the environment (None = disabled)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is not None:
+        if env.strip().lower() in _OFF_VALUES:
+            return None
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+# -- encoding to plain data ---------------------------------------------------
+
+
+def _encode_tables(tables: ParseTables) -> dict:
+    return {
+        "action": [
+            {term: (act.kind.value, act.target) for term, act in row.items()}
+            for row in tables.action
+        ],
+        "goto": [dict(row) for row in tables.goto],
+    }
+
+
+def _decode_tables(grammar: Grammar, data: dict) -> ParseTables:
+    nprods = len(grammar.productions)
+    action: list[dict[str, ParseAction]] = []
+    for row in data["action"]:
+        decoded: dict[str, ParseAction] = {}
+        for term, (kind, target) in row.items():
+            act = ParseAction(ActionKind(kind), target)
+            if act.kind is ActionKind.REDUCE and not (0 <= target < nprods):
+                raise ValueError(f"reduce target {target} out of range")
+            decoded[term] = act
+        action.append(decoded)
+    goto = [dict(row) for row in data["goto"]]
+    if len(goto) != len(action):
+        raise ValueError("action/goto length mismatch")
+    return ParseTables(grammar, None, action=action, goto=goto).finalize()
+
+
+def _encode_dfa(dfa: DFA) -> dict:
+    return {
+        "transitions": [
+            [(cs.intervals, dst) for cs, dst in row] for row in dfa.transitions
+        ],
+        "accepts": [tuple(sorted(names)) for names in dfa.accepts],
+        "start": dfa.start,
+    }
+
+
+def _decode_dfa(data: dict) -> DFA:
+    transitions = [
+        [(CharSet(tuple(map(tuple, intervals))), int(dst)) for intervals, dst in row]
+        for row in data["transitions"]
+    ]
+    accepts = [frozenset(names) for names in data["accepts"]]
+    if len(accepts) != len(transitions):
+        raise ValueError("dfa accepts/transitions length mismatch")
+    start = int(data["start"])
+    if not 0 <= start < len(transitions):
+        raise ValueError("dfa start state out of range")
+    return DFA(transitions=transitions, accepts=accepts, start=start)
+
+
+# -- the store ----------------------------------------------------------------
+
+
+class ArtifactStore:
+    """Fingerprint-addressed persistent store for generated parser artifacts.
+
+    ``root=None`` disables persistence: loads miss, saves are no-ops.
+    All I/O failures are swallowed — the store is an accelerator, not a
+    source of truth.
+    """
+
+    def __init__(self, root: Path | str | None = None, *, enabled: bool = True):
+        if isinstance(root, str):
+            root = Path(root)
+        self.root: Path | None = root if enabled else None
+
+    @classmethod
+    def from_env(cls) -> "ArtifactStore":
+        return cls(default_cache_dir())
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def _path(self, fingerprint: str) -> Path:
+        assert self.root is not None
+        return self.root / f"v{ARTIFACT_FORMAT}" / f"{fingerprint}.pkl"
+
+    def load(self, fingerprint: str, grammar: Grammar) -> tuple[ParseTables, DFA] | None:
+        """Restore (tables, dfa) for ``fingerprint``, re-attaching ``grammar``.
+
+        Returns None on miss; silently discards corrupt or stale entries.
+        """
+        if self.root is None:
+            return None
+        path = self._path(fingerprint)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            payload = pickle.loads(blob)
+            if (
+                payload.get("magic") != _MAGIC
+                or payload.get("format") != ARTIFACT_FORMAT
+                or payload.get("fingerprint") != fingerprint
+            ):
+                raise ValueError("artifact header mismatch")
+            tables = _decode_tables(grammar, payload["tables"])
+            dfa = _decode_dfa(payload["dfa"])
+        except Exception:
+            # Corrupt, truncated, or written by an incompatible build:
+            # drop it and let the caller rebuild.
+            self._discard(path)
+            return None
+        return tables, dfa
+
+    def save(self, fingerprint: str, tables: ParseTables, dfa: DFA) -> bool:
+        """Persist artifacts; returns False (silently) on any I/O failure."""
+        if self.root is None:
+            return False
+        path = self._path(fingerprint)
+        payload = {
+            "magic": _MAGIC,
+            "format": ARTIFACT_FORMAT,
+            "fingerprint": fingerprint,
+            "tables": _encode_tables(tables),
+            "dfa": _encode_dfa(dfa),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)  # atomic vs. concurrent writers
+            except BaseException:
+                self._discard(Path(tmp))
+                raise
+        except OSError:
+            return False
+        return True
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,201 @@
+"""The in-memory translator cache (LRU) backed by the artifact store.
+
+Translator generation is a per-extension-set event (paper §II): the same
+custom translator serves every program written against that extension
+set.  :class:`TranslatorCache` makes that true operationally — repeated
+``get()`` calls with an equivalent configuration return one shared
+:class:`~repro.driver.Translator`, and cold builds restore their LALR
+tables and scanner DFA from the persistent :class:`ArtifactStore` when a
+matching artifact exists.
+
+Concurrency: lookups are lock-protected; builds happen outside the lock
+with per-fingerprint in-flight deduplication, so eight threads asking for
+the same cold translator trigger exactly one construction.  The returned
+``Translator`` itself is safe for concurrent ``compile()`` calls — parse,
+decoration and emission keep all mutable state per call.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+
+from repro.cminus.env import Optimizations
+from repro.driver import LanguageModule, Translator, resolve_dependencies
+from repro.lexing.scanner import ContextAwareScanner
+from repro.parsing.parser import Parser
+from repro.service.artifacts import ArtifactStore
+from repro.service.fingerprint import syntax_fingerprint, translator_fingerprint
+from repro.service.stats import Counters
+
+
+class _InFlight:
+    """A build in progress: losers of the lookup race wait on the winner."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.translator: Translator | None = None
+        self.error: BaseException | None = None
+
+
+class TranslatorCache:
+    """LRU of generated translators keyed by configuration fingerprint."""
+
+    def __init__(
+        self,
+        maxsize: int = 32,
+        *,
+        artifacts: ArtifactStore | None = None,
+        counters: Counters | None = None,
+    ):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.artifacts = artifacts if artifacts is not None else ArtifactStore.from_env()
+        self.counters = counters or Counters()
+        self._lock = threading.Lock()
+        self._cache: "OrderedDict[str, Translator]" = OrderedDict()
+        self._inflight: dict[str, _InFlight] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def get(
+        self,
+        extensions: list[str] | None = None,
+        *,
+        options: Optimizations | None = None,
+        nthreads: int = 4,
+    ) -> Translator:
+        """The shared translator for this configuration (building at most
+        once per fingerprint, concurrently-safe)."""
+        modules = self._resolve_modules(extensions)
+        key = translator_fingerprint(modules, options, nthreads)
+
+        while True:
+            with self._lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+                    self.counters.add(translator_hits=1)
+                    return cached
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    building = True
+                else:
+                    building = False
+
+            if building:
+                try:
+                    translator = self._build(modules, options, nthreads)
+                except BaseException as e:
+                    flight.error = e
+                    with self._lock:
+                        self._inflight.pop(key, None)
+                    flight.done.set()
+                    raise
+                with self._lock:
+                    self._cache[key] = translator
+                    self._cache.move_to_end(key)
+                    self.counters.add(translator_misses=1)
+                    while len(self._cache) > self.maxsize:
+                        self._cache.popitem(last=False)
+                        self.counters.add(evictions=1)
+                    self._inflight.pop(key, None)
+                flight.translator = translator
+                flight.done.set()
+                return translator
+
+            flight.done.wait()
+            if flight.translator is not None:
+                with self._lock:
+                    self.counters.add(translator_hits=1)
+                return flight.translator
+            # The winning builder failed; retry (and likely fail the same
+            # way, surfacing the real error to this caller too).
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    def stats(self):
+        return self.counters.snapshot()
+
+    # -- construction ---------------------------------------------------------
+
+    def _resolve_modules(self, extensions: list[str] | None) -> list[LanguageModule]:
+        from repro.api import host_only, module_registry
+
+        reg = module_registry()
+        modules = host_only()
+        for name in extensions or []:
+            if name in ("cminus", "tuples"):
+                continue
+            if name not in reg:
+                raise ValueError(f"unknown extension {name!r}; have {sorted(reg)}")
+            if reg[name] not in modules:
+                modules.append(reg[name])
+        return resolve_dependencies(modules)
+
+    def _build(
+        self,
+        modules: list[LanguageModule],
+        options: Optimizations | None,
+        nthreads: int,
+    ) -> Translator:
+        # Copy the options so a caller mutating their Optimizations object
+        # afterwards cannot change the behaviour of the shared translator.
+        options = replace(options) if options is not None else None
+        return Translator(
+            modules,
+            options=options,
+            nthreads=nthreads,
+            parser_factory=self._parser_factory(modules),
+        )
+
+    def _parser_factory(self, modules: list[LanguageModule]):
+        store = self.artifacts
+
+        def factory(spec, prefer_shift: frozenset[str]) -> Parser:
+            grammar = spec.build()
+            fp = syntax_fingerprint(modules)
+            restored = store.load(fp, grammar)
+            if restored is not None:
+                tables, dfa = restored
+                self.counters.add(artifact_hits=1)
+                scanner = ContextAwareScanner(grammar.terminal_set, dfa=dfa)
+                return Parser(grammar, tables=tables, scanner=scanner)
+            self.counters.add(artifact_misses=1)
+            parser = Parser(grammar, prefer_shift=prefer_shift)
+            store.save(fp, parser.tables, parser.scanner.dfa)
+            return parser
+
+        return factory
+
+
+# -- the process-wide default cache ------------------------------------------
+
+_shared: TranslatorCache | None = None
+_shared_lock = threading.Lock()
+
+
+def shared_cache() -> TranslatorCache:
+    """The process-wide translator cache used by :mod:`repro.api`."""
+    global _shared
+    with _shared_lock:
+        if _shared is None:
+            _shared = TranslatorCache()
+        return _shared
+
+
+def reset_shared_cache() -> None:
+    """Drop the process-wide cache (tests; env/config changes)."""
+    global _shared
+    with _shared_lock:
+        _shared = None

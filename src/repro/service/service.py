@@ -1,0 +1,178 @@
+"""The compilation service: request/response types and concurrent batches.
+
+:class:`CompileService` is the long-running entry point the ROADMAP's
+serving story needs: it owns a :class:`TranslatorCache`, compiles
+individual :class:`CompileRequest` objects through the staged pipeline
+(parse → decorate → lower → emit, each timed), and fans
+:meth:`CompileService.compile_batch` across a thread pool.  Responses
+never raise for per-program problems — syntax and semantic errors are
+reported in :attr:`CompileResponse.errors` so one bad program cannot
+poison a batch.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cminus.env import Optimizations
+from repro.driver import CompileResult, Translator
+from repro.lexing.scanner import ScanError
+from repro.parsing.parser import ParseError
+from repro.service.cache import TranslatorCache
+from repro.service.stats import ServiceStats
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One program to compile against one extension configuration."""
+
+    source: str
+    extensions: tuple[str, ...] = ("matrix",)
+    filename: str = "<input>"
+    options: Optimizations | None = None
+    nthreads: int = 4
+    check_only: bool = False
+
+
+@dataclass(frozen=True)
+class StageTimings:
+    """Wall-clock seconds spent in each pipeline stage."""
+
+    parse: float = 0.0
+    decorate: float = 0.0
+    lower: float = 0.0
+    emit: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.parse + self.decorate + self.lower + self.emit
+
+
+@dataclass
+class CompileResponse:
+    """Outcome of one request: errors/output plus timings."""
+
+    request: CompileRequest
+    errors: list[str] = field(default_factory=list)
+    c_source: str | None = None
+    result: CompileResult | None = None
+    timings: StageTimings = field(default_factory=StageTimings)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+class CompileService:
+    """A reusable compilation front-end over the translator cache."""
+
+    def __init__(
+        self,
+        cache: TranslatorCache | None = None,
+        *,
+        max_workers: int = 4,
+    ):
+        self.cache = cache or TranslatorCache()
+        self.max_workers = max_workers
+        self._counters = self.cache.counters
+
+    # -- single requests ------------------------------------------------------
+
+    def translator_for(self, request: CompileRequest) -> Translator:
+        return self.cache.get(
+            list(request.extensions),
+            options=request.options,
+            nthreads=request.nthreads,
+        )
+
+    def compile(self, request: CompileRequest) -> CompileResponse:
+        """Compile one request through the staged, timed pipeline."""
+        self._counters.add(requests=1)
+        try:
+            translator = self.translator_for(request)
+        except ValueError as e:  # unknown extension
+            self._counters.add(failures=1)
+            return CompileResponse(request, errors=[str(e)])
+
+        t0 = time.perf_counter()
+        try:
+            root = translator.parse(request.source, request.filename)
+        except (ParseError, ScanError) as e:
+            dt = time.perf_counter() - t0
+            self._counters.add(failures=1, parse_s=dt)
+            return CompileResponse(
+                request, errors=[str(e)], timings=StageTimings(parse=dt)
+            )
+        t1 = time.perf_counter()
+
+        dn, ctx = translator.decorate(root)
+        errors = list(dn.att("errors"))
+        t2 = time.perf_counter()
+
+        if errors or request.check_only:
+            timings = StageTimings(parse=t1 - t0, decorate=t2 - t1)
+            self._counters.add(
+                failures=1 if errors else 0,
+                parse_s=timings.parse,
+                decorate_s=timings.decorate,
+            )
+            result = CompileResult(request.source, root, errors, None, None, ctx)
+            return CompileResponse(
+                request, errors=errors, result=result, timings=timings
+            )
+
+        lowered = dn.att("lowered")
+        t3 = time.perf_counter()
+        c_source = translator.emit_c(lowered, ctx)
+        t4 = time.perf_counter()
+
+        timings = StageTimings(
+            parse=t1 - t0, decorate=t2 - t1, lower=t3 - t2, emit=t4 - t3
+        )
+        self._counters.add(
+            parse_s=timings.parse,
+            decorate_s=timings.decorate,
+            lower_s=timings.lower,
+            emit_s=timings.emit,
+        )
+        result = CompileResult(request.source, root, errors, lowered, c_source, ctx)
+        return CompileResponse(
+            request, errors=errors, c_source=c_source, result=result, timings=timings
+        )
+
+    # -- batches --------------------------------------------------------------
+
+    def compile_batch(
+        self,
+        requests: Sequence[CompileRequest],
+        *,
+        max_workers: int | None = None,
+    ) -> list[CompileResponse]:
+        """Compile ``requests`` concurrently; responses keep request order.
+
+        Per-program failures come back as error responses, never
+        exceptions.  ``max_workers=1`` degrades to a plain sequential loop
+        (no pool overhead), which the throughput benchmark uses as its
+        baseline.
+        """
+        self._counters.add(batches=1)
+        requests = list(requests)
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers <= 1 or len(requests) <= 1:
+            return [self.compile(r) for r in requests]
+        with ThreadPoolExecutor(
+            max_workers=min(workers, len(requests)),
+            thread_name_prefix="repro-compile",
+        ) as pool:
+            return list(pool.map(self.compile, requests))
+
+    # -- stats ----------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        return self._counters.snapshot()
+
+    def reset_stats(self) -> None:
+        self._counters.reset()

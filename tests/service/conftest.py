@@ -1,0 +1,23 @@
+"""Service-layer fixtures: isolated caches (no shared process state)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ArtifactStore, TranslatorCache
+
+
+@pytest.fixture()
+def disk_store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "artifacts")
+
+
+@pytest.fixture()
+def mem_cache() -> TranslatorCache:
+    """A translator cache with persistence disabled."""
+    return TranslatorCache(artifacts=ArtifactStore(None))
+
+
+@pytest.fixture()
+def disk_cache(disk_store) -> TranslatorCache:
+    return TranslatorCache(artifacts=disk_store)

@@ -1,0 +1,162 @@
+"""Persistent artifact store: roundtrip, corruption, env toggles."""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from repro.api import module_registry
+from repro.driver import Translator
+from repro.lexing.scanner import ContextAwareScanner
+from repro.parsing.parser import Parser
+from repro.programs import load
+from repro.service import ArtifactStore, TranslatorCache, syntax_fingerprint
+from repro.service.artifacts import default_cache_dir
+
+FIG1 = load("fig1")
+
+
+def _host_modules():
+    reg = module_registry()
+    return [reg["cminus"], reg["tuples"]]
+
+
+def _cold_parser():
+    modules = _host_modules()
+    t = Translator(list(modules))
+    return modules, t
+
+
+class TestRoundtrip:
+    def test_tables_and_dfa_roundtrip(self, disk_store):
+        modules, t = _cold_parser()
+        fp = syntax_fingerprint(modules)
+        assert disk_store.save(fp, t.parser.tables, t.parser.scanner.dfa)
+
+        restored = disk_store.load(fp, t.grammar)
+        assert restored is not None
+        tables, dfa = restored
+        assert tables.action == t.parser.tables.action
+        assert tables.goto == t.parser.tables.goto
+        assert tables.automaton is None
+        assert dfa.accepts == t.parser.scanner.dfa.accepts
+        assert dfa.start == t.parser.scanner.dfa.start
+        key = lambda edge: (edge[0].intervals, edge[1])
+        assert [sorted(row, key=key) for row in dfa.transitions] == [
+            sorted(row, key=key) for row in t.parser.scanner.dfa.transitions
+        ]
+
+    def test_restored_parser_parses_identically(self, disk_store):
+        modules, t = _cold_parser()
+        fp = syntax_fingerprint(modules)
+        disk_store.save(fp, t.parser.tables, t.parser.scanner.dfa)
+        tables, dfa = disk_store.load(fp, t.grammar)
+        parser = Parser(
+            t.grammar,
+            tables=tables,
+            scanner=ContextAwareScanner(t.grammar.terminal_set, dfa=dfa),
+        )
+        src = "int main() { int x; x = 1 + 2 * 3; return x; }"
+        assert parser.parse(src) == t.parser.parse(src)
+
+    def test_warm_cache_compiles_identically(self, disk_store):
+        cold = TranslatorCache(artifacts=disk_store).get(["matrix"])
+        warm_cache = TranslatorCache(artifacts=disk_store)
+        warm = warm_cache.get(["matrix"])
+        assert warm_cache.stats().artifact_hits == 1
+        assert warm.compile(FIG1).c_source == cold.compile(FIG1).c_source
+
+
+class TestCorruption:
+    def _entry(self, disk_store) -> Path:
+        TranslatorCache(artifacts=disk_store).get([])
+        files = list(disk_store.root.rglob("*.pkl"))
+        assert len(files) == 1
+        return files[0]
+
+    def test_truncated_entry_discarded_and_rebuilt(self, disk_store):
+        path = self._entry(disk_store)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        cache = TranslatorCache(artifacts=disk_store)
+        t = cache.get([])  # must rebuild, not raise
+        assert t.compile("int main() { return 0; }").ok
+        assert cache.stats().artifact_misses == 1
+        # The rebuild replaced the corrupt entry with a healthy one.
+        healed = TranslatorCache(artifacts=disk_store)
+        healed.get([])
+        assert healed.stats().artifact_hits == 1
+
+    def test_garbage_entry_discarded(self, disk_store):
+        path = self._entry(disk_store)
+        path.write_bytes(b"not a pickle at all")
+        cache = TranslatorCache(artifacts=disk_store)
+        assert cache.get([]) is not None
+        assert cache.stats().artifact_misses == 1  # garbage did not load
+
+    def test_fingerprint_echo_mismatch_discarded(self, disk_store):
+        path = self._entry(disk_store)
+        payload = pickle.loads(path.read_bytes())
+        payload["fingerprint"] = "0" * 64
+        path.write_bytes(pickle.dumps(payload))
+        cache = TranslatorCache(artifacts=disk_store)
+        assert cache.get([]) is not None
+        assert cache.stats().artifact_misses == 1
+
+    def test_wrong_pickled_shape_discarded(self, disk_store):
+        path = self._entry(disk_store)
+        path.write_bytes(pickle.dumps({"magic": "repro-artifact"}))
+        cache = TranslatorCache(artifacts=disk_store)
+        assert cache.get([]) is not None
+        assert cache.stats().artifact_misses == 1
+
+
+class TestEnvToggles:
+    def test_cache_dir_off_disables_persistence(self, monkeypatch):
+        for off in ("off", "OFF", "0", "none", "disabled"):
+            monkeypatch.setenv("REPRO_CACHE_DIR", off)
+            assert default_cache_dir() is None
+            assert not ArtifactStore.from_env().enabled
+
+    def test_cache_dir_env_sets_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c"))
+        store = ArtifactStore.from_env()
+        assert store.root == tmp_path / "c"
+        TranslatorCache(artifacts=store).get([])
+        assert list((tmp_path / "c").rglob("*.pkl"))
+
+    def test_xdg_cache_home_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / "repro"
+
+    def test_disabled_store_never_writes(self, tmp_path):
+        store = ArtifactStore(None)
+        modules, t = _cold_parser()
+        assert not store.save("x" * 64, t.parser.tables, t.parser.scanner.dfa)
+        assert store.load("x" * 64, t.grammar) is None
+
+    def test_unwritable_root_degrades_gracefully(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where a directory must go")
+        store = ArtifactStore(blocker)
+        modules, t = _cold_parser()
+        assert not store.save(syntax_fingerprint(modules), t.parser.tables,
+                              t.parser.scanner.dfa)
+
+
+class TestVersioning:
+    def test_version_bump_misses_old_artifact(self, disk_store, monkeypatch):
+        import repro
+
+        modules, _ = _cold_parser()
+        cache = TranslatorCache(artifacts=disk_store)
+        cache.get([])
+        assert cache.stats().artifact_misses == 1
+
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        bumped = TranslatorCache(artifacts=disk_store)
+        bumped.get([])
+        # Different fingerprint -> a fresh build and a second on-disk entry.
+        assert bumped.stats().artifact_misses == 1
+        assert len(list(disk_store.root.rglob("*.pkl"))) == 2

@@ -1,0 +1,136 @@
+"""Satellite: concurrent ``Translator.compile`` from >=8 threads.
+
+The translator's pipeline must keep all mutable state per call — parser
+stacks, scanner position, the CompileContext (gensym counter, lifted
+functions, runtime features) and the decorated-tree caches.  These tests
+hammer one shared translator from many threads on mixed programs and
+require byte-identical results to the sequential run.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.programs import PROGRAMS, load
+from repro.service import CompileRequest, CompileService
+
+EXTS = ("matrix", "transform")
+CORPUS = sorted(PROGRAMS)
+THREADS = 8
+ROUNDS = 3  # each thread compiles the whole corpus this many times
+
+
+def test_concurrent_compiles_match_sequential(mem_cache):
+    translator = mem_cache.get(list(EXTS))
+    sources = {name: load(name) for name in CORPUS}
+    expected = {n: translator.compile(s, n).c_source for n, s in sources.items()}
+    assert all(c is not None for c in expected.values())
+
+    barrier = threading.Barrier(THREADS)
+    mismatches: list[str] = []
+
+    def worker(tid: int) -> None:
+        barrier.wait()  # maximise interleaving
+        for round_ in range(ROUNDS):
+            # Stagger the order per thread so different programs overlap.
+            for i in range(len(CORPUS)):
+                name = CORPUS[(tid + round_ + i) % len(CORPUS)]
+                result = translator.compile(sources[name], name)
+                if result.errors:
+                    mismatches.append(f"{name}: errors {result.errors[:1]}")
+                elif result.c_source != expected[name]:
+                    mismatches.append(f"{name}: output diverged")
+
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        list(pool.map(worker, range(THREADS)))
+
+    assert not mismatches, mismatches[:5]
+
+
+def test_concurrent_check_only_and_errors(mem_cache):
+    """Error-reporting compiles interleaved with good ones stay isolated."""
+    translator = mem_cache.get(list(EXTS))
+    good = load("fig1")
+    bad = "int main() { return nope; }"
+
+    def worker(i: int):
+        if i % 2:
+            return translator.compile(bad, check_only=True).errors
+        return translator.compile(good, check_only=True).errors
+
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        results = list(pool.map(worker, range(THREADS * 4)))
+    for i, errors in enumerate(results):
+        if i % 2:
+            assert any("undeclared identifier" in e for e in errors)
+        else:
+            assert errors == []
+
+
+def test_cold_process_concurrent_first_builds():
+    """8 threads racing into a *cold* process must see fully-installed
+    language modules (registry construction is serialized) and one shared
+    translator, producing identical output.
+
+    Runs in a subprocess because the registry in this process is already
+    warm by the time any test executes.
+    """
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+
+    src_dir = Path(repro.__file__).resolve().parent.parent
+
+    script = """
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from repro.api import compile_source
+from repro.programs import load
+
+src = load("fig1")
+barrier = threading.Barrier(8)
+
+def work(_):
+    barrier.wait()
+    r = compile_source(src, ["matrix"])
+    assert r.ok, r.errors
+    return r.c_source
+
+with ThreadPoolExecutor(max_workers=8) as pool:
+    outputs = list(pool.map(work, range(8)))
+assert len(set(outputs)) == 1, "divergent outputs from cold concurrent builds"
+print("COLD-CONCURRENT-OK")
+"""
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, timeout=300,
+        env={**os.environ, "REPRO_CACHE_DIR": "off", "PYTHONPATH": str(src_dir)},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "COLD-CONCURRENT-OK" in proc.stdout
+
+
+def test_service_batch_under_contention(mem_cache):
+    """Two services over one cache, batching concurrently."""
+    svc = CompileService(mem_cache, max_workers=4)
+    reference = {
+        n: svc.compile(CompileRequest(load(n), extensions=EXTS)).c_source
+        for n in CORPUS
+    }
+    requests = [
+        CompileRequest(load(n), extensions=EXTS, filename=n) for n in CORPUS
+    ] * 4
+
+    def run_batch(_):
+        return svc.compile_batch(requests, max_workers=4)
+
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        batches = list(pool.map(run_batch, range(2)))
+    for responses in batches:
+        for resp in responses:
+            assert resp.ok, resp.errors
+            assert resp.c_source == reference[resp.request.filename]

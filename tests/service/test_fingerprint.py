@@ -1,0 +1,73 @@
+"""Fingerprint canonicality and invalidation (satellite: cache invalidation)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+import repro
+from repro.api import module_registry
+from repro.cminus.env import Optimizations
+from repro.grammar.cfg import GrammarSpec
+from repro.service import syntax_fingerprint, translator_fingerprint
+
+
+@pytest.fixture()
+def host_modules():
+    reg = module_registry()
+    return [reg["cminus"], reg["tuples"]]
+
+
+def test_fingerprint_is_stable(host_modules):
+    a = syntax_fingerprint(host_modules)
+    b = syntax_fingerprint(host_modules)
+    assert a == b
+    assert len(a) == 64  # sha256 hex
+
+
+def test_extension_set_changes_fingerprint(host_modules):
+    reg = module_registry()
+    with_matrix = host_modules + [reg["matrix"]]
+    assert syntax_fingerprint(host_modules) != syntax_fingerprint(with_matrix)
+
+
+def test_added_production_changes_fingerprint(host_modules):
+    host = host_modules[0]
+    spec = GrammarSpec(
+        name=host.grammar.name,
+        start=host.grammar.start,
+        terminals=host.grammar.terminals,
+        raw_productions=list(host.grammar.raw_productions),
+    )
+    spec.production("Expr ::= Expr PlusOp Expr", name="bogus_add")
+    grown = [replace(host, grammar=spec)] + host_modules[1:]
+    assert syntax_fingerprint(host_modules) != syntax_fingerprint(grown)
+
+
+def test_version_bump_changes_fingerprint(host_modules, monkeypatch):
+    before = syntax_fingerprint(host_modules)
+    monkeypatch.setattr(repro, "__version__", "999.0.0")
+    assert syntax_fingerprint(host_modules) != before
+
+
+def test_options_affect_translator_key_not_syntax_key(host_modules):
+    opt_a = Optimizations()
+    opt_b = Optimizations(parallelize=False)
+    syn = syntax_fingerprint(host_modules)
+    assert syn == syntax_fingerprint(host_modules)
+    assert translator_fingerprint(host_modules, opt_a, 4) != translator_fingerprint(
+        host_modules, opt_b, 4
+    )
+
+
+def test_nthreads_affects_translator_key(host_modules):
+    assert translator_fingerprint(host_modules, None, 4) != translator_fingerprint(
+        host_modules, None, 8
+    )
+
+
+def test_equal_valued_options_share_a_key(host_modules):
+    assert translator_fingerprint(
+        host_modules, Optimizations(), 4
+    ) == translator_fingerprint(host_modules, Optimizations(), 4)

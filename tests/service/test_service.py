@@ -1,0 +1,119 @@
+"""CompileService: staged compiles, batch parity, stats, error isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import make_translator
+from repro.programs import PROGRAMS, load
+from repro.service import CompileRequest, CompileService
+
+EXTS = ("matrix", "transform")
+CORPUS = sorted(PROGRAMS)  # fig1, fig4, fig8, fig9
+
+
+@pytest.fixture()
+def service(mem_cache) -> CompileService:
+    return CompileService(mem_cache, max_workers=4)
+
+
+def corpus_requests() -> list[CompileRequest]:
+    return [
+        CompileRequest(load(name), extensions=EXTS, filename=name)
+        for name in CORPUS
+    ]
+
+
+class TestSingleCompile:
+    def test_ok_response_carries_everything(self, service):
+        resp = service.compile(CompileRequest(load("fig1"), extensions=EXTS))
+        assert resp.ok
+        assert resp.c_source and "int main" in resp.c_source
+        assert resp.result is not None and resp.result.ok
+        assert resp.timings.parse > 0
+        assert resp.timings.total >= resp.timings.parse
+
+    def test_semantic_errors_reported_not_raised(self, service):
+        resp = service.compile(
+            CompileRequest("int main() { return nope; }", extensions=EXTS)
+        )
+        assert not resp.ok
+        assert any("undeclared identifier" in e for e in resp.errors)
+        assert resp.c_source is None
+
+    def test_syntax_errors_reported_not_raised(self, service):
+        resp = service.compile(
+            CompileRequest("int main() { return + ; }", extensions=EXTS)
+        )
+        assert not resp.ok
+        assert "expected one of" in resp.errors[0]
+        assert resp.timings.parse > 0 and resp.timings.decorate == 0.0
+
+    def test_scan_errors_reported_not_raised(self, service):
+        resp = service.compile(CompileRequest("int main( {", extensions=EXTS))
+        assert not resp.ok
+        assert "no valid token" in resp.errors[0]
+
+    def test_unknown_extension_reported_not_raised(self, service):
+        resp = service.compile(CompileRequest("int main(){}", extensions=("zap",)))
+        assert not resp.ok
+        assert "unknown extension" in resp.errors[0]
+
+    def test_check_only_skips_lowering(self, service):
+        resp = service.compile(
+            CompileRequest(load("fig1"), extensions=EXTS, check_only=True)
+        )
+        assert resp.ok
+        assert resp.c_source is None
+        assert resp.timings.lower == 0.0
+        assert resp.timings.emit == 0.0
+
+
+class TestBatch:
+    def test_batch_matches_sequential_compile_byte_for_byte(self, service):
+        """Acceptance: pooled batch output == one-shot sequential output."""
+        reference = {
+            name: make_translator(list(EXTS), fresh=True).compile(load(name)).c_source
+            for name in CORPUS
+        }
+        for workers in (1, 2, 4):
+            responses = service.compile_batch(corpus_requests(), max_workers=workers)
+            assert [r.request.filename for r in responses] == CORPUS
+            for resp in responses:
+                assert resp.ok, resp.errors
+                assert resp.c_source == reference[resp.request.filename]
+
+    def test_one_bad_program_does_not_poison_the_batch(self, service):
+        requests = corpus_requests()
+        requests.insert(2, CompileRequest("int main() { return nope; }",
+                                          extensions=EXTS, filename="bad"))
+        responses = service.compile_batch(requests)
+        assert [r.ok for r in responses] == [True, True, False, True, True]
+
+    def test_batch_reuses_one_translator(self, service):
+        service.compile_batch(corpus_requests())
+        stats = service.stats()
+        assert stats.translator_misses == 1
+        assert stats.translator_hits == len(CORPUS) - 1
+
+
+class TestStats:
+    def test_counters_accumulate(self, service):
+        service.compile_batch(corpus_requests(), max_workers=2)
+        service.compile(CompileRequest("int main() { return nope; }",
+                                       extensions=EXTS))
+        stats = service.stats()
+        assert stats.requests == len(CORPUS) + 1
+        assert stats.failures == 1
+        assert stats.batches == 1
+        assert stats.parse_s > 0
+        assert stats.decorate_s > 0
+        assert 0 < stats.hit_rate < 1
+        pretty = stats.pretty()
+        assert "hit rate" in pretty and "requests" in pretty
+
+    def test_reset(self, service):
+        service.compile(CompileRequest(load("fig1"), extensions=EXTS))
+        service.reset_stats()
+        stats = service.stats()
+        assert stats.requests == 0 and stats.translator_misses == 0

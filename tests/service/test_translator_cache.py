@@ -1,0 +1,88 @@
+"""TranslatorCache behaviour: sharing, keying, LRU, in-flight dedup."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cminus.env import Optimizations
+from repro.service import ArtifactStore, TranslatorCache
+
+
+def test_same_config_shares_one_translator(mem_cache):
+    a = mem_cache.get(["matrix"])
+    b = mem_cache.get(["matrix"])
+    assert a is b
+    stats = mem_cache.stats()
+    assert stats.translator_hits == 1
+    assert stats.translator_misses == 1
+
+
+def test_equal_valued_options_hit(mem_cache):
+    a = mem_cache.get(["matrix"], options=Optimizations(parallelize=False))
+    b = mem_cache.get(["matrix"], options=Optimizations(parallelize=False))
+    assert a is b
+
+
+def test_distinct_configs_get_distinct_translators(mem_cache):
+    base = mem_cache.get(["matrix"])
+    assert mem_cache.get(["matrix"], nthreads=8) is not base
+    assert mem_cache.get(["matrix"], options=Optimizations(fuse_assignment=False)) is not base
+    assert mem_cache.get([]) is not base
+    assert mem_cache.stats().translator_misses == 4
+
+
+def test_cached_translator_is_isolated_from_caller_mutation(mem_cache):
+    opts = Optimizations(parallelize=False)
+    t = mem_cache.get(["matrix"], options=opts)
+    opts.parallelize = True  # caller mutates their object afterwards
+    assert t.options.parallelize is False
+
+
+def test_extension_order_and_duplicates_normalize(mem_cache):
+    # Dependency resolution orders modules host-first deterministically, so
+    # a duplicated extension name maps to the same fingerprint.
+    a = mem_cache.get(["matrix"])
+    b = mem_cache.get(["matrix", "matrix"])
+    assert a is b
+
+
+def test_unknown_extension_raises(mem_cache):
+    with pytest.raises(ValueError, match="unknown extension"):
+        mem_cache.get(["nope"])
+    # A failed build must not wedge the in-flight table.
+    with pytest.raises(ValueError, match="unknown extension"):
+        mem_cache.get(["nope"])
+
+
+def test_lru_eviction():
+    cache = TranslatorCache(maxsize=1, artifacts=ArtifactStore(None))
+    a = cache.get([])
+    cache.get(["matrix"])  # evicts the host-only translator
+    assert cache.stats().evictions == 1
+    assert len(cache) == 1
+    b = cache.get([])  # rebuilt, not the evicted object
+    assert b is not a
+    assert cache.stats().translator_misses == 3
+
+
+def test_concurrent_cold_gets_build_once(mem_cache):
+    barrier = threading.Barrier(8)
+
+    def grab():
+        barrier.wait()
+        return mem_cache.get(["matrix"])
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        results = list(pool.map(lambda _: grab(), range(8)))
+    assert all(t is results[0] for t in results)
+    assert mem_cache.stats().translator_misses == 1
+    assert mem_cache.stats().translator_hits == 7
+
+
+def test_clear_forces_rebuild(mem_cache):
+    a = mem_cache.get([])
+    mem_cache.clear()
+    assert mem_cache.get([]) is not a

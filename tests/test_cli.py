@@ -78,3 +78,61 @@ def test_run_mode(workdir):
 def test_unknown_extension(workdir, capsys):
     with pytest.raises(ValueError, match="unknown extension"):
         main([str(workdir / "prog.xc"), "-x", "nonsense"])
+
+
+# -- batch mode (S21 compilation service) -------------------------------------
+
+
+@pytest.fixture()
+def batchdir(tmp_path):
+    for name in ("fig1", "fig4", "fig8"):
+        (tmp_path / f"{name}.xc").write_text(load(name))
+    return tmp_path
+
+
+def test_batch_writes_all_outputs(batchdir, capsys):
+    files = [str(batchdir / f"{n}.xc") for n in ("fig1", "fig4", "fig8")]
+    assert main(["batch", *files, "-x", "matrix", "-j", "2"]) == 0
+    for n in ("fig1", "fig4", "fig8"):
+        assert (batchdir / f"{n}.c").exists()
+    out = capsys.readouterr().out
+    assert out.count("wrote ") == 3
+
+
+def test_batch_matches_single_file_mode(batchdir):
+    src = str(batchdir / "fig1.xc")
+    assert main([src, "-x", "matrix", "-o", str(batchdir / "single.c")]) == 0
+    assert main(["batch", src, "-x", "matrix",
+                 "--out-dir", str(batchdir / "out")]) == 0
+    single = (batchdir / "single.c").read_text()
+    batch = (batchdir / "out" / "fig1.c").read_text()
+    assert single == batch
+
+
+def test_batch_stats_flag(batchdir, capsys):
+    files = [str(batchdir / f"{n}.xc") for n in ("fig1", "fig4")]
+    assert main(["batch", *files, "-x", "matrix", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "translator cache" in out
+    assert "requests" in out
+
+
+def test_batch_check_mode(batchdir, capsys):
+    src = str(batchdir / "fig1.xc")
+    assert main(["batch", src, "-x", "matrix", "--check"]) == 0
+    assert "no errors" in capsys.readouterr().out
+
+
+def test_batch_reports_errors_and_fails(batchdir, capsys):
+    bad = batchdir / "bad.xc"
+    bad.write_text("int main() { return nope; }")
+    good = str(batchdir / "fig1.xc")
+    assert main(["batch", good, str(bad), "-x", "matrix"]) == 1
+    err = capsys.readouterr().err
+    assert "undeclared identifier" in err
+    assert (batchdir / "fig1.c").exists()  # good program still compiled
+
+
+def test_batch_missing_file(capsys):
+    assert main(["batch", "/nonexistent.xc"]) == 1
+    assert "no such file" in capsys.readouterr().err
