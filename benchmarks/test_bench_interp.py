@@ -1,0 +1,132 @@
+"""E-VM: bytecode VM vs. tree-walking interpreter (S22).
+
+The fig1 temporal-mean program is the paper's flagship workload; it runs
+one pooled genarray region whose innermost loop is a fold over the time
+dimension.  The tree-walker re-interprets every scalar of that fold; the
+bytecode VM's numpy fast path executes each trip count as one cumsum.
+Acceptance gate: VM >=10x faster than the tree-walker, with bit-identical
+output.  Measured timings land in ``BENCH_interp.json`` at the repo root
+so later PRs can track the trajectory.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the workload; the smoke run
+still checks engine agreement and records timings, but gates only a
+conservative >=3x since small trip counts amortize less per-loop setup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import compile_source
+from repro.cexec.interp import Interpreter
+from repro.cexec.rmat import read_rmat, write_rmat
+from repro.cexec.vm import VM
+from repro.programs import load
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+SHAPE = (6, 8, 48) if SMOKE else (20, 20, 400)
+GATE = 3.0 if SMOKE else 10.0
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def fig1(tmp_path_factory):
+    wd = tmp_path_factory.mktemp("fig1bench")
+    cube = np.random.default_rng(0).normal(0, 0.4, SHAPE).astype(np.float32)
+    write_rmat(wd / "ssh.data", cube)
+    cr = compile_source(load("fig1"), ["matrix"])
+    assert cr.ok, cr.diagnostics
+    cr.bytecode()  # build once, outside the timed region
+    return cr, wd
+
+
+def _run(make_executor, wd, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        ex = make_executor()
+        t0 = time.perf_counter()
+        rc = ex.run_main()
+        best = min(best, time.perf_counter() - t0)
+        assert rc == 0
+    return best, read_rmat(wd / "means.data")
+
+
+class TestVMSpeedup:
+    def test_vm_10x_gate_on_fig1(self, fig1):
+        cr, wd = fig1
+        tree_s, tree_out = _run(
+            lambda: Interpreter(cr.lowered, cr.ctx, workdir=wd, nthreads=2),
+            wd, repeats=1 if not SMOKE else 2)
+        vm_s, vm_out = _run(
+            lambda: VM(cr.lowered, cr.ctx, workdir=wd, nthreads=2,
+                       program=cr.bytecode()),
+            wd, repeats=3)
+
+        assert np.array_equal(tree_out, vm_out)
+        speedup = tree_s / vm_s
+        record = {
+            "experiment": "E-VM",
+            "workload": "fig1 temporal mean",
+            "shape": list(SHAPE),
+            "smoke": SMOKE,
+            "tree_seconds": round(tree_s, 4),
+            "vm_seconds": round(vm_s, 4),
+            "speedup": round(speedup, 1),
+            "python": platform.python_version(),
+        }
+        (REPO_ROOT / "BENCH_interp.json").write_text(
+            json.dumps(record, indent=2) + "\n")
+        print(f"\ntree {tree_s:.3f}s  vm {vm_s:.3f}s  speedup {speedup:.1f}x")
+        assert speedup >= GATE, \
+            f"VM only {speedup:.1f}x faster than tree-walker (gate {GATE}x)"
+
+    def test_fast_path_engaged(self, fig1, monkeypatch):
+        """The gate above is meaningless if every loop bails to scalar."""
+        from repro.cexec import loopfast
+
+        cr, wd = fig1
+        hits = {"ok": 0, "bail": 0}
+        orig = loopfast.Plan.run
+
+        def counted(self, frame):
+            r = orig(self, frame)
+            hits["ok" if r else "bail"] += 1
+            return r
+
+        monkeypatch.setattr(loopfast.Plan, "run", counted)
+        vm = VM(cr.lowered, cr.ctx, workdir=wd, nthreads=2,
+                program=cr.bytecode())
+        assert vm.run_main() == 0
+        assert hits["ok"] > 0
+        assert hits["bail"] == 0, f"fast path bailed {hits['bail']} times"
+
+
+class TestMicro:
+    """pytest-benchmark timings on the smoke-size workload."""
+
+    @pytest.fixture(scope="class")
+    def small(self, tmp_path_factory):
+        wd = tmp_path_factory.mktemp("fig1micro")
+        cube = np.random.default_rng(1).normal(
+            0, 0.4, (6, 8, 48)).astype(np.float32)
+        write_rmat(wd / "ssh.data", cube)
+        cr = compile_source(load("fig1"), ["matrix"])
+        cr.bytecode()
+        return cr, wd
+
+    def test_bench_vm(self, benchmark, small):
+        cr, wd = small
+        benchmark(lambda: VM(cr.lowered, cr.ctx, workdir=wd, nthreads=2,
+                             program=cr.bytecode()).run_main())
+
+    def test_bench_tree(self, benchmark, small):
+        cr, wd = small
+        benchmark(lambda: Interpreter(cr.lowered, cr.ctx, workdir=wd,
+                                      nthreads=2).run_main())

@@ -116,6 +116,38 @@ def compile_source(
     return t.compile(source, filename)
 
 
+def run_source(
+    source: str,
+    extensions: list[str] | None = None,
+    inputs=None,
+    *,
+    engine: str = "vm",
+    workdir=None,
+    output_names: list[str] | None = None,
+    nthreads: int = 1,
+    options: Optimizations | None = None,
+):
+    """Translate and execute on a Python engine in one call.
+
+    ``engine="vm"`` (default) runs the register-bytecode VM with
+    numpy-batched loops; ``engine="tree"`` runs the tree-walking
+    reference interpreter.  Returns ``(rc, outputs, stats, executor)``
+    — see :func:`repro.cexec.interp.run_program`.
+    """
+    from repro.cexec.interp import run_program
+
+    return run_program(
+        source,
+        list(extensions or []),
+        inputs,
+        workdir=workdir,
+        output_names=output_names,
+        nthreads=nthreads,
+        options=options,
+        engine=engine,
+    )
+
+
 __all__ = [
     "CompileError",
     "CompileResult",
@@ -129,4 +161,5 @@ __all__ = [
     "host_only",
     "make_translator",
     "module_registry",
+    "run_source",
 ]

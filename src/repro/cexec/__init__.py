@@ -2,11 +2,16 @@
 
 * :mod:`repro.cexec.gcc_backend` — compile the generated C with gcc and
   run natively (pthreads/SSE/OpenMP), the paper's actual toolchain;
-* :mod:`repro.cexec.interp` — a pure-Python interpreter over the lowered
-  trees with an instrumented runtime (allocation counts, pool traces);
-* :mod:`repro.cexec.rmat` — the RMAT binary matrix format both share.
+* :mod:`repro.cexec.vm` — the default Python engine: lowered trees are
+  compiled to a register bytecode (:mod:`repro.cexec.bytecode`) and run
+  by a dispatch loop, with innermost matrix loops batched into numpy
+  array operations (:mod:`repro.cexec.loopfast`);
+* :mod:`repro.cexec.interp` — a tree-walking interpreter over the same
+  lowered trees and runtime, kept as the differential-testing reference;
+* :mod:`repro.cexec.rmat` — the RMAT binary matrix format all share.
 """
 
+from repro.cexec.bytecode import BytecodeProgram
 from repro.cexec.gcc_backend import (
     BackendError,
     CompiledProgram,
@@ -15,20 +20,33 @@ from repro.cexec.gcc_backend import (
     compile_and_run,
     gcc_available,
 )
-from repro.cexec.interp import Interpreter, InterpError, InterpStats, RuntimeTrap, run_program
+from repro.cexec.interp import (
+    ENGINES,
+    Interpreter,
+    InterpError,
+    InterpStats,
+    RuntimeTrap,
+    make_engine,
+    run_program,
+)
 from repro.cexec.rmat import read_rmat, write_rmat
+from repro.cexec.vm import VM
 
 __all__ = [
     "BackendError",
+    "BytecodeProgram",
     "CompiledProgram",
+    "ENGINES",
     "Interpreter",
     "InterpError",
     "InterpStats",
     "RunResult",
     "RunStats",
     "RuntimeTrap",
+    "VM",
     "compile_and_run",
     "gcc_available",
+    "make_engine",
     "read_rmat",
     "run_program",
     "write_rmat",

@@ -1,11 +1,16 @@
-"""Pure-Python interpreter for lowered (plain-C) host trees.
+"""Tree-walking interpreter for lowered (plain-C) host trees.
 
-The second execution backend: it runs the *same* lowered trees the C
-printer emits, with the runtime (matrices, refcounting, the fork-join
-pool, 4-lane vectors, RMAT I/O) implemented as Python intrinsics.  Used
-when gcc is unavailable and by tests that want instrumented execution
-(allocation counts, pool-region traces, refcount balance) without a
-compile step.
+One of two Python execution engines: it runs the *same* lowered trees
+the C printer emits, with the runtime (matrices, refcounting, the
+fork-join pool, 4-lane vectors, RMAT I/O) implemented as Python
+intrinsics.  Used when gcc is unavailable and by tests that want
+instrumented execution (allocation counts, pool-region traces, refcount
+balance) without a compile step.
+
+The runtime itself lives in :class:`RTRuntime` and is shared with the
+bytecode VM (:mod:`repro.cexec.vm`), which compiles the same trees to a
+register bytecode and is the default engine; this tree-walker is kept as
+the differential-testing reference.
 
 C semantics are modeled where they differ from Python: integer division
 truncates toward zero, `%` follows C, matrices hold float32, and `&&`/
@@ -139,14 +144,176 @@ _BINOPS: dict[str, Callable[[Any, Any], Any]] = {
 }
 
 
-class Interpreter:
-    """Executes a lowered Root node."""
+class RTRuntime:
+    """The shared execution runtime: matrices, stats, intrinsics, I/O.
 
-    def __init__(self, lowered_root: Node, ctx, *, workdir: str | Path = ".",
-                 nthreads: int = 1):
+    Both Python engines — the tree-walking :class:`Interpreter` and the
+    bytecode :class:`repro.cexec.vm.VM` — execute against this exact
+    runtime, so observable behavior (stdout, stats counters, traps) is
+    engine-independent by construction.
+    """
+
+    def __init__(self, *, workdir: str | Path = ".", nthreads: int = 1):
         self.workdir = Path(workdir)
         self.nthreads = max(1, nthreads)
         self.stats = InterpStats()
+        self.stdout: list[str] = []
+
+    # -- refcounting ---------------------------------------------------------
+
+    def _rc_inc(self, m: "RTMat | None") -> None:
+        if m is not None:
+            m.rc += 1
+
+    def _rc_dec(self, m: "RTMat | None") -> None:
+        if m is None:
+            return
+        m.rc -= 1
+        if m.rc == 0:
+            self.stats.frees += 1
+            m.data = np.empty(0, dtype=m.data.dtype)  # poison reuse
+        elif m.rc < 0:
+            raise RuntimeTrap("refcount underflow (double free)")
+
+    # -- I/O and printing ----------------------------------------------------
+
+    def _read_matrix(self, fname: str) -> RTMat:
+        arr = read_rmat(self.workdir / fname)
+        kind = "f" if arr.dtype.kind == "f" else "i"
+        self.stats.allocs += 1
+        return RTMat(kind, arr.shape,
+                     arr.reshape(-1).astype(np.float32 if kind == "f" else np.int32))
+
+    def _write_matrix(self, fname: str, m: RTMat) -> None:
+        write_rmat(self.workdir / fname, m.as_numpy())
+
+    def _print_int(self, v) -> None:
+        self.stdout.append(str(int(v)))
+
+    def _print_float(self, v) -> None:
+        self.stdout.append(f"{v:g}")
+
+    # -- runtime intrinsics (rt_*) -------------------------------------------
+
+    def _alloc(self, kind: str, rank: int, dims: list[int]) -> RTMat:
+        dims = tuple(int(d) for d in dims[:rank])
+        if any(d < 0 for d in dims):
+            raise RuntimeTrap(f"negative dimension in allocation: {dims}")
+        size = 1
+        for d in dims:
+            size *= d
+        self.stats.allocs += 1
+        dtype = np.float32 if kind == "f" else np.int32
+        return RTMat(kind, dims, np.zeros(size, dtype=dtype))
+
+    def rt_allocf(self, rank, d0, d1, d2, d3):
+        return self._alloc("f", int(rank), [d0, d1, d2, d3])
+
+    def rt_alloci(self, rank, d0, d1, d2, d3):
+        return self._alloc("i", int(rank), [d0, d1, d2, d3])
+
+    def rt_dim(self, m: RTMat, d) -> int:
+        return int(m.dims[int(d)])
+
+    def rt_size(self, m: RTMat) -> int:
+        return m.size
+
+    def rt_getf(self, m: RTMat, i) -> float:
+        return float(m.data[int(i)])
+
+    def rt_setf(self, m: RTMat, i, v) -> None:
+        m.data[int(i)] = np.float32(v)
+
+    def rt_geti(self, m: RTMat, i) -> int:
+        return int(m.data[int(i)])
+
+    def rt_seti(self, m: RTMat, i, v) -> None:
+        m.data[int(i)] = int(v)
+
+    def rt_bounds_check(self, lo, hi, dim, what) -> None:
+        if lo < 0 or hi > dim:
+            raise RuntimeTrap(f"{what} range [{lo},{hi}) outside dimension {dim}")
+
+    def rt_require_dim(self, m: "RTMat | None", d, n) -> None:
+        if m is None:
+            raise RuntimeTrap("use of unallocated matrix")
+        if m.dims[int(d)] != int(n):
+            raise RuntimeTrap(f"dimension {d} is {m.dims[int(d)]}, expected {n}")
+
+    def rt_check_rank(self, m: RTMat, rank, is_float) -> None:
+        want = "f" if is_float else "i"
+        if len(m.dims) != int(rank) or m.kind != want:
+            raise RuntimeTrap(
+                f"matrix has rank {len(m.dims)}/{m.kind}, declared {rank}/{want}"
+            )
+
+    def rt_matmul_check(self, a: RTMat, b: RTMat) -> None:
+        if len(a.dims) != 2 or len(b.dims) != 2 or a.dims[1] != b.dims[0]:
+            raise RuntimeTrap(f"matrix multiply of {a.dims} by {b.dims}")
+
+    def rt_shape_check(self, a: RTMat, b: RTMat, op) -> None:
+        if a.dims != b.dims:
+            raise RuntimeTrap(f"{op} on shapes {a.dims} vs {b.dims}")
+
+    def rt_require_divisible(self, n, f, what) -> None:
+        if f <= 0 or n % f != 0:
+            raise RuntimeTrap(f"{what}: trip count {n} not divisible by {f}")
+
+    def rt_assign_copy(self, dst: "RTMat | None", src: RTMat) -> RTMat:
+        if dst is not None and src is not None and dst is not src \
+                and dst.dims == src.dims and dst.kind == src.kind:
+            dst.data[:] = src.data
+            self.stats.copies += 1
+            self._rc_dec(src)
+            return dst
+        self._rc_dec(dst)
+        return src
+
+    # 4-lane vectors: numpy float32 arrays of length 4
+    def rt_vsplatf(self, x):
+        return np.full(4, x, dtype=np.float32)
+
+    def rt_viotaf(self, base):
+        return np.arange(base, base + 4, dtype=np.float32)
+
+    def rt_vloadf(self, m: RTMat, i):
+        i = int(i)
+        return m.data[i:i + 4].astype(np.float32)
+
+    def rt_vstoref(self, m: RTMat, i, v):
+        i = int(i)
+        m.data[i:i + 4] = v
+
+    def rt_vgatherf(self, m: RTMat, i, stride):
+        i, stride = int(i), int(stride)
+        return m.data[[i, i + stride, i + 2 * stride, i + 3 * stride]].astype(np.float32)
+
+    def rt_vscatterf(self, m: RTMat, i, stride, v):
+        i, stride = int(i), int(stride)
+        m.data[[i, i + stride, i + 2 * stride, i + 3 * stride]] = v
+
+    def rt_vaddf(self, a, b):
+        return a + b
+
+    def rt_vsubf(self, a, b):
+        return a - b
+
+    def rt_vmulf(self, a, b):
+        return a * b
+
+    def rt_vdivf(self, a, b):
+        return a / b
+
+    def rt_vsumf(self, v):
+        return float(v[0] + v[1] + v[2] + v[3])
+
+
+class Interpreter(RTRuntime):
+    """Executes a lowered Root node by walking the tree."""
+
+    def __init__(self, lowered_root: Node, ctx, *, workdir: str | Path = ".",
+                 nthreads: int = 1):
+        super().__init__(workdir=workdir, nthreads=nthreads)
         self.functions: dict[str, Node] = {}
         for f in node_cons_to_list(lowered_root.children[0]):
             self.functions[f.children[1]] = f
@@ -157,7 +324,6 @@ class Interpreter:
         for lf in getattr(ctx, "lifted", []):
             if hasattr(lf, "body"):
                 self.lifted[lf.name] = (lf.body, [n for _t, n in lf.captures])
-        self.stdout: list[str] = []
 
     # -- entry points ------------------------------------------------------------
 
@@ -303,12 +469,7 @@ class Interpreter:
             return value
         if p == "castE":
             v = self.eval(ch[1], scope)
-            ctype = ch[0].children[0] if ch[0].prod == "tRaw" else ch[0].prod
-            if ctype in ("tInt", "int", "long", "tBool", "tChar"):
-                return int(v)
-            if ctype in ("tFloat", "float"):
-                return float(np.float32(v))
-            return v
+            return cast_value(ch[0], v)
         if p == "call":
             return self.eval_call(node, scope)
         raise InterpError(f"cannot interpret expression {p!r}")
@@ -346,9 +507,7 @@ class Interpreter:
         if intrinsic is not None:
             return intrinsic(*args)
         if name == "rc_inc":
-            m = args[0]
-            if m is not None:
-                m.rc += 1
+            self._rc_inc(args[0])
             return None
         if name == "rc_dec":
             self._rc_dec(args[0])
@@ -356,32 +515,15 @@ class Interpreter:
         if name == "readMatrix":
             return self._read_matrix(args[0])
         if name == "writeMatrix":
-            write_rmat(self.workdir / args[0], args[1].as_numpy())
+            self._write_matrix(args[0], args[1])
             return None
         if name == "printInt":
-            self.stdout.append(str(int(args[0])))
+            self._print_int(args[0])
             return None
         if name == "printFloat":
-            self.stdout.append(f"{args[0]:g}")
+            self._print_float(args[0])
             return None
         return self.call_function(name, args)
-
-    def _rc_dec(self, m: "RTMat | None") -> None:
-        if m is None:
-            return
-        m.rc -= 1
-        if m.rc == 0:
-            self.stats.frees += 1
-            m.data = np.empty(0, dtype=m.data.dtype)  # poison reuse
-        elif m.rc < 0:
-            raise RuntimeTrap("refcount underflow (double free)")
-
-    def _read_matrix(self, fname: str) -> RTMat:
-        arr = read_rmat(self.workdir / fname)
-        kind = "f" if arr.dtype.kind == "f" else "i"
-        self.stats.allocs += 1
-        return RTMat(kind, arr.shape,
-                     arr.reshape(-1).astype(np.float32 if kind == "f" else np.int32))
 
     def _pool_run(self, argnodes: list[Node], scope: Scope) -> None:
         fname = argnodes[0].children[0]
@@ -402,119 +544,20 @@ class Interpreter:
             s.declare("__hi", hi)
             self.exec_stmt(body, s)
 
-    # -- runtime intrinsics (rt_*) --------------------------------------------------------
 
-    def _alloc(self, kind: str, rank: int, dims: list[int]) -> RTMat:
-        dims = tuple(int(d) for d in dims[:rank])
-        if any(d < 0 for d in dims):
-            raise RuntimeTrap(f"negative dimension in allocation: {dims}")
-        size = 1
-        for d in dims:
-            size *= d
-        self.stats.allocs += 1
-        dtype = np.float32 if kind == "f" else np.int32
-        return RTMat(kind, dims, np.zeros(size, dtype=dtype))
-
-    def rt_allocf(self, rank, d0, d1, d2, d3):
-        return self._alloc("f", int(rank), [d0, d1, d2, d3])
-
-    def rt_alloci(self, rank, d0, d1, d2, d3):
-        return self._alloc("i", int(rank), [d0, d1, d2, d3])
-
-    def rt_dim(self, m: RTMat, d) -> int:
-        return int(m.dims[int(d)])
-
-    def rt_size(self, m: RTMat) -> int:
-        return m.size
-
-    def rt_getf(self, m: RTMat, i) -> float:
-        return float(m.data[int(i)])
-
-    def rt_setf(self, m: RTMat, i, v) -> None:
-        m.data[int(i)] = np.float32(v)
-
-    def rt_geti(self, m: RTMat, i) -> int:
-        return int(m.data[int(i)])
-
-    def rt_seti(self, m: RTMat, i, v) -> None:
-        m.data[int(i)] = int(v)
-
-    def rt_bounds_check(self, lo, hi, dim, what) -> None:
-        if lo < 0 or hi > dim:
-            raise RuntimeTrap(f"{what} range [{lo},{hi}) outside dimension {dim}")
-
-    def rt_require_dim(self, m: "RTMat | None", d, n) -> None:
-        if m is None:
-            raise RuntimeTrap("use of unallocated matrix")
-        if m.dims[int(d)] != int(n):
-            raise RuntimeTrap(f"dimension {d} is {m.dims[int(d)]}, expected {n}")
-
-    def rt_check_rank(self, m: RTMat, rank, is_float) -> None:
-        want = "f" if is_float else "i"
-        if len(m.dims) != int(rank) or m.kind != want:
-            raise RuntimeTrap(
-                f"matrix has rank {len(m.dims)}/{m.kind}, declared {rank}/{want}"
-            )
-
-    def rt_matmul_check(self, a: RTMat, b: RTMat) -> None:
-        if len(a.dims) != 2 or len(b.dims) != 2 or a.dims[1] != b.dims[0]:
-            raise RuntimeTrap(f"matrix multiply of {a.dims} by {b.dims}")
-
-    def rt_shape_check(self, a: RTMat, b: RTMat, op) -> None:
-        if a.dims != b.dims:
-            raise RuntimeTrap(f"{op} on shapes {a.dims} vs {b.dims}")
-
-    def rt_require_divisible(self, n, f, what) -> None:
-        if f <= 0 or n % f != 0:
-            raise RuntimeTrap(f"{what}: trip count {n} not divisible by {f}")
-
-    def rt_assign_copy(self, dst: "RTMat | None", src: RTMat) -> RTMat:
-        if dst is not None and src is not None and dst is not src \
-                and dst.dims == src.dims and dst.kind == src.kind:
-            dst.data[:] = src.data
-            self.stats.copies += 1
-            self._rc_dec(src)
-            return dst
-        self._rc_dec(dst)
-        return src
-
-    # 4-lane vectors: numpy float32 arrays of length 4
-    def rt_vsplatf(self, x):
-        return np.full(4, x, dtype=np.float32)
-
-    def rt_viotaf(self, base):
-        return np.arange(base, base + 4, dtype=np.float32)
-
-    def rt_vloadf(self, m: RTMat, i):
-        i = int(i)
-        return m.data[i:i + 4].astype(np.float32)
-
-    def rt_vstoref(self, m: RTMat, i, v):
-        i = int(i)
-        m.data[i:i + 4] = v
-
-    def rt_vgatherf(self, m: RTMat, i, stride):
-        i, stride = int(i), int(stride)
-        return m.data[[i, i + stride, i + 2 * stride, i + 3 * stride]].astype(np.float32)
-
-    def rt_vscatterf(self, m: RTMat, i, stride, v):
-        i, stride = int(i), int(stride)
-        m.data[[i, i + stride, i + 2 * stride, i + 3 * stride]] = v
-
-    def rt_vaddf(self, a, b):
-        return a + b
-
-    def rt_vsubf(self, a, b):
-        return a - b
-
-    def rt_vmulf(self, a, b):
-        return a * b
-
-    def rt_vdivf(self, a, b):
-        return a / b
-
-    def rt_vsumf(self, v):
-        return float(v[0] + v[1] + v[2] + v[3])
+def cast_value(type_node: Node, v: Any) -> Any:
+    """C cast semantics shared by both engines: integral casts truncate,
+    casts to float *or double* narrow through float32 (matrix storage is
+    float32, and ``floatLit`` narrows the same way — a cast must not be
+    able to smuggle extra precision past the declared C type)."""
+    ctype = type_node.children[0] if type_node.prod == "tRaw" else type_node.prod
+    if isinstance(ctype, str):
+        ctype = ctype.strip()
+    if ctype in ("tInt", "int", "long", "tBool", "tChar"):
+        return int(v)
+    if ctype in ("tFloat", "float", "double"):
+        return float(np.float32(v))
+    return v
 
 
 def _zero_of(type_node: Node) -> Any:
@@ -530,6 +573,23 @@ def _zero_of(type_node: Node) -> Any:
     return 0
 
 
+ENGINES = ("vm", "tree")
+
+
+def make_engine(lowered, ctx, *, engine: str = "vm",
+                workdir: str | Path = ".", nthreads: int = 1) -> RTRuntime:
+    """An executor for a lowered tree: the bytecode VM (default) or the
+    tree-walking reference interpreter.  Both expose ``run_main``,
+    ``call_function``, ``stats`` and ``stdout``."""
+    if engine in ("vm", "bytecode"):
+        from repro.cexec.vm import VM
+
+        return VM(lowered, ctx, workdir=workdir, nthreads=nthreads)
+    if engine in ("tree", "interp"):
+        return Interpreter(lowered, ctx, workdir=workdir, nthreads=nthreads)
+    raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
+
+
 def run_program(
     source: str,
     extensions: list[str],
@@ -539,8 +599,14 @@ def run_program(
     output_names: list[str] | None = None,
     nthreads: int = 1,
     options=None,
-) -> tuple[int, dict[str, np.ndarray], InterpStats, Interpreter]:
-    """Translate and interpret an extended-C program with RMAT inputs."""
+    engine: str = "vm",
+) -> tuple[int, dict[str, np.ndarray], InterpStats, "RTRuntime"]:
+    """Translate and execute an extended-C program with RMAT inputs.
+
+    ``engine`` selects the Python execution engine: ``"vm"`` (register
+    bytecode + numpy-batched loops, the default) or ``"tree"`` (the
+    tree-walking reference).  Both produce identical observable behavior.
+    """
     import tempfile
 
     from repro.api import compile_source
@@ -552,11 +618,12 @@ def run_program(
     wd.mkdir(parents=True, exist_ok=True)
     for name, arr in (inputs or {}).items():
         write_rmat(wd / name, arr)
-    interp = Interpreter(cr.lowered, cr.ctx, workdir=wd, nthreads=nthreads)
-    rc = interp.run_main()
+    executor = make_engine(cr.lowered, cr.ctx, engine=engine,
+                           workdir=wd, nthreads=nthreads)
+    rc = executor.run_main()
     outputs = {}
     for name in output_names or []:
         path = wd / name
         if path.exists():
             outputs[name] = read_rmat(path)
-    return rc, outputs, interp.stats, interp
+    return rc, outputs, executor.stats, executor

@@ -1,0 +1,521 @@
+"""Guarded numpy fast path for compiled innermost loops.
+
+:func:`try_fast_loop` pattern-matches a ``forStmt`` at bytecode-compile
+time: a ``for (long v = start; v < limit; v = v + 1)`` whose body is a
+flat sequence of matrix stores (``rt_setf``/``rt_seti`` with any index
+expression over the loop variable) and scalar reductions
+(``acc = acc + E`` / ``acc = acc * E``).  When it matches, the whole trip
+count executes as vectorized numpy operations — gathers via fancy
+indexing, stores via fancy-index assignment, reductions via
+``np.cumsum``/``np.cumprod`` (which numpy evaluates strictly
+left-to-right, unlike the pairwise ``np.sum``) — producing **bit-exact**
+the same float64/float32 results as the scalar loop.
+
+Exactness is non-negotiable: the plan's guard + compute phase is *pure*
+(no frame, matrix, or stats mutation) and every doubtful condition —
+non-integer bounds, out-of-range indices, aliasing between a stored and
+a loaded matrix, integer division, a zero float divisor, a non-float
+accumulator, a value an ``int32`` store would trap on — makes
+:meth:`Plan.run` return ``False`` *before anything is committed*, so the
+scalar bytecode loop compiled right behind the ``fastloop`` instruction
+reproduces the exact behavior, including traps at the correct iteration
+with the correct partial state.  Only after every guard passes does the
+commit phase (which cannot fail) write stores and accumulators back.
+
+Allocation/copy/region stats are untouched by design: the matched
+statement forms never allocate, copy, or open pool regions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ag.tree import Node
+
+# Largest trip count the fast path will materialize arrays for; above
+# this the scalar loop runs (slow but O(1) memory).
+MAX_TRIP = 1 << 24
+
+
+class _Bail(Exception):
+    """Raised inside the pure guard/compute phase to fall back."""
+
+
+class _Run:
+    """Per-execution state threaded through the evaluator closures."""
+
+    __slots__ = ("frame", "iv", "loads", "stmt_i")
+
+    def __init__(self, frame, iv):
+        self.frame = frame
+        self.iv = iv          # int64 index vector start..limit-1
+        self.loads = []       # (mat_object, idx_array, stmt_i)
+        self.stmt_i = 0
+
+
+def _is_intlike(x) -> bool:
+    if isinstance(x, np.ndarray):
+        return x.dtype.kind in "iub"
+    return isinstance(x, (int, np.integer))  # includes bool
+
+
+def _index_array(x, iv) -> np.ndarray:
+    """Validate and broadcast an index operand to an int64 vector."""
+    if isinstance(x, np.ndarray):
+        if x.dtype.kind not in "iub":
+            raise _Bail("non-integer index vector")
+        return x.astype(np.int64, copy=False)
+    if not _is_intlike(x):
+        raise _Bail("non-integer scalar index")
+    return np.full(iv.shape, int(x), dtype=np.int64)
+
+
+def _as_f64(x):
+    if isinstance(x, np.ndarray):
+        return x.astype(np.float64, copy=False)
+    return np.float64(x)
+
+
+class Plan:
+    """A matched loop: evaluator closures plus guarded commit steps."""
+
+    def __init__(self, var_name: str, start_ev, limit_ev,
+                 stores: list, reductions: list):
+        self.var_name = var_name
+        self.start_ev = start_ev
+        self.limit_ev = limit_ev
+        # stores: (stmt_i, kind "f"|"i", mat_slot, idx_ev, val_ev)
+        # reductions: (stmt_i, acc_slot, op "+"|"*", ev)
+        self.stores = stores
+        self.reductions = reductions
+
+    @property
+    def steps(self):
+        return self.stores + self.reductions
+
+    def run(self, frame) -> bool:
+        """Execute the whole loop; True on success, False to fall back.
+
+        Phase 1 (guard + compute) is pure: any exception — a _Bail from
+        a guard, or anything unforeseen — aborts with no state changed.
+        Phase 2 (commit) performs only infallible numpy writes.
+        """
+        try:
+            commits = self._compute(frame)
+        except Exception:
+            return False
+        for c in commits:
+            c()
+        return True
+
+    def _compute(self, frame) -> list:
+        start = self.start_ev(_Run(frame, None))
+        limit = self.limit_ev(_Run(frame, None))
+        if not _is_intlike(start) or not _is_intlike(limit):
+            raise _Bail("non-integer loop bounds")
+        start, limit = int(start), int(limit)
+        n = limit - start
+        if n <= 0:
+            return []  # zero-trip loop: nothing to run, nothing to skip
+        if n > MAX_TRIP:
+            raise _Bail("trip count too large to materialize")
+        rt = _Run(frame, np.arange(start, limit, dtype=np.int64))
+        commits: list[Callable[[], None]] = []
+
+        stored: dict[int, tuple] = {}  # id(mat) -> (idx_array, stmt_i)
+        for stmt_i, kind, mat_slot, idx_ev, val_ev in self.stores:
+            rt.stmt_i = stmt_i
+            mat = frame[mat_slot]
+            data = getattr(mat, "data", None)
+            if not isinstance(data, np.ndarray):
+                raise _Bail("store target is not a matrix")
+            idx = _index_array(idx_ev(rt), rt.iv)
+            size = data.size
+            if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= size):
+                raise _Bail("store index out of range")
+            if id(mat) in stored:
+                raise _Bail("two stores to one matrix object")
+            # Duplicate store indices: scalar semantics are last-wins
+            # interleaved with loads; too subtle to vectorize.
+            if idx.size > 1 and not np.all(idx[1:] > idx[:-1]) \
+                    and np.unique(idx).size != idx.size:
+                raise _Bail("duplicate store indices")
+            stored[id(mat)] = (idx, stmt_i)
+            vals = val_ev(rt)
+            if kind == "f":
+                out = np.asarray(_as_f64(vals)).astype(np.float32)
+            else:
+                v64 = np.asarray(_as_f64(vals))
+                if not np.all(np.isfinite(v64)):
+                    raise _Bail("non-finite value for integer store")
+                out = np.trunc(v64)
+                if np.any(out < -2**31) or np.any(out >= 2**31):
+                    raise _Bail("integer store out of int32 range")
+                out = out.astype(np.int32)
+            commits.append(
+                lambda data=data, idx=idx, out=out: data.__setitem__(idx, out))
+
+        accs: dict[int, int] = {}
+        for stmt_i, acc_slot, op, ev in self.reductions:
+            rt.stmt_i = stmt_i
+            acc0 = frame[acc_slot]
+            if not isinstance(acc0, float):
+                raise _Bail("non-float accumulator")
+            if acc_slot in accs:
+                raise _Bail("two reductions on one accumulator")
+            accs[acc_slot] = stmt_i
+            e = ev(rt)
+            if isinstance(e, np.ndarray):
+                chain = np.concatenate(([acc0], _as_f64(e)))
+            else:
+                chain = np.concatenate(
+                    ([acc0], np.full(n, np.float64(e), dtype=np.float64)))
+            # cumsum/cumprod accumulate strictly left-to-right on f64,
+            # reproducing the scalar fold's rounding exactly (IEEE-754
+            # + and * are commutative, so `acc = E op acc` folds the same)
+            total = float(np.cumsum(chain)[-1] if op == "+"
+                          else np.cumprod(chain)[-1])
+            commits.append(
+                lambda frame=frame, s=acc_slot, t=total:
+                    frame.__setitem__(s, t))
+
+        # Aliasing: a load from a matrix some statement stores to is only
+        # safe when it reads exactly the elements that statement writes
+        # *and* textually precedes the store (read-then-write per index;
+        # all loads happen before any commit, matching scalar order).
+        for mat, lidx, l_stmt in rt.loads:
+            hit = stored.get(id(mat))
+            if hit is None:
+                continue
+            sidx, s_stmt = hit
+            if l_stmt > s_stmt or lidx.shape != sidx.shape \
+                    or not np.array_equal(lidx, sidx):
+                raise _Bail("load aliases a stored matrix")
+        return commits
+
+
+# --------------------------------------------------------------------------
+# Compile-time matching
+# --------------------------------------------------------------------------
+
+
+def _refs_var(node, name: str) -> bool:
+    if not isinstance(node, Node):
+        return False
+    if node.prod == "var" and node.children[0] == name:
+        return True
+    return any(_refs_var(c, name) for c in node.children)
+
+
+def _flatten_body(node: Node, out: list[Node]) -> bool:
+    from repro.cminus.absyn import node_cons_to_list
+
+    if node.prod in ("block", "seqStmt"):
+        for s in node_cons_to_list(node.children[0]):
+            if not _flatten_body(s, out):
+                return False
+        return True
+    if node.prod == "exprStmt":
+        out.append(node.children[0])
+        return True
+    return False
+
+
+def _build_ev(fc, node, var_name: str | None):
+    """Expression -> evaluator closure ``rt -> scalar | ndarray``, or
+    None when the expression is outside the vectorizable language.
+    All frame slots are resolved here, at compile time."""
+    if not isinstance(node, Node):
+        return None
+    p = node.prod
+    ch = node.children
+    if p == "intLit":
+        v = ch[0]
+        return lambda rt: v
+    if p == "floatLit":
+        v = float(np.float32(ch[0]))
+        return lambda rt: v
+    if p == "boolLit":
+        v = int(ch[0])
+        return lambda rt: v
+    if p == "var":
+        if ch[0] == var_name:
+            return lambda rt: rt.iv
+        slot = fc.lookup(ch[0])
+        if slot is None:
+            return None
+        return lambda rt: rt.frame[slot]
+    if p == "binop":
+        op = ch[0]
+        a = _build_ev(fc, ch[1], var_name)
+        b = _build_ev(fc, ch[2], var_name)
+        if a is None or b is None:
+            return None
+        if op == "+":
+            return lambda rt: a(rt) + b(rt)
+        if op == "-":
+            return lambda rt: a(rt) - b(rt)
+        if op == "*":
+            return lambda rt: a(rt) * b(rt)
+        if op == "/":
+            def div(rt, a=a, b=b):
+                x, y = a(rt), b(rt)
+                if _is_intlike(x) and _is_intlike(y):
+                    raise _Bail("integer division")  # c_div truncation
+                if isinstance(y, np.ndarray):
+                    if np.any(y == 0):
+                        raise _Bail("zero in divisor vector")
+                elif y == 0:
+                    raise _Bail("zero divisor")
+                return _as_f64(x) / _as_f64(y)
+            return div
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            import operator
+            f = {"<": operator.lt, "<=": operator.le, ">": operator.gt,
+                 ">=": operator.ge, "==": operator.eq, "!=": operator.ne}[op]
+
+            def cmp(rt, a=a, b=b, f=f):
+                r = f(a(rt), b(rt))
+                if isinstance(r, np.ndarray):
+                    return r.astype(np.int64)
+                return int(r)
+            return cmp
+        return None  # %, &&, || : scalar semantics too subtle
+    if p == "unop":
+        v = _build_ev(fc, ch[1], var_name)
+        if v is None:
+            return None
+        if ch[0] == "-":
+            return lambda rt: -v(rt)
+
+        def unot(rt, v=v):
+            r = v(rt)
+            if isinstance(r, np.ndarray):
+                return (r == 0).astype(np.int64)
+            return int(not r)
+        return unot
+    if p == "castE":
+        from repro.cexec.bytecode import cast_kind
+
+        v = _build_ev(fc, ch[1], var_name)
+        if v is None:
+            return None
+        kind = cast_kind(ch[0])
+        if kind is None:
+            return v
+        if kind == "int":
+            def toint(rt, v=v):
+                r = v(rt)
+                if isinstance(r, np.ndarray):
+                    if r.dtype.kind in "iub":
+                        return r.astype(np.int64)
+                    if not np.all(np.isfinite(r)):
+                        raise _Bail("int cast of non-finite")
+                    return np.trunc(r).astype(np.int64)
+                return int(r)
+            return toint
+
+        def tof32(rt, v=v):
+            r = v(rt)
+            if isinstance(r, np.ndarray):
+                return r.astype(np.float32).astype(np.float64)
+            return float(np.float32(r))
+        return tof32
+    if p == "call":
+        return _build_call_ev(fc, node, var_name)
+    return None
+
+
+def _build_call_ev(fc, node: Node, var_name: str | None):
+    from repro.cminus.absyn import node_cons_to_list
+
+    name = node.children[0]
+    args = node_cons_to_list(node.children[1])
+    if name in ("rt_getf", "rt_geti"):
+        if len(args) != 2 or args[0].prod != "var" \
+                or args[0].children[0] == var_name:
+            return None
+        mslot = fc.lookup(args[0].children[0])
+        idx_ev = _build_ev(fc, args[1], var_name)
+        if mslot is None or idx_ev is None:
+            return None
+        want = "f" if name == "rt_getf" else "i"
+
+        def load(rt, mslot=mslot, idx_ev=idx_ev, want=want):
+            mat = rt.frame[mslot]
+            data = getattr(mat, "data", None)
+            if not isinstance(data, np.ndarray):
+                raise _Bail("load source is not a matrix")
+            idx = _index_array(idx_ev(rt), rt.iv)
+            size = data.size
+            if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= size):
+                raise _Bail("load index out of range")
+            rt.loads.append((mat, idx, rt.stmt_i))
+            got = data[idx]
+            return got.astype(np.float64) if want == "f" \
+                else got.astype(np.int64)
+        return load
+    if name == "rt_size":
+        if len(args) != 1 or args[0].prod != "var" \
+                or args[0].children[0] == var_name:
+            return None
+        mslot = fc.lookup(args[0].children[0])
+        if mslot is None:
+            return None
+
+        def size(rt, mslot=mslot):
+            mat = rt.frame[mslot]
+            if not isinstance(getattr(mat, "data", None), np.ndarray):
+                raise _Bail("rt_size of a non-matrix")
+            return mat.size
+        return size
+    if name == "rt_dim":
+        if len(args) != 2 or args[0].prod != "var" \
+                or args[0].children[0] == var_name:
+            return None
+        mslot = fc.lookup(args[0].children[0])
+        d_ev = _build_ev(fc, args[1], None)  # dim index must be invariant
+        if mslot is None or d_ev is None or _refs_var(args[1], var_name):
+            return None
+
+        def dim(rt, mslot=mslot, d_ev=d_ev):
+            mat = rt.frame[mslot]
+            if not isinstance(getattr(mat, "data", None), np.ndarray):
+                raise _Bail("rt_dim of a non-matrix")
+            return int(mat.dims[int(d_ev(rt))])
+        return dim
+    return None
+
+
+def _match_reduction(fc, e: Node, var_name: str):
+    """``acc = acc (+|*) E`` / ``acc = E (+|*) acc`` with a non-loop-var
+    scalar accumulator E does not mention.  Returns (acc_name, acc_slot,
+    op, ev) or None."""
+    if e.prod != "assign" or e.children[0].prod != "var":
+        return None
+    acc = e.children[0].children[0]
+    rhs = e.children[1]
+    if acc == var_name or rhs.prod != "binop" or rhs.children[0] not in ("+", "*"):
+        return None
+    op, lhs_n, rhs_n = rhs.children
+    if lhs_n.prod == "var" and lhs_n.children[0] == acc:
+        other = rhs_n
+    elif rhs_n.prod == "var" and rhs_n.children[0] == acc:
+        other = lhs_n
+    else:
+        return None
+    if _refs_var(other, acc):
+        return None
+    slot = fc.lookup(acc)
+    ev = _build_ev(fc, other, var_name)
+    if slot is None or ev is None:
+        return None
+    return acc, slot, op, ev
+
+
+# Limit expressions are re-evaluated by the scalar loop every iteration;
+# the fast path reads them once, so they must be provably unchanged by
+# the body: literals, plain variables (checked against accumulators),
+# and rt_size/rt_dim (matrix *shapes* are immutable, only data mutates).
+_LIMIT_PRODS = frozenset(["intLit", "var", "binop", "unop", "castE"])
+
+
+def _limit_ok(node: Node) -> bool:
+    if not isinstance(node, Node):
+        return True
+    if node.prod == "call":
+        if node.children[0] not in ("rt_size", "rt_dim"):
+            return False
+        from repro.cminus.absyn import node_cons_to_list
+
+        return all(_limit_ok(a) for a in node_cons_to_list(node.children[1]))
+    if node.prod not in _LIMIT_PRODS:
+        return False
+    return all(_limit_ok(c) for c in node.children if isinstance(c, Node))
+
+
+def try_fast_loop(fc, node: Node) -> Plan | None:
+    """Match ``forStmt`` against the vectorizable pattern; None = no plan
+    (the scalar loop runs alone).  Called with the *enclosing* scope
+    active — the loop variable is never a frame slot on this path."""
+    init, cond, step, body = node.children
+    if init.prod != "forDecl":
+        return None
+    var_name = init.children[1]
+    # condition: var < limit
+    if cond.prod != "binop" or cond.children[0] != "<" \
+            or cond.children[1].prod != "var" \
+            or cond.children[1].children[0] != var_name:
+        return None
+    limit_node = cond.children[2]
+    if _refs_var(limit_node, var_name) or not _limit_ok(limit_node):
+        return None
+    # step: v = v + 1  (or v = 1 + v)
+    if step.prod != "assign" or step.children[0].prod != "var" \
+            or step.children[0].children[0] != var_name:
+        return None
+    s_rhs = step.children[1]
+    if s_rhs.prod != "binop" or s_rhs.children[0] != "+":
+        return None
+    a, b = s_rhs.children[1], s_rhs.children[2]
+    one_var = (a.prod == "var" and a.children[0] == var_name
+               and b.prod == "intLit" and b.children[0] == 1) or \
+              (b.prod == "var" and b.children[0] == var_name
+               and a.prod == "intLit" and a.children[0] == 1)
+    if not one_var:
+        return None
+    start_node = init.children[2]
+    if _refs_var(start_node, var_name):
+        # forDecl init reads the *outer* binding of the same name in the
+        # scalar compiler; too confusing to mirror — fall back.
+        return None
+    start_ev = _build_ev(fc, start_node, None)
+    limit_ev = _build_ev(fc, limit_node, None)
+    if start_ev is None or limit_ev is None:
+        return None
+
+    stmts: list[Node] = []
+    if not _flatten_body(body, stmts) or not stmts:
+        return None
+    stores, reductions = [], []
+    acc_names: list[str] = []
+    store_val_nodes: list[Node] = []
+    for i, e in enumerate(stmts):
+        if e.prod == "call" and e.children[0] in ("rt_setf", "rt_seti"):
+            from repro.cminus.absyn import node_cons_to_list
+
+            args = node_cons_to_list(e.children[1])
+            if len(args) != 3 or args[0].prod != "var" \
+                    or args[0].children[0] == var_name:
+                return None
+            mslot = fc.lookup(args[0].children[0])
+            idx_ev = _build_ev(fc, args[1], var_name)
+            val_ev = _build_ev(fc, args[2], var_name)
+            if mslot is None or idx_ev is None or val_ev is None:
+                return None
+            kind = "f" if e.children[0] == "rt_setf" else "i"
+            stores.append((i, kind, mslot, idx_ev, val_ev))
+            store_val_nodes.append(args[1])
+            store_val_nodes.append(args[2])
+            continue
+        red = _match_reduction(fc, e, var_name)
+        if red is None:
+            return None
+        acc, slot, op, ev = red
+        reductions.append((i, slot, op, ev))
+        acc_names.append(acc)
+        store_val_nodes.append(e.children[1])
+    # Any accumulator read outside its own fold (in a store value/index,
+    # another reduction, or the limit) sees stale pre-loop state on the
+    # fast path — bail at compile time.
+    for acc in acc_names:
+        if _refs_var(limit_node, acc):
+            return None
+        if sum(1 for n in store_val_nodes if _refs_var(n, acc)) \
+                > acc_names.count(acc):
+            return None
+    if len(set(acc_names)) != len(acc_names):
+        return None
+    return Plan(var_name, start_ev, limit_ev, stores, reductions)

@@ -42,11 +42,26 @@ def read_rmat(path: str | Path) -> np.ndarray:
         magic = f.read(4)
         if magic != MAGIC:
             raise RMATError(f"{path}: not an RMAT file")
-        kind, rank = struct.unpack("<ii", f.read(8))
-        dims = [struct.unpack("<q", f.read(8))[0] for _ in range(rank)]
+        head = f.read(8)
+        if len(head) != 8:
+            raise RMATError(f"{path}: truncated header")
+        kind, rank = struct.unpack("<ii", head)
+        if kind not in (0, 1):
+            raise RMATError(f"{path}: bad element kind {kind}")
+        if rank < 0:
+            raise RMATError(f"{path}: negative rank {rank}")
+        raw_dims = f.read(8 * rank)
+        if len(raw_dims) != 8 * rank:
+            raise RMATError(f"{path}: truncated dimension list")
+        dims = list(struct.unpack(f"<{rank}q", raw_dims)) if rank else []
         dtype = "<f4" if kind == 1 else "<i4"
-        data = np.frombuffer(f.read(), dtype=dtype)
-        expected = int(np.prod(dims)) if dims else 0
+        payload = f.read()
+        if len(payload) % 4:
+            raise RMATError(f"{path}: corrupt payload ({len(payload)} bytes)")
+        data = np.frombuffer(payload, dtype=dtype)
+        # A rank-0 matrix is a scalar: one element, not zero (np.prod of
+        # an empty list is 1 anyway; the old `else 0` broke round-trips).
+        expected = int(np.prod(dims, dtype=np.int64)) if dims else 1
         if data.size != expected:
             raise RMATError(
                 f"{path}: payload has {data.size} elements, header says {expected}"

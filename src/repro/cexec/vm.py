@@ -1,0 +1,341 @@
+"""Register-bytecode VM: the default Python execution engine.
+
+Executes :class:`repro.cexec.bytecode.Code` instruction arrays against
+the same :class:`~repro.cexec.interp.RTRuntime` the tree-walker uses, so
+observable behavior — stdout, stats counters, runtime traps, RMAT
+outputs — is byte-for-byte identical to the reference interpreter.
+
+Dispatch is *threaded code*: at bind time every symbolic instruction is
+turned into a closure ``frame -> next_pc`` with its operands (and, for
+intrinsics, the resolved bound method) captured, so the hot loop is just
+
+    while pc < n:
+        pc = ops[pc](frame)
+
+with no opcode decoding, no dict lookups and no exception-based control
+flow.  Innermost loops whose bodies were recognized by
+:mod:`repro.cexec.loopfast` execute as batched numpy slice operations
+and fall through into their scalar bytecode when a guard fails.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.ag.tree import Node
+from repro.cexec.bytecode import BytecodeProgram, Code
+from repro.cexec.interp import InterpError, RTRuntime, c_div, c_mod
+
+
+class VM(RTRuntime):
+    """Executes a lowered Root node via compiled register bytecode."""
+
+    def __init__(self, lowered_root: Node, ctx, *, workdir: str | Path = ".",
+                 nthreads: int = 1, program: BytecodeProgram | None = None):
+        super().__init__(workdir=workdir, nthreads=nthreads)
+        self.program = program or BytecodeProgram(lowered_root, ctx)
+        self._ops: dict[str, list] = {}
+        self._lifted_ops: dict[str, list] = {}
+
+    # -- entry points --------------------------------------------------------
+
+    def run_main(self, argv: list[str] | None = None) -> int:
+        if "main" not in self.program.functions:
+            raise InterpError("no main function")
+        out = self.call_function("main", [])
+        return int(out) if out is not None else 0
+
+    def call_function(self, name: str, args: list):
+        ops = self._ops.get(name)
+        if ops is None:
+            ops = bind(self.program.code_for(name), self)
+            self._ops[name] = ops
+        code = self.program.code_for(name)
+        if len(code.params) != len(args):
+            raise InterpError(
+                f"{name}: expected {len(code.params)} args, got {len(args)}")
+        return self._run(ops, code.nregs, args)
+
+    def _run(self, ops: list, nregs: int, args: list):
+        frame = [None] * nregs
+        frame[1:1 + len(args)] = args
+        pc = 0
+        n = len(ops)
+        while pc < n:
+            pc = ops[pc](frame)
+        return frame[0]
+
+    # -- pool regions --------------------------------------------------------
+
+    def _pool_run(self, fname: str, total: int, captures: list) -> None:
+        ops = self._lifted_ops.get(fname)
+        if ops is None:
+            ops = bind(self.program.lifted_code_for(fname), self)
+            self._lifted_ops[fname] = ops
+        code = self.program.lifted_code_for(fname)
+        self.stats.parallel_regions += 1
+        self.stats.region_sizes.append(total)
+        per = -(-total // self.nthreads)
+        for t in range(self.nthreads):
+            lo, hi = min(t * per, total), min((t + 1) * per, total)
+            if lo >= hi:
+                continue
+            self._run(ops, code.nregs, captures + [lo, hi])
+
+    def _spawn(self, target: int | None, callee: str, args: list, frame) -> None:
+        # Cilk sequential elision: run the spawned call inline.
+        self.stats.tasks_spawned += 1
+        result = self.call_function(callee, args)
+        if target is not None:
+            frame[target] = result
+
+
+def bind(code: Code, vm: VM) -> list:
+    """Thread a :class:`Code` for one VM: one closure per instruction."""
+    ops: list = []
+    end = len(code.instrs)
+    for i, ins in enumerate(code.instrs):
+        ops.append(_bind_one(ins, i + 1, end, vm))
+    return ops
+
+
+def _bind_one(ins: tuple, nxt: int, end: int, vm: VM):
+    op = ins[0]
+
+    if op == "const":
+        _, d, v = ins
+
+        def f(frame, d=d, v=v, nxt=nxt):
+            frame[d] = v
+            return nxt
+    elif op == "move":
+        _, d, a = ins
+
+        def f(frame, d=d, a=a, nxt=nxt):
+            frame[d] = frame[a]
+            return nxt
+    elif op == "+":
+        _, d, a, b = ins
+
+        def f(frame, d=d, a=a, b=b, nxt=nxt):
+            frame[d] = frame[a] + frame[b]
+            return nxt
+    elif op == "-":
+        _, d, a, b = ins
+
+        def f(frame, d=d, a=a, b=b, nxt=nxt):
+            frame[d] = frame[a] - frame[b]
+            return nxt
+    elif op == "*":
+        _, d, a, b = ins
+
+        def f(frame, d=d, a=a, b=b, nxt=nxt):
+            frame[d] = frame[a] * frame[b]
+            return nxt
+    elif op == "/":
+        _, d, a, b = ins
+
+        def f(frame, d=d, a=a, b=b, nxt=nxt):
+            frame[d] = c_div(frame[a], frame[b])
+            return nxt
+    elif op == "%":
+        _, d, a, b = ins
+
+        def f(frame, d=d, a=a, b=b, nxt=nxt):
+            frame[d] = c_mod(frame[a], frame[b])
+            return nxt
+    elif op == "<":
+        _, d, a, b = ins
+
+        def f(frame, d=d, a=a, b=b, nxt=nxt):
+            frame[d] = int(frame[a] < frame[b])
+            return nxt
+    elif op == "<=":
+        _, d, a, b = ins
+
+        def f(frame, d=d, a=a, b=b, nxt=nxt):
+            frame[d] = int(frame[a] <= frame[b])
+            return nxt
+    elif op == ">":
+        _, d, a, b = ins
+
+        def f(frame, d=d, a=a, b=b, nxt=nxt):
+            frame[d] = int(frame[a] > frame[b])
+            return nxt
+    elif op == ">=":
+        _, d, a, b = ins
+
+        def f(frame, d=d, a=a, b=b, nxt=nxt):
+            frame[d] = int(frame[a] >= frame[b])
+            return nxt
+    elif op == "==":
+        _, d, a, b = ins
+
+        def f(frame, d=d, a=a, b=b, nxt=nxt):
+            frame[d] = int(frame[a] == frame[b])
+            return nxt
+    elif op == "!=":
+        _, d, a, b = ins
+
+        def f(frame, d=d, a=a, b=b, nxt=nxt):
+            frame[d] = int(frame[a] != frame[b])
+            return nxt
+    elif op == "neg":
+        _, d, a = ins
+
+        def f(frame, d=d, a=a, nxt=nxt):
+            frame[d] = -frame[a]
+            return nxt
+    elif op == "not":
+        _, d, a = ins
+
+        def f(frame, d=d, a=a, nxt=nxt):
+            frame[d] = int(not frame[a])
+            return nxt
+    elif op == "bool":
+        _, d, a = ins
+
+        def f(frame, d=d, a=a, nxt=nxt):
+            frame[d] = int(bool(frame[a]))
+            return nxt
+    elif op == "jmp":
+        _, t = ins
+
+        def f(frame, t=t):
+            return t
+    elif op == "jz":
+        _, c, t = ins
+
+        def f(frame, c=c, t=t, nxt=nxt):
+            return nxt if frame[c] else t
+    elif op == "jnz":
+        _, c, t = ins
+
+        def f(frame, c=c, t=t, nxt=nxt):
+            return t if frame[c] else nxt
+    elif op == "cast_int":
+        _, d, a = ins
+
+        def f(frame, d=d, a=a, nxt=nxt):
+            frame[d] = int(frame[a])
+            return nxt
+    elif op == "cast_f32":
+        _, d, a = ins
+        f32 = np.float32
+
+        def f(frame, d=d, a=a, nxt=nxt, f32=f32):
+            frame[d] = float(f32(frame[a]))
+            return nxt
+    elif op == "rt_getf":
+        _, d, m, i = ins
+
+        def f(frame, d=d, m=m, i=i, nxt=nxt):
+            frame[d] = float(frame[m].data[int(frame[i])])
+            return nxt
+    elif op == "rt_setf":
+        _, m, i, v = ins
+        f32 = np.float32
+
+        def f(frame, m=m, i=i, v=v, nxt=nxt, f32=f32):
+            frame[m].data[int(frame[i])] = f32(frame[v])
+            return nxt
+    elif op == "rt_geti":
+        _, d, m, i = ins
+
+        def f(frame, d=d, m=m, i=i, nxt=nxt):
+            frame[d] = int(frame[m].data[int(frame[i])])
+            return nxt
+    elif op == "rt_seti":
+        _, m, i, v = ins
+
+        def f(frame, m=m, i=i, v=v, nxt=nxt):
+            frame[m].data[int(frame[i])] = int(frame[v])
+            return nxt
+    elif op == "rt_dim":
+        _, d, m, dim = ins
+
+        def f(frame, d=d, m=m, dim=dim, nxt=nxt):
+            frame[d] = int(frame[m].dims[int(frame[dim])])
+            return nxt
+    elif op == "rt_size":
+        _, d, m = ins
+
+        def f(frame, d=d, m=m, nxt=nxt):
+            frame[d] = frame[m].size
+            return nxt
+    elif op == "rc_inc":
+        _, a = ins
+        inc = vm._rc_inc
+
+        def f(frame, a=a, nxt=nxt, inc=inc):
+            inc(frame[a])
+            return nxt
+    elif op == "rc_dec":
+        _, a = ins
+        dec = vm._rc_dec
+
+        def f(frame, a=a, nxt=nxt, dec=dec):
+            dec(frame[a])
+            return nxt
+    elif op == "intr":
+        _, d, method, regs = ins
+        meth = getattr(vm, method)
+
+        def f(frame, d=d, meth=meth, regs=regs, nxt=nxt):
+            frame[d] = meth(*[frame[r] for r in regs])
+            return nxt
+    elif op == "call":
+        _, d, name, regs = ins
+        call = vm.call_function
+
+        def f(frame, d=d, name=name, regs=regs, nxt=nxt, call=call):
+            frame[d] = call(name, [frame[r] for r in regs])
+            return nxt
+    elif op == "tuple":
+        _, d, regs = ins
+
+        def f(frame, d=d, regs=regs, nxt=nxt):
+            frame[d] = tuple(frame[r] for r in regs)
+            return nxt
+    elif op == "tget":
+        _, d, src, idx = ins
+
+        def f(frame, d=d, src=src, idx=idx, nxt=nxt):
+            frame[d] = frame[src][idx]
+            return nxt
+    elif op == "pool":
+        _, fname, total, caps = ins
+        pool = vm._pool_run
+
+        def f(frame, fname=fname, total=total, caps=caps, nxt=nxt, pool=pool):
+            pool(fname, int(frame[total]), [frame[r] for r in caps])
+            return nxt
+    elif op == "spawn":
+        _, target, callee, regs = ins
+        spawn = vm._spawn
+
+        def f(frame, target=target, callee=callee, regs=regs, nxt=nxt,
+              spawn=spawn):
+            spawn(target, callee, [frame[r] for r in regs], frame)
+            return nxt
+    elif op == "fastloop":
+        _, plan, skip = ins
+        run = plan.run
+
+        def f(frame, run=run, skip=skip, nxt=nxt):
+            return skip if run(frame) else nxt
+    elif op == "ret":
+        _, r = ins
+
+        def f(frame, r=r, end=end):
+            frame[0] = frame[r]
+            return end
+    elif op == "ret_none":
+        def f(frame, end=end):
+            frame[0] = None
+            return end
+    else:  # pragma: no cover - compiler and VM opcode sets move together
+        raise InterpError(f"unknown opcode {op!r}")
+    return f

@@ -125,7 +125,11 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--check", action="store_true",
                     help="run semantic analysis only, print errors")
     ap.add_argument("--run", action="store_true",
-                    help="gcc-compile the generated C and run it in place")
+                    help="execute the program in place (see --engine)")
+    ap.add_argument("--engine", choices=("vm", "tree", "native"), default="vm",
+                    help="--run engine: register-bytecode VM with numpy-"
+                    "batched loops (default), the tree-walking reference "
+                    "interpreter, or gcc-compiled native code")
     ap.add_argument("--threads", type=int, default=4,
                     help="worker threads for --run (default 4)")
     ap.add_argument("--no-fusion", action="store_true",
@@ -177,18 +181,34 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {out_path}")
 
     if args.run:
-        from repro.cexec.gcc_backend import CompiledProgram, gcc_available
+        if args.engine == "native":
+            from repro.cexec.gcc_backend import CompiledProgram, gcc_available
 
-        if not gcc_available():
-            print("reproc: --run requires gcc", file=sys.stderr)
-            return 1
-        prog = CompiledProgram(result.c_source,
-                               keep_dir=str(src_path.parent / ".reproc-build"))
-        run = prog.run(nthreads=args.threads, collect_stats=False,
-                       cwd=src_path.parent)
-        sys.stdout.write(run.stdout)
-        sys.stderr.write(run.stderr)
-        return run.returncode
+            if not gcc_available():
+                print("reproc: --engine native requires gcc", file=sys.stderr)
+                return 1
+            prog = CompiledProgram(
+                result.c_source,
+                keep_dir=str(src_path.parent / ".reproc-build"))
+            run = prog.run(nthreads=args.threads, collect_stats=False,
+                           cwd=src_path.parent)
+            sys.stdout.write(run.stdout)
+            sys.stderr.write(run.stderr)
+            return run.returncode
+        from repro.cexec.interp import RuntimeTrap, make_engine
+
+        executor = make_engine(result.lowered, result.ctx, engine=args.engine,
+                               workdir=src_path.parent, nthreads=args.threads)
+        try:
+            rc = executor.run_main()
+        except RuntimeTrap as trap:
+            for line in executor.stdout:
+                print(line)
+            print(f"reproc: runtime error: {trap}", file=sys.stderr)
+            return 2  # what the C runtime's exit(2) reports
+        for line in executor.stdout:
+            print(line)
+        return rc
     return 0
 
 

@@ -53,10 +53,23 @@ class CompileResult:
     lowered: Node | None
     c_source: str | None
     ctx: CompileContext
+    _bytecode: object = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:
         return not self.errors
+
+    def bytecode(self):
+        """The compiled :class:`~repro.cexec.bytecode.BytecodeProgram`
+        for this result, built once and shared — many VMs (e.g. one per
+        test or per input set) can execute it without recompiling."""
+        if not self.ok:
+            raise CompileError(self.errors)
+        if self._bytecode is None:
+            from repro.cexec.bytecode import BytecodeProgram
+
+            self._bytecode = BytecodeProgram(self.lowered, self.ctx)
+        return self._bytecode
 
 
 class Translator:

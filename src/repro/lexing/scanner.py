@@ -64,6 +64,11 @@ class ContextAwareScanner:
             nfa = build_combined_nfa(terminal_set.regexes())
             dfa = build_scanner_dfa(nfa, do_minimize=minimize_dfa)
         self.dfa: DFA = dfa
+        # valid-set -> valid | layout.  The parser hands over one of a
+        # small number of per-state valid sets, but every token of every
+        # parse calls scan(); memoizing the union beats rebuilding the
+        # frozenset per token.
+        self._interesting: dict[frozenset[str], frozenset[str]] = {}
 
     # -- disambiguation -------------------------------------------------------
 
@@ -90,6 +95,9 @@ class ContextAwareScanner:
         valid terminal set.  EOF is reported as a token named ``$EOF`` when
         (and only when) it is in ``valid``."""
         pos = location.offset
+        interesting = self._interesting.get(valid)
+        if interesting is None:
+            interesting = self._interesting[valid] = valid | self.layout
 
         while True:
             if pos >= len(text):
@@ -100,7 +108,6 @@ class ContextAwareScanner:
                     location,
                 )
 
-            interesting = valid | self.layout
             best_end = None
             best_names: frozenset[str] = frozenset()
             for end, names in self.dfa.match_prefixes(text, pos):

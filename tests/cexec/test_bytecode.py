@@ -1,0 +1,341 @@
+"""Bytecode compiler + numpy fast-path units.
+
+High-level programs are covered differentially in
+``test_vm_differential.py``; here we poke the machinery directly:
+compile-time slot/jump/constant handling, fast-loop pattern matching,
+and — most importantly — every runtime *bail* path, each of which must
+fall back to the scalar loop and still produce exactly the tree-walker's
+behavior (including traps with correct partial state).
+"""
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.ag.tree import Node
+from repro.api import compile_source
+from repro.cexec import loopfast
+from repro.cexec.bytecode import BytecodeProgram, compile_function
+from repro.cexec.interp import Interpreter, InterpError, RTMat
+from repro.cexec.vm import VM
+
+
+def N(prod, *children):
+    return Node(prod, list(children))
+
+
+def slist(*ss):
+    lst = N("stmtNil")
+    for s in reversed(ss):
+        lst = N("stmtCons", s, lst)
+    return N("block", lst)
+
+
+def elist(*es):
+    lst = N("eNil")
+    for e in reversed(es):
+        lst = N("eCons", e, lst)
+    return lst
+
+
+def call(name, *args):
+    return N("call", name, elist(*args))
+
+
+def var(n):
+    return N("var", n)
+
+
+def i(v):
+    return N("intLit", v)
+
+
+def fl(v):
+    return N("floatLit", v)
+
+
+def for_loop(v, start, limit, body_stmts):
+    return N("forStmt",
+             N("forDecl", N("tRaw", "long"), v, start),
+             N("binop", "<", var(v), limit),
+             N("assign", var(v), N("binop", "+", var(v), i(1))),
+             slist(*body_stmts))
+
+
+def program(*funcs):
+    """funcs: (name, params, body) -> a Root node + empty ctx."""
+    tu = N("tuNil")
+    for name, params, body in reversed(funcs):
+        ps = N("paramNil")
+        for pt, pn in reversed(params):
+            ps = N("paramCons", N("param", N("tRaw", pt), pn), ps)
+        tu = N("tuCons", N("funcDef", N("tRaw", "int"), name, ps, body), tu)
+    return N("root", tu), types.SimpleNamespace(lifted=[])
+
+
+def both_engines(root, ctx, fname, make_args):
+    """Run ``fname`` on tree + vm with fresh args; assert identical
+    results (return value, matrix payloads) and return the vm result."""
+    results = []
+    for eng in (Interpreter, VM):
+        ex = eng(root, ctx)
+        args = make_args()
+        exc, ret = None, None
+        try:
+            ret = ex.call_function(fname, args)
+        except Exception as e:  # traps must match class and message
+            exc = (type(e).__name__, str(e))
+        results.append((ret, exc, [a.data.copy() if isinstance(a, RTMat)
+                                   else a for a in args]))
+    t, v = results
+    assert t[0] == v[0], f"return {t[0]} vs {v[0]}"
+    assert t[1] == v[1], f"exception {t[1]} vs {v[1]}"
+    for ta, va in zip(t[2], v[2]):
+        if isinstance(ta, np.ndarray):
+            assert np.array_equal(ta, va, equal_nan=True), "matrix differs"
+    return v
+
+
+def fmat(vals):
+    a = np.asarray(vals, dtype=np.float32).reshape(-1)
+    return RTMat("f", (a.size,), a)
+
+
+def imat(vals):
+    a = np.asarray(vals, dtype=np.int32).reshape(-1)
+    return RTMat("i", (a.size,), a)
+
+
+@pytest.fixture()
+def fastpath_counter(monkeypatch):
+    hits = {"ok": 0, "bail": 0}
+    orig = loopfast.Plan.run
+
+    def run(self, frame):
+        r = orig(self, frame)
+        hits["ok" if r else "bail"] += 1
+        return r
+    monkeypatch.setattr(loopfast.Plan, "run", run)
+    return hits
+
+
+class TestCompiler:
+    def test_float_literals_pooled_at_compile_time(self):
+        code = compile_function("f", [], slist(
+            N("returnStmt", fl(0.1))))
+        consts = [ins[2] for ins in code.instrs if ins[0] == "const"]
+        assert float(np.float32(0.1)) in consts  # narrowed once, here
+
+    def test_no_scope_objects_no_control_exceptions(self):
+        src = """int main() {
+            int s = 0;
+            for (int i = 0; i < 10; i = i + 1) {
+                if (i == 3) continue;
+                if (i > 7) break;
+                s = s + i;
+            }
+            return s;
+        }"""
+        cr = compile_source(src, [])
+        code = cr.bytecode().code_for("main")
+        ops = {ins[0] for ins in code.instrs}
+        assert "jmp" in ops and "jz" in ops  # break/continue are jumps
+        vm = VM(cr.lowered, cr.ctx, program=cr.bytecode())
+        interp = Interpreter(cr.lowered, cr.ctx)
+        assert vm.run_main() == interp.run_main() == (1 + 2 + 4 + 5 + 6 + 7)
+
+    def test_break_outside_loop_is_compile_error(self):
+        root, ctx = program(("f", [], slist(N("breakStmt"))))
+        with pytest.raises(InterpError, match="break outside loop"):
+            BytecodeProgram(root, ctx).code_for("f")
+
+    def test_unknown_function_lazy(self):
+        root, ctx = program(("f", [], slist(N("returnStmt", i(1)))))
+        bp = BytecodeProgram(root, ctx)
+        assert bp.code_for("f").name == "f"
+        with pytest.raises(InterpError, match="unknown function"):
+            bp.code_for("g")
+
+    def test_disassembly(self):
+        code = compile_function("f", ["x"], slist(
+            N("returnStmt", N("binop", "+", var("x"), i(2)))))
+        dis = code.dis()
+        assert "f(x)" in dis and "const" in dis and "ret" in dis
+
+    def test_embedded_assignment_operand_order(self):
+        # x + (x = 5): the left operand must be read before the store
+        root, ctx = program(("f", [("long", "x")], slist(
+            N("returnStmt",
+              N("binop", "+", var("x"), N("assign", var("x"), i(5)))))))
+        v = both_engines(root, ctx, "f", lambda: [37])
+        assert v[0] == 42
+
+    def test_shortcircuit_result_values(self):
+        src = """int main() {
+            int a = 3;
+            int b = 0;
+            return (a && 7) + (b || 0) * 10 + (b && 9) * 100 + (a || 0) * 1000;
+        }"""
+        cr = compile_source(src, [])
+        vm = VM(cr.lowered, cr.ctx)
+        assert vm.run_main() == Interpreter(cr.lowered, cr.ctx).run_main() == 1001
+
+
+class TestFastLoopMatching:
+    def test_elementwise_loop_gets_fastloop(self):
+        body = [N("exprStmt", call(
+            "rt_setf", var("dst"), var("k"),
+            N("binop", "+", call("rt_getf", var("a"), var("k")), fl(1.0))))]
+        root, ctx = program(("f", [("rt_mat*", "dst"), ("rt_mat*", "a")],
+                             slist(for_loop("k", i(0), call("rt_size", var("a")),
+                                            body))))
+        code = BytecodeProgram(root, ctx).code_for("f")
+        assert any(ins[0] == "fastloop" for ins in code.instrs)
+
+    def test_user_call_in_body_no_fastloop(self):
+        body = [N("exprStmt", call(
+            "rt_setf", var("dst"), var("k"), call("helper", var("k"))))]
+        root, ctx = program(
+            ("f", [("rt_mat*", "dst")],
+             slist(for_loop("k", i(0), i(4), body))),
+            ("helper", [("long", "k")], slist(N("returnStmt", var("k")))))
+        code = BytecodeProgram(root, ctx).code_for("f")
+        assert not any(ins[0] == "fastloop" for ins in code.instrs)
+
+    def test_nonunit_step_no_fastloop(self):
+        loop = N("forStmt",
+                 N("forDecl", N("tRaw", "long"), "k", i(0)),
+                 N("binop", "<", var("k"), i(8)),
+                 N("assign", var("k"), N("binop", "+", var("k"), i(2))),
+                 slist(N("exprStmt", call("rt_setf", var("m"), var("k"), fl(1.0)))))
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(loop)))
+        code = BytecodeProgram(root, ctx).code_for("f")
+        assert not any(ins[0] == "fastloop" for ins in code.instrs)
+
+    def test_accumulator_read_by_store_no_fastloop(self):
+        # s is folded AND stored per iteration: stale on the fast path
+        body = [
+            N("exprStmt", N("assign", var("s"), N(
+                "binop", "+", var("s"), call("rt_getf", var("a"), var("k"))))),
+            N("exprStmt", call("rt_setf", var("a"), var("k"), var("s"))),
+        ]
+        root, ctx = program(("f", [("rt_mat*", "a"), ("double", "s")],
+                             slist(for_loop("k", i(0), i(4), body))))
+        code = BytecodeProgram(root, ctx).code_for("f")
+        assert not any(ins[0] == "fastloop" for ins in code.instrs)
+
+
+class TestFastLoopRuntime:
+    def rmw_program(self):
+        # m[k] = m[k] * 2 — same-index read-then-write is vectorizable
+        body = [N("exprStmt", call(
+            "rt_setf", var("m"), var("k"),
+            N("binop", "*", call("rt_getf", var("m"), var("k")), fl(2.0))))]
+        return program(("f", [("rt_mat*", "m")], slist(
+            for_loop("k", i(0), call("rt_size", var("m")), body))))
+
+    def test_same_index_rmw_vectorizes(self, fastpath_counter):
+        root, ctx = self.rmw_program()
+        both_engines(root, ctx, "f", lambda: [fmat([1, 2, 3, 4])])
+        assert fastpath_counter["ok"] >= 1 and fastpath_counter["bail"] == 0
+
+    def test_shift_aliasing_bails_and_matches(self, fastpath_counter):
+        # m[k+1] = m[k]: a loop-carried dependence -> scalar propagation
+        body = [N("exprStmt", call(
+            "rt_setf", var("m"), N("binop", "+", var("k"), i(1)),
+            call("rt_getf", var("m"), var("k"))))]
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(
+            for_loop("k", i(0), i(3), body))))
+        code = BytecodeProgram(root, ctx).code_for("f")
+        assert any(ins[0] == "fastloop" for ins in code.instrs)
+        v = both_engines(root, ctx, "f", lambda: [fmat([5, 0, 0, 0])])
+        assert fastpath_counter["bail"] >= 1
+        assert list(v[2][0]) == [5, 5, 5, 5]  # scalar propagated
+
+    def test_out_of_bounds_bails_with_partial_state(self, fastpath_counter):
+        body = [N("exprStmt", call("rt_setf", var("m"), var("k"), fl(9.0)))]
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(
+            for_loop("k", i(0), i(10), body))))
+        v = both_engines(root, ctx, "f", lambda: [fmat([0, 0, 0])])
+        assert v[1] is not None and v[1][0] == "IndexError"
+        assert list(v[2][0]) == [9, 9, 9]  # stores before the trap landed
+        assert fastpath_counter["bail"] >= 1
+
+    def test_duplicate_store_indices_bail(self, fastpath_counter):
+        # m[k * 0] = k: every store hits element 0, last wins sequentially
+        body = [N("exprStmt", call(
+            "rt_setf", var("m"), N("binop", "*", var("k"), i(0)),
+            N("castE", N("tRaw", "double"), var("k"))))]
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(
+            for_loop("k", i(0), i(5), body))))
+        v = both_engines(root, ctx, "f", lambda: [fmat([0, 0])])
+        assert fastpath_counter["bail"] >= 1
+        assert v[2][0][0] == 4.0
+
+    def test_integer_division_bails(self, fastpath_counter):
+        # 7 / (k+1) is int/int: c_div truncation, not a numpy op
+        body = [N("exprStmt", call(
+            "rt_seti", var("m"), var("k"),
+            N("binop", "/", i(7), N("binop", "+", var("k"), i(1)))))]
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(
+            for_loop("k", i(0), i(4), body))))
+        v = both_engines(root, ctx, "f", lambda: [imat([0, 0, 0, 0])])
+        assert fastpath_counter["bail"] >= 1
+        assert list(v[2][0]) == [7, 3, 2, 1]
+
+    def test_non_float_accumulator_bails(self, fastpath_counter):
+        body = [N("exprStmt", N("assign", var("s"), N(
+            "binop", "+", var("s"), call("rt_geti", var("a"), var("k")))))]
+        root, ctx = program(("f", [("rt_mat*", "a"), ("long", "s")], slist(
+            for_loop("k", i(0), i(4), body),
+            N("returnStmt", var("s")))))
+        v = both_engines(root, ctx, "f", lambda: [imat([1, 2, 3, 4]), 100])
+        assert fastpath_counter["bail"] >= 1
+        assert v[0] == 110
+
+    def test_float_reduction_vectorizes_exactly(self, fastpath_counter):
+        body = [N("exprStmt", N("assign", var("s"), N(
+            "binop", "+", var("s"), call("rt_getf", var("a"), var("k")))))]
+        root, ctx = program(("f", [("rt_mat*", "a"), ("double", "s")], slist(
+            for_loop("k", i(0), call("rt_size", var("a")), body),
+            N("returnStmt", var("s")))))
+        rng = np.random.default_rng(0)
+        vals = (rng.normal(0, 1, 501) * 10.0 ** rng.integers(-8, 8, 501))
+        v = both_engines(root, ctx, "f", lambda: [fmat(vals), 0.125])
+        assert fastpath_counter["ok"] >= 1 and fastpath_counter["bail"] == 0
+
+    def test_product_reduction_vectorizes_exactly(self, fastpath_counter):
+        body = [N("exprStmt", N("assign", var("s"), N(
+            "binop", "*", var("s"), call("rt_getf", var("a"), var("k")))))]
+        root, ctx = program(("f", [("rt_mat*", "a"), ("double", "s")], slist(
+            for_loop("k", i(0), call("rt_size", var("a")), body),
+            N("returnStmt", var("s")))))
+        vals = np.random.default_rng(1).normal(1, 0.01, 200)
+        v = both_engines(root, ctx, "f", lambda: [fmat(vals), 1.0])
+        assert fastpath_counter["ok"] >= 1 and fastpath_counter["bail"] == 0
+
+    def test_trip_count_cap_bails(self, fastpath_counter, monkeypatch):
+        monkeypatch.setattr(loopfast, "MAX_TRIP", 4)
+        root, ctx = self.rmw_program()
+        both_engines(root, ctx, "f", lambda: [fmat(np.ones(10))])
+        assert fastpath_counter["bail"] >= 1
+
+    def test_zero_trip_loop(self, fastpath_counter):
+        root, ctx = self.rmw_program()
+        v = both_engines(root, ctx, "f", lambda: [fmat(np.zeros(0))])
+        assert v[1] is None
+        assert fastpath_counter["ok"] >= 1  # empty commit, scalar skipped
+
+    def test_float_divisor_zero_bails_to_scalar_trap(self, fastpath_counter):
+        # float division by zero: Python scalars raise ZeroDivisionError,
+        # numpy would emit inf — the fast path must hand over to scalar
+        body = [N("exprStmt", call(
+            "rt_setf", var("m"), var("k"),
+            N("binop", "/", fl(1.0), call("rt_getf", var("m"), var("k")))))]
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(
+            for_loop("k", i(0), call("rt_size", var("m")), body))))
+        v = both_engines(root, ctx, "f", lambda: [fmat([2.0, 0.0, 4.0])])
+        assert v[1] is not None and v[1][0] == "ZeroDivisionError"
+        assert v[2][0][0] == 0.5  # first iteration landed before the trap
+        assert fastpath_counter["bail"] >= 1

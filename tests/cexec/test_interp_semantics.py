@@ -95,6 +95,24 @@ class TestFloat32Semantics:
         )
         assert interp.stdout == [f"{float(np.float32(16777217.0)):g}"]
 
+    @pytest.mark.parametrize("ctype", ["float", "double", "tFloat"])
+    def test_cast_narrows_through_f32(self, ctype):
+        # a cast to float OR double must not smuggle float64 precision
+        # past the declared C type (tRaw "double" used to be a no-op)
+        from repro.ag.tree import Node
+        from repro.cexec.interp import cast_value
+
+        node = (Node("tRaw", [ctype]) if ctype in ("float", "double")
+                else Node(ctype, []))
+        assert cast_value(node, 16777217.0) == float(np.float32(16777217.0))
+
+    def test_cast_to_int_truncates(self):
+        from repro.ag.tree import Node
+        from repro.cexec.interp import cast_value
+
+        assert cast_value(Node("tRaw", ["long"]), -2.9) == -2
+        assert cast_value(Node("tInt", []), 3.7) == 3
+
 
 class TestRuntimeTraps:
     def test_messages_match_c_runtime(self, xc):

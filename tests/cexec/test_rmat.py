@@ -37,6 +37,17 @@ class TestRoundtrip:
         write_rmat(tmp_path / "x", a)
         assert np.array_equal(read_rmat(tmp_path / "x"), a)
 
+    def test_rank0_roundtrip_float(self, tmp_path):
+        a = np.float32(3.25)  # 0-d: a scalar matrix, one element
+        write_rmat(tmp_path / "x", a)
+        got = read_rmat(tmp_path / "x")
+        assert got.shape == () and got == a
+
+    def test_rank0_roundtrip_int(self, tmp_path):
+        write_rmat(tmp_path / "x", np.int32(-7))
+        got = read_rmat(tmp_path / "x")
+        assert got.shape == () and got == -7
+
     def test_bad_magic(self, tmp_path):
         (tmp_path / "x").write_bytes(b"NOPE1234")
         with pytest.raises(RMATError, match="not an RMAT"):
@@ -53,6 +64,41 @@ class TestRoundtrip:
     def test_unsupported_dtype(self, tmp_path):
         with pytest.raises(RMATError, match="unsupported"):
             write_rmat(tmp_path / "x", np.array(["a", "b"]))
+
+    def test_truncated_header(self, tmp_path):
+        (tmp_path / "x").write_bytes(b"RMAT\x01\x00")
+        with pytest.raises(RMATError, match="truncated header"):
+            read_rmat(tmp_path / "x")
+
+    def test_truncated_dims(self, tmp_path):
+        a = np.zeros((2, 3), dtype=np.float32)
+        write_rmat(tmp_path / "x", a)
+        data = (tmp_path / "x").read_bytes()
+        (tmp_path / "x").write_bytes(data[:4 + 8 + 8 + 4])  # mid-dims cut
+        with pytest.raises(RMATError, match="truncated dimension"):
+            read_rmat(tmp_path / "x")
+
+    def test_corrupt_payload_not_word_aligned(self, tmp_path):
+        a = np.zeros(3, dtype=np.float32)
+        write_rmat(tmp_path / "x", a)
+        data = (tmp_path / "x").read_bytes()
+        (tmp_path / "x").write_bytes(data[:-2])
+        with pytest.raises(RMATError, match="corrupt payload"):
+            read_rmat(tmp_path / "x")
+
+    def test_negative_rank(self, tmp_path):
+        import struct
+
+        (tmp_path / "x").write_bytes(b"RMAT" + struct.pack("<ii", 1, -1))
+        with pytest.raises(RMATError, match="negative rank"):
+            read_rmat(tmp_path / "x")
+
+    def test_bad_element_kind(self, tmp_path):
+        import struct
+
+        (tmp_path / "x").write_bytes(b"RMAT" + struct.pack("<ii", 9, 0))
+        with pytest.raises(RMATError, match="bad element kind"):
+            read_rmat(tmp_path / "x")
 
 
 @settings(max_examples=50, deadline=None)

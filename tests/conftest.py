@@ -44,10 +44,18 @@ def host_translator():
 
 
 class XCRunner:
-    """Translate + interpret extended-C programs inside a test tmpdir."""
+    """Translate + execute extended-C programs inside a test tmpdir.
 
-    def __init__(self, tmp_path, extensions=("matrix",), **opt_kwargs):
+    ``engine`` picks the Python execution engine: ``"vm"`` (the default
+    register-bytecode VM, so the whole suite exercises it) or ``"tree"``
+    (the tree-walking reference).  Both expose the same ``stats`` and
+    ``stdout`` surface on the returned executor.
+    """
+
+    def __init__(self, tmp_path, extensions=("matrix",), engine="vm",
+                 **opt_kwargs):
         self.tmp_path = tmp_path
+        self.engine = engine
         self.translator = get_translator(tuple(extensions), **opt_kwargs)
 
     def check(self, source: str) -> list[str]:
@@ -65,8 +73,14 @@ class XCRunner:
         assert result.ok, "\n".join(result.errors)
         for name, arr in (inputs or {}).items():
             write_rmat(self.tmp_path / name, arr)
-        interp = Interpreter(result.lowered, result.ctx,
-                             workdir=self.tmp_path, nthreads=nthreads)
+        if self.engine == "tree":
+            interp = Interpreter(result.lowered, result.ctx,
+                                 workdir=self.tmp_path, nthreads=nthreads)
+        else:
+            from repro.cexec.vm import VM
+
+            interp = VM(result.lowered, result.ctx, workdir=self.tmp_path,
+                        nthreads=nthreads, program=result.bytecode())
         rc = interp.run_main()
         outs = {}
         for name in outputs or []:

@@ -66,13 +66,45 @@ def test_ablation_flags_change_output(workdir):
 
 
 @pytest.mark.skipif(not gcc_available(), reason="gcc not available")
-def test_run_mode(workdir):
+def test_run_mode_native(workdir):
     rc = main([str(workdir / "prog.xc"), "-x", "matrix", "--run",
-               "--threads", "2"])
+               "--engine", "native", "--threads", "2"])
     assert rc == 0
     got = read_rmat(workdir / "means.data")
     want = read_rmat(workdir / "ssh.data").mean(axis=2)
     assert np.allclose(got, want, atol=1e-5)
+
+
+@pytest.mark.parametrize("engine", ["vm", "tree"])
+def test_run_mode_python_engines(workdir, engine):
+    """--run needs no gcc on the Python engines (vm is the default)."""
+    rc = main([str(workdir / "prog.xc"), "-x", "matrix", "--run",
+               "--engine", engine, "--threads", "2"])
+    assert rc == 0
+    got = read_rmat(workdir / "means.data")
+    want = read_rmat(workdir / "ssh.data").mean(axis=2)
+    assert np.allclose(got, want, atol=1e-5)
+
+
+def test_run_default_engine_is_vm(workdir):
+    rc = main([str(workdir / "prog.xc"), "-x", "matrix", "--run"])
+    assert rc == 0
+    assert (workdir / "means.data").exists()
+
+
+def test_run_trap_exits_2(tmp_path, capsys):
+    (tmp_path / "trap.xc").write_text("""
+        int main() {
+            Matrix float <1> a = init(Matrix float <1>, 4);
+            Matrix float <1> b = init(Matrix float <1>, 5);
+            Matrix float <1> c = a + b;
+            writeMatrix("c.data", c);
+            return 0;
+        }
+    """)
+    rc = main([str(tmp_path / "trap.xc"), "-x", "matrix", "--run"])
+    assert rc == 2
+    assert "runtime error" in capsys.readouterr().err
 
 
 def test_unknown_extension(workdir, capsys):
