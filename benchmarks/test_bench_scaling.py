@@ -1,39 +1,67 @@
-"""E-S5: thread scaling and the enhanced fork-join model (§III-C).
+"""E-S5 / E-PAR: fork-join scaling, measured (§III-C).
 
 The paper: with-loop code "scales nearly linearly with the number of
 cores on the machine with two 6-core processors"; the enhanced fork-join
 model (pool + spin lock) exists because naive per-construct thread
 creation "pays the price of creating and destroying threads each time".
 
-This container has ONE vCPU (see DESIGN.md substitutions), so:
+With the S23 in-process pool the VM half of this experiment is now
+*measured*, not modelled: fig1's temporal mean is timed at 1/2/4 pool
+workers and the wall-clock curve lands in ``BENCH_parallel.json``.  The
+numpy fast path releases the GIL for its batched loop bodies, so shards
+genuinely overlap on a multi-core host.  Gates:
 
-* the fork-join *overheads* are measured natively (thread create/join is
-  real regardless of core count);
-* the per-element work ``t_iter`` is measured from the translated Fig 1
-  binary;
-* the scaling curve at the paper's scale (721 x 1440 surface points) is
-  regenerated from the work/overhead model with those constants, and the
-  near-linear-to-12-threads shape is asserted;
-* native runs at several RT_THREADS settings check correctness and
-  record the honest 1-core timings.
+* on a >=4-core runner (GitHub CI), >=1.6x speedup at 4 workers;
+* on this 1-vCPU container (see DESIGN.md substitutions), only bounded
+  overhead is asserted and the honest timings are recorded with the
+  core count;
+* enhanced vs naive fork-join is compared for real by running the same
+  region-heavy program under ``fork_mode="naive"`` (fresh threads per
+  construct, the model the paper rejects).
+
+Native gcc runs keep their original role: thread-creation overhead is
+real regardless of core count, and RT_THREADS runs check correctness.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the workload.
 """
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.api import Optimizations, compile_source
+from repro.api import compile_source
 from repro.cexec import CompiledProgram, gcc_available
-from repro.codegen.scaling import (
-    ForkJoinCosts,
-    calibrated_costs,
-    crossover_work,
-    format_curve,
-    predicted_time_us,
-    scaling_curve,
-)
+from repro.cexec.rmat import read_rmat, write_rmat
+from repro.cexec.vm import VM
+from repro.codegen.scaling import ForkJoinCosts, calibrated_costs
 from repro.programs import load
 
-PAPER_SURFACE_POINTS = 721 * 1440  # the AVISO grid of §IV
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+# Few outer rows, huge time dimension: the per-(i,j) fold is one numpy
+# pass over T elements, so almost all region time is GIL-released and
+# the 8-row outer space still splits evenly over 4 workers.
+SHAPE = (8, 2, 20_000) if SMOKE else (8, 4, 200_000)
+REPEATS = 3 if SMOKE else 5
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_FILE = REPO_ROOT / "BENCH_parallel.json"
+
+
+def _merge_bench(update: dict) -> None:
+    record = {}
+    if BENCH_FILE.exists():
+        try:
+            record = json.loads(BENCH_FILE.read_text())
+        except ValueError:
+            record = {}
+    record.update(update)
+    BENCH_FILE.write_text(json.dumps(record, indent=2) + "\n")
 
 
 @pytest.fixture(scope="module")
@@ -42,75 +70,135 @@ def costs() -> ForkJoinCosts:
 
 
 @pytest.fixture(scope="module")
-def t_iter_us() -> float:
-    """Per-surface-point cost of the generated Fig 1 loop body, measured
-    natively when gcc is available (falls back to a documented value)."""
-    if not gcc_available():
-        return 0.5
-    import time
-
-    cube = np.random.default_rng(0).normal(0, 1, (96, 96, 64)).astype(np.float32)
-    result = compile_source(load("fig1"), ["matrix"],
-                            options=Optimizations(parallelize=False))
-    prog = CompiledProgram(result.c_source)
-    try:
-        best = float("inf")
-        for _ in range(3):
-            t0 = time.perf_counter()
-            prog.run({"ssh.data": cube}, output_names=["means.data"],
-                     collect_stats=False)
-            best = min(best, time.perf_counter() - t0)
-    finally:
-        prog.cleanup()
-    points = 96 * 96
-    return best * 1e6 / points
+def fig1(tmp_path_factory):
+    wd = tmp_path_factory.mktemp("fig1scale")
+    cube = np.random.default_rng(0).normal(0, 0.4, SHAPE).astype(np.float32)
+    write_rmat(wd / "ssh.data", cube)
+    cr = compile_source(load("fig1"), ["matrix"])
+    assert cr.ok, cr.errors
+    cr.bytecode()  # compile once, outside every timed region
+    # Warm run: page cache for ssh.data, memoized register code.
+    vm = VM(cr.lowered, cr.ctx, workdir=wd, nthreads=1, program=cr.bytecode())
+    assert vm.run_main() == 0
+    vm.close()
+    return cr, wd, cube
 
 
-class TestCostModel:
-    def test_measured_thread_create_cost(self, costs):
-        # thread creation really was measured on this machine (if gcc)
-        if gcc_available():
-            assert "t_create_us" in costs.measured
-            assert costs.t_create_us > 0.5  # creating a thread is not free
+def _timed_run(cr, wd, nthreads, fork_mode="enhanced", repeats=REPEATS):
+    """Best-of wall-clock for a full fig1 run at the given pool size."""
+    best = float("inf")
+    regions = 0
+    for _ in range(repeats):
+        vm = VM(cr.lowered, cr.ctx, workdir=wd, nthreads=nthreads,
+                program=cr.bytecode(), fork_mode=fork_mode)
+        t0 = time.perf_counter()
+        rc = vm.run_main()
+        best = min(best, time.perf_counter() - t0)
+        regions = vm.stats.parallel_regions
+        vm.close()
+        assert rc == 0
+    return best, regions, read_rmat(wd / "means.data")
 
-    def test_near_linear_scaling_at_paper_scale(self, costs, t_iter_us):
-        """The paper's headline: near-linear speedup up to 12 threads."""
-        curve = scaling_curve(PAPER_SURFACE_POINTS, t_iter_us, costs,
-                              max_threads=12)
-        print()
-        print(format_curve(curve, f"enhanced fork-join, W={PAPER_SURFACE_POINTS}, "
-                                  f"t_iter={t_iter_us:.2f}us"))
-        s12 = curve[-1].speedup
-        assert s12 > 10.0, f"speedup at 12 threads only {s12:.2f}"
-        # monotone and efficiency stays high
-        for a, b in zip(curve, curve[1:]):
-            assert b.speedup > a.speedup
-        assert all(pt.efficiency > 0.9 for pt in curve)
 
-    def test_naive_model_scales_worse_on_small_work(self, costs, t_iter_us):
-        small = 2_000
-        enh = scaling_curve(small, t_iter_us, costs, max_threads=12,
-                            model="enhanced")
-        nai = scaling_curve(small, t_iter_us, costs, max_threads=12,
-                            model="naive")
-        assert enh[-1].speedup > nai[-1].speedup
+class TestMeasuredVMScaling:
+    """E-PAR: measured wall-clock speedup of the S23 pool on fig1."""
 
-    def test_crossover_much_smaller_for_enhanced(self, costs, t_iter_us):
-        """Where parallelism starts to pay: the pool's crossover work size
-        is far below naive fork-join's."""
-        enh = crossover_work(t_iter_us, costs, 4, model="enhanced")
-        nai = crossover_work(t_iter_us, costs, 4, model="naive")
-        print(f"\ncrossover W (4 threads): enhanced={enh}, naive={nai}, "
-              f"ratio={nai / max(enh, 1):.1f}x")
-        assert nai > 5 * enh
+    def test_measured_scaling_curve(self, fig1):
+        cr, wd, cube = fig1
+        times = {}
+        reference = None
+        for n in (1, 2, 4):
+            secs, regions, out = _timed_run(cr, wd, n)
+            assert regions >= 1
+            if reference is None:
+                reference = out
+                assert np.allclose(out, cube.mean(axis=2, dtype=np.float64),
+                                   atol=1e-2)
+            else:
+                assert np.array_equal(reference, out), \
+                    f"nthreads={n} changed the result"
+            times[n] = secs
+        naive_secs, _, naive_out = _timed_run(cr, wd, 4, fork_mode="naive")
+        assert np.array_equal(reference, naive_out)
 
-    def test_overheads_monotone_in_threads(self, costs):
-        for p in range(2, 12):
-            assert costs.enhanced_overhead_us(p + 1) >= costs.enhanced_overhead_us(p)
-            assert costs.naive_overhead_us(p + 1) > costs.naive_overhead_us(p)
-        # per-region: the pool must be cheaper than creating threads
-        for p in range(2, 13):
-            assert costs.enhanced_overhead_us(p) < costs.naive_overhead_us(p)
+        cpus = os.cpu_count() or 1
+        curve = [{"threads": n, "seconds": round(times[n], 4),
+                  "speedup": round(times[1] / times[n], 2)}
+                 for n in (1, 2, 4)]
+        speedup4 = times[1] / times[4]
+        _merge_bench({
+            "experiment": "E-PAR",
+            "workload": "fig1 temporal mean (VM, S23 pool)",
+            "shape": list(SHAPE),
+            "smoke": SMOKE,
+            "cpus": cpus,
+            "curve": curve,
+            "naive_fork_join_4_seconds": round(naive_secs, 4),
+            "enhanced_over_naive_at_4": round(naive_secs / times[4], 2),
+            "gate": {"required_speedup_at_4": 1.6,
+                     "enforced": cpus >= 4,
+                     "measured_speedup_at_4": round(speedup4, 2)},
+            "python": platform.python_version(),
+        })
+        print("\n" + "  ".join(
+            f"{c['threads']}w {c['seconds']*1e3:.0f}ms ({c['speedup']:.2f}x)"
+            for c in curve) + f"  naive4 {naive_secs*1e3:.0f}ms")
+        if cpus >= 4:
+            assert speedup4 >= 1.6, \
+                f"only {speedup4:.2f}x at 4 workers on {cpus} cores"
+        else:
+            # One core: no speedup possible, but the pool must not cost
+            # much either (shard dispatch is condition waits, not spins).
+            assert times[4] <= 2.5 * times[1], \
+                f"pool overhead {times[4]/times[1]:.2f}x on {cpus} core(s)"
+
+    def test_enhanced_pool_beats_naive_on_small_regions(self, tmp_path):
+        """The paper's argument for the pool, measured in-process: many
+        tiny parallel constructs are where per-region thread creation
+        hurts.  200 regions x fresh threads vs one persistent pool."""
+        reps = 50 if SMOKE else 200
+        src = """
+        int work(int reps) {
+            Matrix float <1> v = init(Matrix float <1>, 64);
+            for (int r = 0; r < reps; r = r + 1) {
+                v = with ([0] <= [i] < [64]) genarray([64], 1.0 * i);
+            }
+            return 0;
+        }
+        int main() { return work(%d); }
+        """ % reps
+        cr = compile_source(src, ["matrix"])
+        assert cr.ok, cr.errors
+        cr.bytecode()
+
+        def best_of(fork_mode):
+            best = float("inf")
+            for _ in range(3):
+                vm = VM(cr.lowered, cr.ctx, workdir=tmp_path, nthreads=2,
+                        program=cr.bytecode(), fork_mode=fork_mode)
+                t0 = time.perf_counter()
+                assert vm.run_main() == 0
+                best = min(best, time.perf_counter() - t0)
+                assert vm.stats.parallel_regions == reps
+                vm.close()
+            return best
+
+        enhanced = best_of("enhanced")
+        naive = best_of("naive")
+        per_region_us = (naive - enhanced) / reps * 1e6
+        _merge_bench({
+            "pool_vs_naive": {
+                "regions": reps,
+                "enhanced_seconds": round(enhanced, 4),
+                "naive_seconds": round(naive, 4),
+                "per_region_saving_us": round(per_region_us, 1),
+            },
+        })
+        print(f"\nenhanced {enhanced*1e3:.1f}ms  naive {naive*1e3:.1f}ms  "
+              f"saving {per_region_us:.0f}us/region")
+        # Soft gate (timing on shared runners is noisy): the persistent
+        # pool must never lose badly to spawn-per-construct.
+        assert naive >= 0.9 * enhanced
 
 
 @pytest.mark.skipif(not gcc_available(), reason="gcc not available")

@@ -124,8 +124,9 @@ def run_source(
     engine: str = "vm",
     workdir=None,
     output_names: list[str] | None = None,
-    nthreads: int = 1,
+    nthreads: int | None = None,
     options: Optimizations | None = None,
+    fork_mode: str = "enhanced",
 ):
     """Translate and execute on a Python engine in one call.
 
@@ -133,6 +134,12 @@ def run_source(
     numpy-batched loops; ``engine="tree"`` runs the tree-walking
     reference interpreter.  Returns ``(rc, outputs, stats, executor)``
     — see :func:`repro.cexec.interp.run_program`.
+
+    ``nthreads`` sizes the VM's fork-join worker pool (S23); ``None``
+    defers to the ``REPRO_THREADS`` environment variable, defaulting to
+    sequential.  Parallel runs are observationally identical to
+    sequential ones.  ``fork_mode="naive"`` selects the measured-overhead
+    spawn-per-construct comparison model (benchmarks only).
     """
     from repro.cexec.interp import run_program
 
@@ -145,6 +152,7 @@ def run_source(
         nthreads=nthreads,
         options=options,
         engine=engine,
+        fork_mode=fork_mode,
     )
 
 

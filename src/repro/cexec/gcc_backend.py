@@ -76,12 +76,15 @@ class CompiledProgram:
         inputs: dict[str, np.ndarray] | None = None,
         *,
         output_names: list[str] | None = None,
-        nthreads: int = 1,
+        nthreads: int | None = None,
         timeout: float = 120.0,
         collect_stats: bool = True,
         argv: list[str] | None = None,
         cwd: str | Path | None = None,
     ) -> RunResult:
+        from repro.cexec.parallel import resolve_nthreads
+
+        nthreads = resolve_nthreads(nthreads)
         rundir = Path(cwd) if cwd else self.workdir
         for name, arr in (inputs or {}).items():
             write_rmat(rundir / name, arr)

@@ -67,6 +67,21 @@ class InterpStats:
     def leaked(self) -> int:
         return self.allocs - self.frees
 
+    def merge(self, other: "InterpStats") -> "InterpStats":
+        """Fold another stats record into this one (left-to-right).
+
+        Used by the S23 fork-join pool to combine per-worker/per-task
+        counters into the parent: counts add, ``region_sizes`` appends in
+        shard order — so a pooled run's merged stats are identical to the
+        sequential run's."""
+        self.allocs += other.allocs
+        self.frees += other.frees
+        self.copies += other.copies
+        self.parallel_regions += other.parallel_regions
+        self.tasks_spawned += other.tasks_spawned
+        self.region_sizes.extend(other.region_sizes)
+        return self
+
 
 class _Break(Exception):
     pass
@@ -158,6 +173,10 @@ class RTRuntime:
         self.nthreads = max(1, nthreads)
         self.stats = InterpStats()
         self.stdout: list[str] = []
+
+    def close(self) -> None:
+        """Release execution resources.  The base runtime holds none;
+        the VM overrides this to quiesce its fork-join worker pool."""
 
     # -- refcounting ---------------------------------------------------------
 
@@ -577,14 +596,22 @@ ENGINES = ("vm", "tree")
 
 
 def make_engine(lowered, ctx, *, engine: str = "vm",
-                workdir: str | Path = ".", nthreads: int = 1) -> RTRuntime:
+                workdir: str | Path = ".", nthreads: int = 1,
+                fork_mode: str = "enhanced", program=None) -> RTRuntime:
     """An executor for a lowered tree: the bytecode VM (default) or the
     tree-walking reference interpreter.  Both expose ``run_main``,
-    ``call_function``, ``stats`` and ``stdout``."""
+    ``call_function``, ``stats`` and ``stdout``.
+
+    ``nthreads > 1`` gives the VM an S23 fork-join worker pool
+    (``fork_mode`` picks the enhanced persistent pool or the naive
+    spawn-per-construct model); the tree-walker is always sequential and
+    ignores both.  ``program`` may supply a prebuilt
+    :class:`~repro.cexec.bytecode.BytecodeProgram` to the VM."""
     if engine in ("vm", "bytecode"):
         from repro.cexec.vm import VM
 
-        return VM(lowered, ctx, workdir=workdir, nthreads=nthreads)
+        return VM(lowered, ctx, workdir=workdir, nthreads=nthreads,
+                  fork_mode=fork_mode, program=program)
     if engine in ("tree", "interp"):
         return Interpreter(lowered, ctx, workdir=workdir, nthreads=nthreads)
     raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
@@ -597,20 +624,27 @@ def run_program(
     *,
     workdir: str | Path | None = None,
     output_names: list[str] | None = None,
-    nthreads: int = 1,
+    nthreads: int | None = None,
     options=None,
     engine: str = "vm",
+    fork_mode: str = "enhanced",
 ) -> tuple[int, dict[str, np.ndarray], InterpStats, "RTRuntime"]:
     """Translate and execute an extended-C program with RMAT inputs.
 
     ``engine`` selects the Python execution engine: ``"vm"`` (register
     bytecode + numpy-batched loops, the default) or ``"tree"`` (the
     tree-walking reference).  Both produce identical observable behavior.
+
+    ``nthreads`` sizes the VM's S23 fork-join pool; ``None`` defers to
+    the ``REPRO_THREADS`` environment variable (default 1).  Any thread
+    count is observationally identical to ``nthreads=1``.
     """
     import tempfile
 
     from repro.api import compile_source
+    from repro.cexec.parallel import resolve_nthreads
 
+    nthreads = resolve_nthreads(nthreads)
     cr = compile_source(source, extensions, options=options, nthreads=nthreads)
     if not cr.ok:
         raise InterpError("translation failed:\n" + "\n".join(cr.errors))
@@ -619,8 +653,11 @@ def run_program(
     for name, arr in (inputs or {}).items():
         write_rmat(wd / name, arr)
     executor = make_engine(cr.lowered, cr.ctx, engine=engine,
-                           workdir=wd, nthreads=nthreads)
-    rc = executor.run_main()
+                           workdir=wd, nthreads=nthreads, fork_mode=fork_mode)
+    try:
+        rc = executor.run_main()
+    finally:
+        executor.close()  # quiesce and release any worker pool
     outputs = {}
     for name in output_names or []:
         path = wd / name

@@ -24,6 +24,15 @@ commit phase (which cannot fail) write stores and accumulators back.
 
 Allocation/copy/region stats are untouched by design: the matched
 statement forms never allocate, copy, or open pool regions.
+
+Thread-safety contract (S23): one :class:`Plan` is embedded in its
+function's *shared* instruction array, and the fork-join pool executes
+that same array concurrently on every worker, each with a private frame
+over a disjoint chunk of the iteration space.  :meth:`Plan.run` must
+therefore stay reentrant — all per-execution state lives in the
+per-call :class:`_Run`, never on the plan — and its numpy batch
+operations are exactly the calls that release the GIL, which is what
+makes sharding profitable at all.
 """
 
 from __future__ import annotations

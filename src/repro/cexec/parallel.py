@@ -1,0 +1,322 @@
+"""S23: shared-memory fork-join runtime for the bytecode VM.
+
+This is the in-process Python analogue of the generated C runtime's
+*enhanced fork-join* pool (S13, paper §III-C, following SAC [14]):
+
+* **Workers are created once** per :class:`WorkerPool` (i.e. once per
+  ``run_program``), not once per parallel construct.  The C pool parks
+  idle workers in a spin lock on a generation counter; burning a core to
+  spin is exactly wrong under the GIL, so the Python pool parks them in
+  a :class:`threading.Condition` wait instead — the *start signal* is a
+  generation bump plus a notify, the *stop barrier* is a done-counter
+  the dispatching thread waits on.  The structure (generation counter,
+  per-worker chunk, done-count barrier, inline execution of nested
+  regions) mirrors ``rt_pool_*`` in :mod:`repro.codegen.runtime_c`.
+
+* **Fork-join regions** (`run_region`): the caller passes one shard
+  closure per thread; worker *t* executes shard *t+1* while the
+  dispatching thread executes shard 0, then waits at the stop barrier.
+  Dispatch is refused (returns ``False``) off the owner thread or while
+  a region is already active — the caller then runs its shards inline,
+  which is how nested parallel constructs degrade, exactly like the C
+  runtime's ``rt_pool_region_active`` fallback.
+
+* **Cilk tasks** (`submit` / `wait_task`): spawned calls are queued to
+  the same workers, bounded by a live-task cap (the C runtime's
+  ``RT_MAX_LIVE_TASKS``); a full pool makes ``submit`` return ``None``
+  and the caller falls back to sequential elision.  ``wait_task`` *helps*:
+  while the awaited task is unfinished the waiting thread drains and
+  executes other queued tasks, so a task that spawns and syncs inside a
+  worker can never deadlock the pool.
+
+Why threads pay at all under the GIL: the VM's hot loops execute as
+numpy batch operations (:mod:`repro.cexec.loopfast`), and numpy releases
+the GIL inside its C loops — so sharding the *outer* iteration space
+across this pool runs the vectorized inner work on all cores while only
+the thin dispatch layer serializes.
+
+:class:`NaiveForkJoin` implements the model the paper's §III-C argues
+against — creating and joining threads for every construct — behind the
+same interface, so the enhanced-vs-naive overhead comparison (E-S5) can
+be *measured* on real VM executions rather than only modeled.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from typing import Callable
+
+# Mirrors RT_MAX_LIVE_TASKS in the generated C runtime (repro.codegen
+# .runtime_c): spawns beyond this many live tasks run inline.
+DEFAULT_TASK_CAP = 64
+
+
+def resolve_nthreads(nthreads: int | None = None, *, default: int = 1) -> int:
+    """Resolve a thread count: an explicit value wins, else the
+    ``REPRO_THREADS`` environment variable, else ``default``.
+    The result is clamped to at least 1."""
+    if nthreads is not None:
+        return max(1, int(nthreads))
+    env = os.environ.get("REPRO_THREADS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, default)
+
+
+class Task:
+    """One queued Cilk task: a thunk plus completion state.
+
+    ``fn`` must capture everything it needs and store its own results;
+    the pool records only an exception (re-raised by the VM at sync, in
+    spawn order)."""
+
+    __slots__ = ("fn", "exc", "_event")
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn = fn
+        self.exc: BaseException | None = None
+        self._event = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self) -> None:
+        self._event.wait()
+
+
+class WorkerPool:
+    """Persistent enhanced fork-join pool: ``nthreads - 1`` workers plus
+    the owning thread, shared by pool regions and Cilk tasks."""
+
+    def __init__(self, nthreads: int, *, task_cap: int = DEFAULT_TASK_CAP):
+        self.nthreads = max(1, int(nthreads))
+        self.task_cap = task_cap
+        self._owner_ident = threading.get_ident()
+        self._cond = threading.Condition()
+        self._shutdown = False
+        # fork-join region state (guarded by _cond)
+        self._generation = 0
+        self._shards: list[Callable[[], None]] = []
+        self._done = 0
+        self._region_active = False  # touched only by the owner thread
+        # task state (guarded by _cond)
+        self._tasks: deque[Task] = deque()
+        self._live_tasks = 0
+        # observability counters (tests, benchmarks)
+        self.regions_dispatched = 0
+        self.tasks_pooled = 0
+        self._threads = [
+            threading.Thread(target=self._worker, args=(i,), daemon=True,
+                             name=f"repro-pool-{i}")
+            for i in range(self.nthreads - 1)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- worker loop ---------------------------------------------------------
+
+    def _worker(self, idx: int) -> None:
+        seen = 0
+        while True:
+            shard = task = None
+            with self._cond:
+                while not (self._shutdown or self._generation != seen
+                           or self._tasks):
+                    self._cond.wait()
+                if self._shutdown:
+                    return
+                if self._generation != seen:
+                    # A new region released the pool: take this worker's
+                    # shard (the dispatching thread runs shard 0 itself).
+                    seen = self._generation
+                    if idx + 1 < len(self._shards):
+                        shard = self._shards[idx + 1]
+                elif self._tasks:
+                    task = self._tasks.popleft()
+            if shard is not None:
+                try:
+                    shard()  # contract: shard closures never raise
+                finally:
+                    with self._cond:
+                        self._done += 1
+                        self._cond.notify_all()  # wake the stop barrier
+            elif task is not None:
+                self._run_task(task)
+
+    # -- fork-join regions ---------------------------------------------------
+
+    def run_region(self, shards: list[Callable[[], None]]) -> bool:
+        """Execute ``shards`` as one fork-join region; ``True`` when the
+        pool ran them, ``False`` when the caller must run them inline
+        (off-owner-thread or nested dispatch — the C runtime's
+        ``rt_pool_region_active`` path).
+
+        Shard closures must not raise; the VM wraps each shard to record
+        its exception for deterministic first-trap-wins re-raising."""
+        if len(shards) > self.nthreads:
+            raise ValueError(
+                f"{len(shards)} shards for a {self.nthreads}-thread pool")
+        if (threading.get_ident() != self._owner_ident
+                or self._region_active or self._shutdown):
+            return False
+        if len(shards) <= 1:
+            for s in shards:
+                s()
+            return True
+        self._region_active = True
+        try:
+            with self._cond:
+                self._shards = shards
+                self._done = 0
+                self._generation += 1  # start signal
+                self.regions_dispatched += 1
+                self._cond.notify_all()
+            shards[0]()  # the owner participates as worker 0
+            with self._cond:  # stop barrier: quiesce before returning
+                while self._done < len(shards) - 1:
+                    self._cond.wait()
+        finally:
+            self._region_active = False
+        return True
+
+    # -- Cilk tasks ----------------------------------------------------------
+
+    def submit(self, fn: Callable[[], None]) -> Task | None:
+        """Queue a task for the workers; ``None`` when the live-task cap
+        is reached (caller applies sequential elision)."""
+        with self._cond:
+            if self._shutdown or self._live_tasks >= self.task_cap:
+                return None
+            self._live_tasks += 1
+            self.tasks_pooled += 1
+            task = Task(fn)
+            self._tasks.append(task)
+            self._cond.notify_all()
+        return task
+
+    def _run_task(self, task: Task) -> None:
+        try:
+            task.fn()
+        except Exception as e:  # re-raised by the VM at the sync point
+            task.exc = e
+        finally:
+            with self._cond:
+                self._live_tasks -= 1
+                self._cond.notify_all()
+            task._event.set()
+
+    def wait_task(self, task: Task) -> None:
+        """Wait for ``task``, helping execute other queued tasks — a
+        syncing task inside a worker makes progress instead of
+        deadlocking the pool."""
+        while not task.done:
+            other = None
+            with self._cond:
+                if self._tasks:
+                    other = self._tasks.popleft()
+            if other is not None:
+                self._run_task(other)
+            else:
+                # Not queued and not done: it is running on some thread.
+                task.wait()
+
+    def drain(self) -> None:
+        """Wait for every live task (implicit final sync), helping."""
+        while True:
+            task = None
+            with self._cond:
+                if self._live_tasks == 0:
+                    return
+                if self._tasks:
+                    task = self._tasks.popleft()
+            if task is not None:
+                self._run_task(task)
+            else:
+                with self._cond:
+                    if self._live_tasks == 0:
+                        return
+                    self._cond.wait(0.05)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join(timeout=1.0)
+
+    @property
+    def alive(self) -> bool:
+        return not self._shutdown
+
+
+class NaiveForkJoin:
+    """Spawn-per-construct fork-join — the model §III-C improves upon.
+
+    Same interface as :class:`WorkerPool`, but every region creates and
+    joins fresh threads, paying "the price of creating and destroying
+    threads each time"; tasks always elide.  Exists so E-S5 can measure
+    the enhanced pool's advantage on real executions."""
+
+    def __init__(self, nthreads: int, **_ignored):
+        self.nthreads = max(1, int(nthreads))
+        self._owner_ident = threading.get_ident()
+        self._region_active = False
+        self.regions_dispatched = 0
+        self.tasks_pooled = 0
+
+    def run_region(self, shards: list[Callable[[], None]]) -> bool:
+        if (threading.get_ident() != self._owner_ident
+                or self._region_active):
+            return False
+        self._region_active = True
+        try:
+            self.regions_dispatched += 1
+            threads = [threading.Thread(target=s) for s in shards[1:]]
+            for t in threads:
+                t.start()
+            if shards:
+                shards[0]()
+            for t in threads:  # join is the (expensive) stop barrier
+                t.join()
+        finally:
+            self._region_active = False
+        return True
+
+    def submit(self, fn: Callable[[], None]) -> Task | None:
+        return None  # tasks always run via sequential elision
+
+    def wait_task(self, task: Task) -> None:  # pragma: no cover - no tasks
+        task.wait()
+
+    def drain(self) -> None:
+        pass
+
+    def shutdown(self) -> None:
+        pass
+
+    @property
+    def alive(self) -> bool:
+        return True
+
+
+FORK_MODES = ("enhanced", "naive")
+
+
+def make_pool(nthreads: int, fork_mode: str = "enhanced"):
+    """A fork-join backend for ``nthreads`` threads, or ``None`` when
+    one thread needs no pool at all."""
+    if nthreads <= 1:
+        return None
+    if fork_mode == "enhanced":
+        return WorkerPool(nthreads)
+    if fork_mode == "naive":
+        return NaiveForkJoin(nthreads)
+    raise ValueError(f"unknown fork mode {fork_mode!r}; have {FORK_MODES}")

@@ -16,40 +16,118 @@ with no opcode decoding, no dict lookups and no exception-based control
 flow.  Innermost loops whose bodies were recognized by
 :mod:`repro.cexec.loopfast` execute as batched numpy slice operations
 and fall through into their scalar bytecode when a guard fails.
+
+Parallel execution (S23): with ``nthreads > 1`` the VM owns a persistent
+:class:`repro.cexec.parallel.WorkerPool`.  Pool regions (`parallelize`d
+with-loops, matrixMap) shard the outermost iteration space across the
+workers — each shard runs the *same* bound closures on its own frame,
+with stats/stdout redirected to thread-local buffers that are merged
+left-to-right afterwards, so a pooled run is observationally identical
+to a sequential one (bit-identical outputs, stdout order, counters,
+first-trap-wins traps).  Cilk ``spawn`` schedules compile-time
+*task-safe* callees on the same pool (live-task cap, help-while-sync)
+and elides the rest inline.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from pathlib import Path
 
 import numpy as np
 
 from repro.ag.tree import Node
 from repro.cexec.bytecode import BytecodeProgram, Code
-from repro.cexec.interp import InterpError, RTRuntime, c_div, c_mod
+from repro.cexec.interp import InterpError, InterpStats, RTRuntime, c_div, c_mod
+from repro.cexec.parallel import make_pool
 
 
 class VM(RTRuntime):
     """Executes a lowered Root node via compiled register bytecode."""
 
     def __init__(self, lowered_root: Node, ctx, *, workdir: str | Path = ".",
-                 nthreads: int = 1, program: BytecodeProgram | None = None):
+                 nthreads: int = 1, program: BytecodeProgram | None = None,
+                 fork_mode: str = "enhanced"):
+        # Thread-local redirection target must exist before RTRuntime's
+        # __init__ assigns the stats/stdout properties below.
+        self._tl = threading.local()
+        self._main_stats = InterpStats()
+        self._main_stdout: list[str] = []
         super().__init__(workdir=workdir, nthreads=nthreads)
         self.program = program or BytecodeProgram(lowered_root, ctx)
         self._ops: dict[str, list] = {}
         self._lifted_ops: dict[str, list] = {}
+        self._fork_mode = fork_mode
+        self._pool = None
+        self._pool_finalizer = None
+        self._closed = False
+        # Guards refcount read-modify-writes and the deferred task-stats
+        # accumulator while worker threads are live.
+        self._rc_lock = threading.Lock()
+        self._task_stats = InterpStats()
+
+    # -- thread-local stats/stdout ------------------------------------------
+    #
+    # The bound instruction closures capture *methods of this VM*, and the
+    # same closures execute on every pool thread.  Routing the runtime's
+    # `stats`/`stdout` attributes through a threading.local gives each
+    # shard/task a private buffer without rebinding any code: off-region
+    # code sees the main buffers, a worker sees whatever the shard job
+    # installed for the duration of its run.
+
+    @property
+    def stats(self) -> InterpStats:
+        s = getattr(self._tl, "stats", None)
+        return self._main_stats if s is None else s
+
+    @stats.setter
+    def stats(self, value: InterpStats) -> None:
+        self._main_stats = value
+
+    @property
+    def stdout(self) -> list[str]:
+        s = getattr(self._tl, "stdout", None)
+        return self._main_stdout if s is None else s
+
+    @stdout.setter
+    def stdout(self, value: list[str]) -> None:
+        self._main_stdout = value
+
+    # -- refcounting (thread-safe under the pool) ---------------------------
+
+    def _rc_inc(self, m) -> None:
+        if self._pool is None:
+            RTRuntime._rc_inc(self, m)
+        else:
+            with self._rc_lock:
+                RTRuntime._rc_inc(self, m)
+
+    def _rc_dec(self, m) -> None:
+        if self._pool is None:
+            RTRuntime._rc_dec(self, m)
+        else:
+            with self._rc_lock:
+                RTRuntime._rc_dec(self, m)
 
     # -- entry points --------------------------------------------------------
 
     def run_main(self, argv: list[str] | None = None) -> int:
         if "main" not in self.program.functions:
             raise InterpError("no main function")
-        out = self.call_function("main", [])
+        try:
+            out = self.call_function("main", [])
+        finally:
+            # Implicit final sync: finish outstanding Cilk tasks and fold
+            # their stats in before counters become observable.
+            self._drain_tasks()
         return int(out) if out is not None else 0
 
     def call_function(self, name: str, args: list):
         ops = self._ops.get(name)
         if ops is None:
+            # Benign under concurrency: binding is deterministic, losers
+            # of the (atomic) dict race just rebuilt an equal list.
             ops = bind(self.program.code_for(name), self)
             self._ops[name] = ops
         code = self.program.code_for(name)
@@ -67,6 +145,37 @@ class VM(RTRuntime):
             pc = ops[pc](frame)
         return frame[0]
 
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self.nthreads <= 1 or self._closed:
+            return None
+        if self._pool is None:
+            self._pool = make_pool(self.nthreads, self._fork_mode)
+            if self._pool is not None:
+                self._pool_finalizer = weakref.finalize(
+                    self, self._pool.shutdown)
+        return self._pool
+
+    def close(self) -> None:
+        """Quiesce and release the worker pool (idempotent).  The VM
+        stays usable afterwards — it simply runs sequentially."""
+        self._drain_tasks()
+        self._closed = True
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.shutdown()
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+
+    def _drain_tasks(self) -> None:
+        if self._pool is not None:
+            self._pool.drain()
+        with self._rc_lock:
+            task_stats, self._task_stats = self._task_stats, InterpStats()
+        self._main_stats.merge(task_stats)
+
     # -- pool regions --------------------------------------------------------
 
     def _pool_run(self, fname: str, total: int, captures: list) -> None:
@@ -77,19 +186,112 @@ class VM(RTRuntime):
         code = self.program.lifted_code_for(fname)
         self.stats.parallel_regions += 1
         self.stats.region_sizes.append(total)
-        per = -(-total // self.nthreads)
+        per = -(-total // self.nthreads) if total > 0 else 0
+        shards = []
         for t in range(self.nthreads):
             lo, hi = min(t * per, total), min((t + 1) * per, total)
-            if lo >= hi:
-                continue
+            if lo < hi:
+                shards.append((lo, hi))
+        pool = self._ensure_pool()
+        if (pool is not None and len(shards) > 1
+                and self.program.lifted_parallel_safe(fname)
+                and self._pool_run_parallel(ops, code, captures, shards, pool)):
+            return
+        # Sequential path: nthreads=1, ineligible body, nested region, or
+        # pool refusal — same shard boundaries, run in order inline.
+        for lo, hi in shards:
             self._run(ops, code.nregs, captures + [lo, hi])
 
+    def _pool_run_parallel(self, ops, code: Code, captures: list,
+                           shards: list, pool) -> bool:
+        """Dispatch one fork-join region; ``False`` defers to the caller's
+        sequential loop (nested region or off-owner-thread)."""
+        results: list = [None] * len(shards)
+
+        def make_job(i: int, lo: int, hi: int):
+            def job():
+                # Redirect this thread's stats/stdout to private buffers
+                # for the duration of the shard (save/restore nests
+                # correctly when the owner thread runs shard 0 while
+                # already inside a task context).
+                tl = self._tl
+                prev_stats = getattr(tl, "stats", None)
+                prev_stdout = getattr(tl, "stdout", None)
+                tl.stats, tl.stdout = InterpStats(), []
+                exc = None
+                try:
+                    self._run(ops, code.nregs, captures + [lo, hi])
+                except Exception as e:
+                    exc = e
+                finally:
+                    results[i] = (tl.stats, tl.stdout, exc)
+                    tl.stats, tl.stdout = prev_stats, prev_stdout
+            return job
+
+        jobs = [make_job(i, lo, hi) for i, (lo, hi) in enumerate(shards)]
+        if not pool.run_region(jobs):
+            return False
+        # Deterministic left-to-right combination: counters, stdout and —
+        # on a trap — the identity of the winning trap all match the
+        # sequential run.  A shard that trapped stops the merge exactly
+        # where the sequential loop would have stopped: shards after it
+        # contribute nothing observable (their writes land in disjoint,
+        # never-read output regions).
+        caller_stats, caller_stdout = self.stats, self.stdout
+        for shard_stats, shard_stdout, exc in results:
+            caller_stats.merge(shard_stats)
+            caller_stdout.extend(shard_stdout)
+            if exc is not None:
+                raise exc  # first-trap-wins: lowest iteration index
+        return True
+
+    # -- Cilk tasks ----------------------------------------------------------
+
     def _spawn(self, target: int | None, callee: str, args: list, frame) -> None:
-        # Cilk sequential elision: run the spawned call inline.
+        # Counted at the spawn point so elided and pooled runs report the
+        # same tasks_spawned (the callee's own counters merge later).
         self.stats.tasks_spawned += 1
+        pool = self._ensure_pool()
+        if pool is not None and self.program.task_parallel_safe(callee):
+            def job():
+                tl = self._tl
+                prev_stats = getattr(tl, "stats", None)
+                prev_stdout = getattr(tl, "stdout", None)
+                tl.stats, tl.stdout = InterpStats(), []
+                try:
+                    result = self.call_function(callee, args)
+                    if target is not None:
+                        frame[target] = result
+                finally:
+                    task_stats = tl.stats
+                    tl.stats, tl.stdout = prev_stats, prev_stdout
+                    with self._rc_lock:
+                        self._task_stats.merge(task_stats)
+
+            task = pool.submit(job)
+            if task is not None:
+                outstanding = getattr(self._tl, "outstanding", None)
+                if outstanding is None:
+                    outstanding = self._tl.outstanding = []
+                outstanding.append(task)
+                return
+        # Sequential elision: pool saturated/absent or callee not provably
+        # safe to move off-thread — run the spawned call inline.
         result = self.call_function(callee, args)
         if target is not None:
             frame[target] = result
+
+    def _sync(self) -> None:
+        outstanding = getattr(self._tl, "outstanding", None)
+        if not outstanding:
+            return
+        self._tl.outstanding = []
+        pool = self._pool
+        for task in outstanding:
+            pool.wait_task(task)
+        for task in outstanding:  # re-raise in spawn order
+            if task.exc is not None:
+                raise task.exc
 
 
 def bind(code: Code, vm: VM) -> list:
@@ -319,6 +521,12 @@ def _bind_one(ins: tuple, nxt: int, end: int, vm: VM):
         def f(frame, target=target, callee=callee, regs=regs, nxt=nxt,
               spawn=spawn):
             spawn(target, callee, [frame[r] for r in regs], frame)
+            return nxt
+    elif op == "sync":
+        sync = vm._sync
+
+        def f(frame, nxt=nxt, sync=sync):
+            sync()
             return nxt
     elif op == "fastloop":
         _, plan, skip = ins

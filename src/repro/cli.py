@@ -130,8 +130,10 @@ def main(argv: list[str] | None = None) -> int:
                     help="--run engine: register-bytecode VM with numpy-"
                     "batched loops (default), the tree-walking reference "
                     "interpreter, or gcc-compiled native code")
-    ap.add_argument("--threads", type=int, default=4,
-                    help="worker threads for --run (default 4)")
+    ap.add_argument("--threads", type=int, default=None,
+                    help="worker threads for --run: the VM fork-join pool "
+                    "or the native RT_THREADS pool (default: the "
+                    "REPRO_THREADS environment variable, else 4)")
     ap.add_argument("--no-fusion", action="store_true",
                     help="disable assignment fusion (§III-A.4 ablation)")
     ap.add_argument("--no-slice-elim", action="store_true",
@@ -158,6 +160,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"reproc: {src_path}: no such file", file=sys.stderr)
         return 1
 
+    from repro.cexec.parallel import resolve_nthreads
+
+    nthreads = resolve_nthreads(args.threads, default=4)
     extensions = [e for e in args.extensions.split(",") if e]
     options = Optimizations(
         fuse_assignment=not args.no_fusion,
@@ -166,7 +171,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     result = compile_source(
         src_path.read_text(), extensions, options=options,
-        nthreads=args.threads, filename=str(src_path),
+        nthreads=nthreads, filename=str(src_path),
     )
     if result.errors:
         for e in result.errors:
@@ -190,15 +195,19 @@ def main(argv: list[str] | None = None) -> int:
             prog = CompiledProgram(
                 result.c_source,
                 keep_dir=str(src_path.parent / ".reproc-build"))
-            run = prog.run(nthreads=args.threads, collect_stats=False,
+            run = prog.run(nthreads=nthreads, collect_stats=False,
                            cwd=src_path.parent)
             sys.stdout.write(run.stdout)
             sys.stderr.write(run.stderr)
             return run.returncode
-        from repro.cexec.interp import RuntimeTrap, make_engine
+        from repro.cexec.interp import RuntimeTrap
 
-        executor = make_engine(result.lowered, result.ctx, engine=args.engine,
-                               workdir=src_path.parent, nthreads=args.threads)
+        if args.engine == "tree" and nthreads > 1:
+            print("reproc: tree engine is sequential; ignoring "
+                  f"--threads {nthreads}", file=sys.stderr)
+        executor = result.make_engine(engine=args.engine,
+                                      workdir=src_path.parent,
+                                      nthreads=nthreads)
         try:
             rc = executor.run_main()
         except RuntimeTrap as trap:
@@ -206,6 +215,8 @@ def main(argv: list[str] | None = None) -> int:
                 print(line)
             print(f"reproc: runtime error: {trap}", file=sys.stderr)
             return 2  # what the C runtime's exit(2) reports
+        finally:
+            executor.close()
         for line in executor.stdout:
             print(line)
         return rc

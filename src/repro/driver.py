@@ -71,6 +71,26 @@ class CompileResult:
             self._bytecode = BytecodeProgram(self.lowered, self.ctx)
         return self._bytecode
 
+    def make_engine(self, *, engine: str = "vm", workdir: str = ".",
+                    nthreads: int | None = None, fork_mode: str = "enhanced"):
+        """A ready-to-run executor for this compile result.
+
+        ``engine="vm"`` reuses the memoized :meth:`bytecode` program (so
+        repeated engines skip recompilation); ``"tree"`` builds the
+        reference interpreter.  ``nthreads`` sizes the VM's S23 fork-join
+        pool, ``None`` deferring to ``REPRO_THREADS`` (default 1); call
+        ``close()`` on the executor to release the pool."""
+        from repro.cexec.interp import make_engine as _make_engine
+        from repro.cexec.parallel import resolve_nthreads
+
+        if not self.ok:
+            raise CompileError(self.errors)
+        program = self.bytecode() if engine in ("vm", "bytecode") else None
+        return _make_engine(self.lowered, self.ctx, engine=engine,
+                            workdir=workdir,
+                            nthreads=resolve_nthreads(nthreads),
+                            fork_mode=fork_mode, program=program)
+
 
 class Translator:
     """A custom translator generated from host + extension modules.

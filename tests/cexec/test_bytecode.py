@@ -339,3 +339,129 @@ class TestFastLoopRuntime:
         assert v[1] is not None and v[1][0] == "ZeroDivisionError"
         assert v[2][0][0] == 0.5  # first iteration landed before the trap
         assert fastpath_counter["bail"] >= 1
+
+
+class TestShardBoundaries:
+    """S23 sharded execution of the fast path: partition edges must be
+    invisible — any worker count produces bit-identical outputs, stats
+    and traps, including when the numpy guard bails in only one shard."""
+
+    def run_at(self, src, inputs, outputs, nthreads):
+        from repro.cexec.interp import RuntimeTrap, run_program
+
+        trap = None
+        rc, outs, st = None, {}, None
+        try:
+            rc, outs, st, _ex = run_program(
+                src, ["matrix"], inputs, output_names=outputs,
+                nthreads=nthreads, engine="vm")
+        except (RuntimeTrap, ZeroDivisionError) as t:
+            trap = f"{type(t).__name__}: {t}"
+        stats = None
+        if st is not None:
+            stats = (st.allocs, st.frees, st.copies, st.parallel_regions,
+                     st.tasks_spawned, tuple(st.region_sizes))
+        return rc, trap, stats, outs
+
+    def assert_worker_count_invisible(self, src, inputs, outputs,
+                                      counts=(3, 4, 5)):
+        base = self.run_at(src, inputs, outputs, nthreads=1)
+        for n in counts:
+            got = self.run_at(src, inputs, outputs, nthreads=n)
+            assert got[0] == base[0], f"rc differs at nthreads={n}"
+            assert got[1] == base[1], f"trap differs at nthreads={n}"
+            assert got[2] == base[2], f"stats differ at nthreads={n}"
+            assert set(got[3]) == set(base[3])
+            for k in base[3]:
+                assert base[3][k].dtype == got[3][k].dtype
+                assert np.array_equal(base[3][k], got[3][k], equal_nan=True), \
+                    f"{k} differs at nthreads={n}"
+        return base
+
+    GENARRAY_2D = """
+    int main() {{
+        Matrix float <2> a = readMatrix("a.data");
+        Matrix float <2> b = init(Matrix float <2>, {rows}, 6);
+        b = with ([0,0] <= [i,j] < [{rows},6])
+            genarray([{rows},6], a[i, j] * 2.0 + 1.0 * i);
+        writeMatrix("b.data", b);
+        return 0;
+    }}
+    """
+
+    def cube(self, rows, seed=0):
+        return np.random.default_rng(seed).normal(
+            0, 1, (max(rows, 1), 6)).astype(np.float32)[:rows]
+
+    def test_trip_count_not_divisible_by_workers(self):
+        # 7 outer rows over 3/4/5 workers: uneven shards incl. an empty
+        # tail shard at nthreads=4 (ceil(7/4)=2 -> 2+2+2+1).
+        src = self.GENARRAY_2D.format(rows=7)
+        base = self.assert_worker_count_invisible(
+            src, {"a.data": self.cube(7)}, ["b.data"])
+        assert base[2][5] == (7,)  # one region of 7 rows, any worker count
+
+    def test_zero_row_outer_loop(self):
+        src = self.GENARRAY_2D.format(rows=0)
+        base = self.assert_worker_count_invisible(
+            src, {"a.data": self.cube(0)}, ["b.data"])
+        assert base[1] is None
+        assert base[3]["b.data"].shape == (0, 6)
+
+    def test_one_row_outer_loop(self):
+        # A single row leaves nthreads-1 workers with empty shards.
+        src = self.GENARRAY_2D.format(rows=1)
+        base = self.assert_worker_count_invisible(
+            src, {"a.data": self.cube(1)}, ["b.data"])
+        assert base[1] is None
+        assert base[2][5] == (1,)
+
+    def test_bail_in_only_one_shard(self, fastpath_counter):
+        # Rows are mapped through a scatter whose store indices are
+        # usually unique (fast path) but contain a duplicate in exactly
+        # one row: that shard's guard bails to the scalar loop, which
+        # must still produce the sequential result (last store wins).
+        src = """
+        Matrix float <1> scatter(Matrix int <1> idx) {
+            Matrix float <1> out = init(Matrix float <1>, 8);
+            for (int k = 0; k < 8; k = k + 1) {
+                out[idx[k]] = 1.0 * k + 1.0;
+            }
+            return out;
+        }
+        int main() {
+            Matrix int <2> perm = readMatrix("perm.data");
+            Matrix float <2> hits = matrixMap(scatter, perm, [1]);
+            writeMatrix("hits.data", hits);
+            return 0;
+        }
+        """
+        rng = np.random.default_rng(5)
+        perm = np.stack([rng.permutation(8) for _ in range(8)]).astype(np.int32)
+        perm[5] = [0, 1, 2, 2, 4, 5, 6, 7]  # duplicate -> bail in one row
+        base = self.run_at(src, {"perm.data": perm}, ["hits.data"], 1)
+        seq_ok, seq_bail = fastpath_counter["ok"], fastpath_counter["bail"]
+        assert seq_bail >= 1 and seq_ok >= 1  # mostly fast, one bail
+        par = self.run_at(src, {"perm.data": perm}, ["hits.data"], 4)
+        assert fastpath_counter["bail"] >= seq_bail + 1
+        assert par[0] == base[0] and par[1] == base[1] and par[2] == base[2]
+        assert np.array_equal(base[3]["hits.data"], par[3]["hits.data"])
+        assert base[3]["hits.data"][5, 2] == 4.0  # last duplicate store won
+
+    def test_fold_results_bit_identical_across_worker_counts(self):
+        # Per-row fold accumulators live inside each shard; their
+        # left-to-right float rounding must not depend on the partition.
+        src = """
+        int main() {
+            Matrix float <2> a = readMatrix("a.data");
+            Matrix float <1> sums = init(Matrix float <1>, 9);
+            sums = with ([0] <= [i] < [9])
+                genarray([9], with ([0] <= [k] < [50]) fold(+, 0.0, a[i, k]));
+            writeMatrix("sums.data", sums);
+            return 0;
+        }
+        """
+        rng = np.random.default_rng(11)
+        a = (rng.normal(0, 1, (9, 50))
+             * 10.0 ** rng.integers(-5, 5, (9, 50))).astype(np.float32)
+        self.assert_worker_count_invisible(src, {"a.data": a}, ["sums.data"])

@@ -31,10 +31,12 @@ STMTS = [
     "a = with ([0] <= [i] < [{N}]) genarray([{N}], a[i] + b[{N} - 1 - i]);",
     "k = k + (int) (with ([0] <= [i] < [{N}]) fold(+, 0.0, a[i]));",
     "a[0 : 3] = b[4 : 7];",  # both ranges inclusive: 4 elements each (N=8)
-    "a[k % {N}] = 3.25;",
-    "b = m[k % {N}, :];",
-    "m[:, k % {N}] = a;",
-    "a = m[k % {N}, 0 : end];",
+    # % truncates toward zero, and k can go negative via the fold
+    # template above — re-bias so the index is always in [0, N).
+    "a[(k % {N} + {N}) % {N}] = 3.25;",
+    "b = m[(k % {N} + {N}) % {N}, :];",
+    "m[:, (k % {N} + {N}) % {N}] = a;",
+    "a = m[(k % {N} + {N}) % {N}, 0 : end];",
     "m = m + 0.5;",
     "b = with ([0] <= [i] < [{N}]) genarray([{N}], m[i, i]);",
     "a = (0 :: {N} - 1) * 0.5 + a;",
