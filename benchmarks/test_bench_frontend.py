@@ -1,0 +1,170 @@
+"""E-FE: compiled front end vs. the interpreted reference (S24).
+
+The compiled front end lowers context-aware scanning to dense
+equivalence-class/transition/accept-bitmask tables and LALR driving to
+integer ACTION/GOTO arrays, then fuses both into one scan+parse loop.
+Semantic actions are shared verbatim between engines, so the speedup
+gate runs the composed grammar with *null* actions (keeping the shared
+:func:`~repro.grammar.cfg.PASS` identity productions, which are part of
+the compiled table encoding): that isolates scanning + table driving —
+the machinery the paper generates — from AST construction costs common
+to both.  Acceptance gate: >=5x scan+parse throughput over the
+interpreted engines on the bundled program corpus (>=3x smoke).
+
+Tokenization throughput and end-to-end ``Translator.compile`` latency
+(real actions, full pipeline) are recorded alongside in
+``BENCH_frontend.json`` at the repo root so later PRs can track the
+trajectory.  Identity is asserted before any timing: both engines must
+produce equal token streams and equal trees on every corpus program —
+a speedup over a divergent engine would be meaningless.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink repetition counts; the smoke
+run still checks identity and records timings but gates only >=3x.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import platform
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.api import make_translator
+from repro.grammar.cfg import PASS
+from repro.lexing.scanner import ContextAwareScanner
+from repro.parsing.parser import Parser
+from repro.programs import PROGRAMS, load
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+GATE = 3.0 if SMOKE else 5.0
+REPS_FAST = 10 if SMOKE else 40   # compiled engine / tokenizer reps
+REPS_SLOW = 3 if SMOKE else 10    # interpreted engine reps
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXTS = ["matrix", "transform"]
+CORPUS = [(name, load(name)) for name in sorted(PROGRAMS)]
+
+
+def _best_of(n: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _null_action(children):
+    return None
+
+
+@pytest.fixture(scope="module")
+def engines():
+    """(compiled parser, interpreted parser, machinery pair) over the
+    full extension grammar — built fresh, bypassing the service cache."""
+    t = make_translator(EXTS, fresh=True)
+    pc = t.parser
+    g = pc.grammar
+    pi = Parser(
+        g,
+        tables=pc.tables,
+        scanner=ContextAwareScanner(g.terminal_set, backend="interpreted"),
+        backend="interpreted",
+    )
+    # The machinery grammar: identical syntax, null semantic actions
+    # (PASS kept — unit pass-throughs are recognized at table-attach
+    # time and belong to the compiled encoding under test).
+    ng = copy.copy(g)
+    ng.productions = tuple(
+        p if p.action is PASS else replace(p, action=_null_action)
+        for p in g.productions
+    )
+    mc = Parser(ng, tables=pc.tables)
+    mi = Parser(
+        ng,
+        tables=pc.tables,
+        scanner=ContextAwareScanner(ng.terminal_set, backend="interpreted"),
+        backend="interpreted",
+    )
+    return t, pc, pi, mc, mi
+
+
+class TestFrontEnd:
+    def test_engines_identical_on_corpus(self, engines):
+        """The gate below is meaningless unless both engines agree."""
+        _t, pc, pi, _mc, _mi = engines
+        for name, text in CORPUS:
+            assert (
+                pc.scanner.tokenize_all(text, filename=name)
+                == pi.scanner.tokenize_all(text, filename=name)
+            ), f"token stream mismatch on {name}"
+            assert pc.parse(text, filename=name) == pi.parse(
+                text, filename=name
+            ), f"tree mismatch on {name}"
+
+    def test_scan_parse_gate_and_record(self, engines):
+        t, pc, _pi, mc, mi = engines
+        texts = [text for _name, text in CORPUS]
+        ntokens = sum(len(pc.scanner.tokenize_all(x)) for x in texts)
+        nchars = sum(len(x) for x in texts)
+
+        # Scan+parse machinery (null actions, shared PASS productions).
+        comp_s = _best_of(REPS_FAST, lambda: [mc.parse(x) for x in texts])
+        interp_s = _best_of(REPS_SLOW, lambda: [mi.parse(x) for x in texts])
+
+        # Context-free batch tokenization.
+        tok_comp_s = _best_of(
+            REPS_FAST, lambda: [pc.scanner.tokenize_all(x) for x in texts]
+        )
+        tok_interp_s = _best_of(
+            REPS_SLOW, lambda: [mi.scanner.tokenize_all(x) for x in texts]
+        )
+
+        # End-to-end compile latency, real actions, full pipeline.
+        compile_s = _best_of(
+            3 if SMOKE else 5,
+            lambda: [t.compile(x) for x in texts],
+        )
+
+        speedup = interp_s / comp_s
+        tok_speedup = tok_interp_s / tok_comp_s
+        record = {
+            "experiment": "E-FE",
+            "corpus": [name for name, _ in CORPUS],
+            "tokens": ntokens,
+            "chars": nchars,
+            "smoke": SMOKE,
+            "interpreted": {
+                "scan_parse_ms": round(interp_s * 1e3, 2),
+                "tokens_per_sec": round(ntokens / tok_interp_s),
+            },
+            "compiled": {
+                "scan_parse_ms": round(comp_s * 1e3, 2),
+                "tokens_per_sec": round(ntokens / tok_comp_s),
+            },
+            "scan_parse_speedup": round(speedup, 2),
+            "tokenize_speedup": round(tok_speedup, 2),
+            "compile_corpus_ms": round(compile_s * 1e3, 2),
+            "python": platform.python_version(),
+        }
+        (REPO_ROOT / "BENCH_frontend.json").write_text(
+            json.dumps(record, indent=2) + "\n"
+        )
+        print(
+            f"\nscan+parse {comp_s * 1e3:.2f} ms vs {interp_s * 1e3:.2f} ms "
+            f"= {speedup:.2f}x | tokenize {ntokens / tok_comp_s / 1e3:.0f}k "
+            f"vs {ntokens / tok_interp_s / 1e3:.0f}k tok/s = {tok_speedup:.2f}x"
+            f" | compile corpus {compile_s * 1e3:.1f} ms"
+        )
+        assert speedup >= GATE, (
+            f"compiled scan+parse only {speedup:.2f}x faster than the "
+            f"interpreted front end (gate {GATE}x)"
+        )
+        assert tok_speedup >= 3.0, (
+            f"compiled tokenization only {tok_speedup:.2f}x faster "
+            f"(floor 3x)"
+        )

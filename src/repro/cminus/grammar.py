@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.ag.core import AGSpec
 from repro.cminus.absyn import HOST, Mk, declare_absyn
-from repro.grammar.cfg import GrammarSpec
+from repro.grammar.cfg import PASS, GrammarSpec
 
 # Module-level singletons: the host AG spec and its node builders.  Parser
 # actions close over `mk`; extension modules import `mk` to build host
@@ -91,8 +91,8 @@ def build_host_grammar() -> GrammarSpec:
     p("Block ::= LBrace StmtList RBrace", lambda c: mk.block(c[1]))
     p("StmtList ::= Stmt StmtList", lambda c: mk.stmtCons(c[0], c[1]))
     p("StmtList ::=", lambda c: mk.stmtNil())
-    p("Stmt ::= Block", lambda c: c[0])
-    p("Stmt ::= Decl Semi", lambda c: c[0])
+    p("Stmt ::= Block", PASS)
+    p("Stmt ::= Decl Semi", PASS)
     p("Stmt ::= Expr Semi", lambda c: mk.exprStmt(c[0]))
     p("Stmt ::= If LParen Expr RParen Stmt", lambda c: mk.ifStmt(c[2], c[4]))
     p("Stmt ::= If LParen Expr RParen Stmt Else Stmt",
@@ -114,8 +114,8 @@ def build_host_grammar() -> GrammarSpec:
     p("ForInit ::= Expr", lambda c: mk.forExpr(c[0]))
 
     # -- expressions ------------------------------------------------------------------
-    p("Expr ::= AssignExpr", lambda c: c[0])
-    p("AssignExpr ::= OrExpr", lambda c: c[0])
+    p("Expr ::= AssignExpr", PASS)
+    p("AssignExpr ::= OrExpr", PASS)
     p("AssignExpr ::= UnaryExpr Eq AssignExpr", lambda c: mk.assign(c[0], c[2]))
     p("AssignExpr ::= UnaryExpr PlusEq AssignExpr",
       lambda c: mk.assign(c[0], mk.binop("+", c[0], c[2])))
@@ -126,37 +126,37 @@ def build_host_grammar() -> GrammarSpec:
         p(rule, lambda c, op=op: mk.binop(op, c[0], c[2]))
 
     binop_rule("OrExpr ::= OrExpr OrOr AndExpr", "||")
-    p("OrExpr ::= AndExpr", lambda c: c[0])
+    p("OrExpr ::= AndExpr", PASS)
     binop_rule("AndExpr ::= AndExpr AndAnd EqExpr", "&&")
-    p("AndExpr ::= EqExpr", lambda c: c[0])
+    p("AndExpr ::= EqExpr", PASS)
     binop_rule("EqExpr ::= EqExpr EqEq RelExpr", "==")
     binop_rule("EqExpr ::= EqExpr BangEq RelExpr", "!=")
-    p("EqExpr ::= RelExpr", lambda c: c[0])
+    p("EqExpr ::= RelExpr", PASS)
     binop_rule("RelExpr ::= RelExpr Lt RangeExpr", "<")
     binop_rule("RelExpr ::= RelExpr Le RangeExpr", "<=")
     binop_rule("RelExpr ::= RelExpr Gt RangeExpr", ">")
     binop_rule("RelExpr ::= RelExpr Ge RangeExpr", ">=")
-    p("RelExpr ::= RangeExpr", lambda c: c[0])
+    p("RelExpr ::= RangeExpr", PASS)
     p("RangeExpr ::= AddExpr ColonColon AddExpr", lambda c: mk.rangeE(c[0], c[2]))
-    p("RangeExpr ::= AddExpr", lambda c: c[0])
+    p("RangeExpr ::= AddExpr", PASS)
     binop_rule("AddExpr ::= AddExpr Plus MulExpr", "+")
     binop_rule("AddExpr ::= AddExpr Minus MulExpr", "-")
-    p("AddExpr ::= MulExpr", lambda c: c[0])
+    p("AddExpr ::= MulExpr", PASS)
     binop_rule("MulExpr ::= MulExpr Times CastExpr", "*")
     binop_rule("MulExpr ::= MulExpr Div CastExpr", "/")
     binop_rule("MulExpr ::= MulExpr Mod CastExpr", "%")
     binop_rule("MulExpr ::= MulExpr DotTimes CastExpr", ".*")
-    p("MulExpr ::= CastExpr", lambda c: c[0])
+    p("MulExpr ::= CastExpr", PASS)
     p("CastExpr ::= LParen TypeExpr RParen CastExpr", lambda c: mk.castE(c[1], c[3]))
-    p("CastExpr ::= UnaryExpr", lambda c: c[0])
+    p("CastExpr ::= UnaryExpr", PASS)
     p("UnaryExpr ::= Minus UnaryExpr", lambda c: mk.unop("-", c[1]))
     p("UnaryExpr ::= Bang UnaryExpr", lambda c: mk.unop("!", c[1]))
-    p("UnaryExpr ::= PostfixExpr", lambda c: c[0])
+    p("UnaryExpr ::= PostfixExpr", PASS)
     p("PostfixExpr ::= PostfixExpr LBracket IndexList RBracket",
       lambda c: mk.index(c[0], mk.idx_list(c[2])))
     p("PostfixExpr ::= Identifier LParen ArgsOpt RParen",
       lambda c: mk.call(c[0].lexeme, mk.expr_list(c[2])))
-    p("PostfixExpr ::= Primary", lambda c: c[0])
+    p("PostfixExpr ::= Primary", PASS)
     p("Primary ::= Identifier", lambda c: mk.var(c[0].lexeme))
     p("Primary ::= IntLit", lambda c: mk.intLit(int(c[0].lexeme)))
     p("Primary ::= FloatLit", lambda c: mk.floatLit(float(c[0].lexeme)))
@@ -170,7 +170,7 @@ def build_host_grammar() -> GrammarSpec:
       lambda c: mk.tupleE(mk.expr_list([c[1]] + c[3])))
 
     p("ArgsOpt ::=", lambda c: [])
-    p("ArgsOpt ::= Args", lambda c: c[0])
+    p("ArgsOpt ::= Args", PASS)
     p("Args ::= Expr", lambda c: [c[0]])
     p("Args ::= Expr Comma Args", lambda c: [c[0]] + c[2])
 
@@ -182,7 +182,7 @@ def build_host_grammar() -> GrammarSpec:
     p("Index ::= Colon", lambda c: mk.idxAll())
 
     # -- types ------------------------------------------------------------------------
-    p("TypeExpr ::= BaseType", lambda c: c[0])
+    p("TypeExpr ::= BaseType", PASS)
     p("TypeExpr ::= TypeExpr Times", lambda c: mk.tPtr(c[0]))
     p("BaseType ::= Int", lambda c: mk.tInt())
     p("BaseType ::= Float", lambda c: mk.tFloat())

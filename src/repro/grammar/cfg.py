@@ -29,6 +29,20 @@ Action = Callable[[list[Any]], Any]
 START = "$START"  # augmented start symbol
 
 
+def PASS(children: list[Any]) -> Any:
+    """The identity semantic action: the production's value is its first
+    child's value, unchanged.
+
+    Use this (rather than an ad-hoc ``lambda c: c[0]``) for unit-chain
+    productions like ``AddExpr ::= MulExpr``: because the shared function
+    object is recognizable, the compiled parser driver (S24) collapses
+    such reductions to a bare GOTO — no action call, no stack slicing,
+    no span inference — which is safe exactly because ``PASS`` returns
+    the child unchanged (same object, same span).
+    """
+    return children[0]
+
+
 @dataclass(frozen=True)
 class Production:
     index: int

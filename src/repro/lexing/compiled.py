@@ -1,0 +1,344 @@
+"""Dense compiled scanner tables (S24).
+
+The interpreted :class:`~repro.lexing.dfa.DFA` walks a list of
+``(CharSet, target)`` pairs per character and hands the context-aware
+scanner a ``frozenset`` of terminal names per accepting prefix.  That is
+the right shape for *construction* — charset atoms keep the subset
+construction tiny — but the wrong shape for the scan hot loop.  This
+module lowers a constructed DFA to the form a generated scanner would be
+compiled to:
+
+* a **terminal universe**: every terminal name (plus ``$EOF``) mapped to a
+  fixed bit index, so any set of terminals is one Python int bitmask;
+* a **character equivalence-class map**: a dense 256-entry table for
+  ASCII plus a sorted interval overflow map for non-ASCII codepoints,
+  mapping each codepoint to a small class index (class 0 = "no
+  transition anywhere");
+* an ``array``-backed ``state x class -> state`` **transition table**
+  (row-major, ``-1`` = dead); and
+* per-state **accept bitmasks** over the terminal universe.
+
+Context-aware maximal munch then becomes a single forward pass recording
+the last position whose ``accept_mask & interesting_mask`` is non-zero —
+no prefix enumeration, no per-prefix frozensets.  The scanner memoizes
+lexical-precedence resolution per surviving-candidate mask, so the steady
+state does pure integer work per character and per token.
+
+Everything here is pure data; :meth:`CompiledDFA.to_payload` /
+:meth:`CompiledDFA.from_payload` round-trip it through the persistent
+artifact cache (:mod:`repro.service.artifacts`) so warm service starts
+restore the dense tables directly instead of re-lowering.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.lexing.charset import partition_atoms
+from repro.lexing.dfa import DFA
+from repro.lexing.terminals import TerminalSet
+
+_ASCII_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class TerminalUniverse:
+    """A fixed terminal-name <-> bit-index assignment (including ``$EOF``)."""
+
+    names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "index", {name: i for i, name in enumerate(self.names)}
+        )
+
+    @staticmethod
+    def for_terminals(terminal_set: TerminalSet) -> "TerminalUniverse":
+        from repro.lexing.scanner import EOF
+
+        return TerminalUniverse((*(t.name for t in terminal_set), EOF))
+
+    def mask_of(self, names) -> int:
+        """Bitmask for a set of names; names outside the universe are
+        dropped (they can never be matched by this scanner anyway)."""
+        index = self.index
+        mask = 0
+        for name in names:
+            i = index.get(name)
+            if i is not None:
+                mask |= 1 << i
+        return mask
+
+    def names_of(self, mask: int) -> frozenset[str]:
+        names = self.names
+        out = []
+        i = 0
+        while mask:
+            if mask & 1:
+                out.append(names[i])
+            mask >>= 1
+            i += 1
+        return frozenset(out)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+class CompiledDFA:
+    """A scanner DFA lowered to dense integer tables."""
+
+    __slots__ = (
+        "universe",
+        "classmap",
+        "overflow_bounds",
+        "overflow_classes",
+        "nclasses",
+        "trans",
+        "accept_masks",
+        "start",
+        "layout_mask",
+        "eof_bit",
+        "eof_index",
+        "trans_off",
+        "accept_off",
+        "start_off",
+        "ascii_table",
+        "_np_tables",
+        "_premasked",
+    )
+
+    def __init__(
+        self,
+        universe: TerminalUniverse,
+        classmap: array,
+        overflow_bounds: array,
+        overflow_classes: array,
+        nclasses: int,
+        trans: array,
+        accept_masks: tuple[int, ...],
+        start: int,
+        layout_mask: int,
+    ):
+        self.universe = universe
+        self.classmap = classmap
+        self.overflow_bounds = overflow_bounds
+        self.overflow_classes = overflow_classes
+        self.nclasses = nclasses
+        self.trans = trans
+        self.accept_masks = accept_masks
+        self.start = start
+        self.layout_mask = layout_mask
+        from repro.lexing.scanner import EOF
+
+        self.eof_index = universe.index[EOF]
+        self.eof_bit = 1 << self.eof_index
+        # Derived hot-loop tables (not serialized — rebuilt on restore):
+        # row-offset-premultiplied transitions so the scan loop does one
+        # add + one index per character, accept masks indexed by row
+        # offset, and a 256-byte class table for bytes.translate.
+        nstates = len(accept_masks)
+        self.trans_off = array(
+            "l", (t * nclasses if t >= 0 else -1 for t in trans)
+        )
+        accept_off = [0] * (nstates * nclasses)
+        for s, mask in enumerate(accept_masks):
+            accept_off[s * nclasses] = mask
+        self.accept_off = accept_off
+        self.start_off = start * nclasses
+        self.ascii_table = (
+            bytes(classmap.tolist()) if nclasses <= 256 else None
+        )
+        self._np_tables = None  # lazy numpy aux tables for non-ASCII text
+        self._premasked: dict[int, list[int]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def from_dfa(
+        dfa: DFA, universe: TerminalUniverse, layout_names
+    ) -> "CompiledDFA":
+        """Lower ``dfa`` to dense tables over ``universe``."""
+        atoms = partition_atoms(
+            [cs for row in dfa.transitions for (cs, _t) in row]
+        )
+        nclasses = len(atoms) + 1  # class 0: codepoints with no transition
+
+        classmap = array("i", [0]) * _ASCII_LIMIT
+        # Non-ASCII: sorted half-open boundaries with the class valid up to
+        # each boundary.  bisect_right(bounds, cp) lands on the segment
+        # containing cp; segments outside every atom carry class 0.
+        overflow: list[tuple[int, int, int]] = []  # (lo, hi, class)
+        for ci, atom in enumerate(atoms, start=1):
+            for lo, hi in atom.intervals:
+                if lo < _ASCII_LIMIT:
+                    for cp in range(lo, min(hi, _ASCII_LIMIT - 1) + 1):
+                        classmap[cp] = ci
+                if hi >= _ASCII_LIMIT:
+                    overflow.append((max(lo, _ASCII_LIMIT), hi, ci))
+        overflow.sort()
+        bounds = array("l")
+        classes = array("i")
+        prev_end = _ASCII_LIMIT - 1
+        for lo, hi, ci in overflow:
+            if lo > prev_end + 1:  # gap: dead class
+                bounds.append(lo - 1)
+                classes.append(0)
+            bounds.append(hi)
+            classes.append(ci)
+            prev_end = hi
+
+        n = dfa.num_states
+        trans = array("i", [-1]) * (n * nclasses)
+        for s in range(n):
+            base = s * nclasses
+            for cs, dst in dfa.transitions[s]:
+                # Atoms refine every edge charset, so membership of an
+                # atom's first codepoint decides whole-atom containment.
+                for ci, atom in enumerate(atoms, start=1):
+                    if cs.contains_cp(atom.intervals[0][0]):
+                        trans[base + ci] = dst
+
+        accept_masks = tuple(universe.mask_of(names) for names in dfa.accepts)
+        layout_mask = universe.mask_of(layout_names)
+        return CompiledDFA(
+            universe,
+            classmap,
+            bounds,
+            classes,
+            nclasses,
+            trans,
+            accept_masks,
+            dfa.start,
+            layout_mask,
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    def premasked_accepts(self, interesting: int) -> list[int]:
+        """``accept_off`` with every mask pre-ANDed against
+        ``interesting`` — the scan hot loops index it directly, dropping
+        the per-character AND.  Cached per mask; scan contexts sharing a
+        valid-lookahead set share one list."""
+        pm = self._premasked.get(interesting)
+        if pm is None:
+            pm = self._premasked[interesting] = [
+                a & interesting for a in self.accept_off
+            ]
+        return pm
+
+    def class_of(self, cp: int) -> int:
+        """Equivalence class of a codepoint (any codepoint, not just ASCII)."""
+        if cp < _ASCII_LIMIT:
+            return self.classmap[cp]
+        i = bisect_right(self.overflow_bounds, cp - 1)
+        if i < len(self.overflow_classes):
+            return self.overflow_classes[i]
+        return 0
+
+    def classes_of_text(self, text: str):
+        """The whole text mapped to equivalence classes, indexable by
+        position.  ASCII text translates in one C pass; non-ASCII text
+        goes through a vectorized numpy pass over the overflow map (one
+        ``searchsorted`` replaces the per-codepoint bisect), falling
+        back to a per-codepoint walk when numpy is unavailable."""
+        if self.ascii_table is not None and text.isascii():
+            return text.encode("ascii").translate(self.ascii_table)
+        np_tables = self._np_tables
+        if np_tables is None:
+            np_tables = self._np_tables = _build_np_tables(
+                self.classmap, self.overflow_bounds, self.overflow_classes
+            )
+        if np_tables is not False:
+            np, np_classmap, np_bounds, np_classes_ext = np_tables
+            cps = np.frombuffer(text.encode("utf-32-le"), dtype="<u4")
+            out = np.zeros(len(cps), dtype=np.uint32)
+            ascii_sel = cps < _ASCII_LIMIT
+            out[ascii_sel] = np_classmap[cps[ascii_sel]]
+            rest = cps[~ascii_sel]
+            if rest.size:
+                # bisect_right(bounds, cp - 1); out-of-range -> class 0
+                # (np_classes_ext carries a trailing 0 for that).
+                idx = np.searchsorted(np_bounds, rest - 1, side="right")
+                out[~ascii_sel] = np_classes_ext[
+                    np.minimum(idx, len(np_classes_ext) - 1)
+                ]
+            if self.nclasses <= 256:
+                return out.astype(np.uint8).tobytes()
+            return array("H", out.astype(np.uint16).tobytes())
+        classmap = self.classmap
+        class_of = self.class_of
+        return array(
+            "H" if self.nclasses > 256 else "B",
+            (
+                classmap[cp] if cp < _ASCII_LIMIT else class_of(cp)
+                for cp in map(ord, text)
+            ),
+        )
+
+    @property
+    def num_states(self) -> int:
+        return len(self.accept_masks)
+
+    # -- serialization --------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "names": list(self.universe.names),
+            "classmap": self.classmap.tobytes(),
+            "overflow_bounds": self.overflow_bounds.tobytes(),
+            "overflow_classes": self.overflow_classes.tobytes(),
+            "nclasses": self.nclasses,
+            "trans": self.trans.tobytes(),
+            "accepts": list(self.accept_masks),
+            "start": self.start,
+            "layout_mask": self.layout_mask,
+        }
+
+    @staticmethod
+    def from_payload(data: dict) -> "CompiledDFA":
+        universe = TerminalUniverse(tuple(data["names"]))
+        classmap = array("i")
+        classmap.frombytes(data["classmap"])
+        if len(classmap) != _ASCII_LIMIT:
+            raise ValueError("compiled classmap has wrong length")
+        bounds = array("l")
+        bounds.frombytes(data["overflow_bounds"])
+        classes = array("i")
+        classes.frombytes(data["overflow_classes"])
+        if len(bounds) != len(classes):
+            raise ValueError("compiled overflow map length mismatch")
+        nclasses = int(data["nclasses"])
+        trans = array("i")
+        trans.frombytes(data["trans"])
+        accepts = tuple(int(m) for m in data["accepts"])
+        if nclasses <= 0 or len(trans) != len(accepts) * nclasses:
+            raise ValueError("compiled transition table shape mismatch")
+        start = int(data["start"])
+        if not 0 <= start < len(accepts):
+            raise ValueError("compiled start state out of range")
+        return CompiledDFA(
+            universe,
+            classmap,
+            bounds,
+            classes,
+            nclasses,
+            trans,
+            accepts,
+            start,
+            int(data["layout_mask"]),
+        )
+
+
+def _build_np_tables(classmap: array, bounds: array, classes: array):
+    """Numpy views of the class maps for vectorized non-ASCII lowering,
+    or ``False`` when numpy is unavailable (pure-Python fallback)."""
+    try:
+        import numpy as np
+    except Exception:  # pragma: no cover - numpy ships with the repo env
+        return False
+    np_classmap = np.array(list(classmap), dtype=np.uint32)
+    np_bounds = np.array(list(bounds), dtype=np.int64)
+    np_classes_ext = np.array(list(classes) + [0], dtype=np.uint32)
+    return (np, np_classmap, np_bounds, np_classes_ext)

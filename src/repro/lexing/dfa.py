@@ -103,61 +103,109 @@ def subset_construct(nfa: NFA) -> DFA:
 
 
 def minimize(dfa: DFA) -> DFA:
-    """Hopcroft-style partition refinement.
+    """Hopcroft's algorithm: worklist refinement over inverse transitions.
 
-    Initial partition groups states by accept-set; refinement splits blocks
-    whose members disagree on which block an atom leads to.  (A dead state
-    is modeled implicitly: missing transition = dead.)
+    The previous implementation recomputed every state's full transition
+    signature (``dfa.step`` per atom, a charset scan per call) on every
+    refinement pass — quadratic in practice and the dominant cost of a
+    cold translator build.  This version precomputes, once, the inverse
+    transition relation per charset atom (with an explicit dead state so
+    "missing transition" is an ordinary target) and then runs the
+    classic worklist: a splitter ``(block, atom)`` only re-examines the
+    states that can actually reach it.
     """
     n = dfa.num_states
-    # Global atom alphabet so signatures are comparable across states.
+    # Global atom alphabet: atoms refine every edge charset, so an edge
+    # (cs, dst) covers exactly the atoms whose first codepoint lies in cs.
     atoms = partition_atoms(
         [cs for row in dfa.transitions for (cs, _t) in row]
     )
-    block_of = {}
-    blocks: dict[frozenset[str], list[int]] = {}
+    na = len(atoms)
+    dead = n  # explicit dead state: self-loop on every atom
+    inv: list[list[list[int]]] = [
+        [[] for _ in range(n + 1)] for _ in range(na)
+    ]
     for s in range(n):
-        blocks.setdefault(dfa.accepts[s], []).append(s)
-    for i, members in enumerate(blocks.values()):
-        for s in members:
-            block_of[s] = i
-
-    changed = True
-    while changed:
-        changed = False
-        new_block_of: dict[int, int] = {}
-        signature_index: dict[tuple, int] = {}
-        for s in range(n):
-            sig_parts = [block_of[s]]
-            for atom in atoms:
-                target = dfa.step(s, atom.sample())
-                sig_parts.append(-1 if target is None else block_of[target])
-            sig = tuple(sig_parts)
-            if sig not in signature_index:
-                signature_index[sig] = len(signature_index)
-            new_block_of[s] = signature_index[sig]
-        if len(set(new_block_of.values())) != len(set(block_of.values())):
-            changed = True
-        block_of = new_block_of
-
-    num_blocks = len(set(block_of.values()))
-    out = DFA()
-    out.transitions = [[] for _ in range(num_blocks)]
-    out.accepts = [frozenset() for _ in range(num_blocks)]
-    out.start = block_of[dfa.start]
-    seen_rep: set[int] = set()
-    for s in range(n):
-        b = block_of[s]
-        out.accepts[b] = dfa.accepts[s]
-        if b in seen_rep:
-            continue
-        seen_rep.add(b)
-        # Merge this representative's edges by target block.
-        merged: dict[int, CharSet] = {}
+        seen = [False] * na
         for cs, dst in dfa.transitions[s]:
+            for ai in range(na):
+                if not seen[ai] and cs.contains_cp(atoms[ai].intervals[0][0]):
+                    seen[ai] = True
+                    inv[ai][dst].append(s)
+        for ai in range(na):
+            if not seen[ai]:
+                inv[ai][dead].append(s)
+    for ai in range(na):
+        inv[ai][dead].append(dead)
+
+    # Initial partition: group by accept-set (dead joins the non-accepting
+    # group; any state equivalent to it is genuinely dead).
+    groups: dict[frozenset[str], list[int]] = {}
+    for s in range(n):
+        groups.setdefault(dfa.accepts[s], []).append(s)
+    groups.setdefault(frozenset(), []).append(dead)
+    blocks: list[set[int]] = [set(members) for members in groups.values()]
+    block_of = [0] * (n + 1)
+    for b, members in enumerate(blocks):
+        for s in members:
+            block_of[s] = b
+
+    work: set[tuple[int, int]] = {
+        (b, ai) for b in range(len(blocks)) for ai in range(na)
+    }
+    while work:
+        b, ai = work.pop()
+        rows = inv[ai]
+        x: set[int] = set()
+        for t in blocks[b]:
+            x.update(rows[t])
+        affected: dict[int, set[int]] = {}
+        for s in x:
+            affected.setdefault(block_of[s], set()).add(s)
+        for ab, hit in affected.items():
+            members = blocks[ab]
+            if len(hit) == len(members):
+                continue
+            rest = members - hit
+            nb = len(blocks)
+            # Keep the larger part in place; the smaller becomes a new
+            # block (the "process the smaller half" bound).
+            small, large = (hit, rest) if len(hit) <= len(rest) else (rest, hit)
+            blocks[ab] = large
+            blocks.append(small)
+            for s in small:
+                block_of[s] = nb
+            # If (ab, c) is pending it still covers the large part; the
+            # small part always needs its own splitter entry — which is
+            # also the "smaller half" choice when (ab, c) is not pending.
+            for ci in range(na):
+                work.add((nb, ci))
+
+    # Rebuild, dropping the dead block (unless, degenerately, it is the
+    # start block) and any edge leading into it.
+    dead_block = block_of[dead]
+    keep = sorted(
+        b for b in range(len(blocks))
+        if blocks[b] - {dead} and (b != dead_block or b == block_of[dfa.start])
+    )
+    renum = {b: i for i, b in enumerate(keep)}
+    out = DFA()
+    out.transitions = [[] for _ in keep]
+    out.accepts = [frozenset() for _ in keep]
+    out.start = renum[block_of[dfa.start]]
+    for b in keep:
+        rep = min(s for s in blocks[b] if s != dead)
+        out.accepts[renum[b]] = dfa.accepts[rep]
+        # Merge the representative's edges by (live) target block.
+        merged: dict[int, CharSet] = {}
+        for cs, dst in dfa.transitions[rep]:
             tb = block_of[dst]
+            if tb == dead_block and tb not in renum:
+                continue
             merged[tb] = merged.get(tb, CharSet.empty()).union(cs)
-        out.transitions[b] = [(cs, tb) for tb, cs in merged.items()]
+        out.transitions[renum[b]] = [
+            (cs, renum[tb]) for tb, cs in merged.items()
+        ]
     return out
 
 

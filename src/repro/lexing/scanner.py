@@ -14,12 +14,27 @@ The scan algorithm at each point:
    (``dominates``) to shrink it.
 3. One survivor -> token.  Several -> :class:`LexicalAmbiguityError`.
    None at any length -> :class:`ScanError`.
+
+Two interchangeable engines implement that algorithm (S24):
+
+* the **interpreted** engine walks the charset-labeled
+  :class:`~repro.lexing.dfa.DFA` and works on frozensets of terminal
+  names — the executable specification, kept as the differential
+  reference;
+* the **compiled** engine (default) runs the same DFA lowered to dense
+  integer tables (:class:`~repro.lexing.compiled.CompiledDFA`): one
+  forward pass over character equivalence classes, accept sets as int
+  bitmasks, and lexical-precedence resolution memoized per candidate
+  mask.  Tokens, trees and error diagnostics are identical by
+  construction (both engines share the disambiguation-outcome and
+  error-raising code) and by test (``tests/lexing/test_compiled_scanner``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.lexing.compiled import CompiledDFA, TerminalUniverse
 from repro.lexing.dfa import DFA, build_scanner_dfa
 from repro.lexing.nfa import build_combined_nfa
 from repro.lexing.terminals import TerminalSet
@@ -28,11 +43,18 @@ from repro.util.diagnostics import SourceLocation, SourceSpan
 EOF = "$EOF"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class Token:
+    """Immutable by convention; not ``frozen=True`` because the scanner
+    builds one per token and frozen slotted construction is ~3.5x slower
+    (see :class:`~repro.util.diagnostics.SourceLocation`)."""
+
     terminal: str
     lexeme: str
     span: SourceSpan
+
+    def __hash__(self) -> int:
+        return hash((self.terminal, self.lexeme, self.span))
 
     def __repr__(self) -> str:
         return f"Token({self.terminal}, {self.lexeme!r})"
@@ -49,7 +71,13 @@ class LexicalAmbiguityError(ScanError):
 
 
 class ContextAwareScanner:
-    """Scanner over a :class:`TerminalSet`, driven by valid-lookahead sets."""
+    """Scanner over a :class:`TerminalSet`, driven by valid-lookahead sets.
+
+    ``backend="compiled"`` (default) lowers the DFA to dense tables at
+    construction; ``backend="interpreted"`` keeps the charset-walking
+    reference engine.  A pre-lowered :class:`CompiledDFA` (restored from
+    the artifact cache) may be supplied via ``compiled``.
+    """
 
     def __init__(
         self,
@@ -57,18 +85,43 @@ class ContextAwareScanner:
         *,
         minimize_dfa: bool = True,
         dfa: DFA | None = None,
+        backend: str = "compiled",
+        compiled: CompiledDFA | None = None,
     ):
+        if backend not in ("compiled", "interpreted"):
+            raise ValueError(f"unknown scanner backend {backend!r}")
         self.terminals = terminal_set
         self.layout = terminal_set.layout_names()
         if dfa is None:
             nfa = build_combined_nfa(terminal_set.regexes())
             dfa = build_scanner_dfa(nfa, do_minimize=minimize_dfa)
         self.dfa: DFA = dfa
+        if compiled is not None:
+            self.compiled: CompiledDFA | None = compiled
+        elif backend == "compiled":
+            universe = TerminalUniverse.for_terminals(terminal_set)
+            self.compiled = CompiledDFA.from_dfa(dfa, universe, self.layout)
+        else:
+            self.compiled = None
+        self.universe: TerminalUniverse | None = (
+            self.compiled.universe if self.compiled is not None else None
+        )
         # valid-set -> valid | layout.  The parser hands over one of a
         # small number of per-state valid sets, but every token of every
         # parse calls scan(); memoizing the union beats rebuilding the
         # frozenset per token.
         self._interesting: dict[frozenset[str], frozenset[str]] = {}
+        # Compiled-engine memos: valid frozenset -> bitmask, and
+        # surviving-candidate bitmask -> disambiguation outcome.
+        self._valid_masks: dict[frozenset[str], int] = {}
+        self._outcomes: dict[int, tuple] = {}
+        # Last text's equivalence-class sequence (identity-keyed; the
+        # parser hands the same str object to every scan of a parse).
+        self._cls_cache: tuple[str, object] | None = None
+        # tokenize_all's all-terminals-valid set, built once per scanner.
+        self._all_valid: frozenset[str] | None = None
+        # Batch-tokenization scan memos: valid mask -> {best_mask -> res}.
+        self._batch_memos: dict[int, dict] = {}
 
     # -- disambiguation -------------------------------------------------------
 
@@ -83,6 +136,42 @@ class ContextAwareScanner:
                     survivors.discard(other)
         return survivors
 
+    def _outcome_for(self, valid_hit: frozenset[str]) -> tuple:
+        """Resolve lexical precedence over ``valid_hit`` to one of
+        ``("tok", name)``, ``("amb", names)`` or ``("dead", names)`` —
+        the single source of truth for both scan engines."""
+        chosen = self._disambiguate(valid_hit)
+        if len(chosen) > 1:
+            return ("amb", frozenset(chosen))
+        if chosen:
+            return ("tok", next(iter(chosen)))
+        return ("dead", valid_hit)
+
+    def _raise_for_outcome(self, outcome: tuple, lexeme: str,
+                           location: SourceLocation) -> None:
+        if outcome[0] == "amb":
+            raise LexicalAmbiguityError(
+                f"lexical ambiguity between {_fmt(outcome[1])} "
+                f"on {lexeme!r} — add a disambiguation annotation",
+                location,
+            )
+        # Mutual dominance ate every candidate: previously a silent dead
+        # end (fell through to layout or "internal scanner error"); name
+        # the cycle so the extension author can fix the declarations.
+        names = outcome[1]
+        edges = ", ".join(
+            f"{a} dominates {b}"
+            for a in sorted(names)
+            for b in sorted(names)
+            if b != a and b in self.terminals[a].dominates
+        )
+        raise ScanError(
+            f"no terminal survives lexical disambiguation on {lexeme!r}: "
+            f"mutual dominance among {_fmt(names)} eliminates every "
+            f"candidate ({edges}) — break the dominance cycle",
+            location,
+        )
+
     # -- scanning --------------------------------------------------------------
 
     def scan(
@@ -94,6 +183,22 @@ class ContextAwareScanner:
         """Return the next non-layout token at ``location`` given the parser's
         valid terminal set.  EOF is reported as a token named ``$EOF`` when
         (and only when) it is in ``valid``."""
+        if self.compiled is not None:
+            mask = self._valid_masks.get(valid)
+            if mask is None:
+                mask = self._valid_masks[valid] = (
+                    self.compiled.universe.mask_of(valid)
+                )
+            return self.scan_compiled(text, location, mask, valid)[0]
+        return self.scan_interpreted(text, location, valid)
+
+    def scan_interpreted(
+        self,
+        text: str,
+        location: SourceLocation,
+        valid: frozenset[str],
+    ) -> Token:
+        """The reference engine: charset-walking DFA over name frozensets."""
         pos = location.offset
         interesting = self._interesting.get(valid)
         if interesting is None:
@@ -126,19 +231,13 @@ class ContextAwareScanner:
             lexeme = text[pos:best_end]
             end_loc = location.advanced_by(lexeme)
 
-            layout_hit = best_names & self.layout
             valid_hit = best_names & valid
             if valid_hit:
-                chosen = self._disambiguate(frozenset(valid_hit))
-                if len(chosen) > 1:
-                    raise LexicalAmbiguityError(
-                        f"lexical ambiguity between {_fmt(frozenset(chosen))} "
-                        f"on {lexeme!r} — add a disambiguation annotation",
-                        location,
-                    )
-                if chosen:
-                    return Token(next(iter(chosen)), lexeme, SourceSpan(location, end_loc))
-            if layout_hit:
+                outcome = self._outcome_for(frozenset(valid_hit))
+                if outcome[0] == "tok":
+                    return Token(outcome[1], lexeme, SourceSpan(location, end_loc))
+                self._raise_for_outcome(outcome, lexeme, location)
+            if best_names & self.layout:
                 pos = best_end
                 location = end_loc
                 continue
@@ -146,17 +245,252 @@ class ContextAwareScanner:
                 f"internal scanner error on {lexeme!r}", location
             )
 
+    def scan_compiled(
+        self,
+        text: str,
+        location: SourceLocation,
+        valid_mask: int,
+        valid: frozenset[str],
+    ) -> tuple[Token, int]:
+        """The table-driven engine: one forward pass per token over dense
+        ``state x class`` tables, returning ``(token, terminal_index)`` so
+        the compiled parser never touches terminal names.  ``valid`` is
+        only consulted to format diagnostics identical to the reference
+        engine's."""
+        cd = self.compiled
+        cached = self._cls_cache
+        if cached is not None and cached[0] is text:
+            cls = cached[1]
+        else:
+            cls = cd.classes_of_text(text)
+            self._cls_cache = (text, cls)
+        trans = cd.trans_off
+        accepts = cd.accept_off
+        start_off = cd.start_off
+        layout_mask = cd.layout_mask
+        interesting = valid_mask | layout_mask
+        text_len = len(text)
+        pos = location.offset
+        filename = location.filename
+        line = location.line
+        column = location.column
+        outcomes = self._outcomes
+        _Loc = SourceLocation
+        # The token-start location: the caller's object while no layout
+        # has been skipped, rebuilt lazily (ints -> object) afterwards so
+        # layout skips construct no location objects at all.
+        start_loc: SourceLocation | None = location
+
+        while True:
+            if pos >= text_len:
+                if start_loc is None:
+                    start_loc = _Loc(line, column, pos, filename)
+                if valid_mask & cd.eof_bit:
+                    return Token(EOF, "", SourceSpan.at(start_loc)), cd.eof_index
+                raise ScanError(
+                    f"unexpected end of input; expected one of {_fmt(valid)}",
+                    start_loc,
+                )
+
+            off = start_off
+            i = pos
+            best_end = -1
+            best_mask = 0
+            while i < text_len:
+                off = trans[off + cls[i]]
+                if off < 0:
+                    break
+                i += 1
+                hit = accepts[off] & interesting
+                if hit:
+                    best_end = i
+                    best_mask = hit
+            if best_end < 0:
+                if start_loc is None:
+                    start_loc = _Loc(line, column, pos, filename)
+                raise ScanError(
+                    f"no valid token at {text[pos:pos + 20]!r}; "
+                    f"expected one of {_fmt(valid)}",
+                    start_loc,
+                )
+
+            lexeme = text[pos:best_end]
+            # location.advanced_by(lexeme), inlined on ints.
+            nl = lexeme.count("\n")
+            if nl:
+                end_line = line + nl
+                end_col = best_end - pos - lexeme.rfind("\n") - 1
+            else:
+                end_line = line
+                end_col = column + best_end - pos
+
+            hit_mask = best_mask & valid_mask
+            if hit_mask:
+                outcome = outcomes.get(hit_mask)
+                if outcome is None:
+                    names = cd.universe.names_of(hit_mask)
+                    outcome = self._outcome_for(names)
+                    if outcome[0] == "tok":
+                        outcome = (*outcome, cd.universe.index[outcome[1]])
+                    outcomes[hit_mask] = outcome
+                if start_loc is None:
+                    start_loc = _Loc(line, column, pos, filename)
+                if outcome[0] == "tok":
+                    return (
+                        Token(
+                            outcome[1],
+                            lexeme,
+                            SourceSpan(
+                                start_loc,
+                                _Loc(end_line, end_col, best_end, filename),
+                            ),
+                        ),
+                        outcome[2],
+                    )
+                self._raise_for_outcome(outcome, lexeme, start_loc)
+            if best_mask & layout_mask:
+                pos = best_end
+                line = end_line
+                column = end_col
+                start_loc = None
+                continue
+            raise ScanError(  # pragma: no cover - guarded by accepts & interesting
+                f"internal scanner error on {lexeme!r}",
+                start_loc or _Loc(line, column, pos, filename),
+            )
+
     def tokenize_all(self, text: str, filename: str = "<input>") -> list[Token]:
         """Context-free tokenization (all terminals valid) — for tests/tools."""
-        valid = frozenset(t.name for t in self.terminals if not t.layout) | {EOF}
+        valid = self._all_valid
+        if valid is None:
+            valid = self._all_valid = frozenset(
+                t.name for t in self.terminals if not t.layout
+            ) | {EOF}
+        if self.compiled is not None:
+            return self._tokenize_compiled(text, filename, valid)
         loc = SourceLocation(filename=filename)
         out: list[Token] = []
         while True:
-            tok = self.scan(text, loc, valid)
+            tok = self.scan_interpreted(text, loc, valid)
             out.append(tok)
             if tok.terminal == EOF:
                 return out
             loc = tok.span.end
+
+    def _tokenize_compiled(
+        self, text: str, filename: str, valid: frozenset[str]
+    ) -> list[Token]:
+        """Batch tokenization over the dense tables: the fused scan loop
+        of :meth:`~repro.parsing.parser.Parser._parse_compiled` without a
+        parser — one pass, locations advanced as ints, every edge case
+        (EOF, errors, unmemoized masks) delegated to
+        :meth:`scan_compiled` for reference-identical behavior."""
+        cd = self.compiled
+        mask = self._valid_masks.get(valid)
+        if mask is None:
+            mask = self._valid_masks[valid] = cd.universe.mask_of(valid)
+        cached = self._cls_cache
+        if cached is not None and cached[0] is text:
+            cls = cached[1]
+        else:
+            cls = cd.classes_of_text(text)
+            self._cls_cache = (text, cls)
+        trans = cd.trans_off
+        start_off = cd.start_off
+        layout_mask = cd.layout_mask
+        accepts = cd.premasked_accepts(mask | layout_mask)
+        outcomes = self._outcomes
+        memo = self._batch_memos.get(mask)
+        if memo is None:
+            memo = self._batch_memos[mask] = {}
+        text_len = len(text)
+        _Loc = SourceLocation
+        _Span = SourceSpan
+        _Tok = Token
+
+        out: list[Token] = []
+        line = 1
+        column = 0
+        pos = 0
+        start_loc: SourceLocation | None = _Loc(filename=filename)
+        while True:
+            res = None
+            if pos < text_len:
+                off = start_off
+                i = pos
+                best_end = -1
+                best_mask = 0
+                while i < text_len:
+                    off = trans[off + cls[i]]
+                    if off < 0:
+                        break
+                    i += 1
+                    hit = accepts[off]
+                    if hit:
+                        best_end = i
+                        best_mask = hit
+                if best_end >= 0:
+                    res = memo.get(best_mask)
+                    if res is None:
+                        hm = best_mask & mask
+                        if hm:
+                            outcome = outcomes.get(hm)
+                            if outcome is None:
+                                outcome = self._outcome_for(
+                                    cd.universe.names_of(hm)
+                                )
+                                if outcome[0] == "tok":
+                                    outcome = (
+                                        *outcome,
+                                        cd.universe.index[outcome[1]],
+                                    )
+                                outcomes[hm] = outcome
+                            if outcome[0] == "tok":
+                                res = memo[best_mask] = (
+                                    1, outcome[1], outcome[2],
+                                )
+                        elif best_mask & layout_mask:
+                            res = memo[best_mask] = (0,)
+            if res is None:
+                # EOF, scan error, ambiguity, over-long lexeme: delegate.
+                if start_loc is None:
+                    start_loc = _Loc(line, column, pos, filename)
+                tok = self.scan_compiled(text, start_loc, mask, valid)[0]
+                out.append(tok)
+                if tok.terminal == EOF:
+                    return out
+                end_loc = tok.span.end
+                line = end_loc.line
+                column = end_loc.column
+                pos = end_loc.offset
+                start_loc = end_loc
+                continue
+            if res[0]:
+                lexeme = text[pos:best_end]
+                nl = lexeme.count("\n")
+                if nl:
+                    end_line = line + nl
+                    end_col = best_end - pos - lexeme.rfind("\n") - 1
+                else:
+                    end_line = line
+                    end_col = column + best_end - pos
+                if start_loc is None:
+                    start_loc = _Loc(line, column, pos, filename)
+                end_loc = _Loc(end_line, end_col, best_end, filename)
+                out.append(_Tok(res[1], lexeme, _Span(start_loc, end_loc)))
+                line = end_line
+                column = end_col
+                pos = best_end
+                start_loc = end_loc
+            else:  # layout
+                nl = text.count("\n", pos, best_end)
+                if nl:
+                    line += nl
+                    column = best_end - 1 - text.rfind("\n", pos, best_end)
+                else:
+                    column += best_end - pos
+                pos = best_end
+                start_loc = None
 
 
 def _fmt(names: frozenset[str]) -> str:

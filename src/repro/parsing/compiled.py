@@ -1,0 +1,210 @@
+"""Dense compiled LALR tables (S24).
+
+:class:`~repro.parsing.tables.ParseTables` keeps ACTION/GOTO as per-state
+dicts keyed by symbol name — ideal for construction and conflict
+reporting, wasteful in the parse hot loop (a string hash per token per
+step).  :class:`CompiledTables` lowers them to the integer form a parser
+generator would emit:
+
+* ACTION as one row-major ``array('l')`` of ``state * nterms + terminal``
+  entries, each encoding kind and operand in one int
+  (``0`` = error, ``target << 3 | 1`` = shift, ``prod << 3 | 2`` =
+  reduce, ``3`` = accept);
+* GOTO as a row-major ``array('i')`` over an indexed nonterminal
+  universe (``-1`` = absent);
+* per-state valid-lookahead sets as int bitmasks over the scanner's
+  terminal universe (:class:`~repro.lexing.compiled.TerminalUniverse`),
+  shared with the compiled scanner so "which terminals may follow" is a
+  single ``int`` handed straight into context-aware scanning.
+
+Terminal *indices* flow from the compiled scanner through the ACTION
+lookup without ever materializing a name, and per-production reduce
+metadata (arity, semantic action, goto row index) is resolved once at
+attach time, hoisting everything invariant out of the reduce path.
+
+:meth:`attach` additionally specializes the *runtime* action array
+(``run_action`` — the serialized ``action`` stays pristine): a reduce by
+a unit production whose semantic action is the shared identity
+:func:`~repro.grammar.cfg.PASS` is re-encoded as
+``lhs_index << 3 | 4`` — the driver collapses it to a bare GOTO, since
+the value (and therefore its span) passes through unchanged.  Unit
+chains like ``Expr -> AssignExpr -> ... -> Primary`` dominate reduce
+counts in expression-heavy programs, so this removes most of the reduce
+path's work without touching observable behavior.
+
+The dense arrays are pure data and round-trip through the artifact cache
+(:mod:`repro.service.artifacts`); semantic actions are re-attached from
+the freshly composed grammar via :meth:`CompiledTables.attach`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Callable
+
+from repro.grammar.cfg import PASS, Grammar, default_action
+from repro.lexing.compiled import TerminalUniverse
+from repro.parsing.tables import ActionKind, ParseTables
+
+_ERROR, _SHIFT, _REDUCE, _ACCEPT, _UNIT = 0, 1, 2, 3, 4
+
+_KIND_CODE = {
+    ActionKind.SHIFT: _SHIFT,
+    ActionKind.REDUCE: _REDUCE,
+    ActionKind.ACCEPT: _ACCEPT,
+}
+
+
+class CompiledTables:
+    """LALR ACTION/GOTO lowered to integer-indexed arrays."""
+
+    __slots__ = (
+        "universe",
+        "nterms",
+        "action",
+        "nonterms",
+        "nt_index",
+        "goto",
+        "valid_masks",
+        "reduce_info",
+        "run_action",
+        "nnts",
+        "scan_memos",
+        "unit_memo",
+        "interesting_masks",
+        "accepts_by_state",
+    )
+
+    def __init__(
+        self,
+        universe: TerminalUniverse,
+        action: array,
+        nonterms: tuple[str, ...],
+        goto: array,
+        valid_masks: tuple[int, ...],
+    ):
+        self.universe = universe
+        self.nterms = len(universe)
+        self.action = action
+        self.nonterms = nonterms
+        self.nt_index = {nt: i for i, nt in enumerate(nonterms)}
+        self.goto = goto
+        self.nnts = len(nonterms)
+        self.valid_masks = valid_masks
+        # Filled in by attach():
+        self.reduce_info: list[tuple] | None = None
+        self.run_action: array | None = None
+        # Per-LR-state scan memo: raw best-accept-mask -> resolved scan
+        # result ((1, terminal, tidx) for a token, (0,) for layout),
+        # populated lazily by the fused parse loop.
+        self.scan_memos: list[dict] = []
+        # PASS-unit-chain memo: (state_below * nterms + terminal) -> the
+        # state after the whole chain of unit reductions has run.  The
+        # chain is a pure function of those two (each link is a bare
+        # GOTO from the same underlying state), so the driver collapses
+        # chains to one dict lookup.
+        self.unit_memo: dict[int, int] = {}
+        # valid_mask | layout_mask per state, and the matching premasked
+        # accept tables — both set by the owning Parser (layout and the
+        # accept table live scanner-side).
+        self.interesting_masks: tuple[int, ...] = ()
+        self.accepts_by_state: list[list[int]] = []
+
+    @property
+    def num_states(self) -> int:
+        return len(self.valid_masks)
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def from_tables(
+        tables: ParseTables, universe: TerminalUniverse
+    ) -> "CompiledTables":
+        nstates = tables.num_states
+        nterms = len(universe)
+        term_index = universe.index
+        action = array("l", [_ERROR]) * (nstates * nterms)
+        valid_masks = []
+        for si, row in enumerate(tables.action):
+            base = si * nterms
+            mask = 0
+            for term, act in row.items():
+                ti = term_index[term]
+                mask |= 1 << ti
+                code = _KIND_CODE[act.kind]
+                # ACCEPT carries no operand (its ParseAction target is -1).
+                action[base + ti] = (
+                    code if code == _ACCEPT else (act.target << 3) | code
+                )
+            valid_masks.append(mask)
+
+        nonterms = tuple(
+            sorted({nt for row in tables.goto for nt in row}
+                   | {p.lhs for p in tables.grammar.productions})
+        )
+        nt_index = {nt: i for i, nt in enumerate(nonterms)}
+        nnts = len(nonterms)
+        goto = array("i", [-1]) * (nstates * nnts)
+        for si, row in enumerate(tables.goto):
+            base = si * nnts
+            for nt, tgt in row.items():
+                goto[base + nt_index[nt]] = tgt
+        return CompiledTables(
+            universe, action, nonterms, goto, tuple(valid_masks)
+        )
+
+    # -- runtime attachment ---------------------------------------------------
+
+    def attach(self, grammar: Grammar) -> "CompiledTables":
+        """Resolve per-production reduce metadata against ``grammar``
+        (arity, semantic action, goto row index) — once, not per reduce —
+        and build the specialized runtime action array."""
+        nt_index = self.nt_index
+        info: list[tuple[int, Callable[[list[Any]], Any], int]] = []
+        transparent: dict[int, int] = {}  # prod index -> lhs goto index
+        for prod in grammar.productions:
+            action = prod.action or default_action(prod)
+            lhs_i = nt_index[prod.lhs]
+            info.append((len(prod.rhs), action, lhs_i))
+            if action is PASS and len(prod.rhs) == 1:
+                transparent[prod.index] = lhs_i
+        self.reduce_info = info
+        run = array("l", self.action)
+        if transparent:
+            for i, act in enumerate(run):
+                if act & 7 == _REDUCE:
+                    lhs_i = transparent.get(act >> 3)
+                    if lhs_i is not None:
+                        run[i] = (lhs_i << 3) | _UNIT
+        self.run_action = run
+        self.scan_memos = [{} for _ in range(self.num_states)]
+        self.unit_memo = {}
+        return self
+
+    # -- serialization --------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "names": list(self.universe.names),
+            "action": self.action.tobytes(),
+            "nonterms": list(self.nonterms),
+            "goto": self.goto.tobytes(),
+            "valid_masks": list(self.valid_masks),
+        }
+
+    @staticmethod
+    def from_payload(data: dict, universe: TerminalUniverse) -> "CompiledTables":
+        if tuple(data["names"]) != universe.names:
+            raise ValueError("compiled tables universe mismatch")
+        action = array("l")
+        action.frombytes(data["action"])
+        valid_masks = tuple(int(m) for m in data["valid_masks"])
+        nterms = len(universe)
+        if len(action) != len(valid_masks) * nterms:
+            raise ValueError("compiled action table shape mismatch")
+        nonterms = tuple(data["nonterms"])
+        goto = array("i")
+        goto.frombytes(data["goto"])
+        if len(goto) != len(valid_masks) * len(nonterms):
+            raise ValueError("compiled goto table shape mismatch")
+        return CompiledTables(universe, action, nonterms, goto, valid_masks)

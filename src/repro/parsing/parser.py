@@ -5,6 +5,13 @@ LR state's valid-lookahead set* — the defining loop of a Copper-generated
 parser.  Reductions run production actions immediately (bottom-up tree
 construction); terminal children are :class:`~repro.lexing.scanner.Token`
 objects carrying lexemes and source spans.
+
+Like the scanner, the driver has two engines (S24): the interpreted loop
+over string-keyed action dicts (the reference), and a compiled loop over
+:class:`~repro.parsing.compiled.CompiledTables` — terminal indices from
+the compiled scanner straight into a dense ACTION array, integer-encoded
+actions, and per-production reduce metadata resolved at construction
+time.  Both produce identical trees and identical diagnostics.
 """
 
 from __future__ import annotations
@@ -12,15 +19,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.ag.tree import Node
 from repro.grammar.cfg import Grammar, default_action
 from repro.lexing.scanner import EOF, ContextAwareScanner, Token
+from repro.parsing.compiled import CompiledTables
 from repro.parsing.tables import ActionKind, ParseTables, build_tables
-from repro.util.diagnostics import SourceLocation
+from repro.util.diagnostics import SourceLocation, SourceSpan
 
 
 def _is_spanless_node(value: Any) -> bool:
-    from repro.ag.tree import Node
-
     return (
         isinstance(value, Node)
         and value.span.start.offset == 0
@@ -29,9 +36,6 @@ def _is_spanless_node(value: Any) -> bool:
 
 
 def _infer_span(children: list[Any]):
-    from repro.ag.tree import Node
-    from repro.util.diagnostics import SourceSpan
-
     starts = []
     ends = []
     for c in children:
@@ -61,7 +65,14 @@ class ParseResult:
 
 
 class Parser:
-    """A generated parser for one composed grammar."""
+    """A generated parser for one composed grammar.
+
+    ``backend="compiled"`` (default) drives the dense-table hot loop when
+    the scanner carries compiled tables; ``backend="interpreted"`` forces
+    the dict-walking reference loop.  A pre-lowered
+    :class:`CompiledTables` (from the artifact cache) may be supplied via
+    ``compiled``.
+    """
 
     def __init__(
         self,
@@ -70,13 +81,37 @@ class Parser:
         prefer_shift: frozenset[str] | set[str] = frozenset(),
         tables: ParseTables | None = None,
         scanner: ContextAwareScanner | None = None,
+        backend: str = "compiled",
+        compiled: CompiledTables | None = None,
     ):
+        if backend not in ("compiled", "interpreted"):
+            raise ValueError(f"unknown parser backend {backend!r}")
         self.grammar = grammar
         self.tables = tables or build_tables(grammar, prefer_shift=prefer_shift)
-        self.scanner = scanner or ContextAwareScanner(grammar.terminal_set)
+        self.scanner = scanner or ContextAwareScanner(
+            grammar.terminal_set, backend=backend
+        )
+        self.compiled: CompiledTables | None = None
+        cdfa = self.scanner.compiled
+        if backend == "compiled" and cdfa is not None:
+            if not self.tables._valid:
+                self.tables.finalize()
+            ct = compiled or CompiledTables.from_tables(self.tables, cdfa.universe)
+            self.compiled = ct.attach(grammar)
+            ct.interesting_masks = tuple(
+                m | cdfa.layout_mask for m in ct.valid_masks
+            )
+            ct.accepts_by_state = [
+                cdfa.premasked_accepts(m) for m in ct.interesting_masks
+            ]
 
     def parse(self, text: str, filename: str = "<input>") -> Any:
         """Parse ``text``, returning the start production's action value."""
+        if self.compiled is not None:
+            return self._parse_compiled(text, filename)
+        return self._parse_interpreted(text, filename)
+
+    def _parse_interpreted(self, text: str, filename: str = "<input>") -> Any:
         state_stack: list[int] = [0]
         value_stack: list[Any] = []
         loc = SourceLocation(filename=filename)
@@ -110,7 +145,7 @@ class Parser:
                     del state_stack[len(state_stack) - n:]
                     del value_stack[len(value_stack) - n:]
                 action = prod.action or default_action(prod)
-                value = action(list(children))
+                value = action(children)
                 # Attach source spans to freshly built AST nodes whose
                 # actions dropped the tokens (the common case).
                 if _is_spanless_node(value):
@@ -128,3 +163,206 @@ class Parser:
             else:  # ACCEPT
                 # Stack holds exactly the start symbol's value.
                 return ParseResult(value_stack[-1], tokens).value
+
+    def _parse_compiled(self, text: str, filename: str = "<input>") -> Any:
+        """The fused scan+parse hot loop.
+
+        The scanner's single-forward-pass engine is inlined here so the
+        steady state spends no per-token call or prologue: the char loop
+        runs over the cached equivalence-class sequence, the raw
+        best-accept mask resolves through a per-LR-state memo to either
+        a terminal index or a layout skip, and source locations advance
+        as plain ints (objects are built only at token boundaries).
+        Every non-hot case — EOF, scan errors, ambiguities, dominance
+        dead ends, unmemoized masks — delegates to
+        :meth:`~repro.lexing.scanner.ContextAwareScanner.scan_compiled`,
+        which produces results and diagnostics identical to the
+        interpreted reference engine.
+        """
+        ct = self.compiled
+        sc = self.scanner
+        cd = sc.compiled
+        cached = sc._cls_cache
+        if cached is not None and cached[0] is text:
+            cls = cached[1]
+        else:
+            cls = cd.classes_of_text(text)
+            sc._cls_cache = (text, cls)
+        trans = cd.trans_off
+        start_off = cd.start_off
+        layout_mask = cd.layout_mask
+        action_arr = ct.run_action
+        nterms = ct.nterms
+        goto_arr = ct.goto
+        nnts = ct.nnts
+        valid_masks = ct.valid_masks
+        accepts_by_state = ct.accepts_by_state
+        valid_sets = self.tables._valid
+        reduce_info = ct.reduce_info
+        scan_memos = ct.scan_memos
+        unit_memo = ct.unit_memo
+        outcomes = sc._outcomes
+        text_len = len(text)
+        _Loc = SourceLocation
+        _Span = SourceSpan
+        _Tok = Token
+
+        state_stack: list[int] = [0]
+        value_stack: list[Any] = []
+        state = 0
+        line = 1
+        column = 0
+        pos = 0
+        start_loc: SourceLocation | None = _Loc(filename=filename)
+        tokens = 0
+
+        while True:
+            # -- scan one token for the current LR state ----------------------
+            accepts = accepts_by_state[state]
+            memo = scan_memos[state]
+            while True:
+                if pos >= text_len:
+                    token = None  # EOF (or layout-then-EOF): delegate
+                    break
+                off = start_off
+                i = pos
+                best_end = -1
+                best_mask = 0
+                while i < text_len:
+                    off = trans[off + cls[i]]
+                    if off < 0:
+                        break
+                    i += 1
+                    hit = accepts[off]
+                    if hit:
+                        best_end = i
+                        best_mask = hit
+                if best_end < 0:
+                    token = None  # scan error: delegate for the diagnostic
+                    break
+                res = memo.get(best_mask)
+                if res is None:
+                    hm = best_mask & valid_masks[state]
+                    if hm:
+                        outcome = outcomes.get(hm)
+                        if outcome is None:
+                            outcome = sc._outcome_for(cd.universe.names_of(hm))
+                            if outcome[0] == "tok":
+                                outcome = (*outcome, cd.universe.index[outcome[1]])
+                            outcomes[hm] = outcome
+                        if outcome[0] != "tok":
+                            token = None  # ambiguity/dominance: delegate
+                            break
+                        res = memo[best_mask] = (1, outcome[1], outcome[2])
+                    elif best_mask & layout_mask:
+                        res = memo[best_mask] = (0,)
+                    else:  # pragma: no cover - accepts & interesting guards
+                        token = None
+                        break
+                if res[0]:
+                    lexeme = text[pos:best_end]
+                    nl = lexeme.count("\n")
+                    if nl:
+                        end_line = line + nl
+                        end_col = best_end - pos - lexeme.rfind("\n") - 1
+                    else:
+                        end_line = line
+                        end_col = column + best_end - pos
+                    if start_loc is None:
+                        start_loc = _Loc(line, column, pos, filename)
+                    end_loc = _Loc(end_line, end_col, best_end, filename)
+                    token = _Tok(res[1], lexeme, _Span(start_loc, end_loc))
+                    tidx = res[2]
+                    line = end_line
+                    column = end_col
+                    pos = best_end
+                    start_loc = end_loc
+                    break
+                # layout: advance ints only, no objects, no lexeme slice
+                nl = text.count("\n", pos, best_end)
+                if nl:
+                    line += nl
+                    column = best_end - 1 - text.rfind("\n", pos, best_end)
+                else:
+                    column += best_end - pos
+                pos = best_end
+                start_loc = None
+            if token is None:
+                # Slow path: reproduce the reference behavior exactly —
+                # returns the token (EOF, unmemoized edge) or raises the
+                # identical ScanError/LexicalAmbiguityError.
+                if start_loc is None:
+                    start_loc = _Loc(line, column, pos, filename)
+                token, tidx = sc.scan_compiled(
+                    text, start_loc, valid_masks[state], valid_sets[state]
+                )
+                end_loc = token.span.end
+                line = end_loc.line
+                column = end_loc.column
+                pos = end_loc.offset
+                start_loc = end_loc
+            tokens += 1
+
+            # -- drive the LR automaton until the token is consumed -----------
+            while True:
+                act = action_arr[state * nterms + tidx]
+                kind = act & 7
+                if kind == 4:  # reduce by a PASS unit production: bare GOTO
+                    # Every link of a unit chain is a GOTO from the same
+                    # state-below on the same lookahead, so the chain's
+                    # final state is a function of (state_below, first
+                    # lhs, terminal): memoize it and replay whole chains
+                    # as one dict hit.
+                    sb_base = state_stack[-2] * nnts
+                    key = (sb_base + (act >> 3)) * nterms + tidx
+                    fs = unit_memo.get(key)
+                    if fs is None:
+                        fs = goto_arr[sb_base + (act >> 3)]
+                        a = action_arr[fs * nterms + tidx]
+                        while a & 7 == 4:
+                            fs = goto_arr[sb_base + (a >> 3)]
+                            a = action_arr[fs * nterms + tidx]
+                        unit_memo[key] = fs
+                    state = fs
+                    state_stack[-1] = fs
+                elif kind == 2:  # reduce
+                    n, sem_action, lhs_i = reduce_info[act >> 3]
+                    if n:
+                        children = value_stack[-n:]
+                        del state_stack[-n:]
+                        del value_stack[-n:]
+                    else:
+                        children = []
+                    value = sem_action(children)
+                    if (
+                        isinstance(value, Node)
+                        and value.span.start.offset == 0
+                        and value.span.end.offset == 0
+                    ):
+                        span = _infer_span(children)
+                        if span is not None:
+                            value.span = span
+                    state = goto_arr[state_stack[-1] * nnts + lhs_i]
+                    if state < 0:  # pragma: no cover - table invariant
+                        raise ParseError(
+                            "internal parser error: no goto for "
+                            f"{ct.nonterms[lhs_i]}",
+                            token.span.start,
+                        )
+                    state_stack.append(state)
+                    value_stack.append(value)
+                elif kind == 1:  # shift: token consumed, scan the next
+                    state = act >> 3
+                    state_stack.append(state)
+                    value_stack.append(token)
+                    break
+                elif kind == 3:  # accept
+                    return ParseResult(value_stack[-1], tokens).value
+                else:  # error
+                    valid = valid_sets[state]
+                    expected = ", ".join(sorted(valid - {EOF})[:10])
+                    raise ParseError(
+                        f"syntax error at {token.lexeme!r} ({token.terminal}); "
+                        f"expected one of: {expected}",
+                        token.span.start,
+                    )

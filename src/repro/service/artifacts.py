@@ -6,8 +6,15 @@ Both results are pure data — state-indexed action/goto maps and
 charset-labeled DFA transitions — so they are serialized to a versioned
 on-disk cache keyed by :func:`~repro.service.fingerprint.syntax_fingerprint`
 and restored into a :class:`~repro.parsing.parser.Parser` without touching
-the generators.  Semantic actions and attribute-grammar equations are
-*not* serialized; they are re-attached from the freshly composed grammar.
+the generators.  Since format 2 (S24) an entry also carries the *dense*
+compiled front-end tables — the scanner's equivalence-class map /
+transition array / accept bitmasks
+(:meth:`~repro.lexing.compiled.CompiledDFA.to_payload`) and the parser's
+integer ACTION/GOTO arrays with valid-lookahead masks
+(:meth:`~repro.parsing.compiled.CompiledTables.to_payload`) — so a warm
+start skips lowering as well as generation.  Semantic actions and
+attribute-grammar equations are *not* serialized; they are re-attached
+from the freshly composed grammar.
 
 Cache location: ``$REPRO_CACHE_DIR`` if set (the values ``off``, ``0``,
 ``none`` and ``disabled`` turn persistence off entirely), else
@@ -26,7 +33,9 @@ from pathlib import Path
 
 from repro.grammar.cfg import Grammar
 from repro.lexing.charset import CharSet
+from repro.lexing.compiled import CompiledDFA
 from repro.lexing.dfa import DFA
+from repro.parsing.compiled import CompiledTables
 from repro.parsing.tables import ActionKind, ParseAction, ParseTables
 from repro.service.fingerprint import ARTIFACT_FORMAT
 
@@ -128,8 +137,12 @@ class ArtifactStore:
         assert self.root is not None
         return self.root / f"v{ARTIFACT_FORMAT}" / f"{fingerprint}.pkl"
 
-    def load(self, fingerprint: str, grammar: Grammar) -> tuple[ParseTables, DFA] | None:
-        """Restore (tables, dfa) for ``fingerprint``, re-attaching ``grammar``.
+    def load(
+        self, fingerprint: str, grammar: Grammar
+    ) -> tuple[ParseTables, DFA, CompiledDFA | None, CompiledTables | None] | None:
+        """Restore ``(tables, dfa, compiled_dfa, compiled_tables)`` for
+        ``fingerprint``, re-attaching ``grammar``.  The two compiled
+        payloads are None when the entry was saved without them.
 
         Returns None on miss; silently discards corrupt or stale entries.
         """
@@ -150,14 +163,28 @@ class ArtifactStore:
                 raise ValueError("artifact header mismatch")
             tables = _decode_tables(grammar, payload["tables"])
             dfa = _decode_dfa(payload["dfa"])
+            cdfa = ct = None
+            if payload.get("compiled_dfa") is not None:
+                cdfa = CompiledDFA.from_payload(payload["compiled_dfa"])
+                if payload.get("compiled_tables") is not None:
+                    ct = CompiledTables.from_payload(
+                        payload["compiled_tables"], cdfa.universe
+                    )
         except Exception:
             # Corrupt, truncated, or written by an incompatible build:
             # drop it and let the caller rebuild.
             self._discard(path)
             return None
-        return tables, dfa
+        return tables, dfa, cdfa, ct
 
-    def save(self, fingerprint: str, tables: ParseTables, dfa: DFA) -> bool:
+    def save(
+        self,
+        fingerprint: str,
+        tables: ParseTables,
+        dfa: DFA,
+        compiled_dfa: CompiledDFA | None = None,
+        compiled_tables: CompiledTables | None = None,
+    ) -> bool:
         """Persist artifacts; returns False (silently) on any I/O failure."""
         if self.root is None:
             return False
@@ -168,6 +195,14 @@ class ArtifactStore:
             "fingerprint": fingerprint,
             "tables": _encode_tables(tables),
             "dfa": _encode_dfa(dfa),
+            "compiled_dfa": (
+                compiled_dfa.to_payload() if compiled_dfa is not None else None
+            ),
+            "compiled_tables": (
+                compiled_tables.to_payload()
+                if compiled_tables is not None
+                else None
+            ),
         }
         try:
             path.parent.mkdir(parents=True, exist_ok=True)

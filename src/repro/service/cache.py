@@ -167,13 +167,23 @@ class TranslatorCache:
             fp = syntax_fingerprint(modules)
             restored = store.load(fp, grammar)
             if restored is not None:
-                tables, dfa = restored
+                tables, dfa, cdfa, ct = restored
                 self.counters.add(artifact_hits=1)
-                scanner = ContextAwareScanner(grammar.terminal_set, dfa=dfa)
-                return Parser(grammar, tables=tables, scanner=scanner)
+                scanner = ContextAwareScanner(
+                    grammar.terminal_set, dfa=dfa, compiled=cdfa
+                )
+                return Parser(
+                    grammar, tables=tables, scanner=scanner, compiled=ct
+                )
             self.counters.add(artifact_misses=1)
             parser = Parser(grammar, prefer_shift=prefer_shift)
-            store.save(fp, parser.tables, parser.scanner.dfa)
+            store.save(
+                fp,
+                parser.tables,
+                parser.scanner.dfa,
+                parser.scanner.compiled,
+                parser.compiled,
+            )
             return parser
 
         return factory

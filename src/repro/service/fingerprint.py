@@ -35,7 +35,10 @@ from repro.lexing.regex import Alt, Chars, Concat, Epsilon, Regex, Star
 from repro.lexing.terminals import Terminal
 
 # Bump when the artifact serialization layout changes incompatibly.
-ARTIFACT_FORMAT = 1
+# 2: S24 — entries additionally carry the dense compiled scanner/parser
+#    tables (CompiledDFA / CompiledTables payloads); format-1 entries
+#    predate them and are discarded wholesale via the versioned subdir.
+ARTIFACT_FORMAT = 2
 
 
 def encode_regex(rx: Regex) -> str:

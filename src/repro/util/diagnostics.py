@@ -13,14 +13,24 @@ import enum
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class SourceLocation:
-    """A point in a source file: 1-based line, 0-based column, absolute offset."""
+    """A point in a source file: 1-based line, 0-based column, absolute offset.
+
+    Immutable by convention.  Not ``frozen=True``: a frozen slotted
+    dataclass constructs through ``object.__setattr__`` per field, and the
+    scanner builds one of these (plus a span and a token) per token — the
+    plain-assignment ``__init__`` is ~3.5x faster and sets the per-token
+    cost floor for the compiled front end (S24).
+    """
 
     line: int = 1
     column: int = 0
     offset: int = 0
     filename: str = "<input>"
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column, self.offset, self.filename))
 
     def __str__(self) -> str:
         return f"{self.filename}:{self.line}:{self.column + 1}"
@@ -37,12 +47,18 @@ class SourceLocation:
         return SourceLocation(line, column, self.offset + len(text), self.filename)
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class SourceSpan:
-    """A half-open region ``[start, end)`` of a source file."""
+    """A half-open region ``[start, end)`` of a source file.
+
+    Immutable by convention; see :class:`SourceLocation` on why not frozen.
+    """
 
     start: SourceLocation = field(default_factory=SourceLocation)
     end: SourceLocation = field(default_factory=SourceLocation)
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end))
 
     @staticmethod
     def at(loc: SourceLocation) -> "SourceSpan":

@@ -1,0 +1,202 @@
+"""Differential suite: compiled scanner vs. the interpreted reference (S24).
+
+The compiled engine (dense equivalence-class map, array transitions,
+accept bitmasks, memoized dominance resolution) must be *behaviorally
+identical* to the interpreted charset-walking engine: same tokens with
+the same spans, and the same error type / message / location on every
+failure.  This suite drives both engines over the bundled program
+corpus, randomized token streams, restricted valid-lookahead contexts,
+non-ASCII inputs exercising the overflow interval map, and malformed
+inputs — asserting equality throughout.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import make_translator
+from repro.lexing import (
+    EOF,
+    ContextAwareScanner,
+    LexicalAmbiguityError,
+    ScanError,
+    TerminalSet,
+)
+from repro.programs import PROGRAMS, load
+from repro.util.diagnostics import SourceLocation
+
+
+def scanner_pair(terminal_set) -> tuple[ContextAwareScanner, ContextAwareScanner]:
+    return (
+        ContextAwareScanner(terminal_set, backend="compiled"),
+        ContextAwareScanner(terminal_set, backend="interpreted"),
+    )
+
+
+@pytest.fixture(scope="module")
+def grammar_scanners():
+    """Both engines over the fully composed extension grammar."""
+    t = make_translator(["matrix", "transform"], fresh=True)
+    ts = t.grammar.terminal_set
+    return scanner_pair(ts)
+
+
+class TestCorpusDifferential:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_identical_token_streams(self, grammar_scanners, name):
+        comp, interp = grammar_scanners
+        text = load(name)
+        toks_c = comp.tokenize_all(text, filename=name)
+        toks_i = interp.tokenize_all(text, filename=name)
+        assert toks_c == toks_i
+        assert toks_c[-1].terminal == EOF
+
+    def test_spans_identical_not_just_tokens(self, grammar_scanners):
+        comp, interp = grammar_scanners
+        text = load("fig8")
+        for tc, ti in zip(
+            comp.tokenize_all(text), interp.tokenize_all(text), strict=True
+        ):
+            assert tc.span == ti.span
+            assert (tc.span.start.line, tc.span.start.column) == (
+                ti.span.start.line,
+                ti.span.start.column,
+            )
+
+
+class TestRandomizedDifferential:
+    FRAGMENTS = [
+        "with", "genarray", "fold", "int", "float", "return", "if",
+        "while", "matrix", "x", "ssh", "_tmp9", "withy", "genarray2",
+        "0", "42", "3.25", "007",
+        "+", "-", "*", "/", "<=", "<", ">=", ">", "==", "=", "(", ")",
+        "[", "]", "{", "}", ";", ",", ".",
+        " ", "  ", "\n", "\t", "// comment\n",
+    ]
+
+    def test_random_streams_identical(self, grammar_scanners):
+        comp, interp = grammar_scanners
+        rng = random.Random(24)
+        for trial in range(60):
+            text = "".join(
+                rng.choice(self.FRAGMENTS) for _ in range(rng.randint(1, 60))
+            )
+            try:
+                toks_i = interp.tokenize_all(text)
+                err_i = None
+            except ScanError as e:
+                toks_i, err_i = None, e
+            if err_i is None:
+                assert comp.tokenize_all(text) == toks_i, repr(text)
+            else:
+                with pytest.raises(type(err_i)) as ei:
+                    comp.tokenize_all(text)
+                assert str(ei.value) == str(err_i), repr(text)
+
+    def test_random_restricted_contexts_identical(self, grammar_scanners):
+        """Per-call scan() with random valid-lookahead subsets — the
+        context-aware path the parser exercises."""
+        comp, interp = grammar_scanners
+        names = sorted(t.name for t in comp.terminals if not t.layout)
+        rng = random.Random(7)
+        for trial in range(80):
+            text = "".join(
+                rng.choice(self.FRAGMENTS) for _ in range(rng.randint(1, 8))
+            )
+            valid = frozenset(rng.sample(names, rng.randint(1, len(names))))
+            valid |= {EOF}
+            loc = SourceLocation()
+            try:
+                tok_i = interp.scan(text, loc, valid)
+                err_i = None
+            except ScanError as e:
+                tok_i, err_i = None, e
+            if err_i is None:
+                assert comp.scan(text, loc, valid) == tok_i, repr(text)
+            else:
+                with pytest.raises(type(err_i)) as ei:
+                    comp.scan(text, loc, valid)
+                assert str(ei.value) == str(err_i), repr(text)
+
+
+class TestNonAsciiOverflow:
+    @pytest.fixture(scope="class")
+    def unicode_scanners(self):
+        ts = TerminalSet()
+        ts.declare("WS", r"[ \t\n]+", layout=True)
+        ts.declare("Identifier", r"[a-zA-Z_]\w*")
+        # Greek-range terminal: exercises the sorted-interval overflow
+        # map (codepoints >= 256) in the compiled class mapper.
+        ts.declare("Greek", "[α-ω]+")
+        ts.declare("Plus", r"\+")
+        return scanner_pair(ts)
+
+    def test_greek_tokens_identical(self, unicode_scanners):
+        comp, interp = unicode_scanners
+        text = "abc + αβγ + ω + xyz"
+        toks_c = comp.tokenize_all(text)
+        assert toks_c == interp.tokenize_all(text)
+        assert [t.terminal for t in toks_c] == [
+            "Identifier", "Plus", "Greek", "Plus", "Greek", "Plus",
+            "Identifier", EOF,
+        ]
+
+    def test_out_of_range_codepoints_error_identically(self, unicode_scanners):
+        comp, interp = unicode_scanners
+        # CJK and astral codepoints fall outside every overflow interval
+        # (class 0 — no transition); both engines must reject alike.
+        for text in ("中文", "a + \U0001f600", "α￿"):
+            with pytest.raises(ScanError) as ec:
+                comp.tokenize_all(text)
+            with pytest.raises(ScanError) as ei:
+                interp.tokenize_all(text)
+            assert str(ec.value) == str(ei.value)
+
+    def test_class_map_matches_scalar_query(self, unicode_scanners):
+        comp, _ = unicode_scanners
+        cd = comp.compiled
+        text = "ab αωκ + 中\U0001f600 z"
+        cls = cd.classes_of_text(text)
+        assert list(cls) == [cd.class_of(ord(c)) for c in text]
+
+
+class TestErrorIdentity:
+    CASES = [
+        "int x @ 3;",          # no token at '@'
+        "@",                   # error at offset 0
+        "x = 1;\n  @@",        # error on a later line (location check)
+        "",                    # EOF only
+        "   \n\t ",            # layout then EOF
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_same_error_or_stream(self, grammar_scanners, text):
+        comp, interp = grammar_scanners
+        try:
+            toks_i = interp.tokenize_all(text)
+            err_i = None
+        except ScanError as e:
+            toks_i, err_i = None, e
+        if err_i is None:
+            assert comp.tokenize_all(text) == toks_i
+        else:
+            with pytest.raises(type(err_i)) as ec:
+                comp.tokenize_all(text)
+            assert str(ec.value) == str(err_i)
+            assert ec.value.location == err_i.location
+
+    def test_ambiguity_identical(self):
+        ts = TerminalSet()
+        ts.declare("WS", r"[ \t]+", layout=True)
+        ts.declare("A", "[ab]+")
+        ts.declare("B", "[ba]+")
+        comp, interp = scanner_pair(ts)
+        loc = SourceLocation()
+        valid = frozenset({"A", "B", EOF})
+        with pytest.raises(LexicalAmbiguityError) as ec:
+            comp.scan("abab", loc, valid)
+        with pytest.raises(LexicalAmbiguityError) as ei:
+            interp.scan("abab", loc, valid)
+        assert str(ec.value) == str(ei.value)

@@ -104,6 +104,39 @@ class TestErrors:
         assert ei.value.location.line == 2
 
 
+class TestDominanceDeadEnd:
+    """Mutual dominance eliminating every candidate used to fall through
+    to an unhelpful internal error; it must name the cycle instead."""
+
+    @pytest.fixture()
+    def cyclic(self) -> TerminalSet:
+        ts = TerminalSet()
+        ts.declare("WS", r"[ \t]+", layout=True)
+        ts.declare("Up", "[ab]+", dominates=("Down",))
+        ts.declare("Down", "[ba]+", dominates=("Up",))
+        return ts
+
+    @pytest.mark.parametrize("backend", ["compiled", "interpreted"])
+    def test_cycle_named_in_diagnostic(self, cyclic, backend):
+        sc = ContextAwareScanner(cyclic, backend=backend)
+        with pytest.raises(ScanError) as ei:
+            sc.scan("abba", SourceLocation(), frozenset({"Up", "Down", EOF}))
+        msg = str(ei.value)
+        assert "mutual dominance" in msg
+        assert "Down dominates Up" in msg and "Up dominates Down" in msg
+        assert "break the dominance cycle" in msg
+
+    def test_both_engines_raise_identically(self, cyclic):
+        comp = ContextAwareScanner(cyclic, backend="compiled")
+        interp = ContextAwareScanner(cyclic, backend="interpreted")
+        errs = []
+        for sc in (comp, interp):
+            with pytest.raises(ScanError) as ei:
+                sc.scan("ab", SourceLocation(), frozenset({"Up", "Down"}))
+            errs.append(str(ei.value))
+        assert errs[0] == errs[1]
+
+
 class TestTokenizeAll:
     def test_stream(self, scanner):
         toks = scanner.tokenize_all("with x <= 4 + 3.5 // done")

@@ -1,0 +1,188 @@
+"""Differential suite: compiled parser vs. the interpreted reference (S24).
+
+The fused dense-table driver (integer ACTION/GOTO, terminal indices,
+PASS-unit collapsing, inlined scanning) must produce exactly the trees,
+values and diagnostics of the interpreted dict-walking loop.  This suite
+compares both engines over the bundled corpus, randomized malformed
+inputs, custom grammars exercising the unit-chain fast path, and tables
+round-tripped through their serialized payload form.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import make_translator
+from repro.grammar import GrammarSpec
+from repro.grammar.cfg import PASS
+from repro.lexing.scanner import ContextAwareScanner, ScanError
+from repro.parsing import Parser
+from repro.parsing.compiled import CompiledTables
+from repro.parsing.parser import ParseError
+from repro.programs import PROGRAMS, load
+
+
+@pytest.fixture(scope="module")
+def engine_pair():
+    t = make_translator(["matrix", "transform"], fresh=True)
+    pc = t.parser
+    g = pc.grammar
+    pi = Parser(
+        g,
+        tables=pc.tables,
+        scanner=ContextAwareScanner(g.terminal_set, backend="interpreted"),
+        backend="interpreted",
+    )
+    return pc, pi
+
+
+def _outcome(parser, text, filename="<input>"):
+    try:
+        return ("ok", parser.parse(text, filename=filename))
+    except (ParseError, ScanError) as e:
+        return ("err", type(e).__name__, str(e))
+
+
+class TestCorpusDifferential:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_identical_trees(self, engine_pair, name):
+        pc, pi = engine_pair
+        text = load(name)
+        assert pc.parse(text, filename=name) == pi.parse(text, filename=name)
+
+    def test_spans_identical(self, engine_pair):
+        pc, pi = engine_pair
+        text = load("fig1")
+        tree_c = pc.parse(text)
+        tree_i = pi.parse(text)
+
+        spans_c = [(n.prod, n.span.start.offset, n.span.end.offset)
+                   for n in tree_c.walk()]
+        spans_i = [(n.prod, n.span.start.offset, n.span.end.offset)
+                   for n in tree_i.walk()]
+        assert spans_c == spans_i
+
+
+class TestErrorIdentity:
+    CASES = [
+        "int main( { return 0; }",            # missing parameter close
+        "int main() { return 0 }",            # missing semicolon
+        "int main() { x = ; }",               # expression expected
+        "int main() { return 0; } trailing",  # junk after program
+        "with",                               # marking terminal, then EOF
+        "int main() { int x @ 3; }",          # scan error inside parse
+        "",                                   # empty input
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_same_diagnostic(self, engine_pair, text):
+        pc, pi = engine_pair
+        out_c = _outcome(pc, text)
+        out_i = _outcome(pi, text)
+        assert out_c == out_i
+
+    def test_random_mutations_identical(self, engine_pair):
+        """Corrupt valid programs (drop/duplicate slices) — both engines
+        must agree on accept vs. the exact error."""
+        pc, pi = engine_pair
+        rng = random.Random(42)
+        base = load("fig1")
+        for trial in range(40):
+            i = rng.randrange(len(base))
+            j = min(len(base), i + rng.randint(1, 12))
+            if rng.random() < 0.5:
+                text = base[:i] + base[j:]          # deletion
+            else:
+                text = base[:i] + base[i:j] + base[i:]  # duplication
+            assert _outcome(pc, text) == _outcome(pi, text), repr(text[:80])
+
+
+class TestUnitChainFastPath:
+    """The PASS-unit collapse must be observationally transparent."""
+
+    @staticmethod
+    def _spec(wrap_action):
+        g = GrammarSpec("t", start="E")
+        g.terminal("WS", r"[ \t]+", layout=True)
+        g.terminal("N", r"\d+")
+        g.terminal("Plus", r"\+")
+        g.production("E ::= E Plus T",
+                      action=lambda c: ("+", c[0], c[2]))
+        g.production("E ::= T", action=PASS)
+        g.production("T ::= F", action=wrap_action)
+        g.production("F ::= N", action=lambda c: int(c[0].lexeme))
+        return g.build()
+
+    def test_pass_chain_identical(self):
+        g = self._spec(PASS)
+        pc = Parser(g)
+        pi = Parser(g, scanner=ContextAwareScanner(
+            g.terminal_set, backend="interpreted"), backend="interpreted")
+        for text in ("1", "1 + 2", "1 + 2 + 30"):
+            assert pc.parse(text) == pi.parse(text)
+
+    def test_non_pass_unit_action_still_runs(self):
+        """A unit production with a *non-PASS* action must not be
+        collapsed — its action is observable."""
+        wrap = lambda c: ("wrap", c[0])
+        g = self._spec(wrap)
+        pc = Parser(g)
+        pi = Parser(g, scanner=ContextAwareScanner(
+            g.terminal_set, backend="interpreted"), backend="interpreted")
+        tree = pc.parse("1 + 2")
+        assert tree == pi.parse("1 + 2")
+        assert tree == ("+", ("wrap", 1), ("wrap", 2))
+
+    def test_pass_identity_returns_same_object(self):
+        """PASS passes the child through unchanged (same object), which
+        is exactly what makes the bare-GOTO collapse safe."""
+        sentinel = object()
+        assert PASS([sentinel]) is sentinel
+
+
+class TestPayloadRoundtrip:
+    def test_tables_from_payload_parse_identically(self, engine_pair):
+        pc, _pi = engine_pair
+        ct = pc.compiled
+        restored = CompiledTables.from_payload(ct.to_payload(), ct.universe)
+        p2 = Parser(
+            pc.grammar,
+            tables=pc.tables,
+            scanner=ContextAwareScanner(pc.grammar.terminal_set),
+            compiled=restored,
+        )
+        for name in sorted(PROGRAMS):
+            text = load(name)
+            assert p2.parse(text, filename=name) == pc.parse(
+                text, filename=name
+            )
+
+    def test_payload_universe_mismatch_rejected(self, engine_pair):
+        pc, _pi = engine_pair
+        ct = pc.compiled
+        data = ct.to_payload()
+        data["names"] = list(data["names"])[::-1]
+        with pytest.raises(ValueError):
+            CompiledTables.from_payload(data, ct.universe)
+
+    def test_payload_shape_mismatch_rejected(self, engine_pair):
+        pc, _pi = engine_pair
+        ct = pc.compiled
+        data = ct.to_payload()
+        data["valid_masks"] = data["valid_masks"][:-1]
+        with pytest.raises(ValueError):
+            CompiledTables.from_payload(data, ct.universe)
+
+
+class TestBackendSelection:
+    def test_interpreted_backend_has_no_compiled_tables(self, engine_pair):
+        _pc, pi = engine_pair
+        assert pi.compiled is None
+        assert pi.scanner.compiled is None
+
+    def test_compiled_is_the_default(self, engine_pair):
+        pc, _pi = engine_pair
+        assert pc.compiled is not None
+        assert pc.scanner.compiled is not None

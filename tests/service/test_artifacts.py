@@ -36,7 +36,7 @@ class TestRoundtrip:
 
         restored = disk_store.load(fp, t.grammar)
         assert restored is not None
-        tables, dfa = restored
+        tables, dfa, cdfa, ct = restored
         assert tables.action == t.parser.tables.action
         assert tables.goto == t.parser.tables.goto
         assert tables.automaton is None
@@ -46,16 +46,52 @@ class TestRoundtrip:
         assert [sorted(row, key=key) for row in dfa.transitions] == [
             sorted(row, key=key) for row in t.parser.scanner.dfa.transitions
         ]
+        # Saved without the compiled payloads -> restored without them.
+        assert cdfa is None and ct is None
+
+    def test_compiled_tables_roundtrip(self, disk_store):
+        modules, t = _cold_parser()
+        fp = syntax_fingerprint(modules)
+        assert disk_store.save(
+            fp,
+            t.parser.tables,
+            t.parser.scanner.dfa,
+            t.parser.scanner.compiled,
+            t.parser.compiled,
+        )
+        restored = disk_store.load(fp, t.grammar)
+        assert restored is not None
+        _tables, _dfa, cdfa, ct = restored
+        orig_cdfa = t.parser.scanner.compiled
+        assert cdfa.universe.names == orig_cdfa.universe.names
+        assert cdfa.trans == orig_cdfa.trans
+        assert cdfa.accept_masks == orig_cdfa.accept_masks
+        assert cdfa.classmap == orig_cdfa.classmap
+        assert cdfa.layout_mask == orig_cdfa.layout_mask
+        orig_ct = t.parser.compiled
+        assert ct.action == orig_ct.action
+        assert ct.goto == orig_ct.goto
+        assert ct.nonterms == orig_ct.nonterms
+        assert ct.valid_masks == orig_ct.valid_masks
 
     def test_restored_parser_parses_identically(self, disk_store):
         modules, t = _cold_parser()
         fp = syntax_fingerprint(modules)
-        disk_store.save(fp, t.parser.tables, t.parser.scanner.dfa)
-        tables, dfa = disk_store.load(fp, t.grammar)
+        disk_store.save(
+            fp,
+            t.parser.tables,
+            t.parser.scanner.dfa,
+            t.parser.scanner.compiled,
+            t.parser.compiled,
+        )
+        tables, dfa, cdfa, ct = disk_store.load(fp, t.grammar)
         parser = Parser(
             t.grammar,
             tables=tables,
-            scanner=ContextAwareScanner(t.grammar.terminal_set, dfa=dfa),
+            scanner=ContextAwareScanner(
+                t.grammar.terminal_set, dfa=dfa, compiled=cdfa
+            ),
+            compiled=ct,
         )
         src = "int main() { int x; x = 1 + 2 * 3; return x; }"
         assert parser.parse(src) == t.parser.parse(src)
