@@ -1,0 +1,10 @@
+// S25 clean control: every pass runs, nothing to report, and the
+// with-loop is certified shard-safe.
+int main() {
+    Matrix float <2> a = init(Matrix float <2>, 4, 4);
+    Matrix float <2> b = init(Matrix float <2>, 4, 4);
+    b = with ([0,0] <= [i,j] < [4,4]) genarray([4,4], a[i,j] * 2.0 + 1.0);
+    Matrix float <2> c = a + b;
+    writeMatrix("c.data", c);
+    return 0;
+}

@@ -1,0 +1,9 @@
+// S25 crafted negative: matrix multiply whose inner dimensions can
+// never agree (3x4 times 3x4 needs 4 == 3).
+int main() {
+    Matrix float <2> a = init(Matrix float <2>, 3, 4);
+    Matrix float <2> b = init(Matrix float <2>, 3, 4);
+    Matrix float <2> c = a * b;
+    writeMatrix("c.data", c);
+    return 0;
+}

@@ -1,0 +1,9 @@
+// S25 crafted negative: statically out-of-bounds matrix indexing.
+// The shape/bounds pass proves a is 3x4 (12 elements) and the flat
+// index of a[10,0] is 40 on every run -- an error before any execution.
+int main() {
+    Matrix float <2> a = init(Matrix float <2>, 3, 4);
+    float x = a[10, 0];
+    printFloat(x);
+    return 0;
+}

@@ -1,0 +1,10 @@
+// S25 crafted negative: elementwise op on shapes that can never match.
+// a is 2x2 and b is 3x3 on every path, so the runtime's rt_shape_check
+// is guaranteed to trap -- reported statically instead.
+int main() {
+    Matrix float <2> a = init(Matrix float <2>, 2, 2);
+    Matrix float <2> b = init(Matrix float <2>, 3, 3);
+    Matrix float <2> c = a + b;
+    writeMatrix("c.data", c);
+    return 0;
+}

@@ -1,0 +1,15 @@
+// S25 crafted negative for --explain-parallel: the with-loop body calls
+// a function that performs file I/O, so the region must run
+// sequentially -- and `reproc check --explain-parallel` says why.
+float peek(Matrix float <1> v, int i) {
+    writeMatrix("dbg.data", v);
+    return v[i];
+}
+
+int main() {
+    Matrix float <1> a = init(Matrix float <1>, 8);
+    Matrix float <1> b = init(Matrix float <1>, 8);
+    b = with ([0] <= [i] < [8]) genarray([8], peek(a, i) + 1.0);
+    writeMatrix("out.data", b);
+    return 0;
+}

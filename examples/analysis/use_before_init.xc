@@ -1,0 +1,13 @@
+// S25 crafted negative: definite-assignment violations.
+// x is read before any assignment (error); z is assigned on only one
+// branch before its read (warning).
+int main() {
+    int x;
+    int y = x + 1;
+    int z;
+    if (y > 0) {
+        z = 2;
+    }
+    printInt(z);
+    return 0;
+}

@@ -1,0 +1,31 @@
+"""S25 static-analysis layer: CFGs, a generic dataflow solver, and the
+domain passes behind ``reproc check``.
+
+The paper's claim that extended programs are "checked for
+domain-specific errors" before translation is realized here, one level
+above the attribute-grammar analyses: per-function control-flow graphs
+over the *lowered* plain-C trees, a worklist solver
+(forward/backward, gen/kill and lattice-join), and four passes —
+
+* :mod:`repro.analysis.initialized` — definite assignment,
+* :mod:`repro.analysis.shapes` — matrix shape/bounds intervals,
+* :mod:`repro.analysis.rcbalance` — refcount balance,
+* :mod:`repro.analysis.parsafety` — explainable parallel safety (the
+  S23 hazard fixpoint, shared with the VM via
+  ``BytecodeProgram.safety``).
+"""
+
+from repro.analysis.callgraph import CallGraph, Effect
+from repro.analysis.cfg import CFG, Block, build_cfg, function_cfgs
+from repro.analysis.dataflow import GenKill, solve, solve_genkill
+from repro.analysis.parsafety import (
+    Blocker, ParallelSafety, ParallelVerdict, analyze_parallel,
+)
+from repro.analysis.report import AnalysisReport, analyze_result
+
+__all__ = [
+    "AnalysisReport", "Block", "Blocker", "CallGraph", "CFG", "Effect",
+    "GenKill", "ParallelSafety", "ParallelVerdict", "analyze_parallel",
+    "analyze_result", "build_cfg", "function_cfgs", "solve",
+    "solve_genkill",
+]

@@ -1,0 +1,181 @@
+"""Shared static call graph over compiled bytecode (one traversal, two
+consumers).
+
+S23 buried call-graph construction inside
+``BytecodeProgram._direct_hazards``; S25 lifts it here so that the VM's
+parallel-eligibility gate and the ``reproc check`` diagnostics consume
+the *same* scan.  A node is keyed ``("fn", name)`` for an ordinary
+function or ``("lifted", name)`` for a lifted pool-worker body, exactly
+as before; each node records
+
+* its **direct effects** — ``(hazard, description)`` pairs, where the
+  description is the user-facing evidence (``"writes a matrix file
+  (writeMatrix)"``) that the explainable parallel-safety pass surfaces,
+  and
+* its **call edges**, labeled with how the edge arises (call, spawn, or
+  pool region).
+
+Scanning is per-node lazy and memoized, mirroring the VM's on-demand
+compilation: a node that is never reached from a parallel construct is
+never compiled, and an *uncompilable* node (unknown function, raw C the
+VM cannot interpret) degrades to the full hazard set — sequential
+execution raises when and only when that path actually runs, so the
+pool must keep it on-thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.hazards import (
+    ALL_HAZARDS, H_IO, H_POOL, H_PRINT, H_RC, H_SPAWN, H_TRAP, TRAP_OPS,
+)
+
+Key = tuple[str, str]  # ("fn" | "lifted", name)
+
+
+def display_name(key: Key) -> str:
+    kind, name = key
+    return f"with-loop region '{name}'" if kind == "lifted" else f"'{name}'"
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One direct hazard of a node, with user-facing evidence."""
+
+    hazard: str
+    what: str
+
+
+@dataclass
+class CGNode:
+    key: Key
+    effects: tuple[Effect, ...] = ()
+    # callee key -> how the edge arises ("calls 'f'", "spawns 'f'", ...)
+    calls: dict[Key, str] = field(default_factory=dict)
+
+    @property
+    def hazards(self) -> frozenset:
+        return frozenset(e.hazard for e in self.effects)
+
+
+# Per-opcode trap evidence (TRAP_OPS membership decides *whether* an op
+# traps; this table only words the why).
+_TRAP_WHAT = {
+    "/": "division may trap (divide by zero)",
+    "%": "modulo may trap (divide by zero)",
+    "cast_int": "float-to-int cast may trap (overflow/NaN)",
+    "rt_getf": "matrix element read may trap (index out of range)",
+    "rt_geti": "matrix element read may trap (index out of range)",
+    "rt_setf": "matrix element write may trap (index out of range)",
+    "rt_seti": "matrix element write may trap (index out of range)",
+    "rt_dim": "dimension query may trap (axis out of range)",
+    "rc_dec": "refcount release may trap (underflow)",
+    "fastloop": "fused numpy loop may trap on its scalar fallback",
+}
+
+_INTR_EFFECTS = {
+    "_read_matrix": ((H_IO, "reads a matrix file (readMatrix)"),
+                     (H_TRAP, "file read may trap (missing/corrupt file)")),
+    "_write_matrix": ((H_IO, "writes a matrix file (writeMatrix)"),
+                      (H_TRAP, "file write may trap")),
+    "_print_int": ((H_PRINT, "prints to stdout (printInt)"),
+                   (H_TRAP, "printing may trap")),
+    "_print_float": ((H_PRINT, "prints to stdout (printFloat)"),
+                     (H_TRAP, "printing may trap")),
+}
+
+
+class CallGraph:
+    """Lazy, memoized call graph over a :class:`BytecodeProgram`."""
+
+    def __init__(self, program):
+        self.program = program
+        self._nodes: dict[Key, CGNode] = {}
+
+    def node(self, key: Key) -> CGNode:
+        n = self._nodes.get(key)
+        if n is None:
+            n = self._scan(key)
+            self._nodes[key] = n
+        return n
+
+    def reachable(self, *roots: Key) -> list[Key]:
+        """All keys reachable from ``roots`` (roots first, DFS order);
+        expands — and therefore compiles — exactly that subgraph."""
+        seen: list[Key] = []
+        stack = list(reversed(roots))
+        marked = set(stack)
+        while stack:
+            key = stack.pop()
+            seen.append(key)
+            for callee in self.node(key).calls:
+                if callee not in marked:
+                    marked.add(callee)
+                    stack.append(callee)
+        return seen
+
+    # -- the single instruction-stream traversal -----------------------------
+
+    def _scan(self, key: Key) -> CGNode:
+        from repro.cexec.interp import InterpError
+
+        kind, name = key
+        program = self.program
+        try:
+            code = (program.lifted_code_for(name) if kind == "lifted"
+                    else program.code_for(name))
+        except InterpError as err:
+            # Uncompilable or unknown: sequential execution raises when
+            # (and only when) this path runs, so keep it on-thread.
+            return CGNode(
+                key,
+                tuple(Effect(h, f"cannot be analyzed: {err}")
+                      for h in sorted(ALL_HAZARDS)),
+                {})
+
+        effects: dict[tuple[str, str], Effect] = {}
+        calls: dict[Key, str] = {}
+
+        def add(hazard: str, what: str) -> None:
+            effects.setdefault((hazard, what), Effect(hazard, what))
+
+        for ins in code.instrs:
+            op = ins[0]
+            if op in TRAP_OPS:
+                add(H_TRAP, _TRAP_WHAT[op])
+            if op in ("rc_inc", "rc_dec"):
+                add(H_RC, f"mutates a reference count ({op})")
+            elif op == "intr":
+                method = ins[2]
+                preset = _INTR_EFFECTS.get(method)
+                if preset is not None:
+                    for hazard, what in preset:
+                        add(hazard, what)
+                else:
+                    add(H_TRAP, f"runtime intrinsic {method} may trap")
+                    if method == "rt_assign_copy":
+                        add(H_RC, "rt_assign_copy releases the "
+                                  "overwritten reference")
+            elif op == "pool":
+                add(H_POOL, f"opens a nested parallel region '{ins[1]}'")
+                calls.setdefault(("lifted", ins[1]),
+                                 f"runs pool region '{ins[1]}'")
+            elif op in ("spawn", "call"):
+                if op == "spawn":
+                    add(H_SPAWN, f"spawns '{ins[2]}'")
+                callee, nargs = ins[2], len(ins[3])
+                sig = program.functions.get(callee)
+                if sig is not None and len(sig[0]) == nargs:
+                    calls.setdefault(
+                        ("fn", callee),
+                        ("spawns" if op == "spawn" else "calls")
+                        + f" '{callee}'")
+                else:  # unknown callee / arity mismatch raises at run time
+                    why = (f"calls unknown function '{callee}'"
+                           if sig is None else
+                           f"calls '{callee}' with {nargs} argument(s), "
+                           f"expected {len(sig[0])}")
+                    for h in sorted(ALL_HAZARDS):
+                        add(h, why)
+        return CGNode(key, tuple(effects.values()), calls)

@@ -1,0 +1,250 @@
+"""Per-function control-flow graphs over lowered CMINUS bodies.
+
+The dataflow passes (S25) run on the *lowered* plain-C trees — the same
+representation the C printer, tree-walker and bytecode compiler consume
+— so one CFG serves every analysis and anything the analyses prove holds
+for all three execution paths.
+
+A :class:`Block` holds a straight-line list of *items*:
+
+* simple statement nodes (``decl``/``declInit``/``exprStmt``/
+  ``returnStmt``/``returnVoid``/``rawStmt``/``forDecl``), appended
+  verbatim, and
+* bare expression nodes — branch conditions (and ``for`` step
+  expressions), recognizable by their expression production names.
+
+A block that ends in a condition has exactly two labeled successor
+edges, ``True`` (condition held) and ``False``; straight-line edges are
+labeled ``None``.  ``break``/``continue``/``return`` end their block
+with an unconditional edge, and statements behind them land in an
+unreachable block that :meth:`CFG.rpo` never visits — dead code cannot
+produce diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ag.tree import Node
+from repro.cminus.absyn import node_cons_to_list
+
+# Productions that appear as statement items; anything else in an item
+# list is a bare (condition/step) expression.
+STMT_ITEM_PRODS = frozenset([
+    "decl", "declInit", "forDecl", "exprStmt",
+    "returnStmt", "returnVoid", "rawStmt",
+])
+
+
+def is_stmt_item(item: Node) -> bool:
+    return item.prod in STMT_ITEM_PRODS
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line items plus labeled out-edges."""
+
+    bid: int
+    items: list[Node] = field(default_factory=list)
+    succs: list[tuple[int, bool | None]] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # tests/debugging
+        outs = ", ".join(
+            f"{t}" + ("" if lbl is None else f"[{lbl}]")
+            for t, lbl in self.succs)
+        return f"<B{self.bid} items={len(self.items)} -> {outs or '-'}>"
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function (or lifted worker) body."""
+
+    name: str
+    params: list[str]
+    blocks: list[Block]
+    entry: int
+    exit: int
+    _rpo: list[int] | None = field(default=None, repr=False)
+
+    def rpo(self) -> list[int]:
+        """Reverse-postorder block ids, entry first; unreachable blocks
+        are excluded (the exit block is appended if disconnected so
+        at-exit checks always run)."""
+        if self._rpo is None:
+            seen: set[int] = set()
+            post: list[int] = []
+            # Iterative DFS (lowered trees can nest loops deeply).
+            stack: list[tuple[int, int]] = [(self.entry, 0)]
+            seen.add(self.entry)
+            while stack:
+                bid, i = stack.pop()
+                succs = self.blocks[bid].succs
+                if i < len(succs):
+                    stack.append((bid, i + 1))
+                    nxt = succs[i][0]
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, 0))
+                else:
+                    post.append(bid)
+            order = list(reversed(post))
+            if self.exit not in seen:
+                order.append(self.exit)
+            self._rpo = order
+        return self._rpo
+
+    def reachable(self) -> set[int]:
+        return set(self.rpo())
+
+
+class _Builder:
+    def __init__(self, name: str, params: list[str]):
+        self.name = name
+        self.params = params
+        self.blocks: list[Block] = []
+        self.entry = self._new()
+        self.exit = self._new()
+        self.cur = self.entry
+        # (break target, continue target) per enclosing loop
+        self.loops: list[tuple[int, int]] = []
+
+    def _new(self) -> int:
+        b = Block(len(self.blocks))
+        self.blocks.append(b)
+        return b.bid
+
+    def _edge(self, a: int, b: int, label: bool | None = None) -> None:
+        self.blocks[a].succs.append((b, label))
+        self.blocks[b].preds.append(a)
+
+    def _append(self, item: Node) -> None:
+        self.blocks[self.cur].items.append(item)
+
+    def _terminate(self, target: int, label: bool | None = None) -> None:
+        """End the current block with an edge; code behind it is dead."""
+        self._edge(self.cur, target, label)
+        self.cur = self._new()  # unreachable successor block
+
+    # -- statements ----------------------------------------------------------
+
+    def stmt(self, node: Node) -> None:
+        p = node.prod
+        ch = node.children
+        if p in ("block", "seqStmt"):
+            for s in node_cons_to_list(ch[0]):
+                self.stmt(s)
+        elif p in ("decl", "declInit", "exprStmt", "rawStmt"):
+            self._append(node)
+        elif p == "ifStmt":
+            self._append(ch[0])
+            then_b = self._new()
+            after = self._new()
+            self._edge(self.cur, then_b, True)
+            self._edge(self.cur, after, False)
+            self.cur = then_b
+            self.stmt(ch[1])
+            self._edge(self.cur, after)
+            self.cur = after
+        elif p == "ifElse":
+            self._append(ch[0])
+            then_b = self._new()
+            else_b = self._new()
+            after = self._new()
+            self._edge(self.cur, then_b, True)
+            self._edge(self.cur, else_b, False)
+            self.cur = then_b
+            self.stmt(ch[1])
+            self._edge(self.cur, after)
+            self.cur = else_b
+            self.stmt(ch[2])
+            self._edge(self.cur, after)
+            self.cur = after
+        elif p == "whileStmt":
+            head = self._new()
+            self._edge(self.cur, head)
+            self.blocks[head].items.append(ch[0])
+            body = self._new()
+            after = self._new()
+            self._edge(head, body, True)
+            self._edge(head, after, False)
+            self.loops.append((after, head))
+            self.cur = body
+            self.stmt(ch[1])
+            self._edge(self.cur, head)
+            self.loops.pop()
+            self.cur = after
+        elif p == "doWhile":
+            body = self._new()
+            cond_b = self._new()
+            after = self._new()
+            self._edge(self.cur, body)
+            self.loops.append((after, cond_b))
+            self.cur = body
+            self.stmt(ch[0])
+            self._edge(self.cur, cond_b)
+            self.loops.pop()
+            self.blocks[cond_b].items.append(ch[1])
+            self._edge(cond_b, body, True)
+            self._edge(cond_b, after, False)
+            self.cur = after
+        elif p == "forStmt":
+            init, cond, step, body_n = ch
+            if init.prod == "forDecl":
+                self._append(init)
+            else:  # forExpr: bare init expression
+                self._append(init.children[0])
+            head = self._new()
+            self._edge(self.cur, head)
+            self.blocks[head].items.append(cond)
+            body = self._new()
+            step_b = self._new()
+            after = self._new()
+            self._edge(head, body, True)
+            self._edge(head, after, False)
+            self.loops.append((after, step_b))
+            self.cur = body
+            self.stmt(body_n)
+            self._edge(self.cur, step_b)
+            self.loops.pop()
+            self.blocks[step_b].items.append(step)
+            self._edge(step_b, head)
+            self.cur = after
+        elif p in ("returnStmt", "returnVoid"):
+            self._append(node)
+            self._terminate(self.exit)
+        elif p == "breakStmt":
+            self._terminate(self.loops[-1][0])
+        elif p == "continueStmt":
+            self._terminate(self.loops[-1][1])
+        else:  # extension-specific residue would be a lowering bug
+            raise ValueError(f"cannot build CFG for statement {p!r}")
+
+    def finish(self, body: Node) -> CFG:
+        self.stmt(body)
+        self._edge(self.cur, self.exit)
+        return CFG(self.name, self.params, self.blocks, self.entry, self.exit)
+
+
+def build_cfg(name: str, params: list[str], body: Node) -> CFG:
+    """CFG of one lowered function body."""
+    return _Builder(name, params).finish(body)
+
+
+def function_cfgs(lowered_root: Node, ctx=None) -> dict[str, CFG]:
+    """CFGs for every function of a lowered program, plus the lifted
+    pool-worker bodies registered on ``ctx`` (keyed by worker name, with
+    their captures + chunk bounds as parameters, exactly as the VM runs
+    them).  Cilk ``SpawnedFunc`` records carry no tree body and are
+    skipped — their callees are ordinary functions."""
+    cfgs: dict[str, CFG] = {}
+    for f in node_cons_to_list(lowered_root.children[0]):
+        _rett, fname, params, body = f.children
+        pnames = [p.children[1] for p in node_cons_to_list(params)]
+        cfgs[fname] = build_cfg(fname, pnames, body)
+    for lf in getattr(ctx, "lifted", []) if ctx is not None else []:
+        if hasattr(lf, "body"):
+            names = [n for _t, n in lf.captures]
+            cfgs[lf.name] = build_cfg(
+                lf.name, names + ["__lo", "__hi"], lf.body)
+    return cfgs

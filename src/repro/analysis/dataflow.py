@@ -1,0 +1,149 @@
+"""Generic worklist dataflow solver over :class:`repro.analysis.cfg.CFG`.
+
+Two classic formulations, both iterating to a fixpoint over reverse
+postorder (forward) or postorder (backward):
+
+* :func:`solve` — the lattice-join form: the client supplies a
+  ``transfer(block, state) -> state`` function and a ``join``; states
+  are opaque.  An optional ``widen`` hook is applied once a block has
+  been re-processed ``widen_after`` times, which is how the interval
+  domain of the shape pass guarantees termination on loops.
+* :func:`solve_genkill` — the bit-vector form for gen/kill problems
+  (reaching definitions, liveness): states are frozensets, the join is
+  union (*may*) or intersection (*must*).
+
+Both return per-block ``(state_in, state_out)`` pairs keyed by block id,
+covering reachable blocks only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from repro.analysis.cfg import CFG, Block
+
+
+def _neighbors(cfg: CFG, backward: bool):
+    """(predecessors, successors) id lists per block for the chosen
+    direction — backward problems just flip the edges."""
+    preds = {b.bid: [p for p in b.preds] for b in cfg.blocks}
+    succs = {b.bid: [t for t, _ in b.succs] for b in cfg.blocks}
+    return (succs, preds) if backward else (preds, succs)
+
+
+def solve(
+    cfg: CFG,
+    transfer: Callable[[Block, object], object],
+    *,
+    join: Callable[[object, object], object],
+    entry_state: object,
+    init: object,
+    direction: str = "forward",
+    eq: Callable[[object, object], bool] | None = None,
+    widen: Callable[[object, object], object] | None = None,
+    widen_after: int = 3,
+) -> dict[int, tuple[object, object]]:
+    """Iterate ``transfer`` to a fixpoint; returns ``{bid: (in, out)}``.
+
+    ``entry_state`` seeds the entry block (exit block when backward);
+    ``init`` is the optimistic initial in-state of every other block —
+    the first join overwrites it, so pass the lattice bottom.  ``transfer``
+    must treat its input state as immutable.
+    """
+    if direction not in ("forward", "backward"):
+        raise ValueError(f"direction {direction!r}")
+    backward = direction == "backward"
+    eq = eq if eq is not None else (lambda a, b: a == b)
+    preds, succs = _neighbors(cfg, backward)
+
+    order = cfg.rpo()
+    if backward:
+        order = list(reversed(order))
+    pos = {bid: i for i, bid in enumerate(order)}
+    start = cfg.exit if backward else cfg.entry
+
+    state_in: dict[int, object] = {bid: init for bid in order}
+    state_out: dict[int, object] = {}
+    state_in[start] = entry_state
+    visits: dict[int, int] = {bid: 0 for bid in order}
+
+    from heapq import heappush, heappop
+    work: list[int] = []
+    queued: set[int] = set()
+    for bid in order:
+        heappush(work, pos[bid])
+        queued.add(bid)
+
+    while work:
+        bid = order[heappop(work)]
+        queued.discard(bid)
+        ins = state_in[bid]
+        # Recompute the in-state from the (direction-adjusted) preds so
+        # a late-arriving contribution is never missed.
+        contribs = [state_out[p] for p in preds[bid] if p in state_out]
+        if contribs:
+            acc = contribs[0]
+            for c in contribs[1:]:
+                acc = join(acc, c)
+            ins = join(ins, acc) if bid == start else acc
+        visits[bid] += 1
+        if widen is not None and visits[bid] > widen_after:
+            ins = widen(state_in[bid], ins)
+        state_in[bid] = ins
+        out = transfer(cfg.blocks[bid], ins)
+        old = state_out.get(bid)
+        if old is not None and eq(old, out):
+            continue
+        state_out[bid] = out
+        for s in succs[bid]:
+            if s in pos and s not in queued:
+                heappush(work, pos[s])
+                queued.add(s)
+
+    return {bid: (state_in[bid], state_out.get(bid, state_in[bid]))
+            for bid in order}
+
+
+@dataclass(frozen=True)
+class GenKill:
+    """Per-block facts for bit-vector problems."""
+
+    gen: frozenset
+    kill: frozenset
+
+    def apply(self, state: frozenset) -> frozenset:
+        return self.gen | (state - self.kill)
+
+
+def solve_genkill(
+    cfg: CFG,
+    gk: dict[int, GenKill],
+    *,
+    direction: str = "forward",
+    may: bool = True,
+    boundary: frozenset = frozenset(),
+    universe: frozenset | None = None,
+) -> dict[int, tuple[frozenset, frozenset]]:
+    """Union (may) / intersection (must) gen-kill fixpoint.
+
+    ``boundary`` seeds the entry (exit when backward).  For *must*
+    problems ``universe`` supplies the top element that initializes
+    non-boundary blocks.
+    """
+    if not may and universe is None:
+        raise ValueError("must-problems need an explicit universe")
+    empty: frozenset = frozenset()
+    top = empty if may else universe
+
+    def join(a: Hashable, b: Hashable) -> frozenset:
+        return (a | b) if may else (a & b)  # type: ignore[operator]
+
+    def transfer(block: Block, state: object) -> object:
+        facts = gk.get(block.bid)
+        return facts.apply(state) if facts is not None else state
+
+    return solve(
+        cfg, transfer, join=join, entry_state=boundary, init=top,
+        direction=direction,
+    )  # type: ignore[return-value]

@@ -1,0 +1,170 @@
+"""Definite-assignment / use-before-init analysis (S25 pass 1).
+
+A classic forward may/must problem over the per-variable lattice
+
+        UNINIT ──┐
+                 ├──> MAYBE        (join of disagreeing paths)
+        INIT ────┘
+
+run on the lowered trees: a read of a local that is *definitely*
+uninitialized on every path is an ``error`` (the emitted C reads an
+indeterminate value), a read that is uninitialized on *some* path is a
+``warning``.  Parameters are initialized by the caller; a managed
+matrix declaration is lowered to ``= NULL`` by the refcount hooks and
+therefore counts as initialized here (reading a still-NULL matrix is
+the *shape* pass's business, see :mod:`repro.analysis.shapes`).
+
+Shadowing: the lowered trees keep block scoping, but this pass uses one
+flat name space per function, so any name declared more than once in a
+function is left untracked rather than risking a false positive.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG, is_stmt_item
+from repro.analysis.dataflow import solve
+from repro.util.diagnostics import Diagnostics, SourceSpan
+
+PHASE = "analysis.init"
+
+_UNINIT, _INIT, _MAYBE = 0, 1, 2
+
+_LEAF_PRODS = frozenset(["intLit", "floatLit", "boolLit", "strLit", "rawExpr"])
+
+
+def _decl_names(cfg: CFG) -> dict[str, int]:
+    """Occurrence count of every declared local name."""
+    counts: dict[str, int] = {}
+
+    def visit(n) -> None:
+        if n.prod in ("decl", "declInit", "forDecl"):
+            counts[n.children[1]] = counts.get(n.children[1], 0) + 1
+
+    for b in cfg.blocks:
+        for item in b.items:
+            if is_stmt_item(item):
+                visit(item)
+    return counts
+
+
+class _Pass:
+    def __init__(self, cfg: CFG, diags: Diagnostics | None):
+        self.cfg = cfg
+        self.diags = diags
+        self.reported: set[str] = set()
+        counts = _decl_names(cfg)
+        params = set(cfg.params)
+        # Only locals declared exactly once are tracked (see module doc).
+        self.tracked = {n for n, c in counts.items()
+                        if c == 1 and n not in params}
+
+    # -- expression walk (evaluation order) ----------------------------------
+
+    def expr(self, n, st: dict[str, int]) -> None:
+        p = n.prod
+        ch = n.children
+        if p == "var":
+            self.read(ch[0], st, n.span)
+        elif p == "assign":
+            self.expr(ch[1], st)
+            if ch[0].prod == "var":
+                name = ch[0].children[0]
+                if name in self.tracked:
+                    st[name] = _INIT
+            else:  # non-var target still reads its subexpressions
+                self.expr(ch[0], st)
+        elif p == "binop":
+            if ch[0] in ("&&", "||"):
+                # The right operand runs on some paths only: reads are
+                # real, but its assignments merge as MAYBE.
+                self.expr(ch[1], st)
+                branch = dict(st)
+                self.expr(ch[2], branch)
+                for k, v in branch.items():
+                    if st.get(k, v) != v:
+                        st[k] = _MAYBE
+            else:
+                self.expr(ch[1], st)
+                self.expr(ch[2], st)
+        elif p in ("unop", "castE"):
+            self.expr(ch[1], st)
+        elif p == "call":
+            from repro.cminus.absyn import node_cons_to_list
+
+            for a in node_cons_to_list(ch[1]):
+                self.expr(a, st)
+        elif p in _LEAF_PRODS:
+            pass
+        else:  # defensive: treat unknown expressions as opaque reads
+            for c in ch:
+                if hasattr(c, "prod"):
+                    self.expr(c, st)
+
+    def read(self, name: str, st: dict[str, int], span) -> None:
+        if name not in self.tracked or name in self.reported:
+            return
+        v = st.get(name, _INIT)
+        if v == _INIT or self.diags is None:
+            return
+        self.reported.add(name)
+        where = span if span is not None else SourceSpan()
+        if v == _UNINIT:
+            self.diags.error(
+                f"variable '{name}' is read before it is initialized",
+                where, PHASE)
+        else:
+            self.diags.warning(
+                f"variable '{name}' may be read before it is initialized",
+                where, PHASE)
+
+    # -- block transfer ------------------------------------------------------
+
+    def block(self, block, st: dict[str, int]) -> dict[str, int]:
+        st = dict(st)
+        for item in block.items:
+            p = item.prod
+            if p == "decl":
+                name = item.children[1]
+                if name in self.tracked:
+                    st[name] = _UNINIT
+            elif p in ("declInit", "forDecl"):
+                self.expr(item.children[2], st)
+                name = item.children[1]
+                if name in self.tracked:
+                    st[name] = _INIT
+            elif p == "exprStmt":
+                self.expr(item.children[0], st)
+            elif p == "returnStmt":
+                self.expr(item.children[0], st)
+            elif p in ("returnVoid", "rawStmt"):
+                pass
+            else:  # bare condition / step expression
+                self.expr(item, st)
+        return st
+
+
+def _join(a: dict[str, int], b: dict[str, int]) -> dict[str, int]:
+    out = dict(a)
+    for k, v in b.items():
+        w = out.get(k)
+        if w is None:
+            out[k] = v
+        elif w != v:
+            out[k] = _MAYBE
+    return out
+
+
+def check_initialized(cfg: CFG, diags: Diagnostics) -> None:
+    """Run the pass on one function CFG, emitting into ``diags``."""
+    silent = _Pass(cfg, None)
+    if not silent.tracked:
+        return
+    states = solve(
+        cfg, silent.block, join=_join, entry_state={}, init={},
+        direction="forward",
+    )
+    # Re-walk reachable blocks once, in source order, with the solved
+    # in-states: diagnostics come out deterministic and deduplicated.
+    reporter = _Pass(cfg, diags)
+    for bid in sorted(cfg.reachable()):
+        reporter.block(cfg.blocks[bid], states[bid][0])

@@ -1,0 +1,411 @@
+"""Refcount balance checking (S25 pass 3).
+
+The refcount extension's hooks insert ``rc_inc``/``rc_dec``/
+``rt_assign_copy`` calls during lowering; this pass re-derives the
+ownership discipline from the lowered tree and warns when a path can
+violate it.  Per matrix-typed local it tracks a pair
+
+    (null-ness,  surplus : Interval)
+
+where *surplus* counts the references this frame acquired through that
+name minus the references it released — an interval, so the join of an
+acquiring and a non-acquiring path is ``[0, 1]`` and the analysis is
+path-sensitive in exactly the way leaks are: a variable whose surplus
+lower bound is ≥ 1 at function exit leaks on *every* path, one with
+``0 < hi`` leaks on *some* path.  A release that can push the surplus
+of a definitely-non-null local below zero is a double-release (the
+runtime traps "refcount underflow"); releases of a definitely-NULL
+name are the runtime's documented no-op and stay silent.
+
+The pass also runs a **backward liveness** problem (the gen/kill form
+of the shared solver) over the same CFG: a release that provably drops
+the frame's last reference while the name is still live afterwards is
+reported as a use-after-release.
+
+All findings are warnings — the ownership discipline is the lowering's
+own invariant, and shipped lowerings maintain it (the "clean examples
+are silent" guard in the test suite keeps this pass honest); the
+crafted-tree tests exercise each warning.  Parameters are borrowed
+(the caller holds a reference) and names declared more than once per
+function are untracked, both to avoid false positives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.cfg import CFG, is_stmt_item
+from repro.analysis.dataflow import GenKill, solve, solve_genkill
+from repro.analysis.shapes import Interval, _is_mat_type
+from repro.cminus.absyn import node_cons_to_list
+from repro.util.diagnostics import Diagnostics, SourceSpan
+
+PHASE = "analysis.rc"
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class RCState:
+    null: str            # "yes" | "no" | "maybe"
+    surplus: Interval    # refs held *in the worlds where non-NULL*
+
+    def join(self, other: "RCState") -> "RCState":
+        # The surplus is conditioned on non-nullness (a NULL name holds
+        # nothing and every rc op on it is a no-op), so joining with a
+        # definitely-NULL path keeps the other side's interval exact —
+        # this is what lets `p = NULL; if (...) p = alloc(); rc_dec(p)`
+        # stay balanced instead of smearing to [0, 1].
+        if self.null == "yes" and other.null == "yes":
+            return RCState("yes", self.surplus.join(other.surplus))
+        if self.null == "yes":
+            return RCState("maybe", other.surplus)
+        if other.null == "yes":
+            return RCState("maybe", self.surplus)
+        null = self.null if self.null == other.null else "maybe"
+        return RCState(null, self.surplus.join(other.surplus))
+
+    def widen(self, newer: "RCState") -> "RCState":
+        return RCState(newer.null, self.surplus.widen(newer.surplus))
+
+    def shifted(self, lo: float, hi: float) -> "RCState":
+        s = self.surplus
+        # Clamp far below zero: one release too many is already reported.
+        return RCState(self.null,
+                       Interval(max(s.lo + lo, -2), max(s.hi + hi, -2)))
+
+
+_NULL = RCState("yes", Interval(0, 0))
+_UNKNOWN = RCState("maybe", Interval(0, _INF))
+
+# Lowered rhs forms that hand the frame a fresh owned reference.
+_ACQUIRING = frozenset(["rt_allocf", "rt_alloci", "readMatrix"])
+
+
+def _real_span(span) -> bool:
+    """Synthesized rc bookkeeping nodes carry the default span; surface
+    statements carry their original one."""
+    if span is None:
+        return False
+    s = span.start
+    return not (s.line == 1 and s.column == 0 and s.offset == 0)
+
+
+def _join(a: dict, b: dict) -> dict:
+    out = {}
+    for k, v in a.items():
+        w = b.get(k)
+        if w is not None:
+            out[k] = v.join(w)
+    return out
+
+
+def _widen(old: dict, new: dict) -> dict:
+    return {k: old[k].widen(v) for k, v in new.items() if k in old}
+
+
+def _tracked_decls(cfg: CFG) -> dict[str, object]:
+    """Matrix-typed locals declared exactly once -> their decl span."""
+    counts: dict[str, int] = {}
+    spans: dict[str, object] = {}
+    mat: set[str] = set()
+    for b in cfg.blocks:
+        for item in b.items:
+            if is_stmt_item(item) and item.prod in ("decl", "declInit",
+                                                    "forDecl"):
+                name = item.children[1]
+                counts[name] = counts.get(name, 0) + 1
+                if _is_mat_type(item.children[0]):
+                    mat.add(name)
+                    spans.setdefault(name, item.span)
+    params = set(cfg.params)
+    return {n: spans[n] for n in mat
+            if counts[n] == 1 and n not in params}
+
+
+def _reads(n, out: set[str], skip_rc_args: bool = True) -> None:
+    """Variable names an expression reads (rc_inc/rc_dec operands are
+    bookkeeping, not uses)."""
+    p = n.prod
+    ch = n.children
+    if p == "var":
+        out.add(ch[0])
+    elif p == "assign":
+        _reads(ch[1], out)
+    elif p == "call":
+        if skip_rc_args and ch[0] in ("rc_inc", "rc_dec"):
+            return
+        for a in node_cons_to_list(ch[1]):
+            _reads(a, out)
+    else:
+        for c in ch:
+            if hasattr(c, "prod"):
+                _reads(c, out)
+
+
+def _writes(item) -> set[str]:
+    out: set[str] = set()
+
+    def visit(n):
+        if n.prod == "assign" and n.children[0].prod == "var":
+            out.add(n.children[0].children[0])
+        for c in n.children:
+            if hasattr(c, "prod"):
+                visit(c)
+
+    if item.prod in ("declInit", "forDecl", "decl"):
+        out.add(item.children[1])
+    if item.prod == "exprStmt":
+        visit(item.children[0])
+    elif not is_stmt_item(item):
+        visit(item)
+    return out
+
+
+class _RCPass:
+    def __init__(self, cfg: CFG, diags: Diagnostics | None,
+                 tracked: dict[str, object],
+                 live_after: dict[tuple[int, int], frozenset] | None = None):
+        self.cfg = cfg
+        self.diags = diags
+        self.tracked = tracked
+        self.live_after = live_after or {}
+        self.reported: set[tuple[str, str]] = set()
+        self.site: tuple[int, int] | None = None  # (bid, item index)
+        self.last_span = None  # best real span seen so far (fallback)
+
+    def warn(self, var: str, kind: str, message: str, span) -> None:
+        if self.diags is None or (var, kind) in self.reported:
+            return
+        self.reported.add((var, kind))
+        if not _real_span(span):
+            span = self.last_span
+        self.diags.warning(message, span if span is not None
+                           else SourceSpan(), PHASE)
+
+    # -- events --------------------------------------------------------------
+
+    def rc_dec(self, name: str, st: dict, span) -> None:
+        cur = st.get(name)
+        if cur is None or cur.null == "yes":
+            return  # untracked, or releasing NULL: documented no-op
+        if cur.null == "no" and cur.surplus.hi <= 0:
+            self.warn(
+                name, "double",
+                f"matrix '{name}' is released more often than it is "
+                "acquired on this path (refcount underflow at run time)",
+                span)
+        if (cur.null == "no" and cur.surplus.hi <= 1
+                and self.live_after.get(self.site) is not None
+                and name in self.live_after[self.site]):
+            self.warn(
+                name, "uar",
+                f"matrix '{name}' may be used after its last reference "
+                "is released here", span)
+        # In every world where the name is non-NULL the dec fires.
+        st[name] = cur.shifted(-1, -1)
+
+    def rc_inc(self, name: str, st: dict) -> None:
+        cur = st.get(name)
+        if cur is None or cur.null == "yes":
+            return
+        st[name] = cur.shifted(1, 1)
+
+    def assign(self, name: str, rhs, st: dict, span) -> None:
+        if name not in self.tracked:
+            return
+        old = st.get(name)
+        if rhs.prod == "call":
+            callee = rhs.children[0]
+            args = node_cons_to_list(rhs.children[1])
+            if callee == "rt_assign_copy":
+                # `v = rt_assign_copy(v, src)`: the old reference is
+                # consumed inside, the result is owned; src's handle is
+                # consumed either way (released, or returned as v).
+                if len(args) > 1 and args[1].prod == "var":
+                    src = st.get(args[1].children[0])
+                    if src is not None:
+                        st[args[1].children[0]] = src.shifted(-1, 0)
+                src_null = (st.get(args[1].children[0]).null
+                            if len(args) > 1 and args[1].prod == "var"
+                            and args[1].children[0] in st else "maybe")
+                st[name] = RCState(
+                    src_null, old.surplus if old is not None
+                    else Interval(0, 0))
+                return
+            # Any other call producing a matrix hands the frame an owned
+            # reference (the callee's ``lower_return`` secured it); the
+            # runtime allocators additionally guarantee non-NULL.
+            if old is not None and old.null == "no" \
+                    and old.surplus.lo >= 1:
+                self.warn(
+                    name, "overwrite",
+                    f"assignment overwrites matrix '{name}' while it "
+                    "still holds an owned reference (leak)", span)
+            st[name] = (RCState("no", Interval(1, 1))
+                        if callee in _ACQUIRING
+                        else RCState("maybe", Interval(1, 1)))
+            return
+        if rhs.prod == "rawExpr" and rhs.children[0] == "NULL":
+            st[name] = _NULL
+            return
+        if rhs.prod == "var":
+            # Plain var-to-var binding is the lowering's ownership-transfer
+            # idiom (``forget_temp``): the gensym temp's owned reference
+            # MOVES to the destination and the source is never released
+            # through its own name again.
+            src = rhs.children[0]
+            other = st.get(src)
+            if other is not None:
+                st[name] = other
+                st[src] = RCState(other.null, Interval(0, 0))
+            else:
+                st[name] = RCState("maybe", Interval(0, 0))
+            return
+        st[name] = _UNKNOWN
+
+    # -- expression / item walk ----------------------------------------------
+
+    def expr(self, n, st: dict) -> None:
+        p = n.prod
+        ch = n.children
+        if p == "call":
+            name = ch[0]
+            args = node_cons_to_list(ch[1])
+            if name in ("rc_inc", "rc_dec") and len(args) == 1 \
+                    and args[0].prod == "var":
+                if name == "rc_dec":
+                    self.rc_dec(args[0].children[0], st, n.span)
+                else:
+                    self.rc_inc(args[0].children[0], st)
+                return
+            for a in args:
+                self.expr(a, st)
+        elif p == "assign":
+            self.expr(ch[1], st)
+            if ch[0].prod == "var":
+                self.assign(ch[0].children[0], ch[1], st, n.span)
+        else:
+            for c in ch:
+                if hasattr(c, "prod"):
+                    self.expr(c, st)
+
+    def block(self, block, st: dict) -> dict:
+        st = dict(st)
+        for i, item in enumerate(block.items):
+            self.site = (block.bid, i)
+            if _real_span(getattr(item, "span", None)):
+                self.last_span = item.span
+            p = item.prod
+            if p == "decl":
+                if item.children[1] in self.tracked:
+                    st[item.children[1]] = _NULL
+            elif p in ("declInit", "forDecl"):
+                self.expr(item.children[2], st)
+                if item.children[1] in self.tracked:
+                    self.assign(item.children[1], item.children[2], st,
+                                item.span)
+            elif p == "exprStmt":
+                self.expr(item.children[0], st)
+            elif p == "returnStmt":
+                self.expr(item.children[0], st)
+                # The returned value carries one reference out of the
+                # frame — a bare ``return v`` as well as a compound value
+                # that embeds the variable (e.g. a tuple literal).  The
+                # matching rc_inc happened just before for locals/params;
+                # temps were already owned.
+                escaped: set[str] = set()
+                _reads(item.children[0], escaped)
+                for rn in escaped:
+                    cur = st.get(rn)
+                    if cur is not None and cur.null != "yes":
+                        s = cur.surplus
+                        st[rn] = RCState(
+                            cur.null,
+                            Interval(max(s.lo - 1, 0), max(s.hi - 1, 0)))
+            elif p in ("returnVoid", "rawStmt"):
+                pass
+            else:
+                self.expr(item, st)
+        self.site = None
+        return st
+
+
+def _item_liveness(cfg: CFG, tracked: frozenset
+                   ) -> dict[tuple[int, int], frozenset]:
+    """live-after set per (block, item) via the backward gen/kill
+    solver, refined to item granularity inside each block."""
+    gen_block: dict[int, GenKill] = {}
+    per_item: dict[int, list[tuple[frozenset, frozenset]]] = {}
+    for b in cfg.blocks:
+        live_gen: frozenset = frozenset()
+        kill: frozenset = frozenset()
+        rows = []
+        for item in b.items:
+            reads: set[str] = set()
+            if item.prod in ("declInit", "forDecl"):
+                _reads(item.children[2], reads)
+            elif item.prod == "exprStmt":
+                _reads(item.children[0], reads)
+            elif item.prod == "returnStmt":
+                _reads(item.children[0], reads)
+            elif not is_stmt_item(item):
+                _reads(item, reads)
+            g = frozenset(reads) & tracked
+            k = frozenset(_writes(item)) & tracked
+            rows.append((g, k))
+        per_item[b.bid] = rows
+        for g, k in reversed(rows):
+            live_gen = g | (live_gen - k)
+            kill = kill | k
+        gen_block[b.bid] = GenKill(live_gen, kill)
+
+    sol = solve_genkill(cfg, gen_block, direction="backward",
+                        may=True, boundary=frozenset())
+    live_after: dict[tuple[int, int], frozenset] = {}
+    for b in cfg.blocks:
+        if b.bid not in sol:
+            continue
+        # backward problem: sol[bid] = (state at block end, at block start)
+        live = sol[b.bid][0]
+        for i in range(len(b.items) - 1, -1, -1):
+            live_after[(b.bid, i)] = live
+            g, k = per_item[b.bid][i]
+            live = g | (live - k)
+    return live_after
+
+
+def check_rc_balance(cfg: CFG, diags: Diagnostics) -> None:
+    """Run the pass on one function CFG, emitting into ``diags``."""
+    tracked = _tracked_decls(cfg)
+    if not tracked:
+        return
+    silent = _RCPass(cfg, None, tracked)
+    states = solve(
+        cfg, silent.block, join=_join, entry_state={}, init={},
+        direction="forward", widen=_widen, widen_after=3,
+    )
+    live_after = _item_liveness(cfg, frozenset(tracked))
+    reporter = _RCPass(cfg, diags, tracked, live_after)
+    for bid in sorted(cfg.reachable()):
+        reporter.block(cfg.blocks[bid], states[bid][0])
+    # Leak checks against the state flowing into the exit block.
+    exit_state = states.get(cfg.exit, ({}, {}))[0]
+    for name, span in sorted(tracked.items()):
+        cur = exit_state.get(name)
+        if cur is None or cur.null == "yes":
+            continue
+        if cur.surplus.lo >= 1:
+            where = ("" if cur.null == "no"
+                     else " on every path where it is allocated")
+            reporter.warn(
+                name, "leak",
+                f"matrix '{name}' still holds an owned reference at "
+                f"function exit{where} (leak)", span)
+        elif cur.surplus.lo <= 0 < cur.surplus.hi \
+                and math.isfinite(cur.surplus.hi):
+            reporter.warn(
+                name, "leak",
+                f"matrix '{name}' leaks its reference on some paths "
+                "through the function", span)

@@ -1,0 +1,81 @@
+"""`reproc check` entry point: run every S25 pass over one compile
+result and collect a structured, cacheable report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import function_cfgs
+from repro.analysis.initialized import check_initialized
+from repro.analysis.parsafety import ParallelVerdict, analyze_parallel
+from repro.analysis.rcbalance import check_rc_balance
+from repro.analysis.shapes import check_shapes
+from repro.util.diagnostics import Diagnostic, Diagnostics, Severity
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Immutable result of analyzing one program — safe to cache and
+    share across threads (the compile service keys it by translator
+    fingerprint + source digest)."""
+
+    filename: str
+    diagnostics: tuple[Diagnostic, ...]       # source-ordered
+    parallel: tuple[ParallelVerdict, ...]     # one per parallel construct
+    functions: int                            # CFGs analyzed
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics
+                   if d.severity is Severity.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for d in self.diagnostics
+                   if d.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        return self.error_count == 0
+
+    def summary(self) -> str:
+        e, w = self.error_count, self.warning_count
+        if not e and not w:
+            return f"{self.filename}: no issues"
+        parts = []
+        if e:
+            parts.append(f"{e} error" + ("s" if e != 1 else ""))
+        if w:
+            parts.append(f"{w} warning" + ("s" if w != 1 else ""))
+        return f"{self.filename}: " + ", ".join(parts)
+
+    def format(self, *, explain_parallel: bool = False) -> str:
+        lines = [str(d) for d in self.diagnostics]
+        if explain_parallel:
+            for v in self.parallel:
+                first, *rest = v.explain().splitlines()
+                lines.append(f"parallel: {first}")
+                lines.extend(rest)
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+
+def analyze_result(result, *, filename: str | None = None
+                   ) -> AnalysisReport:
+    """Run all four passes over a successful
+    :class:`repro.driver.CompileResult`."""
+    if not result.ok or result.lowered is None:
+        raise ValueError("analyze_result needs a successful compile "
+                         "(run semantic checking first)")
+    fname = filename if filename is not None else "<input>"
+    diags = Diagnostics()
+    cfgs = function_cfgs(result.lowered, result.ctx)
+    for name in cfgs:
+        cfg = cfgs[name]
+        check_initialized(cfg, diags)
+        check_shapes(cfg, diags)
+        check_rc_balance(cfg, diags)
+    program = result.bytecode()
+    parallel = tuple(analyze_parallel(program))
+    return AnalysisReport(
+        fname, tuple(diags.sorted()), parallel, len(cfgs))

@@ -46,39 +46,21 @@ _BINOP_OPS = frozenset(
 _HOT_INTRINSICS = frozenset(
     ["rt_getf", "rt_setf", "rt_geti", "rt_seti", "rt_dim", "rt_size"])
 
-# -- parallel-eligibility hazards (S23) --------------------------------------
+# -- parallel-eligibility hazards (S23/S25) ----------------------------------
 #
 # The fork-join pool may only move code off the owning thread when doing
-# so cannot change observable behavior.  Eligibility is decided here, at
-# compile time, by a fixpoint scan over the instruction stream and the
-# call graph; the VM just consults the memoized verdict per construct.
+# so cannot change observable behavior.  Eligibility is decided at
+# compile time by an interprocedural hazard fixpoint; since S25 that
+# analysis lives in :mod:`repro.analysis.parsafety` (where `reproc
+# check --explain-parallel` can also *explain* every refusal), and this
+# module consumes its verdicts.  The hazard vocabulary is re-exported
+# here for compatibility with S23-era callers.
 
-H_IO = "io"          # file I/O: cross-shard ordering would be observable
-H_PRINT = "print"    # stdout: shards buffer + merge, tasks cannot
-H_TRAP = "trap"      # may raise: a pooled task would move the raise site
-H_POOL = "pool"      # nested parallel region: region_sizes ordering
-H_RC = "rc"          # refcount mutation: frees would reorder across tasks
-H_SPAWN = "spawn"    # spawns sub-tasks (informational; never a blocker)
-
-ALL_HAZARDS = frozenset([H_IO, H_PRINT, H_TRAP, H_POOL, H_RC, H_SPAWN])
-
-# A with-loop/matrixMap shard re-raises the lowest-index trap and merges
-# buffered stats/stdout in shard order, so only cross-shard file I/O is
-# genuinely order-observable.
-_SHARD_BLOCKERS = frozenset([H_IO])
-# A pooled Cilk task runs to completion off-thread with no deterministic
-# merge point before its sync, so anything ordered blocks it: traps (the
-# elided run raises at the spawn point), prints, file I/O, refcount
-# frees, and nested regions (ordered region_sizes trace).
-_TASK_BLOCKERS = frozenset([H_IO, H_PRINT, H_TRAP, H_POOL, H_RC])
-
-# Opcodes that can raise (div/mod by zero, float->int of inf/nan, OOB
-# element access, refcount underflow, fastloop commit of a trapping
-# plan).  Pure arithmetic, moves and jumps cannot.
-_TRAP_OPS = frozenset([
-    "/", "%", "cast_int", "rt_getf", "rt_setf", "rt_geti", "rt_seti",
-    "rt_dim", "rc_dec", "fastloop",
-])
+from repro.analysis.hazards import (  # noqa: F401  (re-exported API)
+    ALL_HAZARDS, H_IO, H_POOL, H_PRINT, H_RC, H_SPAWN, H_TRAP,
+    SHARD_BLOCKERS as _SHARD_BLOCKERS, TASK_BLOCKERS as _TASK_BLOCKERS,
+    TRAP_OPS as _TRAP_OPS,
+)
 
 
 @dataclass
@@ -521,13 +503,14 @@ class BytecodeProgram:
         # bounds as ordinary parameters.  Cilk SpawnedFuncs carry no tree
         # body (spawned calls run inline) and are skipped.
         self.lifted_trees: dict[str, tuple[list[str], Node]] = {}
-        for lf in getattr(ctx, "lifted", []):
+        self.lifted = list(getattr(ctx, "lifted", []))
+        for lf in self.lifted:
             if hasattr(lf, "body"):
                 names = [n for _t, n in lf.captures]
                 self.lifted_trees[lf.name] = (names + ["__lo", "__hi"], lf.body)
         self._code: dict[str, Code] = {}
         self._lifted_code: dict[str, Code] = {}
-        self._hazard_memo: dict[tuple[str, str], frozenset] = {}
+        self._safety = None
 
     def code_for(self, name: str) -> Code:
         code = self._code.get(name)
@@ -547,98 +530,34 @@ class BytecodeProgram:
             self._lifted_code[name] = code
         return code
 
-    # -- parallel eligibility (S23) ------------------------------------------
+    # -- parallel eligibility (S23, shared analysis since S25) ---------------
+
+    @property
+    def safety(self):
+        """The program's :class:`repro.analysis.parsafety.ParallelSafety`
+        — the interprocedural hazard fixpoint over the shared call graph,
+        built lazily and memoized so the VM's eligibility gate and the
+        ``reproc check`` diagnostics consume one traversal."""
+        if self._safety is None:
+            from repro.analysis.parsafety import ParallelSafety
+
+            self._safety = ParallelSafety(self)
+        return self._safety
 
     def lifted_parallel_safe(self, name: str) -> bool:
         """May this lifted pool-worker body run sharded across the worker
         pool?  True unless it (transitively) performs file I/O — the only
         effect whose cross-shard interleaving the shard-ordered merge of
         stats/stdout/traps cannot hide."""
-        return not (self.hazards_for(name, lifted=True) & _SHARD_BLOCKERS)
+        return self.safety.shard_safe(name)
 
     def task_parallel_safe(self, name: str) -> bool:
         """May a Cilk spawn of this function run as an off-thread pooled
         task instead of being elided inline?  Requires the whole call
         graph under it to be trap-free and free of ordered effects."""
-        if name not in self.functions:
-            return False
-        return not (self.hazards_for(name) & _TASK_BLOCKERS)
+        return self.safety.task_safe(name)
 
     def hazards_for(self, name: str, *, lifted: bool = False) -> frozenset:
         """Transitive hazard set of a function (or lifted worker body):
         a fixpoint over the static call graph, memoized per program."""
-        return self._hazards(("lifted" if lifted else "fn", name))
-
-    def _hazards(self, root: tuple[str, str]) -> frozenset:
-        memo = self._hazard_memo
-        cached = memo.get(root)
-        if cached is not None:
-            return cached
-        # Collect the reachable, not-yet-memoized subgraph...
-        direct: dict[tuple, set] = {}
-        edges: dict[tuple, set] = {}
-        stack = [root]
-        while stack:
-            key = stack.pop()
-            if key in direct:
-                continue
-            direct[key], edges[key] = self._direct_hazards(key)
-            for callee in edges[key]:
-                if callee not in direct and callee not in memo:
-                    stack.append(callee)
-        # ...and propagate hazards to a fixpoint (cycles — recursion —
-        # converge because hazard sets only grow).
-        changed = True
-        while changed:
-            changed = False
-            for key, hz in direct.items():
-                for callee in edges[key]:
-                    callee_hz = memo.get(callee) or direct.get(callee, ())
-                    if not (set(callee_hz) <= hz):
-                        hz |= set(callee_hz)
-                        changed = True
-        for key, hz in direct.items():
-            memo[key] = frozenset(hz)
-        return memo[root]
-
-    def _direct_hazards(self, key: tuple[str, str]) -> tuple[set, set]:
-        """One node's own hazards plus its call-graph edges."""
-        kind, name = key
-        try:
-            code = (self.lifted_code_for(name) if kind == "lifted"
-                    else self.code_for(name))
-        except InterpError:
-            # Uncompilable or unknown: sequential execution raises when
-            # (and only when) this path runs, so keep it on-thread.
-            return set(ALL_HAZARDS), set()
-        hazards: set = set()
-        calls: set = set()
-        for ins in code.instrs:
-            op = ins[0]
-            if op in _TRAP_OPS:
-                hazards.add(H_TRAP)
-            if op in ("rc_inc", "rc_dec"):
-                hazards.add(H_RC)
-            elif op == "intr":
-                method = ins[2]
-                if method in ("_read_matrix", "_write_matrix"):
-                    hazards.update((H_IO, H_TRAP))
-                elif method in ("_print_int", "_print_float"):
-                    hazards.update((H_PRINT, H_TRAP))
-                else:
-                    hazards.add(H_TRAP)  # rt_* intrinsics may trap
-                    if method == "rt_assign_copy":
-                        hazards.add(H_RC)
-            elif op == "pool":
-                hazards.add(H_POOL)
-                calls.add(("lifted", ins[1]))
-            elif op in ("spawn", "call"):
-                if op == "spawn":
-                    hazards.add(H_SPAWN)
-                callee, nargs = ins[2], len(ins[3])
-                sig = self.functions.get(callee)
-                if sig is not None and len(sig[0]) == nargs:
-                    calls.add(("fn", callee))
-                else:  # unknown callee / arity mismatch raises at run time
-                    hazards.update(ALL_HAZARDS)
-        return hazards, calls
+        return self.safety.hazards(("lifted" if lifted else "fn", name))

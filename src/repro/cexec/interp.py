@@ -62,10 +62,20 @@ class InterpStats:
     parallel_regions: int = 0
     tasks_spawned: int = 0
     region_sizes: list[int] = field(default_factory=list)
+    # Why the fast paths were NOT taken, reason -> count (S25 satellite):
+    # fastloop_bails counts loop-nest executions that fell back to the
+    # tree-walking interpreter, shard_bails counts with-loop regions that
+    # ran sequentially instead of on the worker pool.
+    fastloop_bails: dict[str, int] = field(default_factory=dict)
+    shard_bails: dict[str, int] = field(default_factory=dict)
 
     @property
     def leaked(self) -> int:
         return self.allocs - self.frees
+
+    def bail(self, which: str, reason: str) -> None:
+        d = self.fastloop_bails if which == "fastloop" else self.shard_bails
+        d[reason] = d.get(reason, 0) + 1
 
     def merge(self, other: "InterpStats") -> "InterpStats":
         """Fold another stats record into this one (left-to-right).
@@ -80,6 +90,11 @@ class InterpStats:
         self.parallel_regions += other.parallel_regions
         self.tasks_spawned += other.tasks_spawned
         self.region_sizes.extend(other.region_sizes)
+        for reason, n in other.fastloop_bails.items():
+            self.fastloop_bails[reason] = \
+                self.fastloop_bails.get(reason, 0) + n
+        for reason, n in other.shard_bails.items():
+            self.shard_bails[reason] = self.shard_bails.get(reason, 0) + n
         return self
 
 

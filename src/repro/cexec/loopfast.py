@@ -104,16 +104,26 @@ class Plan:
     def steps(self):
         return self.stores + self.reductions
 
-    def run(self, frame) -> bool:
+    def run(self, frame, stats=None) -> bool:
         """Execute the whole loop; True on success, False to fall back.
 
         Phase 1 (guard + compute) is pure: any exception — a _Bail from
         a guard, or anything unforeseen — aborts with no state changed.
         Phase 2 (commit) performs only infallible numpy writes.
+
+        When ``stats`` (an :class:`~repro.cexec.interp.InterpStats`) is
+        given, each fallback records the guard's reason so ``reproc
+        --stats`` can report *why* the scalar loop ran.
         """
         try:
             commits = self._compute(frame)
-        except Exception:
+        except _Bail as bail:
+            if stats is not None:
+                stats.bail("fastloop", str(bail))
+            return False
+        except Exception as err:  # pragma: no cover - defensive
+            if stats is not None:
+                stats.bail("fastloop", f"unexpected {type(err).__name__}")
             return False
         for c in commits:
             c()

@@ -193,10 +193,19 @@ class VM(RTRuntime):
             if lo < hi:
                 shards.append((lo, hi))
         pool = self._ensure_pool()
-        if (pool is not None and len(shards) > 1
-                and self.program.lifted_parallel_safe(fname)
-                and self._pool_run_parallel(ops, code, captures, shards, pool)):
+        if pool is None:
+            self.stats.bail("shard", "single worker thread (pool disabled)")
+        elif len(shards) <= 1:
+            self.stats.bail("shard", "iteration space fits in one shard")
+        elif not self.program.lifted_parallel_safe(fname):
+            hazards = sorted(self.program.hazards_for(fname, lifted=True))
+            self.stats.bail(
+                "shard", "not shard-safe ({})".format(", ".join(hazards)))
+        elif self._pool_run_parallel(ops, code, captures, shards, pool):
             return
+        else:
+            self.stats.bail(
+                "shard", "nested inside an active parallel region")
         # Sequential path: nthreads=1, ineligible body, nested region, or
         # pool refusal — same shard boundaries, run in order inline.
         for lo, hi in shards:
@@ -532,8 +541,10 @@ def _bind_one(ins: tuple, nxt: int, end: int, vm: VM):
         _, plan, skip = ins
         run = plan.run
 
-        def f(frame, run=run, skip=skip, nxt=nxt):
-            return skip if run(frame) else nxt
+        def f(frame, run=run, skip=skip, nxt=nxt, vm=vm):
+            # vm.stats is a thread-local property: resolve per execution
+            # so shard workers record bails into their own buffers.
+            return skip if run(frame, vm.stats) else nxt
     elif op == "ret":
         _, r = ins
 

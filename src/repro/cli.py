@@ -11,6 +11,14 @@ Examples::
     reproc program.xc -x matrix --check              # errors only
     reproc --list-extensions
 
+Static analysis (S25) runs the dataflow passes — definite assignment,
+matrix shape/bounds, refcount balance — and the explainable
+parallel-safety analysis over one or more programs::
+
+    reproc check program.xc -x matrix                # all passes
+    reproc check *.xc --explain-parallel             # why (not) parallel
+    reproc check program.xc --werror                 # warnings fail the run
+
 Batch mode (S21 compilation service) compiles many programs through one
 shared translator, fanning requests across a worker pool::
 
@@ -109,11 +117,101 @@ def batch_main(argv: list[str]) -> int:
     return 1 if failed else 0
 
 
+def check_main(argv: list[str]) -> int:
+    """``reproc check`` — run the S25 static-analysis passes."""
+    ap = argparse.ArgumentParser(
+        prog="reproc check",
+        description="Statically analyze extended-C programs: definite "
+        "assignment, matrix shape/bounds, refcount balance, and "
+        "explainable parallel safety",
+    )
+    ap.add_argument("sources", nargs="+", help="extended-C source files (.xc)")
+    ap.add_argument("-x", "--extensions", default="matrix",
+                    help="comma-separated extension list (default: matrix)")
+    ap.add_argument("--explain-parallel", action="store_true",
+                    help="print a verdict per parallel construct, with "
+                    "the reason chain for every refusal")
+    ap.add_argument("--werror", action="store_true",
+                    help="treat analysis warnings as errors (exit 1)")
+    ap.add_argument("-j", "--jobs", type=int, default=1,
+                    help="worker threads for multi-file checks (default 1)")
+    ap.add_argument("--threads", type=int, default=4,
+                    help="thread count assumed by the compiled form "
+                    "(default 4)")
+    ap.add_argument("--no-fusion", action="store_true",
+                    help="disable assignment fusion")
+    ap.add_argument("--no-slice-elim", action="store_true",
+                    help="disable fold slice elimination")
+    ap.add_argument("--sequential", action="store_true",
+                    help="disable automatic parallelization")
+    ap.add_argument("--stats", action="store_true",
+                    help="print service counters after the run")
+    args = ap.parse_args(argv)
+
+    from repro.api import Optimizations
+    from repro.service import CompileRequest, CompileService
+    from repro.service.cache import shared_cache
+
+    paths = [Path(s) for s in args.sources]
+    missing = [p for p in paths if not p.exists()]
+    for p in missing:
+        print(f"reproc: {p}: no such file", file=sys.stderr)
+    if missing:
+        return 1
+
+    extensions = tuple(e for e in args.extensions.split(",") if e)
+    options = Optimizations(
+        fuse_assignment=not args.no_fusion,
+        eliminate_slices=not args.no_slice_elim,
+        parallelize=not args.sequential,
+    )
+    service = CompileService(shared_cache(), max_workers=args.jobs)
+    requests = [
+        CompileRequest(p.read_text(), extensions=extensions,
+                       filename=str(p), options=options,
+                       nthreads=args.threads)
+        for p in paths
+    ]
+    responses = service.check_batch(requests)
+
+    failed = 0
+    for path, resp in zip(paths, responses):
+        if not resp.ok:
+            failed += 1
+            for e in resp.errors:
+                print(e, file=sys.stderr)
+            continue
+        report = resp.report
+        print(report.format(explain_parallel=args.explain_parallel))
+        if report.error_count or (args.werror and report.warning_count):
+            failed += 1
+    if args.stats:
+        print(service.stats().pretty())
+    return 1 if failed else 0
+
+
+def _print_interp_stats(stats) -> None:
+    """Mirror the C runtime's RT_STATS line, plus the S25 bail ledger."""
+    print(f"allocs={stats.allocs} frees={stats.frees} "
+          f"copies={stats.copies} "
+          f"parallel_regions={stats.parallel_regions} "
+          f"tasks_spawned={stats.tasks_spawned}")
+    if stats.region_sizes:
+        print("region_sizes=" +
+              ",".join(str(n) for n in stats.region_sizes))
+    for label, bails in (("fastloop bail", stats.fastloop_bails),
+                         ("shard bail", stats.shard_bails)):
+        for reason in sorted(bails):
+            print(f"{label}: {reason} x{bails[reason]}")
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
+    if argv and argv[0] == "check":
+        return check_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="reproc",
         description="Extensible CMINUS translator (ICPP 2014 reproduction)",
@@ -140,6 +238,10 @@ def main(argv: list[str] | None = None) -> int:
                     help="disable fold slice elimination (ablation)")
     ap.add_argument("--sequential", action="store_true",
                     help="disable automatic parallelization")
+    ap.add_argument("--stats", action="store_true",
+                    help="with --run: print interpreter counters "
+                    "(allocs/frees/regions) and the fast-path/shard "
+                    "bail reasons after the program exits")
     ap.add_argument("--list-extensions", action="store_true",
                     help="list available language extensions")
     args = ap.parse_args(argv)
@@ -195,7 +297,7 @@ def main(argv: list[str] | None = None) -> int:
             prog = CompiledProgram(
                 result.c_source,
                 keep_dir=str(src_path.parent / ".reproc-build"))
-            run = prog.run(nthreads=nthreads, collect_stats=False,
+            run = prog.run(nthreads=nthreads, collect_stats=args.stats,
                            cwd=src_path.parent)
             sys.stdout.write(run.stdout)
             sys.stderr.write(run.stderr)
@@ -219,6 +321,8 @@ def main(argv: list[str] | None = None) -> int:
             executor.close()
         for line in executor.stdout:
             print(line)
+        if args.stats:
+            _print_interp_stats(executor.stats)
         return rc
     return 0
 

@@ -116,6 +116,19 @@ class TranslatorCache:
             # The winning builder failed; retry (and likely fail the same
             # way, surfacing the real error to this caller too).
 
+    def fingerprint(
+        self,
+        extensions: list[str] | None = None,
+        *,
+        options: Optimizations | None = None,
+        nthreads: int = 4,
+    ) -> str:
+        """The configuration fingerprint ``get()`` would key this
+        translator under — public so other caches (the service's analysis
+        reports, S25) can key derived results by translator identity."""
+        return translator_fingerprint(
+            self._resolve_modules(extensions), options, nthreads)
+
     def clear(self) -> None:
         with self._lock:
             self._cache.clear()

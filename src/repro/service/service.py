@@ -12,10 +12,13 @@ poison a batch.
 
 from __future__ import annotations
 
+import hashlib
+import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Sequence
 
 from repro.cminus.env import Optimizations
 from repro.driver import CompileResult, Translator
@@ -23,6 +26,9 @@ from repro.lexing.scanner import ScanError
 from repro.parsing.parser import ParseError
 from repro.service.cache import TranslatorCache
 from repro.service.stats import ServiceStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.report import AnalysisReport
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,7 @@ class CompileResponse:
     c_source: str | None = None
     result: CompileResult | None = None
     timings: StageTimings = field(default_factory=StageTimings)
+    report: "AnalysisReport | None" = None   # set by CompileService.check
 
     @property
     def ok(self) -> bool:
@@ -74,10 +81,17 @@ class CompileService:
         cache: TranslatorCache | None = None,
         *,
         max_workers: int = 4,
+        analysis_cache_size: int = 64,
     ):
         self.cache = cache or TranslatorCache()
         self.max_workers = max_workers
         self._counters = self.cache.counters
+        # S25 analysis-report LRU: (translator fingerprint, source digest)
+        # -> AnalysisReport.  Reports are frozen, safe to share.
+        self._analysis_lock = threading.Lock()
+        self._analysis_cache: "OrderedDict[tuple, AnalysisReport]" = \
+            OrderedDict()
+        self._analysis_cache_size = analysis_cache_size
 
     # -- single requests ------------------------------------------------------
 
@@ -142,6 +156,69 @@ class CompileService:
         return CompileResponse(
             request, errors=errors, c_source=c_source, result=result, timings=timings
         )
+
+    # -- static analysis (S25) ------------------------------------------------
+
+    def check(self, request: CompileRequest) -> CompileResponse:
+        """Compile and run the S25 analysis passes over one request.
+
+        The :class:`~repro.analysis.report.AnalysisReport` lands in
+        ``response.report``; reports are cached in an LRU keyed by
+        (translator fingerprint, source digest, filename) — the same
+        identity the translator cache uses, so an edited source or a
+        changed extension set misses while repeated checks hit.
+        """
+        from repro.analysis.report import analyze_result
+
+        key = (
+            self.cache.fingerprint(
+                list(request.extensions),
+                options=request.options, nthreads=request.nthreads),
+            hashlib.sha256(request.source.encode()).hexdigest(),
+            request.filename,
+        )
+        with self._analysis_lock:
+            cached = self._analysis_cache.get(key)
+            if cached is not None:
+                self._analysis_cache.move_to_end(key)
+        if cached is not None:
+            self._counters.add(analysis_cache_hits=1)
+            return CompileResponse(request, report=cached)
+
+        # Analysis needs the lowered tree + bytecode, so force a full
+        # compile even for check_only requests.
+        response = self.compile(
+            replace(request, check_only=False)
+            if request.check_only else request)
+        if not response.ok or response.result is None:
+            return response
+        response.report = analyze_result(
+            response.result, filename=request.filename)
+        self._counters.add(analyses=1)
+        with self._analysis_lock:
+            self._analysis_cache[key] = response.report
+            self._analysis_cache.move_to_end(key)
+            while len(self._analysis_cache) > self._analysis_cache_size:
+                self._analysis_cache.popitem(last=False)
+        return response
+
+    def check_batch(
+        self,
+        requests: Sequence[CompileRequest],
+        *,
+        max_workers: int | None = None,
+    ) -> list[CompileResponse]:
+        """``check`` across a worker pool; responses keep request order."""
+        self._counters.add(batches=1)
+        requests = list(requests)
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers <= 1 or len(requests) <= 1:
+            return [self.check(r) for r in requests]
+        with ThreadPoolExecutor(
+            max_workers=min(workers, len(requests)),
+            thread_name_prefix="repro-check",
+        ) as pool:
+            return list(pool.map(self.check, requests))
 
     # -- batches --------------------------------------------------------------
 

@@ -26,6 +26,9 @@ class ServiceStats:
     requests: int = 0
     failures: int = 0               # requests returning errors
     batches: int = 0
+    # Static analysis (S25 `reproc check`).
+    analyses: int = 0               # reports computed
+    analysis_cache_hits: int = 0    # reports served from the LRU
     # Cumulative per-stage wall time (seconds) across all requests.
     parse_s: float = 0.0
     decorate_s: float = 0.0
@@ -47,6 +50,8 @@ class ServiceStats:
                 f"{self.artifact_misses} rebuilds",
                 f"requests         : {self.requests} "
                 f"({self.failures} failed, {self.batches} batches)",
+                f"analysis reports : {self.analyses} computed, "
+                f"{self.analysis_cache_hits} cache hits",
                 f"stage time (s)   : parse {self.parse_s:.3f}, "
                 f"decorate {self.decorate_s:.3f}, lower {self.lower_s:.3f}, "
                 f"emit {self.emit_s:.3f}",

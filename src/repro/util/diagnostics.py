@@ -123,6 +123,24 @@ class Diagnostics:
     def errors(self) -> list[Diagnostic]:
         return [d for d in self._items if d.severity is Severity.ERROR]
 
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity is Severity.WARNING]
+
+    def sorted(self) -> list[Diagnostic]:
+        """Source order — (filename, line, column), then descending
+        severity for co-located diagnostics — with emission order as the
+        final tie-break, so output is stable run to run (``reproc
+        check`` golden files depend on this)."""
+        indexed = list(enumerate(self._items))
+        indexed.sort(key=lambda pair: (
+            pair[1].span.start.filename,
+            pair[1].span.start.line,
+            pair[1].span.start.column,
+            -int(pair[1].severity),
+            pair[0],
+        ))
+        return [d for _i, d in indexed]
+
     @property
     def has_errors(self) -> bool:
         return any(d.severity is Severity.ERROR for d in self._items)

@@ -1,0 +1,32 @@
+"""Shared helpers for the S25 analysis tests: compile a source string
+through the (process-cached) translator and hand back lowered trees,
+CFGs, or a full :class:`AnalysisReport`."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_result, function_cfgs
+from repro.api import make_translator
+
+EXTS = ("matrix",)
+
+
+def compile_xc(source: str, extensions=EXTS, filename: str = "<test>"):
+    translator = make_translator(list(extensions))
+    result = translator.compile(source, filename)
+    assert result.ok, "\n".join(str(e) for e in result.errors)
+    return result
+
+
+def report_for(source: str, extensions=EXTS, filename: str = "<test>"):
+    result = compile_xc(source, extensions, filename)
+    return analyze_result(result, filename=filename)
+
+
+def cfgs_for(source: str, extensions=EXTS):
+    result = compile_xc(source, extensions)
+    return function_cfgs(result.lowered, result.ctx)
+
+
+def messages(report, phase: str | None = None) -> list[str]:
+    return [d.message for d in report.diagnostics
+            if phase is None or d.phase == phase]

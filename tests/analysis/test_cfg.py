@@ -1,0 +1,129 @@
+"""CFG construction over lowered bodies: block/edge shapes for each
+control construct, reverse postorder, and dead-code unreachability."""
+
+from __future__ import annotations
+
+from tests.analysis.common import cfgs_for
+
+
+def edges(cfg):
+    return {(b.bid, t, lbl) for b in cfg.blocks for t, lbl in b.succs}
+
+
+def test_straight_line_single_path():
+    cfg = cfgs_for("int main() { int x = 1; int y = x + 2; return y; }")[
+        "main"]
+    order = cfg.rpo()
+    assert order[0] == cfg.entry
+    assert cfg.exit in order
+    # Exactly one path entry -> exit; every reachable block has <= 1
+    # unlabeled successor.
+    for b in cfg.blocks:
+        if b.bid in cfg.reachable():
+            assert len(b.succs) <= 1
+
+
+def test_if_has_labeled_branch_edges():
+    cfg = cfgs_for(
+        "int main() { int x = 0; if (x < 1) { x = 2; } return x; }")["main"]
+    labeled = [(b, t, lbl) for b, t, lbl in edges(cfg) if lbl is not None]
+    assert {lbl for _b, _t, lbl in labeled} == {True, False}
+    # The condition block fans out to exactly two targets.
+    srcs = {b for b, _t, _lbl in labeled}
+    assert len(srcs) == 1
+
+
+def test_if_else_joins():
+    cfg = cfgs_for(
+        "int main() { int x = 0; if (x < 1) { x = 2; } else { x = 3; }"
+        " return x; }")["main"]
+    labeled = [(b, t) for b, t, lbl in edges(cfg) if lbl is not None]
+    then_b, else_b = (t for _b, t in labeled)
+    # Both arms flow into one join block.
+    join_t = {t for t, _l in cfg.blocks[then_b].succs}
+    join_e = {t for t, _l in cfg.blocks[else_b].succs}
+    assert join_t == join_e and len(join_t) == 1
+
+
+def test_while_has_back_edge():
+    cfg = cfgs_for(
+        "int main() { int i = 0; while (i < 4) { i = i + 1; } return i; }"
+    )["main"]
+    order = cfg.rpo()
+    pos = {bid: k for k, bid in enumerate(order)}
+    back = [(b, t) for b, t, _l in edges(cfg)
+            if b in pos and t in pos and pos[t] <= pos[b]]
+    assert back, "a while loop must produce a back edge"
+
+
+def test_for_loop_step_block():
+    cfg = cfgs_for(
+        "int main() { int s = 0;"
+        " for (int i = 0; i < 3; i = i + 1) { s = s + i; } return s; }"
+    )["main"]
+    # head (cond) has True/False out-edges and is the back-edge target.
+    labeled = [(b, t, lbl) for b, t, lbl in edges(cfg) if lbl is not None]
+    heads = {b for b, _t, _l in labeled}
+    assert len(heads) == 1
+    (head,) = heads
+    assert any(t == head and b != head for b, t, _l in edges(cfg)
+               if b in cfg.reachable())
+
+
+def test_return_terminates_block_dead_code_unreachable():
+    cfg = cfgs_for(
+        "int main() { return 1; }")["main"]
+    # Statements behind a return would land in an unreachable block.
+    reach = cfg.reachable()
+    ret_blocks = [b for b in cfg.blocks
+                  if any(i.prod == "returnStmt" for i in b.items)]
+    assert ret_blocks
+    for b in ret_blocks:
+        assert all(t == cfg.exit or t not in reach for t, _l in b.succs)
+
+
+def test_break_exits_loop():
+    cfg = cfgs_for(
+        "int main() { int i = 0; while (i < 10) {"
+        " if (i > 3) { break; } i = i + 1; } return i; }")["main"]
+    # The loop's after-block is reachable, and some block other than the
+    # condition head jumps straight to it (the break edge).
+    assert cfg.exit in cfg.reachable()
+
+
+def test_continue_targets_loop_head():
+    cfgs = cfgs_for(
+        "int main() { int i = 0; int s = 0; while (i < 10) {"
+        " i = i + 1; if (i > 3) { continue; } s = s + i; } return s; }")
+    cfg = cfgs["main"]
+    order = cfg.rpo()
+    pos = {bid: k for k, bid in enumerate(order)}
+    back = [(b, t) for b, t, _l in edges(cfg)
+            if b in pos and t in pos and pos[t] <= pos[b]]
+    # continue adds a second back edge to the condition head
+    assert len(back) >= 2
+
+
+def test_rpo_entry_first_and_covers_reachable_once():
+    cfg = cfgs_for(
+        "int main() { int x = 0; if (x) { x = 1; } else { x = 2; }"
+        " while (x < 9) { x = x + 3; } return x; }")["main"]
+    order = cfg.rpo()
+    assert order[0] == cfg.entry
+    assert len(order) == len(set(order))
+    assert set(order) == cfg.reachable()
+
+
+def test_lifted_worker_bodies_get_cfgs():
+    cfgs = cfgs_for(
+        "int main() {\n"
+        "    Matrix float <1> a = init(Matrix float <1>, 8);\n"
+        "    a = with ([0] <= [i] < [8]) genarray([8], 1.0);\n"
+        "    writeMatrix(\"a.data\", a);\n"
+        "    return 0;\n"
+        "}\n")
+    lifted = [n for n in cfgs if n != "main"]
+    assert lifted, "the with-loop body must appear as a lifted CFG"
+    for name in lifted:
+        cfg = cfgs[name]
+        assert "__lo" in cfg.params and "__hi" in cfg.params

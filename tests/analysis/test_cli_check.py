@@ -1,0 +1,103 @@
+"""The ``reproc check`` subcommand: exit codes, --werror, and the
+explanation/stat surfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = """int main() {
+    Matrix float <1> a = init(Matrix float <1>, 8);
+    a = with ([0] <= [i] < [8]) genarray([8], 1.0);
+    writeMatrix("a.data", a);
+    return 0;
+}
+"""
+
+OOB = """int main() {
+    Matrix float <2> a = init(Matrix float <2>, 3, 4);
+    a[10, 0] = 1.0;
+    writeMatrix("a.data", a);
+    return 0;
+}
+"""
+
+WARN_ONLY = """int main() {
+    int y = 1;
+    int z;
+    if (y > 0) { z = 2; }
+    printInt(z);
+    return 0;
+}
+"""
+
+UNSAFE = """float peek(Matrix float <1> v, int i) {
+    writeMatrix("dbg.data", v);
+    return v[i];
+}
+int main() {
+    Matrix float <1> a = init(Matrix float <1>, 8);
+    a = with ([0] <= [i] < [8]) genarray([8], peek(a, i));
+    writeMatrix("a.data", a);
+    return 0;
+}
+"""
+
+
+@pytest.fixture()
+def write(tmp_path):
+    def _write(name, text):
+        p = tmp_path / name
+        p.write_text(text)
+        return str(p)
+    return _write
+
+
+def test_clean_program_exits_zero(write, capsys):
+    assert main(["check", write("ok.xc", CLEAN)]) == 0
+    assert "no issues" in capsys.readouterr().out
+
+
+def test_static_error_exits_one(write, capsys):
+    assert main(["check", write("oob.xc", OOB)]) == 1
+    out = capsys.readouterr().out
+    assert "out of bounds" in out and "error" in out
+
+
+def test_warnings_pass_unless_werror(write, capsys):
+    path = write("warn.xc", WARN_ONLY)
+    assert main(["check", path]) == 0
+    assert "may be read" in capsys.readouterr().out
+    assert main(["check", path, "--werror"]) == 1
+
+
+def test_explain_parallel_prints_verdicts(write, capsys):
+    assert main(["check", write("unsafe.xc", UNSAFE),
+                 "--explain-parallel"]) == 0
+    out = capsys.readouterr().out
+    assert "runs sequentially" in out
+    assert "blocked by" in out and "peek" in out
+
+
+def test_compile_error_exits_one(write, capsys):
+    assert main(["check", write("bad.xc", "int main() { return nope; }")]
+                ) == 1
+    assert capsys.readouterr().err
+
+
+def test_missing_file_exits_one(capsys):
+    assert main(["check", "definitely-not-here.xc"]) == 1
+
+
+def test_multiple_files_aggregate(write, capsys):
+    ok = write("ok.xc", CLEAN)
+    bad = write("oob.xc", OOB)
+    assert main(["check", ok, bad]) == 1
+    out = capsys.readouterr().out
+    assert "no issues" in out and "1 error" in out
+
+
+def test_stats_prints_analysis_counters(write, capsys):
+    assert main(["check", write("ok.xc", CLEAN), "--stats"]) == 0
+    assert "analysis reports" in capsys.readouterr().out

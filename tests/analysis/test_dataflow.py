@@ -1,0 +1,120 @@
+"""The generic worklist solver on hand-built CFGs: forward/backward,
+may/must gen-kill, lattice-join transfer, and the widening hook."""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG, Block
+from repro.analysis.dataflow import GenKill, solve, solve_genkill
+
+
+def diamond() -> CFG:
+    """0 -> {1, 2} -> 3 (entry 0, exit 3)."""
+    blocks = [Block(0), Block(1), Block(2), Block(3)]
+    for a, b, lbl in [(0, 1, True), (0, 2, False), (1, 3, None),
+                      (2, 3, None)]:
+        blocks[a].succs.append((b, lbl))
+        blocks[b].preds.append(a)
+    return CFG("d", [], blocks, entry=0, exit=3)
+
+
+def loop() -> CFG:
+    """0 -> 1 <-> 2, 1 -> 3 (entry 0, exit 3)."""
+    blocks = [Block(0), Block(1), Block(2), Block(3)]
+    for a, b, lbl in [(0, 1, None), (1, 2, True), (2, 1, None),
+                      (1, 3, False)]:
+        blocks[a].succs.append((b, lbl))
+        blocks[b].preds.append(a)
+    return CFG("l", [], blocks, entry=0, exit=3)
+
+
+def test_forward_may_union_reaches_join():
+    cfg = diamond()
+    gk = {1: GenKill(frozenset({"a"}), frozenset()),
+          2: GenKill(frozenset({"b"}), frozenset())}
+    sol = solve_genkill(cfg, gk)
+    ins, _out = sol[3]
+    assert ins == frozenset({"a", "b"})
+
+
+def test_forward_must_intersection_at_join():
+    cfg = diamond()
+    universe = frozenset({"a", "b", "c"})
+    gk = {0: GenKill(frozenset({"c"}), frozenset()),
+          1: GenKill(frozenset({"a"}), frozenset()),
+          2: GenKill(frozenset({"b"}), frozenset())}
+    sol = solve_genkill(cfg, gk, may=False, universe=universe,
+                        boundary=frozenset())
+    ins, _out = sol[3]
+    # Only "c" is generated on *every* path into the join.
+    assert ins == frozenset({"c"})
+
+
+def test_kill_removes_fact():
+    cfg = diamond()
+    gk = {0: GenKill(frozenset({"x"}), frozenset()),
+          1: GenKill(frozenset(), frozenset({"x"}))}
+    sol = solve_genkill(cfg, gk)
+    assert "x" not in sol[1][1]     # killed through the then-arm
+    assert "x" in sol[2][1]         # survives the else-arm
+    assert "x" in sol[3][0]         # may-reach at the join
+
+
+def test_backward_liveness():
+    cfg = diamond()
+    # Block 3 reads "v"; block 1 writes it; block 2 does nothing.
+    gk = {3: GenKill(frozenset({"v"}), frozenset()),
+          1: GenKill(frozenset(), frozenset({"v"}))}
+    sol = solve_genkill(cfg, gk, direction="backward")
+    # Backward: sol[bid] = (state flowing in from successors, state out).
+    assert "v" in sol[2][0]
+    assert "v" not in sol[1][1]     # dead above the write
+
+
+def test_loop_reaches_fixpoint():
+    cfg = loop()
+    gk = {2: GenKill(frozenset({"i"}), frozenset())}
+    sol = solve_genkill(cfg, gk)
+    # The fact generated in the loop body flows around the back edge
+    # into the loop head and out the exit edge.
+    assert "i" in sol[1][0]
+    assert "i" in sol[3][0]
+
+
+def test_lattice_join_transfer_counts():
+    cfg = diamond()
+
+    def transfer(block, state):
+        return state | {block.bid}
+
+    sol = solve(cfg, transfer, join=lambda a, b: a | b,
+                entry_state=frozenset(), init=frozenset())
+    assert sol[3][1] == frozenset({0, 1, 2, 3})
+
+
+def test_widening_terminates_unbounded_chain():
+    cfg = loop()
+    calls = {"widened": 0}
+
+    def transfer(block, state):
+        # A strictly ascending chain that would never converge on the
+        # back edge without widening.
+        return state + 1 if block.bid == 2 else state
+
+    def widen(old, new):
+        calls["widened"] += 1
+        return 10 ** 9
+
+    sol = solve(cfg, transfer, join=max, entry_state=0, init=0,
+                widen=widen, widen_after=3)
+    assert calls["widened"] > 0
+    assert sol[3][0] == 10 ** 9
+
+
+def test_bad_direction_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        solve(diamond(), lambda b, s: s, join=lambda a, b: a,
+              entry_state=0, init=0, direction="sideways")
+    with pytest.raises(ValueError):
+        solve_genkill(diamond(), {}, may=False)  # must needs a universe

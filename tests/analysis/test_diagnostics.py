@@ -1,0 +1,59 @@
+"""Severity levels and the stable source-order sort that golden files
+and --werror depend on."""
+
+from __future__ import annotations
+
+from repro.util.diagnostics import (
+    Diagnostics, Severity, SourceLocation, SourceSpan,
+)
+
+
+def span(line, col, filename="f.xc"):
+    return SourceSpan.at(SourceLocation(line, col, 0, filename))
+
+
+def test_sorted_is_source_order():
+    d = Diagnostics()
+    d.warning("late", span(9, 0))
+    d.error("early", span(2, 4))
+    d.error("middle", span(5, 0))
+    assert [x.message for x in d.sorted()] == ["early", "middle", "late"]
+
+
+def test_colocated_errors_before_warnings():
+    d = Diagnostics()
+    d.warning("w", span(3, 0))
+    d.error("e", span(3, 0))
+    assert [x.severity for x in d.sorted()] == \
+        [Severity.ERROR, Severity.WARNING]
+
+
+def test_emission_order_breaks_remaining_ties():
+    d = Diagnostics()
+    d.error("first", span(1, 0))
+    d.error("second", span(1, 0))
+    assert [x.message for x in d.sorted()] == ["first", "second"]
+
+
+def test_files_group_separately():
+    d = Diagnostics()
+    d.error("b", span(1, 0, "b.xc"))
+    d.error("a", span(9, 0, "a.xc"))
+    assert [x.message for x in d.sorted()] == ["a", "b"]
+
+
+def test_counts_and_filters():
+    d = Diagnostics()
+    d.error("e", span(1, 0))
+    d.warning("w", span(2, 0))
+    d.note("n", span(3, 0))
+    assert len(d.errors()) == 1
+    assert len(d.warnings()) == 1
+    assert d.has_errors
+
+
+def test_str_rendering():
+    d = Diagnostics()
+    d.error("boom", span(4, 2), phase="analysis.shape")
+    (only,) = list(d)
+    assert str(only) == "f.xc:4:3: error: [analysis.shape] boom"

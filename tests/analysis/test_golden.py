@@ -1,0 +1,60 @@
+"""Golden diagnostics: ``reproc check --explain-parallel`` output for
+every shipped analysis example and paper program must match the
+committed files under ``examples/analysis/golden/`` exactly — and every
+*clean* shipped program must produce zero diagnostics."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_result
+from repro.api import make_translator
+
+ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = ROOT / "examples" / "analysis"
+GOLDEN = EXAMPLES / "golden"
+PROGRAMS_DIR = ROOT / "src" / "repro" / "programs"
+
+# (source path, extension set) per golden; paper programs need the
+# transform extension for their with-loop pipelines.
+CASES = sorted(
+    [(p, ("matrix",)) for p in EXAMPLES.glob("*.xc")]
+    + [(p, ("matrix", "transform")) for p in PROGRAMS_DIR.glob("*.xc")],
+    key=lambda c: c[0].name,
+)
+
+CLEAN = {"clean.xc"} | {p.name for p in PROGRAMS_DIR.glob("*.xc")}
+
+
+def check_output(path: Path, exts) -> str:
+    translator = make_translator(list(exts))
+    rel = path.relative_to(ROOT).as_posix()
+    result = translator.compile(path.read_text(), rel)
+    assert result.ok, "\n".join(str(e) for e in result.errors)
+    report = analyze_result(result, filename=rel)
+    return report.format(explain_parallel=True)
+
+
+def test_every_example_has_a_golden_and_vice_versa():
+    want = {p.with_suffix(".txt").name for p, _exts in CASES}
+    have = {p.name for p in GOLDEN.glob("*.txt")}
+    assert want == have
+
+
+@pytest.mark.parametrize("path,exts",
+                         [pytest.param(p, e, id=p.name) for p, e in CASES])
+def test_output_matches_golden(path, exts):
+    golden = (GOLDEN / path.with_suffix(".txt").name).read_text()
+    assert check_output(path, exts) == golden.rstrip("\n")
+
+
+@pytest.mark.parametrize(
+    "path,exts",
+    [pytest.param(p, e, id=p.name) for p, e in CASES if p.name in CLEAN])
+def test_clean_programs_produce_zero_diagnostics(path, exts):
+    translator = make_translator(list(exts))
+    result = translator.compile(path.read_text(), str(path))
+    report = analyze_result(result, filename=path.name)
+    assert report.diagnostics == (), [str(d) for d in report.diagnostics]

@@ -1,0 +1,56 @@
+"""Definite-assignment pass: errors for reads that are uninitialized on
+every path, warnings for some-path reads, silence for clean programs."""
+
+from __future__ import annotations
+
+from tests.analysis.common import messages, report_for
+
+PHASE = "analysis.init"
+
+
+def test_read_before_any_assignment_is_error():
+    r = report_for("int main() { int x; int y = x + 1; return y; }")
+    assert any("'x' is read before it is initialized" in m
+               for m in messages(r, PHASE))
+    assert r.error_count == 1
+
+
+def test_one_branch_assignment_is_warning():
+    r = report_for(
+        "int main() { int y = 1; int z;"
+        " if (y > 0) { z = 2; } return z; }")
+    msgs = messages(r, PHASE)
+    assert any("'z' may be read" in m for m in msgs)
+    assert r.error_count == 0 and r.warning_count == 1
+
+
+def test_both_branches_assign_is_clean():
+    r = report_for(
+        "int main() { int y = 1; int z;"
+        " if (y > 0) { z = 2; } else { z = 3; } return z; }")
+    assert messages(r, PHASE) == []
+
+
+def test_assignment_in_loop_body_is_maybe():
+    r = report_for(
+        "int main() { int i = 0; int z;"
+        " while (i < 3) { z = i; i = i + 1; } return z; }")
+    assert any("'z' may be read" in m for m in messages(r, PHASE))
+
+
+def test_straight_line_clean():
+    r = report_for("int main() { int x = 1; int y = x; return y; }")
+    assert messages(r, PHASE) == []
+
+
+def test_error_span_points_at_the_read():
+    r = report_for("int main() {\n    int x;\n    int y = x + 1;\n"
+                   "    return y;\n}\n")
+    d = [d for d in r.diagnostics if d.phase == PHASE][0]
+    assert d.span.start.line == 3
+
+
+def test_dead_code_reads_do_not_fire():
+    r = report_for(
+        "int main() { int x; return 0; int y = x + 1; return y; }")
+    assert messages(r, PHASE) == []

@@ -1,0 +1,230 @@
+"""Explainable parallel safety: differential equivalence with the S23
+fixpoint, witness chains, and the VM consuming the same verdicts.
+
+``ref_hazards`` below is a line-for-line reimplementation of the
+*pre-S25* private fixpoint (``BytecodeProgram._hazards`` /
+``_direct_hazards`` as of the S23 tree) operating on the public
+bytecode surface only.  The differential tests prove the shared
+:class:`ParallelSafety` analysis reaches bit-identical hazard sets and
+shard/task eligibility decisions on every function and lifted worker of
+every shipped program."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ParallelSafety, analyze_parallel
+from repro.analysis.hazards import (
+    ALL_HAZARDS, H_IO, H_POOL, H_PRINT, H_RC, H_SPAWN, H_TRAP,
+    SHARD_BLOCKERS, TASK_BLOCKERS, TRAP_OPS,
+)
+from repro.cexec.interp import InterpError
+from repro.programs import PROGRAMS, load
+from tests.analysis.common import compile_xc
+
+# -- reference: the S23 fixpoint, reimplemented independently ----------------
+
+
+def ref_direct_hazards(program, key):
+    kind, name = key
+    try:
+        code = (program.lifted_code_for(name) if kind == "lifted"
+                else program.code_for(name))
+    except InterpError:
+        return set(ALL_HAZARDS), set()
+    hazards, calls = set(), set()
+    for ins in code.instrs:
+        op = ins[0]
+        if op in TRAP_OPS:
+            hazards.add(H_TRAP)
+        if op in ("rc_inc", "rc_dec"):
+            hazards.add(H_RC)
+        elif op == "intr":
+            method = ins[2]
+            if method in ("_read_matrix", "_write_matrix"):
+                hazards.update((H_IO, H_TRAP))
+            elif method in ("_print_int", "_print_float"):
+                hazards.update((H_PRINT, H_TRAP))
+            else:
+                hazards.add(H_TRAP)
+                if method == "rt_assign_copy":
+                    hazards.add(H_RC)
+        elif op == "pool":
+            hazards.add(H_POOL)
+            calls.add(("lifted", ins[1]))
+        elif op in ("spawn", "call"):
+            if op == "spawn":
+                hazards.add(H_SPAWN)
+            callee, nargs = ins[2], len(ins[3])
+            sig = program.functions.get(callee)
+            if sig is not None and len(sig[0]) == nargs:
+                calls.add(("fn", callee))
+            else:
+                hazards.update(ALL_HAZARDS)
+    return hazards, calls
+
+
+def ref_hazards(program, root, memo):
+    cached = memo.get(root)
+    if cached is not None:
+        return cached
+    direct, edges = {}, {}
+    stack = [root]
+    while stack:
+        key = stack.pop()
+        if key in direct:
+            continue
+        direct[key], edges[key] = ref_direct_hazards(program, key)
+        for callee in edges[key]:
+            if callee not in direct and callee not in memo:
+                stack.append(callee)
+    changed = True
+    while changed:
+        changed = False
+        for key, hz in direct.items():
+            for callee in edges[key]:
+                callee_hz = memo.get(callee) or direct.get(callee, ())
+                if not (set(callee_hz) <= hz):
+                    hz |= set(callee_hz)
+                    changed = True
+    for key, hz in direct.items():
+        memo[key] = frozenset(hz)
+    return memo[root]
+
+
+# -- corpus ------------------------------------------------------------------
+
+UNSAFE_IO = """
+float peek(Matrix float <1> v, int i) {
+    writeMatrix("dbg.data", v);
+    return v[i];
+}
+int main() {
+    Matrix float <1> a = init(Matrix float <1>, 8);
+    Matrix float <1> b = init(Matrix float <1>, 8);
+    b = with ([0] <= [i] < [8]) genarray([8], peek(a, i) + 1.0);
+    writeMatrix("out.data", b);
+    return 0;
+}
+"""
+
+RECURSIVE = """
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    printInt(fib(10));
+    return 0;
+}
+"""
+
+
+def corpus():
+    cases = [(name, load(name), ("matrix", "transform"))
+             for name in sorted(PROGRAMS)]
+    cases.append(("unsafe_io", UNSAFE_IO, ("matrix",)))
+    cases.append(("recursive", RECURSIVE, ("matrix",)))
+    return cases
+
+
+@pytest.mark.parametrize("name,source,exts",
+                         [pytest.param(*c, id=c[0]) for c in corpus()])
+def test_differential_bit_identical_decisions(name, source, exts):
+    program = compile_xc(source, exts).bytecode()
+    memo: dict = {}
+    # Every lifted worker: identical hazard set and shard decision.
+    for worker in program.lifted_trees:
+        key = ("lifted", worker)
+        ref = ref_hazards(program, key, memo)
+        assert program.safety.hazards(key) == ref
+        assert program.lifted_parallel_safe(worker) == (
+            not (ref & SHARD_BLOCKERS))
+    # Every function: identical hazard set and task decision.
+    for fn in program.functions:
+        key = ("fn", fn)
+        ref = ref_hazards(program, key, memo)
+        assert program.safety.hazards(key) == ref
+        assert program.task_parallel_safe(fn) == (
+            not (ref & TASK_BLOCKERS))
+    # Unknown callees are never task-safe, in both worlds.
+    assert program.task_parallel_safe("no_such_function") is False
+
+
+def test_hazards_for_is_the_shared_analysis():
+    program = compile_xc(UNSAFE_IO).bytecode()
+    for worker in program.lifted_trees:
+        assert program.hazards_for(worker, lifted=True) == \
+            program.safety.hazards(("lifted", worker))
+    # One ParallelSafety instance is memoized per program.
+    assert program.safety is program.safety
+
+
+# -- witnesses and explanations ----------------------------------------------
+
+
+def test_unsafe_region_has_witness_chain_through_callee():
+    program = compile_xc(UNSAFE_IO).bytecode()
+    verdicts = analyze_parallel(program)
+    refused = [v for v in verdicts if v.kind == "shard" and not v.safe]
+    assert len(refused) == 1
+    (v,) = refused
+    assert v.blockers, "every refusal must carry a reason"
+    b = v.blockers[0]
+    assert b.hazard == H_IO
+    assert b.chain[-1] == ("fn", "peek")
+    assert "writeMatrix" in b.what
+    text = v.explain()
+    assert "runs sequentially" in text
+    assert "blocked by" in text and "peek" in text
+
+
+def test_safe_region_verdict_is_positive():
+    program = compile_xc(
+        "int main() {\n"
+        "    Matrix float <1> a = init(Matrix float <1>, 8);\n"
+        "    a = with ([0] <= [i] < [8]) genarray([8], 1.0);\n"
+        "    writeMatrix(\"a.data\", a);\n"
+        "    return 0;\n"
+        "}\n").bytecode()
+    verdicts = analyze_parallel(program)
+    shard = [v for v in verdicts if v.kind == "shard"]
+    assert shard and all(v.safe for v in shard)
+    assert "OK" in shard[0].explain()
+
+
+def test_every_refusal_everywhere_carries_a_reason():
+    for _name, source, exts in corpus():
+        program = compile_xc(source, exts).bytecode()
+        for v in analyze_parallel(program):
+            if not v.safe:
+                assert v.blockers
+                for b in v.blockers:
+                    assert b.what and b.render()
+
+
+def test_witness_is_shortest_chain():
+    # main's region calls peek directly: the chain is region -> peek,
+    # not any longer path.
+    program = compile_xc(UNSAFE_IO).bytecode()
+    safety = ParallelSafety(program)
+    (worker,) = program.lifted_trees
+    b = safety.witness(("lifted", worker), H_IO)
+    assert len(b.chain) == 2
+
+
+def test_vm_refuses_exactly_what_the_analysis_refuses(tmp_path):
+    # The bail ledger names the same hazard the verdict explains.
+    import numpy as np
+    from repro.cexec.vm import VM
+
+    result = compile_xc(UNSAFE_IO)
+    program = result.bytecode()
+    vm = VM(result.lowered, result.ctx, workdir=tmp_path, nthreads=4,
+            program=program)
+    vm.run_main()
+    try:
+        reasons = list(vm.stats.shard_bails)
+        assert any("not shard-safe" in r and "io" in r for r in reasons)
+    finally:
+        vm.close()

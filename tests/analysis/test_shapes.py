@@ -1,0 +1,121 @@
+"""Shape/bounds interval pass: every crafted must-fail program yields at
+least one static error, and clean programs — including all shipped
+paper programs — yield none (the pass is must-fail-only by design)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.programs import PROGRAMS, load
+from tests.analysis.common import messages, report_for
+
+PHASE = "analysis.shape"
+
+
+def shape_msgs(r):
+    return messages(r, PHASE)
+
+
+def test_static_oob_flat_index():
+    r = report_for(
+        "int main() {\n"
+        "    Matrix float <2> a = init(Matrix float <2>, 3, 4);\n"
+        "    a[10, 0] = 1.0;\n"
+        "    writeMatrix(\"a.data\", a);\n"
+        "    return 0;\n"
+        "}\n")
+    assert any("out of bounds" in m for m in shape_msgs(r))
+    assert r.error_count >= 1
+
+
+def test_elementwise_shape_mismatch():
+    r = report_for(
+        "int main() {\n"
+        "    Matrix float <2> a = init(Matrix float <2>, 2, 2);\n"
+        "    Matrix float <2> b = init(Matrix float <2>, 3, 3);\n"
+        "    Matrix float <2> c = a + b;\n"
+        "    writeMatrix(\"c.data\", c);\n"
+        "    return 0;\n"
+        "}\n")
+    assert any("never match" in m for m in shape_msgs(r))
+    assert r.error_count >= 1
+
+
+def test_matmul_inner_dims_never_agree():
+    r = report_for(
+        "int main() {\n"
+        "    Matrix float <2> a = init(Matrix float <2>, 3, 4);\n"
+        "    Matrix float <2> b = init(Matrix float <2>, 3, 4);\n"
+        "    Matrix float <2> c = a * b;\n"
+        "    writeMatrix(\"c.data\", c);\n"
+        "    return 0;\n"
+        "}\n")
+    assert any("dimensions never agree" in m for m in shape_msgs(r))
+
+
+def test_diagnostic_carries_real_source_span():
+    r = report_for(
+        "int main() {\n"
+        "    Matrix float <2> a = init(Matrix float <2>, 3, 4);\n"
+        "    Matrix float <2> b = init(Matrix float <2>, 3, 4);\n"
+        "    Matrix float <2> c = a * b;\n"
+        "    writeMatrix(\"c.data\", c);\n"
+        "    return 0;\n"
+        "}\n")
+    d = [d for d in r.diagnostics if d.phase == PHASE][0]
+    assert d.span.start.line == 4   # the c = a * b line, not <input>:1
+
+
+def test_negative_dimension():
+    r = report_for(
+        "int main() {\n"
+        "    Matrix float <1> a = init(Matrix float <1>, 0 - 2);\n"
+        "    writeMatrix(\"a.data\", a);\n"
+        "    return 0;\n"
+        "}\n")
+    assert any("negative dimension" in m for m in shape_msgs(r))
+
+
+def test_matmul_matching_dims_is_clean():
+    r = report_for(
+        "int main() {\n"
+        "    Matrix float <2> a = init(Matrix float <2>, 3, 4);\n"
+        "    Matrix float <2> b = init(Matrix float <2>, 4, 5);\n"
+        "    Matrix float <2> c = a * b;\n"
+        "    writeMatrix(\"c.data\", c);\n"
+        "    return 0;\n"
+        "}\n")
+    assert shape_msgs(r) == []
+
+
+def test_unknown_shapes_stay_silent():
+    # readMatrix shapes are unknown; must-fail-only means no report.
+    r = report_for(
+        "int main() {\n"
+        "    Matrix float <2> a = readMatrix(\"a.data\");\n"
+        "    Matrix float <2> b = readMatrix(\"b.data\");\n"
+        "    Matrix float <2> c = a + b;\n"
+        "    writeMatrix(\"c.data\", c);\n"
+        "    return 0;\n"
+        "}\n")
+    assert shape_msgs(r) == []
+
+
+def test_loop_widening_does_not_false_positive():
+    r = report_for(
+        "int main() {\n"
+        "    Matrix float <1> a = init(Matrix float <1>, 8);\n"
+        "    for (int i = 0; i < 8; i = i + 1) {\n"
+        "        a[i] = 1.0;\n"
+        "    }\n"
+        "    writeMatrix(\"a.data\", a);\n"
+        "    return 0;\n"
+        "}\n")
+    assert shape_msgs(r) == []
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_paper_programs_have_zero_diagnostics(name):
+    r = report_for(load(name), extensions=("matrix", "transform"),
+                   filename=name)
+    assert r.diagnostics == (), [str(d) for d in r.diagnostics]

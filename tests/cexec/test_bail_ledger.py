@@ -1,0 +1,70 @@
+"""The S25 bail ledger: InterpStats records *why* the VM fell back from
+its fast paths (loopfast plans, parallel shards), and ``reproc --run
+--stats`` prints the reasons."""
+
+from __future__ import annotations
+
+from repro.cexec.interp import InterpStats
+from repro.cli import main
+
+PARALLEL = """int main() {
+    Matrix float <1> a = init(Matrix float <1>, 8);
+    a = with ([0] <= [i] < [8]) genarray([8], 1.0);
+    writeMatrix("a.data", a);
+    return 0;
+}
+"""
+
+UNSAFE = """float peek(Matrix float <1> v, int i) {
+    writeMatrix("dbg.data", v);
+    return v[i];
+}
+int main() {
+    Matrix float <1> a = init(Matrix float <1>, 8);
+    a = with ([0] <= [i] < [8]) genarray([8], peek(a, i));
+    writeMatrix("a.data", a);
+    return 0;
+}
+"""
+
+
+def test_bail_counts_and_merge():
+    a = InterpStats()
+    a.bail("fastloop", "unsupported op")
+    a.bail("fastloop", "unsupported op")
+    a.bail("shard", "pool busy")
+    b = InterpStats()
+    b.bail("fastloop", "unsupported op")
+    b.bail("shard", "nested region")
+    a.merge(b)
+    assert a.fastloop_bails == {"unsupported op": 3}
+    assert a.shard_bails == {"pool busy": 1, "nested region": 1}
+
+
+def test_single_thread_records_pool_disabled(xc):
+    rc, _outs, vm = xc.run(PARALLEL, nthreads=1)
+    assert rc == 0
+    assert any("pool disabled" in r for r in vm.stats.shard_bails)
+
+
+def test_unsafe_region_records_hazard(xc):
+    rc, _outs, vm = xc.run(UNSAFE, nthreads=4)
+    assert rc == 0
+    reasons = list(vm.stats.shard_bails)
+    assert any("not shard-safe" in r and "io" in r for r in reasons)
+
+
+def test_safe_region_with_pool_does_not_bail(xc):
+    rc, _outs, vm = xc.run(PARALLEL, nthreads=4)
+    assert rc == 0
+    assert vm.stats.shard_bails == {}
+    assert vm.stats.parallel_regions >= 1
+
+
+def test_cli_run_stats_prints_bail_lines(tmp_path, capsys):
+    (tmp_path / "p.xc").write_text(PARALLEL)
+    rc = main([str(tmp_path / "p.xc"), "-x", "matrix", "--run",
+               "--stats", "--threads", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "shard bail: single worker thread (pool disabled) x1" in out

@@ -112,8 +112,8 @@ def fastpath_counter(monkeypatch):
     hits = {"ok": 0, "bail": 0}
     orig = loopfast.Plan.run
 
-    def run(self, frame):
-        r = orig(self, frame)
+    def run(self, frame, stats=None):
+        r = orig(self, frame, stats)
         hits["ok" if r else "bail"] += 1
         return r
     monkeypatch.setattr(loopfast.Plan, "run", run)

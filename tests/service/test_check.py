@@ -1,0 +1,102 @@
+"""CompileService.check: analysis reports, the fingerprint-keyed LRU,
+and batch parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import CompileRequest, CompileService
+
+CLEAN = """int main() {
+    Matrix float <1> a = init(Matrix float <1>, 8);
+    a = with ([0] <= [i] < [8]) genarray([8], 1.0);
+    writeMatrix("a.data", a);
+    return 0;
+}
+"""
+
+OOB = """int main() {
+    Matrix float <2> a = init(Matrix float <2>, 3, 4);
+    a[10, 0] = 1.0;
+    writeMatrix("a.data", a);
+    return 0;
+}
+"""
+
+
+@pytest.fixture()
+def service(mem_cache) -> CompileService:
+    return CompileService(mem_cache, max_workers=4)
+
+
+def test_check_attaches_report(service):
+    resp = service.check(CompileRequest(OOB))
+    assert resp.ok  # compile succeeded; the *analysis* found the bug
+    assert resp.report is not None
+    assert resp.report.error_count >= 1
+    assert any("out of bounds" in d.message for d in resp.report.diagnostics)
+
+
+def test_clean_report_is_ok(service):
+    resp = service.check(CompileRequest(CLEAN))
+    assert resp.report.ok
+    assert resp.report.diagnostics == ()
+    assert any(v.safe for v in resp.report.parallel)
+
+
+def test_repeat_check_hits_the_analysis_cache(service):
+    first = service.check(CompileRequest(CLEAN))
+    assert service.stats().analyses == 1
+    assert service.stats().analysis_cache_hits == 0
+    second = service.check(CompileRequest(CLEAN))
+    assert service.stats().analyses == 1
+    assert service.stats().analysis_cache_hits == 1
+    assert second.report is first.report  # frozen, shared
+
+
+def test_edited_source_misses(service):
+    service.check(CompileRequest(CLEAN))
+    service.check(CompileRequest(CLEAN.replace("1.0", "2.0")))
+    assert service.stats().analyses == 2
+    assert service.stats().analysis_cache_hits == 0
+
+
+def test_different_extensions_miss(service):
+    service.check(CompileRequest(CLEAN, extensions=("matrix",)))
+    service.check(CompileRequest(CLEAN, extensions=("matrix", "transform")))
+    assert service.stats().analyses == 2
+    assert service.stats().analysis_cache_hits == 0
+
+
+def test_check_only_requests_still_analyze(service):
+    resp = service.check(CompileRequest(OOB, check_only=True))
+    assert resp.report is not None and resp.report.error_count >= 1
+
+
+def test_compile_errors_short_circuit(service):
+    resp = service.check(CompileRequest("int main() { return nope; }"))
+    assert not resp.ok
+    assert resp.report is None
+
+
+def test_lru_evicts_oldest(mem_cache):
+    service = CompileService(mem_cache, analysis_cache_size=1)
+    service.check(CompileRequest(CLEAN))
+    service.check(CompileRequest(OOB))       # evicts CLEAN
+    service.check(CompileRequest(CLEAN))     # must recompute
+    assert service.stats().analyses == 3
+    assert service.stats().analysis_cache_hits == 0
+
+
+def test_check_batch_preserves_order(service):
+    responses = service.check_batch(
+        [CompileRequest(CLEAN, filename="a"),
+         CompileRequest(OOB, filename="b"),
+         CompileRequest(CLEAN, filename="a")],
+        max_workers=1)
+    assert [r.request.filename for r in responses] == ["a", "b", "a"]
+    assert responses[0].report.ok
+    assert not responses[1].report.ok
+    # the repeated request shares the first one's cached report
+    assert responses[2].report is responses[0].report
+    assert service.stats().analysis_cache_hits == 1
