@@ -1,0 +1,146 @@
+"""E-SRV: the serve daemon under synthetic many-client load (S26).
+
+Two measurements land in ``BENCH_serve.json``:
+
+* **warm** — an in-process daemon with hot translators, hit by N
+  threaded clients firing compile and run requests (identical sources
+  to exercise coalescing, plus distinct variants to exercise the
+  cache); p50/p99 latency and throughput are recorded.
+* **cold** — single-shot ``reproc`` subprocess invocations of the same
+  compile, the workflow the daemon replaces: a fresh interpreter,
+  module imports, and artifact restore per program.
+
+Acceptance gate: warm daemon throughput >= 5x the cold single-shot
+rate.  ``REPRO_BENCH_SMOKE=1`` (CI) shrinks request counts but keeps
+the gate — the daemon's edge is structural (resident translators vs.
+interpreter startup), not workload-sized.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import ReproServer, ServeClient, ServeConfig
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_DIR = REPO_ROOT / "src"
+
+N_REQUESTS = 24 if SMOKE else 96
+N_CLIENTS = 8
+N_COLD = 2 if SMOKE else 4
+GATE = 5.0
+
+PROG = """
+int main() {
+    Matrix float <2> m = init(Matrix float <2>, 16, 16);
+    m = with ([0,0] <= [i,j] < [16,16]) genarray([16,16], 1.0 * (i + j));
+    float s = with ([0,0] <= [i,j] < [16,16]) fold(+, 0.0, m[i,j]);
+    printFloat(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ReproServer(ServeConfig(port=0, pool_size=2,
+                                 queue_depth=16)) as s:
+        client = ServeClient(port=s.port)
+        assert client.wait_ready(20.0)
+        # Warm the translators (server-side and worker-side) once;
+        # the daemon's steady state is what we are measuring.
+        assert client.compile(PROG)["ok"]
+        assert client.run(PROG)["ok"]
+        yield s
+
+
+def _cold_single_shot(tmp_path: Path) -> float:
+    """One ``reproc`` subprocess compile — the pre-daemon workflow."""
+    src = tmp_path / "bench.xc"
+    src.write_text(PROG)
+    env = dict(os.environ, PYTHONPATH=str(SRC_DIR))
+    best = float("inf")
+    for i in range(N_COLD):
+        out = tmp_path / f"bench{i}.c"
+        t0 = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", str(src),
+             "-x", "matrix", "-o", str(out)],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        dt = time.perf_counter() - t0
+        assert proc.returncode == 0, proc.stderr
+        best = min(best, dt)
+    return best
+
+
+class TestServeThroughput:
+    def test_warm_daemon_beats_cold_single_shot(self, server, tmp_path):
+        client = ServeClient(port=server.port)
+
+        # Warm load: half maximally-coalescible, half distinct sources.
+        coalesce = client.load(PROG, requests=N_REQUESTS // 2,
+                               clients=N_CLIENTS, rtype="compile",
+                               distinct=1)
+        distinct = client.load(PROG, requests=N_REQUESTS // 2,
+                               clients=N_CLIENTS, rtype="compile",
+                               distinct=8)
+        runs = client.load(PROG, requests=min(16, N_REQUESTS // 2),
+                           clients=N_CLIENTS, rtype="run", distinct=1)
+        assert coalesce["failed"] == 0
+        assert distinct["failed"] == 0
+        assert runs["failed"] == 0
+        assert coalesce["coalesced"] > 0  # the herd shared work
+
+        cold_s = _cold_single_shot(tmp_path)
+        cold_rps = 1.0 / cold_s
+        warm_rps = coalesce["throughput_rps"]
+        speedup = warm_rps / cold_rps
+
+        stats = client.stats()["stats"]
+        record = {
+            "experiment": "E-SRV",
+            "smoke": SMOKE,
+            "clients": N_CLIENTS,
+            "requests": N_REQUESTS,
+            "warm_compile_coalesced": {
+                k: round(v, 3) if isinstance(v, float) else v
+                for k, v in coalesce.items()},
+            "warm_compile_distinct": {
+                k: round(v, 3) if isinstance(v, float) else v
+                for k, v in distinct.items()},
+            "warm_run": {
+                k: round(v, 3) if isinstance(v, float) else v
+                for k, v in runs.items()},
+            "cold_single_shot_s": round(cold_s, 4),
+            "cold_rps": round(cold_rps, 3),
+            "warm_vs_cold_speedup": round(speedup, 1),
+            "gate": GATE,
+            "serve_counters": {k: v for k, v in stats.items()
+                               if k.startswith("serve_") and v},
+            "python": platform.python_version(),
+        }
+        (REPO_ROOT / "BENCH_serve.json").write_text(
+            json.dumps(record, indent=2) + "\n")
+        print(f"\nwarm {warm_rps:.0f} rps (p50 {coalesce['p50_ms']:.1f} ms, "
+              f"p99 {coalesce['p99_ms']:.1f} ms)  "
+              f"cold {cold_rps:.2f} rps  speedup {speedup:.0f}x")
+        assert speedup >= GATE, \
+            f"warm daemon only {speedup:.1f}x cold single-shot (gate {GATE}x)"
+
+    def test_run_latency_tail_is_bounded(self, server):
+        """p99 of warm runs stays under a generous interactive bound."""
+        client = ServeClient(port=server.port)
+        report = client.load(PROG, requests=12, clients=4, rtype="run",
+                             distinct=4)
+        assert report["failed"] == 0
+        assert report["p99_ms"] < 30_000

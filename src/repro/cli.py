@@ -26,10 +26,21 @@ shared translator, fanning requests across a worker pool::
     reproc batch *.xc -j 4 --stats                   # pool of 4 + counters
     reproc batch *.xc --check --out-dir build/
 
+Serving mode (S26) keeps one daemon resident — hot translators, a
+supervised worker pool for execution — and scripts against it::
+
+    reproc serve --port 7378 --workers 4             # the daemon
+    reproc client run program.xc -x matrix           # execute remotely
+    reproc client compile program.xc -o program.c
+    reproc client load program.xc -n 64 -c 8         # smoke load
+    reproc client stats                              # counters
+    reproc client shutdown                           # graceful drain
+
 ``--stats`` prints the service counters (translator-cache hits/misses,
-persistent-artifact hits, per-stage wall time).  The translator cache
-persists generated LALR tables and scanner DFAs under ``~/.cache/repro``
-(override with ``REPRO_CACHE_DIR``; ``REPRO_CACHE_DIR=off`` disables).
+persistent-artifact hits, per-stage wall time, serve-daemon request/
+coalescing/worker counters).  The translator cache persists generated
+LALR tables and scanner DFAs under ``~/.cache/repro`` (override with
+``REPRO_CACHE_DIR``; ``REPRO_CACHE_DIR=off`` disables).
 """
 
 from __future__ import annotations
@@ -190,6 +201,181 @@ def check_main(argv: list[str]) -> int:
     return 1 if failed else 0
 
 
+def serve_main(argv: list[str]) -> int:
+    """``reproc serve`` — run the persistent compile-and-execute daemon."""
+    ap = argparse.ArgumentParser(
+        prog="reproc serve",
+        description="Serve compile/check/run/stats requests over "
+        "HTTP/1.1-framed JSON, keeping translators hot and executing "
+        "programs in a supervised worker pool",
+    )
+    ap.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default 127.0.0.1)")
+    ap.add_argument("--port", type=int, default=7378,
+                    help="TCP port (default 7378; 0 picks a free port)")
+    ap.add_argument("--socket", help="serve on this AF_UNIX socket path "
+                    "instead of TCP")
+    ap.add_argument("--workers", type=int, default=2,
+                    help="executor worker processes (default 2)")
+    ap.add_argument("--queue-depth", type=int, default=8,
+                    help="admitted requests beyond which new ones get "
+                    "429 busy (default 8)")
+    ap.add_argument("--timeout", type=float, default=30.0,
+                    help="default per-run wall-clock timeout in seconds "
+                    "(default 30)")
+    ap.add_argument("--max-requests-per-worker", type=int, default=64,
+                    help="recycle a worker after this many requests "
+                    "(default 64)")
+    ap.add_argument("--output-cap", type=int, default=1 << 20,
+                    help="per-run stdout cap in bytes (default 1MiB)")
+    ap.add_argument("--max-memory-mb", type=int, default=0,
+                    help="per-worker address-space cap in MiB "
+                    "(default 0 = unlimited)")
+    args = ap.parse_args(argv)
+
+    import signal
+
+    from repro.serve.server import ReproServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host, port=args.port, socket_path=args.socket,
+        pool_size=args.workers, queue_depth=args.queue_depth,
+        default_timeout_s=args.timeout,
+        max_requests_per_worker=args.max_requests_per_worker,
+        output_cap=args.output_cap,
+        max_memory_bytes=args.max_memory_mb << 20,
+    )
+    server = ReproServer(config)
+
+    def _stop(signum, frame):
+        # serve_forever unblocks; its finally-clause drains and closes.
+        import threading
+
+        threading.Thread(target=server.stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    server.start()  # binds; resolves port 0 before we announce
+    print(f"reproc serve: listening on {server.address} "
+          f"({args.workers} workers, queue depth {args.queue_depth})",
+          flush=True)
+    try:
+        server._thread.join()
+    finally:
+        server.stop()
+    print("reproc serve: shut down cleanly", flush=True)
+    return 0
+
+
+def client_main(argv: list[str]) -> int:
+    """``reproc client`` — script against a running serve daemon."""
+    ap = argparse.ArgumentParser(
+        prog="reproc client",
+        description="Send compile/check/run/stats/shutdown requests to a "
+        "running `reproc serve` daemon; `load` fires a synthetic "
+        "multi-client smoke load",
+    )
+    ap.add_argument("action",
+                    choices=("compile", "check", "run", "stats",
+                             "shutdown", "load"))
+    ap.add_argument("source", nargs="?",
+                    help="extended-C source file (.xc); required for "
+                    "compile/check/run/load")
+    ap.add_argument("-x", "--extensions", default="matrix",
+                    help="comma-separated extension list (default: matrix)")
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=7378)
+    ap.add_argument("--socket", help="connect to an AF_UNIX socket path")
+    ap.add_argument("-o", "--output",
+                    help="compile: write generated C here (default stdout)")
+    ap.add_argument("--threads", type=int, default=1,
+                    help="run: interpreter thread count (default 1)")
+    ap.add_argument("--timeout", type=float, default=None,
+                    help="run: per-request wall-clock timeout in seconds")
+    ap.add_argument("--explain-parallel", action="store_true",
+                    help="check: include the parallel-safety verdicts")
+    ap.add_argument("-n", "--requests", type=int, default=32,
+                    help="load: total requests (default 32)")
+    ap.add_argument("-c", "--clients", type=int, default=8,
+                    help="load: concurrent client threads (default 8)")
+    ap.add_argument("--distinct", type=int, default=1,
+                    help="load: distinct source variants (default 1 = "
+                    "maximal coalescing)")
+    ap.add_argument("--load-type", default="compile",
+                    choices=("compile", "check", "run"),
+                    help="load: request type to fire (default compile)")
+    args = ap.parse_args(argv)
+
+    import json
+
+    from repro.serve.client import ServeClient, ServeUnavailable
+
+    client = ServeClient(args.host, args.port, socket_path=args.socket)
+    extensions = [e for e in args.extensions.split(",") if e]
+
+    needs_source = args.action in ("compile", "check", "run", "load")
+    if needs_source and not args.source:
+        ap.error(f"'{args.action}' requires a source file")
+    source = Path(args.source).read_text() if needs_source else ""
+
+    try:
+        if args.action == "stats":
+            body = client.stats()
+            print(body["pretty"])
+            print(f"uptime: {body['uptime_s']:.1f}s, "
+                  f"workers alive: {body['workers_alive']}")
+            return 0
+        if args.action == "shutdown":
+            body = client.shutdown()
+            print(body["kind"])
+            return 0 if body.get("ok") else 1
+        if args.action == "load":
+            report = client.load(
+                source, extensions, requests=args.requests,
+                clients=args.clients, rtype=args.load_type,
+                distinct=args.distinct)
+            print(json.dumps(report, indent=2))
+            return 0 if report["failed"] == 0 else 1
+        if args.action == "compile":
+            body = client.compile(source, extensions,
+                                  filename=args.source)
+            if not body.get("ok"):
+                for e in body.get("errors", [body.get("error", "?")]):
+                    print(e, file=sys.stderr)
+                return 1
+            if args.output:
+                Path(args.output).write_text(body["c_source"])
+                print(f"wrote {args.output} "
+                      f"({body['elapsed_s'] * 1e3:.1f} ms"
+                      f"{', coalesced' if body.get('coalesced') else ''})")
+            else:
+                sys.stdout.write(body["c_source"])
+            return 0
+        if args.action == "check":
+            body = client.check(source, extensions, filename=args.source,
+                                explain_parallel=args.explain_parallel)
+            if not body.get("ok"):
+                for e in body.get("errors", [body.get("error", "?")]):
+                    print(e, file=sys.stderr)
+                return 1
+            print(body["report"])
+            return 1 if body.get("error_count") else 0
+        # run
+        body = client.run(source, extensions, filename=args.source,
+                          nthreads=args.threads, timeout_s=args.timeout)
+        for line in body.get("stdout", []):
+            print(line)
+        if not body.get("ok"):
+            msg = body.get("error") or "; ".join(body.get("errors", []))
+            print(f"reproc client: {body.get('kind')}: {msg}",
+                  file=sys.stderr)
+            return 2
+        return int(body.get("returncode", 0))
+    except ServeUnavailable as e:
+        print(f"reproc client: {e}", file=sys.stderr)
+        return 1
+
+
 def _print_interp_stats(stats) -> None:
     """Mirror the C runtime's RT_STATS line, plus the S25 bail ledger."""
     print(f"allocs={stats.allocs} frees={stats.frees} "
@@ -212,6 +398,10 @@ def main(argv: list[str] | None = None) -> int:
         return batch_main(argv[1:])
     if argv and argv[0] == "check":
         return check_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        return client_main(argv[1:])
     ap = argparse.ArgumentParser(
         prog="reproc",
         description="Extensible CMINUS translator (ICPP 2014 reproduction)",
@@ -241,7 +431,8 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--stats", action="store_true",
                     help="with --run: print interpreter counters "
                     "(allocs/frees/regions) and the fast-path/shard "
-                    "bail reasons after the program exits")
+                    "bail reasons after the program exits; with no "
+                    "source: print the shared service counters")
     ap.add_argument("--list-extensions", action="store_true",
                     help="list available language extensions")
     args = ap.parse_args(argv)
@@ -256,6 +447,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if not args.source:
+        if args.stats:
+            from repro.service import CompileService
+            from repro.service.cache import shared_cache
+
+            print(CompileService(shared_cache()).stats().pretty())
+            return 0
         ap.error("a source file is required (or --list-extensions)")
     src_path = Path(args.source)
     if not src_path.exists():

@@ -1,0 +1,44 @@
+"""S26 — ``reproc serve``: the persistent compile-and-execute daemon.
+
+The serving story the ROADMAP promised: a long-running process that
+keeps translators hot (:class:`~repro.service.service.CompileService`),
+executes untrusted programs in a supervised worker pool
+(:class:`~repro.serve.workers.WorkerPool`), coalesces identical
+in-flight requests, applies admission control with explicit 429
+backpressure, and drains gracefully on shutdown.  The wire protocol
+(:mod:`repro.serve.protocol`) is length-prefixed JSON framed as
+HTTP/1.1, so ``curl`` is a valid client and so is
+:class:`~repro.serve.client.ServeClient`.
+
+>>> from repro.serve import ReproServer, ServeClient, ServeConfig
+>>> with ReproServer(ServeConfig(port=0)) as server:
+...     client = ServeClient(port=server.port)
+...     client.run("int main() { printInt(42); return 0; }")["stdout"]
+['42']
+"""
+
+from repro.serve.client import ServeClient, ServeUnavailable
+from repro.serve.protocol import (
+    KIND_BAD_REQUEST,
+    KIND_BUSY,
+    KIND_WORKER_LOST,
+    ProtocolError,
+    REQUEST_TYPES,
+    ServeRequest,
+)
+from repro.serve.server import ReproServer, ServeConfig
+from repro.serve.workers import WorkerPool
+
+__all__ = [
+    "KIND_BAD_REQUEST",
+    "KIND_BUSY",
+    "KIND_WORKER_LOST",
+    "ProtocolError",
+    "REQUEST_TYPES",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeUnavailable",
+    "WorkerPool",
+]

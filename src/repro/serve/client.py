@@ -1,0 +1,215 @@
+"""``reproc client`` — the scripting client for the serve daemon.
+
+:class:`ServeClient` wraps one daemon address (TCP host:port or an
+AF_UNIX socket path) and exposes one method per request type.  Every
+method returns the daemon's decoded JSON body — ``ok``/``kind`` plus
+type-specific fields — and never raises for *protocol-level* outcomes
+(busy, bad request, compile errors); only transport failures (daemon
+unreachable, malformed response) raise :class:`ServeUnavailable`.
+
+The client retries nothing by itself: a 429 ``busy`` body is returned to
+the caller, who owns the backoff policy.  :meth:`ServeClient.load` is
+the exception — it is the smoke-load generator behind
+``reproc client load`` and CI, firing N identical + M distinct requests
+from a thread pool and reporting latency percentiles, throughput and the
+coalescing observed.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from typing import Any
+
+from repro.serve.protocol import KIND_BUSY
+
+
+class ServeUnavailable(ConnectionError):
+    """The daemon could not be reached or spoke garbage."""
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """http.client over an AF_UNIX socket path."""
+
+    def __init__(self, path: str, timeout: float | None = None):
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._path)
+        self.sock = sock
+
+
+class ServeClient:
+    """A thread-safe client for one ``reproc serve`` daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7378,
+                 *, socket_path: str | None = None,
+                 timeout_s: float = 120.0):
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.timeout_s = timeout_s
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self.socket_path:
+            return _UnixHTTPConnection(self.socket_path,
+                                       timeout=self.timeout_s)
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+
+    def request(self, rtype: str, **fields: Any) -> dict:
+        """POST one request; returns the decoded body (adds ``_status``)."""
+        payload = {"type": rtype, **{k: v for k, v in fields.items()
+                                     if v is not None}}
+        conn = self._connect()
+        try:
+            conn.request(
+                "POST", f"/{rtype}",
+                body=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            raw = resp.read()
+            status = resp.status
+        except (OSError, http.client.HTTPException) as e:
+            raise ServeUnavailable(
+                f"daemon at {self._address()} unreachable: {e}") from e
+        finally:
+            conn.close()
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as e:
+            raise ServeUnavailable(
+                f"daemon at {self._address()} returned a non-JSON "
+                f"body (HTTP {status}): {e}") from e
+        if not isinstance(body, dict):
+            raise ServeUnavailable(
+                f"daemon returned a non-object body: {body!r}")
+        body["_status"] = status
+        return body
+
+    def _address(self) -> str:
+        return self.socket_path or f"{self.host}:{self.port}"
+
+    # -- one helper per request type ------------------------------------------
+
+    def compile(self, source: str, extensions=("matrix",), **kw) -> dict:
+        return self.request("compile", source=source,
+                            extensions=list(extensions), **kw)
+
+    def check(self, source: str, extensions=("matrix",), **kw) -> dict:
+        return self.request("check", source=source,
+                            extensions=list(extensions), **kw)
+
+    def run(self, source: str, extensions=("matrix",), **kw) -> dict:
+        return self.request("run", source=source,
+                            extensions=list(extensions), **kw)
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    def wait_ready(self, timeout_s: float = 10.0,
+                   interval_s: float = 0.05) -> bool:
+        """Poll ``stats`` until the daemon answers (startup handshake)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            try:
+                self.stats()
+                return True
+            except ServeUnavailable:
+                time.sleep(interval_s)
+        return False
+
+    # -- smoke load (CI + `reproc client load`) -------------------------------
+
+    def load(self, source: str, extensions=("matrix",), *,
+             requests: int = 32, clients: int = 8,
+             rtype: str = "compile", distinct: int = 1) -> dict:
+        """Fire ``requests`` requests from ``clients`` threads.
+
+        ``distinct`` spreads the load over that many source variants (a
+        trailing comment makes each fingerprint unique), so
+        ``distinct=1`` maximizes coalescing while higher values exercise
+        the cache.  Returns latency percentiles, throughput, and how
+        many responses were coalesced or rejected.
+        """
+        variants = [
+            source if i == 0 else f"{source}\n// variant {i}\n"
+            for i in range(max(1, distinct))
+        ]
+        latencies: list[float] = []
+        outcomes = {"ok": 0, "busy": 0, "coalesced": 0, "failed": 0}
+        lock = threading.Lock()
+
+        def one(i: int) -> None:
+            t0 = time.perf_counter()
+            try:
+                body = self.request(rtype, source=variants[i % len(variants)],
+                                    extensions=list(extensions))
+            except ServeUnavailable:
+                with lock:
+                    outcomes["failed"] += 1
+                return
+            dt = time.perf_counter() - t0
+            with lock:
+                latencies.append(dt)
+                if body.get("kind") == KIND_BUSY:
+                    outcomes["busy"] += 1
+                elif body.get("ok"):
+                    outcomes["ok"] += 1
+                else:
+                    outcomes["failed"] += 1
+                if body.get("coalesced"):
+                    outcomes["coalesced"] += 1
+
+        t_start = time.perf_counter()
+        threads: list[threading.Thread] = []
+        pending = list(range(requests))
+        idx_lock = threading.Lock()
+
+        def worker() -> None:
+            while True:
+                with idx_lock:
+                    if not pending:
+                        return
+                    i = pending.pop()
+                one(i)
+
+        for _ in range(max(1, clients)):
+            t = threading.Thread(target=worker, daemon=True)
+            t.start()
+            threads.append(t)
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - t_start
+
+        latencies.sort()
+
+        def pct(p: float) -> float:
+            if not latencies:
+                return 0.0
+            k = min(len(latencies) - 1, int(round(p * (len(latencies) - 1))))
+            return latencies[k]
+
+        return {
+            "requests": requests,
+            "clients": clients,
+            "rtype": rtype,
+            "distinct": len(variants),
+            "wall_s": wall,
+            "throughput_rps": requests / wall if wall > 0 else 0.0,
+            "p50_ms": pct(0.50) * 1e3,
+            "p99_ms": pct(0.99) * 1e3,
+            "max_ms": (latencies[-1] * 1e3) if latencies else 0.0,
+            **outcomes,
+        }

@@ -1,0 +1,200 @@
+"""The serve wire protocol: request model, validation, coalescing keys.
+
+``reproc serve`` speaks length-prefixed JSON over HTTP/1.1 — every
+request is a ``POST`` whose ``Content-Length`` header prefixes a single
+JSON document, and every response is a JSON document the same way, so
+any HTTP client (``curl``, ``http.client``, a browser) is a valid
+protocol client.  Four request types map to four endpoints:
+
+===========  =============  ====================================================
+type         endpoint       semantics
+===========  =============  ====================================================
+``compile``  ``/compile``   translate to parallel C (hot translator cache)
+``check``    ``/check``     S25 static-analysis report
+``run``      ``/run``       execute in a supervised worker process under caps
+``stats``    ``/stats``     service + serve counters (also plain ``GET``)
+===========  =============  ====================================================
+
+Status codes carry transport-level outcomes only: ``200`` for every
+completed request (including programs that failed to compile or
+trapped — those are *results*, reported in the body), ``400`` for
+malformed requests, ``429`` when the bounded request queue is full
+(body ``{"ok": false, "kind": "busy"}``), ``404`` for unknown
+endpoints.  Bodies always include ``ok`` and ``kind``.
+
+:class:`ServeRequest` is the validated in-daemon form; ``from_payload``
+rejects unknown fields and wrong types with messages precise enough to
+fix the client call, because a daemon serving many clients cannot crash
+on a malformed one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+REQUEST_TYPES = ("compile", "check", "run", "stats", "shutdown")
+
+#: Transport-level result kinds shared by server and client.
+KIND_BUSY = "busy"
+KIND_BAD_REQUEST = "bad_request"
+KIND_WORKER_LOST = "worker_lost"
+
+_MAX_SOURCE_BYTES = 4 << 20  # one program, not a dataset
+_ALLOWED_FIELDS = {
+    "type", "source", "extensions", "filename", "engine", "nthreads",
+    "timeout_s", "inputs", "output_names", "options", "explain_parallel",
+}
+_ALLOWED_OPTIONS = {"fuse_assignment", "eliminate_slices", "parallelize"}
+
+
+class ProtocolError(ValueError):
+    """A malformed request payload (maps to HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One validated daemon request."""
+
+    type: str
+    source: str = ""
+    extensions: tuple[str, ...] = ("matrix",)
+    filename: str = "<request>"
+    engine: str = "vm"
+    nthreads: int = 1
+    timeout_s: float | None = None
+    inputs: dict[str, Any] = field(default_factory=dict)
+    output_names: tuple[str, ...] = ()
+    options: dict[str, bool] = field(default_factory=dict)
+    explain_parallel: bool = False
+
+    @staticmethod
+    def from_payload(payload: Any) -> "ServeRequest":
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        unknown = set(payload) - _ALLOWED_FIELDS
+        if unknown:
+            raise ProtocolError(
+                f"unknown request fields: {sorted(unknown)}"
+            )
+        rtype = payload.get("type")
+        if rtype not in REQUEST_TYPES:
+            raise ProtocolError(
+                f"request type must be one of {list(REQUEST_TYPES)}, "
+                f"got {rtype!r}"
+            )
+        source = payload.get("source", "")
+        if not isinstance(source, str):
+            raise ProtocolError("'source' must be a string")
+        if len(source.encode()) > _MAX_SOURCE_BYTES:
+            raise ProtocolError(
+                f"'source' exceeds {_MAX_SOURCE_BYTES} bytes"
+            )
+        if rtype in ("compile", "check", "run") and not source.strip():
+            raise ProtocolError(f"'{rtype}' requires a non-empty 'source'")
+        extensions = payload.get("extensions", ["matrix"])
+        if isinstance(extensions, str):
+            extensions = [e for e in extensions.split(",") if e]
+        if not (isinstance(extensions, list)
+                and all(isinstance(e, str) for e in extensions)):
+            raise ProtocolError(
+                "'extensions' must be a list of strings or a "
+                "comma-separated string"
+            )
+        engine = payload.get("engine", "vm")
+        if engine not in ("vm", "tree"):
+            raise ProtocolError("'engine' must be 'vm' or 'tree'")
+        nthreads = payload.get("nthreads", 1)
+        if not isinstance(nthreads, int) or not 1 <= nthreads <= 64:
+            raise ProtocolError("'nthreads' must be an int in [1, 64]")
+        timeout_s = payload.get("timeout_s")
+        if timeout_s is not None:
+            if not isinstance(timeout_s, (int, float)) or timeout_s <= 0:
+                raise ProtocolError("'timeout_s' must be a positive number")
+            timeout_s = float(timeout_s)
+        inputs = payload.get("inputs", {})
+        if not (isinstance(inputs, dict)
+                and all(isinstance(k, str) for k in inputs)):
+            raise ProtocolError("'inputs' must map file names to arrays")
+        output_names = payload.get("output_names", [])
+        if not (isinstance(output_names, list)
+                and all(isinstance(n, str) for n in output_names)):
+            raise ProtocolError("'output_names' must be a list of strings")
+        options = payload.get("options", {})
+        if not isinstance(options, dict):
+            raise ProtocolError("'options' must be an object")
+        bad = set(options) - _ALLOWED_OPTIONS
+        if bad:
+            raise ProtocolError(
+                f"unknown options: {sorted(bad)}; "
+                f"have {sorted(_ALLOWED_OPTIONS)}"
+            )
+        if not all(isinstance(v, bool) for v in options.values()):
+            raise ProtocolError("option values must be booleans")
+        filename = payload.get("filename", "<request>")
+        if not isinstance(filename, str):
+            raise ProtocolError("'filename' must be a string")
+        explain = payload.get("explain_parallel", False)
+        if not isinstance(explain, bool):
+            raise ProtocolError("'explain_parallel' must be a boolean")
+        return ServeRequest(
+            type=rtype,
+            source=source,
+            extensions=tuple(extensions) or ("matrix",),
+            filename=filename,
+            engine=engine,
+            nthreads=nthreads,
+            timeout_s=timeout_s,
+            inputs=dict(inputs),
+            output_names=tuple(output_names),
+            options={k: bool(v) for k, v in options.items()},
+            explain_parallel=explain,
+        )
+
+    def make_options(self):
+        """The request's options as an Optimizations instance."""
+        from repro.cminus.env import Optimizations
+
+        return Optimizations(**self.options) if self.options else None
+
+    def coalesce_key(self) -> str:
+        """Identity for in-flight request coalescing.
+
+        Two requests coalesce when a single execution can serve both:
+        same type, source, extension set, filename, engine/threads,
+        inputs and options.  ``filename`` participates because it labels
+        diagnostics — two clients compiling the same source under
+        different names expect their own name in error messages.
+        ``timeout_s`` is deliberately excluded: the leader's timeout
+        governs, and a follower asking for a longer timeout still gets a
+        correct (if earlier) answer.
+        """
+        h = hashlib.sha256()
+        key = {
+            "type": self.type,
+            "source": self.source,
+            "extensions": list(self.extensions),
+            "filename": self.filename,
+            "engine": self.engine,
+            "nthreads": self.nthreads,
+            "inputs": self.inputs,
+            "output_names": list(self.output_names),
+            "options": self.options,
+            "explain_parallel": self.explain_parallel,
+        }
+        h.update(json.dumps(key, sort_keys=True).encode())
+        return h.hexdigest()
+
+
+def encode_response(payload: dict) -> bytes:
+    """Length-prefixed JSON: the body bytes (Content-Length is the prefix)."""
+    return json.dumps(payload).encode()
+
+
+def decode_body(body: bytes) -> Any:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as e:
+        raise ProtocolError(f"request body is not valid JSON: {e}") from e

@@ -1,0 +1,423 @@
+"""``reproc serve`` — the resident compile-and-execute daemon (S26).
+
+The ROADMAP's serving story, made concrete: one long-running process
+keeps hot translators and the analysis LRU resident in a
+:class:`~repro.service.service.CompileService`, executes untrusted
+programs in a supervised :class:`~repro.serve.workers.WorkerPool`, and
+speaks the HTTP/1.1-framed JSON protocol of :mod:`repro.serve.protocol`
+to any number of concurrent clients.
+
+Three mechanisms carry the operational load:
+
+* **Coalescing** — identical in-flight requests (same
+  :meth:`~repro.serve.protocol.ServeRequest.coalesce_key`) share one
+  execution.  The first client in becomes the *leader* and does the
+  work; every *follower* blocks on the leader's flight and receives a
+  copy of its result with ``"coalesced": true``.  Followers consume no
+  admission slot and no worker — a thundering herd of identical
+  compiles costs one compile.
+* **Admission control** — a counting semaphore of ``queue_depth`` slots
+  bounds concurrently admitted leaders.  When no slot is free the
+  request is rejected *immediately* with HTTP 429 / ``kind: "busy"``
+  (never queued invisibly), so clients see backpressure they can act
+  on.  Stats ``serve_rejections`` counts these.
+* **Graceful shutdown** — ``stop()`` (or a ``shutdown`` request) stops
+  accepting new work (503 ``shutting_down``), waits up to
+  ``drain_timeout_s`` for in-flight leaders to finish, cancels whatever
+  compile work remains via each flight's
+  :class:`~repro.service.service.CancelToken`, then closes the worker
+  pool.  In-flight clients get real answers, not connection resets.
+
+The daemon and the CLI batch/check paths share one
+:class:`~repro.service.stats.Counters` instance (through the shared
+translator cache), so ``/stats`` and ``reproc batch --stats`` read the
+same ledger.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+import time
+from dataclasses import asdict, dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.protocol import (
+    KIND_BAD_REQUEST,
+    KIND_BUSY,
+    ProtocolError,
+    ServeRequest,
+    encode_response,
+)
+from repro.serve.workers import WorkerPool
+from repro.service import CompileRequest, CompileService, shared_cache
+from repro.service.service import CANCELLED, CancelToken
+
+_ENDPOINTS = {
+    "/compile": "compile",
+    "/check": "check",
+    "/run": "run",
+    "/stats": "stats",
+    "/shutdown": "shutdown",
+}
+
+#: Request body size cap (source cap + JSON overhead headroom).
+_MAX_BODY_BYTES = 8 << 20
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Daemon tunables; every knob has a ``reproc serve`` flag."""
+
+    host: str = "127.0.0.1"
+    port: int = 7378           # "SERV" on a phone keypad
+    socket_path: str | None = None   # AF_UNIX instead of TCP when set
+    pool_size: int = 2               # executor worker processes
+    queue_depth: int = 8             # admitted-leader bound (429 beyond)
+    default_timeout_s: float = 30.0  # per-run wall clock unless overridden
+    max_requests_per_worker: int = 64
+    output_cap: int = 1 << 20
+    max_memory_bytes: int = 0        # 0 = no RLIMIT_AS in workers
+    drain_timeout_s: float = 10.0
+
+
+class _Flight:
+    """One leader execution that followers can wait on."""
+
+    __slots__ = ("done", "result", "cancel")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: dict | None = None
+        self.cancel = CancelToken()
+
+
+class ReproServer:
+    """The daemon behind ``reproc serve`` — embeddable for tests.
+
+    ``start()``/``stop()`` run it on a background thread;
+    ``serve_forever()`` blocks (the CLI path).  ``handle_payload`` is
+    the transport-independent core: every HTTP request funnels into it,
+    and tests may call it directly.
+    """
+
+    def __init__(self, config: ServeConfig | None = None,
+                 service: CompileService | None = None):
+        self.config = config or ServeConfig()
+        self.service = service or CompileService(shared_cache())
+        self.counters = self.service._counters
+        self.pool = WorkerPool(
+            self.config.pool_size,
+            max_requests_per_worker=self.config.max_requests_per_worker,
+            default_timeout_s=self.config.default_timeout_s,
+            output_cap=self.config.output_cap,
+            max_memory_bytes=self.config.max_memory_bytes,
+            counters=self.counters,
+        )
+        self._admission = threading.Semaphore(self.config.queue_depth)
+        self._flights: dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._started_at = time.monotonic()
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- request core ---------------------------------------------------------
+
+    def handle_payload(self, payload) -> tuple[int, dict]:
+        """Dispatch one decoded JSON payload; returns (status, body)."""
+        try:
+            request = ServeRequest.from_payload(payload)
+        except ProtocolError as e:
+            return 400, {"ok": False, "kind": KIND_BAD_REQUEST,
+                         "error": str(e)}
+
+        if request.type == "stats":
+            self.counters.add(serve_stats=1)
+            return 200, self._stats_body()
+        if request.type == "shutdown":
+            threading.Thread(target=self.stop, daemon=True,
+                             name="repro-serve-shutdown").start()
+            return 200, {"ok": True, "kind": "shutting_down"}
+        if self._draining.is_set():
+            return 503, {"ok": False, "kind": "shutting_down",
+                         "error": "daemon is draining"}
+
+        # Coalescing: one execution per identical in-flight request.
+        key = request.coalesce_key()
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._flights[key] = _Flight()
+        if not leader:
+            flight.done.wait()
+            self.counters.add(serve_coalesced=1, **{f"serve_{request.type}": 1})
+            result = dict(flight.result or
+                          {"ok": False, "kind": "internal",
+                           "error": "leader produced no result"})
+            result["coalesced"] = True
+            # A follower coalesced onto a rejected leader is rejected too.
+            status = 429 if result.get("kind") == KIND_BUSY else 200
+            return status, result
+
+        # Leader path: admission first, then the actual work.
+        if not self._admission.acquire(blocking=False):
+            with self._flights_lock:
+                self._flights.pop(key, None)
+            flight.result = {"ok": False, "kind": KIND_BUSY,
+                             "error": "request queue is full; retry later"}
+            flight.done.set()
+            self.counters.add(serve_rejections=1)
+            return 429, dict(flight.result)
+        self.counters.add(**{f"serve_{request.type}": 1})
+        try:
+            result = self._execute(request, flight.cancel)
+        except Exception as e:  # a handler bug must not wedge followers
+            result = {"ok": False, "kind": "internal", "error": str(e)}
+        finally:
+            self._admission.release()
+            with self._flights_lock:
+                self._flights.pop(key, None)
+            flight.result = result if isinstance(result, dict) else {
+                "ok": False, "kind": "internal", "error": "no result"}
+            flight.done.set()
+        result = dict(flight.result)
+        result["coalesced"] = False
+        return 200, result
+
+    def _execute(self, request: ServeRequest, cancel: CancelToken) -> dict:
+        if request.type == "run":
+            return self.pool.submit(request)
+        creq = CompileRequest(
+            request.source,
+            extensions=request.extensions,
+            filename=request.filename,
+            options=request.make_options(),
+            nthreads=request.nthreads,
+            cancel=cancel,
+        )
+        t0 = time.perf_counter()
+        if request.type == "check":
+            resp = self.service.check(creq)
+        else:
+            resp = self.service.compile(creq)
+        elapsed = time.perf_counter() - t0
+        if not resp.ok:
+            kind = ("cancelled" if CANCELLED in resp.errors
+                    else "compile_error")
+            return {"ok": False, "kind": kind, "errors": list(resp.errors),
+                    "elapsed_s": elapsed}
+        body: dict = {"ok": True, "kind": "ok", "errors": [],
+                      "elapsed_s": elapsed}
+        if request.type == "check":
+            report = resp.report
+            body["report"] = report.format(
+                explain_parallel=request.explain_parallel)
+            body["error_count"] = report.error_count
+            body["warning_count"] = report.warning_count
+        else:
+            body["c_source"] = resp.c_source
+            body["timings"] = {
+                "parse_s": resp.timings.parse,
+                "decorate_s": resp.timings.decorate,
+                "lower_s": resp.timings.lower,
+                "emit_s": resp.timings.emit,
+            }
+        return body
+
+    def _stats_body(self) -> dict:
+        return {
+            "ok": True,
+            "kind": "stats",
+            "stats": asdict(self.service.stats()),
+            "pretty": self.service.stats().pretty(),
+            "uptime_s": time.monotonic() - self._started_at,
+            "workers_alive": self.pool.alive_workers,
+            "queue_depth": self.config.queue_depth,
+            "draining": self._draining.is_set(),
+        }
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        if self.config.socket_path:
+            return self.config.socket_path
+        if self._httpd is not None:
+            host, port = self._httpd.server_address[:2]
+            return f"{host}:{port}"
+        return f"{self.config.host}:{self.config.port}"
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (meaningful after start; supports port=0)."""
+        if self._httpd is not None and not self.config.socket_path:
+            return self._httpd.server_address[1]
+        return self.config.port
+
+    def _make_httpd(self) -> ThreadingHTTPServer:
+        handler = _make_handler(self)
+        if self.config.socket_path:
+            return _UnixHTTPServer(self.config.socket_path, handler)
+        return ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler)
+
+    def start(self) -> "ReproServer":
+        """Bind and serve on a background thread (tests, embedding)."""
+        self._httpd = self._make_httpd()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True, name="repro-serve-accept")
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Bind and serve on the calling thread (the CLI path)."""
+        self._httpd = self._make_httpd()
+        try:
+            self._httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._finish_stop()
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain, cancel stragglers, close the pool."""
+        if self._stopped.is_set():
+            return
+        self._draining.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()   # stops serve_forever; idempotent
+        if self._thread is not None:
+            self._thread.join(timeout=self.config.drain_timeout_s)
+            self._finish_stop()
+        # CLI path: serve_forever's finally runs _finish_stop.
+
+    def _finish_stop(self) -> None:
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        # Drain: wait for in-flight leaders, then cancel what remains.
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while time.monotonic() < deadline:
+            with self._flights_lock:
+                flights = list(self._flights.values())
+            if not flights:
+                break
+            flights[0].done.wait(timeout=0.05)
+        with self._flights_lock:
+            for flight in self._flights.values():
+                flight.cancel.cancel()
+        if self._httpd is not None:
+            self._httpd.server_close()
+            if self.config.socket_path:
+                import os
+
+                try:
+                    os.unlink(self.config.socket_path)
+                except OSError:
+                    pass
+        self.pool.close()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class _UnixHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer over an AF_UNIX socket path."""
+
+    address_family = socket.AF_UNIX
+
+    def __init__(self, path: str, handler):
+        import os
+
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        socketserver.TCPServer.__init__(self, path, handler)
+
+    def server_bind(self):
+        # The HTTPServer override calls getfqdn on a (host, port) pair;
+        # a unix path has neither.
+        socketserver.TCPServer.server_bind(self)
+        self.server_name = self.server_address
+        self.server_port = 0
+
+
+def _make_handler(server: ReproServer):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        # Quiet by default: a load test would otherwise spam stderr.
+        def log_message(self, fmt, *args):  # noqa: D102
+            pass
+
+        def address_string(self):  # AF_UNIX client_address is b"" / ""
+            try:
+                return super().address_string()
+            except Exception:
+                return "unix"
+
+        def _reply(self, status: int, body: dict) -> None:
+            data = encode_response(body)
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            try:
+                self.wfile.write(data)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away; nothing to salvage
+
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path.split("?")[0] == "/stats":
+                server.counters.add(serve_stats=1)
+                self._reply(200, server._stats_body())
+            elif self.path.split("?")[0] == "/healthz":
+                self._reply(200, {"ok": True, "kind": "healthy"})
+            else:
+                self._reply(404, {"ok": False, "kind": "not_found",
+                                  "error": f"no such endpoint {self.path!r}"})
+
+        def do_POST(self):  # noqa: N802 - http.server API
+            path = self.path.split("?")[0]
+            rtype = _ENDPOINTS.get(path)
+            if rtype is None:
+                self._reply(404, {"ok": False, "kind": "not_found",
+                                  "error": f"no such endpoint {path!r}; "
+                                  f"have {sorted(_ENDPOINTS)}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                length = -1
+            if length < 0 or length > _MAX_BODY_BYTES:
+                self._reply(400, {"ok": False, "kind": KIND_BAD_REQUEST,
+                                  "error": "missing or oversized "
+                                  "Content-Length"})
+                return
+            body = self.rfile.read(length) if length else b"{}"
+            try:
+                payload = json.loads(body.decode("utf-8")) if length else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as e:
+                self._reply(400, {"ok": False, "kind": KIND_BAD_REQUEST,
+                                  "error": f"body is not valid JSON: {e}"})
+                return
+            if isinstance(payload, dict):
+                declared = payload.setdefault("type", rtype)
+                if declared != rtype:
+                    self._reply(400, {
+                        "ok": False, "kind": KIND_BAD_REQUEST,
+                        "error": f"payload type {declared!r} does not "
+                        f"match endpoint {path!r}"})
+                    return
+            status, out = server.handle_payload(payload)
+            self._reply(status, out)
+
+    return Handler

@@ -24,6 +24,8 @@ from repro.service.artifacts import ArtifactStore, default_cache_dir
 from repro.service.cache import TranslatorCache, reset_shared_cache, shared_cache
 from repro.service.fingerprint import syntax_fingerprint, translator_fingerprint
 from repro.service.service import (
+    CANCELLED,
+    CancelToken,
     CompileRequest,
     CompileResponse,
     CompileService,
@@ -33,6 +35,8 @@ from repro.service.stats import ServiceStats
 
 __all__ = [
     "ArtifactStore",
+    "CANCELLED",
+    "CancelToken",
     "CompileRequest",
     "CompileResponse",
     "CompileService",

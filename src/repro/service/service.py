@@ -31,6 +31,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.report import AnalysisReport
 
 
+class CancelToken:
+    """A cooperative cancellation flag checked between pipeline stages.
+
+    The serve daemon hands every admitted request a token; cancelling it
+    (client disconnect, shutdown deadline) makes the service abandon the
+    compile at the next stage boundary instead of finishing work nobody
+    will read.  Tokens are thread-safe and single-use.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+#: The error-message marker a cancelled response carries.
+CANCELLED = "compilation cancelled"
+
+
 @dataclass(frozen=True)
 class CompileRequest:
     """One program to compile against one extension configuration."""
@@ -41,6 +67,7 @@ class CompileRequest:
     options: Optimizations | None = None
     nthreads: int = 4
     check_only: bool = False
+    cancel: CancelToken | None = None
 
 
 @dataclass(frozen=True)
@@ -102,9 +129,22 @@ class CompileService:
             nthreads=request.nthreads,
         )
 
+    def _abandon(self, request: CompileRequest,
+                 timings: StageTimings) -> CompileResponse:
+        self._counters.add(serve_cancelled=1)
+        return CompileResponse(request, errors=[CANCELLED], timings=timings)
+
     def compile(self, request: CompileRequest) -> CompileResponse:
-        """Compile one request through the staged, timed pipeline."""
+        """Compile one request through the staged, timed pipeline.
+
+        A :class:`CancelToken` on the request is honoured at every stage
+        boundary (never mid-stage): a cancelled request comes back as an
+        error response carrying :data:`CANCELLED`.
+        """
         self._counters.add(requests=1)
+        cancel = request.cancel
+        if cancel is not None and cancel.cancelled:
+            return self._abandon(request, StageTimings())
         try:
             translator = self.translator_for(request)
         except ValueError as e:  # unknown extension
@@ -121,6 +161,8 @@ class CompileService:
                 request, errors=[str(e)], timings=StageTimings(parse=dt)
             )
         t1 = time.perf_counter()
+        if cancel is not None and cancel.cancelled:
+            return self._abandon(request, StageTimings(parse=t1 - t0))
 
         dn, ctx = translator.decorate(root)
         errors = list(dn.att("errors"))
@@ -137,6 +179,10 @@ class CompileService:
             return CompileResponse(
                 request, errors=errors, result=result, timings=timings
             )
+
+        if cancel is not None and cancel.cancelled:
+            return self._abandon(
+                request, StageTimings(parse=t1 - t0, decorate=t2 - t1))
 
         lowered = dn.att("lowered")
         t3 = time.perf_counter()

@@ -34,6 +34,16 @@ class ServiceStats:
     decorate_s: float = 0.0
     lower_s: float = 0.0
     emit_s: float = 0.0
+    # Serve daemon (S26 `reproc serve`).
+    serve_compile: int = 0          # /compile requests admitted
+    serve_check: int = 0            # /check requests admitted
+    serve_run: int = 0              # /run requests admitted
+    serve_stats: int = 0            # /stats requests answered
+    serve_coalesced: int = 0        # requests served by another's in-flight work
+    serve_timeouts: int = 0         # runs killed at the wall-clock deadline
+    serve_worker_restarts: int = 0  # workers respawned after crash/kill
+    serve_rejections: int = 0       # 429 busy responses (queue full)
+    serve_cancelled: int = 0        # compiles abandoned via a cancel token
 
     @property
     def hit_rate(self) -> float:
@@ -55,6 +65,13 @@ class ServiceStats:
                 f"stage time (s)   : parse {self.parse_s:.3f}, "
                 f"decorate {self.decorate_s:.3f}, lower {self.lower_s:.3f}, "
                 f"emit {self.emit_s:.3f}",
+                f"serve requests   : {self.serve_compile} compile, "
+                f"{self.serve_check} check, {self.serve_run} run, "
+                f"{self.serve_stats} stats ({self.serve_coalesced} coalesced, "
+                f"{self.serve_rejections} rejected busy)",
+                f"serve workers    : {self.serve_worker_restarts} restarts, "
+                f"{self.serve_timeouts} timeouts, "
+                f"{self.serve_cancelled} cancelled",
             ]
         )
 

@@ -1,0 +1,159 @@
+"""Regression gate for the matrix+transform+cilk composition (PR 5 note).
+
+PR 5 recorded a report that this extension combination broke the S24
+compiled scanner on ``Matrix float <3>``.  An exhaustive reproduction
+hunt (every extension order, fresh vs. cached translators, cold vs.
+warm artifact restores, many hash seeds, differential scans over the
+corpus) found compiled and interpreted front ends byte-identical
+throughout — but a defect reported once deserves a permanent gate, not
+a shrug.  This suite pins the behavior at every layer the report
+implicated: token streams, parse trees, full compiles, and artifact
+round-trips, always comparing the compiled engines against the
+interpreted reference.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.api import make_translator
+from repro.lexing import EOF, ContextAwareScanner
+from repro.parsing import Parser
+from repro.service.artifacts import ArtifactStore
+from repro.service.cache import TranslatorCache
+
+COMBO = ("matrix", "transform", "cilk")
+
+#: ``Matrix float <3>`` in every syntactic position the grammar allows:
+#: parameter, local, return type, init() argument, matrixMap target,
+#: spawn-call argument — plus a transform clause so all three
+#: extensions' terminals are live in one token stream.
+PROGRAM = """
+float total(Matrix float <3> cube) {
+    int a = dimSize(cube, 0);
+    int b = dimSize(cube, 1);
+    int c = dimSize(cube, 2);
+    return with ([0,0,0] <= [i,j,k] < [a,b,c]) fold(+, 0.0, cube[i,j,k]);
+}
+
+Matrix float <3> build(int n) {
+    Matrix float <3> cube = init(Matrix float <3>, n, n, n);
+    cube = with ([0,0,0] <= [i,j,k] < [n,n,n])
+        genarray([n,n,n], 1.0 * (i + j + k))
+        transform split k by 4, kin, kout.
+                  vectorize kin;
+    return cube;
+}
+
+int main() {
+    Matrix float <3> cube = build(8);
+    float s1 = 0.0;
+    float s2 = 0.0;
+    spawn s1 = total(cube);
+    spawn s2 = total(cube);
+    sync;
+    printFloat(s1 + s2);
+    return 0;
+}
+"""
+
+ORDERS = list(itertools.permutations(COMBO))
+
+
+@pytest.fixture(scope="module")
+def translator():
+    return make_translator(list(COMBO), fresh=True)
+
+
+class TestScannerDifferential:
+    """The layer the report named: the compiled scanner on this combo."""
+
+    def test_matrix_float_3_tokenizes_identically(self, translator):
+        ts = translator.grammar.terminal_set
+        comp = ContextAwareScanner(ts, backend="compiled")
+        interp = ContextAwareScanner(ts, backend="interpreted")
+        toks_c = comp.tokenize_all(PROGRAM, filename="<combo>")
+        toks_i = interp.tokenize_all(PROGRAM, filename="<combo>")
+        assert toks_c == toks_i
+        assert toks_c[-1].terminal == EOF
+
+    def test_matrix_type_fragments(self, translator):
+        ts = translator.grammar.terminal_set
+        comp = ContextAwareScanner(ts, backend="compiled")
+        interp = ContextAwareScanner(ts, backend="interpreted")
+        for frag in (
+            "Matrix float <3> m;",
+            "Matrix int <1> v = init(Matrix int <1>, 4);",
+            "Matrix float <2> f(Matrix float <3> cube) { }",
+            "spawn x = f(init(Matrix float <3>, 2, 2, 2));",
+            "transform split k by 4, kin, kout. vectorize kin;",
+        ):
+            assert (comp.tokenize_all(frag) == interp.tokenize_all(frag)), frag
+
+
+class TestParserDifferential:
+    def test_identical_trees(self, translator):
+        pc = translator.parser
+        g = pc.grammar
+        pi = Parser(
+            g,
+            tables=pc.tables,
+            scanner=ContextAwareScanner(g.terminal_set,
+                                        backend="interpreted"),
+            backend="interpreted",
+        )
+        assert (pc.parse(PROGRAM, filename="<combo>")
+                == pi.parse(PROGRAM, filename="<combo>"))
+
+
+class TestEveryExtensionOrder:
+    """Fresh translator per order: composition must be order-insensitive."""
+
+    @pytest.mark.parametrize("order", ORDERS,
+                             ids=["+".join(o) for o in ORDERS])
+    def test_compiles_clean(self, order):
+        t = make_translator(list(order), fresh=True)
+        result = t.compile(PROGRAM)
+        assert result.ok, (order, result.errors)
+        assert "rt_spawn" in result.c_source      # cilk lowered
+        assert "rt_vloadf" in result.c_source     # vectorize lowered
+
+
+class TestArtifactRoundTrip:
+    """Cold build -> persist -> warm restore must not perturb the combo."""
+
+    def test_cold_and_warm_identical(self, tmp_path):
+        store_dir = tmp_path / "artifacts"
+        cold_cache = TranslatorCache(artifacts=ArtifactStore(store_dir))
+        t_cold = cold_cache.get(list(COMBO))
+        r_cold = t_cold.compile(PROGRAM)
+        assert r_cold.ok, r_cold.errors
+
+        # A new cache over the same store restores tables from disk.
+        warm_cache = TranslatorCache(artifacts=ArtifactStore(store_dir))
+        t_warm = warm_cache.get(list(COMBO))
+        r_warm = t_warm.compile(PROGRAM)
+        assert r_warm.ok, r_warm.errors
+        assert warm_cache.counters.snapshot().artifact_hits > 0
+        assert r_cold.c_source == r_warm.c_source
+
+
+class TestExecution:
+    """Beyond parsing: the combo program must run and agree with numpy."""
+
+    def test_interpreted_result(self, translator, tmp_path):
+        import numpy as np
+
+        from repro.cexec.interp import Interpreter
+
+        result = translator.compile(PROGRAM)
+        assert result.ok, result.errors
+        interp = Interpreter(result.lowered, result.ctx, workdir=tmp_path)
+        assert interp.run_main() == 0
+
+        i, j, k = np.meshgrid(*[np.arange(8)] * 3, indexing="ij")
+        expect = 2 * float((i + j + k).astype(np.float32).sum())
+        got = float(interp.stdout[-1])
+        assert got == pytest.approx(expect, rel=1e-5)

@@ -1,0 +1,117 @@
+"""Protocol units: validation, coalescing identity, encoding."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ProtocolError,
+    REQUEST_TYPES,
+    ServeRequest,
+    decode_body,
+    encode_response,
+)
+
+SRC = "int main() { return 0; }"
+
+
+class TestValidation:
+    def test_minimal_request(self):
+        r = ServeRequest.from_payload({"type": "compile", "source": SRC})
+        assert r.type == "compile"
+        assert r.extensions == ("matrix",)
+        assert r.engine == "vm"
+        assert r.nthreads == 1
+
+    def test_all_types_accepted(self):
+        for t in REQUEST_TYPES:
+            payload = {"type": t}
+            if t in ("compile", "check", "run"):
+                payload["source"] = SRC
+            assert ServeRequest.from_payload(payload).type == t
+
+    @pytest.mark.parametrize("payload,fragment", [
+        (["not", "a", "dict"], "JSON object"),
+        ({"type": "frobnicate", "source": SRC}, "request type"),
+        ({"type": "run"}, "non-empty 'source'"),
+        ({"type": "run", "source": SRC, "bogus": 1}, "unknown request fields"),
+        ({"type": "run", "source": 42}, "'source' must be a string"),
+        ({"type": "run", "source": SRC, "extensions": [1]}, "'extensions'"),
+        ({"type": "run", "source": SRC, "engine": "jit"}, "'engine'"),
+        ({"type": "run", "source": SRC, "nthreads": 0}, "'nthreads'"),
+        ({"type": "run", "source": SRC, "nthreads": 65}, "'nthreads'"),
+        ({"type": "run", "source": SRC, "timeout_s": -1}, "'timeout_s'"),
+        ({"type": "run", "source": SRC, "inputs": [1]}, "'inputs'"),
+        ({"type": "run", "source": SRC, "output_names": "x"},
+         "'output_names'"),
+        ({"type": "run", "source": SRC, "options": {"mystery": True}},
+         "unknown options"),
+        ({"type": "run", "source": SRC, "options": {"parallelize": 1}},
+         "booleans"),
+        ({"type": "run", "source": SRC, "explain_parallel": "yes"},
+         "'explain_parallel'"),
+    ])
+    def test_rejects_with_precise_message(self, payload, fragment):
+        with pytest.raises(ProtocolError, match=".*"):
+            try:
+                ServeRequest.from_payload(payload)
+            except ProtocolError as e:
+                assert fragment in str(e)
+                raise
+
+    def test_source_size_cap(self):
+        with pytest.raises(ProtocolError) as ei:
+            ServeRequest.from_payload(
+                {"type": "compile", "source": "x" * ((4 << 20) + 1)})
+        assert "exceeds" in str(ei.value)
+
+    def test_extensions_comma_string(self):
+        r = ServeRequest.from_payload(
+            {"type": "compile", "source": SRC,
+             "extensions": "matrix,cilk"})
+        assert r.extensions == ("matrix", "cilk")
+
+
+class TestCoalesceKey:
+    BASE = {"type": "run", "source": SRC, "extensions": ["matrix"]}
+
+    def key(self, **over):
+        return ServeRequest.from_payload({**self.BASE, **over}).coalesce_key()
+
+    def test_identical_requests_share_a_key(self):
+        assert self.key() == self.key()
+
+    def test_timeout_does_not_split(self):
+        assert self.key(timeout_s=1.0) == self.key(timeout_s=60.0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("source", SRC + " "),
+        ("extensions", ["matrix", "cilk"]),
+        ("engine", "tree"),
+        ("nthreads", 2),
+        ("filename", "other.xc"),
+        ("inputs", {"a.data": [1.0]}),
+        ("output_names", ["out.data"]),
+        ("options", {"parallelize": False}),
+        ("explain_parallel", True),
+    ])
+    def test_each_semantic_field_splits(self, field, value):
+        assert self.key() != self.key(**{field: value})
+
+    def test_type_splits(self):
+        assert (self.key() !=
+                ServeRequest.from_payload(
+                    {**self.BASE, "type": "compile"}).coalesce_key())
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        body = {"ok": True, "kind": "ok", "stdout": ["1", "2"]}
+        assert json.loads(encode_response(body).decode()) == body
+        assert decode_body(encode_response(body)) == body
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_body(b"\xff\xfe not json")

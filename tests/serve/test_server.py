@@ -1,0 +1,278 @@
+"""Daemon integration: concurrent clients, coalescing, isolation, drain.
+
+Every test here runs a real :class:`ReproServer` bound to an ephemeral
+TCP port (or an AF_UNIX socket) with real HTTP clients on threads — the
+same path production traffic takes, minus the network.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve import ReproServer, ServeClient, ServeConfig
+from repro.service import CompileService
+from repro.service.cache import TranslatorCache
+from repro.service.artifacts import ArtifactStore
+
+OK_PROG = """
+int main() {
+    Matrix float <1> v = init(Matrix float <1>, 4);
+    v[0] = 1.0; v[1] = 2.0; v[2] = 3.0; v[3] = 4.0;
+    float s = with ([0] <= [i] < [4]) fold(+, 0.0, v[i]);
+    printFloat(s);
+    return 0;
+}
+"""
+
+LOOP_PROG = """
+int main() {
+    int i = 0;
+    while (1 == 1) { i = i + 1; if (i > 1000000) i = 0; }
+    return 0;
+}
+"""
+
+
+def fresh_server(tmp_path, **over) -> ReproServer:
+    """A daemon with an isolated cache (no cross-test counter bleed)."""
+    cache = TranslatorCache(artifacts=ArtifactStore(tmp_path / "artifacts"))
+    service = CompileService(cache)
+    defaults = dict(port=0, pool_size=2, queue_depth=8,
+                    default_timeout_s=20.0)
+    defaults.update(over)
+    return ReproServer(ServeConfig(**defaults), service=service)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with fresh_server(tmp_path) as s:
+        yield s
+
+
+@pytest.fixture()
+def client(server):
+    c = ServeClient(port=server.port)
+    assert c.wait_ready(15.0)
+    return c
+
+
+class TestBasics:
+    def test_compile_run_check_stats(self, client):
+        r = client.compile(OK_PROG)
+        assert r["ok"] and "rt_alloc" in r["c_source"]
+        r = client.run(OK_PROG)
+        assert r["ok"] and r["stdout"] == ["10"]
+        r = client.check(OK_PROG)
+        assert r["ok"] and r["error_count"] == 0
+        st = client.stats()
+        assert st["ok"]
+        assert st["stats"]["serve_compile"] == 1
+        assert st["stats"]["serve_run"] == 1
+        assert st["stats"]["serve_check"] == 1
+
+    def test_compile_error_is_200_with_errors(self, client):
+        r = client.compile("int main() { return x; }")
+        assert r["_status"] == 200
+        assert not r["ok"] and r["kind"] == "compile_error"
+        assert any("undeclared" in e for e in r["errors"])
+
+    def test_malformed_request_is_400(self, client):
+        r = client.request("run", source="")
+        assert r["_status"] == 400 and r["kind"] == "bad_request"
+
+    def test_unknown_endpoint_is_404(self, client, server):
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port)
+        conn.request("POST", "/frobnicate", body=b"{}")
+        resp = conn.getresponse()
+        assert resp.status == 404
+        conn.close()
+
+    def test_type_endpoint_mismatch_is_400(self, client, server):
+        import http.client
+        import json
+
+        conn = http.client.HTTPConnection("127.0.0.1", server.port)
+        conn.request("POST", "/run",
+                     body=json.dumps({"type": "compile",
+                                      "source": OK_PROG}).encode())
+        resp = conn.getresponse()
+        assert resp.status == 400
+        conn.close()
+
+
+class TestConcurrentClients:
+    N_CLIENTS = 10
+
+    def test_identical_requests_coalesce(self, server, client):
+        results = [None] * self.N_CLIENTS
+
+        def go(i):
+            c = ServeClient(port=server.port)
+            results[i] = c.run(OK_PROG, nthreads=1)
+
+        threads = [threading.Thread(target=go, args=(i,))
+                   for i in range(self.N_CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert all(r["ok"] for r in results)
+        # Deterministic output for every client, leader and follower alike.
+        assert {tuple(r["stdout"]) for r in results} == {("10",)}
+        coalesced = sum(1 for r in results if r["coalesced"])
+        leaders = sum(1 for r in results if not r["coalesced"])
+        assert coalesced + leaders == self.N_CLIENTS
+        assert coalesced >= 1  # the herd shared work
+        st = client.stats()["stats"]
+        assert st["serve_coalesced"] == coalesced
+        assert st["serve_run"] == self.N_CLIENTS
+
+    def test_distinct_requests_do_not_coalesce(self, server):
+        def go(i):
+            c = ServeClient(port=server.port)
+            prog = OK_PROG.replace("4.0;", f"4.0 + {i}.0;")
+            return c.run(prog)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(go, range(4)))
+        assert all(r["ok"] for r in results)
+        outs = [r["stdout"][0] for r in results]
+        assert outs == ["10", "11", "12", "13"]
+        assert not any(r["coalesced"] for r in results)
+
+    def test_infinite_loop_does_not_starve_neighbors(self, server):
+        """The acceptance bullet: a runaway program times out while a
+        concurrent well-behaved request completes correctly."""
+        outcomes = {}
+
+        def bad():
+            c = ServeClient(port=server.port)
+            outcomes["bad"] = c.run(LOOP_PROG, timeout_s=1.5)
+
+        def good():
+            time.sleep(0.3)  # let the loop start first
+            c = ServeClient(port=server.port)
+            outcomes["good"] = c.run(OK_PROG)
+
+        tb, tg = threading.Thread(target=bad), threading.Thread(target=good)
+        tb.start(); tg.start()
+        tb.join(timeout=30); tg.join(timeout=30)
+
+        assert outcomes["good"]["ok"]
+        assert outcomes["good"]["stdout"] == ["10"]
+        assert outcomes["bad"]["kind"] == "timeout"
+        # Daemon is still fully operational afterwards.
+        c = ServeClient(port=server.port)
+        assert c.run(OK_PROG)["ok"]
+
+    def test_worker_crash_mid_load_recovers(self, server, client):
+        # _crash is a pool-level test hook; reach it via the pool to
+        # simulate a hard worker death under concurrent traffic.
+        def crash():
+            server.pool.submit_raw({"type": "_crash"})
+
+        t = threading.Thread(target=crash)
+        t.start()
+        results = [client.run(OK_PROG) for _ in range(3)]
+        t.join()
+        assert all(r["ok"] for r in results)
+        assert client.stats()["stats"]["serve_worker_restarts"] >= 1
+
+
+class TestBackpressure:
+    def test_queue_full_gets_429_busy(self, tmp_path):
+        with fresh_server(tmp_path, queue_depth=1, pool_size=1) as server:
+            client = ServeClient(port=server.port)
+            assert client.wait_ready(15.0)
+            client.run(OK_PROG)  # warm the worker's translator
+
+            hold = threading.Event()
+            slow_results = []
+
+            def slow(i):
+                c = ServeClient(port=server.port)
+                hold.wait()
+                # Distinct sources: no coalescing, each needs a slot.
+                prog = LOOP_PROG.replace("i = 0;", f"i = {i};")
+                slow_results.append(c.run(prog, timeout_s=3.0))
+
+            threads = [threading.Thread(target=slow, args=(i,))
+                       for i in range(6)]
+            for t in threads:
+                t.start()
+            hold.set()
+            for t in threads:
+                t.join(timeout=60)
+
+            kinds = sorted(r["kind"] for r in slow_results)
+            assert "busy" in kinds  # someone hit the depth-1 queue
+            busy = [r for r in slow_results if r["kind"] == "busy"]
+            assert all(r["_status"] == 429 for r in busy)
+            st = client.stats()["stats"]
+            assert st["serve_rejections"] == len(busy)
+
+
+class TestGracefulShutdown:
+    def test_shutdown_request_drains_and_stops(self, tmp_path):
+        server = fresh_server(tmp_path).start()
+        client = ServeClient(port=server.port)
+        assert client.wait_ready(15.0)
+        assert client.run(OK_PROG)["ok"]
+        body = client.shutdown()
+        assert body["kind"] == "shutting_down"
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline and server.pool.alive_workers:
+            time.sleep(0.05)
+        assert server.pool.alive_workers == 0
+        server.stop()  # idempotent
+
+    def test_context_manager_stops_cleanly(self, tmp_path):
+        with fresh_server(tmp_path) as server:
+            c = ServeClient(port=server.port)
+            assert c.wait_ready(15.0)
+            assert c.run(OK_PROG)["ok"]
+        assert server.pool.alive_workers == 0
+
+
+class TestUnixSocket:
+    def test_full_cycle_over_af_unix(self, tmp_path):
+        path = str(tmp_path / "serve.sock")
+        with fresh_server(tmp_path, socket_path=path) as server:
+            c = ServeClient(socket_path=path)
+            assert c.wait_ready(15.0)
+            r = c.run(OK_PROG)
+            assert r["ok"] and r["stdout"] == ["10"]
+            assert c.stats()["stats"]["serve_run"] == 1
+        import os
+
+        assert not os.path.exists(path)  # cleaned up on stop
+
+
+class TestCancellation:
+    def test_cancel_token_abandons_compile(self):
+        from repro.service import (
+            CANCELLED, CancelToken, CompileRequest, CompileService,
+        )
+
+        service = CompileService(TranslatorCache())
+        token = CancelToken()
+        token.cancel()
+        resp = service.compile(
+            CompileRequest(OK_PROG, cancel=token))
+        assert not resp.ok and CANCELLED in resp.errors
+        assert service.stats().serve_cancelled == 1
+
+    def test_uncancelled_token_is_inert(self):
+        from repro.service import CancelToken, CompileRequest, CompileService
+
+        service = CompileService(TranslatorCache())
+        resp = service.compile(
+            CompileRequest(OK_PROG, cancel=CancelToken()))
+        assert resp.ok
