@@ -31,6 +31,13 @@ SHARD_BLOCKERS = frozenset([H_IO])
 # elided run raises at the spawn point), prints, file I/O, refcount
 # frees, and nested regions (ordered region_sizes trace).
 TASK_BLOCKERS = frozenset([H_IO, H_PRINT, H_TRAP, H_POOL, H_RC])
+# A shard moved into a *process* worker (S27) sees copies of the capture
+# matrices in shared memory; element writes copy back deterministically,
+# but refcount mutations would act on per-process copies of the count
+# and frees on the worker side would not free anything in the parent —
+# so rc traffic joins I/O as a process blocker.  Everything buffered
+# (prints, stats) or merged (traps) ships back over the result pipe.
+PROCESS_BLOCKERS = frozenset([H_IO, H_RC])
 
 # Opcodes that can raise (div/mod by zero, float->int of inf/nan, OOB
 # element access, refcount underflow, fastloop commit of a trapping

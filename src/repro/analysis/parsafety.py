@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 from repro.analysis.callgraph import CallGraph, Key, display_name
 from repro.analysis.hazards import (
-    H_SPAWN, HAZARD_GLOSS, SHARD_BLOCKERS, TASK_BLOCKERS,
+    H_SPAWN, HAZARD_GLOSS, PROCESS_BLOCKERS, SHARD_BLOCKERS, TASK_BLOCKERS,
 )
 
 
@@ -60,6 +60,11 @@ class ParallelVerdict:
     safe: bool
     hazards: frozenset
     blockers: tuple[Blocker, ...]
+    # S27: a shard-safe region may additionally qualify for the
+    # shared-memory *process* pool (shard-safe AND no rc traffic).  None
+    # for task verdicts, where the question does not arise.
+    process_safe: bool | None = None
+    process_blockers: tuple[Blocker, ...] = ()
 
     @property
     def construct(self) -> str:
@@ -68,9 +73,13 @@ class ParallelVerdict:
 
     def headline(self) -> str:
         if self.safe:
-            how = ("sharded across the worker pool" if self.kind == "shard"
-                   else "scheduled as an off-thread task")
-            return f"{self.construct}: OK - may be {how}"
+            if self.kind == "shard":
+                where = ("thread or process workers" if self.process_safe
+                         else "thread workers only")
+                return (f"{self.construct}: OK - may be sharded across "
+                        f"the worker pool ({where})")
+            return (f"{self.construct}: OK - may be scheduled as an "
+                    f"off-thread task")
         return (f"{self.construct}: runs sequentially - not "
                 f"{self.kind}-safe")
 
@@ -78,6 +87,9 @@ class ParallelVerdict:
         lines = [self.headline()]
         for b in self.blockers:
             lines.append(f"  blocked by {b.render()}")
+        if self.safe and self.process_safe is False:
+            for b in self.process_blockers:
+                lines.append(f"  process pool blocked by {b.render()}")
         return "\n".join(lines)
 
 
@@ -138,6 +150,12 @@ class ParallelSafety:
             return False
         return not (self.hazards(("fn", name)) & TASK_BLOCKERS)
 
+    def process_safe(self, name: str) -> bool:
+        """Whether a shard may execute in a *process* worker (S27):
+        shard-safe and free of refcount traffic, so copies of the
+        capture matrices in shared memory behave identically."""
+        return not (self.hazards(("lifted", name)) & PROCESS_BLOCKERS)
+
     # -- explanation ---------------------------------------------------------
 
     def witness(self, root: Key, hazard: str) -> Blocker:
@@ -176,7 +194,14 @@ class ParallelSafety:
         hz = self.hazards(root)
         blocking = sorted((hz & blockset) - {H_SPAWN})
         blockers = tuple(self.witness(root, h) for h in blocking)
-        return ParallelVerdict(kind, name, safe, hz, blockers)
+        if kind != "shard":
+            return ParallelVerdict(kind, name, safe, hz, blockers)
+        p_safe = self.process_safe(name)
+        p_blocking = sorted((hz & PROCESS_BLOCKERS) - set(blocking))
+        p_blockers = tuple(self.witness(root, h) for h in p_blocking)
+        return ParallelVerdict(kind, name, safe, hz, blockers,
+                               process_safe=p_safe,
+                               process_blockers=p_blockers)
 
 
 def analyze_parallel(program) -> list[ParallelVerdict]:

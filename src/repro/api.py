@@ -127,6 +127,7 @@ def run_source(
     nthreads: int | None = None,
     options: Optimizations | None = None,
     fork_mode: str = "enhanced",
+    parallel_backend: str | None = None,
 ):
     """Translate and execute on a Python engine in one call.
 
@@ -137,8 +138,13 @@ def run_source(
 
     ``nthreads`` sizes the VM's fork-join worker pool (S23); ``None``
     defers to the ``REPRO_THREADS`` environment variable, defaulting to
-    sequential.  Parallel runs are observationally identical to
-    sequential ones.  ``fork_mode="naive"`` selects the measured-overhead
+    sequential.  ``parallel_backend`` selects shard execution:
+    ``"thread"`` (in-process pool), ``"process"`` (S27 shared-memory
+    process pool, safety-gated with thread fallback) or ``"auto"``
+    (process when eligible); ``None`` defers to
+    ``REPRO_PARALLEL_BACKEND``.  Parallel runs are observationally
+    identical to sequential ones on every backend.
+    ``fork_mode="naive"`` selects the measured-overhead
     spawn-per-construct comparison model (benchmarks only).
     """
     from repro.cexec.interp import run_program
@@ -153,6 +159,7 @@ def run_source(
         options=options,
         engine=engine,
         fork_mode=fork_mode,
+        parallel_backend=parallel_backend,
     )
 
 

@@ -58,6 +58,7 @@ _HOT_INTRINSICS = frozenset(
 
 from repro.analysis.hazards import (  # noqa: F401  (re-exported API)
     ALL_HAZARDS, H_IO, H_POOL, H_PRINT, H_RC, H_SPAWN, H_TRAP,
+    PROCESS_BLOCKERS as _PROCESS_BLOCKERS,
     SHARD_BLOCKERS as _SHARD_BLOCKERS, TASK_BLOCKERS as _TASK_BLOCKERS,
     TRAP_OPS as _TRAP_OPS,
 )
@@ -556,6 +557,13 @@ class BytecodeProgram:
         task instead of being elided inline?  Requires the whole call
         graph under it to be trap-free and free of ordered effects."""
         return self.safety.task_safe(name)
+
+    def lifted_process_safe(self, name: str) -> bool:
+        """May this lifted pool-worker body run in a *process* worker
+        against shared-memory matrix copies (S27)?  Shard-safe and free
+        of refcount traffic (frees in a child would not free anything
+        in the parent)."""
+        return self.safety.process_safe(name)
 
     def hazards_for(self, name: str, *, lifted: bool = False) -> frozenset:
         """Transitive hazard set of a function (or lifted worker body):

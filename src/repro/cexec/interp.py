@@ -612,21 +612,28 @@ ENGINES = ("vm", "tree")
 
 def make_engine(lowered, ctx, *, engine: str = "vm",
                 workdir: str | Path = ".", nthreads: int = 1,
-                fork_mode: str = "enhanced", program=None) -> RTRuntime:
+                fork_mode: str = "enhanced", program=None,
+                parallel_backend: str | None = None) -> RTRuntime:
     """An executor for a lowered tree: the bytecode VM (default) or the
     tree-walking reference interpreter.  Both expose ``run_main``,
     ``call_function``, ``stats`` and ``stdout``.
 
     ``nthreads > 1`` gives the VM an S23 fork-join worker pool
     (``fork_mode`` picks the enhanced persistent pool or the naive
-    spawn-per-construct model); the tree-walker is always sequential and
-    ignores both.  ``program`` may supply a prebuilt
-    :class:`~repro.cexec.bytecode.BytecodeProgram` to the VM."""
+    spawn-per-construct model); ``parallel_backend`` selects where
+    shards execute — ``"thread"`` (S23 pool), ``"process"`` (S27
+    shared-memory process pool with thread fallback for ineligible
+    regions) or ``"auto"`` (process when eligible, else thread); ``None``
+    defers to ``REPRO_PARALLEL_BACKEND``, defaulting to threads.  The
+    tree-walker is always sequential and ignores all three.  ``program``
+    may supply a prebuilt :class:`~repro.cexec.bytecode.BytecodeProgram`
+    to the VM."""
     if engine in ("vm", "bytecode"):
         from repro.cexec.vm import VM
 
         return VM(lowered, ctx, workdir=workdir, nthreads=nthreads,
-                  fork_mode=fork_mode, program=program)
+                  fork_mode=fork_mode, program=program,
+                  parallel_backend=parallel_backend)
     if engine in ("tree", "interp"):
         return Interpreter(lowered, ctx, workdir=workdir, nthreads=nthreads)
     raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
@@ -643,6 +650,7 @@ def run_program(
     options=None,
     engine: str = "vm",
     fork_mode: str = "enhanced",
+    parallel_backend: str | None = None,
 ) -> tuple[int, dict[str, np.ndarray], InterpStats, "RTRuntime"]:
     """Translate and execute an extended-C program with RMAT inputs.
 
@@ -651,8 +659,10 @@ def run_program(
     tree-walking reference).  Both produce identical observable behavior.
 
     ``nthreads`` sizes the VM's S23 fork-join pool; ``None`` defers to
-    the ``REPRO_THREADS`` environment variable (default 1).  Any thread
-    count is observationally identical to ``nthreads=1``.
+    the ``REPRO_THREADS`` environment variable (default 1).
+    ``parallel_backend`` picks thread, process, or auto shard execution
+    (``None`` defers to ``REPRO_PARALLEL_BACKEND``).  Any thread count
+    and backend is observationally identical to ``nthreads=1``.
     """
     import tempfile
 
@@ -668,7 +678,8 @@ def run_program(
     for name, arr in (inputs or {}).items():
         write_rmat(wd / name, arr)
     executor = make_engine(cr.lowered, cr.ctx, engine=engine,
-                           workdir=wd, nthreads=nthreads, fork_mode=fork_mode)
+                           workdir=wd, nthreads=nthreads, fork_mode=fork_mode,
+                           parallel_backend=parallel_backend)
     try:
         rc = executor.run_main()
     finally:

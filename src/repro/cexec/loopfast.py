@@ -1,31 +1,51 @@
-"""Guarded numpy fast path for compiled innermost loops.
+"""Guarded numpy fast path for compiled loops and rectangular loop nests.
 
 :func:`try_fast_loop` pattern-matches a ``forStmt`` at bytecode-compile
-time: a ``for (long v = start; v < limit; v = v + 1)`` whose body is a
-flat sequence of matrix stores (``rt_setf``/``rt_seti`` with any index
-expression over the loop variable) and scalar reductions
-(``acc = acc + E`` / ``acc = acc * E``).  When it matches, the whole trip
-count executes as vectorized numpy operations — gathers via fancy
-indexing, stores via fancy-index assignment, reductions via
+time: a ``for (long v = start; v < limit; v = v + c)`` (``<=`` and any
+positive constant step also match), or a **2-D rectangular nest** of two
+such loops whose inner bounds are invariant across the nest, whose body
+is a flat sequence of matrix stores (``rt_setf``/``rt_seti`` with any
+index expression over the loop variables) and scalar reductions
+(``acc = acc + E`` / ``acc = acc * E``).  When it matches, the whole
+iteration space executes as vectorized numpy operations — gathers via
+fancy indexing, stores via fancy-index assignment, reductions via
 ``np.cumsum``/``np.cumprod`` (which numpy evaluates strictly
 left-to-right, unlike the pairwise ``np.sum``) — producing **bit-exact**
-the same float64/float32 results as the scalar loop.
+the same float64/float32 results as the scalar loops.
 
 Exactness is non-negotiable: the plan's guard + compute phase is *pure*
 (no frame, matrix, or stats mutation) and every doubtful condition —
 non-integer bounds, out-of-range indices, aliasing between a stored and
-a loaded matrix, integer division, a zero float divisor, a non-float
-accumulator, a value an ``int32`` store would trap on — makes
-:meth:`Plan.run` return ``False`` *before anything is committed*, so the
-scalar bytecode loop compiled right behind the ``fastloop`` instruction
-reproduces the exact behavior, including traps at the correct iteration
-with the correct partial state.  Only after every guard passes does the
-commit phase (which cannot fail) write stores and accumulators back.
+a loaded matrix, overlapping stores, integer division, a zero float
+divisor, a non-float accumulator, a value an ``int32`` store would trap
+on — makes :meth:`Plan.run` return ``False`` *before anything is
+committed*, so the scalar bytecode loop compiled right behind the
+``fastloop`` instruction reproduces the exact behavior, including traps
+at the correct iteration with the correct partial state.  Only after
+every guard passes does the commit phase (which cannot fail) write
+stores and accumulators back.  (When a 2-D plan bails, the scalar outer
+loop still runs the *inner* loop's own 1-D plan per row, so partially
+vectorizable nests degrade gracefully instead of all the way to
+scalar.)
+
+Affine interval reasoning (S25) discharges the runtime guards cheaply:
+a store index recognized at compile time as ``c0 + Σ coeff·v`` over the
+loop variables (coefficients loop-invariant integers) gets its bounds
+checked from the interval corners and its index-uniqueness *proven* —
+one axis is injective when ``coeff·step ≠ 0``; two axes are injective
+when the inner block span never reaches the outer stride — instead of
+scanned with ``np.unique``.  This is what admits non-unit strides
+(``m[2*i+1]``) and 2-D row-major layouts (``m[i*w + j]``) that the
+conservative monotone-scan guard used to reject, and it also provides
+the interval/congruence evidence for allowing *multiple* stores to one
+matrix when their index sets are identical (commit order = statement
+order, last write wins, exactly like the scalar body) or provably
+disjoint.
 
 Allocation/copy/region stats are untouched by design: the matched
 statement forms never allocate, copy, or open pool regions.
 
-Thread-safety contract (S23): one :class:`Plan` is embedded in its
+Thread-safety contract (S23/S27): one :class:`Plan` is embedded in its
 function's *shared* instruction array, and the fork-join pool executes
 that same array concurrently on every worker, each with a private frame
 over a disjoint chunk of the iteration space.  :meth:`Plan.run` must
@@ -43,9 +63,14 @@ import numpy as np
 
 from repro.ag.tree import Node
 
-# Largest trip count the fast path will materialize arrays for; above
-# this the scalar loop runs (slow but O(1) memory).
+# Largest total trip count the fast path will materialize arrays for;
+# above this the scalar loop runs (slow but O(1) memory).
 MAX_TRIP = 1 << 24
+
+# Affine corner magnitudes past this bail instead of risking int64
+# wraparound in the vectorized index arithmetic (the scalar loop
+# computes with exact Python ints and traps on the range check).
+_AFFINE_MAG_CAP = 1 << 62
 
 
 class _Bail(Exception):
@@ -55,11 +80,12 @@ class _Bail(Exception):
 class _Run:
     """Per-execution state threaded through the evaluator closures."""
 
-    __slots__ = ("frame", "iv", "loads", "stmt_i")
+    __slots__ = ("frame", "ivs", "n", "loads", "stmt_i")
 
-    def __init__(self, frame, iv):
+    def __init__(self, frame, ivs, n):
         self.frame = frame
-        self.iv = iv          # int64 index vector start..limit-1
+        self.ivs = ivs        # var name -> int64 flattened index vector
+        self.n = n            # total (flattened) trip count
         self.loads = []       # (mat_object, idx_array, stmt_i)
         self.stmt_i = 0
 
@@ -70,7 +96,7 @@ def _is_intlike(x) -> bool:
     return isinstance(x, (int, np.integer))  # includes bool
 
 
-def _index_array(x, iv) -> np.ndarray:
+def _index_array(x, n: int) -> np.ndarray:
     """Validate and broadcast an index operand to an int64 vector."""
     if isinstance(x, np.ndarray):
         if x.dtype.kind not in "iub":
@@ -78,7 +104,7 @@ def _index_array(x, iv) -> np.ndarray:
         return x.astype(np.int64, copy=False)
     if not _is_intlike(x):
         raise _Bail("non-integer scalar index")
-    return np.full(iv.shape, int(x), dtype=np.int64)
+    return np.full(n, int(x), dtype=np.int64)
 
 
 def _as_f64(x):
@@ -87,16 +113,58 @@ def _as_f64(x):
     return np.float64(x)
 
 
-class Plan:
-    """A matched loop: evaluator closures plus guarded commit steps."""
+def _affine_eval(affine, rt, spans):
+    """Evaluate a compile-time affine form against the live iteration
+    space: returns ``(idx, lo, hi, unique_proven)`` where ``idx`` is the
+    full flattened int64 index vector, ``[lo, hi]`` the exact value
+    interval (from the per-term corners — the form is separable), and
+    ``unique_proven`` whether injectivity over the grid is discharged
+    without scanning."""
+    c0_ev, coeffs = affine
+    c0 = c0_ev(rt)
+    lo = hi = c0
+    mag = abs(c0)
+    terms = []
+    for name, cev in coeffs.items():
+        coef = cev(rt)
+        first, last, step, count = spans[name]
+        a, b = coef * first, coef * last
+        lo += min(a, b)
+        hi += max(a, b)
+        mag += max(abs(a), abs(b))
+        terms.append((name, coef, step, count))
+    if mag > _AFFINE_MAG_CAP:
+        raise _Bail("affine index magnitude too large")
+    idx = np.full(rt.n, c0, dtype=np.int64)
+    for name, coef, step, count in terms:
+        if coef:
+            idx += coef * rt.ivs[name]
+    # Injectivity: every multi-trip axis must appear with a nonzero
+    # stride, and with two such axes the inner value block must fit
+    # strictly inside one outer stride (blocks cannot interleave).
+    active = [(abs(coef * step), count) for _, coef, step, count in terms
+              if count > 1 and coef != 0]
+    multi = sum(1 for s in spans.values() if s[3] > 1)
+    unique = False
+    if len(active) == multi:
+        if multi <= 1:
+            unique = True
+        elif multi == 2:
+            (sa, ca), (sb, cb) = active
+            unique = sa > (cb - 1) * sb or sb > (ca - 1) * sa
+    return idx, lo, hi, unique
 
-    def __init__(self, var_name: str, start_ev, limit_ev,
-                 stores: list, reductions: list):
-        self.var_name = var_name
-        self.start_ev = start_ev
-        self.limit_ev = limit_ev
-        # stores: (stmt_i, kind "f"|"i", mat_slot, idx_ev, val_ev)
+
+class Plan:
+    """A matched loop (nest): evaluator closures plus guarded commits."""
+
+    def __init__(self, loops: list, stores: list, reductions: list):
+        # loops: (var_name, start_ev, limit_ev, step:int, inclusive:bool)
+        #        outermost first
+        # stores: (stmt_i, kind "f"|"i", mat_slot, idx_ev, val_ev, affine)
+        #        affine: None | (const_ev, {var_name: coeff_ev})
         # reductions: (stmt_i, acc_slot, op "+"|"*", ev)
+        self.loops = loops
         self.stores = stores
         self.reductions = reductions
 
@@ -130,38 +198,77 @@ class Plan:
         return True
 
     def _compute(self, frame) -> list:
-        start = self.start_ev(_Run(frame, None))
-        limit = self.limit_ev(_Run(frame, None))
-        if not _is_intlike(start) or not _is_intlike(limit):
-            raise _Bail("non-integer loop bounds")
-        start, limit = int(start), int(limit)
-        n = limit - start
-        if n <= 0:
-            return []  # zero-trip loop: nothing to run, nothing to skip
+        rt0 = _Run(frame, {}, 0)
+        axes = []  # (name, first, step, count)
+        n = 1
+        for name, start_ev, limit_ev, step, inclusive in self.loops:
+            start = start_ev(rt0)
+            limit = limit_ev(rt0)
+            if not _is_intlike(start) or not _is_intlike(limit):
+                raise _Bail("non-integer loop bounds")
+            start, limit = int(start), int(limit)
+            stop = limit + 1 if inclusive else limit
+            count = max(0, (stop - start + step - 1) // step)
+            axes.append((name, start, step, count))
+            n *= count
+        if n == 0:
+            return []  # zero-trip space: nothing to run, nothing to skip
         if n > MAX_TRIP:
             raise _Bail("trip count too large to materialize")
-        rt = _Run(frame, np.arange(start, limit, dtype=np.int64))
+        # Flattened row-major index vectors (outermost varies slowest),
+        # mirroring the scalar nest's execution order exactly.
+        ivs: dict[str, np.ndarray] = {}
+        spans: dict[str, tuple] = {}
+        reps_after, reps_before = n, 1
+        for name, first, step, count in axes:
+            reps_after //= count
+            iv = np.arange(first, first + count * step, step, dtype=np.int64)
+            if reps_after > 1:
+                iv = np.repeat(iv, reps_after)
+            if reps_before > 1:
+                iv = np.tile(iv, reps_before)
+            ivs[name] = iv
+            spans[name] = (first, first + (count - 1) * step, step, count)
+            reps_before *= count
+        rt = _Run(frame, ivs, n)
         commits: list[Callable[[], None]] = []
 
-        stored: dict[int, tuple] = {}  # id(mat) -> (idx_array, stmt_i)
-        for stmt_i, kind, mat_slot, idx_ev, val_ev in self.stores:
+        # id(mat) -> list of (idx_array, stmt_i, lo, hi)
+        stored: dict[int, list] = {}
+        for stmt_i, kind, mat_slot, idx_ev, val_ev, affine in self.stores:
             rt.stmt_i = stmt_i
             mat = frame[mat_slot]
             data = getattr(mat, "data", None)
             if not isinstance(data, np.ndarray):
                 raise _Bail("store target is not a matrix")
-            idx = _index_array(idx_ev(rt), rt.iv)
-            size = data.size
-            if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= size):
+            if affine is not None:
+                idx, lo, hi, unique = _affine_eval(affine, rt, spans)
+            else:
+                idx = _index_array(idx_ev(rt), n)
+                lo, hi = int(idx.min()), int(idx.max())
+                unique = False
+            if lo < 0 or hi >= data.size:
                 raise _Bail("store index out of range")
-            if id(mat) in stored:
-                raise _Bail("two stores to one matrix object")
             # Duplicate store indices: scalar semantics are last-wins
-            # interleaved with loads; too subtle to vectorize.
-            if idx.size > 1 and not np.all(idx[1:] > idx[:-1]) \
+            # interleaved with loads; too subtle to vectorize.  The
+            # affine proof skips the O(n log n) scan entirely.
+            if not unique and idx.size > 1 \
+                    and not np.all(idx[1:] > idx[:-1]) \
                     and np.unique(idx).size != idx.size:
                 raise _Bail("duplicate store indices")
-            stored[id(mat)] = (idx, stmt_i)
+            # Several stores to one matrix are fine when their index
+            # sets are identical (commit order = statement order, so
+            # the last statement wins per index, like the scalar body)
+            # or provably disjoint; partial overlap interleaves.
+            for pidx, p_stmt, plo, phi in stored.get(id(mat), ()):
+                if idx.shape == pidx.shape and np.array_equal(idx, pidx):
+                    continue
+                if hi < plo or phi < lo:
+                    continue
+                if np.intersect1d(idx, pidx, assume_unique=True).size == 0:
+                    continue
+                raise _Bail("overlapping stores to one matrix")
+            stored.setdefault(id(mat), []).append((idx, stmt_i, lo, hi))
             vals = val_ev(rt)
             if kind == "f":
                 out = np.asarray(_as_f64(vals)).astype(np.float32)
@@ -200,17 +307,24 @@ class Plan:
                 lambda frame=frame, s=acc_slot, t=total:
                     frame.__setitem__(s, t))
 
-        # Aliasing: a load from a matrix some statement stores to is only
-        # safe when it reads exactly the elements that statement writes
-        # *and* textually precedes the store (read-then-write per index;
-        # all loads happen before any commit, matching scalar order).
+        # Aliasing: a load from a stored matrix is safe when it reads
+        # exactly the elements some statement writes *and* textually
+        # precedes that store (read-then-write per index; all loads
+        # happen before any commit, matching scalar order), or when its
+        # index set is provably disjoint from every store's (interval
+        # separation first, exact membership scan as the backstop).
         for mat, lidx, l_stmt in rt.loads:
-            hit = stored.get(id(mat))
-            if hit is None:
-                continue
-            sidx, s_stmt = hit
-            if l_stmt > s_stmt or lidx.shape != sidx.shape \
-                    or not np.array_equal(lidx, sidx):
+            for sidx, s_stmt, slo, shi in stored.get(id(mat), ()):
+                if lidx.shape == sidx.shape and np.array_equal(lidx, sidx):
+                    if l_stmt > s_stmt:
+                        raise _Bail("load aliases a stored matrix")
+                    continue
+                if lidx.size == 0:
+                    continue
+                if int(lidx.max()) < slo or shi < int(lidx.min()):
+                    continue
+                if not np.isin(lidx, sidx).any():
+                    continue
                 raise _Bail("load aliases a stored matrix")
         return commits
 
@@ -228,24 +342,32 @@ def _refs_var(node, name: str) -> bool:
     return any(_refs_var(c, name) for c in node.children)
 
 
-def _flatten_body(node: Node, out: list[Node]) -> bool:
+def _stmt_list(node: Node, out: list[Node]) -> None:
+    """Flatten block/seq structure into a statement list (any kinds)."""
     from repro.cminus.absyn import node_cons_to_list
 
     if node.prod in ("block", "seqStmt"):
         for s in node_cons_to_list(node.children[0]):
-            if not _flatten_body(s, out):
-                return False
-        return True
-    if node.prod == "exprStmt":
-        out.append(node.children[0])
-        return True
-    return False
+            _stmt_list(s, out)
+    else:
+        out.append(node)
 
 
-def _build_ev(fc, node, var_name: str | None):
+def _flatten_body(node: Node, out: list[Node]) -> bool:
+    stmts: list[Node] = []
+    _stmt_list(node, stmts)
+    for s in stmts:
+        if s.prod != "exprStmt":
+            return False
+        out.append(s.children[0])
+    return True
+
+
+def _build_ev(fc, node, var_names):
     """Expression -> evaluator closure ``rt -> scalar | ndarray``, or
     None when the expression is outside the vectorizable language.
-    All frame slots are resolved here, at compile time."""
+    All frame slots are resolved here, at compile time; loop variables
+    (``var_names``) evaluate to their flattened index vectors."""
     if not isinstance(node, Node):
         return None
     p = node.prod
@@ -260,16 +382,17 @@ def _build_ev(fc, node, var_name: str | None):
         v = int(ch[0])
         return lambda rt: v
     if p == "var":
-        if ch[0] == var_name:
-            return lambda rt: rt.iv
+        if ch[0] in var_names:
+            name = ch[0]
+            return lambda rt: rt.ivs[name]
         slot = fc.lookup(ch[0])
         if slot is None:
             return None
         return lambda rt: rt.frame[slot]
     if p == "binop":
         op = ch[0]
-        a = _build_ev(fc, ch[1], var_name)
-        b = _build_ev(fc, ch[2], var_name)
+        a = _build_ev(fc, ch[1], var_names)
+        b = _build_ev(fc, ch[2], var_names)
         if a is None or b is None:
             return None
         if op == "+":
@@ -303,7 +426,7 @@ def _build_ev(fc, node, var_name: str | None):
             return cmp
         return None  # %, &&, || : scalar semantics too subtle
     if p == "unop":
-        v = _build_ev(fc, ch[1], var_name)
+        v = _build_ev(fc, ch[1], var_names)
         if v is None:
             return None
         if ch[0] == "-":
@@ -318,7 +441,7 @@ def _build_ev(fc, node, var_name: str | None):
     if p == "castE":
         from repro.cexec.bytecode import cast_kind
 
-        v = _build_ev(fc, ch[1], var_name)
+        v = _build_ev(fc, ch[1], var_names)
         if v is None:
             return None
         kind = cast_kind(ch[0])
@@ -343,21 +466,21 @@ def _build_ev(fc, node, var_name: str | None):
             return float(np.float32(r))
         return tof32
     if p == "call":
-        return _build_call_ev(fc, node, var_name)
+        return _build_call_ev(fc, node, var_names)
     return None
 
 
-def _build_call_ev(fc, node: Node, var_name: str | None):
+def _build_call_ev(fc, node: Node, var_names):
     from repro.cminus.absyn import node_cons_to_list
 
     name = node.children[0]
     args = node_cons_to_list(node.children[1])
     if name in ("rt_getf", "rt_geti"):
         if len(args) != 2 or args[0].prod != "var" \
-                or args[0].children[0] == var_name:
+                or args[0].children[0] in var_names:
             return None
         mslot = fc.lookup(args[0].children[0])
-        idx_ev = _build_ev(fc, args[1], var_name)
+        idx_ev = _build_ev(fc, args[1], var_names)
         if mslot is None or idx_ev is None:
             return None
         want = "f" if name == "rt_getf" else "i"
@@ -367,7 +490,7 @@ def _build_call_ev(fc, node: Node, var_name: str | None):
             data = getattr(mat, "data", None)
             if not isinstance(data, np.ndarray):
                 raise _Bail("load source is not a matrix")
-            idx = _index_array(idx_ev(rt), rt.iv)
+            idx = _index_array(idx_ev(rt), rt.n)
             size = data.size
             if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= size):
                 raise _Bail("load index out of range")
@@ -378,7 +501,7 @@ def _build_call_ev(fc, node: Node, var_name: str | None):
         return load
     if name == "rt_size":
         if len(args) != 1 or args[0].prod != "var" \
-                or args[0].children[0] == var_name:
+                or args[0].children[0] in var_names:
             return None
         mslot = fc.lookup(args[0].children[0])
         if mslot is None:
@@ -392,11 +515,12 @@ def _build_call_ev(fc, node: Node, var_name: str | None):
         return size
     if name == "rt_dim":
         if len(args) != 2 or args[0].prod != "var" \
-                or args[0].children[0] == var_name:
+                or args[0].children[0] in var_names:
             return None
         mslot = fc.lookup(args[0].children[0])
-        d_ev = _build_ev(fc, args[1], None)  # dim index must be invariant
-        if mslot is None or d_ev is None or _refs_var(args[1], var_name):
+        d_ev = _build_ev(fc, args[1], ())  # dim index must be invariant
+        if mslot is None or d_ev is None \
+                or any(_refs_var(args[1], v) for v in var_names):
             return None
 
         def dim(rt, mslot=mslot, d_ev=d_ev):
@@ -408,7 +532,86 @@ def _build_call_ev(fc, node: Node, var_name: str | None):
     return None
 
 
-def _match_reduction(fc, e: Node, var_name: str):
+def _affine_form(fc, node, var_names):
+    """Recognize ``c0 + Σ coeff·v`` over the loop variables with
+    loop-invariant integer coefficients.  Returns ``(const_ev,
+    {var: coeff_ev})`` — closures ``rt -> int`` that raise :class:`_Bail`
+    on non-integer runtime values — or None when the expression is not
+    (recognizably) affine.  The matched sub-language is division-free,
+    so the vectorized evaluation distributes exactly like the scalar
+    one."""
+    if not isinstance(node, Node):
+        return None
+    p = node.prod
+    ch = node.children
+    if p == "intLit":
+        v = int(ch[0])
+        return (lambda rt: v), {}
+    if p == "var":
+        nm = ch[0]
+        if nm in var_names:
+            return (lambda rt: 0), {nm: lambda rt: 1}
+        slot = fc.lookup(nm)
+        if slot is None:
+            return None
+
+        def inv(rt, slot=slot):
+            x = rt.frame[slot]
+            if isinstance(x, np.ndarray) or not _is_intlike(x):
+                raise _Bail("non-integer affine term")
+            return int(x)
+        return inv, {}
+    if p == "binop" and ch[0] in ("+", "-"):
+        a = _affine_form(fc, ch[1], var_names)
+        b = _affine_form(fc, ch[2], var_names)
+        if a is None or b is None:
+            return None
+        sign = 1 if ch[0] == "+" else -1
+        ca, da = a
+        cb, db = b
+        coeffs = dict(da)
+        for k, ev in db.items():
+            prev = coeffs.get(k)
+            if prev is None:
+                coeffs[k] = ev if sign == 1 else \
+                    (lambda rt, e=ev: -e(rt))
+            else:
+                coeffs[k] = lambda rt, p_=prev, e=ev, s=sign: p_(rt) + s * e(rt)
+        return (lambda rt, ca=ca, cb=cb, s=sign: ca(rt) + s * cb(rt)), coeffs
+    if p == "binop" and ch[0] == "*":
+        l_lin = any(_refs_var(ch[1], v) for v in var_names)
+        r_lin = any(_refs_var(ch[2], v) for v in var_names)
+        if l_lin and r_lin:
+            return None  # quadratic
+        lin_node, inv_node = (ch[2], ch[1]) if r_lin else (ch[1], ch[2])
+        lin = _affine_form(fc, lin_node, var_names)
+        inv = _affine_form(fc, inv_node, var_names)
+        if lin is None or inv is None or inv[1]:
+            return None
+        s_ev = inv[0]
+        cl, dl = lin
+        return (lambda rt, s=s_ev, c=cl: s(rt) * c(rt)), \
+            {k: (lambda rt, s=s_ev, e=ev: s(rt) * e(rt))
+             for k, ev in dl.items()}
+    if p == "unop" and ch[0] == "-":
+        a = _affine_form(fc, ch[1], var_names)
+        if a is None:
+            return None
+        c, d = a
+        return (lambda rt, c=c: -c(rt)), \
+            {k: (lambda rt, e=ev: -e(rt)) for k, ev in d.items()}
+    if p == "castE":
+        from repro.cexec.bytecode import cast_kind
+
+        # An int (or no-op) cast of an affine form is the identity:
+        # every leaf already guards integer-ness at runtime.
+        if cast_kind(ch[0]) in (None, "int"):
+            return _affine_form(fc, ch[1], var_names)
+        return None
+    return None
+
+
+def _match_reduction(fc, e: Node, var_names):
     """``acc = acc (+|*) E`` / ``acc = E (+|*) acc`` with a non-loop-var
     scalar accumulator E does not mention.  Returns (acc_name, acc_slot,
     op, ev) or None."""
@@ -416,7 +619,8 @@ def _match_reduction(fc, e: Node, var_name: str):
         return None
     acc = e.children[0].children[0]
     rhs = e.children[1]
-    if acc == var_name or rhs.prod != "binop" or rhs.children[0] not in ("+", "*"):
+    if acc in var_names or rhs.prod != "binop" \
+            or rhs.children[0] not in ("+", "*"):
         return None
     op, lhs_n, rhs_n = rhs.children
     if lhs_n.prod == "var" and lhs_n.children[0] == acc:
@@ -428,16 +632,17 @@ def _match_reduction(fc, e: Node, var_name: str):
     if _refs_var(other, acc):
         return None
     slot = fc.lookup(acc)
-    ev = _build_ev(fc, other, var_name)
+    ev = _build_ev(fc, other, var_names)
     if slot is None or ev is None:
         return None
     return acc, slot, op, ev
 
 
-# Limit expressions are re-evaluated by the scalar loop every iteration;
-# the fast path reads them once, so they must be provably unchanged by
-# the body: literals, plain variables (checked against accumulators),
-# and rt_size/rt_dim (matrix *shapes* are immutable, only data mutates).
+# Bound expressions may be re-evaluated by the scalar loops (limits every
+# iteration, inner-loop starts every outer iteration); the fast path
+# reads them once, so they must be provably unchanged by the body:
+# literals, plain variables (checked against accumulators), and
+# rt_size/rt_dim (matrix *shapes* are immutable, only data mutates).
 _LIMIT_PRODS = frozenset(["intLit", "var", "binop", "unop", "castE"])
 
 
@@ -455,23 +660,20 @@ def _limit_ok(node: Node) -> bool:
     return all(_limit_ok(c) for c in node.children if isinstance(c, Node))
 
 
-def try_fast_loop(fc, node: Node) -> Plan | None:
-    """Match ``forStmt`` against the vectorizable pattern; None = no plan
-    (the scalar loop runs alone).  Called with the *enclosing* scope
-    active — the loop variable is never a frame slot on this path."""
+def _parse_header(node: Node):
+    """Match one ``for (long v = start; v (<|<=) limit; v = v + c)``
+    header with a positive integer-literal step.  Returns ``(var_name,
+    start_node, limit_node, step, inclusive, body_node)`` or None."""
     init, cond, step, body = node.children
     if init.prod != "forDecl":
         return None
     var_name = init.children[1]
-    # condition: var < limit
-    if cond.prod != "binop" or cond.children[0] != "<" \
+    if cond.prod != "binop" or cond.children[0] not in ("<", "<=") \
             or cond.children[1].prod != "var" \
             or cond.children[1].children[0] != var_name:
         return None
+    inclusive = cond.children[0] == "<="
     limit_node = cond.children[2]
-    if _refs_var(limit_node, var_name) or not _limit_ok(limit_node):
-        return None
-    # step: v = v + 1  (or v = 1 + v)
     if step.prod != "assign" or step.children[0].prod != "var" \
             or step.children[0].children[0] != var_name:
         return None
@@ -479,21 +681,64 @@ def try_fast_loop(fc, node: Node) -> Plan | None:
     if s_rhs.prod != "binop" or s_rhs.children[0] != "+":
         return None
     a, b = s_rhs.children[1], s_rhs.children[2]
-    one_var = (a.prod == "var" and a.children[0] == var_name
-               and b.prod == "intLit" and b.children[0] == 1) or \
-              (b.prod == "var" and b.children[0] == var_name
-               and a.prod == "intLit" and a.children[0] == 1)
-    if not one_var:
+    c = None
+    if a.prod == "var" and a.children[0] == var_name and b.prod == "intLit":
+        c = int(b.children[0])
+    elif b.prod == "var" and b.children[0] == var_name and a.prod == "intLit":
+        c = int(a.children[0])
+    if c is None or c < 1:
         return None
     start_node = init.children[2]
-    if _refs_var(start_node, var_name):
+    if _refs_var(start_node, var_name) or _refs_var(limit_node, var_name):
         # forDecl init reads the *outer* binding of the same name in the
         # scalar compiler; too confusing to mirror — fall back.
         return None
-    start_ev = _build_ev(fc, start_node, None)
-    limit_ev = _build_ev(fc, limit_node, None)
-    if start_ev is None or limit_ev is None:
+    return var_name, start_node, limit_node, c, inclusive, body
+
+
+def try_fast_loop(fc, node: Node) -> Plan | None:
+    """Match ``forStmt`` against the vectorizable pattern — a single
+    loop or a 2-D rectangular nest; None = no plan (the scalar loop runs
+    alone; an inner loop of an unmatched nest still gets its own plan
+    when the scalar body compiles it).  Called with the *enclosing*
+    scope active — loop variables are never frame slots on this path."""
+    hdr = _parse_header(node)
+    if hdr is None:
         return None
+    v1, start1, limit1, step1, incl1, body = hdr
+    if not _limit_ok(limit1):
+        return None
+    loops_src = [(v1, start1, limit1, step1, incl1)]
+    # 2-D nest: the outer body is exactly one inner for with bounds
+    # invariant across the whole nest (rectangular iteration space).
+    nest_stmts: list[Node] = []
+    _stmt_list(body, nest_stmts)
+    if len(nest_stmts) == 1 and nest_stmts[0].prod == "forStmt":
+        hdr2 = _parse_header(nest_stmts[0])
+        if hdr2 is None:
+            return None
+        v2, start2, limit2, step2, incl2, body2 = hdr2
+        if v2 == v1 \
+                or _refs_var(start2, v1) or _refs_var(limit2, v1) \
+                or not _limit_ok(start2) or not _limit_ok(limit2):
+            return None
+        loops_src.append((v2, start2, limit2, step2, incl2))
+        body = body2
+    var_names = tuple(v for v, *_ in loops_src)
+
+    loops = []
+    for v, start_node, limit_node, stp, incl in loops_src:
+        start_ev = _build_ev(fc, start_node, ())
+        limit_ev = _build_ev(fc, limit_node, ())
+        if start_ev is None or limit_ev is None:
+            return None
+        loops.append((v, start_ev, limit_ev, stp, incl))
+    # Bounds the scalar path re-evaluates mid-nest must not read an
+    # accumulator (stale pre-loop state on the fast path); the outer
+    # start is evaluated once on both paths, so it is exempt.
+    reeval_bounds = [limit1]
+    for _, s2, l2, _, _ in loops_src[1:]:
+        reeval_bounds.extend((s2, l2))
 
     stmts: list[Node] = []
     if not _flatten_body(body, stmts) or not stmts:
@@ -507,19 +752,20 @@ def try_fast_loop(fc, node: Node) -> Plan | None:
 
             args = node_cons_to_list(e.children[1])
             if len(args) != 3 or args[0].prod != "var" \
-                    or args[0].children[0] == var_name:
+                    or args[0].children[0] in var_names:
                 return None
             mslot = fc.lookup(args[0].children[0])
-            idx_ev = _build_ev(fc, args[1], var_name)
-            val_ev = _build_ev(fc, args[2], var_name)
+            idx_ev = _build_ev(fc, args[1], var_names)
+            val_ev = _build_ev(fc, args[2], var_names)
             if mslot is None or idx_ev is None or val_ev is None:
                 return None
             kind = "f" if e.children[0] == "rt_setf" else "i"
-            stores.append((i, kind, mslot, idx_ev, val_ev))
+            affine = _affine_form(fc, args[1], var_names)
+            stores.append((i, kind, mslot, idx_ev, val_ev, affine))
             store_val_nodes.append(args[1])
             store_val_nodes.append(args[2])
             continue
-        red = _match_reduction(fc, e, var_name)
+        red = _match_reduction(fc, e, var_names)
         if red is None:
             return None
         acc, slot, op, ev = red
@@ -527,14 +773,14 @@ def try_fast_loop(fc, node: Node) -> Plan | None:
         acc_names.append(acc)
         store_val_nodes.append(e.children[1])
     # Any accumulator read outside its own fold (in a store value/index,
-    # another reduction, or the limit) sees stale pre-loop state on the
-    # fast path — bail at compile time.
+    # another reduction, or a re-evaluated bound) sees stale pre-loop
+    # state on the fast path — bail at compile time.
     for acc in acc_names:
-        if _refs_var(limit_node, acc):
+        if any(_refs_var(bn, acc) for bn in reeval_bounds):
             return None
-        if sum(1 for n in store_val_nodes if _refs_var(n, acc)) \
+        if sum(1 for n_ in store_val_nodes if _refs_var(n_, acc)) \
                 > acc_names.count(acc):
             return None
     if len(set(acc_names)) != len(acc_names):
         return None
-    return Plan(var_name, start_ev, limit_ev, stores, reductions)
+    return Plan(loops, stores, reductions)

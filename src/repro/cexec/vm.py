@@ -31,6 +31,7 @@ and elides the rest inline.
 
 from __future__ import annotations
 
+import os
 import threading
 import weakref
 from pathlib import Path
@@ -38,9 +39,28 @@ from pathlib import Path
 import numpy as np
 
 from repro.ag.tree import Node
+from repro.analysis.hazards import PROCESS_BLOCKERS
 from repro.cexec.bytecode import BytecodeProgram, Code
-from repro.cexec.interp import InterpError, InterpStats, RTRuntime, c_div, c_mod
-from repro.cexec.parallel import make_pool
+from repro.cexec.interp import (
+    InterpError, InterpStats, RTMat, RTRuntime, c_div, c_mod,
+)
+from repro.cexec.parallel import (
+    ProcessShardPool, attach_shm, make_pool, resolve_backend,
+)
+
+
+def _shippable_captures(captures: list) -> str | None:
+    """Why this capture list cannot cross a process boundary, or None
+    when every capture is a contiguous matrix or a plain scalar."""
+    for c in captures:
+        if isinstance(c, RTMat):
+            if not isinstance(c.data, np.ndarray) \
+                    or not c.data.flags.c_contiguous:
+                return "capture matrix payload is not a contiguous array"
+        elif not isinstance(c, (int, float, str, np.integer, np.floating,
+                                type(None))):
+            return f"capture of type {type(c).__name__}"
+    return None
 
 
 class VM(RTRuntime):
@@ -48,7 +68,8 @@ class VM(RTRuntime):
 
     def __init__(self, lowered_root: Node, ctx, *, workdir: str | Path = ".",
                  nthreads: int = 1, program: BytecodeProgram | None = None,
-                 fork_mode: str = "enhanced"):
+                 fork_mode: str = "enhanced",
+                 parallel_backend: str | None = None):
         # Thread-local redirection target must exist before RTRuntime's
         # __init__ assigns the stats/stdout properties below.
         self._tl = threading.local()
@@ -59,8 +80,22 @@ class VM(RTRuntime):
         self._ops: dict[str, list] = {}
         self._lifted_ops: dict[str, list] = {}
         self._fork_mode = fork_mode
+        self._backend = resolve_backend(parallel_backend)
         self._pool = None
         self._pool_finalizer = None
+        self._ppool = None
+        self._ppool_finalizer = None
+        self._owner_ident = threading.get_ident()
+        self._process_region_active = False
+        # Regions actually executed on the process pool; survives
+        # close() (which drops the pool and its own counters).
+        self.process_regions = 0
+        self._shm_seq = 0
+        try:
+            t = float(os.environ.get("REPRO_SHARD_TIMEOUT_S", "") or 0.0)
+        except ValueError:
+            t = 0.0
+        self._shard_timeout_s = t if t > 0 else None
         self._closed = False
         # Guards refcount read-modify-writes and the deferred task-stats
         # accumulator while worker threads are live.
@@ -157,8 +192,45 @@ class VM(RTRuntime):
                     self, self._pool.shutdown)
         return self._pool
 
+    def _ensure_ppool(self):
+        if self.nthreads <= 1 or self._closed:
+            return None
+        if self._ppool is None:
+            try:
+                self._ppool = ProcessShardPool(
+                    self.nthreads - 1, self._exec_shard_job,
+                    self._child_after_fork,
+                    timeout_s=self._shard_timeout_s)
+            except Exception:  # pragma: no cover - no fork/shm platform
+                self._backend = "thread"
+                return None
+            # The pool only weak-refs this VM, so the finalizer can fire.
+            self._ppool_finalizer = weakref.finalize(
+                self, self._ppool.shutdown)
+        return self._ppool if self._ppool.alive else None
+
+    def _child_after_fork(self) -> None:
+        """Sanitize inherited state inside a forked shard worker (cf.
+        ``repro.serve.workers._reinit_inherited_state``): fresh locks
+        and thread-locals (the parent's may be mid-acquire at fork
+        time), no pools of either kind (a nested region in a worker
+        runs inline), sequential shard math."""
+        self._tl = threading.local()
+        self._rc_lock = threading.Lock()
+        self._task_stats = InterpStats()
+        self._pool = None
+        self._ppool = None
+        self._process_region_active = False
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if self._ppool_finalizer is not None:
+            self._ppool_finalizer.detach()
+            self._ppool_finalizer = None
+        self.nthreads = 1
+
     def close(self) -> None:
-        """Quiesce and release the worker pool (idempotent).  The VM
+        """Quiesce and release the worker pools (idempotent).  The VM
         stays usable afterwards — it simply runs sequentially."""
         self._drain_tasks()
         self._closed = True
@@ -168,6 +240,12 @@ class VM(RTRuntime):
             if self._pool_finalizer is not None:
                 self._pool_finalizer.detach()
                 self._pool_finalizer = None
+        if self._ppool is not None:
+            ppool, self._ppool = self._ppool, None
+            ppool.shutdown()
+            if self._ppool_finalizer is not None:
+                self._ppool_finalizer.detach()
+                self._ppool_finalizer = None
 
     def _drain_tasks(self) -> None:
         if self._pool is not None:
@@ -192,8 +270,7 @@ class VM(RTRuntime):
             lo, hi = min(t * per, total), min((t + 1) * per, total)
             if lo < hi:
                 shards.append((lo, hi))
-        pool = self._ensure_pool()
-        if pool is None:
+        if self.nthreads <= 1 or self._closed:
             self.stats.bail("shard", "single worker thread (pool disabled)")
         elif len(shards) <= 1:
             self.stats.bail("shard", "iteration space fits in one shard")
@@ -201,15 +278,78 @@ class VM(RTRuntime):
             hazards = sorted(self.program.hazards_for(fname, lifted=True))
             self.stats.bail(
                 "shard", "not shard-safe ({})".format(", ".join(hazards)))
-        elif self._pool_run_parallel(ops, code, captures, shards, pool):
-            return
-        else:
+        elif self._process_region_active:
+            # The owner thread is executing shard 0 of a process region;
+            # a nested construct inside it degrades like the thread
+            # pool's rt_pool_region_active path.
             self.stats.bail(
                 "shard", "nested inside an active parallel region")
+        elif self._dispatch_region(ops, code, fname, captures, shards):
+            return
         # Sequential path: nthreads=1, ineligible body, nested region, or
         # pool refusal — same shard boundaries, run in order inline.
         for lo, hi in shards:
             self._run(ops, code.nregs, captures + [lo, hi])
+
+    def _dispatch_region(self, ops, code: Code, fname: str, captures: list,
+                         shards: list) -> bool:
+        """Route one eligible region to a parallel backend; ``False``
+        means a bail reason was recorded and the caller must run the
+        shards sequentially inline."""
+        if self._backend in ("process", "auto") and self._process_ok_here():
+            reason = self._process_refusal(fname, captures)
+            if reason is None:
+                ppool = self._ensure_ppool()
+                if ppool is not None:
+                    results = self._pool_run_process(
+                        fname, captures, shards, ppool)
+                    if results is not None:
+                        self._merge_region_results(results)
+                        self.process_regions += 1
+                        return True
+                    # Lost worker: the region committed nothing; rerun
+                    # it sequentially for exact sequential semantics.
+                    self.stats.bail(
+                        "shard",
+                        "worker process lost; region rerun sequentially")
+                    return False
+            elif self._backend == "process":
+                # The explicitly requested backend was refused; the
+                # region still parallelizes on threads, but the ledger
+                # says why processes were off the table.
+                self.stats.bail(
+                    "shard", f"process-ineligible ({reason}); "
+                             f"fell back to thread pool")
+        pool = self._ensure_pool()
+        if pool is None:  # pragma: no cover - guarded by caller checks
+            self.stats.bail("shard", "single worker thread (pool disabled)")
+            return False
+        if self._pool_run_parallel(ops, code, captures, shards, pool):
+            return True
+        self.stats.bail("shard", "nested inside an active parallel region")
+        return False
+
+    def _process_ok_here(self) -> bool:
+        """Process dispatch — including the fork that lazily creates the
+        pool — is only safe from the VM's owner thread while no thread
+        region is running: forking while pool workers execute shards
+        would snapshot their held locks into the children, which then
+        deadlock on first use.  Blocked dispatches degrade exactly like
+        the thread pool's nested-region path (run_region refuses, the
+        region runs sequentially inline)."""
+        return (threading.get_ident() == self._owner_ident
+                and not (self._pool is not None
+                         and self._pool.region_active))
+
+    def _process_refusal(self, fname: str, captures: list) -> str | None:
+        """Why this region may not use the process pool (None = it may).
+        Mirrors ``ParallelSafety.process_safe`` plus a dispatch-time
+        check that every capture can cross the process boundary."""
+        if not self.program.lifted_process_safe(fname):
+            hz = sorted(self.program.hazards_for(fname, lifted=True)
+                        & PROCESS_BLOCKERS)
+            return ", ".join(hz)
+        return _shippable_captures(captures)
 
     def _pool_run_parallel(self, ops, code: Code, captures: list,
                            shards: list, pool) -> bool:
@@ -240,6 +380,10 @@ class VM(RTRuntime):
         jobs = [make_job(i, lo, hi) for i, (lo, hi) in enumerate(shards)]
         if not pool.run_region(jobs):
             return False
+        self._merge_region_results(results)
+        return True
+
+    def _merge_region_results(self, results: list) -> None:
         # Deterministic left-to-right combination: counters, stdout and —
         # on a trap — the identity of the winning trap all match the
         # sequential run.  A shard that trapped stops the merge exactly
@@ -252,7 +396,113 @@ class VM(RTRuntime):
             caller_stdout.extend(shard_stdout)
             if exc is not None:
                 raise exc  # first-trap-wins: lowest iteration index
-        return True
+
+    # -- process-pool regions (S27) -----------------------------------------
+
+    def _pool_run_process(self, fname: str, captures: list, shards: list,
+                          ppool) -> list | None:
+        """Run one region on the shared-memory process pool: lay every
+        capture matrix out in one shared segment, ship ``(lo, hi)`` jobs
+        to the forked workers (shard 0 runs here), copy worker writes
+        back, and return per-shard results for the ordered merge.
+        ``None`` means a worker was lost — nothing was committed."""
+        from multiprocessing import shared_memory
+
+        descs: list[tuple] = []
+        mats: list[tuple[int, RTMat]] = []  # (byte offset, capture)
+        offset = 0
+        for c in captures:
+            if isinstance(c, RTMat):
+                descs.append(("mat", offset, int(c.data.size),
+                              c.data.dtype.str, c.kind, tuple(c.dims)))
+                mats.append((offset, c))
+                # 64-byte alignment keeps adjacent matrices off one
+                # cache line (workers write disjoint shards in place).
+                offset += (int(c.data.nbytes) + 63) & ~63
+            else:
+                descs.append(("val", c))
+        self._shm_seq += 1
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, offset),
+            name=f"reproshard_{os.getpid()}_{self._shm_seq}")
+        try:
+            for off, mat in mats:
+                view = np.ndarray((mat.data.size,), dtype=mat.data.dtype,
+                                  buffer=shm.buf, offset=off)
+                view[:] = mat.data
+                del view
+            jobs = [{"fname": fname, "lo": lo, "hi": hi,
+                     "shm": shm.name, "descs": descs}
+                    for lo, hi in shards]
+            self._process_region_active = True
+            try:
+                results = ppool.run_shards(jobs)
+            finally:
+                self._process_region_active = False
+            if results is None:
+                return None
+            # Commit: fold worker writes back into the real matrices.
+            # (A trapped shard's partial writes commit too, exactly as
+            # thread-mode shards write in place before the merge raises.)
+            for off, mat in mats:
+                view = np.ndarray((mat.data.size,), dtype=mat.data.dtype,
+                                  buffer=shm.buf, offset=off)
+                mat.data[:] = view
+                del view
+            return results
+        finally:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - stray view held
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def _exec_shard_job(self, job: dict) -> tuple:
+        """Execute one shard job (in a forked worker, or inline for
+        shard 0): rebuild the captures as numpy views over the shared
+        segment, run the lifted body, and return the shard's private
+        ``(stats, stdout, exc)``."""
+        fname = job["fname"]
+        ops = self._lifted_ops.get(fname)
+        if ops is None:
+            ops = bind(self.program.lifted_code_for(fname), self)
+            self._lifted_ops[fname] = ops
+        code = self.program.lifted_code_for(fname)
+        shm = attach_shm(job["shm"])
+        captures: list = []
+        try:
+            for d in job["descs"]:
+                if d[0] == "val":
+                    captures.append(d[1])
+                else:
+                    _, off, count, dstr, kind, dims = d
+                    arr = np.ndarray((count,), dtype=np.dtype(dstr),
+                                     buffer=shm.buf, offset=off)
+                    captures.append(RTMat(kind, dims, arr))
+            tl = self._tl
+            prev_stats = getattr(tl, "stats", None)
+            prev_stdout = getattr(tl, "stdout", None)
+            tl.stats, tl.stdout = InterpStats(), []
+            exc = None
+            try:
+                self._run(ops, code.nregs, captures + [job["lo"], job["hi"]])
+            except Exception as e:
+                # Tracebacks pin frames whose locals reference the shm
+                # views (and do not pickle anyway): keep the bare error.
+                exc = e.with_traceback(None)
+                exc.__context__ = exc.__cause__ = None
+            stats, stdout = tl.stats, tl.stdout
+            tl.stats, tl.stdout = prev_stats, prev_stdout
+            return (stats, stdout, exc)
+        finally:
+            del captures
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - stray view held
+                pass
 
     # -- Cilk tasks ----------------------------------------------------------
 

@@ -422,6 +422,12 @@ def main(argv: list[str] | None = None) -> int:
                     help="worker threads for --run: the VM fork-join pool "
                     "or the native RT_THREADS pool (default: the "
                     "REPRO_THREADS environment variable, else 4)")
+    ap.add_argument("--parallel-backend", choices=("thread", "process",
+                    "auto"), default=None,
+                    help="--run shard backend: the in-process thread pool, "
+                    "the shared-memory process pool (S27, safety-gated "
+                    "with thread fallback), or auto per-region selection "
+                    "(default: REPRO_PARALLEL_BACKEND, else thread)")
     ap.add_argument("--no-fusion", action="store_true",
                     help="disable assignment fusion (§III-A.4 ablation)")
     ap.add_argument("--no-slice-elim", action="store_true",
@@ -506,7 +512,8 @@ def main(argv: list[str] | None = None) -> int:
                   f"--threads {nthreads}", file=sys.stderr)
         executor = result.make_engine(engine=args.engine,
                                       workdir=src_path.parent,
-                                      nthreads=nthreads)
+                                      nthreads=nthreads,
+                                      parallel_backend=args.parallel_backend)
         try:
             rc = executor.run_main()
         except RuntimeTrap as trap:

@@ -72,14 +72,17 @@ class CompileResult:
         return self._bytecode
 
     def make_engine(self, *, engine: str = "vm", workdir: str = ".",
-                    nthreads: int | None = None, fork_mode: str = "enhanced"):
+                    nthreads: int | None = None, fork_mode: str = "enhanced",
+                    parallel_backend: str | None = None):
         """A ready-to-run executor for this compile result.
 
         ``engine="vm"`` reuses the memoized :meth:`bytecode` program (so
         repeated engines skip recompilation); ``"tree"`` builds the
         reference interpreter.  ``nthreads`` sizes the VM's S23 fork-join
-        pool, ``None`` deferring to ``REPRO_THREADS`` (default 1); call
-        ``close()`` on the executor to release the pool."""
+        pool, ``None`` deferring to ``REPRO_THREADS`` (default 1);
+        ``parallel_backend`` picks thread/process/auto shard execution
+        (``None`` defers to ``REPRO_PARALLEL_BACKEND``); call
+        ``close()`` on the executor to release the pools."""
         from repro.cexec.interp import make_engine as _make_engine
         from repro.cexec.parallel import resolve_nthreads
 
@@ -89,7 +92,8 @@ class CompileResult:
         return _make_engine(self.lowered, self.ctx, engine=engine,
                             workdir=workdir,
                             nthreads=resolve_nthreads(nthreads),
-                            fork_mode=fork_mode, program=program)
+                            fork_mode=fork_mode, program=program,
+                            parallel_backend=parallel_backend)
 
 
 class Translator:

@@ -203,11 +203,22 @@ class TestFastLoopMatching:
         code = BytecodeProgram(root, ctx).code_for("f")
         assert not any(ins[0] == "fastloop" for ins in code.instrs)
 
-    def test_nonunit_step_no_fastloop(self):
+    def test_nonunit_step_gets_fastloop(self):
+        # strided loops vectorize since the affine widening (S27)
         loop = N("forStmt",
                  N("forDecl", N("tRaw", "long"), "k", i(0)),
                  N("binop", "<", var("k"), i(8)),
                  N("assign", var("k"), N("binop", "+", var("k"), i(2))),
+                 slist(N("exprStmt", call("rt_setf", var("m"), var("k"), fl(1.0)))))
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(loop)))
+        code = BytecodeProgram(root, ctx).code_for("f")
+        assert any(ins[0] == "fastloop" for ins in code.instrs)
+
+    def test_nonpositive_step_no_fastloop(self):
+        loop = N("forStmt",
+                 N("forDecl", N("tRaw", "long"), "k", i(0)),
+                 N("binop", "<", var("k"), i(8)),
+                 N("assign", var("k"), N("binop", "+", var("k"), i(0))),
                  slist(N("exprStmt", call("rt_setf", var("m"), var("k"), fl(1.0)))))
         root, ctx = program(("f", [("rt_mat*", "m")], slist(loop)))
         code = BytecodeProgram(root, ctx).code_for("f")
@@ -465,3 +476,203 @@ class TestShardBoundaries:
         a = (rng.normal(0, 1, (9, 50))
              * 10.0 ** rng.integers(-5, 5, (9, 50))).astype(np.float32)
         self.assert_worker_count_invisible(src, {"a.data": a}, ["sums.data"])
+
+
+def gen_loop(v, start, limit, body_stmts, *, step=1, cmp="<"):
+    """Like ``for_loop`` but with a chosen comparison and literal step."""
+    return N("forStmt",
+             N("forDecl", N("tRaw", "long"), v, start),
+             N("binop", cmp, var(v), limit),
+             N("assign", var(v), N("binop", "+", var(v), i(step))),
+             slist(*body_stmts))
+
+
+def vm_bail_reasons(root, ctx, fname, args):
+    """Run ``fname`` on the VM alone and return its fastloop bail ledger."""
+    ex = VM(root, ctx)
+    try:
+        ex.call_function(fname, args)
+    except Exception:
+        pass
+    return ex.stats.fastloop_bails
+
+
+class TestWidenedFastLoop:
+    """S27 recognizer widening: 2-D nests, strided/inclusive headers,
+    multiple stores, and affine uniqueness proofs.  Every match shape is
+    paired with a hazard-mutation twin that must bail with a named
+    ledger reason — and every runtime test is differential against the
+    tree walker via ``both_engines``."""
+
+    # --- header shapes -------------------------------------------------
+
+    def test_inclusive_bound_matches_and_runs(self, fastpath_counter):
+        body = [N("exprStmt", call(
+            "rt_setf", var("m"), var("k"),
+            N("castE", N("tRaw", "double"), var("k"))))]
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(
+            gen_loop("k", i(0), i(3), body, cmp="<="))))
+        code = BytecodeProgram(root, ctx).code_for("f")
+        assert any(ins[0] == "fastloop" for ins in code.instrs)
+        v = both_engines(root, ctx, "f", lambda: [fmat([0, 0, 0, 0])])
+        assert list(v[2][0]) == [0, 1, 2, 3]  # k == 3 included
+        assert fastpath_counter["ok"] >= 1 and fastpath_counter["bail"] == 0
+
+    def test_strided_store_runs_fast(self, fastpath_counter):
+        body = [N("exprStmt", call("rt_setf", var("m"), var("k"), fl(5.0)))]
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(
+            gen_loop("k", i(0), i(8), body, step=2))))
+        v = both_engines(root, ctx, "f", lambda: [fmat([1.0] * 8)])
+        assert list(v[2][0]) == [5, 1, 5, 1, 5, 1, 5, 1]
+        assert fastpath_counter["ok"] >= 1 and fastpath_counter["bail"] == 0
+
+    # --- 2-D rectangular nests -----------------------------------------
+
+    def nest(self, inner_limit, idx, val):
+        inner = gen_loop("kj", i(0), inner_limit,
+                         [N("exprStmt", call("rt_setf", var("m"), idx, val))])
+        return gen_loop("ki", i(0), i(3), [inner])
+
+    @staticmethod
+    def rowmajor(w):
+        return N("binop", "+",
+                 N("binop", "*", var("ki"), i(w)), var("kj"))
+
+    def test_2d_nest_matches_as_single_plan(self):
+        loop = self.nest(i(4), self.rowmajor(4), fl(1.0))
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(loop)))
+        code = BytecodeProgram(root, ctx).code_for("f")
+        plans = [ins[1] for ins in code.instrs if ins[0] == "fastloop"]
+        # one 2-D plan on the nest, plus the inner loop's own 1-D plan
+        # inside the scalar fallback body (used only if the nest bails)
+        assert sorted(len(p.loops) for p in plans) == [1, 2]
+
+    def test_2d_nest_with_outer_dependent_bound_matches_inner_only(self):
+        # triangular nest (inner limit reads ki): not rectangular, so
+        # the outer loop stays scalar — but the inner still gets a 1-D
+        # plan of its own through the scalar body compilation.
+        loop = self.nest(var("ki"), self.rowmajor(4), fl(1.0))
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(loop)))
+        code = BytecodeProgram(root, ctx).code_for("f")
+        plans = [ins[1] for ins in code.instrs if ins[0] == "fastloop"]
+        assert [len(p.loops) for p in plans] == [1]
+
+    def test_2d_rowmajor_store_runs_fast(self, fastpath_counter):
+        idx = self.rowmajor(4)
+        val = N("binop", "*", call("rt_getf", var("a"), idx), fl(2.0))
+        inner = gen_loop("kj", i(0), i(4),
+                         [N("exprStmt", call("rt_setf", var("m"), idx, val))])
+        root, ctx = program(("f", [("rt_mat*", "m"), ("rt_mat*", "a")],
+                             slist(gen_loop("ki", i(0), i(3), [inner]))))
+        a = np.arange(12, dtype=np.float32)
+        v = both_engines(root, ctx, "f",
+                         lambda: [fmat(np.zeros(12)), fmat(a)])
+        assert np.array_equal(v[2][0], a * 2.0)
+        assert fastpath_counter["ok"] >= 1 and fastpath_counter["bail"] == 0
+
+    def test_2d_duplicate_rows_bail_with_reason(self, fastpath_counter):
+        # m[kj] = ki: every outer row rewrites the same columns — the
+        # affine proof fails (ki coefficient 0) and the runtime scan
+        # finds duplicates, so the nest reruns scalar (last row wins).
+        loop = self.nest(i(4), var("kj"),
+                         N("castE", N("tRaw", "double"), var("ki")))
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(loop)))
+        v = both_engines(root, ctx, "f", lambda: [fmat(np.zeros(4))])
+        assert list(v[2][0]) == [2, 2, 2, 2]
+        assert fastpath_counter["bail"] >= 1
+        reasons = vm_bail_reasons(root, ctx, "f", [fmat(np.zeros(4))])
+        assert "duplicate store indices" in reasons
+
+    # --- multiple stores per body --------------------------------------
+
+    def test_multi_store_identical_indices_last_wins(self, fastpath_counter):
+        body = [
+            N("exprStmt", call("rt_setf", var("m"), var("k"), fl(1.0))),
+            N("exprStmt", call("rt_setf", var("m"), var("k"),
+                               N("castE", N("tRaw", "double"), var("k")))),
+        ]
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(
+            gen_loop("k", i(0), i(4), body))))
+        v = both_engines(root, ctx, "f", lambda: [fmat(np.zeros(4))])
+        assert list(v[2][0]) == [0, 1, 2, 3]  # statement order preserved
+        assert fastpath_counter["ok"] >= 1 and fastpath_counter["bail"] == 0
+
+    def test_multi_store_disjoint_parity(self, fastpath_counter):
+        even = N("binop", "*", var("k"), i(2))
+        odd = N("binop", "+", even, i(1))
+        body = [
+            N("exprStmt", call("rt_setf", var("m"), even,
+                               call("rt_getf", var("a"), var("k")))),
+            N("exprStmt", call("rt_setf", var("m"), odd,
+                               N("unop", "-",
+                                 call("rt_getf", var("a"), var("k"))))),
+        ]
+        root, ctx = program(("f", [("rt_mat*", "m"), ("rt_mat*", "a")],
+                             slist(gen_loop("k", i(0), i(3), body))))
+        v = both_engines(root, ctx, "f",
+                         lambda: [fmat(np.zeros(6)), fmat([1, 2, 3])])
+        assert list(v[2][0]) == [1, -1, 2, -2, 3, -3]
+        assert fastpath_counter["ok"] >= 1 and fastpath_counter["bail"] == 0
+
+    def test_multi_store_overlapping_bails_with_reason(self, fastpath_counter):
+        body = [
+            N("exprStmt", call("rt_setf", var("m"), var("k"), fl(1.0))),
+            N("exprStmt", call("rt_setf", var("m"),
+                               N("binop", "+", var("k"), i(1)), fl(2.0))),
+        ]
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(
+            gen_loop("k", i(0), i(3), body))))
+        v = both_engines(root, ctx, "f", lambda: [fmat(np.zeros(4))])
+        assert list(v[2][0]) == [1, 1, 1, 2]  # sequential interleaving
+        assert fastpath_counter["bail"] >= 1
+        reasons = vm_bail_reasons(root, ctx, "f", [fmat(np.zeros(4))])
+        assert "overlapping stores to one matrix" in reasons
+
+    # --- affine uniqueness proof ---------------------------------------
+
+    def test_affine_proof_discharges_unique_scan(self, fastpath_counter,
+                                                 monkeypatch):
+        # m[2k+1]: coefficient*step != 0 proves injectivity symbolically,
+        # so the O(n log n) np.unique scan must never run.
+        def boom(*a, **k):
+            raise AssertionError("np.unique called despite affine proof")
+        monkeypatch.setattr(loopfast.np, "unique", boom)
+        idx = N("binop", "+", N("binop", "*", i(2), var("k")), i(1))
+        body = [N("exprStmt", call("rt_setf", var("m"), idx, fl(7.0)))]
+        root, ctx = program(("f", [("rt_mat*", "m")], slist(
+            gen_loop("k", i(0), i(3), body))))
+        v = both_engines(root, ctx, "f", lambda: [fmat(np.zeros(6))])
+        assert list(v[2][0]) == [0, 7, 0, 7, 0, 7]
+        assert fastpath_counter["ok"] >= 1 and fastpath_counter["bail"] == 0
+
+    # --- reductions in nests -------------------------------------------
+
+    def test_2d_reduction_vectorizes_exactly(self, fastpath_counter):
+        body = [N("exprStmt", N("assign", var("s"), N(
+            "binop", "+", var("s"),
+            call("rt_getf", var("a"), self.rowmajor(5)))))]
+        inner = gen_loop("kj", i(0), i(5), body)
+        root, ctx = program(("f", [("rt_mat*", "a"), ("double", "s")], slist(
+            gen_loop("ki", i(0), i(3), [inner]),
+            N("returnStmt", var("s")))))
+        rng = np.random.default_rng(7)
+        vals = rng.normal(0, 1, 15) * 10.0 ** rng.integers(-6, 6, 15)
+        both_engines(root, ctx, "f", lambda: [fmat(vals), 0.5])
+        assert fastpath_counter["ok"] >= 1 and fastpath_counter["bail"] == 0
+
+    def test_2d_reduction_nonfloat_acc_bails_with_reason(self,
+                                                         fastpath_counter):
+        body = [N("exprStmt", N("assign", var("s"), N(
+            "binop", "+", var("s"),
+            call("rt_geti", var("a"), self.rowmajor(2)))))]
+        inner = gen_loop("kj", i(0), i(2), body)
+        root, ctx = program(("f", [("rt_mat*", "a"), ("long", "s")], slist(
+            gen_loop("ki", i(0), i(3), [inner]),
+            N("returnStmt", var("s")))))
+        v = both_engines(root, ctx, "f",
+                         lambda: [imat([1, 2, 3, 4, 5, 6]), 100])
+        assert v[0] == 121
+        assert fastpath_counter["bail"] >= 1
+        reasons = vm_bail_reasons(root, ctx, "f",
+                                  [imat([1, 2, 3, 4, 5, 6]), 100])
+        assert "non-float accumulator" in reasons

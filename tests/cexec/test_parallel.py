@@ -22,8 +22,28 @@ class TestResolveNthreads:
         assert resolve_nthreads(2) == 2
 
     def test_env_default(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
         monkeypatch.setenv("REPRO_THREADS", "3")
         assert resolve_nthreads(None) == 3
+
+    def test_env_clamped_to_cpu_count(self, monkeypatch):
+        import repro.cexec.parallel as par
+
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        monkeypatch.setattr(par, "_warned_thread_excess", False)
+        monkeypatch.setenv("REPRO_THREADS", "16")
+        with pytest.warns(RuntimeWarning, match="clamping to 2"):
+            assert resolve_nthreads(None) == 2
+        # warn-once: the second resolution clamps silently
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_nthreads(None) == 2
+
+    def test_explicit_not_clamped(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        assert resolve_nthreads(16) == 16
 
     def test_fallback_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_THREADS", raising=False)
@@ -406,6 +426,7 @@ class TestDriverAndCLI:
     def test_env_default_threads(self, tmp_path, monkeypatch):
         from repro.cexec.interp import run_program
 
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
         monkeypatch.setenv("REPRO_THREADS", "4")
         rc, outs, st, ex = run_program(
             """int main() {
