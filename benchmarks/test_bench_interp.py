@@ -1,21 +1,34 @@
-"""E-VM: bytecode VM vs. tree-walking interpreter (S22).
+"""E-VM + E-IR: interpreter-stack benchmarks.
 
-The fig1 temporal-mean program is the paper's flagship workload; it runs
-one pooled genarray region whose innermost loop is a fold over the time
-dimension.  The tree-walker re-interprets every scalar of that fold; the
-bytecode VM's numpy fast path executes each trip count as one cumsum.
-Acceptance gate: VM >=10x faster than the tree-walker, with bit-identical
-output.  Measured timings land in ``BENCH_interp.json`` at the repo root
-so later PRs can track the trajectory.
+E-VM (S22): bytecode VM vs. tree-walking interpreter on the fig1
+temporal-mean program, the paper's flagship workload.  The tree-walker
+re-interprets every scalar of the fold; the VM's numpy fast path executes
+each trip count as one cumsum.  Gate: VM >=10x faster, bit-identical.
 
-Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the workload; the smoke run
-still checks engine agreement and records timings, but gates only a
-conservative >=3x since small trip counts amortize less per-loop setup.
+E-IR (S28): the TAC/SSA optimizer pipeline, -O2 vs -O0 on the same VM.
+Two gates:
+
+* dynamic instruction count (``REPRO_COUNT_INSTRS``) over the full
+  corpus — figs 1/4/8/9 plus the mandelbrot escape-time kernel — must
+  drop by >=25% geomean, with bit-identical outputs and stdout;
+* wall-clock geomean >=1.3x over the scalar-dominated workloads
+  (fig4, fig9, mandelbrot) at nthreads=1.  fig1/fig8 spend their time
+  inside numpy fastloop plans the optimizer cannot speed up, so they
+  are measured for the record but excluded from the wall gate.
+
+All timings land in ``BENCH_interp.json`` at the repo root, one record
+per experiment, so later PRs can track the trajectory.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the workloads; the smoke run
+still checks agreement and the instruction-count gate (counts are
+deterministic at any size), but skips the wall-clock gate and relaxes
+E-VM to >=3x since small trip counts amortize less per-loop setup.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import time
@@ -25,15 +38,40 @@ import numpy as np
 import pytest
 
 from repro.api import compile_source
-from repro.cexec.interp import Interpreter
+from repro.cexec.interp import Interpreter, run_program
 from repro.cexec.rmat import read_rmat, write_rmat
 from repro.cexec.vm import VM
+from repro.cminus.env import Optimizations
+from repro.eddy import synthetic_ssh
 from repro.programs import load
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
 SHAPE = (6, 8, 48) if SMOKE else (20, 20, 400)
 GATE = 3.0 if SMOKE else 10.0
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _record_bench(experiment: str, **fields) -> None:
+    """Merge ``fields`` into BENCH_interp.json under ``experiment``."""
+    path = REPO_ROOT / "BENCH_interp.json"
+    store: dict = {}
+    if path.exists():
+        try:
+            old = json.loads(path.read_text())
+        except ValueError:
+            old = {}
+        if "experiment" in old:  # legacy single-record layout
+            store[old["experiment"]] = old
+        else:
+            store = old
+    rec = store.setdefault(experiment, {})
+    rec.update(fields, experiment=experiment, smoke=SMOKE,
+               python=platform.python_version())
+    path.write_text(json.dumps(store, indent=2, sort_keys=True) + "\n")
+
+
+def _geomean(ratios):
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
 
 
 @pytest.fixture(scope="module")
@@ -71,18 +109,14 @@ class TestVMSpeedup:
 
         assert np.array_equal(tree_out, vm_out)
         speedup = tree_s / vm_s
-        record = {
-            "experiment": "E-VM",
-            "workload": "fig1 temporal mean",
-            "shape": list(SHAPE),
-            "smoke": SMOKE,
-            "tree_seconds": round(tree_s, 4),
-            "vm_seconds": round(vm_s, 4),
-            "speedup": round(speedup, 1),
-            "python": platform.python_version(),
-        }
-        (REPO_ROOT / "BENCH_interp.json").write_text(
-            json.dumps(record, indent=2) + "\n")
+        _record_bench(
+            "E-VM",
+            workload="fig1 temporal mean",
+            shape=list(SHAPE),
+            tree_seconds=round(tree_s, 4),
+            vm_seconds=round(vm_s, 4),
+            speedup=round(speedup, 1),
+        )
         print(f"\ntree {tree_s:.3f}s  vm {vm_s:.3f}s  speedup {speedup:.1f}x")
         assert speedup >= GATE, \
             f"VM only {speedup:.1f}x faster than tree-walker (gate {GATE}x)"
@@ -95,8 +129,8 @@ class TestVMSpeedup:
         hits = {"ok": 0, "bail": 0}
         orig = loopfast.Plan.run
 
-        def counted(self, frame):
-            r = orig(self, frame)
+        def counted(self, frame, stats=None):
+            r = orig(self, frame, stats)
             hits["ok" if r else "bail"] += 1
             return r
 
@@ -106,6 +140,139 @@ class TestVMSpeedup:
         assert vm.run_main() == 0
         assert hits["ok"] > 0
         assert hits["bail"] == 0, f"fast path bailed {hits['bail']} times"
+
+
+def _mandelbrot_src(scale_down: bool) -> str:
+    """The mandelbrot kernel, optionally shrunk for smoke runs.
+
+    The viewport/iteration budget are plain integer literals in the
+    source, so smoke sizing is a textual substitution — the compiled
+    program is otherwise identical.
+    """
+    src = load("mandelbrot")
+    if scale_down:
+        for old, new in (("int h = 40;", "int h = 10;"),
+                         ("int w = 60;", "int w = 12;"),
+                         ("int maxIter = 80;", "int maxIter = 24;")):
+            assert old in src, f"mandelbrot.xc drifted: {old!r} missing"
+            src = src.replace(old, new)
+    return src
+
+
+def _instr_corpus():
+    """(name, source, externs, inputs, output_names) for the instruction
+    count gate.  Sizes are deliberately small: dynamic instruction counts
+    are machine-independent, and counting mode slows the VM down."""
+    cases = []
+    cube = np.random.default_rng(0).normal(0, 0.5, (6, 8, 12)).astype(np.float32)
+    cases.append(("fig1", load("fig1"), ["matrix"],
+                  {"ssh.data": cube}, ["means.data"]))
+    ssh = np.random.default_rng(9).normal(0.2, 0.5, (8, 9, 5)).astype(np.float32)
+    dates = np.array([1011990, 1012000, 1012010, 1012020, 1012030],
+                     dtype=np.int32)
+    cases.append(("fig4", load("fig4"), ["matrix"],
+                  {"ssh.data": ssh, "dates.data": dates}, ["eddyLabels.data"]))
+    eddy = synthetic_ssh((5, 6, 32), n_eddies=2, seed=21)
+    cases.append(("fig8", load("fig8"), ["matrix"],
+                  {"ssh.data": eddy.cube}, ["temporalScores.data"]))
+    c9 = np.random.default_rng(3).normal(0, 1, (6, 8, 10)).astype(np.float32)
+    cases.append(("fig9", load("fig9"), ["matrix", "transform"],
+                  {"ssh.data": c9}, ["means.data"]))
+    cases.append(("mandelbrot", _mandelbrot_src(scale_down=True), ["matrix"],
+                  {}, ["mandel.data"]))
+    return cases
+
+
+class TestIROptimizer:
+    """E-IR: the S28 TAC/SSA pass pipeline, -O2 vs -O0."""
+
+    INSTR_GATE = 0.25   # geomean dynamic-instruction reduction
+    WALL_GATE = 1.3     # geomean wall-clock speedup, scalar workloads
+
+    def test_dynamic_instr_reduction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COUNT_INSTRS", "1")
+        monkeypatch.setenv("REPRO_IR_STRICT", "1")
+        rows, ratios = [], []
+        for name, src, exts, inputs, outs in _instr_corpus():
+            runs = {}
+            for lvl in (0, 2):
+                rc, o, st, ex = run_program(
+                    src, exts, inputs, output_names=outs, nthreads=1,
+                    options=Optimizations(opt_level=lvl))
+                assert rc == 0, f"{name} rc={rc} at -O{lvl}"
+                runs[lvl] = (st.instrs, list(ex.stdout),
+                             {k: v.tobytes() for k, v in o.items()})
+            assert runs[0][1] == runs[2][1], f"{name}: stdout differs O0/O2"
+            assert runs[0][2] == runs[2][2], f"{name}: outputs differ O0/O2"
+            i0, i2 = runs[0][0], runs[2][0]
+            assert i2 > 0 and i0 > 0
+            ratios.append(i0 / i2)
+            rows.append({"workload": name, "instrs_O0": i0, "instrs_O2": i2,
+                         "reduction": round(1 - i2 / i0, 3)})
+            print(f"\n{name}: O0={i0} O2={i2} ({1 - i2 / i0:.1%} fewer)")
+        reduction = 1 - 1 / _geomean(ratios)
+        _record_bench("E-IR", instr_rows=rows,
+                      instr_geomean_reduction=round(reduction, 3))
+        print(f"geomean dynamic-instruction reduction: {reduction:.1%}")
+        assert reduction >= self.INSTR_GATE, \
+            f"optimizer cut only {reduction:.1%} of dynamic instructions " \
+            f"(gate {self.INSTR_GATE:.0%})"
+
+    @pytest.mark.skipif(SMOKE, reason="wall gate needs full-size workloads")
+    def test_wallclock_speedup(self, tmp_path_factory):
+        """Scalar-dominated workloads only: fig1/fig8 run inside numpy
+        fastloop plans at both levels, so their wall-clock is invariant
+        to the optimizer and would dilute the gate with noise."""
+        cases = []
+        ssh = np.random.default_rng(9).normal(
+            0.2, 0.5, (60, 60, 8)).astype(np.float32)
+        dates = np.arange(1011990, 1011990 + 80, 10, dtype=np.int32)
+        cases.append(("fig4", load("fig4"), ["matrix"],
+                      {"ssh.data": ssh, "dates.data": dates}))
+        c9 = np.random.default_rng(3).normal(
+            0, 1, (20, 20, 200)).astype(np.float32)
+        cases.append(("fig9", load("fig9"), ["matrix", "transform"],
+                      {"ssh.data": c9}))
+        cases.append(("mandelbrot", load("mandelbrot"), ["matrix"], {}))
+
+        rows, ratios = [], []
+        for name, src, exts, inputs in cases:
+            setups = {}
+            for lvl in (0, 2):
+                wd = tmp_path_factory.mktemp(f"eir_{name}_O{lvl}")
+                for fname, arr in inputs.items():
+                    write_rmat(wd / fname, arr)
+                cr = compile_source(src, exts,
+                                    options=Optimizations(opt_level=lvl))
+                assert cr.ok, cr.diagnostics
+                setups[lvl] = (cr, cr.bytecode(), wd)
+            # interleave the levels round-robin: machine-load drift then
+            # hits O0 and O2 alike instead of biasing whichever batch
+            # ran during the quiet stretch.
+            secs = {0: float("inf"), 2: float("inf")}
+            for _ in range(5):
+                for lvl in (0, 2):
+                    cr, prog, wd = setups[lvl]
+                    vm = VM(cr.lowered, cr.ctx, workdir=wd, nthreads=1,
+                            program=prog)
+                    t0 = time.perf_counter()
+                    rc = vm.run_main()
+                    secs[lvl] = min(secs[lvl], time.perf_counter() - t0)
+                    vm.close()
+                    assert rc == 0
+            ratios.append(secs[0] / secs[2])
+            rows.append({"workload": name,
+                         "O0_seconds": round(secs[0], 4),
+                         "O2_seconds": round(secs[2], 4),
+                         "speedup": round(secs[0] / secs[2], 2)})
+            print(f"\n{name}: O0={secs[0]:.3f}s O2={secs[2]:.3f}s "
+                  f"({secs[0] / secs[2]:.2f}x)")
+        gm = _geomean(ratios)
+        _record_bench("E-IR", wall_rows=rows,
+                      wall_geomean_speedup=round(gm, 2))
+        print(f"geomean wall-clock speedup: {gm:.2f}x")
+        assert gm >= self.WALL_GATE, \
+            f"-O2 only {gm:.2f}x over -O0 (gate {self.WALL_GATE}x)"
 
 
 class TestMicro:

@@ -512,6 +512,27 @@ class BytecodeProgram:
         self._code: dict[str, Code] = {}
         self._lifted_code: dict[str, Code] = {}
         self._safety = None
+        # Mid-level IR pipeline (S28): lowered trees are compiled to TAC
+        # bytecode as before, then rewritten through SSA passes at the
+        # context's opt level.  ``opt_counts`` accumulates per-pass
+        # rewrite totals across all lazily-compiled functions; engines
+        # copy it into InterpStats so ``--stats`` can show it.
+        self.opt_level = int(getattr(
+            getattr(ctx, "options", None), "opt_level", 2))
+        self.opt_counts: dict[str, int] = {}
+
+    def _optimize(self, code: Code) -> Code:
+        if self.opt_level <= 0:
+            return code
+        from collections import defaultdict
+
+        from repro.ir import optimize_code
+
+        counts: dict[str, int] = defaultdict(int)
+        out = optimize_code(code, self.opt_level, counts)
+        for k, v in counts.items():
+            self.opt_counts[k] = self.opt_counts.get(k, 0) + v
+        return out
 
     def code_for(self, name: str) -> Code:
         code = self._code.get(name)
@@ -519,7 +540,7 @@ class BytecodeProgram:
             if name not in self.functions:
                 raise InterpError(f"call to unknown function {name!r}")
             params, body = self.functions[name]
-            code = compile_function(name, params, body)
+            code = self._optimize(compile_function(name, params, body))
             self._code[name] = code
         return code
 
@@ -527,7 +548,7 @@ class BytecodeProgram:
         code = self._lifted_code.get(name)
         if code is None:
             params, body = self.lifted_trees[name]
-            code = compile_function(name, params, body)
+            code = self._optimize(compile_function(name, params, body))
             self._lifted_code[name] = code
         return code
 

@@ -68,6 +68,15 @@ class InterpStats:
     # ran sequentially instead of on the worker pool.
     fastloop_bails: dict[str, int] = field(default_factory=dict)
     shard_bails: dict[str, int] = field(default_factory=dict)
+    # Dynamic VM instructions retired (only populated when the VM runs
+    # in counting mode, e.g. under the E-IR benchmark); NOT part of the
+    # engine-differential contract — O0 and O2 legitimately differ here.
+    instrs: int = 0
+    # Per-pass optimizer rewrite totals for the program that ran
+    # (fold/copyprop/cse/licm/strength/dce/functions/bailouts), attached
+    # once after the run from the compiled program — compile-time facts,
+    # so merge() deliberately leaves them alone.
+    opt_counts: dict[str, int] = field(default_factory=dict)
 
     @property
     def leaked(self) -> int:
@@ -89,6 +98,7 @@ class InterpStats:
         self.copies += other.copies
         self.parallel_regions += other.parallel_regions
         self.tasks_spawned += other.tasks_spawned
+        self.instrs += other.instrs
         self.region_sizes.extend(other.region_sizes)
         for reason, n in other.fastloop_bails.items():
             self.fastloop_bails[reason] = \
@@ -684,6 +694,9 @@ def run_program(
         rc = executor.run_main()
     finally:
         executor.close()  # quiesce and release any worker pool
+    prog = getattr(executor, "program", None)
+    if prog is not None:
+        executor.stats.opt_counts = dict(getattr(prog, "opt_counts", {}) or {})
     outputs = {}
     for name in output_names or []:
         path = wd / name

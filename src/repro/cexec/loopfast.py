@@ -2,8 +2,8 @@
 
 :func:`try_fast_loop` pattern-matches a ``forStmt`` at bytecode-compile
 time: a ``for (long v = start; v < limit; v = v + c)`` (``<=`` and any
-positive constant step also match), or a **2-D rectangular nest** of two
-such loops whose inner bounds are invariant across the nest, whose body
+positive constant step also match), or a **rectangular nest** (up to
+3-D) of such loops whose inner bounds are invariant across the nest, whose body
 is a flat sequence of matrix stores (``rt_setf``/``rt_seti`` with any
 index expression over the loop variables) and scalar reductions
 (``acc = acc + E`` / ``acc = acc * E``).  When it matches, the whole
@@ -23,18 +23,18 @@ committed*, so the scalar bytecode loop compiled right behind the
 ``fastloop`` instruction reproduces the exact behavior, including traps
 at the correct iteration with the correct partial state.  Only after
 every guard passes does the commit phase (which cannot fail) write
-stores and accumulators back.  (When a 2-D plan bails, the scalar outer
-loop still runs the *inner* loop's own 1-D plan per row, so partially
-vectorizable nests degrade gracefully instead of all the way to
-scalar.)
+stores and accumulators back.  (When a nest plan bails, the scalar
+outer loops still run the *inner* loops' own plans per row, so
+partially vectorizable nests degrade gracefully instead of all the way
+to scalar.)
 
 Affine interval reasoning (S25) discharges the runtime guards cheaply:
 a store index recognized at compile time as ``c0 + Σ coeff·v`` over the
 loop variables (coefficients loop-invariant integers) gets its bounds
 checked from the interval corners and its index-uniqueness *proven* —
-one axis is injective when ``coeff·step ≠ 0``; two axes are injective
-when the inner block span never reaches the outer stride — instead of
-scanned with ``np.unique``.  This is what admits non-unit strides
+sorting axes by stride, each stride must clear the combined value span
+of the axes below it (:func:`repro.ir.affine.nest_injective`, any
+depth) — instead of scanned with ``np.unique``.  This is what admits non-unit strides
 (``m[2*i+1]``) and 2-D row-major layouts (``m[i*w + j]``) that the
 conservative monotone-scan guard used to reject, and it also provides
 the interval/congruence evidence for allowing *multiple* stores to one
@@ -140,18 +140,15 @@ def _affine_eval(affine, rt, spans):
         if coef:
             idx += coef * rt.ivs[name]
     # Injectivity: every multi-trip axis must appear with a nonzero
-    # stride, and with two such axes the inner value block must fit
-    # strictly inside one outer stride (blocks cannot interleave).
+    # stride, and each stride (ascending) must clear the combined value
+    # span of the axes below it — blocks nest instead of interleaving.
+    # The sorted-stride proof (shared with the IR) works at any depth.
+    from repro.ir.affine import nest_injective
+
     active = [(abs(coef * step), count) for _, coef, step, count in terms
               if count > 1 and coef != 0]
     multi = sum(1 for s in spans.values() if s[3] > 1)
-    unique = False
-    if len(active) == multi:
-        if multi <= 1:
-            unique = True
-        elif multi == 2:
-            (sa, ca), (sb, cb) = active
-            unique = sa > (cb - 1) * sb or sb > (ca - 1) * sa
+    unique = len(active) == multi and nest_injective(active)
     return idx, lo, hi, unique
 
 
@@ -167,6 +164,11 @@ class Plan:
         self.loops = loops
         self.stores = stores
         self.reductions = reductions
+        # Frame slots the evaluator closures read / the commits write —
+        # the pinning contract the mid-level IR (S28) honors around the
+        # opaque ``fastloop`` instruction.  Filled by try_fast_loop.
+        self.read_slots: frozenset[int] = frozenset()
+        self.write_slots: frozenset[int] = frozenset()
 
     @property
     def steps(self):
@@ -539,18 +541,13 @@ def _affine_form(fc, node, var_names):
     on non-integer runtime values — or None when the expression is not
     (recognizably) affine.  The matched sub-language is division-free,
     so the vectorized evaluation distributes exactly like the scalar
-    one."""
-    if not isinstance(node, Node):
-        return None
-    p = node.prod
-    ch = node.children
-    if p == "intLit":
-        v = int(ch[0])
-        return (lambda rt: v), {}
-    if p == "var":
-        nm = ch[0]
-        if nm in var_names:
-            return (lambda rt: 0), {nm: lambda rt: 1}
+    one.  The walk itself lives in :mod:`repro.ir.affine` (shared with
+    the strength reducer) instantiated over the closure ring; this
+    wrapper only supplies the tree predicates and the frame-slot atom."""
+    from repro.cexec.bytecode import cast_kind
+    from repro.ir.affine import ClosureRing, tree_affine
+
+    def atom(nm):
         slot = fc.lookup(nm)
         if slot is None:
             return None
@@ -560,55 +557,11 @@ def _affine_form(fc, node, var_names):
             if isinstance(x, np.ndarray) or not _is_intlike(x):
                 raise _Bail("non-integer affine term")
             return int(x)
-        return inv, {}
-    if p == "binop" and ch[0] in ("+", "-"):
-        a = _affine_form(fc, ch[1], var_names)
-        b = _affine_form(fc, ch[2], var_names)
-        if a is None or b is None:
-            return None
-        sign = 1 if ch[0] == "+" else -1
-        ca, da = a
-        cb, db = b
-        coeffs = dict(da)
-        for k, ev in db.items():
-            prev = coeffs.get(k)
-            if prev is None:
-                coeffs[k] = ev if sign == 1 else \
-                    (lambda rt, e=ev: -e(rt))
-            else:
-                coeffs[k] = lambda rt, p_=prev, e=ev, s=sign: p_(rt) + s * e(rt)
-        return (lambda rt, ca=ca, cb=cb, s=sign: ca(rt) + s * cb(rt)), coeffs
-    if p == "binop" and ch[0] == "*":
-        l_lin = any(_refs_var(ch[1], v) for v in var_names)
-        r_lin = any(_refs_var(ch[2], v) for v in var_names)
-        if l_lin and r_lin:
-            return None  # quadratic
-        lin_node, inv_node = (ch[2], ch[1]) if r_lin else (ch[1], ch[2])
-        lin = _affine_form(fc, lin_node, var_names)
-        inv = _affine_form(fc, inv_node, var_names)
-        if lin is None or inv is None or inv[1]:
-            return None
-        s_ev = inv[0]
-        cl, dl = lin
-        return (lambda rt, s=s_ev, c=cl: s(rt) * c(rt)), \
-            {k: (lambda rt, s=s_ev, e=ev: s(rt) * e(rt))
-             for k, ev in dl.items()}
-    if p == "unop" and ch[0] == "-":
-        a = _affine_form(fc, ch[1], var_names)
-        if a is None:
-            return None
-        c, d = a
-        return (lambda rt, c=c: -c(rt)), \
-            {k: (lambda rt, e=ev: -e(rt)) for k, ev in d.items()}
-    if p == "castE":
-        from repro.cexec.bytecode import cast_kind
+        return inv
 
-        # An int (or no-op) cast of an affine form is the identity:
-        # every leaf already guards integer-ness at runtime.
-        if cast_kind(ch[0]) in (None, "int"):
-            return _affine_form(fc, ch[1], var_names)
-        return None
-    return None
+    return tree_affine(node, var_names, ClosureRing, atom=atom,
+                       refs_var=_refs_var, cast_kind_of=cast_kind,
+                       is_node=lambda n: isinstance(n, Node))
 
 
 def _match_reduction(fc, e: Node, var_names):
@@ -696,30 +649,56 @@ def _parse_header(node: Node):
     return var_name, start_node, limit_node, c, inclusive, body
 
 
+class _SlotRecorder:
+    """Proxy over the function compiler that records every frame slot a
+    plan's evaluator closures capture — the IR optimizer must keep
+    exactly those slots live-and-in-place across the ``fastloop``."""
+
+    __slots__ = ("_fc", "seen")
+
+    def __init__(self, fc):
+        self._fc = fc
+        self.seen: set[int] = set()
+
+    def lookup(self, name: str):
+        s = self._fc.lookup(name)
+        if s is not None:
+            self.seen.add(s)
+        return s
+
+
 def try_fast_loop(fc, node: Node) -> Plan | None:
     """Match ``forStmt`` against the vectorizable pattern — a single
-    loop or a 2-D rectangular nest; None = no plan (the scalar loop runs
-    alone; an inner loop of an unmatched nest still gets its own plan
-    when the scalar body compiles it).  Called with the *enclosing*
-    scope active — loop variables are never frame slots on this path."""
+    loop or a rectangular nest (up to 3-D); None = no plan (the scalar
+    loop runs alone; an inner loop of an unmatched nest still gets its
+    own plan when the scalar body compiles it).  Called with the
+    *enclosing* scope active — loop variables are never frame slots on
+    this path."""
     hdr = _parse_header(node)
     if hdr is None:
         return None
+    fc = _SlotRecorder(fc)
     v1, start1, limit1, step1, incl1, body = hdr
     if not _limit_ok(limit1):
         return None
     loops_src = [(v1, start1, limit1, step1, incl1)]
-    # 2-D nest: the outer body is exactly one inner for with bounds
-    # invariant across the whole nest (rectangular iteration space).
-    nest_stmts: list[Node] = []
-    _stmt_list(body, nest_stmts)
-    if len(nest_stmts) == 1 and nest_stmts[0].prod == "forStmt":
-        hdr2 = _parse_header(nest_stmts[0])
-        if hdr2 is None:
+    # Rectangular nest: each level's body is exactly one inner for whose
+    # bounds are invariant across the whole nest (up to 3-D; the affine
+    # injectivity proof in nest_injective handles any depth, the cap
+    # just bounds compile-time matching).
+    while len(loops_src) < 3:
+        nest_stmts: list[Node] = []
+        _stmt_list(body, nest_stmts)
+        if len(nest_stmts) != 1 or nest_stmts[0].prod != "forStmt":
+            break
+        hdr_in = _parse_header(nest_stmts[0])
+        if hdr_in is None:
             return None
-        v2, start2, limit2, step2, incl2, body2 = hdr2
-        if v2 == v1 \
-                or _refs_var(start2, v1) or _refs_var(limit2, v1) \
+        v2, start2, limit2, step2, incl2, body2 = hdr_in
+        outer_vars = [v for v, *_ in loops_src]
+        if v2 in outer_vars \
+                or any(_refs_var(start2, v) or _refs_var(limit2, v)
+                       for v in outer_vars) \
                 or not _limit_ok(start2) or not _limit_ok(limit2):
             return None
         loops_src.append((v2, start2, limit2, step2, incl2))
@@ -783,4 +762,7 @@ def try_fast_loop(fc, node: Node) -> Plan | None:
             return None
     if len(set(acc_names)) != len(acc_names):
         return None
-    return Plan(loops, stores, reductions)
+    plan = Plan(loops, stores, reductions)
+    plan.read_slots = frozenset(fc.seen)
+    plan.write_slots = frozenset(slot for _i, slot, _op, _ev in reductions)
+    return plan

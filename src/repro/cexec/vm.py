@@ -97,6 +97,8 @@ class VM(RTRuntime):
             t = 0.0
         self._shard_timeout_s = t if t > 0 else None
         self._closed = False
+        if os.environ.get("REPRO_COUNT_INSTRS"):
+            self._run = self._run_counting
         # Guards refcount read-modify-writes and the deferred task-stats
         # accumulator while worker threads are live.
         self._rc_lock = threading.Lock()
@@ -178,6 +180,21 @@ class VM(RTRuntime):
         n = len(ops)
         while pc < n:
             pc = ops[pc](frame)
+        return frame[0]
+
+    def _run_counting(self, ops: list, nregs: int, args: list):
+        """Dispatch loop variant that counts retired instructions into
+        the (thread-local) stats — installed over ``_run`` at init when
+        ``REPRO_COUNT_INSTRS`` is set, so the common path stays lean."""
+        frame = [None] * nregs
+        frame[1:1 + len(args)] = args
+        pc = 0
+        n = len(ops)
+        count = 0
+        while pc < n:
+            count += 1
+            pc = ops[pc](frame)
+        self.stats.instrs += count
         return frame[0]
 
     # -- pool lifecycle ------------------------------------------------------

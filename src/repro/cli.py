@@ -9,6 +9,7 @@ Examples::
     reproc program.xc -x matrix,transform -o out.c
     reproc program.xc -x matrix --run --threads 4    # gcc-compile and run
     reproc program.xc -x matrix --check              # errors only
+    reproc disasm program.xc --ir                    # bytecode + IR stages
     reproc --list-extensions
 
 Static analysis (S25) runs the dataflow passes — definite assignment,
@@ -76,6 +77,9 @@ def batch_main(argv: list[str]) -> int:
                     help="disable fold slice elimination")
     ap.add_argument("--sequential", action="store_true",
                     help="disable automatic parallelization")
+    ap.add_argument("-O", "--opt-level", type=int, choices=(0, 1, 2),
+                    default=2,
+                    help="mid-level IR optimization level (default 2)")
     args = ap.parse_args(argv)
 
     from repro.api import Optimizations
@@ -94,6 +98,7 @@ def batch_main(argv: list[str]) -> int:
         fuse_assignment=not args.no_fusion,
         eliminate_slices=not args.no_slice_elim,
         parallelize=not args.sequential,
+        opt_level=args.opt_level,
     )
     service = CompileService(shared_cache(), max_workers=args.jobs)
     requests = [
@@ -128,6 +133,65 @@ def batch_main(argv: list[str]) -> int:
     return 1 if failed else 0
 
 
+def disasm_main(argv: list[str]) -> int:
+    """``reproc disasm`` — dump bytecode (and optionally TAC/SSA IR)."""
+    ap = argparse.ArgumentParser(
+        prog="reproc disasm",
+        description="Disassemble the register bytecode of every function "
+        "in a program; --ir additionally dumps the S28 mid-level IR "
+        "stages (TAC, SSA, optimized SSA) and per-pass rewrite counts",
+    )
+    ap.add_argument("source", help="extended-C source file (.xc)")
+    ap.add_argument("-x", "--extensions", default="matrix",
+                    help="comma-separated extension list (default: matrix)")
+    ap.add_argument("--ir", action="store_true",
+                    help="show all IR stages, not just final bytecode")
+    ap.add_argument("-O", "--opt-level", type=int, choices=(0, 1, 2),
+                    default=2, help="optimization level (default 2)")
+    args = ap.parse_args(argv)
+
+    src_path = Path(args.source)
+    if not src_path.exists():
+        print(f"reproc: {src_path}: no such file", file=sys.stderr)
+        return 1
+
+    from repro.api import Optimizations, compile_source
+    from repro.cexec.bytecode import BytecodeProgram, compile_function
+    from repro.ir import dump_stages
+
+    extensions = [e for e in args.extensions.split(",") if e]
+    options = Optimizations(opt_level=args.opt_level)
+    result = compile_source(src_path.read_text(), extensions,
+                            options=options, filename=str(src_path))
+    if result.errors:
+        for e in result.errors:
+            print(e, file=sys.stderr)
+        return 1
+    prog = BytecodeProgram(result.lowered, result.ctx)
+    names = [(n, False) for n in sorted(prog.functions)] + \
+        [(n, True) for n in sorted(prog.lifted_trees)]
+    for name, lifted in names:
+        params, body = (prog.lifted_trees if lifted else prog.functions)[name]
+        tag = " [lifted]" if lifted else ""
+        print(f"== {name}{tag} -O{args.opt_level} ==")
+        if args.ir:
+            stages = dump_stages(compile_function(name, params, body),
+                                 args.opt_level)
+            for key in ("tac", "ssa", "opt"):
+                print(f"-- {key} --")
+                print(stages[key])
+            if stages["counts"]:
+                print(f"-- counts: {stages['counts']} --")
+            print("-- bytecode --")
+            print(stages["bytecode"])
+        else:
+            code = (prog.lifted_code_for(name) if lifted
+                    else prog.code_for(name))
+            print(code.dis())
+        print()
+    return 0
+
+
 def check_main(argv: list[str]) -> int:
     """``reproc check`` — run the S25 static-analysis passes."""
     ap = argparse.ArgumentParser(
@@ -157,6 +221,9 @@ def check_main(argv: list[str]) -> int:
                     help="disable automatic parallelization")
     ap.add_argument("--stats", action="store_true",
                     help="print service counters after the run")
+    ap.add_argument("-O", "--opt-level", type=int, choices=(0, 1, 2),
+                    default=2,
+                    help="mid-level IR optimization level (default 2)")
     args = ap.parse_args(argv)
 
     from repro.api import Optimizations
@@ -175,6 +242,7 @@ def check_main(argv: list[str]) -> int:
         fuse_assignment=not args.no_fusion,
         eliminate_slices=not args.no_slice_elim,
         parallelize=not args.sequential,
+        opt_level=args.opt_level,
     )
     service = CompileService(shared_cache(), max_workers=args.jobs)
     requests = [
@@ -389,6 +457,11 @@ def _print_interp_stats(stats) -> None:
                          ("shard bail", stats.shard_bails)):
         for reason in sorted(bails):
             print(f"{label}: {reason} x{bails[reason]}")
+    if stats.instrs:
+        print(f"instrs={stats.instrs}")
+    if stats.opt_counts:
+        print("opt: " + " ".join(f"{k}={stats.opt_counts[k]}"
+                                 for k in sorted(stats.opt_counts)))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -398,6 +471,8 @@ def main(argv: list[str] | None = None) -> int:
         return batch_main(argv[1:])
     if argv and argv[0] == "check":
         return check_main(argv[1:])
+    if argv and argv[0] == "disasm":
+        return disasm_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
     if argv and argv[0] == "client":
@@ -434,6 +509,11 @@ def main(argv: list[str] | None = None) -> int:
                     help="disable fold slice elimination (ablation)")
     ap.add_argument("--sequential", action="store_true",
                     help="disable automatic parallelization")
+    ap.add_argument("-O", "--opt-level", type=int, choices=(0, 1, 2),
+                    default=2,
+                    help="mid-level IR optimization level for --run "
+                    "(S28): 0 = off, 1 = fold/copy-prop/CSE/DCE, "
+                    "2 = + LICM and strength reduction (default 2)")
     ap.add_argument("--stats", action="store_true",
                     help="with --run: print interpreter counters "
                     "(allocs/frees/regions) and the fast-path/shard "
@@ -473,6 +553,7 @@ def main(argv: list[str] | None = None) -> int:
         fuse_assignment=not args.no_fusion,
         eliminate_slices=not args.no_slice_elim,
         parallelize=not args.sequential,
+        opt_level=args.opt_level,
     )
     result = compile_source(
         src_path.read_text(), extensions, options=options,

@@ -79,6 +79,11 @@ class Optimizations:
     fuse_assignment: bool = True      # with-loop writes directly into LHS
     eliminate_slices: bool = True     # fold over mat[i,j,:] without a copy
     parallelize: bool = True          # emit pool-parallel outer loops
+    #: mid-level IR pipeline (S28): 0 = off, 1 = fold/copy-prop/CSE/DCE,
+    #: 2 = + LICM and strength reduction.  Folded into every translator
+    #: fingerprint (generic field enumeration), so cached artifacts and
+    #: analysis reports can never cross opt levels.
+    opt_level: int = 2
 
 
 @dataclass

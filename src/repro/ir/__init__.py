@@ -1,0 +1,13 @@
+"""repro.ir — TAC/SSA mid-level IR and optimizing pass pipeline (S28).
+
+Sits between the bytecode compiler's lowering (:mod:`repro.cexec.
+bytecode`) and the VM: register bytecode is decoded into a CFG of
+three-address instructions, rebuilt in SSA form on the PR 5 analysis
+framework, optimized (constant folding, copy propagation, global CSE,
+LICM, strength reduction, DCE), and re-emitted as bytecode.  See
+DESIGN.md S28.
+"""
+
+from repro.ir.pipeline import PASS_COUNTERS, dump_stages, optimize_code
+
+__all__ = ["PASS_COUNTERS", "dump_stages", "optimize_code"]

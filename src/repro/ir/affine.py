@@ -1,0 +1,161 @@
+"""Canonical affine forms shared by the optimizer and the vectorizer
+(S28).
+
+An affine form is ``(c0, {var: coeff})`` — a constant term plus one
+coefficient per loop variable — the *normal form* both consumers match
+against:
+
+* :mod:`repro.cexec.loopfast` recognizes store indices as affine in
+  the loop variables.  Its terms are *evaluator closures* (``rt ->
+  int``) bound to frame slots, so it instantiates the walk with
+  :class:`ClosureRing`;
+* :func:`repro.ir.passes.strength_reduce` recognizes ``iv * k``
+  products over SSA values via :func:`ssa_affine_mul` — the degenerate
+  affine form ``(0, {iv: k})``.
+
+Keeping one tree walk means "affine" cannot drift between the two: a
+shape the vectorizer proves injective is exactly a shape the strength
+reducer would rewrite, and vice versa.
+"""
+
+from __future__ import annotations
+
+
+class ClosureRing:
+    """Ring of ``rt -> value`` evaluator closures (loopfast terms)."""
+
+    @staticmethod
+    def const(v):
+        return lambda rt: v
+
+    @staticmethod
+    def add(a, b):
+        return lambda rt: a(rt) + b(rt)
+
+    @staticmethod
+    def sub(a, b):
+        return lambda rt: a(rt) - b(rt)
+
+    @staticmethod
+    def neg(a):
+        return lambda rt: -a(rt)
+
+    @staticmethod
+    def mul(a, b):
+        return lambda rt: a(rt) * b(rt)
+
+
+def combine(ring, op, a, b):
+    """Combine two affine forms ``(c0, coeffs)`` under ``+``/``-``."""
+    ca, da = a
+    cb, db = b
+    coeffs = dict(da)
+    for k, ev in db.items():
+        prev = coeffs.get(k)
+        term = ev if op == "+" else ring.neg(ev)
+        coeffs[k] = term if prev is None else ring.add(prev, term)
+    c0 = ring.add(ca, cb) if op == "+" else ring.sub(ca, cb)
+    return c0, coeffs
+
+
+def scale(ring, a, s):
+    """Multiply an affine form by an invariant term ``s``."""
+    c, d = a
+    return ring.mul(s, c), {k: ring.mul(s, ev) for k, ev in d.items()}
+
+
+def negate(ring, a):
+    c, d = a
+    return ring.neg(c), {k: ring.neg(ev) for k, ev in d.items()}
+
+
+def tree_affine(node, var_names, ring, *, atom, refs_var, cast_kind_of,
+                is_node):
+    """Normalize a lowered expression tree to ``(c0, {var: coeff})``.
+
+    ``atom(name)`` yields the ring term for a loop-invariant variable
+    (or None to reject); ``refs_var(node, v)`` and ``cast_kind_of``
+    supply the caller's tree predicates.  Returns None when the tree is
+    not (recognizably) affine in ``var_names`` — quadratic terms,
+    division, calls.
+    """
+    if not is_node(node):
+        return None
+    p = node.prod
+    ch = node.children
+    if p == "intLit":
+        return ring.const(int(ch[0])), {}
+    if p == "var":
+        nm = ch[0]
+        if nm in var_names:
+            return ring.const(0), {nm: ring.const(1)}
+        term = atom(nm)
+        if term is None:
+            return None
+        return term, {}
+    if p == "binop" and ch[0] in ("+", "-"):
+        a = tree_affine(ch[1], var_names, ring, atom=atom,
+                        refs_var=refs_var, cast_kind_of=cast_kind_of,
+                        is_node=is_node)
+        b = tree_affine(ch[2], var_names, ring, atom=atom,
+                        refs_var=refs_var, cast_kind_of=cast_kind_of,
+                        is_node=is_node)
+        if a is None or b is None:
+            return None
+        return combine(ring, ch[0], a, b)
+    if p == "binop" and ch[0] == "*":
+        l_lin = any(refs_var(ch[1], v) for v in var_names)
+        r_lin = any(refs_var(ch[2], v) for v in var_names)
+        if l_lin and r_lin:
+            return None  # quadratic
+        lin_node, inv_node = (ch[2], ch[1]) if r_lin else (ch[1], ch[2])
+        lin = tree_affine(lin_node, var_names, ring, atom=atom,
+                          refs_var=refs_var, cast_kind_of=cast_kind_of,
+                          is_node=is_node)
+        inv = tree_affine(inv_node, var_names, ring, atom=atom,
+                          refs_var=refs_var, cast_kind_of=cast_kind_of,
+                          is_node=is_node)
+        if lin is None or inv is None or inv[1]:
+            return None
+        return scale(ring, lin, inv[0])
+    if p == "unop" and ch[0] == "-":
+        a = tree_affine(ch[1], var_names, ring, atom=atom,
+                        refs_var=refs_var, cast_kind_of=cast_kind_of,
+                        is_node=is_node)
+        if a is None:
+            return None
+        return negate(ring, a)
+    if p == "castE":
+        # int (or no-op) casts are the identity on affine integer forms
+        if cast_kind_of(ch[0]) in (None, "int"):
+            return tree_affine(ch[1], var_names, ring, atom=atom,
+                               refs_var=refs_var, cast_kind_of=cast_kind_of,
+                               is_node=is_node)
+        return None
+    return None
+
+
+def nest_injective(active) -> bool:
+    """Injectivity of an affine index over a rectangular grid: sort the
+    axes by |stride| and require each stride to clear the whole value
+    span of the axes below it (blocks must nest, not interleave).
+    ``active`` is ``[(|coeff*step|, trip_count), ...]`` for every
+    multi-trip axis with a nonzero coefficient."""
+    span = 0
+    for stride, count in sorted(active):
+        if stride <= span:
+            return False
+        span += stride * (count - 1)
+    return True
+
+
+def ssa_affine_mul(ins, basics, invariant):
+    """Recognize the degenerate SSA affine form ``(0, {iv: k})`` — a
+    single multiply of a basic induction variable by a loop-invariant
+    value.  Returns ``(iv_vid, k_value)`` or None."""
+    a, b = ins.args
+    for iv, k in ((a, b), (b, a)):
+        vid = getattr(iv, "vid", None)
+        if vid in basics and invariant(k):
+            return vid, k
+    return None

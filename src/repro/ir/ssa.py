@@ -1,0 +1,351 @@
+"""SSA construction / destruction over :mod:`repro.ir.tac` (S28).
+
+Construction is the textbook dominance-frontier algorithm: phi
+placement at the iterated frontier of each slot's definition blocks,
+then dominator-tree renaming.  Every slot is treated as defined at
+entry — parameters by their incoming values, everything else by a
+per-function ``undef`` value — so phis are always fully populated and
+paths that never initialize a local (which lowering's definite
+zero-init makes unobservable anyway) stay representable.
+
+Destruction goes through edge copies: critical edges were split during
+decode, so each phi's per-predecessor copy lands at the end of that
+predecessor, sequentialized as a *parallel* copy group (cycles broken
+with one temporary).  Register compaction then runs liveness — via the
+generic gen/kill worklist solver from :mod:`repro.analysis.dataflow`
+(PR 5), duck-typing the TAC CFG into its block protocol — and colors
+the interference graph greedily with phi-affinity bias, so most phi
+copies collapse into no-ops.  Frame slots referenced by embedded
+``fastloop`` plans are reserved, and ``spawn`` destinations get
+dedicated slots for the whole frame lifetime (a pooled task may write
+its result cell at any moment up to the ``sync``)."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.dataflow import GenKill, solve_genkill
+
+from repro.ir.tac import Instr, TACFunc, Value
+
+
+def _slot_defs(fn: TACFunc):
+    """slot -> set of block ids that (re)define it."""
+    defs: dict[int, set[int]] = {}
+    for b in fn.blocks.values():
+        for ins in b.instrs:
+            if ins.dest is not None:
+                defs.setdefault(ins.dest, set()).add(b.bid)
+    return defs
+
+
+def build_ssa(fn: TACFunc) -> None:
+    """Rewrite ``fn`` in place: slot ints -> :class:`Value` operands,
+    phis inserted at join points.  Parameter values get vids
+    ``1..len(params)`` (vid 0 is the undef value)."""
+    idom = fn.dominators()
+    df = fn.dominance_frontiers(idom)
+    tree = fn.dom_tree(idom)
+    reachable = set(idom)
+
+    fn.undef = fn.new_value(None)
+    entry_vals: dict[int, Value] = {}
+    for i, _p in enumerate(fn.params):
+        entry_vals[i + 1] = fn.new_value(i + 1)
+
+    # -- phi placement (iterated dominance frontier per slot) ---------------
+    phis_of: dict[int, dict[int, Instr]] = {b: {} for b in fn.blocks}
+    for slot, def_blocks in _slot_defs(fn).items():
+        work = [b for b in def_blocks if b in reachable] + [fn.entry]
+        onto: set[int] = set()
+        while work:
+            d = work.pop()
+            for f in df.get(d, ()):
+                if f in onto:
+                    continue
+                onto.add(f)
+                nb = fn.blocks[f]
+                phi = Instr("phi", slot,
+                            [None] * len(nb.preds),
+                            {"slot": slot, "preds": list(nb.preds)})
+                phis_of[f][slot] = phi
+                work.append(f)
+    for bid, phis in phis_of.items():
+        if phis:
+            b = fn.blocks[bid]
+            b.instrs[:0] = [phis[s] for s in sorted(phis)]
+
+    # -- renaming -----------------------------------------------------------
+    stacks: dict[int, list[Value]] = {}
+
+    def top(slot: int) -> Value:
+        st = stacks.get(slot)
+        if st:
+            return st[-1]
+        return entry_vals.get(slot, fn.undef)
+
+    def rename(bid: int) -> None:
+        b = fn.blocks[bid]
+        pushed: list[int] = []
+        for ins in b.instrs:
+            if ins.op != "phi":
+                ins.args = [top(a) for a in ins.args]
+            if ins.dest is not None:
+                slot = ins.dest
+                v = fn.new_value(slot)
+                ins.dest = v
+                stacks.setdefault(slot, []).append(v)
+                pushed.append(slot)
+        t = b.term
+        if t is not None and t.args:
+            t.args = [top(a) if not isinstance(a, Value) else a
+                      for a in t.args]
+        for s in b.succs:
+            sb = fn.blocks[s]
+            for phi in sb.instrs:
+                if phi.op != "phi":
+                    break
+                for k, p in enumerate(phi.extra["preds"]):
+                    if p == bid and phi.args[k] is None:
+                        phi.args[k] = top(phi.extra["slot"])
+                        break
+        for kid in tree.get(bid, ()):
+            rename(kid)
+        for slot in pushed:
+            stacks[slot].pop()
+
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old, len(fn.blocks) * 4 + 100))
+    try:
+        rename(fn.entry)
+    finally:
+        sys.setrecursionlimit(old)
+
+    # any phi operand still None comes from an unreachable predecessor
+    for b in fn.blocks.values():
+        for phi in b.instrs:
+            if phi.op != "phi":
+                break
+            phi.args = [a if a is not None else fn.undef for a in phi.args]
+
+
+# -- out of SSA --------------------------------------------------------------
+
+
+def _sequentialize(copies: list[tuple[int, int]], tmp: int):
+    """Order parallel ``dst <- src`` register copies; break cycles with
+    ``tmp``.  Returns a list of sequential ``(dst, src)`` moves."""
+    pending = {d: s for d, s in copies if d != s}
+    out: list[tuple[int, int]] = []
+    while pending:
+        # emit every copy whose destination nobody still needs to read
+        ready = [d for d in pending if d not in pending.values()]
+        if ready:
+            for d in ready:
+                out.append((d, pending.pop(d)))
+            continue
+        # pure cycle: rotate through the temporary
+        start, s0 = next(iter(pending.items()))
+        out.append((tmp, start))
+        # walk the cycle backwards: each dst takes its src, the dst
+        # whose src was `start` takes the temp.
+        chain = [start]
+        d = s0
+        while d != start:
+            chain.append(d)
+            d = pending[d]
+        for d in chain[:-1]:
+            out.append((d, pending.pop(d)))
+        out.append((chain[-1], tmp))
+        pending.pop(chain[-1])
+    return out
+
+
+class _BlockMap(dict):
+    """bid -> block mapping that *iterates values* (the protocol
+    :func:`repro.analysis.dataflow._neighbors` expects of
+    ``cfg.blocks``)."""
+
+    def __iter__(self):
+        return iter(self.values())
+
+
+class _LiveCFG:
+    """Duck-typed adapter: TAC blocks + a synthetic exit, speaking the
+    :mod:`repro.analysis.cfg` block protocol for the worklist solver."""
+
+    class _B:
+        __slots__ = ("bid", "preds", "succs")
+
+        def __init__(self, bid, preds, succs):
+            self.bid = bid
+            self.preds = preds
+            self.succs = [(s, None) for s in succs]
+
+    def __init__(self, fn: TACFunc):
+        reachable = set(fn.rpo())
+        self.exit = -1
+        rets = [b for b in reachable if not fn.blocks[b].succs]
+        bl = [self._B(b,
+                      [p for p in fn.blocks[b].preds if p in reachable],
+                      fn.blocks[b].succs + ([self.exit] if b in rets else []))
+              for b in sorted(reachable)]
+        bl.append(self._B(self.exit, rets, []))
+        self.blocks = _BlockMap((b.bid, b) for b in bl)
+        self.entry = fn.entry
+        self._order = fn.rpo() + [self.exit]
+
+    def rpo(self):
+        return self._order
+
+
+class _Raw:
+    """A pre-colored operand (edge-copy moves emitted post-coloring)."""
+
+    __slots__ = ("slot",)
+
+    def __init__(self, slot: int):
+        self.slot = slot
+
+
+def destroy_ssa(fn: TACFunc):
+    """Replace phis with edge copies over virtual registers, run
+    liveness + interference coloring, and return ``(reg, nregs)`` for
+    :func:`repro.ir.tac.linearize`."""
+    reachable = set(fn.rpo())
+    blocks = [fn.blocks[b] for b in sorted(reachable)]
+
+    # 1. virtual registers: one per SSA value (undef gets none)
+    vreg: dict[int, int] = {}
+
+    def vr(v: Value) -> int | None:
+        if v is fn.undef:
+            return None
+        r = vreg.get(v.vid)
+        if r is None:
+            r = vreg[v.vid] = len(vreg)
+        return r
+
+    # 2. phi -> parallel copy groups at predecessor ends
+    affinity: dict[int, set[int]] = {}
+    edge_copies: dict[int, list[tuple[int, int]]] = {}
+    for b in blocks:
+        phis = [i for i in b.instrs if i.op == "phi"]
+        if not phis:
+            continue
+        b.instrs = [i for i in b.instrs if i.op != "phi"]
+        for k, p in enumerate(phis[0].extra["preds"]):
+            if p not in reachable:
+                continue
+            group = edge_copies.setdefault(p, [])
+            for phi in phis:
+                src = phi.args[k]
+                if src is fn.undef:
+                    continue  # never-initialized path: cell never read
+                d, s = vr(phi.dest), vr(src)
+                group.append((d, s))
+                affinity.setdefault(d, set()).add(s)
+                affinity.setdefault(s, set()).add(d)
+
+    # 3. per-block (uses, def) sequences over vregs, copies included
+    seqs: dict[int, list[tuple[list[int], int | None]]] = {}
+    gk: dict[int, GenKill] = {}
+    for b in blocks:
+        seq: list[tuple[list[int], int | None]] = []
+        for ins in b.instrs:
+            srcs = [vr(a) for a in ins.args if isinstance(a, Value)]
+            seq.append(([s for s in srcs if s is not None],
+                        vr(ins.dest) if ins.dest is not None else None))
+        for d, s in edge_copies.get(b.bid, ()):
+            seq.append(([s], d))
+        if b.term is not None:
+            srcs = [vr(a) for a in b.term.args if isinstance(a, Value)]
+            seq.append(([s for s in srcs if s is not None], None))
+        seqs[b.bid] = seq
+        gen: set[int] = set()
+        kill: set[int] = set()
+        for srcs, d in seq:
+            gen.update(s for s in srcs if s not in kill)
+            if d is not None:
+                kill.add(d)
+        gk[b.bid] = GenKill(frozenset(gen), frozenset(kill))
+
+    # backward may-analysis: live[bid] = (live-out, live-in)
+    live = solve_genkill(_LiveCFG(fn), gk, direction="backward")
+
+    # 4. interference by backward walk; spawn destinations conflict with
+    # everything (their cell may be written until the final sync)
+    neigh: dict[int, set[int]] = {r: set() for r in range(len(vreg))}
+
+    def interfere(a: int, others) -> None:
+        na = neigh[a]
+        for o in others:
+            if o != a:
+                na.add(o)
+                neigh[o].add(a)
+
+    for b in blocks:
+        lv = set(live[b.bid][0]) if b.bid in live else set()
+        for srcs, d in reversed(seqs[b.bid]):
+            if d is not None:
+                interfere(d, lv)
+                lv.discard(d)
+            lv.update(srcs)
+
+    spawn_regs = {vr(ins.dest) for b in blocks for ins in b.instrs
+                  if ins.op == "spawn" and ins.dest is not None}
+    for sr in spawn_regs:
+        interfere(sr, [r for r in neigh if r != sr])
+
+    # 5. greedy coloring with phi-affinity bias.  Params precolored to
+    # slots 1..n; slot 0 (return) and fastloop-pinned slots reserved.
+    nparams = len(fn.params)
+    reserved = set(fn.pinned_slots) | {0}
+    color: dict[int, int] = {}
+    for v in fn.values[1:nparams + 1]:      # the entry parameter values
+        r = vreg.get(v.vid)
+        if r is not None:
+            color[r] = v.slot
+
+    def pick(r: int) -> int:
+        taken = {color[x] for x in neigh.get(r, ()) if x in color}
+        for partner in affinity.get(r, ()):
+            c = color.get(partner)
+            if c is not None and c not in taken and c not in reserved \
+                    and c > nparams:
+                return c
+        c = nparams + 1
+        while c in taken or c in reserved:
+            c += 1
+        return c
+
+    for r in sorted(neigh, key=lambda x: -len(neigh[x])):
+        if r not in color:
+            color[r] = pick(r)
+
+    nregs = max([nparams + 1] + [c + 1 for c in color.values()] +
+                [s + 1 for s in reserved])
+    tmp = nregs            # shared cycle-breaking / undef scratch slot
+    nregs += 1
+
+    # 6. materialize edge copies as sequential moves at block ends
+    for bid, group in edge_copies.items():
+        b = fn.blocks[bid]
+        regs = [(color[d], color[s]) for d, s in group]
+        for d, s in _sequentialize(regs, tmp):
+            if d != s:
+                b.instrs.append(Instr("move", _Raw(d), (_Raw(s),)))
+
+    def reg(x) -> int:
+        if isinstance(x, _Raw):
+            return x.slot
+        if isinstance(x, Value):
+            if x is fn.undef:
+                # an operand on a never-initialized path: any cell does —
+                # lowering zero-inits every declaration, so a real read
+                # of this register cannot occur.
+                return tmp
+            return color[vreg[x.vid]]
+        raise TypeError(f"unrenamed operand {x!r}")
+
+    return reg, nregs

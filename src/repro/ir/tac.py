@@ -1,0 +1,554 @@
+"""Three-address-code IR over the register bytecode (S28).
+
+``cexec.bytecode`` already lowers trees to flat three-address register
+code — `(op, dest, operands...)` tuples over frame slots — so the
+mid-level IR decodes *that* vocabulary instead of inventing a second
+one: every IR instruction corresponds to exactly one VM opcode with the
+VM's own semantics (``c_div`` trapping, float32 narrowing, short-circuit
+jumps already resolved).  This module provides the structural layer:
+
+* :func:`decode` — split a :class:`~repro.cexec.bytecode.Code` into
+  basic blocks with explicit terminators and build the CFG;
+* dominators / dominance frontiers / natural loops on that CFG (the
+  same iterative worklist style as :mod:`repro.analysis.cfg`, which
+  handles the *tree-level* CFGs; this one is register-level);
+* CFG normalization — synthetic entry, critical-edge splitting, loop
+  preheaders, and ``fastloop`` done-edge stubs — done *before* SSA
+  construction so :mod:`repro.ir.ssa` never has to edit edges under
+  phis;
+* :func:`linearize` — re-emit an optimized function as a flat
+  :class:`Code`, resolving block targets back to jump offsets.
+
+``fastloop`` needs special care: its guarded numpy plan closures
+capture *frame slot numbers* at tree-compile time (see
+:mod:`repro.cexec.loopfast`), so the IR models it as an opaque two-way
+terminator that reads a declared set of pinned slots and (on the
+"whole loop vectorized" edge) defines its accumulator slots through
+synthetic ``flacc`` instructions in a stub block on that edge.  At
+linearization the pinned slots are reserved from register allocation
+and refreshed with ``move``s right before the instruction, so the plan
+always sees exactly the values the unoptimized program would have had
+in those slots.
+"""
+
+from __future__ import annotations
+
+from repro.cexec.bytecode import Code
+
+# -- opcode classification ---------------------------------------------------
+
+BINOPS = frozenset(["+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!="])
+UNOPS = frozenset(["move", "neg", "not", "bool", "cast_int", "cast_f32"])
+LOADS = frozenset(["rt_getf", "rt_geti"])
+STORES = frozenset(["rt_setf", "rt_seti"])
+TERMINATORS = frozenset(["jmp", "jz", "jnz", "ret", "ret_none", "fastloop"])
+
+#: Pure ops: result depends only on operand *values*; safe to merge by
+#: value number when the first occurrence dominates the second.  Note
+#: ``/ % cast_int cast_f32 rt_dim tget`` may trap, but dominance makes
+#: CSE of them sound (the surviving occurrence traps first, or neither
+#: does).  ``rt_dim``/``rt_size`` are pure because an ``RTMat``'s dims
+#: tuple is immutable — rebinding a matrix variable yields a *new* SSA
+#: value, so the value-number key changes with it.
+PURE = BINOPS | frozenset([
+    "const", "move", "neg", "not", "bool", "cast_int", "cast_f32",
+    "rt_dim", "rt_size", "tuple", "tget"])
+
+#: Pure *and* unable to raise on any operand the type-checked programs
+#: can produce (int/float scalars): safe to speculate — execute on a
+#: path the original program would not have taken (LICM hoisting past a
+#: zero-trip loop guard).  Casts are excluded (``int(nan)`` and
+#: ``float32(10**400)`` raise), as are ``/ %`` (trap) and everything
+#: touching matrices.
+SPECULATABLE = frozenset([
+    "const", "move", "neg", "not", "bool", "tuple",
+    "+", "-", "*", "<", "<=", ">", ">=", "==", "!="])
+
+#: Instructions that must never be removed, merged, or moved: visible
+#: effects, control, or reads of asynchronously-written frame cells.
+EFFECTS = STORES | frozenset([
+    "rc_inc", "rc_dec", "intr", "call", "pool", "spawn", "sync"])
+
+
+class Value:
+    """One SSA value.  ``slot`` remembers the frame slot the value was
+    homed in by the original compiler (a debugging/pinning hint)."""
+
+    __slots__ = ("vid", "slot")
+
+    def __init__(self, vid: int, slot: int | None = None):
+        self.vid = vid
+        self.slot = slot
+
+    def __repr__(self):  # pragma: no cover - debugging
+        return f"v{self.vid}"
+
+
+class Instr:
+    """One IR instruction.
+
+    ``dest`` / ``args`` hold frame-slot ints after :func:`decode` and
+    :class:`Value` objects once SSA renaming has run.  ``extra`` is the
+    opcode-specific immediate payload: const value, intrinsic/callee
+    name, tuple index, fastloop plan, phi predecessor list, or the
+    pinned frame slot of a ``flacc``.
+    """
+
+    __slots__ = ("op", "dest", "args", "extra")
+
+    def __init__(self, op, dest=None, args=(), extra=None):
+        self.op = op
+        self.dest = dest
+        self.args = list(args)
+        self.extra = extra
+
+    def __repr__(self):  # pragma: no cover - debugging
+        return f"<{self.op} {self.dest} {self.args}>"
+
+
+class Block:
+    """Basic block: straight-line instrs plus one terminator.
+
+    ``succs`` are block ids; for ``jz``/``jnz`` the order is
+    ``[taken, fallthrough]``, for ``fastloop`` ``[done, scalar]``.
+    ``key`` is the layout sort hint used by :func:`linearize` (original
+    blocks keep their bytecode offset; synthetic blocks are given
+    fractional keys next to their anchor).
+    """
+
+    __slots__ = ("bid", "instrs", "term", "succs", "preds", "key")
+
+    def __init__(self, bid: int, key: float):
+        self.bid = bid
+        self.instrs: list[Instr] = []
+        self.term: Instr | None = None
+        self.succs: list[int] = []
+        self.preds: list[int] = []
+        self.key = key
+
+    def phis(self):
+        return [i for i in self.instrs if i.op == "phi"]
+
+
+class TACFunc:
+    """One function in IR form, plus the CFG-derived analyses."""
+
+    def __init__(self, name: str, params: list[str], nregs: int):
+        self.name = name
+        self.params = params
+        self.nregs = nregs            # original frame size (slot space)
+        self.blocks: dict[int, Block] = {}
+        self.entry = 0
+        self._next_bid = 0
+        #: frame slots referenced by embedded fastloop plans — reserved
+        #: from register compaction for the function's whole lifetime.
+        self.pinned_slots: set[int] = set()
+        self.values: list[Value] = []
+        self.undef: Value | None = None
+
+    # -- construction helpers ------------------------------------------------
+
+    def new_block(self, key: float) -> Block:
+        b = Block(self._next_bid, key)
+        self._next_bid += 1
+        self.blocks[b.bid] = b
+        return b
+
+    def new_value(self, slot: int | None = None) -> Value:
+        v = Value(len(self.values), slot)
+        self.values.append(v)
+        return v
+
+    def compute_preds(self) -> None:
+        for b in self.blocks.values():
+            b.preds = []
+        for b in self.blocks.values():
+            for s in b.succs:
+                self.blocks[s].preds.append(b.bid)
+
+    # -- orders and dominance ------------------------------------------------
+
+    def rpo(self) -> list[int]:
+        """Reverse postorder over reachable blocks, entry first."""
+        seen = {self.entry}
+        post: list[int] = []
+        stack: list[tuple[int, int]] = [(self.entry, 0)]
+        while stack:
+            bid, i = stack.pop()
+            succs = self.blocks[bid].succs
+            if i < len(succs):
+                stack.append((bid, i + 1))
+                nxt = succs[i]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                post.append(bid)
+        return list(reversed(post))
+
+    def dominators(self) -> dict[int, int | None]:
+        """Immediate dominators (Cooper-Harvey-Kennedy iterative)."""
+        order = self.rpo()
+        index = {b: i for i, b in enumerate(order)}
+        idom: dict[int, int | None] = {self.entry: self.entry}
+
+        def intersect(a: int, b: int) -> int:
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]
+                while index[b] > index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for bid in order[1:]:
+                preds = [p for p in self.blocks[bid].preds if p in idom]
+                if not preds:
+                    continue
+                new = preds[0]
+                for p in preds[1:]:
+                    new = intersect(new, p)
+                if idom.get(bid) != new:
+                    idom[bid] = new
+                    changed = True
+        idom[self.entry] = None
+        return idom
+
+    def dom_tree(self, idom) -> dict[int, list[int]]:
+        kids: dict[int, list[int]] = {b: [] for b in idom}
+        for b, d in idom.items():
+            if d is not None:
+                kids[d].append(b)
+        for k in kids.values():
+            k.sort(key=lambda b: self.blocks[b].key)
+        return kids
+
+    def dominance_frontiers(self, idom) -> dict[int, set[int]]:
+        df: dict[int, set[int]] = {b: set() for b in idom}
+        for bid in idom:
+            preds = [p for p in self.blocks[bid].preds if p in idom]
+            if len(preds) < 2:
+                continue
+            for p in preds:
+                runner = p
+                while runner is not None and runner != idom[bid]:
+                    df[runner].add(bid)
+                    runner = idom[runner]
+        return df
+
+    def dominates(self, idom, a: int, b: int) -> bool:
+        while b is not None:
+            if a == b:
+                return True
+            b = idom.get(b)
+        return False
+
+    def natural_loops(self, idom) -> list[tuple[int, frozenset[int]]]:
+        """``(header, body)`` for each natural loop (back edges with the
+        same header merged), innermost first."""
+        loops: dict[int, set[int]] = {}
+        for b in self.rpo():
+            for s in self.blocks[b].succs:
+                if s in idom and self.dominates(idom, s, b):
+                    body = loops.setdefault(s, {s})
+                    stack = [b]
+                    while stack:
+                        x = stack.pop()
+                        if x in body:
+                            continue
+                        body.add(x)
+                        stack.extend(p for p in self.blocks[x].preds
+                                     if p in idom)
+        return sorted(((h, frozenset(body)) for h, body in loops.items()),
+                      key=lambda hb: len(hb[1]))
+
+
+# -- decoding ----------------------------------------------------------------
+
+
+def _decode_instr(ins: tuple) -> Instr:
+    op = ins[0]
+    if op == "const":
+        return Instr(op, ins[1], (), ins[2])
+    if op in UNOPS:
+        return Instr(op, ins[1], (ins[2],))
+    if op in BINOPS or op in LOADS or op == "rt_dim":
+        return Instr(op, ins[1], (ins[2], ins[3]))
+    if op == "rt_size":
+        return Instr(op, ins[1], (ins[2],))
+    if op in STORES:
+        return Instr(op, None, (ins[1], ins[2], ins[3]))
+    if op in ("rc_inc", "rc_dec"):
+        return Instr(op, None, (ins[1],))
+    if op in ("intr", "call"):
+        return Instr(op, ins[1], tuple(ins[3]), ins[2])
+    if op == "spawn":
+        return Instr(op, ins[1], tuple(ins[3]), ins[2])
+    if op == "tuple":
+        return Instr(op, ins[1], tuple(ins[2]))
+    if op == "tget":
+        return Instr(op, ins[1], (ins[2],), ins[3])
+    if op == "pool":
+        return Instr(op, None, (ins[2],) + tuple(ins[3]), ins[1])
+    if op == "sync":
+        return Instr(op)
+    raise ValueError(f"cannot decode opcode {op!r}")
+
+
+def _encode_instr(ins: Instr, reg) -> tuple:
+    op = ins.op
+    if op == "const":
+        return (op, reg(ins.dest), ins.extra)
+    if op in UNOPS:
+        return (op, reg(ins.dest), reg(ins.args[0]))
+    if op in BINOPS or op in LOADS or op == "rt_dim":
+        return (op, reg(ins.dest), reg(ins.args[0]), reg(ins.args[1]))
+    if op == "rt_size":
+        return (op, reg(ins.dest), reg(ins.args[0]))
+    if op in STORES:
+        return (op, reg(ins.args[0]), reg(ins.args[1]), reg(ins.args[2]))
+    if op in ("rc_inc", "rc_dec"):
+        return (op, reg(ins.args[0]))
+    if op in ("intr", "call"):
+        return (op, reg(ins.dest), ins.extra, tuple(reg(a) for a in ins.args))
+    if op == "spawn":
+        return (op, None if ins.dest is None else reg(ins.dest), ins.extra,
+                tuple(reg(a) for a in ins.args))
+    if op == "tuple":
+        return (op, reg(ins.dest), tuple(reg(a) for a in ins.args))
+    if op == "tget":
+        return (op, reg(ins.dest), reg(ins.args[0]), ins.extra)
+    if op == "pool":
+        return (op, ins.extra, reg(ins.args[0]),
+                tuple(reg(a) for a in ins.args[1:]))
+    if op == "sync":
+        return (op,)
+    raise ValueError(f"cannot encode opcode {op!r}")
+
+
+def decode(code: Code) -> TACFunc:
+    """Split flat bytecode into a normalized CFG (see module docstring:
+    synthetic entry, fastloop stubs, split critical edges, preheaders)."""
+    instrs = code.instrs
+    n = len(instrs)
+
+    # 1. leaders
+    leaders = {0}
+    for i, ins in enumerate(instrs):
+        op = ins[0]
+        if op in ("jmp", "jz", "jnz", "fastloop"):
+            t = ins[-1]
+            if t < n:
+                leaders.add(t)
+            if op != "jmp" and i + 1 < n:
+                leaders.add(i + 1)
+            if op == "jmp" and i + 1 < n:
+                leaders.add(i + 1)
+        elif op in ("ret", "ret_none") and i + 1 < n:
+            leaders.add(i + 1)
+
+    fn = TACFunc(code.name, list(code.params), code.nregs)
+    starts = sorted(leaders)
+    block_at: dict[int, Block] = {}
+    for s in starts:
+        block_at[s] = fn.new_block(float(s))
+    # jumps may target one-past-the-end: falling off the code is an
+    # implicit ret_none, so give that offset a real block (pruned when
+    # nothing reaches it).
+    endb = fn.new_block(float(n))
+    endb.term = Instr("ret_none")
+    block_at[n] = endb
+
+    # 2. fill blocks
+    bounds = starts + [n]
+    for k, s in enumerate(starts):
+        b = block_at[s]
+        e = bounds[k + 1]
+        i = s
+        while i < e:
+            ins = instrs[i]
+            op = ins[0]
+            if op == "jmp":
+                b.term = Instr("jmp")
+                b.succs = [block_at[ins[1]].bid]
+                break
+            if op in ("jz", "jnz"):
+                b.term = Instr(op, None, (ins[1],))
+                b.succs = [block_at[ins[2]].bid,
+                           block_at[i + 1 if i + 1 < n else n].bid]
+                break
+            if op == "ret":
+                b.term = Instr(op, None, (ins[1],))
+                b.succs = []
+                break
+            if op == "ret_none":
+                b.term = Instr(op)
+                b.succs = []
+                break
+            if op == "fastloop":
+                plan = ins[1]
+                reads = sorted(getattr(plan, "read_slots", None) or
+                               range(code.nregs))
+                accs = sorted(getattr(plan, "write_slots", ()) or ())
+                fn.pinned_slots.update(reads)
+                fn.pinned_slots.update(accs)
+                # stub block on the done edge: flacc defs re-import the
+                # accumulator slots the plan wrote behind the IR's back.
+                stub = fn.new_block(float(ins[2]) - 0.25)
+                for s_acc in accs:
+                    stub.instrs.append(
+                        Instr("flacc", s_acc, (), s_acc))
+                stub.term = Instr("jmp")
+                stub.succs = [block_at[ins[2]].bid]
+                b.term = Instr("fastloop", None, tuple(reads),
+                               {"plan": plan, "reads": reads, "accs": accs})
+                if i + 1 >= n:
+                    raise ValueError("fastloop at end of code")
+                b.succs = [stub.bid, block_at[i + 1].bid]
+                break
+            b.instrs.append(_decode_instr(ins))
+            i += 1
+        else:
+            # fell off the block end: explicit jump to the next block
+            # (or implicit function end == ret_none fallthrough).
+            if e < n:
+                b.term = Instr("jmp")
+                b.succs = [block_at[e].bid]
+            else:
+                b.term = Instr("ret_none")
+                b.succs = []
+
+    # 3. synthetic entry (keeps "loop header == first block" cases sane)
+    first = block_at[0]
+    entry = fn.new_block(-1.0)
+    entry.term = Instr("jmp")
+    entry.succs = [first.bid]
+    fn.entry = entry.bid
+    fn.compute_preds()
+
+    _split_critical_edges(fn)
+    _insert_preheaders(fn)
+    _prune_unreachable(fn)
+    return fn
+
+
+def _prune_unreachable(fn: TACFunc) -> None:
+    """Drop blocks the entry cannot reach (dead bytecode after returns,
+    jump-only diamonds): SSA renaming walks the dominator tree, so only
+    reachable blocks get values — the passes must never see the rest."""
+    live = set(fn.rpo())
+    for bid in list(fn.blocks):
+        if bid not in live:
+            del fn.blocks[bid]
+    fn.compute_preds()
+
+
+def _split_edge(fn: TACFunc, u: Block, pos: int) -> Block:
+    """Insert an empty block on the ``pos``-th out-edge of ``u``."""
+    v = fn.blocks[u.succs[pos]]
+    mid = fn.new_block(u.key + 0.01 * (pos + 1) + 0.001 * v.key / 1e6)
+    mid.term = Instr("jmp")
+    mid.succs = [v.bid]
+    u.succs[pos] = mid.bid
+    return mid
+
+
+def _split_critical_edges(fn: TACFunc) -> None:
+    for bid in list(fn.blocks):
+        u = fn.blocks[bid]
+        if len(u.succs) < 2:
+            continue
+        for pos in range(len(u.succs)):
+            v = fn.blocks[u.succs[pos]]
+            if len(v.preds) > 1:
+                _split_edge(fn, u, pos)
+    fn.compute_preds()
+
+
+def _insert_preheaders(fn: TACFunc) -> None:
+    """Give every natural loop a dedicated outside-edge block placed
+    just before the header (LICM's hoist target)."""
+    idom = fn.dominators()
+    for header, body in fn.natural_loops(idom):
+        h = fn.blocks[header]
+        outside = [p for p in h.preds if p not in body]
+        if len(outside) == 1 and len(fn.blocks[outside[0]].succs) == 1:
+            continue  # already a dedicated preheader
+        pre = fn.new_block(h.key - 0.5)
+        pre.term = Instr("jmp")
+        pre.succs = [header]
+        for p in set(outside):
+            pb = fn.blocks[p]
+            pb.succs = [pre.bid if s == header and p not in body else s
+                        for s in pb.succs]
+        fn.compute_preds()
+        idom = fn.dominators()
+
+
+# -- linearization -----------------------------------------------------------
+
+
+def linearize(fn: TACFunc, reg, nregs: int) -> Code:
+    """Emit a :class:`Code` from a (post-SSA) function.  ``reg`` maps a
+    ``dest``/``args`` entry to its final frame slot.  Fallthrough edges
+    that cannot be laid out adjacently get a jump trampoline."""
+    order = [bid for bid in sorted(fn.blocks,
+                                   key=lambda b: fn.blocks[b].key)
+             if bid in set(fn.rpo())]
+    code = Code(fn.name, list(fn.params), nregs)
+    out = code.instrs
+    placeholders: list[tuple[int, int]] = []   # (instr index, block id)
+    start_of: dict[int, int] = {}
+
+    for k, bid in enumerate(order):
+        b = fn.blocks[bid]
+        start_of[bid] = len(out)
+        for ins in b.instrs:
+            if ins.op == "flacc":
+                # the plan left the value in its pinned slot; import it
+                # into the value's allocated register.
+                if reg(ins.dest) != ins.extra:
+                    out.append(("move", reg(ins.dest), ins.extra))
+                continue
+            if ins.op == "nop":
+                continue
+            out.append(_encode_instr(ins, reg))
+        t = b.term
+        nxt = order[k + 1] if k + 1 < len(order) else None
+        if t.op == "jmp":
+            if b.succs[0] != nxt:
+                placeholders.append((len(out), b.succs[0]))
+                out.append(("jmp", -1))
+        elif t.op in ("jz", "jnz"):
+            taken, fall = b.succs
+            placeholders.append((len(out), taken))
+            out.append((t.op, reg(t.args[0]), -1))
+            if fall != nxt:
+                placeholders.append((len(out), fall))
+                out.append(("jmp", -1))
+        elif t.op == "ret":
+            out.append(("ret", reg(t.args[0])))
+        elif t.op == "ret_none":
+            out.append(("ret_none",))
+        elif t.op == "fastloop":
+            ex = t.extra
+            # refresh the pinned slots the plan will read
+            for slot, v in zip(ex["reads"], t.args):
+                r = reg(v)
+                if r != slot:
+                    out.append(("move", slot, r))
+            done, scalar = b.succs
+            placeholders.append((len(out), done))
+            out.append(("fastloop", ex["plan"], -1))
+            if scalar != nxt:
+                placeholders.append((len(out), scalar))
+                out.append(("jmp", -1))
+        else:  # pragma: no cover - decode/linearize move together
+            raise ValueError(f"unknown terminator {t.op!r}")
+
+    for at, bid in placeholders:
+        ins = out[at]
+        out[at] = ins[:-1] + (start_of[bid],)
+    return code

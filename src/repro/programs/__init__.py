@@ -11,6 +11,7 @@ PROGRAMS = {
     "fig4": "fig4_conncomp.xc",
     "fig8": "fig8_eddy_scoring.xc",
     "fig9": "fig9_transformed_mean.xc",
+    "mandelbrot": "mandelbrot.xc",
 }
 
 

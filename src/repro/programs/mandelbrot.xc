@@ -1,0 +1,41 @@
+// Mandelbrot escape-time over a fixed viewport.  Unlike the SSH
+// pipelines, every pixel runs a data-dependent while loop, so nothing
+// here vectorizes: the kernel is pure scalar bytecode dispatch, which
+// makes it the reference workload for the S28 mid-level IR optimizer
+// (constant folding, CSE of the coordinate arithmetic, LICM of the
+// per-row invariants, strength-reduced row offsets).
+int escape(float cr, float ci, int maxIter) {
+    float zr = 0.0;
+    float zi = 0.0;
+    int it = 0;
+    while (it < maxIter && zr * zr + zi * zi <= 4.0) {
+        float t = zr * zr - zi * zi + cr;
+        zi = 2.0 * zr * zi + ci;
+        zr = t;
+        it = it + 1;
+    }
+    return it;
+}
+
+int main() {
+    int h = 40;
+    int w = 60;
+    int maxIter = 80;
+    Matrix int <2> counts = init(Matrix int <2>, h, w);
+    for (int i = 0; i < h; i = i + 1) {
+        for (int j = 0; j < w; j = j + 1) {
+            float cr = 0.0 - 2.0 + 3.0 * (float) j / (float) w;
+            float ci = 0.0 - 1.2 + 2.4 * (float) i / (float) h;
+            counts[i, j] = escape(cr, ci, maxIter);
+        }
+    }
+    int total = 0;
+    for (int i = 0; i < h; i = i + 1) {
+        for (int j = 0; j < w; j = j + 1) {
+            total = total + counts[i, j];
+        }
+    }
+    printInt(total);
+    writeMatrix("mandel.data", counts);
+    return 0;
+}

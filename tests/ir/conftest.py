@@ -1,0 +1,26 @@
+"""Shared helpers for the S28 mid-level IR tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import compile_source
+from repro.cexec.bytecode import BytecodeProgram, compile_function
+
+
+def fn_code(src: str, name: str, exts=("matrix",)):
+    """Compile ``src`` and return the un-optimized :class:`Code` of one
+    function (user-defined or lifted region body)."""
+    cr = compile_source(src, list(exts))
+    assert cr.ok, cr.diagnostics
+    prog = BytecodeProgram(cr.lowered, cr.ctx)
+    table = prog.functions if name in prog.functions else prog.lifted_trees
+    params, body = table[name]
+    return compile_function(name, params, body)
+
+
+@pytest.fixture(autouse=True)
+def strict_ir(monkeypatch):
+    """Internal pipeline bugs must surface as failures here, never as a
+    silent bail-out to the unoptimized code."""
+    monkeypatch.setenv("REPRO_IR_STRICT", "1")

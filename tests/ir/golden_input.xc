@@ -1,0 +1,24 @@
+// Golden input for the `reproc disasm --ir` drift gate.  Small on
+// purpose, but it exercises every pass: a constant expression (fold),
+// variable copies (copyprop), a repeated subexpression (CSE), a
+// short-circuit loop condition (jump threading dissolving the &&
+// diamond), a loop-invariant product (LICM), an induction-variable
+// multiply (strength reduction), and a dead temporary (DCE).
+int kernel(int a, int b, int n) {
+    int scale = 3 * 4;
+    int base = a;
+    int dead = a * 99;
+    int s = 0;
+    int i = 0;
+    while (i < n && s < 100000) {
+        s = s + base * b + base * b;
+        s = s + i * scale;
+        i = i + 1;
+    }
+    return s;
+}
+
+int main() {
+    printInt(kernel(2, 5, 10));
+    return 0;
+}

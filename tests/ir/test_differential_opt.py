@@ -1,0 +1,179 @@
+"""Differential testing: -O2 optimizer vs. -O0 on the bytecode VM.
+
+Mirror of ``tests/cexec/test_vm_differential.py`` one layer down: the
+unoptimized VM is the reference, the S28 pass pipeline is the unit under
+test.  For the whole example corpus and for programs aimed at the
+optimizer's sharp edges (traps, spawn results, fastloop bail paths,
+phi cycles), both opt levels must agree on return codes, stdout, RMAT
+outputs (bit-for-bit), runtime traps, and InterpStats counters.
+
+``REPRO_IR_STRICT`` is forced on (see conftest): an internal optimizer
+crash fails the test instead of silently falling back to -O0 code,
+which would make every comparison here vacuously true.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cminus.env import Optimizations
+from repro.eddy import synthetic_ssh
+from repro.programs import load
+
+from tests.cexec.test_vm_differential import (CILK_FIB, assert_identical,
+                                              run_one)
+
+
+def run_levels(src, exts, inputs=None, outputs=None, nthreads=2):
+    return (run_one("vm", src, exts, inputs, outputs, nthreads,
+                    Optimizations(opt_level=0)),
+            run_one("vm", src, exts, inputs, outputs, nthreads,
+                    Optimizations(opt_level=2)))
+
+
+class TestExampleCorpus:
+    def test_fig1_temporal_mean(self):
+        cube = np.random.default_rng(0).normal(
+            0, 0.5, (6, 8, 12)).astype(np.float32)
+        o0, o2 = run_levels(load("fig1"), ("matrix",), {"ssh.data": cube},
+                            ["means.data"], nthreads=3)
+        assert_identical(o0, o2, "fig1")
+
+    def test_fig4_conncomp(self):
+        rng = np.random.default_rng(9)
+        ssh = rng.normal(0.2, 0.5, (8, 9, 5)).astype(np.float32)
+        dates = np.array([1011990, 1012000, 1012010, 1012020, 1012030],
+                         dtype=np.int32)
+        o0, o2 = run_levels(load("fig4"), ("matrix",),
+                            {"ssh.data": ssh, "dates.data": dates},
+                            ["eddyLabels.data"])
+        assert_identical(o0, o2, "fig4")
+
+    def test_fig8_eddy_pipeline(self):
+        data = synthetic_ssh((5, 6, 32), n_eddies=2, seed=21)
+        o0, o2 = run_levels(load("fig8"), ("matrix",),
+                            {"ssh.data": data.cube}, ["temporalScores.data"])
+        assert_identical(o0, o2, "fig8")
+
+    def test_fig9_transform_annotated(self):
+        c = np.random.default_rng(3).normal(0, 1, (6, 8, 10)).astype(np.float32)
+        o0, o2 = run_levels(load("fig9"), ("matrix", "transform"),
+                            {"ssh.data": c}, ["means.data"])
+        assert_identical(o0, o2, "fig9")
+
+    def test_mandelbrot(self):
+        o0, o2 = run_levels(load("mandelbrot"), ("matrix",), {},
+                            ["mandel.data"])
+        assert_identical(o0, o2, "mandelbrot")
+        assert o0[3] == ["51626"]  # escape-count checksum, pinned
+
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    def test_all_levels_agree(self, level):
+        """-O1 sits between the differential endpoints; it must match
+        -O0 too, not just the default."""
+        cube = np.random.default_rng(7).normal(
+            0, 0.5, (4, 5, 6)).astype(np.float32)
+        base = run_one("vm", load("fig1"), ("matrix",), {"ssh.data": cube},
+                       ["means.data"], 2, Optimizations(opt_level=0))
+        lvl = run_one("vm", load("fig1"), ("matrix",), {"ssh.data": cube},
+                      ["means.data"], 2, Optimizations(opt_level=level))
+        assert_identical(base, lvl, f"fig1 -O{level}")
+
+
+class TestSharpEdges:
+    def test_divide_by_zero_traps_identically(self):
+        src = """
+int main() {
+    int n = 0;
+    printInt(7 / n);
+    return 0;
+}
+"""
+        o0, o2 = run_levels(src, ("matrix",))
+        assert_identical(o0, o2, "div0")
+        assert o0[1] is not None  # both trapped
+
+    def test_loop_guarded_trap_not_speculated(self):
+        """The divide only runs when the loop runs; LICM hoisting it
+        past the n==0 guard would trap at -O2 where -O0 returns."""
+        src = """
+int main() {
+    int z = 0;
+    int s = 0;
+    for (int i = 0; i < 0; i = i + 1) {
+        s = s + 1 / z;
+    }
+    printInt(s);
+    return 0;
+}
+"""
+        o0, o2 = run_levels(src, ("matrix",))
+        assert_identical(o0, o2, "guarded-trap")
+        assert o0[1] is None and o0[3] == ["0"]
+
+    def test_negative_alloc_traps_identically(self):
+        """The dimension is a folded constant expression at -O2, but the
+        trapping init intrinsic is an effect and must still run."""
+        src = """
+int main() {
+    int n = 0 - 2;
+    Matrix int <1> m = init(Matrix int <1>, n);
+    return 0;
+}
+"""
+        o0, o2 = run_levels(src, ("matrix",))
+        assert_identical(o0, o2, "neg-alloc-trap")
+        assert o0[1] is not None
+
+    def test_spawn_sync_fib(self):
+        o0, o2 = run_levels(CILK_FIB, ("matrix", "cilk"))
+        assert_identical(o0, o2, "cilk-fib")
+        assert o0[3] == ["55"]
+
+    def test_fastloop_bail_path(self):
+        """float-typed loop bound bails the fastloop at runtime; the
+        scalar fallback path must also be optimizer-safe."""
+        src = """
+int main() {
+    Matrix float <1> m = init(Matrix float <1>, 8);
+    float lim = 8.0;
+    for (int i = 0; (float) i < lim; i = i + 1) {
+        m[i] = (float) (i * 3);
+    }
+    float s = 0.0;
+    for (int i = 0; i < 8; i = i + 1) {
+        s = s + m[i];
+    }
+    printFloat(s);
+    return 0;
+}
+"""
+        o0, o2 = run_levels(src, ("matrix",))
+        assert_identical(o0, o2, "fastloop-bail")
+
+    def test_integer_overflow_wraps_identically(self):
+        """Folding must use the VM's exact wrapping semantics."""
+        src = """
+int main() {
+    int big = 2147483647;
+    printInt(big + 1);
+    return 0;
+}
+"""
+        o0, o2 = run_levels(src, ("matrix",))
+        assert_identical(o0, o2, "overflow")
+
+    def test_float32_arith_not_reassociated(self):
+        src = """
+int main() {
+    float a = 0.1;
+    float b = 0.2;
+    float c = 0.3;
+    printFloat((a + b) + c);
+    printFloat(a + (b + c));
+    return 0;
+}
+"""
+        o0, o2 = run_levels(src, ("matrix",))
+        assert_identical(o0, o2, "float-assoc")

@@ -1,0 +1,55 @@
+"""The mandelbrot workload: `reproc check` clean + pinned-output golden.
+
+Mandelbrot is the E-IR reference kernel (data-dependent while loop, no
+vectorizable structure), so its behavior is pinned hard: the static
+analyzer must pass it, and the escape counts must never move — the
+checksum and payload digest below were blessed when the program was
+added.  Integer escape counts are exact, so the digest is stable across
+platforms as long as float32 single-rounding semantics hold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cexec.interp import run_program
+from repro.cexec.rmat import read_rmat
+from repro.cli import main
+from repro.programs import load, path_of
+
+TOTAL = "51626"
+SHA256 = "7083a26219f8297a167571101ffef3130356f024fb293d713c3d0d5dd7ea07c7"
+
+
+class TestCheck:
+    def test_reproc_check_clean(self, capsys):
+        rc = main(["check", str(path_of("mandelbrot")), "-x", "matrix"])
+        assert rc == 0
+        assert "no issues" in capsys.readouterr().out
+
+    def test_reproc_check_werror_clean(self, capsys):
+        """No warnings either: --werror must not flip the exit code."""
+        rc = main(["check", str(path_of("mandelbrot")), "-x", "matrix",
+                   "--werror", "--explain-parallel"])
+        assert rc == 0
+
+
+class TestGoldenOutput:
+    def test_library_run_matches_golden(self):
+        rc, outs, _st, ex = run_program(
+            load("mandelbrot"), ["matrix"], output_names=["mandel.data"],
+            nthreads=2)
+        assert rc == 0
+        assert list(ex.stdout) == [TOTAL]
+        arr = outs["mandel.data"]
+        assert arr.dtype.kind == "i" and arr.shape == (40, 60)
+        assert hashlib.sha256(arr.tobytes()).hexdigest() == SHA256
+
+    def test_cli_run_matches_golden(self, tmp_path, capsys):
+        prog = tmp_path / "mandelbrot.xc"
+        prog.write_text(load("mandelbrot"))
+        rc = main([str(prog), "-x", "matrix", "--run", "--engine", "vm"])
+        assert rc == 0
+        assert TOTAL in capsys.readouterr().out
+        arr = read_rmat(tmp_path / "mandel.data")
+        assert hashlib.sha256(arr.tobytes()).hexdigest() == SHA256

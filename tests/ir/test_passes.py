@@ -1,0 +1,252 @@
+"""Per-pass behavior of the S28 optimizer, pinned through ``dump_stages``.
+
+Each test compiles a tiny function whose optimized dump must show (or
+must not show) one specific rewrite.  The dumps use deterministic
+``p0../v0../B0..`` renumbering, so substring assertions are stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import dump_stages
+
+from tests.ir.conftest import fn_code
+
+MAIN = "int main() { return 0; }\n"
+
+
+def opt_of(src: str, name: str = "f", level: int = 2) -> dict[str, str]:
+    return dump_stages(fn_code(src + MAIN, name), level)
+
+
+class TestFolding:
+    def test_constant_multiply_folds(self):
+        stages = opt_of("int f() { int a = 6; int b = 7; return a * b; }")
+        assert "const 42" in stages["opt"]
+        assert " * " not in stages["opt"]
+        assert "fold=" in stages["counts"]
+
+    def test_division_by_zero_never_folds(self):
+        """Folding runs the exact runtime semantics; a trapping divide
+        must stay in the instruction stream so -O2 still traps."""
+        stages = opt_of("int f() { int z = 0; return 7 / z; }")
+        assert " / " in stages["opt"]
+
+    def test_int_times_one_is_identity(self):
+        stages = opt_of("int f(int x) { return x * 1; }")
+        assert " * " not in stages["opt"]
+
+    def test_float_times_one_is_kept(self):
+        """x*1.0 is not an identity under float32 rounding of x."""
+        stages = opt_of("float f(float x) { return x * 1.0; }")
+        assert " * " in stages["opt"]
+
+
+class TestCopyPropagation:
+    def test_chained_copies_collapse_to_param(self):
+        stages = opt_of(
+            "int f(int x) { int y = x; int z = y; return z + z; }")
+        assert "+ p0, p0" in stages["opt"]
+        assert "move" not in stages["opt"]
+
+
+class TestCSE:
+    def test_repeated_expression_computed_once(self):
+        stages = opt_of("int f(int a, int b) { return a * b + a * b; }")
+        assert stages["opt"].count(" * ") == 1
+        assert "cse=" in stages["counts"]
+
+    def test_loads_not_merged_across_store(self):
+        """m[0,0] reloads after the store: memory CSE respects epochs."""
+        src = """
+int f() {
+    Matrix int <2> m = init(Matrix int <2>, 2, 2);
+    m[0, 0] = 3;
+    int a = m[0, 0];
+    m[0, 0] = 4;
+    int b = m[0, 0];
+    return a + b;
+}
+"""
+        stages = opt_of(src)
+        assert stages["opt"].count("rt_geti") == 2
+
+
+class TestJumpThreading:
+    def test_shortcircuit_diamond_enables_cross_block_cse(self):
+        """`cond && e` lowers to a diamond whose false arm feeds const 0
+        into the merge phi.  Threading that arm straight to the exit
+        makes the true arm dominate the loop body, so x*x computed by
+        the condition is CSE-reused by the body instead of recomputed."""
+        src = """
+float f(float x, int n) {
+    float s = 0.0;
+    int i = 0;
+    while (i < n && x * x > s) {
+        s = s + x * x;
+        i = i + 1;
+    }
+    return s;
+}
+"""
+        stages = opt_of(src)
+        assert "thread=" in stages["counts"]
+        # x*x appears once in the whole optimized function (the
+        # condition's), not a second time in the body
+        assert stages["opt"].count("* p0, p0") == 1
+
+    def test_constant_branch_folds_to_jump(self):
+        stages = opt_of("int f(int x) { if (2 < 1) { return x; } "
+                        "return x + 1; }")
+        assert "thread=" in stages["counts"]
+        assert "jz" not in stages["opt"]
+
+    def test_threading_keeps_loop_exit_value(self):
+        """The counter phi is live past the threaded exit edge: its
+        block must not be bypassed, only the decided branch arm."""
+        src = """
+int f(int n, int m) {
+    int i = 0;
+    while (i < n && i < m) { i = i + 1; }
+    return i;
+}
+"""
+        stages = opt_of(src)
+        assert "thread=" in stages["counts"]
+        assert "ret" in stages["opt"]
+
+
+class TestBoolIdentity:
+    def test_bool_of_comparison_erased(self):
+        """Comparisons already produce exact ints 0/1 in the VM, so the
+        && lowering's normalizing `bool` is a no-op the folder drops."""
+        src = """
+int f(int a, int b, int c) {
+    if (a < b && b < c) { return 1; }
+    return 0;
+}
+"""
+        stages = opt_of(src)
+        assert "bool" not in stages["opt"]
+
+    def test_bool_of_arbitrary_int_kept(self):
+        stages = opt_of("int f(int a, int b) { if (a && b) { return 1; } "
+                        "return 0; }")
+        assert "bool" in stages["opt"]
+
+
+class TestLICM:
+    def test_invariant_multiply_hoisted(self):
+        src = """
+int f(int a, int b, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + a * b;
+    }
+    return s;
+}
+"""
+        stages = opt_of(src)
+        assert "licm=" in stages["counts"]
+        # the multiply lands in the preheader: exactly once, before the
+        # first phi-bearing (header) block
+        opt = stages["opt"]
+        assert opt.count("* p0, p1") == 1
+        assert opt.index("* p0, p1") < opt.index("phi")
+
+    def test_trapping_divide_not_hoisted(self):
+        """n==0 runs the loop zero times; hoisting a/b would introduce a
+        divide-by-zero trap that -O0 does not have."""
+        src = """
+int f(int a, int b, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + a / b;
+    }
+    return s;
+}
+"""
+        stages = opt_of(src)
+        opt = stages["opt"]
+        assert opt.index("phi") < opt.index("/ p0, p1")
+
+
+class TestStrengthReduction:
+    def test_iv_times_invariant_becomes_additive(self):
+        src = """
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + i * n;
+    }
+    return s;
+}
+"""
+        stages = opt_of(src)
+        assert "strength=" in stages["counts"]
+        # the loop body carries the derived IV as an add, not a multiply
+        opt = stages["opt"]
+        body = opt[opt.index("phi"):]
+        assert " * " not in body
+
+
+class TestDCE:
+    def test_dead_multiply_removed(self):
+        stages = opt_of(
+            "int f(int a, int b) { int dead = a * b; return a + b; }")
+        assert " * " not in stages["opt"]
+        assert "dce=" in stages["counts"]
+
+    def test_effectful_dead_value_kept(self):
+        """A call whose result is unused still runs (it may print)."""
+        src = """
+int noisy() { printInt(1); return 2; }
+int f() { int unused = noisy(); return 0; }
+"""
+        stages = opt_of(src)
+        assert "call noisy" in stages["opt"]
+
+
+class TestLevels:
+    SRC = """
+int f(int a, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + a * a + i * n;
+    }
+    return s;
+}
+"""
+
+    def test_level0_is_identity(self):
+        stages = opt_of(self.SRC, level=0)
+        assert stages["counts"] == ""
+        assert stages["bytecode"] == stages["bytecode-in"]
+
+    def test_level2_strictly_extends_level1(self):
+        l1 = opt_of(self.SRC, level=1)["counts"]
+        l2 = opt_of(self.SRC, level=2)["counts"]
+        assert "licm=" not in l1 and "strength=" not in l1
+        assert "licm=" in l2 and "strength=" in l2
+
+
+class TestSpawnPoisoning:
+    def test_spawn_result_never_optimized(self):
+        """The value written by spawn materializes at sync; folding or
+        CSE over it would read the pre-sync garbage."""
+        src = """
+int g(int x) { return x + 1; }
+int f() {
+    int a = 0;
+    spawn a = g(1);
+    sync;
+    return a + a;
+}
+"""
+        stages = dump_stages(fn_code(src + MAIN, "f", exts=("matrix", "cilk")),
+                             2)
+        opt = stages["opt"]
+        assert "spawn" in opt and "sync" in opt
+        # the post-sync read of `a` still happens: no const substitution
+        assert "+ " in opt

@@ -71,3 +71,57 @@ def test_equal_valued_options_share_a_key(host_modules):
     assert translator_fingerprint(
         host_modules, Optimizations(), 4
     ) == translator_fingerprint(host_modules, Optimizations(), 4)
+
+
+class TestOptLevelCacheHazard:
+    """S28 regression: a warm -O0 artifact must never satisfy a -O2
+    request (or vice versa) — the optimization level is part of the
+    translator configuration, so it must be part of the key."""
+
+    def test_opt_level_changes_translator_key(self, host_modules):
+        keys = {
+            translator_fingerprint(
+                host_modules, Optimizations(opt_level=lvl), 4)
+            for lvl in (0, 1, 2)
+        }
+        assert len(keys) == 3
+
+    def test_same_opt_level_shares_a_key(self, host_modules):
+        assert translator_fingerprint(
+            host_modules, Optimizations(opt_level=0), 4
+        ) == translator_fingerprint(host_modules, Optimizations(opt_level=0), 4)
+
+    def test_warm_O0_cache_misses_for_O2(self, mem_cache):
+        t0 = mem_cache.get(["matrix"], options=Optimizations(opt_level=0))
+        warm = mem_cache.stats()
+        t2 = mem_cache.get(["matrix"], options=Optimizations(opt_level=2))
+        after = mem_cache.stats()
+        assert t2 is not t0
+        assert after.translator_misses == warm.translator_misses + 1
+        assert after.translator_hits == warm.translator_hits
+        # and the repeat -O2 request *is* served warm
+        assert mem_cache.get(["matrix"],
+                             options=Optimizations(opt_level=2)) is t2
+        assert mem_cache.stats().translator_hits == after.translator_hits + 1
+
+    def test_service_executions_respect_opt_level(self, mem_cache):
+        """End to end through CompileService: the same source compiled
+        at -O0 then -O2 yields differently-optimized bytecode."""
+        from repro.cexec.bytecode import BytecodeProgram
+        from repro.service import CompileRequest, CompileService
+
+        src = ("int f(int a, int b) { return a * b + a * b; }\n"
+               "int main() { printInt(f(3, 4)); return 0; }\n")
+        service = CompileService(mem_cache)
+        progs = {}
+        for lvl in (0, 2):
+            resp = service.compile(CompileRequest(
+                src, extensions=("matrix",),
+                options=Optimizations(opt_level=lvl)))
+            assert resp.ok, resp.errors
+            progs[lvl] = BytecodeProgram(resp.result.lowered,
+                                         resp.result.ctx)
+        o0 = progs[0].code_for("f").dis()
+        o2 = progs[2].code_for("f").dis()
+        assert o0.count("*") == 2  # a*b computed twice at -O0
+        assert o2.count("*") == 1  # CSE'd at -O2
