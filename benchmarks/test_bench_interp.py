@@ -275,6 +275,106 @@ class TestIROptimizer:
             f"-O2 only {gm:.2f}x over -O0 (gate {self.WALL_GATE}x)"
 
 
+class TestDispatchSpecialization:
+    """E-DSP: the S29 dispatch-specialization layer (superinstructions,
+    quickening, inline caches, frame pooling) against the same -O2
+    program run by the generic VM (``REPRO_NO_QUICKEN=1``).
+
+    Scalar-dominated workloads only, for the same reason as the E-IR
+    wall gate: fig1/fig8 run inside numpy fastloop plans where dispatch
+    cost is already amortized away."""
+
+    WALL_GATE = 1.15 if SMOKE else 1.5
+    REPEATS = 3 if SMOKE else 7
+
+    def _cases(self):
+        cases = []
+        ssh = np.random.default_rng(9).normal(
+            0.2, 0.5, (24, 24, 8) if SMOKE else (60, 60, 8)
+        ).astype(np.float32)
+        dates = np.arange(1011990, 1011990 + 80, 10, dtype=np.int32)
+        cases.append(("fig4", load("fig4"), ["matrix"],
+                      {"ssh.data": ssh, "dates.data": dates}))
+        c9 = np.random.default_rng(3).normal(
+            0, 1, (12, 12, 80) if SMOKE else (20, 20, 200)
+        ).astype(np.float32)
+        cases.append(("fig9", load("fig9"), ["matrix", "transform"],
+                      {"ssh.data": c9}))
+        cases.append(("mandelbrot", _mandelbrot_src(scale_down=False),
+                      ["matrix"], {}))
+        return cases
+
+    def test_wallclock_speedup(self, tmp_path_factory, monkeypatch):
+        rows, ratios = [], []
+        spec_counters = {}
+        for name, src, exts, inputs in self._cases():
+            wd = tmp_path_factory.mktemp(f"edsp_{name}")
+            for fname, arr in inputs.items():
+                write_rmat(wd / fname, arr)
+            cr = compile_source(src, exts,
+                                options=Optimizations(opt_level=2))
+            assert cr.ok, cr.diagnostics
+            prog = cr.bytecode()
+            # Interleave generic and specialized round-robin so machine
+            # load drift hits both alike; keep best-of-N per flavor.
+            secs = {"generic": float("inf"), "spec": float("inf")}
+            outs = {}
+            for _ in range(self.REPEATS):
+                for flavor, env in (("generic", "1"), ("spec", "0")):
+                    monkeypatch.setenv("REPRO_NO_QUICKEN", env)
+                    vm = VM(cr.lowered, cr.ctx, workdir=wd, nthreads=1,
+                            program=prog)
+                    t0 = time.perf_counter()
+                    rc = vm.run_main()
+                    secs[flavor] = min(secs[flavor],
+                                       time.perf_counter() - t0)
+                    assert rc == 0
+                    if flavor == "spec":
+                        st = vm.stats
+                        spec_counters[name] = {
+                            "quickened": st.quickened,
+                            "deopts": st.deopts,
+                            "ic_misses": st.ic_misses,
+                            "guards_elided": st.guards_elided,
+                        }
+                    vm.close()
+                    out_files = sorted(p for p in os.listdir(wd)
+                                       if p not in inputs)
+                    got = {p: read_rmat(wd / p).tobytes()
+                           for p in out_files}
+                    if flavor in outs:
+                        assert outs[flavor] == got, f"{name}: unstable"
+                    outs[flavor] = got
+            assert outs["generic"] == outs["spec"], \
+                f"{name}: specialized output differs from generic"
+            ratios.append(secs["generic"] / secs["spec"])
+            rows.append({"workload": name,
+                         "generic_seconds": round(secs["generic"], 4),
+                         "spec_seconds": round(secs["spec"], 4),
+                         "speedup": round(ratios[-1], 2)})
+            print(f"\n{name}: generic={secs['generic']:.3f}s "
+                  f"spec={secs['spec']:.3f}s ({ratios[-1]:.2f}x)")
+        gm = _geomean(ratios)
+        _record_bench("E-DSP", wall_rows=rows,
+                      wall_geomean_speedup=round(gm, 2),
+                      spec_counters=spec_counters)
+        print(f"geomean dispatch-specialization speedup: {gm:.2f}x")
+        assert gm >= self.WALL_GATE, \
+            f"specialization only {gm:.2f}x over generic VM " \
+            f"(gate {self.WALL_GATE}x)"
+
+    def test_quickening_engaged(self, monkeypatch):
+        """The wall gate is meaningless if no site ever specializes."""
+        monkeypatch.delenv("REPRO_NO_QUICKEN", raising=False)
+        name, src, exts, inputs, outs = next(
+            c for c in _instr_corpus() if c[0] == "fig4")
+        rc, _o, st, _ex = run_program(
+            src, exts, inputs, output_names=outs, nthreads=1,
+            engine="vm", options=Optimizations(opt_level=2))
+        assert rc == 0
+        assert st.quickened > 0, "no site quickened"
+
+
 class TestMicro:
     """pytest-benchmark timings on the smoke-size workload."""
 

@@ -28,7 +28,7 @@ constant shapes — the common case in matrix programs — stay exact.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.analysis.cfg import CFG
 from repro.analysis.dataflow import solve
@@ -44,6 +44,14 @@ _INF = math.inf
 class Interval:
     lo: float
     hi: float
+    # Symbolic provenance: a variable (or ``m.dimK`` pseudo-variable)
+    # this value is *exactly equal to* at run time, when one is known.
+    # Two TOP intervals with the same sym are still provably equal —
+    # which is how the genarray guard ``hi <= dim`` is discharged when
+    # both sides load the same loop bound.  Arithmetic, joins of
+    # mismatching syms, and rebinding of the named variable (see
+    # ``_Pass.bind``) all drop the sym; dropping is always sound.
+    sym: str | None = None
 
     def __post_init__(self):
         assert self.lo <= self.hi
@@ -55,11 +63,13 @@ class Interval:
         return None
 
     def join(self, other: "Interval") -> "Interval":
-        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi),
+                        self.sym if self.sym == other.sym else None)
 
     def widen(self, newer: "Interval") -> "Interval":
         return Interval(-_INF if newer.lo < self.lo else self.lo,
-                        _INF if newer.hi > self.hi else self.hi)
+                        _INF if newer.hi > self.hi else self.hi,
+                        self.sym if self.sym == newer.sym else None)
 
 
 TOP_I = Interval(-_INF, _INF)
@@ -224,6 +234,12 @@ class _Pass:
         self.diags = diags
         self.seen: set[tuple] = set()
         self.cur_span = None  # effective span of the item being replayed
+        # ``rt_bounds_check`` call nodes (by identity) whose guard the
+        # fixpoint proves can never fire: every concretization of the
+        # (over-approximate) intervals satisfies lo >= 0 and hi <= dim.
+        # Consumed by the bytecode compiler to discharge the guard
+        # statically (:func:`proven_in_range`).
+        self.proven: set[int] = set()
 
     # -- reporting -----------------------------------------------------------
 
@@ -264,7 +280,16 @@ class _Pass:
                 return MatVal(None, None, "yes")
             return None
         if p == "var":
-            return st.get(ch[0])
+            v = st.get(ch[0])
+            if v is None:
+                # Unknown value, but still a nameable one: remember the
+                # variable so later equality against another read of it
+                # (or of a copy) can be discharged.
+                return Interval(-_INF, _INF, sym=ch[0])
+            if isinstance(v, Interval) and v.sym is None \
+                    and v.constant is None:
+                return replace(v, sym=ch[0])
+            return v
         if p == "assign":
             v = self.expr(ch[1], st)
             if ch[0].prod == "var":
@@ -298,14 +323,41 @@ class _Pass:
             v = self.expr(ch[1], st)
             if isinstance(v, Interval):
                 # int() truncates toward zero, which is monotone; float
-                # casts cannot move an exact integral bound.
-                return v
+                # casts cannot move an exact integral bound.  The sym is
+                # an *exact equality* witness, which truncation breaks.
+                return replace(v, sym=None) if v.sym is not None else v
             return v
         if p == "call":
             return self.call(n, st)
         return None
 
     def bind(self, st: dict, name: str, val) -> None:
+        # Rebinding invalidates every symbolic-equality witness that
+        # names this variable (including the ``name.dimK`` pseudo-syms
+        # of a matrix variable's axes).
+        pref = name + "."
+
+        def stale(s) -> bool:
+            return s is not None and (s == name or s.startswith(pref))
+
+        def scrub(v):
+            if isinstance(v, Interval):
+                return replace(v, sym=None) if stale(v.sym) else v
+            if isinstance(v, MatVal) and v.dims is not None \
+                    and any(stale(d.sym) for d in v.dims):
+                return replace(v, dims=tuple(
+                    replace(d, sym=None) if stale(d.sym) else d
+                    for d in v.dims))
+            if isinstance(v, tuple) and len(v) == 2 and v[0] == "tup":
+                parts = tuple(scrub(x) for x in v[1])
+                return v if all(a is b for a, b in zip(parts, v[1])) \
+                    else ("tup", parts)
+            return v
+
+        for k in list(st):
+            nv = scrub(st[k])
+            if nv is not st[k]:
+                st[k] = nv
         if val is None:
             st.pop(name, None)
         else:
@@ -342,7 +394,7 @@ class _Pass:
                         self.report(
                             "matrix allocated with a negative dimension "
                             f"({fmt_interval(d)})", span)
-                dims = tuple(Interval(max(0, d.lo), max(0, d.hi))
+                dims = tuple(Interval(max(0, d.lo), max(0, d.hi), d.sym)
                              for d in raw)
             return MatVal("f" if name == "rt_allocf" else "i", dims, "no")
 
@@ -379,14 +431,26 @@ class _Pass:
             m = mat(0)
             self.require_alloc(vals[0], argnodes[0], span, "dimSize")
             k = iv(1).constant
+            # Pseudo-sym for the axis length itself: matrix shapes are
+            # immutable after allocation, so two rt_dim reads through
+            # the same still-bound variable are equal.  Invalidated when
+            # the variable is rebound (``bind`` scrubs "m."-prefixed
+            # syms).
+            dsym = (f"{argnodes[0].children[0]}.dim{k}"
+                    if k is not None and argnodes[0].prod == "var"
+                    else None)
             if m is not None and m.dims is not None and k is not None:
                 if 0 <= k < len(m.dims):
-                    return m.dims[k]
+                    d = m.dims[k]
+                    if d.sym is None and dsym is not None \
+                            and d.constant is None:
+                        return replace(d, sym=dsym)
+                    return d
                 if k >= len(m.dims) or k < 0:
                     self.report(
                         f"dimension axis {k} is out of range for a rank-"
                         f"{len(m.dims)} matrix", span)
-            return Interval(0, _INF)
+            return Interval(0, _INF, sym=dsym)
 
         if name == "rt_size":
             m = mat(0)
@@ -423,6 +487,13 @@ class _Pass:
                 self.report(
                     f"{what} range end {fmt_interval(hi)} always exceeds "
                     f"dimension {fmt_interval(dim)}", span)
+            elif lo.lo >= 0 and (hi.hi <= dim.lo
+                                 or (hi.sym is not None
+                                     and hi.sym == dim.sym)):
+                # Must-pass: the over-approximate intervals (or an exact
+                # symbolic equality hi == dim) already satisfy the
+                # guard, so every concrete run does too.
+                self.proven.add(id(n))
             return None
 
         if name == "rt_require_dim":
@@ -439,8 +510,11 @@ class _Pass:
                         f"required to be {fmt_interval(want)}", span)
                 elif argnodes[0].prod == "var":
                     got = m.dims[d]
+                    # The guard passing means dims[d] == want exactly,
+                    # so either side's sym is a valid equality witness.
                     refined = Interval(max(got.lo, want.lo),
-                                       min(got.hi, want.hi))
+                                       min(got.hi, want.hi),
+                                       got.sym or want.sym)
                     dims = (m.dims[:d] + (refined,) + m.dims[d + 1:])
                     self.bind(st, argnodes[0].children[0],
                               MatVal(m.kind, dims, m.null))
@@ -592,3 +666,23 @@ def check_shapes(cfg: CFG, diags: Diagnostics) -> None:
     reporter = _Pass(cfg, diags)
     for bid in sorted(cfg.reachable()):
         reporter.block(cfg.blocks[bid], states[bid][0])
+
+
+def proven_in_range(cfg: CFG) -> frozenset[int]:
+    """Node ids of ``rt_bounds_check`` calls in ``cfg`` whose guard the
+    interval fixpoint proves passes on every execution (``lo >= 0`` and
+    ``hi <= dim`` for all concretizations).  Mirror of the must-*fail*
+    reporting in :func:`check_shapes`: because the intervals
+    over-approximate, a bound that holds abstractly holds concretely,
+    so discharging such a guard can never suppress a real trap.  The
+    bytecode compiler uses this to compile the guard to the
+    ``rt_bounds_ok`` counter bump instead."""
+    silent = _Pass(cfg, None)
+    states = solve(
+        cfg, silent.block, join=join_states, entry_state={}, init={},
+        direction="forward", widen=widen_states, widen_after=3,
+    )
+    prover = _Pass(cfg, None)
+    for bid in sorted(cfg.reachable()):
+        prover.block(cfg.blocks[bid], states[bid][0])
+    return frozenset(prover.proven)

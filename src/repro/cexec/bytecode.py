@@ -46,6 +46,15 @@ _BINOP_OPS = frozenset(
 _HOT_INTRINSICS = frozenset(
     ["rt_getf", "rt_setf", "rt_geti", "rt_seti", "rt_dim", "rt_size"])
 
+# Opcodes whose operand 1 is a synchronously-written destination slot —
+# the producers ``emit_move`` may retarget when folding a move-chain.
+# ``spawn`` is excluded (its target slot is written asynchronously);
+# ``rt_setf``/``rt_seti`` operand 1 is a source, not a dest.
+_DEST_OPS = frozenset(
+    ["const", "move", "neg", "not", "bool", "cast_int", "cast_f32",
+     "rt_getf", "rt_geti", "rt_dim", "rt_size", "intr", "call",
+     "tuple", "tget"]) | _BINOP_OPS
+
 # -- parallel-eligibility hazards (S23/S25) ----------------------------------
 #
 # The fork-join pool may only move code off the owning thread when doing
@@ -73,27 +82,51 @@ class Code:
     nregs: int = 0
     instrs: list[tuple] = field(default_factory=list)
 
-    def dis(self) -> str:
-        """Human-readable disassembly (tests, debugging)."""
+    def dis(self, quicken=()) -> str:
+        """Human-readable disassembly (tests, debugging).  ``quicken``
+        names opcodes the VM will rewrite in place at run time; matching
+        sites are marked with a trailing ``~q``."""
         lines = [f"{self.name}({', '.join(self.params)})  nregs={self.nregs}"]
         for i, ins in enumerate(self.instrs):
             op, *args = ins
             if op == "fastloop":
                 args = [f"<plan:{len(args[0].steps)} steps>", args[1]]
-            lines.append(f"  {i:4d}  {op:10s} {', '.join(map(repr, args))}")
+            elif op == "si":
+                # A fused superinstruction: render its constituents (and
+                # which intermediate writes were elided) on one line.
+                parts, dead = args
+                shown = []
+                for part, dd in zip(parts, dead):
+                    text = "{} {}".format(
+                        part[0], ", ".join(map(repr, part[1:])))
+                    shown.append(f"[{text}]*" if dd else f"[{text}]")
+                lines.append(f"  {i:4d}  {'si':10s} {' '.join(shown)}")
+                continue
+            mark = "  ~q" if op in quicken else ""
+            lines.append(
+                f"  {i:4d}  {op:10s} {', '.join(map(repr, args))}{mark}")
         return "\n".join(lines)
 
 
 class _FnCompiler:
     """Compiles one function body to a :class:`Code`."""
 
-    def __init__(self, name: str, params: list[str]):
+    def __init__(self, name: str, params: list[str],
+                 proven_guards: frozenset = frozenset()):
+        # rt_bounds_check call nodes (by id) the S25 interval fixpoint
+        # proved can never fire; they compile to the rt_bounds_ok
+        # counter bump instead of the comparing intrinsic.
+        self.proven_guards = proven_guards
         self.code = Code(name, params)
         self.instrs = self.code.instrs
         self.scopes: list[dict[str, int]] = [{}]
         self.top = 1  # slot 0 = return value
         self.max_top = 1
         self.loops: list[tuple[list[int], list[int]]] = []  # (breaks, continues)
+        # Every position some jump may land on (recorded at patch time
+        # and at loop-header capture).  ``emit_move`` may only fold a
+        # move into its producer when no jump can enter between the two.
+        self.jump_marks: set[int] = set()
         for p in params:
             self.declare(p)
 
@@ -135,6 +168,31 @@ class _FnCompiler:
     def patch(self, at: int, target: int) -> None:
         ins = self.instrs[at]
         self.instrs[at] = ins[:-1] + (target,)
+        self.jump_marks.add(target)
+
+    def mark(self, at: int) -> int:
+        """Record a position captured as a jump target (loop headers)."""
+        self.jump_marks.add(at)
+        return at
+
+    def emit_move(self, dst: int, r: int, save: int) -> None:
+        """Emit ``move dst, r`` — or fold it away by retargeting the
+        producer (S28 follow-up: kills the compiler's redundant
+        move-chains at generation time instead of in copyprop).
+
+        The fold is legal when the producer of ``r`` is the immediately
+        preceding instruction, ``r`` is an expression temp (``>= save``,
+        so nothing else reads it later), and no jump can land between
+        producer and move (a short-circuit join, say, would then skip
+        the removed move and leave ``dst`` unwritten on one path)."""
+        if dst == r:
+            return
+        if r >= save and self.instrs and self.here() not in self.jump_marks:
+            last = self.instrs[-1]
+            if last[0] in _DEST_OPS and last[1] == r:
+                self.instrs[-1] = (last[0], dst) + last[2:]
+                return
+        self.emit("move", dst, r)
 
     # -- statements ----------------------------------------------------------
 
@@ -158,8 +216,7 @@ class _FnCompiler:
             r = self.expr(ch[2])
             self.top = save
             dst = self.declare(ch[1])
-            if dst != r:
-                self.emit("move", dst, r)
+            self.emit_move(dst, r, save)
         elif p == "exprStmt":
             save = self.top
             self.expr(ch[0])
@@ -182,7 +239,7 @@ class _FnCompiler:
             self.stmt(ch[2])
             self.patch(j_end, self.here())
         elif p == "whileStmt":
-            top = self.here()
+            top = self.mark(self.here())
             save = self.top
             c = self.expr(ch[0])
             self.top = save
@@ -197,7 +254,7 @@ class _FnCompiler:
             for at in breaks:
                 self.patch(at, end)
         elif p == "doWhile":
-            top = self.here()
+            top = self.mark(self.here())
             self.loops.append(([], []))
             self.stmt(ch[0])
             cond_at = self.here()
@@ -254,13 +311,12 @@ class _FnCompiler:
             r = self.expr(init.children[2])
             self.top = save
             dst = self.declare(init.children[1])
-            if dst != r:
-                self.emit("move", dst, r)
+            self.emit_move(dst, r, save)
         else:
             save = self.top
             self.expr(init.children[0])
             self.top = save
-        top = self.here()
+        top = self.mark(self.here())
         save = self.top
         c = self.expr(ch[1])
         self.top = save
@@ -335,10 +391,10 @@ class _FnCompiler:
             if ch[0].prod != "var":
                 raise InterpError(
                     f"assignment target {ch[0].prod!r} in lowered code")
+            save = self.top
             r = self.expr(ch[1])
             dst = self.slot(ch[0].children[0])
-            if dst != r:
-                self.emit("move", dst, r)
+            self.emit_move(dst, r, save)
             return dst
         if p == "castE":
             v = self.expr(ch[1])
@@ -428,6 +484,8 @@ class _FnCompiler:
             return self.none_reg()
         method = _INTRINSIC_METHODS.get(name)
         if method is not None:
+            if method == "rt_bounds_check" and id(node) in self.proven_guards:
+                method = "rt_bounds_ok"
             d = self.alloc()
             self.emit("intr", d, method, tuple(regs))
             return d
@@ -481,8 +539,29 @@ def _intrinsic_methods() -> dict[str, str]:
 _INTRINSIC_METHODS = _intrinsic_methods()
 
 
+def _discharged_guards(name: str, params: list[str],
+                       body: Node) -> frozenset:
+    """Ids of ``rt_bounds_check`` call nodes in ``body`` whose guard the
+    S25 interval fixpoint proves passes on every path (lo >= 0 and
+    hi <= dim for all concretizations) — typically the genarray guards
+    over a result the same function just allocated with the generator's
+    own shape.  Best-effort: any analysis failure keeps every guard."""
+    import os
+
+    if os.environ.get("REPRO_NO_GUARD_ELIDE", "") not in ("", "0"):
+        return frozenset()
+    try:
+        from repro.analysis.cfg import build_cfg
+        from repro.analysis.shapes import proven_in_range
+
+        return proven_in_range(build_cfg(name, params, body))
+    except Exception:
+        return frozenset()
+
+
 def compile_function(name: str, params: list[str], body: Node) -> Code:
-    return _FnCompiler(name, params).finish(body)
+    proven = _discharged_guards(name, params, body)
+    return _FnCompiler(name, params, proven).finish(body)
 
 
 class BytecodeProgram:
@@ -511,6 +590,8 @@ class BytecodeProgram:
                 self.lifted_trees[lf.name] = (names + ["__lo", "__hi"], lf.body)
         self._code: dict[str, Code] = {}
         self._lifted_code: dict[str, Code] = {}
+        self._spec_code: dict[str, Code] = {}
+        self._spec_lifted_code: dict[str, Code] = {}
         self._safety = None
         # Mid-level IR pipeline (S28): lowered trees are compiled to TAC
         # bytecode as before, then rewritten through SSA passes at the
@@ -550,6 +631,37 @@ class BytecodeProgram:
             params, body = self.lifted_trees[name]
             code = self._optimize(compile_function(name, params, body))
             self._lifted_code[name] = code
+        return code
+
+    # -- dispatch specialization (S29) ---------------------------------------
+    #
+    # The fused stream is a *separate* memoized view over the optimized
+    # bytecode: execution (and disassembly) consume it, while the hazard
+    # and call-graph analyses keep scanning ``code_for`` — a fused "si"
+    # tuple would hide its constituent traps/calls from them.
+
+    def _specialize(self, code: Code) -> Code:
+        from repro.cexec import superinstr
+        from repro.cexec.superinstr_table import PAIRS, TRIPLES
+
+        out, fused = superinstr.fuse(code, PAIRS, TRIPLES)
+        if fused:
+            self.opt_counts["superinstr"] = \
+                self.opt_counts.get("superinstr", 0) + fused
+        return out
+
+    def spec_code_for(self, name: str) -> Code:
+        code = self._spec_code.get(name)
+        if code is None:
+            code = self._specialize(self.code_for(name))
+            self._spec_code[name] = code
+        return code
+
+    def spec_lifted_code_for(self, name: str) -> Code:
+        code = self._spec_lifted_code.get(name)
+        if code is None:
+            code = self._specialize(self.lifted_code_for(name))
+            self._spec_lifted_code[name] = code
         return code
 
     # -- parallel eligibility (S23, shared analysis since S25) ---------------

@@ -77,6 +77,17 @@ class InterpStats:
     # once after the run from the compiled program — compile-time facts,
     # so merge() deliberately leaves them alone.
     opt_counts: dict[str, int] = field(default_factory=dict)
+    # S29 dispatch-specialization counters.  NOT part of the
+    # engine-differential contract: the tree walker never quickens, and
+    # concurrent shards may race benignly on the rare-path increments.
+    # ``ic_hits`` is only populated in counting mode (the per-execution
+    # increment would tax the lean dispatch path); ``ic_misses``,
+    # ``quickened`` and ``deopts`` are always exact on sequential runs.
+    quickened: int = 0
+    deopts: int = 0
+    ic_hits: int = 0
+    ic_misses: int = 0
+    guards_elided: int = 0
 
     @property
     def leaked(self) -> int:
@@ -99,6 +110,11 @@ class InterpStats:
         self.parallel_regions += other.parallel_regions
         self.tasks_spawned += other.tasks_spawned
         self.instrs += other.instrs
+        self.quickened += other.quickened
+        self.deopts += other.deopts
+        self.ic_hits += other.ic_hits
+        self.ic_misses += other.ic_misses
+        self.guards_elided += other.guards_elided
         self.region_sizes.extend(other.region_sizes)
         for reason, n in other.fastloop_bails.items():
             self.fastloop_bails[reason] = \
@@ -277,6 +293,13 @@ class RTRuntime:
     def rt_bounds_check(self, lo, hi, dim, what) -> None:
         if lo < 0 or hi > dim:
             raise RuntimeTrap(f"{what} range [{lo},{hi}) outside dimension {dim}")
+
+    def rt_bounds_ok(self, lo, hi, dim, what) -> None:
+        # Residue of a statically-discharged rt_bounds_check: the S25
+        # interval fixpoint proved lo >= 0 and hi <= dim on every path
+        # (repro.analysis.shapes.proven_in_range), so only the counter
+        # survives to run time.
+        self.stats.guards_elided += 1
 
     def rt_require_dim(self, m: "RTMat | None", d, n) -> None:
         if m is None:
@@ -623,7 +646,8 @@ ENGINES = ("vm", "tree")
 def make_engine(lowered, ctx, *, engine: str = "vm",
                 workdir: str | Path = ".", nthreads: int = 1,
                 fork_mode: str = "enhanced", program=None,
-                parallel_backend: str | None = None) -> RTRuntime:
+                parallel_backend: str | None = None,
+                profile: bool = False) -> RTRuntime:
     """An executor for a lowered tree: the bytecode VM (default) or the
     tree-walking reference interpreter.  Both expose ``run_main``,
     ``call_function``, ``stats`` and ``stdout``.
@@ -643,8 +667,10 @@ def make_engine(lowered, ctx, *, engine: str = "vm",
 
         return VM(lowered, ctx, workdir=workdir, nthreads=nthreads,
                   fork_mode=fork_mode, program=program,
-                  parallel_backend=parallel_backend)
+                  parallel_backend=parallel_backend, profile=profile)
     if engine in ("tree", "interp"):
+        if profile:
+            raise ValueError("--profile requires the vm engine")
         return Interpreter(lowered, ctx, workdir=workdir, nthreads=nthreads)
     raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
 
@@ -661,6 +687,7 @@ def run_program(
     engine: str = "vm",
     fork_mode: str = "enhanced",
     parallel_backend: str | None = None,
+    profile: bool = False,
 ) -> tuple[int, dict[str, np.ndarray], InterpStats, "RTRuntime"]:
     """Translate and execute an extended-C program with RMAT inputs.
 
@@ -689,7 +716,7 @@ def run_program(
         write_rmat(wd / name, arr)
     executor = make_engine(cr.lowered, cr.ctx, engine=engine,
                            workdir=wd, nthreads=nthreads, fork_mode=fork_mode,
-                           parallel_backend=parallel_backend)
+                           parallel_backend=parallel_backend, profile=profile)
     try:
         rc = executor.run_main()
     finally:

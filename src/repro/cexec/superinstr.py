@@ -1,0 +1,496 @@
+"""Profile-guided superinstructions for the bytecode VM (S29).
+
+The S28 optimizer shrinks the dynamic instruction *stream*; this module
+shrinks the number of *dispatches* the stream costs.  A corpus profile
+(``reproc --profile``, opcode-pair/triple histograms over the shipped
+fig1/4/8/9 + mandelbrot programs) selects hot adjacent opcode shapes;
+:func:`fuse` then rewrites each compiled :class:`Code` as a peephole
+pass **after** the IR pipeline, replacing every table-selected adjacent
+group with one ``("si", parts, dead)`` pseudo-instruction.  The VM binds
+an ``si`` to a *single* closure, generated and compiled once per
+distinct shape from straight-line Python source, so one dispatch retires
+two or three constituent instructions — and when a constituent's
+destination slot is provably read only inside the group, its frame-slot
+write is skipped entirely and the value flows through a Python local.
+
+Soundness notes
+---------------
+* Fusion runs on the final linearized bytecode, so ``repro.ir`` (and its
+  verifier) never see ``si`` opcodes; the unfused stream stays available
+  via ``BytecodeProgram.code_for`` for the hazard/call-graph analyses.
+* A group never *contains* a jump target: control cannot enter between
+  two fused constituents, which is exactly what makes the dead-store
+  skip and local forwarding sound.
+* Unconditional transfers (``jmp``/``ret``) may only close a group; a
+  conditional branch may sit anywhere, compiling to an early ``return``
+  out of the closure, so the taken path still costs exactly one dispatch
+  while the fall-through path keeps retiring constituents.  Trapping
+  constituents (division, matrix access) are fine in any position — a
+  trap aborts the whole frame, so a partially-executed group is
+  indistinguishable from a partially-executed unfused sequence.
+* Quickenable sites (``call``, division/modulo) are left unfused so the
+  VM's in-place rewriting (quickening, inline caches) still applies.
+"""
+
+from __future__ import annotations
+
+from repro.cexec.bytecode import Code
+from repro.cexec.interp import c_div, c_mod
+
+import numpy as np
+
+# Opcodes legal in a non-tail position of a group: always fall through,
+# and have a pure-Python statement form `_gen_part` knows how to emit.
+# "/", "%" and "call" are deliberately absent (they quicken instead);
+# "intr"/"pool"/"spawn"/"sync"/"fastloop"/"rc_*" never fuse.
+STRAIGHT_OPS = frozenset([
+    "const", "move", "+", "-", "*", "<", "<=", ">", ">=", "==", "!=",
+    "neg", "not", "bool", "cast_int", "cast_f32",
+    "rt_getf", "rt_geti", "rt_setf", "rt_seti", "rt_dim", "rt_size",
+    "tget", "tuple",
+])
+
+# Additionally legal as the *last* constituent of a group.
+TAIL_OPS = STRAIGHT_OPS | frozenset(["jmp", "jz", "jnz", "ret", "ret_none"])
+
+# Legal in a *non-final* position: straight-line opcodes plus the
+# conditional branches, which compile to an early ``return`` out of the
+# fused closure.  The taken path costs exactly the one dispatch it
+# always did; the fall-through path keeps retiring constituents — this
+# is what collapses short-circuit diamonds (`a && b`) into one closure.
+MID_OPS = STRAIGHT_OPS | frozenset(["jz", "jnz"])
+
+# Opcodes the VM quickens in place (see repro.cexec.vm) — excluded from
+# fusion so the self-rewriting closures still apply; exported here so
+# the disassembler can mark them without importing the VM.
+QUICKEN_OPS = frozenset(
+    ["call", "/", "%", "rt_getf", "rt_setf", "rt_geti", "rt_seti"])
+
+_JUMPS = ("jmp", "jz", "jnz", "fastloop")
+
+
+def _reads(ins: tuple) -> tuple:
+    """Frame slots this instruction reads (conservative, exact for every
+    opcode the compiler emits)."""
+    op = ins[0]
+    if op == "const":
+        return ()
+    if op in ("move", "neg", "not", "bool", "cast_int", "cast_f32"):
+        return (ins[2],)
+    if op in ("+", "-", "*", "/", "%",
+              "<", "<=", ">", ">=", "==", "!="):
+        return (ins[2], ins[3])
+    if op in ("rt_getf", "rt_geti", "rt_dim"):
+        return (ins[2], ins[3])
+    if op in ("rt_setf", "rt_seti"):
+        return (ins[1], ins[2], ins[3])
+    if op == "rt_size":
+        return (ins[2],)
+    if op in ("rc_inc", "rc_dec"):
+        return (ins[1],)
+    if op in ("intr", "call", "spawn"):
+        return tuple(ins[3])
+    if op == "pool":
+        return (ins[2], *ins[3])
+    if op == "tuple":
+        return tuple(ins[2])
+    if op == "tget":
+        return (ins[2],)
+    if op in ("jz", "jnz"):
+        return (ins[1],)
+    if op == "ret":
+        return (ins[1],)
+    return ()  # jmp, sync, ret_none, fastloop (plan slots handled apart)
+
+
+def _dest(ins: tuple) -> int | None:
+    """The synchronously-written destination slot, or None."""
+    op = ins[0]
+    if op in ("const", "move", "neg", "not", "bool", "cast_int",
+              "cast_f32", "+", "-", "*", "/", "%", "<", "<=", ">", ">=",
+              "==", "!=", "rt_getf", "rt_geti", "rt_dim", "rt_size",
+              "intr", "call", "tuple", "tget"):
+        return ins[1]
+    return None
+
+
+# -- fusion pass --------------------------------------------------------------
+
+
+# Longest run of constituents one fused closure may retire.  Groups are
+# built by chaining hot profile pairs, so the cap only bounds code-object
+# size per shape — semantics are length-independent.
+MAX_GROUP = 12
+
+
+def fuse(code: Code, pairs: frozenset, triples: frozenset) -> tuple[Code, int]:
+    """Rewrite one function's bytecode, fusing table-selected adjacent
+    groups into ``("si", parts, dead)`` pseudo-instructions.  Returns the
+    (possibly new) :class:`Code` and the number of groups formed.
+
+    Selection is a chain rule over the profile tables: a group grows
+    while each consecutive opcode link is a hot pair (links contributed
+    by hot triples count too), every non-final constituent is straight-
+    line, and no constituent after the first is a jump target.  Chaining
+    lets two hot overlapping shapes fuse a whole basic-block run — e.g.
+    the mandelbrot escape body collapses to one dispatch — while cold
+    adjacencies keep their individual closures."""
+    instrs = code.instrs
+    n = len(instrs)
+    if n < 2 or not (pairs or triples):
+        return code, 0
+    links = set(pairs)
+    for t in triples:
+        links.add((t[0], t[1]))
+        links.add((t[1], t[2]))
+
+    # Slot read map for the dead-intermediate analysis.  -1 marks a slot
+    # as read "somewhere we cannot see": slot 0 (the return value), and
+    # every slot a fastloop plan touches behind the VM's back.
+    reads: dict[int, set[int]] = {0: {-1}}
+    targets: set[int] = set()
+    for idx, ins in enumerate(instrs):
+        for s in _reads(ins):
+            reads.setdefault(s, set()).add(idx)
+        op = ins[0]
+        if op in _JUMPS:
+            targets.add(ins[-1])
+            if op == "fastloop":
+                plan = ins[1]
+                for s in (set(getattr(plan, "read_slots", ()))
+                          | set(getattr(plan, "write_slots", ()))):
+                    reads.setdefault(s, set()).add(-1)
+        elif op == "spawn" and ins[1] is not None:
+            # The spawn target is written asynchronously after the
+            # instruction retires; treat it as observed everywhere.
+            reads.setdefault(ins[1], set()).add(-1)
+
+    # Pass 1: choose groups greedily left-to-right by chaining hot links.
+    groups: list[tuple[int, int]] = []  # (start, length)
+    new_of_old: dict[int, int] = {}
+    out_len = 0
+    i = 0
+    while i < n:
+        length = 1
+        if instrs[i][0] in MID_OPS:
+            while (length < MAX_GROUP and i + length < n
+                   and i + length not in targets
+                   and (instrs[i + length - 1][0],
+                        instrs[i + length][0]) in links
+                   and instrs[i + length][0] in TAIL_OPS):
+                length += 1
+                # An unconditional transfer closes the group; a mid
+                # jz/jnz becomes an early return and chaining goes on.
+                if instrs[i + length - 1][0] not in MID_OPS:
+                    break
+        new_of_old[i] = out_len
+        groups.append((i, length))
+        out_len += 1
+        i += length
+    new_of_old[n] = out_len
+    if all(length == 1 for _s, length in groups):
+        return code, 0
+
+    def remap(t: int) -> int:
+        return new_of_old[t]
+
+    # Pass 2: materialize, remapping every jump target (targets are
+    # never mid-group, so the map is total on them).
+    out: list[tuple] = []
+    fused = 0
+    for start, length in groups:
+        if length == 1:
+            ins = instrs[start]
+            if ins[0] in _JUMPS:
+                ins = ins[:-1] + (remap(ins[-1]),)
+            out.append(ins)
+            continue
+        fused += 1
+        parts = []
+        dead = []
+        for j in range(length):
+            ins = instrs[start + j]
+            if ins[0] in _JUMPS:
+                ins = ins[:-1] + (remap(ins[-1]),)
+            parts.append(ins)
+            d = _dest(ins)
+            if d is None:
+                dead.append(False)
+                continue
+            # Dead outside the group: every read of slot d anywhere in
+            # the function happens at a *later* constituent of this
+            # group (conservative: slot-level, not def-level).
+            in_group_later = set(range(start + j + 1, start + length))
+            dead.append(reads.get(d, set()) <= in_group_later)
+        out.append(("si", tuple(parts), tuple(dead)))
+    new = Code(code.name, code.params, code.nregs, out)
+    return new, fused
+
+
+# -- fused-closure code generation -------------------------------------------
+
+_FN_CACHE: dict[str, object] = {}
+
+_CMP = {"<": "<", "<=": "<=", ">": ">", ">=": ">=", "==": "==", "!=": "!="}
+
+_GLOBALS = {"c_div": c_div, "c_mod": c_mod, "f32": np.float32}
+
+
+def _gen_expr(ins: tuple, R) -> str:
+    """The value expression of a dest-producing constituent."""
+    op = ins[0]
+    if op == "const":
+        return repr(ins[2])
+    if op == "move":
+        return R(ins[2])
+    if op in ("+", "-", "*"):
+        return f"({R(ins[2])} {op} {R(ins[3])})"
+    if op in _CMP:
+        return f"int({R(ins[2])} {op} {R(ins[3])})"
+    if op == "neg":
+        return f"(-{R(ins[2])})"
+    if op == "not":
+        return f"int(not {R(ins[2])})"
+    if op == "bool":
+        return f"int(bool({R(ins[2])}))"
+    if op == "cast_int":
+        return f"int({R(ins[2])})"
+    if op == "cast_f32":
+        return f"float(f32({R(ins[2])}))"
+    if op == "rt_getf":
+        return f"float({R(ins[2])}.data[int({R(ins[3])})])"
+    if op == "rt_geti":
+        return f"int({R(ins[2])}.data[int({R(ins[3])})])"
+    if op == "rt_dim":
+        return f"int({R(ins[2])}.dims[int({R(ins[3])})])"
+    if op == "rt_size":
+        return f"{R(ins[2])}.size"
+    if op == "tget":
+        return f"{R(ins[2])}[{ins[3]}]"
+    if op == "tuple":
+        inner = ", ".join(R(r) for r in ins[2])
+        return f"({inner},)" if len(ins[2]) == 1 else f"({inner})"
+    raise AssertionError(f"no expression form for {op!r}")
+
+
+def gen_source(parts: tuple, dead: tuple, nxt: int, end: int) -> str:
+    """Straight-line Python source for one fused group.
+
+    Frame reads go through ``f[slot]``; a constituent whose destination
+    is dead outside the group materializes as a local instead of a
+    frame write (and live values that are re-read inside the group are
+    forwarded through a local as well, saving the list index)."""
+    loc: dict[int, str] = {}   # slot -> live local name
+    body: list[str] = []
+    ntmp = 0
+
+    def R(slot: int) -> str:
+        return loc.get(slot, f"f[{slot}]")
+
+    last = len(parts) - 1
+    for j, ins in enumerate(parts):
+        op = ins[0]
+        later = parts[j + 1:]
+        if op in ("rt_setf", "rt_seti"):
+            cast = "f32" if op == "rt_setf" else "int"
+            body.append(f"{R(ins[1])}.data[int({R(ins[2])})]"
+                        f" = {cast}({R(ins[3])})")
+            continue
+        if op == "jmp":
+            body.append(f"return {ins[1]}")
+            continue
+        if op in ("jz", "jnz"):
+            c = R(ins[1])
+            t = ins[2]
+            if j == last:
+                if op == "jz":
+                    body.append(f"return {nxt} if {c} else {t}")
+                else:
+                    body.append(f"return {t} if {c} else {nxt}")
+            elif op == "jz":
+                body.append(f"if not {c}: return {t}")
+            else:
+                body.append(f"if {c}: return {t}")
+            continue
+        if op == "ret":
+            body.append(f"f[0] = {R(ins[1])}")
+            body.append(f"return {end}")
+            continue
+        if op == "ret_none":
+            body.append("f[0] = None")
+            body.append(f"return {end}")
+            continue
+
+        d = _dest(ins)
+        expr = _gen_expr(ins, R)
+        if d is None:  # pragma: no cover - every remaining op has a dest
+            body.append(expr)
+            continue
+        if op in _CMP and dead[j] and all(
+                d not in _reads(m) or m[0] in ("jz", "jnz")
+                for m in later):
+            # Truthiness of the raw comparison equals the int-wrapped
+            # form; when it only feeds branches, skip the int().
+            expr = f"({R(ins[2])} {_CMP[op]} {R(ins[3])})"
+        read_later = any(d in _reads(m) for m in later)
+        if read_later:
+            name = f"t{ntmp}"
+            ntmp += 1
+            body.append(f"{name} = {expr}")
+            if not dead[j]:
+                body.append(f"f[{d}] = {name}")
+            loc[d] = name
+        elif dead[j]:
+            # Still evaluate (traps must fire), but skip the dead write.
+            body.append(expr)
+        else:
+            body.append(f"f[{d}] = {expr}")
+            loc.pop(d, None)
+    if parts[last][0] not in ("jmp", "jz", "jnz", "ret", "ret_none"):
+        body.append(f"return {nxt}")
+    inner = "\n    ".join(body)
+    helpers = [h for h in ("c_div", "c_mod", "f32")
+               if h + "(" in inner]
+    params = "".join(f", {h}={h}" for h in helpers)
+    return f"def _si(f{params}):\n    {inner}\n"
+
+
+def bind_super(ins: tuple, nxt: int, end: int):
+    """Bind one ``("si", parts, dead)`` instruction to its closure.
+    Functions are compiled once per distinct source (shapes repeat
+    heavily across sites and programs) and are stateless, so the cache
+    is shared by every VM."""
+    _op, parts, dead = ins
+    src = gen_source(parts, dead, nxt, end)
+    fn = _FN_CACHE.get(src)
+    if fn is None:
+        ns: dict = dict(_GLOBALS)
+        exec(compile(src, "<superinstr>", "exec"), ns)  # noqa: S102
+        fn = _FN_CACHE[src] = ns["_si"]
+    return fn
+
+
+# -- selection ----------------------------------------------------------------
+
+
+def select_table(hist: dict, *, max_pairs: int = 32, max_triples: int = 16,
+                 min_share: float = 0.002) -> tuple[tuple, tuple]:
+    """Derive a (pairs, triples) selection from a ``--profile`` histogram
+    dict: fusable shapes covering at least ``min_share`` of all dynamic
+    dispatches, hottest first."""
+    total = max(1, int(hist.get("dispatches", 0)))
+
+    def pick(kind: str, width: int, cap: int) -> tuple:
+        rows = []
+        for key, count in (hist.get(kind) or {}).items():
+            ops = tuple(key.split("|"))
+            if len(ops) != width or count / total < min_share:
+                continue
+            if not all(o in MID_OPS for o in ops[:-1]):
+                continue
+            if ops[-1] not in TAIL_OPS:
+                continue
+            rows.append((count, ops))
+        rows.sort(key=lambda r: (-r[0], r[1]))
+        return tuple(ops for _c, ops in rows[:cap])
+
+    return pick("pairs", 2, max_pairs), pick("triples", 3, max_triples)
+
+
+def merge_histograms(hists: list[dict]) -> dict:
+    out: dict = {"dispatches": 0, "pairs": {}, "triples": {}, "by_op": {}}
+    for h in hists:
+        out["dispatches"] += int(h.get("dispatches", 0))
+        for kind in ("pairs", "triples", "by_op"):
+            for k, v in (h.get(kind) or {}).items():
+                out[kind][k] = out[kind].get(k, 0) + v
+    return out
+
+
+# -- shipped-table regeneration (python -m repro.cexec.superinstr) ------------
+
+
+def corpus_histograms() -> list[dict]:
+    """Profile the shipped corpus (fig1/4/8/9 + mandelbrot) at small,
+    deterministic sizes and return the per-program histograms."""
+    import tempfile
+
+    from repro.cexec.interp import run_program
+    from repro.programs import corpus_cases
+
+    hists = []
+    for name, source, exts, inputs, outs in corpus_cases():
+        with tempfile.TemporaryDirectory(prefix="repro-prof-") as wd:
+            _rc, _outs, _stats, ex = run_program(
+                source, exts, inputs, workdir=wd,
+                output_names=outs, nthreads=1, profile=True)
+            hists.append(ex.profile_dump())
+    return hists
+
+
+def render_table(pairs: tuple, triples: tuple, provenance: str) -> str:
+    import hashlib
+
+    blob = repr((sorted(pairs), sorted(triples))).encode()
+    version = "s29-" + hashlib.sha1(blob).hexdigest()[:10]
+    lines = [
+        '"""Superinstruction selection table — GENERATED, do not edit.',
+        "",
+        f"Provenance: {provenance}",
+        "Regenerate: PYTHONPATH=src python -m repro.cexec.superinstr"
+        " --write-table",
+        '"""',
+        "",
+        f"TABLE_VERSION = {version!r}",
+        "",
+        "PAIRS = frozenset([",
+    ]
+    lines += [f"    {p!r}," for p in pairs]
+    lines += ["])", "", "TRIPLES = frozenset(["]
+    lines += [f"    {t!r}," for t in triples]
+    lines += ["])", ""]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    from pathlib import Path
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.cexec.superinstr",
+        description="Select the superinstruction table from --profile "
+        "histograms (default: profile the shipped corpus in-process)")
+    ap.add_argument("histograms", nargs="*",
+                    help="JSON files from reproc --profile; when omitted "
+                    "the shipped fig1/4/8/9+mandelbrot corpus is profiled")
+    ap.add_argument("--write-table", action="store_true",
+                    help="rewrite src/repro/cexec/superinstr_table.py")
+    ap.add_argument("--max-pairs", type=int, default=32)
+    ap.add_argument("--max-triples", type=int, default=16)
+    ap.add_argument("--min-share", type=float, default=0.002)
+    args = ap.parse_args(argv)
+
+    if args.histograms:
+        hists = [json.loads(Path(p).read_text()) for p in args.histograms]
+        provenance = ", ".join(args.histograms)
+    else:
+        hists = corpus_histograms()
+        provenance = ("fig1/fig4/fig8/fig9+mandelbrot corpus, "
+                      "deterministic small inputs (seed 29)")
+    merged = merge_histograms(hists)
+    pairs, triples = select_table(
+        merged, max_pairs=args.max_pairs, max_triples=args.max_triples,
+        min_share=args.min_share)
+    text = render_table(pairs, triples, provenance)
+    if args.write_table:
+        out = Path(__file__).with_name("superinstr_table.py")
+        out.write_text(text)
+        print(f"wrote {out} ({len(pairs)} pairs, {len(triples)} triples)")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Superinstruction selection table — GENERATED, do not edit.
+
+Provenance: fig1/fig4/fig8/fig9+mandelbrot corpus, deterministic small inputs (seed 29)
+Regenerate: PYTHONPATH=src python -m repro.cexec.superinstr --write-table
+"""
+
+TABLE_VERSION = 's29-0d455c292a'
+
+PAIRS = frozenset([
+    ('<', 'jz'),
+    ('*', '+'),
+    ('+', 'rt_geti'),
+    ('move', 'move'),
+    ('*', '*'),
+    ('move', 'jmp'),
+    ('+', '+'),
+    ('rt_geti', '>'),
+    ('-', '+'),
+    ('+', 'jmp'),
+    ('jz', '*'),
+    ('rt_dim', '*'),
+    ('jz', '-'),
+    ('+', '<'),
+    ('jz', 'rt_dim'),
+    ('jz', 'rt_getf'),
+    ('rt_getf', 'rt_getf'),
+    ('+', 'move'),
+    ('+', '<='),
+    ('<=', 'jmp'),
+    ('>', 'jz'),
+    ('jz', 'jmp'),
+    ('+', '*'),
+    ('>', 'jmp'),
+    ('<', 'jmp'),
+    ('rt_geti', '<'),
+    ('rt_geti', 'jz'),
+    ('rt_getf', '<'),
+    ('jz', 'move'),
+    ('>=', 'jmp'),
+    ('rt_getf', '>='),
+    ('rt_dim', 'const'),
+])
+
+TRIPLES = frozenset([
+    ('*', '*', '+'),
+    ('+', 'rt_geti', '>'),
+    ('*', '+', 'rt_geti'),
+    ('rt_dim', '*', '+'),
+    ('jz', '-', '+'),
+    ('move', 'move', 'move'),
+    ('+', '<', 'jz'),
+    ('<', 'jz', 'rt_dim'),
+    ('<', 'jz', 'rt_getf'),
+    ('jz', 'rt_getf', 'rt_getf'),
+    ('*', '+', '+'),
+    ('*', '+', '<='),
+    ('+', '<=', 'jmp'),
+    ('<', 'jz', '*'),
+    ('jz', '*', '*'),
+    ('jz', 'rt_dim', '*'),
+])

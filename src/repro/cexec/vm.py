@@ -31,6 +31,7 @@ and elides the rest inline.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 import weakref
@@ -40,13 +41,19 @@ import numpy as np
 
 from repro.ag.tree import Node
 from repro.analysis.hazards import PROCESS_BLOCKERS
+from repro.cexec import superinstr
 from repro.cexec.bytecode import BytecodeProgram, Code
 from repro.cexec.interp import (
-    InterpError, InterpStats, RTMat, RTRuntime, c_div, c_mod,
+    InterpError, InterpStats, RTMat, RTRuntime, RuntimeTrap, c_div, c_mod,
 )
 from repro.cexec.parallel import (
     ProcessShardPool, attach_shm, make_pool, resolve_backend,
 )
+
+
+def _flag_off(name: str) -> bool:
+    """True when env var *name* is set to a non-empty, non-``0`` value."""
+    return os.environ.get(name, "") not in ("", "0")
 
 
 def _shippable_captures(captures: list) -> str | None:
@@ -69,7 +76,8 @@ class VM(RTRuntime):
     def __init__(self, lowered_root: Node, ctx, *, workdir: str | Path = ".",
                  nthreads: int = 1, program: BytecodeProgram | None = None,
                  fork_mode: str = "enhanced",
-                 parallel_backend: str | None = None):
+                 parallel_backend: str | None = None,
+                 profile: bool = False):
         # Thread-local redirection target must exist before RTRuntime's
         # __init__ assigns the stats/stdout properties below.
         self._tl = threading.local()
@@ -97,8 +105,38 @@ class VM(RTRuntime):
             t = 0.0
         self._shard_timeout_s = t if t > 0 else None
         self._closed = False
-        if os.environ.get("REPRO_COUNT_INSTRS"):
+        # S29 dispatch specialization.  REPRO_NO_QUICKEN is the master
+        # escape hatch (kills fusion + quickening + ICs + frame pooling);
+        # the finer-grained switches disable one mechanism at a time.  A
+        # profiling VM runs fully generic so the histogram reflects the
+        # shipped (unfused) instruction stream.
+        self._counting = bool(os.environ.get("REPRO_COUNT_INSTRS"))
+        self._profiling = bool(profile)
+        spec_off = _flag_off("REPRO_NO_QUICKEN") or self._profiling
+        # A counting VM executes the *generic* stream: fusion's jump
+        # threading and mid-group early exits genuinely retire fewer
+        # dispatches, which would skew the dynamic-instruction totals
+        # the E-IR gates compare across optimizer levels.  Quickening
+        # and inline caches are 1:1 with generic dispatches and stay on.
+        self._spec_fuse = not (spec_off or self._counting
+                               or _flag_off("REPRO_NO_SUPERINSTR"))
+        self._quicken = not spec_off
+        self._frame_pool = not (spec_off or _flag_off("REPRO_NO_FRAME_POOL"))
+        # id(ops) -> per-pc metadata for the counting/profiling loops;
+        # registered by _bind so fused sites keep constituent-true counts.
+        self._widths: dict[int, list[int]] = {}
+        self._opnames: dict[int, list[str]] = {}
+        # Inline-cache cells created by quickened matrix-access sites;
+        # folded into the main stats at drain time.
+        self._ic_cells: list[list] = []
+        if self._counting:
             self._run = self._run_counting
+        if self._profiling:
+            self._run = self._run_profiling
+            self._profile_pairs: dict[tuple, int] = {}
+            self._profile_triples: dict[tuple, int] = {}
+            self._profile_by_op: dict[str, int] = {}
+            self._profile_dispatches = 0
         # Guards refcount read-modify-writes and the deferred task-stats
         # accumulator while worker threads are live.
         self._rc_lock = threading.Lock()
@@ -160,20 +198,88 @@ class VM(RTRuntime):
             self._drain_tasks()
         return int(out) if out is not None else 0
 
+    def _exec_code_for(self, name: str) -> Code:
+        """The instruction stream this VM actually executes for *name*:
+        the superinstruction-fused stream when specialization is on,
+        the plain S28-optimized stream otherwise.  Analysis consumers
+        (callgraph hazard scans, fingerprints) keep using ``code_for`` —
+        fusion must never hide a trap/call from them."""
+        p = self.program
+        return p.spec_code_for(name) if self._spec_fuse else p.code_for(name)
+
+    def _exec_lifted_code_for(self, name: str) -> Code:
+        p = self.program
+        return (p.spec_lifted_code_for(name) if self._spec_fuse
+                else p.lifted_code_for(name))
+
+    def _bind(self, code: Code) -> list:
+        """bind() plus per-``ops`` metadata registration for the
+        counting/profiling dispatch loops (keyed by ``id(ops)``; the
+        ops lists are cached for the VM's lifetime, so ids are stable).
+        A fused ``si`` site has width ``len(parts)`` so counting mode
+        still reports constituent dynamic instructions and E-IR numbers
+        stay comparable across specialized and generic runs."""
+        ops = bind(code, self)
+        if self._counting:
+            self._widths[id(ops)] = [
+                len(ins[1]) if ins[0] == "si" else 1 for ins in code.instrs]
+        if self._profiling:
+            self._opnames[id(ops)] = [ins[0] for ins in code.instrs]
+        return ops
+
+    def _poolable(self, code: Code) -> bool:
+        """A frame may be recycled unless the code spawns tasks (a task
+        may write ``frame[target]`` after the frame returns to the pool)
+        or pooling is disabled.  Slots beyond the arguments are *not*
+        cleared on reuse: the compiler zero-initializes every declared
+        variable before first read, so stale values are never observable."""
+        if not self._frame_pool:
+            return False
+        p = getattr(code, "_poolable", None)
+        if p is None:
+            p = not any(ins[0] == "spawn" for ins in code.instrs)
+            code._poolable = p
+        return p
+
     def call_function(self, name: str, args: list):
         ops = self._ops.get(name)
         if ops is None:
             # Benign under concurrency: binding is deterministic, losers
             # of the (atomic) dict race just rebuilt an equal list.
-            ops = bind(self.program.code_for(name), self)
+            ops = self._bind(self._exec_code_for(name))
             self._ops[name] = ops
-        code = self.program.code_for(name)
+        code = self._exec_code_for(name)
         if len(code.params) != len(args):
             raise InterpError(
                 f"{name}: expected {len(code.params)} args, got {len(args)}")
-        return self._run(ops, code.nregs, args)
+        return self._run(ops, code.nregs, args, self._poolable(code))
 
-    def _run(self, ops: list, nregs: int, args: list):
+    def _run(self, ops: list, nregs: int, args: list,
+             poolable: bool = False):
+        if poolable:
+            tl = self._tl
+            pools = getattr(tl, "frames", None)
+            if pools is None:
+                pools = tl.frames = {}
+            stack = pools.get(nregs)
+            if stack is None:
+                stack = pools[nregs] = []
+            if stack:
+                frame = stack.pop()
+                frame[0] = None
+            else:
+                frame = [None] * nregs
+            frame[1:1 + len(args)] = args
+            pc = 0
+            n = len(ops)
+            while pc < n:
+                pc = ops[pc](frame)
+            ret = frame[0]
+            # Recycle only on clean exit (a trapped frame is abandoned —
+            # a handler may still reference it via the traceback).
+            if len(stack) < 8:
+                stack.append(frame)
+            return ret
         frame = [None] * nregs
         frame[1:1 + len(args)] = args
         pc = 0
@@ -182,20 +288,76 @@ class VM(RTRuntime):
             pc = ops[pc](frame)
         return frame[0]
 
-    def _run_counting(self, ops: list, nregs: int, args: list):
+    def _run_counting(self, ops: list, nregs: int, args: list,
+                      poolable: bool = False):
         """Dispatch loop variant that counts retired instructions into
         the (thread-local) stats — installed over ``_run`` at init when
-        ``REPRO_COUNT_INSTRS`` is set, so the common path stays lean."""
+        ``REPRO_COUNT_INSTRS`` is set, so the common path stays lean.
+        Fused superinstructions retire as their constituent count via
+        the per-pc width table registered by ``_bind``."""
         frame = [None] * nregs
         frame[1:1 + len(args)] = args
         pc = 0
         n = len(ops)
         count = 0
-        while pc < n:
-            count += 1
-            pc = ops[pc](frame)
+        widths = self._widths.get(id(ops))
+        if widths is None:
+            while pc < n:
+                count += 1
+                pc = ops[pc](frame)
+        else:
+            while pc < n:
+                count += widths[pc]
+                pc = ops[pc](frame)
         self.stats.instrs += count
         return frame[0]
+
+    def _run_profiling(self, ops: list, nregs: int, args: list,
+                       poolable: bool = False):
+        """Dispatch loop variant for ``reproc --profile``: records the
+        executed opcode stream's adjacent fall-through pairs and triples
+        (the candidates superinstruction fusion could legally merge) into
+        histograms.  Only straight-line adjacency counts — ``pc == prev
+        + 1`` — because fusion never spans a taken branch."""
+        names = self._opnames[id(ops)]
+        pairs = self._profile_pairs
+        triples = self._profile_triples
+        by_op = self._profile_by_op
+        frame = [None] * nregs
+        frame[1:1 + len(args)] = args
+        pc = 0
+        n = len(ops)
+        disp = 0
+        p1 = -9  # previous pc
+        p2 = -9  # pc before that
+        while pc < n:
+            disp += 1
+            name = names[pc]
+            by_op[name] = by_op.get(name, 0) + 1
+            if pc == p1 + 1:
+                k = (names[p1], name)
+                pairs[k] = pairs.get(k, 0) + 1
+                if p1 == p2 + 1:
+                    k3 = (names[p2], k[0], name)
+                    triples[k3] = triples.get(k3, 0) + 1
+            p2 = p1
+            p1 = pc
+            pc = ops[pc](frame)
+        self._profile_dispatches += disp
+        return frame[0]
+
+    def profile_dump(self) -> dict:
+        """The recorded dispatch histograms as a JSON-ready dict (see
+        ``repro.cexec.superinstr.select_table`` for the consumer)."""
+        return {
+            "version": 1,
+            "dispatches": self._profile_dispatches,
+            "pairs": {"|".join(k): v
+                      for k, v in sorted(self._profile_pairs.items())},
+            "triples": {"|".join(k): v
+                        for k, v in sorted(self._profile_triples.items())},
+            "by_op": dict(sorted(self._profile_by_op.items())),
+        }
 
     # -- pool lifecycle ------------------------------------------------------
 
@@ -270,15 +432,28 @@ class VM(RTRuntime):
         with self._rc_lock:
             task_stats, self._task_stats = self._task_stats, InterpStats()
         self._main_stats.merge(task_stats)
+        # Snapshot the inline-cache cells into the stats.  Assignment
+        # (not +=) keeps repeated drains idempotent; cell[3] (execution
+        # count) is only maintained in counting mode, so ic_hits stays 0
+        # on lean runs while ic_misses is always exact.
+        cells = self._ic_cells
+        if cells:
+            misses = 0
+            execs = 0
+            for c in cells:
+                misses += c[2]
+                execs += c[3]
+            self._main_stats.ic_misses = misses
+            self._main_stats.ic_hits = max(0, execs - misses)
 
     # -- pool regions --------------------------------------------------------
 
     def _pool_run(self, fname: str, total: int, captures: list) -> None:
         ops = self._lifted_ops.get(fname)
         if ops is None:
-            ops = bind(self.program.lifted_code_for(fname), self)
+            ops = self._bind(self._exec_lifted_code_for(fname))
             self._lifted_ops[fname] = ops
-        code = self.program.lifted_code_for(fname)
+        code = self._exec_lifted_code_for(fname)
         self.stats.parallel_regions += 1
         self.stats.region_sizes.append(total)
         per = -(-total // self.nthreads) if total > 0 else 0
@@ -305,8 +480,9 @@ class VM(RTRuntime):
             return
         # Sequential path: nthreads=1, ineligible body, nested region, or
         # pool refusal — same shard boundaries, run in order inline.
+        poolable = self._poolable(code)
         for lo, hi in shards:
-            self._run(ops, code.nregs, captures + [lo, hi])
+            self._run(ops, code.nregs, captures + [lo, hi], poolable)
 
     def _dispatch_region(self, ops, code: Code, fname: str, captures: list,
                          shards: list) -> bool:
@@ -373,6 +549,7 @@ class VM(RTRuntime):
         """Dispatch one fork-join region; ``False`` defers to the caller's
         sequential loop (nested region or off-owner-thread)."""
         results: list = [None] * len(shards)
+        poolable = self._poolable(code)
 
         def make_job(i: int, lo: int, hi: int):
             def job():
@@ -386,7 +563,7 @@ class VM(RTRuntime):
                 tl.stats, tl.stdout = InterpStats(), []
                 exc = None
                 try:
-                    self._run(ops, code.nregs, captures + [lo, hi])
+                    self._run(ops, code.nregs, captures + [lo, hi], poolable)
                 except Exception as e:
                     exc = e
                 finally:
@@ -485,9 +662,11 @@ class VM(RTRuntime):
         fname = job["fname"]
         ops = self._lifted_ops.get(fname)
         if ops is None:
-            ops = bind(self.program.lifted_code_for(fname), self)
+            # Quickening writes land in this (forked) worker's private
+            # copy of the ops list — never shared back with the parent.
+            ops = self._bind(self._exec_lifted_code_for(fname))
             self._lifted_ops[fname] = ops
-        code = self.program.lifted_code_for(fname)
+        code = self._exec_lifted_code_for(fname)
         shm = attach_shm(job["shm"])
         captures: list = []
         try:
@@ -505,7 +684,8 @@ class VM(RTRuntime):
             tl.stats, tl.stdout = InterpStats(), []
             exc = None
             try:
-                self._run(ops, code.nregs, captures + [job["lo"], job["hi"]])
+                self._run(ops, code.nregs, captures + [job["lo"], job["hi"]],
+                          self._poolable(code))
             except Exception as e:
                 # Tracebacks pin frames whose locals reference the shm
                 # views (and do not pickle anyway): keep the bare error.
@@ -570,13 +750,303 @@ class VM(RTRuntime):
                 raise task.exc
 
 
+# Opcodes with a quickened (self-rewriting) variant.  Each starts as a
+# generic closure that, on first execution, replaces itself in the ops
+# list with a type- or callee-specialized form; a failed type guard
+# deopts permanently back to the generic semantics.  The rewrite touches
+# only this VM's private ops list — forked shard workers bind their own.
+_QUICKEN_OPS = superinstr.QUICKEN_OPS
+
+
 def bind(code: Code, vm: VM) -> list:
-    """Thread a :class:`Code` for one VM: one closure per instruction."""
+    """Thread a :class:`Code` for one VM: one closure per instruction.
+
+    When dispatch specialization is on, unconditional ``jmp`` chains are
+    *jump-threaded away*: every control transfer — explicit branch
+    targets and implicit fall-throughs alike — is resolved past any run
+    of ``jmp`` instructions to its final destination at bind time, so a
+    bare ``jmp`` almost never costs a dispatch (the instruction stays in
+    the list, merely unreachable).  The generic stream is bound verbatim
+    so ``REPRO_NO_QUICKEN=1`` stays a faithful S28 baseline."""
+    instrs = code.instrs
     ops: list = []
-    end = len(code.instrs)
-    for i, ins in enumerate(code.instrs):
-        ops.append(_bind_one(ins, i + 1, end, vm))
+    end = len(instrs)
+    quicken = getattr(vm, "_quicken", False)
+    spec = getattr(vm, "_spec_fuse", False)
+
+    if spec:
+        def thread(j: int) -> int:
+            seen = set()
+            while j < end and instrs[j][0] == "jmp" and j not in seen:
+                seen.add(j)  # a jmp-to-itself loop must keep dispatching
+                j = instrs[j][1]
+            return j
+    else:
+        def thread(j: int) -> int:
+            return j
+
+    for i, ins in enumerate(instrs):
+        op = ins[0]
+        nxt = thread(i + 1)
+        if spec:
+            if op in ("jmp", "jz", "jnz"):
+                ins = ins[:-1] + (thread(ins[-1]),)
+            elif op == "fastloop":
+                ins = (op, ins[1], thread(ins[2]))
+            elif op == "si":
+                parts = tuple(
+                    p[:-1] + (thread(p[-1]),)
+                    if p[0] in ("jmp", "jz", "jnz") else p
+                    for p in ins[1])
+                ins = (op, parts, ins[2])
+        if op == "si":
+            ops.append(superinstr.bind_super(ins, nxt, end))
+        elif quicken and op in _QUICKEN_OPS:
+            ops.append(_bind_quicken(ins, nxt, end, vm, ops, i))
+        elif quicken and op == "intr":
+            ops.append(_bind_intr_spec(ins, nxt, vm))
+        else:
+            ops.append(_bind_one(ins, nxt, end, vm))
     return ops
+
+
+def _bind_intr_spec(ins: tuple, nxt: int, vm: VM):
+    """Arity-specialized intrinsic invocation: the bound method is
+    resolved at bind time either way, but small fixed arities skip the
+    argument-list build and star-unpack of the generic form."""
+    _, d, method, regs = ins
+    meth = getattr(vm, method)
+    if len(regs) == 1:
+        r0, = regs
+
+        def f(frame, d=d, meth=meth, r0=r0, nxt=nxt):
+            frame[d] = meth(frame[r0])
+            return nxt
+    elif len(regs) == 2:
+        r0, r1 = regs
+
+        def f(frame, d=d, meth=meth, r0=r0, r1=r1, nxt=nxt):
+            frame[d] = meth(frame[r0], frame[r1])
+            return nxt
+    elif len(regs) == 3:
+        r0, r1, r2 = regs
+
+        def f(frame, d=d, meth=meth, r0=r0, r1=r1, r2=r2, nxt=nxt):
+            frame[d] = meth(frame[r0], frame[r1], frame[r2])
+            return nxt
+    else:
+        def f(frame, d=d, meth=meth, regs=regs, nxt=nxt):
+            frame[d] = meth(*[frame[r] for r in regs])
+            return nxt
+    return f
+
+
+def _bind_quicken(ins: tuple, nxt: int, end: int, vm: VM, ops: list, i: int):
+    op = ins[0]
+    if op == "call":
+        return _quicken_call(ins, nxt, vm, ops, i)
+    if op in ("/", "%"):
+        return _quicken_divmod(ins, nxt, vm, ops, i)
+    return _quicken_matacc(ins, nxt, vm, ops, i)
+
+
+def _quicken_call(ins: tuple, nxt: int, vm: VM, ops: list, i: int):
+    """``call`` quickens to a direct dispatch into the callee's already
+    bound ops — skipping the per-call dict lookup, Code fetch and arity
+    check (validated once, here)."""
+    _, d, name, regs = ins
+
+    def q(frame, d=d, name=name, regs=regs, nxt=nxt, vm=vm, ops=ops, i=i):
+        frame[d] = vm.call_function(name, [frame[r] for r in regs])
+        if ops[i] is q:
+            code = vm._exec_code_for(name)
+            callee = vm._ops[name]
+            run = vm._run
+            pl = vm._poolable(code)
+
+            def fast(frame, run=run, callee=callee, nregs=code.nregs,
+                     regs=regs, d=d, nxt=nxt, pl=pl):
+                frame[d] = run(callee, nregs, [frame[r] for r in regs], pl)
+                return nxt
+
+            ops[i] = fast
+            vm.stats.quickened += 1
+        return nxt
+
+    return q
+
+
+def _quicken_divmod(ins: tuple, nxt: int, vm: VM, ops: list, i: int):
+    """``/`` and ``%`` quicken on the first operand types seen: an
+    int/int site inlines C-style truncating division (exact c_div/c_mod
+    semantics, including the trap messages), a float/float site inlines
+    the float form.  A strict ``type() is`` guard failure — including
+    bools, which c_div deliberately treats as ints — deopts the site to
+    the generic closure for good."""
+    op, d, a, b = ins
+    is_div = op == "/"
+    gen = c_div if is_div else c_mod
+
+    def generic(frame, d=d, a=a, b=b, nxt=nxt, gen=gen):
+        frame[d] = gen(frame[a], frame[b])
+        return nxt
+
+    def deopt(x, y, gen=gen, ops=ops, i=i, vm=vm, generic=generic):
+        ops[i] = generic
+        vm.stats.deopts += 1
+        return gen(x, y)
+
+    if is_div:
+        def fast_int(frame, d=d, a=a, b=b, nxt=nxt, deopt=deopt):
+            x = frame[a]
+            y = frame[b]
+            if type(x) is int and type(y) is int:
+                if y == 0:
+                    raise RuntimeTrap("integer division by zero")
+                q = abs(x) // abs(y)
+                frame[d] = q if (x >= 0) == (y >= 0) else -q
+            else:
+                frame[d] = deopt(x, y)
+            return nxt
+
+        def fast_float(frame, d=d, a=a, b=b, nxt=nxt, deopt=deopt):
+            x = frame[a]
+            y = frame[b]
+            if type(x) is float and type(y) is float:
+                frame[d] = x / y
+            else:
+                frame[d] = deopt(x, y)
+            return nxt
+    else:
+        def fast_int(frame, d=d, a=a, b=b, nxt=nxt, deopt=deopt):
+            x = frame[a]
+            y = frame[b]
+            if type(x) is int and type(y) is int:
+                if y == 0:
+                    raise RuntimeTrap("integer modulo by zero")
+                q = abs(x) // abs(y)
+                if (x >= 0) != (y >= 0):
+                    q = -q
+                frame[d] = x - q * y
+            else:
+                frame[d] = deopt(x, y)
+            return nxt
+
+        def fast_float(frame, d=d, a=a, b=b, nxt=nxt, deopt=deopt):
+            x = frame[a]
+            y = frame[b]
+            if type(x) is float and type(y) is float:
+                frame[d] = math.fmod(x, y)
+            else:
+                frame[d] = deopt(x, y)
+            return nxt
+
+    def q(frame, d=d, a=a, b=b, nxt=nxt, gen=gen):
+        x = frame[a]
+        y = frame[b]
+        if ops[i] is q:
+            if type(x) is int and type(y) is int:
+                ops[i] = fast_int
+            elif type(x) is float and type(y) is float:
+                ops[i] = fast_float
+            else:
+                ops[i] = generic
+            vm.stats.quickened += 1
+        frame[d] = gen(x, y)
+        return nxt
+
+    return q
+
+
+def _quicken_matacc(ins: tuple, nxt: int, vm: VM, ops: list, i: int):
+    """Matrix element access quickens with a per-site inline cache on
+    the RTMat identity: while the same matrix object flows through the
+    site (the overwhelmingly common case — a loop body hammering one
+    array), the payload ``.data`` attribute load is cached.  A different
+    matrix is a cache miss, not a deopt: the cell re-fills and the site
+    stays fast.  The cache holds the *identity*, never shape or dtype,
+    so it needs no invalidation — an RTMat's data array is replaced only
+    together with the object itself."""
+    op = ins[0]
+    counting = vm._counting
+    if op in ("rt_getf", "rt_geti"):
+        _, d, m, ix = ins
+        conv = float if op == "rt_getf" else int
+
+        def q(frame, d=d, m=m, ix=ix, nxt=nxt, conv=conv):
+            mat = frame[m]
+            cell = [mat, mat.data, 0, 0]  # [mat, data, misses, execs]
+            if counting:
+                def fast(frame, d=d, m=m, ix=ix, nxt=nxt, cell=cell,
+                         conv=conv):
+                    cell[3] += 1
+                    mat = frame[m]
+                    if mat is cell[0]:
+                        data = cell[1]
+                    else:
+                        cell[0] = mat
+                        data = cell[1] = mat.data
+                        cell[2] += 1
+                    frame[d] = conv(data[int(frame[ix])])
+                    return nxt
+            else:
+                def fast(frame, d=d, m=m, ix=ix, nxt=nxt, cell=cell,
+                         conv=conv):
+                    mat = frame[m]
+                    if mat is cell[0]:
+                        data = cell[1]
+                    else:
+                        cell[0] = mat
+                        data = cell[1] = mat.data
+                        cell[2] += 1
+                    frame[d] = conv(data[int(frame[ix])])
+                    return nxt
+            if ops[i] is q:
+                vm._ic_cells.append(cell)
+                ops[i] = fast
+                vm.stats.quickened += 1
+            frame[d] = conv(cell[1][int(frame[ix])])
+            return nxt
+
+        return q
+
+    _, m, ix, v = ins
+    conv = np.float32 if op == "rt_setf" else int
+
+    def q(frame, m=m, ix=ix, v=v, nxt=nxt, conv=conv):
+        mat = frame[m]
+        cell = [mat, mat.data, 0, 0]
+        if counting:
+            def fast(frame, m=m, ix=ix, v=v, nxt=nxt, cell=cell, conv=conv):
+                cell[3] += 1
+                mat = frame[m]
+                if mat is cell[0]:
+                    data = cell[1]
+                else:
+                    cell[0] = mat
+                    data = cell[1] = mat.data
+                    cell[2] += 1
+                data[int(frame[ix])] = conv(frame[v])
+                return nxt
+        else:
+            def fast(frame, m=m, ix=ix, v=v, nxt=nxt, cell=cell, conv=conv):
+                mat = frame[m]
+                if mat is cell[0]:
+                    data = cell[1]
+                else:
+                    cell[0] = mat
+                    data = cell[1] = mat.data
+                    cell[2] += 1
+                data[int(frame[ix])] = conv(frame[v])
+                return nxt
+        if ops[i] is q:
+            vm._ic_cells.append(cell)
+            ops[i] = fast
+            vm.stats.quickened += 1
+        cell[1][int(frame[ix])] = conv(frame[v])
+        return nxt
+
+    return q
 
 
 def _bind_one(ins: tuple, nxt: int, end: int, vm: VM):

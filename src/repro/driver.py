@@ -73,7 +73,8 @@ class CompileResult:
 
     def make_engine(self, *, engine: str = "vm", workdir: str = ".",
                     nthreads: int | None = None, fork_mode: str = "enhanced",
-                    parallel_backend: str | None = None):
+                    parallel_backend: str | None = None,
+                    profile: bool = False):
         """A ready-to-run executor for this compile result.
 
         ``engine="vm"`` reuses the memoized :meth:`bytecode` program (so
@@ -93,7 +94,8 @@ class CompileResult:
                             workdir=workdir,
                             nthreads=resolve_nthreads(nthreads),
                             fork_mode=fork_mode, program=program,
-                            parallel_backend=parallel_backend)
+                            parallel_backend=parallel_backend,
+                            profile=profile)
 
 
 class Translator:

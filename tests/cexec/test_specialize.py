@@ -1,0 +1,436 @@
+"""S29 dispatch specialization: superinstructions, quickening, inline
+caches, jump threading, frame pooling, and guard elision.
+
+The specialized stream must be *observationally invisible*: for every
+corpus program — and for targeted programs poking traps inside fused
+groups and the deopt path — the quickened/fused VM produces bit-identical
+outputs, stdout, traps, and core InterpStats counters to both the
+unspecialized VM (``REPRO_NO_QUICKEN=1``) and the tree-walking reference.
+Counting mode must report the same dynamic instruction totals for a fused
+stream as for the generic one (superinstructions count as their
+constituents).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import compile_source
+from repro.cexec import superinstr
+from repro.cexec.bytecode import Code
+from repro.cexec.interp import RuntimeTrap, run_program
+from repro.cexec.vm import VM, bind
+from repro.cminus.env import Optimizations
+from repro.programs import corpus_cases, load
+
+
+@pytest.fixture(autouse=True)
+def _spec_available(monkeypatch):
+    """CI reruns this file with ``REPRO_NO_QUICKEN=1`` exported; the
+    white-box tests below exercise the specialization machinery itself,
+    so default every test to "specialization available" and let tests
+    that want it off (or the generic leg of an identity check) set the
+    flag explicitly."""
+    monkeypatch.delenv("REPRO_NO_QUICKEN", raising=False)
+
+
+def run_one(src, exts, inputs=None, outputs=None, *, engine="vm",
+            nthreads=1, backend=None, options=None):
+    """(rc, trap, stats_tuple, stdout, outputs) for one configuration.
+
+    The stats tuple holds only the engine-differential counters; the S29
+    counters (quickened/deopts/ic_hits/ic_misses/guards_elided) are
+    diagnostics outside that contract.
+    """
+    trap = None
+    rc, outs, st, ex = None, {}, None, None
+    try:
+        rc, outs, st, ex = run_program(
+            src, list(exts), inputs, output_names=outputs,
+            nthreads=nthreads, engine=engine, parallel_backend=backend,
+            options=options or Optimizations(opt_level=2))
+    except RuntimeTrap as t:
+        trap = str(t)
+    stats = None
+    if st is not None:
+        stats = (st.allocs, st.frees, st.copies, st.parallel_regions,
+                 st.tasks_spawned, tuple(st.region_sizes))
+    return (rc, trap, stats, list(ex.stdout) if ex else None, outs)
+
+
+def assert_identical(a, b, label=""):
+    a_rc, a_trap, a_stats, a_out, a_files = a
+    b_rc, b_trap, b_stats, b_out, b_files = b
+    assert a_rc == b_rc, f"{label}: rc {a_rc} vs {b_rc}"
+    assert a_trap == b_trap, f"{label}: trap {a_trap!r} vs {b_trap!r}"
+    assert a_stats == b_stats, f"{label}: stats {a_stats} vs {b_stats}"
+    assert a_out == b_out, f"{label}: stdout differs"
+    assert set(a_files) == set(b_files), f"{label}: output names differ"
+    for k in a_files:
+        assert a_files[k].tobytes() == b_files[k].tobytes(), \
+            f"{label}: output {k} differs bit-for-bit"
+
+
+class TestCorpusIdentity:
+    """Specialized VM vs unspecialized VM vs tree walker, full corpus."""
+
+    @pytest.mark.parametrize(
+        "case", corpus_cases(), ids=lambda c: c[0])
+    def test_corpus_bit_identity(self, case, monkeypatch):
+        name, src, exts, inputs, outs = case
+        monkeypatch.setenv("REPRO_NO_QUICKEN", "1")
+        tree = run_one(src, exts, inputs, outs, engine="tree")
+        generic = run_one(src, exts, inputs, outs, engine="vm")
+        monkeypatch.delenv("REPRO_NO_QUICKEN")
+        spec = run_one(src, exts, inputs, outs, engine="vm")
+        assert_identical(tree, generic, f"{name}: tree vs generic")
+        assert_identical(generic, spec, f"{name}: generic vs spec")
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_shards_identical(self, backend, monkeypatch):
+        """Quickening is per-VM state: forked/threaded shard workers
+        bind their own ops lists, so a 4-worker run stays bit-identical
+        to the specialized sequential run under both backends."""
+        name, src, exts, inputs, outs = next(
+            c for c in corpus_cases() if c[0] == "fig1")
+        seq = run_one(src, exts, inputs, outs, nthreads=1)
+        monkeypatch.setenv("REPRO_THREADS", "4")
+        par = run_one(src, exts, inputs, outs, nthreads=4, backend=backend)
+        assert_identical(seq, par, f"fig1 spec {backend} x4")
+
+    def test_counting_mode_totals_match(self, monkeypatch):
+        """A fused superinstruction is N dynamic instructions, not one:
+        REPRO_COUNT_INSTRS totals must not shrink under fusion."""
+        monkeypatch.setenv("REPRO_COUNT_INSTRS", "1")
+        name, src, exts, inputs, outs = next(
+            c for c in corpus_cases() if c[0] == "fig4")
+        monkeypatch.setenv("REPRO_NO_QUICKEN", "1")
+        rc1, _, st_gen, _ = run_program(
+            src, list(exts), inputs, output_names=outs, nthreads=1,
+            options=Optimizations(opt_level=2))
+        monkeypatch.setenv("REPRO_NO_QUICKEN", "0")
+        rc2, _, st_spec, _ = run_program(
+            src, list(exts), inputs, output_names=outs, nthreads=1,
+            options=Optimizations(opt_level=2))
+        assert rc1 == rc2 == 0
+        assert st_gen.instrs == st_spec.instrs, \
+            f"generic {st_gen.instrs} vs fused {st_spec.instrs}"
+
+
+def _mk_vm(src="int main() { return 0; }"):
+    cr = compile_source(src, ["matrix"])
+    assert cr.ok, cr.diagnostics
+    return VM(cr.lowered, cr.ctx, workdir=".", nthreads=1,
+              program=cr.bytecode())
+
+
+class TestFusion:
+    """Unit coverage of the chain-rule fuser on hand-built Code."""
+
+    def test_jump_target_never_mid_group(self):
+        # pc 2 is a jmp target: the (move,move) chain may not swallow it.
+        code = Code("f", [], 4, [
+            ("move", 1, 0),
+            ("move", 2, 1),
+            ("move", 3, 2),
+            ("jmp", 2),
+        ])
+        fused, n = superinstr.fuse(code, {("move", "move")}, set())
+        assert n == 1
+        ops = [i[0] for i in fused.instrs]
+        assert ops == ["si", "move", "jmp"]
+        assert len(fused.instrs[0][1]) == 2  # pcs 0-1 only
+        # the jmp was remapped to the group that *starts* at old pc 2
+        assert fused.instrs[2] == ("jmp", 1)
+
+    def test_group_may_start_at_jump_target(self):
+        code = Code("f", [], 4, [
+            ("jmp", 1),
+            ("move", 1, 0),
+            ("move", 2, 1),
+            ("ret", 2),
+        ])
+        fused, n = superinstr.fuse(code, {("move", "move")}, set())
+        assert n == 1
+        assert fused.instrs[0] == ("jmp", 1)
+        assert fused.instrs[1][0] == "si"
+
+    def test_dead_intermediate_marked(self):
+        # slot 1 is only read by the next constituent: elidable.
+        code = Code("f", [], 3, [
+            ("const", 1, 5),
+            ("move", 2, 1),
+            ("ret", 2),
+        ])
+        fused, n = superinstr.fuse(code, {("const", "move")}, set())
+        assert n == 1
+        si = fused.instrs[0]
+        assert si[0] == "si"
+        dead = si[2]
+        assert dead[0] is True      # const's write to slot 1 elided
+        assert dead[1] is False     # slot 2 is read by the ret outside
+
+    def test_live_intermediate_not_marked(self):
+        # slot 1 is read *outside* the group: the write must land.
+        code = Code("f", [], 3, [
+            ("const", 1, 5),
+            ("move", 2, 1),
+            ("move", 2, 1),
+            ("ret", 2),
+        ])
+        fused, _ = superinstr.fuse(code, {("const", "move")}, set())
+        si = fused.instrs[0]
+        assert si[0] == "si" and si[2][0] is False
+
+    def test_mid_group_conditional_early_exit(self):
+        """A jz in a non-final position compiles to an early return:
+        both branch outcomes must agree with the unfused stream."""
+        code = Code("f", ["a"], 4, [
+            ("const", 2, 1),
+            ("jz", 1, 5),
+            ("const", 3, 10),
+            ("+", 2, 2, 3),
+            ("ret", 2),
+            ("ret", 1),
+        ])
+        fused, n = superinstr.fuse(
+            code, {("const", "jz"), ("jz", "const"), ("const", "+"),
+                   ("+", "ret")}, set())
+        assert n == 1 and fused.instrs[0][0] == "si"
+        vm = _mk_vm()
+        for arg in (0, 1, 7):
+            got = vm._run(bind(fused, vm), fused.nregs, [arg])
+            want = vm._run(bind(code, vm), code.nregs, [arg])
+            assert got == want, f"arg={arg}: {got} vs {want}"
+
+    def test_trap_inside_fused_group(self):
+        """A trapping constituent mid-group raises exactly what the
+        unfused sequence raises (a partially-executed group is
+        indistinguishable from a partially-executed sequence)."""
+        src = """
+        int main() {
+            Matrix int <1> a = init(Matrix int <1>, 4);
+            writeMatrix("a.data", a);
+            return 0;
+        }
+        """
+        vm = _mk_vm(src)
+        # const idx; rt_geti (traps: index 99 out of range); move
+        code = Code("f", ["m"], 4, [
+            ("const", 2, 99),
+            ("rt_geti", 3, 1, 2),
+            ("move", 0, 3),
+            ("ret", 0),
+        ])
+        fused, n = superinstr.fuse(
+            code, {("const", "rt_geti"), ("rt_geti", "move")}, set())
+        assert n == 1
+        mat = vm.rt_alloci(1, 4, 0, 0, 0)
+        errs = []
+        for c in (code, fused):
+            with pytest.raises(IndexError) as ei:
+                vm._run(bind(c, vm), c.nregs, [mat])
+            errs.append(str(ei.value))
+        assert errs[0] == errs[1]
+
+
+class TestQuickening:
+    def test_divmod_quickens_then_deopts(self):
+        vm = _mk_vm()
+        assert vm._quicken, "specialization unexpectedly disabled"
+        code = Code("f", ["a", "b"], 4, [
+            ("/", 3, 1, 2),
+            ("ret", 3),
+        ])
+        ops = bind(code, vm)
+        base = vm.stats.quickened
+        assert vm._run(ops, code.nregs, [7, 2]) == 3   # quickens to int/int
+        assert vm.stats.quickened == base + 1
+        assert vm._run(ops, code.nregs, [9, 2]) == 4   # stays on fast path
+        assert vm.stats.deopts == 0
+        # guard failure: float operands at an int-quickened site
+        assert vm._run(ops, code.nregs, [1.0, 2.0]) == 0.5
+        assert vm.stats.deopts == 1
+        # deopted site is permanently generic but still correct
+        assert vm._run(ops, code.nregs, [7, 2]) == 3
+
+    def test_quickened_div_trap_message_identical(self):
+        vm = _mk_vm()
+        code = Code("f", ["a", "b"], 4, [("/", 3, 1, 2), ("ret", 3)])
+        ops = bind(code, vm)
+        vm._run(ops, code.nregs, [6, 3])  # quicken to fast_int first
+        with pytest.raises(RuntimeTrap, match="integer division by zero"):
+            vm._run(ops, code.nregs, [6, 0])
+
+    def test_matrix_access_inline_cache(self, monkeypatch):
+        """The rt_get/set IC keys on RTMat identity; a different matrix
+        is a refill, not a deopt, and values stay exact."""
+        monkeypatch.setenv("REPRO_COUNT_INSTRS", "1")
+        vm = _mk_vm()
+        code = Code("f", ["m", "i"], 4, [
+            ("rt_geti", 3, 1, 2),
+            ("ret", 3),
+        ])
+        ops = bind(code, vm)
+        m1 = vm.rt_alloci(1, 3, 0, 0, 0)
+        m2 = vm.rt_alloci(1, 3, 0, 0, 0)
+        m1.data[1] = 41
+        m2.data[1] = 42
+        assert vm._run(ops, code.nregs, [m1, 1]) == 41
+        assert vm._run(ops, code.nregs, [m1, 1]) == 41
+        assert vm._run(ops, code.nregs, [m2, 1]) == 42  # cache refill
+        assert vm._run(ops, code.nregs, [m1, 1]) == 41
+        vm._drain_tasks()
+        assert vm.stats.ic_misses >= 2  # m2 switch + switch back
+        assert vm.stats.ic_hits >= 1
+
+    def test_no_quicken_env_disables_all(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_QUICKEN", "1")
+        vm = _mk_vm()
+        code = Code("f", ["a", "b"], 4, [("/", 3, 1, 2), ("ret", 3)])
+        ops = bind(code, vm)
+        assert vm._run(ops, code.nregs, [7, 2]) == 3
+        assert vm.stats.quickened == 0
+
+
+class TestJumpThreading:
+    def test_jmp_chain_threaded_in_spec_stream(self):
+        vm = _mk_vm()
+        code = Code("f", [], 2, [
+            ("jmp", 1),
+            ("jmp", 2),
+            ("jmp", 3),
+            ("const", 0, 7),
+            ("ret", 0),
+        ])
+        ops = bind(code, vm)
+        # the entry jmp lands directly on the const, skipping the chain
+        assert ops[0]([None, None]) == 3
+        assert vm._run(ops, code.nregs, []) == 7
+
+    def test_self_loop_not_followed(self):
+        vm = _mk_vm()
+        code = Code("f", [], 2, [
+            ("jz", 1, 1),   # taken path targets the self-loop
+            ("jmp", 1),     # jmp-to-itself: must not thread forever
+            ("ret", 1),
+        ])
+        bind(code, vm)  # merely binding must terminate
+
+
+class TestFramePool:
+    def test_recursion_identical_with_pool_off(self, monkeypatch):
+        src = """
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { printInt(fib(15)); return 0; }
+        """
+        on = run_one(src, ["matrix"])
+        monkeypatch.setenv("REPRO_NO_FRAME_POOL", "1")
+        off = run_one(src, ["matrix"])
+        assert_identical(on, off, "frame pool on/off")
+        assert on[3] == ["610"]
+
+
+class TestGuardElision:
+    PROVABLE = """
+    int main() {
+        int n = 9;
+        Matrix float <1> a = with ([0] <= [i] < [n]) genarray([n], 2.0);
+        writeMatrix("a.data", a);
+        return 0;
+    }
+    """
+
+    def test_provable_guard_elided_and_counted(self):
+        src = self.PROVABLE
+        rc, outs, st, ex = run_program(
+            src, ["matrix"], {}, output_names=["a.data"], nthreads=1,
+            options=Optimizations(opt_level=2))
+        assert rc == 0
+        assert st.guards_elided >= 1
+        assert np.all(outs["a.data"] == np.float32(2.0))
+
+    def test_violated_guard_still_traps(self):
+        src = """
+        int main() {
+            Matrix float <1> a = with ([0] <= [i] < [7]) genarray([5], 1.0);
+            writeMatrix("a.data", a);
+            return 0;
+        }
+        """
+        with pytest.raises(RuntimeTrap, match="genarray"):
+            run_program(src, ["matrix"], {}, output_names=["a.data"],
+                        nthreads=1, options=Optimizations(opt_level=2))
+
+    def test_escape_hatch_keeps_guard(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_GUARD_ELIDE", "1")
+        rc, outs, st, _ = run_program(
+            self.PROVABLE, ["matrix"], {}, output_names=["a.data"],
+            nthreads=1, options=Optimizations(opt_level=2))
+        assert rc == 0 and st.guards_elided == 0
+        assert np.all(outs["a.data"] == np.float32(2.0))
+
+
+class TestProfileAndTable:
+    def test_profile_dump_shape(self, tmp_path):
+        name, src, exts, inputs, outs = next(
+            c for c in corpus_cases() if c[0] == "fig1")
+        cr = compile_source(src, list(exts))
+        assert cr.ok
+        for fname, arr in (inputs or {}).items():
+            from repro.cexec.rmat import write_rmat
+            write_rmat(tmp_path / fname, arr)
+        eng = cr.make_engine(workdir=str(tmp_path), nthreads=1,
+                             profile=True)
+        assert eng.run_main() == 0
+        dump = eng.profile_dump()
+        eng.close()
+        assert dump["version"] == 1 and dump["dispatches"] > 0
+        assert all("|" in k and len(k.split("|")) == 2
+                   for k in dump["pairs"])
+        assert all(len(k.split("|")) == 3 for k in dump["triples"])
+        assert sum(dump["by_op"].values()) == dump["dispatches"]
+
+    def test_select_table_eligibility(self):
+        hist = {
+            "dispatches": 1000,
+            "pairs": {
+                "move|move": 400,
+                "call|move": 300,     # call may not open a group
+                "jz|const": 200,      # conditional may lead a group
+                "move|spawn": 150,    # spawn is no legal tail
+                "move|jz": 100,
+                "const|const": 1,     # below min_share
+            },
+            "triples": {"move|jz|const": 90,   # mid-group conditional ok
+                        "move|jmp|const": 80},  # jmp only legal as tail
+        }
+        pairs, triples = superinstr.select_table(hist)
+        assert ("move", "move") in pairs
+        assert ("jz", "const") in pairs
+        assert ("move", "jz") in pairs
+        assert ("call", "move") not in pairs
+        assert ("move", "spawn") not in pairs
+        assert ("const", "const") not in pairs
+        assert ("move", "jz", "const") in triples
+        assert ("move", "jmp", "const") not in triples
+
+    def test_table_version_pins_fingerprint(self, monkeypatch):
+        """Regenerating the shipped selection table must invalidate the
+        in-memory translator cache."""
+        from repro.api import module_registry
+        from repro.cexec import superinstr_table
+        from repro.service import translator_fingerprint
+
+        assert superinstr_table.TABLE_VERSION.startswith("s29-")
+        reg = module_registry()
+        mods = [reg["cminus"], reg["tuples"]]
+        a = translator_fingerprint(mods, None, 1)
+        monkeypatch.setattr(superinstr_table, "TABLE_VERSION",
+                            "s29-0000000000")
+        b = translator_fingerprint(mods, None, 1)
+        assert a != b

@@ -43,6 +43,34 @@ class TestGoldenDump:
                     "strength=", "dce="):
             assert key in counts, f"golden input no longer triggers {key}"
 
+    def test_disasm_spec_matches_golden(self, capsys):
+        """Same drift gate for the S29 dispatch-specialized stream:
+        which groups fuse (and which intermediate writes they elide)
+        is pinned by the shipped superinstruction table.  Regenerate:
+
+            PYTHONPATH=src python -m repro.cli disasm \\
+                tests/ir/golden_input.xc --spec -O2 \\
+                > tests/ir/golden_disasm_spec.txt
+        """
+        rc = main(["disasm", str(HERE / "golden_input.xc"),
+                   "--spec", "-O2"])
+        assert rc == 0
+        got = capsys.readouterr().out
+        want = (HERE / "golden_disasm_spec.txt").read_text()
+        if got != want:
+            diff = "\n".join(difflib.unified_diff(
+                want.splitlines(), got.splitlines(),
+                "golden_disasm_spec.txt", "reproc disasm --spec",
+                lineterm=""))
+            raise AssertionError(
+                "specialized-stream disasm drifted from the golden "
+                "dump; if intentional, regenerate it (see docstring)."
+                f"\n{diff}")
+        assert " si " in got.replace("  ", " "), \
+            "golden input no longer fuses any superinstruction"
+        assert "~q" in got, \
+            "golden input no longer has a quickening candidate"
+
     def test_disasm_O0_shows_raw_bytecode(self, capsys):
         rc = main(["disasm", str(HERE / "golden_input.xc"), "-O0"])
         assert rc == 0
