@@ -1,0 +1,16 @@
+// RACE-FREE: each task writes its own half [base, base+50) -- the
+// affine overlap test refutes every cross pair, so both spawns are
+// cleared for the task pool.
+void fill(Matrix float <1> m, int base) {
+    for (int i = 0; i < 50; i = i + 1) {
+        m[base + i] = 1.0 * (base + i);
+    }
+}
+int main() {
+    Matrix float <1> m = init(Matrix float <1>, 100);
+    spawn fill(m, 0);
+    spawn fill(m, 50);
+    sync;
+    printFloat(m[99]);
+    return 0;
+}

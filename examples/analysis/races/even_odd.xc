@@ -1,0 +1,20 @@
+// RACE-FREE: one task writes even elements, the other odd -- the
+// analysis refutes the overlap by a GCD argument (2i != 2j+1).
+void evens(Matrix float <1> m) {
+    for (int i = 0; i < 50; i = i + 1) {
+        m[2 * i] = 2.0 * i;
+    }
+}
+void odds(Matrix float <1> m) {
+    for (int i = 0; i < 50; i = i + 1) {
+        m[2 * i + 1] = 2.0 * i + 1.0;
+    }
+}
+int main() {
+    Matrix float <1> m = init(Matrix float <1>, 100);
+    spawn evens(m);
+    spawn odds(m);
+    sync;
+    printFloat(m[99]);
+    return 0;
+}

@@ -1,0 +1,20 @@
+// RACY (conservatively): writes go through a data-dependent index
+// map, so the summary widens to the whole matrix and the overlap
+// cannot be refuted.
+void scatter(Matrix float <1> dst, Matrix float <1> idx, int base) {
+    for (int i = 0; i < 10; i = i + 1) {
+        dst[(int)idx[base + i]] = 1.0 * i;
+    }
+}
+int main() {
+    Matrix float <1> dst = init(Matrix float <1>, 40);
+    Matrix float <1> idx = init(Matrix float <1>, 20);
+    for (int i = 0; i < 20; i = i + 1) {
+        idx[i] = 1.0 * (39 - i);
+    }
+    spawn scatter(dst, idx, 0);
+    spawn scatter(dst, idx, 10);
+    sync;
+    printFloat(dst[0]);
+    return 0;
+}

@@ -1,0 +1,14 @@
+// RACY: the continuation reads m[5] while the spawned task may still
+// be writing the same element -- no sync in between.
+void fill(Matrix float <1> m) {
+    for (int i = 0; i < 10; i = i + 1) {
+        m[i] = 1.0 * i;
+    }
+}
+int main() {
+    Matrix float <1> m = init(Matrix float <1>, 10);
+    spawn fill(m);
+    printFloat(m[5]);
+    sync;
+    return 0;
+}

@@ -1,0 +1,15 @@
+// RACY: sibling tasks write overlapping windows [base, base+10) with
+// bases 0 and 5 -- elements 5..9 are written by both.
+void fill(Matrix float <1> m, int base) {
+    for (int i = 0; i < 10; i = i + 1) {
+        m[base + i] = 1.0 * (base + i);
+    }
+}
+int main() {
+    Matrix float <1> m = init(Matrix float <1>, 20);
+    spawn fill(m, 0);
+    spawn fill(m, 5);
+    sync;
+    printFloat(m[9]);
+    return 0;
+}

@@ -1,0 +1,987 @@
+"""Interprocedural matrix access summaries (S30, pass 1 of the race
+analysis).
+
+For every function (and lifted pool-worker body) of a compiled program
+this pass computes *which matrix elements the function may read and
+write*, as affine access forms over symbolic terms:
+
+* an :class:`~repro.ir.affine.Poly` base — an exact integer polynomial
+  over named atoms (function parameters ``p:x``, axis lengths
+  ``d:<root>:<k>``), plus
+* one :class:`IVTerm` per enclosing loop induction variable the index
+  depends on, carrying the IV's polynomial coefficient and (half-open)
+  symbolic range.
+
+Indices the walk cannot normalize — indirect subscripts ``m[n[i]]``,
+division, values flowing through tuples — *widen to ⊤ for that
+matrix*: an :class:`Access` with ``base is None`` that overlaps
+everything.  Widening is always sound; it can only make the downstream
+refutation (:mod:`repro.analysis.races`) fail to prove disjointness,
+never prove it wrongly.
+
+Summaries are interprocedural: a call site substitutes the callee's
+summary into the caller's symbol space (scalar arguments into ``p:``
+atoms, actual matrix roots for matrix parameters, fresh names for the
+callee's local allocations) and joins the records, iterating over the
+S25 call graph until the fixpoint; a per-summary record cap keeps
+recursion finite by collapsing overflow to ⊤ per matrix.
+
+The walk drives an :class:`~repro.analysis.mhp.MHPTracker` as it goes,
+so the may-happen-in-parallel pairs fall out of the same traversal
+that builds the summary; tasks still pending at function exit are
+recorded as the summary's *escapes* and respawned into every caller's
+tracker (the VM's implicit sync is at program exit, not function
+return).
+
+The tree walk shares :func:`repro.ir.affine.tree_affine` with the
+loopfast vectorizer and the strength reducer, instantiated over the
+:class:`~repro.ir.affine.PolyRing` with the ``atom_call`` hook so the
+``rt_dim(m, k)`` calls the matrix lowering embeds in linearized
+indices act as invariant symbolic atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.ag.tree import Node
+from repro.analysis.mhp import MHPTracker
+from repro.cminus.absyn import node_cons_to_list
+from repro.ir.affine import Poly, PolyRing, combine, negate, scale, tree_affine
+
+#: Cap on records per function summary; overflow collapses to ⊤ per
+#: accessed matrix (keeps the callgraph fixpoint finite under
+#: recursion and keeps pair enumeration quadratic in a small constant).
+MAX_RECORDS = 64
+
+READ, WRITE = "read", "write"
+
+
+@dataclass(frozen=True)
+class IVTerm:
+    """One loop-variable contribution to an access index: the IV's
+    coefficient and half-open range ``[lo, hi)``, all exact
+    polynomials (``None`` bound = unknown)."""
+
+    name: str
+    coeff: Poly
+    lo: Poly | None
+    hi: Poly | None
+
+
+@dataclass(frozen=True)
+class Access:
+    """One may-access of a matrix: ``root`` names the matrix in the
+    summary's symbol space, ``base``/``ivs`` the affine index form
+    (``base is None`` = ⊤: any element), ``what`` a rendering for
+    witness chains, ``chain`` the call path that reaches the access
+    (empty = direct), ``span`` its source location.  ``definite`` is
+    False for records that exist only because the walk lost track of a
+    matrix's identity (tuples, unknown callees): they participate in
+    may-conflict (blocking clearance) but never in definite race
+    reports."""
+
+    root: str
+    mode: str                       # READ | WRITE
+    base: Poly | None
+    ivs: tuple[IVTerm, ...] = ()
+    what: str = ""
+    chain: tuple[str, ...] = ()
+    span: object = None
+    definite: bool = True
+
+    @property
+    def top(self) -> bool:
+        return self.base is None
+
+
+@dataclass
+class Summary:
+    """Access summary of one function: records plus what the function
+    knows about the shapes of its local allocations and which spawned
+    tasks are still pending when it returns."""
+
+    records: list[Access] = field(default_factory=list)
+    #: root -> per-axis length polynomials (local allocations with
+    #: analyzable shapes; an entry may be None for an unknown axis).
+    dims: dict[str, tuple] = field(default_factory=dict)
+    #: tasks pending at function exit: (callee, records) pairs — the
+    #: caller respawns these into its own tracker at the call site.
+    escaped: list[tuple] = field(default_factory=list)
+    #: the walk met something it cannot bound at all (unknown callee,
+    #: raw C): every matrix in scope must be assumed read+written.
+    opaque: bool = False
+
+
+# -- affine value helpers ----------------------------------------------------
+#
+# A scalar abstract value is an *Aff*: ``(Poly, {iv_name: Poly})`` — the
+# same shape tree_affine produces — or None for ⊤.
+
+Aff = tuple
+
+
+def aff_const(v: int) -> Aff:
+    return (Poly.const(v), {})
+
+
+def aff_atom(name: str) -> Aff:
+    return (Poly.atom(name), {})
+
+
+def aff_add(a: Aff | None, b: Aff | None, op: str = "+") -> Aff | None:
+    if a is None or b is None:
+        return None
+    return combine(PolyRing, op, a, b)
+
+
+def aff_neg(a: Aff | None) -> Aff | None:
+    return None if a is None else negate(PolyRing, a)
+
+
+def aff_mul(a: Aff | None, b: Aff | None) -> Aff | None:
+    if a is None or b is None:
+        return None
+    if a[1] and b[1]:
+        return None  # quadratic in IVs
+    inv, lin = (a, b) if not a[1] else (b, a)
+    return scale(PolyRing, lin, inv[0])
+
+
+def subst_poly(p: Poly, env: dict[str, Aff | None]) -> Aff | None:
+    """Substitute atoms of ``p`` by Affs; atoms missing from ``env``
+    are kept verbatim (they already live in the target space)."""
+    acc: Aff | None = aff_const(0)
+    for m, c in p.terms.items():
+        term: Aff | None = aff_const(c)
+        for a in m:
+            b = env.get(a, aff_atom(a))
+            term = aff_mul(term, b)
+        acc = aff_add(acc, term)
+    return acc
+
+
+# -- small tree helpers ------------------------------------------------------
+
+
+def _is_mat_type(type_node) -> bool:
+    return (getattr(type_node, "prod", None) == "tRaw"
+            and str(type_node.children[0]).lstrip().startswith("rt_mat"))
+
+
+def render_expr(node) -> str:
+    """Small expression renderer for witness text."""
+    if not isinstance(node, Node):
+        return "?"
+    p, ch = node.prod, node.children
+    if p == "intLit":
+        return str(ch[0])
+    if p == "var":
+        return str(ch[0])
+    if p == "binop":
+        return f"{render_expr(ch[1])} {ch[0]} {render_expr(ch[2])}"
+    if p == "unop":
+        return f"{ch[0]}{render_expr(ch[1])}"
+    if p == "castE":
+        return render_expr(ch[1])
+    if p == "call":
+        args = node_cons_to_list(ch[1])
+        if ch[0] == "rt_dim":
+            return f"dim({render_expr(args[0])}, {render_expr(args[1])})"
+        if ch[0] in ("rt_getf", "rt_geti") and len(args) == 2:
+            return f"{render_expr(args[0])}[{render_expr(args[1])}]"
+        return f"{ch[0]}(..)"
+    return "?"
+
+
+def _refs_var(node, name: str) -> bool:
+    if not isinstance(node, Node):
+        return False
+    if node.prod == "var" and node.children[0] == name:
+        return True
+    return any(_refs_var(c, name) for c in node.children)
+
+
+def _assigned_names(node, out: set) -> None:
+    """Variable names (scalar or matrix) assigned anywhere under
+    ``node`` — the havoc set for loop bodies."""
+    if not isinstance(node, Node):
+        return
+    if node.prod == "assign" and node.children[0].prod == "var":
+        out.add(node.children[0].children[0])
+    if node.prod in ("declInit", "forDecl", "decl"):
+        out.add(node.children[1])
+    if node.prod == "call" and node.children[0] == "__rt_spawn_into":
+        args = node_cons_to_list(node.children[1])
+        if len(args) > 2 and args[2].prod == "strLit":
+            out.add(args[2].children[0])
+    for c in node.children:
+        _assigned_names(c, out)
+
+
+def _find_span(node):
+    from repro.analysis.shapes import _find_span as fs
+
+    return fs(node)
+
+
+def _contains_spawn(node) -> bool:
+    if not isinstance(node, Node):
+        return False
+    if node.prod == "call" and node.children[0] in (
+            "__rt_spawn", "__rt_spawn_into"):
+        return True
+    return any(_contains_spawn(c) for c in node.children)
+
+
+# -- the per-function walker -------------------------------------------------
+
+
+class FnAccess:
+    """One walk over a lowered function body, accumulating the access
+    summary and driving the function's MHP tracker.
+
+    Scalar locals are tracked as Affs in the current symbol space
+    (parameters as ``p:`` atoms), matrix locals as *root sets* —
+    ``p:<param>`` for parameter matrices, ``a:<n>`` for local
+    allocations, ``?`` when the walk lost track.  ``rt_assign_copy``
+    may return either operand (the runtime reuses the destination only
+    on shape match), so its result root set is the union.
+    """
+
+    def __init__(self, summaries: "Summaries", name: str,
+                 params: list[str], tracker: MHPTracker | None = None):
+        self.summaries = summaries
+        self.name = name
+        self.params = list(params)
+        self.tracker = tracker
+        self.sum = Summary()
+        self.scal: dict[str, Aff | None] = {
+            p: aff_atom(f"p:{p}") for p in params}
+        self.mats: dict[str, frozenset] = {
+            p: frozenset({f"p:{p}"}) for p in params}
+        self._fresh = 0
+        self._suppress = False          # True while substituting a spawn body
+        self._iv_stack: list[str] = []  # active loop IVs, outer first
+        self._iv_ranges: dict[str, tuple] = {}  # iv -> (lo Aff|None, hi ...)
+        #: dominating rt_bounds_check facts: (lo Aff, hi Aff, dim Aff);
+        #: truncated back at branch joins and loop exits so only facts
+        #: on every path to a use survive.
+        self.facts: list[tuple] = []
+        #: __rt_pool_run sites seen: (region name, chunk-symbolic
+        #: records, facts in force, opaque flag, span)
+        self.pool_sites: list[tuple] = []
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def fresh(self, tag: str) -> str:
+        self._fresh += 1
+        return f"{tag}:{self.name}:{self._fresh}"
+
+    def record(self, acc: Access) -> None:
+        if len(self.sum.records) >= MAX_RECORDS:
+            # collapse: one ⊤ record per root/mode already covers it
+            if not any(r.root == acc.root and r.top
+                       and r.mode == acc.mode for r in self.sum.records):
+                self.sum.records.append(replace(acc, base=None, ivs=()))
+        else:
+            self.sum.records.append(acc)
+        if self.tracker is not None and not self._suppress:
+            self.tracker.access(acc)
+
+    def roots_of(self, node) -> frozenset:
+        if isinstance(node, Node) and node.prod == "var":
+            return self.mats.get(node.children[0], frozenset({"?"}))
+        if isinstance(node, Node) and node.prod == "call":
+            v = self.expr(node)
+            if isinstance(v, frozenset):
+                return v
+        return frozenset({"?"})
+
+    def access_all(self, roots: frozenset, mode: str, span=None,
+                   what: str = "", definite: bool = True) -> None:
+        for r in sorted(roots):
+            self.record(Access(r, mode, None, (), what or "any element",
+                               (), span, definite and r != "?"))
+
+    # -- affine evaluation ---------------------------------------------------
+
+    def aff(self, node) -> Aff | None:
+        """Affine form of an integer expression in the current state;
+        evaluates no side effects (callers walk effects separately)."""
+        from repro.cexec.bytecode import cast_kind
+
+        ivs = set(self._iv_stack)
+
+        def atom(nm: str):
+            if nm in ivs:
+                return None  # tree_affine's var_names path handles it
+            v = self.scal.get(nm)
+            if v is None or v[1]:
+                # unknown, or IV-dependent (handled by the retry below)
+                return None
+            return v[0]
+
+        def atom_call(n: Node):
+            if n.children[0] != "rt_dim":
+                return None
+            args = node_cons_to_list(n.children[1])
+            if len(args) != 2 or args[1].prod != "intLit":
+                return None
+            return self.dim_poly(args[0], int(args[1].children[0]))
+
+        form = tree_affine(
+            node, ivs, PolyRing, atom=atom, refs_var=_refs_var,
+            cast_kind_of=cast_kind, is_node=lambda n: isinstance(n, Node),
+            atom_call=atom_call)
+        if form is None:
+            # one retry for IV-affine *bindings*: a local ``t = 2*i``
+            # is rejected by ``atom`` above; substitute it directly.
+            return self._aff_via_env(node)
+        base, coeffs = form
+        out: Aff | None = (base, {})
+        for name, coeff in coeffs.items():
+            if name not in self._iv_ranges:
+                return None
+            out = aff_add(out, (Poly.const(0), {name: coeff}))
+        return out
+
+    def _aff_via_env(self, node) -> Aff | None:
+        """Direct structural evaluation handling IV-dependent scalar
+        bindings tree_affine's invariant-atom hook cannot express."""
+        if not isinstance(node, Node):
+            return None
+        p, ch = node.prod, node.children
+        if p == "intLit":
+            return aff_const(int(ch[0]))
+        if p == "var":
+            nm = ch[0]
+            if nm in self._iv_stack:
+                return (Poly.const(0), {nm: Poly.const(1)})
+            return self.scal.get(nm)
+        if p == "binop" and ch[0] in ("+", "-"):
+            return aff_add(self._aff_via_env(ch[1]),
+                           self._aff_via_env(ch[2]), ch[0])
+        if p == "binop" and ch[0] == "*":
+            return aff_mul(self._aff_via_env(ch[1]), self._aff_via_env(ch[2]))
+        if p == "unop" and ch[0] == "-":
+            return aff_neg(self._aff_via_env(ch[1]))
+        if p == "castE":
+            from repro.cexec.bytecode import cast_kind
+
+            if cast_kind(ch[0]) in (None, "int"):
+                return self._aff_via_env(ch[1])
+            return None
+        if p == "call" and ch[0] == "rt_dim":
+            args = node_cons_to_list(ch[1])
+            if len(args) == 2 and args[1].prod == "intLit":
+                d = self.dim_poly(args[0], int(args[1].children[0]))
+                if d is not None:
+                    return (d, {})
+        return None
+
+    def dim_poly(self, mnode, k: int) -> Poly | None:
+        """Symbolic length of axis ``k`` of a matrix expression."""
+        if isinstance(mnode, Node) and mnode.prod == "var":
+            roots = self.mats.get(mnode.children[0], frozenset({"?"}))
+        else:
+            return None  # do not evaluate effects from inside aff()
+        if len(roots) != 1:
+            return None
+        (root,) = roots
+        if root == "?":
+            return None
+        known = self.sum.dims.get(root)
+        if known is not None and k < len(known) and known[k] is not None:
+            return known[k]
+        return Poly.atom(f"d:{root}:{k}")
+
+    def _iv_bounds(self, iv: str) -> tuple:
+        rng = self._iv_ranges.get(iv)
+        if rng is None:
+            return (None, None)
+        lo, hi = rng
+        return (lo[0] if lo is not None and not lo[1] else None,
+                hi[0] if hi is not None and not hi[1] else None)
+
+    def _index_access(self, root: str, mode: str, idx: Aff | None,
+                      what: str, span) -> Access:
+        if idx is None or root == "?":
+            return Access(root, mode, None, (), what, (), span,
+                          definite=root != "?")
+        base, coeffs = idx
+        ivs = tuple(IVTerm(iv, c, *self._iv_bounds(iv))
+                    for iv, c in sorted(coeffs.items()))
+        return Access(root, mode, base, ivs, what, (), span)
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, node):
+        """Walk one expression for its *effects*; returns the abstract
+        value (Aff, matrix root frozenset, or None)."""
+        if not isinstance(node, Node):
+            return None
+        p, ch = node.prod, node.children
+        if p in ("intLit", "boolLit"):
+            return aff_const(int(ch[0]))
+        if p in ("floatLit", "strLit", "rawExpr"):
+            return None
+        if p == "var":
+            name = ch[0]
+            if self.tracker is not None and not self._suppress:
+                self.tracker.var_read(name, _find_span(node))
+            if name in self.mats:
+                return self.mats[name]
+            return self.scal.get(name)
+        if p == "assign":
+            val = self.expr(ch[1])
+            if ch[0].prod == "var":
+                self.bind(ch[0].children[0], val, span=_find_span(node))
+            else:
+                self.expr(ch[0])
+            return val
+        if p == "binop":
+            op = ch[0]
+            self.expr(ch[1])
+            self.expr(ch[2])
+            if op in ("+", "-"):
+                return aff_add(self.aff(ch[1]), self.aff(ch[2]), op)
+            if op == "*":
+                return aff_mul(self.aff(ch[1]), self.aff(ch[2]))
+            return None
+        if p == "unop":
+            self.expr(ch[1])
+            if ch[0] == "-":
+                return aff_neg(self.aff(ch[1]))
+            return None
+        if p == "castE":
+            from repro.cexec.bytecode import cast_kind
+
+            v = self.expr(ch[1])
+            if cast_kind(ch[0]) in (None, "int"):
+                return v
+            return None
+        if p == "call":
+            return self.call(node)
+        return None
+
+    def bind(self, name: str, val, span=None) -> None:
+        if self.tracker is not None and not self._suppress:
+            self.tracker.var_write(name, span)
+        if isinstance(val, frozenset):
+            self.mats[name] = val
+            self.scal.pop(name, None)
+        else:
+            self.scal[name] = val
+            self.mats.pop(name, None)
+
+    # -- calls ---------------------------------------------------------------
+
+    def call(self, node: Node):
+        name = node.children[0]
+        args = node_cons_to_list(node.children[1])
+        span = _find_span(node)
+
+        if name in ("rt_allocf", "rt_alloci"):
+            for a in args:
+                self.expr(a)
+            root = self.fresh("a")
+            if args and args[0].prod == "intLit":
+                rank = int(args[0].children[0])
+                dims = []
+                for k in range(rank):
+                    av = self.aff(args[1 + k]) if 1 + k < len(args) else None
+                    dims.append(av[0] if av is not None and not av[1]
+                                else None)
+                self.sum.dims[root] = tuple(dims)
+            return frozenset({root})
+
+        if name == "readMatrix":
+            for a in args:
+                if a.prod != "strLit":
+                    self.expr(a)
+            return frozenset({self.fresh("a")})
+
+        if name in ("rt_getf", "rt_geti", "rt_setf", "rt_seti"):
+            mode = READ if name in ("rt_getf", "rt_geti") else WRITE
+            roots = self.roots_of(args[0])
+            for a in args[1:]:
+                self.expr(a)
+            idx = self.aff(args[1]) if len(args) > 1 else None
+            mname = (args[0].children[0] if args[0].prod == "var"
+                     else "<matrix>")
+            what = (f"{mname}[{render_expr(args[1])}]" if len(args) > 1
+                    else mname)
+            for r in sorted(roots):
+                self.record(self._index_access(r, mode, idx, what, span))
+            return None
+
+        if name == "rt_assign_copy":
+            dst = self.roots_of(args[0])
+            src = self.roots_of(args[1])
+            self.access_all(src, READ, span, "copies every element")
+            self.access_all(dst, WRITE, span, "overwrites every element")
+            return dst | src
+
+        if name == "writeMatrix":
+            for a in args:
+                if a.prod != "strLit":
+                    self.expr(a)
+            if len(args) > 1:
+                self.access_all(self.roots_of(args[1]), READ, span,
+                                "writes the matrix to a file")
+            return None
+
+        if name == "rt_bounds_check":
+            vals = [self.aff(a) for a in args[:3]]
+            for a in args:
+                if a.prod != "strLit":
+                    self.expr(a)
+            if len(vals) == 3 and all(v is not None for v in vals):
+                self.facts.append(tuple(vals))
+            return None
+
+        if name in ("rt_dim", "rt_size", "rt_check_rank", "rt_require_dim",
+                    "rt_matmul_check", "rt_shape_check",
+                    "rt_require_divisible", "rc_inc", "rc_dec",
+                    "printInt", "printFloat"):
+            for a in args:
+                if a.prod != "strLit":
+                    self.expr(a)
+            if name == "rt_dim" and len(args) == 2 \
+                    and args[1].prod == "intLit":
+                d = self.dim_poly(args[0], int(args[1].children[0]))
+                if d is not None:
+                    return (d, {})
+            return None
+
+        if name == "rt_sync":
+            if self.tracker is not None and not self._suppress:
+                self.tracker.sync()
+            return None
+
+        if name in ("__rt_spawn", "__rt_spawn_into"):
+            into = name == "__rt_spawn_into"
+            callee = args[1].children[0]
+            target = args[2].children[0] if into else None
+            argnodes = args[3:] if into else args[2:]
+            for a in argnodes:  # argument evaluation is synchronous
+                self.expr(a)
+            if target is not None:
+                self.bind(target, None, span)
+            prev, self._suppress = self._suppress, True
+            try:
+                recs = self.inline_call(callee, argnodes, span,
+                                        eval_args=False)
+            finally:
+                self._suppress = prev
+            if self.tracker is not None and not self._suppress:
+                self.tracker.spawn(callee, target, recs, span)
+            return None
+
+        if name == "__rt_pool_run":
+            region = args[0].children[0]
+            self.expr(args[1])
+            total = self.aff(args[1])
+            self.inline_region(region, args[2:], total, span)
+            return None
+
+        if name.startswith("__tuple_") or name.startswith("__tget_"):
+            # matrices through tuples: identity is lost — widen
+            out: frozenset = frozenset()
+            for a in args:
+                v = self.expr(a)
+                if isinstance(v, frozenset):
+                    what = "reaches the matrix through a tuple"
+                    self.access_all(v, WRITE, span, what, definite=False)
+                    self.access_all(v, READ, span, what, definite=False)
+                    out = out | v
+            return (out | frozenset({"?"})) if out else None
+
+        prog = self.summaries.program
+        if name in prog.functions:
+            self.inline_call(name, args, span)
+            return None
+
+        # Unknown callee / raw runtime hook: assume it may touch every
+        # matrix it can reach.
+        for a in args:
+            v = self.expr(a)
+            if isinstance(v, frozenset):
+                self.access_all(v, WRITE, span, f"passed to {name}",
+                                definite=False)
+                self.access_all(v, READ, span, f"passed to {name}",
+                                definite=False)
+        self.sum.opaque = True
+        return None
+
+    # -- interprocedural substitution ----------------------------------------
+
+    def _is_matrix_arg(self, node) -> bool:
+        if not isinstance(node, Node):
+            return False
+        if node.prod == "var":
+            return node.children[0] in self.mats
+        if node.prod == "call":
+            return node.children[0] in ("rt_allocf", "rt_alloci",
+                                        "readMatrix", "rt_assign_copy")
+        return False
+
+    def _site_env(self, params: list[str], argnodes: list) -> tuple:
+        """(scalar atom env, matrix root map) for substituting a callee
+        summary at this site."""
+        env: dict[str, Aff | None] = {}
+        rootmap: dict[str, frozenset] = {}
+        for p, a in zip(params, argnodes):
+            env[f"p:{p}"] = self.aff(a)
+            if self._is_matrix_arg(a):
+                rootmap[f"p:{p}"] = self.roots_of(a)
+        return env, rootmap
+
+    def inline_call(self, callee: str, argnodes: list, span,
+                    eval_args: bool = True) -> list:
+        """Substitute ``callee``'s summary records into this context;
+        returns the substituted records (also joined into this
+        summary)."""
+        prog = self.summaries.program
+        sig = prog.functions.get(callee)
+        if eval_args:
+            for a in argnodes:
+                self.expr(a)
+        if sig is None or len(sig[0]) != len(argnodes):
+            self.sum.opaque = True
+            rec = Access("?", WRITE, None, (), "unknown call", (callee,),
+                         span, definite=False)
+            self.record(rec)
+            return [rec]
+        csum = self.summaries.summary(callee)
+        env, rootmap = self._site_env(sig[0], argnodes)
+        recs, sub = self._subst_records(callee, csum, env, rootmap, span)
+        for r in recs:
+            self.record(r)
+        if csum.opaque:
+            self.sum.opaque = True
+            rec = Access("?", WRITE, None, (), "unanalyzable callee",
+                         (callee,), span, definite=False)
+            self.record(rec)
+            recs = recs + [rec]
+        # respawn tasks the callee leaves pending into our tracker
+        for tcallee, trecs in csum.escaped:
+            srecs = [r for rec in trecs for r in sub(rec)]
+            if self.tracker is not None and not self._suppress:
+                self.tracker.spawn(tcallee, None, srecs, span,
+                                   chain=(callee,))
+        return recs
+
+    def inline_region(self, region: str, caps: list, total, span) -> list:
+        """Substitute a lifted worker's summary at its pool-run site.
+
+        The summary sees ``[__lo, __hi) = [0, total)`` — the region as
+        one unit.  For the race pass the records are *also* kept with
+        the chunk bounds symbolic (``chunk:lo``/``chunk:hi`` atoms), so
+        the shard-disjointness certificate can compare two chunk
+        instances under the caller's dominating guard facts."""
+        prog = self.summaries.program
+        ltree = prog.lifted_trees.get(region)
+        if ltree is None:
+            self.sum.opaque = True
+            return []
+        params = ltree[0]
+        csum = self.summaries.summary(region, lifted=True)
+        env, rootmap = self._site_env(params[:-2], caps)
+        chunk_env = dict(env)
+        chunk_env["p:__lo"] = aff_atom("chunk:lo")
+        chunk_env["p:__hi"] = aff_atom("chunk:hi")
+        crecs, _ = self._subst_records(region, csum, chunk_env, rootmap,
+                                       span, record_dims=False)
+        self.pool_sites.append((region, crecs, list(self.facts),
+                                csum.opaque, span))
+        env["p:__lo"] = aff_const(0)
+        env["p:__hi"] = total
+        recs, _ = self._subst_records(region, csum, env, rootmap, span)
+        for r in recs:
+            self.record(r)
+        if csum.opaque:
+            self.sum.opaque = True
+        return recs
+
+    def _subst_records(self, callee: str, csum: Summary, env: dict,
+                       rootmap: dict, span, record_dims: bool = True):
+        """Substitute a callee summary's records; returns the list plus
+        the per-record substitution function (for escapes)."""
+        aliasmap: dict[str, frozenset] = dict(rootmap)
+        dim_env = dict(env)
+        for root in csum.dims:
+            aliasmap.setdefault(root, frozenset({self.fresh("a")}))
+        for root, targets in aliasmap.items():
+            if len(targets) == 1:
+                (t,) = targets
+                if t != "?":
+                    for k in range(8):
+                        dim_env.setdefault(f"d:{root}:{k}",
+                                           (self._target_dim(t, k), {}))
+        for root, dims in csum.dims.items():
+            targets = aliasmap[root]
+            if len(targets) == 1:
+                (t,) = targets
+                if t != "?" and record_dims:
+                    self.sum.dims.setdefault(t, tuple(
+                        None if d is None else self._poly_subst(d, dim_env)
+                        for d in dims))
+
+        def sub(rec: Access) -> list[Access]:
+            targets = aliasmap.get(rec.root, frozenset({"?"}))
+            chain = (callee,) + rec.chain
+            return [self._subst_one(rec, t, dim_env, chain, span)
+                    for t in sorted(targets)]
+
+        out: list[Access] = []
+        for rec in csum.records:
+            out.extend(sub(rec))
+        return out, sub
+
+    def _target_dim(self, target: str, k: int) -> Poly:
+        known = self.sum.dims.get(target)
+        if known is not None and k < len(known) and known[k] is not None:
+            return known[k]
+        return Poly.atom(f"d:{target}:{k}")
+
+    def _poly_subst(self, p: Poly, env: dict) -> Poly | None:
+        v = subst_poly(p, env)
+        if v is None or v[1]:
+            return None
+        return v[0]
+
+    def _subst_one(self, rec: Access, target: str, env: dict,
+                   chain: tuple, span) -> Access:
+        definite = rec.definite and target != "?"
+        if rec.top or target == "?":
+            return Access(target, rec.mode, None, (), rec.what, chain,
+                          rec.span or span, definite)
+        form = subst_poly(rec.base, env)
+        ivs: list[IVTerm] = []
+        ok = form is not None
+        base = None
+        if ok:
+            base, coeffs = form
+            for iv, c in coeffs.items():
+                # a caller IV leaked through a scalar argument
+                lo, hi = self._iv_bounds(iv)
+                ivs.append(IVTerm(iv, c, lo, hi))
+            for t in rec.ivs:
+                c = self._poly_subst(t.coeff, env)
+                if c is None:
+                    ok = False
+                    break
+                lo = None if t.lo is None else self._poly_subst(t.lo, env)
+                hi = None if t.hi is None else self._poly_subst(t.hi, env)
+                ivs.append(IVTerm(self.fresh("i"), c, lo, hi))
+        if not ok:
+            return Access(target, rec.mode, None, (), rec.what, chain,
+                          rec.span or span, definite)
+        return Access(target, rec.mode, base, tuple(ivs), rec.what, chain,
+                      rec.span or span, definite)
+
+    # -- statements ----------------------------------------------------------
+
+    def stmt(self, node: Node) -> None:
+        p, ch = node.prod, node.children
+        if p in ("block", "seqStmt"):
+            for s in node_cons_to_list(ch[0]):
+                self.stmt(s)
+        elif p == "decl":
+            if _is_mat_type(ch[0]):
+                self.bind(ch[1], frozenset({self.fresh("a")}))
+            else:
+                self.bind(ch[1], None)
+        elif p in ("declInit", "forDecl"):
+            self.bind(ch[1], self.expr(ch[2]))
+        elif p == "exprStmt":
+            self.expr(ch[0])
+        elif p == "returnStmt":
+            self.expr(ch[0])
+        elif p in ("returnVoid", "rawStmt", "breakStmt", "continueStmt"):
+            pass
+        elif p == "ifStmt":
+            self.expr(ch[0])
+            self._branches(ch[1], None)
+        elif p == "ifElse":
+            self.expr(ch[0])
+            self._branches(ch[1], ch[2])
+        elif p == "forStmt":
+            self._for(node)
+        elif p in ("whileStmt", "doWhile"):
+            body, cond = (ch[1], ch[0]) if p == "whileStmt" else (ch[0], ch[1])
+            self._havoc(body)
+            self.expr(cond)
+            self._loop_body(body)
+        else:
+            self.sum.opaque = True
+
+    def _branches(self, then_n, else_n) -> None:
+        tracker = self.tracker
+        saved_scal, saved_mats = dict(self.scal), dict(self.mats)
+        nfacts = len(self.facts)
+        tsnap = tracker.snapshot() if tracker is not None else None
+        self.stmt(then_n)
+        scal_t, mats_t = self.scal, self.mats
+        tthen = tracker.snapshot() if tracker is not None else None
+        self.scal, self.mats = dict(saved_scal), dict(saved_mats)
+        if tracker is not None:
+            tracker.restore(tsnap)
+        if else_n is not None:
+            self.stmt(else_n)
+        if tracker is not None:
+            tracker.merge(tthen)
+        # join: keep scalar bindings equal on both paths, union roots;
+        # guard facts from inside either arm no longer dominate.
+        del self.facts[nfacts:]
+        self.scal = {k: v for k, v in self.scal.items()
+                     if k in scal_t and scal_t[k] == v}
+        self.mats = {k: (v | mats_t.get(k, frozenset({"?"})))
+                     for k, v in self.mats.items() if k in mats_t}
+
+    def _havoc(self, body) -> None:
+        names: set = set()
+        _assigned_names(body, names)
+        for n in names:
+            if n in self.mats:
+                self.mats[n] = self.mats[n] | frozenset({"?"})
+            else:
+                self.scal[n] = None
+
+    def _loop_body(self, body, iv: str | None = None, rng=None) -> None:
+        """Walk a loop body; bodies that spawn are walked twice so
+        cross-iteration MHP pairs (a task of iteration *i* vs the
+        statements and tasks of iteration *i′*) are observed, with a
+        renamed IV the second time."""
+        nfacts = len(self.facts)
+        rounds = 2 if (self.tracker is not None
+                       and _contains_spawn(body)) else 1
+        for k in range(rounds):
+            name = iv if (iv is None or k == 0) else f"{iv}'"
+            if iv is not None:
+                self._iv_stack.append(name)
+                self._iv_ranges[name] = rng
+                self.bind(iv, (Poly.const(0), {name: Poly.const(1)}))
+            try:
+                self.stmt(body)
+            finally:
+                if iv is not None:
+                    self._iv_stack.pop()
+        if iv is not None:
+            self.bind(iv, None)
+        del self.facts[nfacts:]
+
+    def _for(self, node: Node) -> None:
+        init, cond, step, body = node.children
+        # canonical header: for (v = lo; v < hi; v = v + 1)
+        v = lo_node = None
+        if init.prod == "forDecl":
+            v, lo_node = init.children[1], init.children[2]
+        elif (init.prod == "forExpr"
+              and init.children[0].prod == "assign"
+              and init.children[0].children[0].prod == "var"):
+            v = init.children[0].children[0].children[0]
+            lo_node = init.children[0].children[1]
+        canonical = (
+            v is not None
+            and cond.prod == "binop" and cond.children[0] in ("<", "<=")
+            and cond.children[1].prod == "var"
+            and cond.children[1].children[0] == v
+            and step.prod == "assign"
+            and step.children[0].prod == "var"
+            and step.children[0].children[0] == v
+            and step.children[1].prod == "binop"
+            and step.children[1].children[0] == "+"
+            and step.children[1].children[1].prod == "var"
+            and step.children[1].children[1].children[0] == v
+            and step.children[1].children[2].prod == "intLit"
+            and int(step.children[1].children[2].children[0]) == 1)
+        if canonical:
+            self.expr(lo_node)
+            lo = self.aff(lo_node)
+            self.expr(cond.children[2])
+            hi = self.aff(cond.children[2])
+            if cond.children[0] == "<=":
+                hi = aff_add(hi, aff_const(1))
+            self._havoc(body)
+            self._loop_body(body, iv=v, rng=(lo, hi))
+            return
+        if init.prod == "forExpr":
+            self.expr(init.children[0])
+        elif init.prod == "forDecl":
+            self.bind(init.children[1], self.expr(init.children[2]))
+        self._havoc(body)
+        if v is not None:
+            self.scal[v] = None
+        self.expr(cond)
+        self._loop_body(body)
+        self.expr(step)
+
+
+# -- program-wide summaries --------------------------------------------------
+
+
+class Summaries:
+    """Lazy, memoized per-function summaries over a
+    :class:`~repro.cexec.bytecode.BytecodeProgram`'s lowered trees,
+    joined over the call graph by substitution at call sites.  Cycles
+    (recursion) are cut by serving an empty summary for functions
+    currently being computed and iterating to a small fixpoint.  The
+    final walk of each function (the one whose call sites all saw
+    stable callee summaries) is kept, with its MHP tracker, for the
+    race pass."""
+
+    def __init__(self, program):
+        self.program = program
+        self._memo: dict[tuple, Summary] = {}
+        self._in_progress: set[tuple] = set()
+        self.walkers: dict[tuple, FnAccess] = {}
+
+    def summary(self, name: str, *, lifted: bool = False) -> Summary:
+        key = ("lifted" if lifted else "fn", name)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress:
+            return Summary()  # recursion: start from ⊥, iterate below
+        self._in_progress.add(key)
+        try:
+            prev = Summary()
+            cur = prev
+            walker = None
+            for _ in range(4):
+                walker = self._compute(name, lifted)
+                cur = walker.sum
+                if (len(cur.records) == len(prev.records)
+                        and len(cur.escaped) == len(prev.escaped)
+                        and cur.opaque == prev.opaque):
+                    break
+                self._memo[key] = cur  # feed the next iteration
+                prev = cur
+            else:
+                cur.opaque = True  # did not stabilize: widen
+            self._memo[key] = cur
+            if walker is not None:
+                self.walkers[key] = walker
+            return cur
+        finally:
+            self._in_progress.discard(key)
+
+    def _compute(self, name: str, lifted: bool) -> FnAccess:
+        table = (self.program.lifted_trees if lifted
+                 else self.program.functions)
+        entry = table.get(name)
+        walker = FnAccess(self, name, entry[0] if entry else [],
+                          tracker=MHPTracker(name))
+        if entry is None:
+            walker.sum.opaque = True
+            return walker
+        try:
+            walker.stmt(entry[1])
+        except RecursionError:  # pragma: no cover - degenerate nesting
+            walker.sum.opaque = True
+        walker.sum.escaped.extend(
+            (t.callee, t.records) for t in walker.tracker.active)
+        return walker

@@ -43,6 +43,7 @@ def solve(
     eq: Callable[[object, object], bool] | None = None,
     widen: Callable[[object, object], object] | None = None,
     widen_after: int = 3,
+    edge: Callable[[Block, object, object], object] | None = None,
 ) -> dict[int, tuple[object, object]]:
     """Iterate ``transfer`` to a fixpoint; returns ``{bid: (in, out)}``.
 
@@ -50,12 +51,27 @@ def solve(
     ``init`` is the optimistic initial in-state of every other block —
     the first join overwrites it, so pass the lattice bottom.  ``transfer``
     must treat its input state as immutable.
+
+    ``edge(pred_block, label, out_state)``, when given, refines a
+    predecessor's out-state along one labeled CFG edge before the join
+    (S30: the shape pass narrows intervals through the ``True``/
+    ``False`` edges of branch and loop-header comparisons).  Forward
+    direction only; the state must be treated as immutable.
     """
     if direction not in ("forward", "backward"):
         raise ValueError(f"direction {direction!r}")
     backward = direction == "backward"
+    if edge is not None and backward:
+        raise ValueError("edge refinement is forward-only")
     eq = eq if eq is not None else (lambda a, b: a == b)
     preds, succs = _neighbors(cfg, backward)
+    in_edges: dict[int, list] | None = None
+    if edge is not None:
+        in_edges = {b.bid: [] for b in cfg.blocks}
+        for b in cfg.blocks:
+            for t, lbl in b.succs:
+                if t in in_edges:
+                    in_edges[t].append((b.bid, lbl))
 
     order = cfg.rpo()
     if backward:
@@ -81,7 +97,11 @@ def solve(
         ins = state_in[bid]
         # Recompute the in-state from the (direction-adjusted) preds so
         # a late-arriving contribution is never missed.
-        contribs = [state_out[p] for p in preds[bid] if p in state_out]
+        if in_edges is None:
+            contribs = [state_out[p] for p in preds[bid] if p in state_out]
+        else:
+            contribs = [edge(cfg.blocks[p], lbl, state_out[p])
+                        for p, lbl in in_edges[bid] if p in state_out]
         if contribs:
             acc = contribs[0]
             for c in contribs[1:]:

@@ -1,0 +1,120 @@
+"""May-happen-in-parallel tracking (S30, pass 2 of the race analysis).
+
+The MHP state of the walk is deliberately tiny — a list of *active
+tasks*: Cilk spawns whose matching ``sync`` has not yet been reached on
+the current path.  The :class:`~repro.analysis.access.FnAccess` tree
+walk drives one :class:`MHPTracker` per function and the tracker folds
+every observation into *pairs* of things that may execute
+concurrently:
+
+* ``cont`` — an active task vs. a continuation access (any matrix
+  access the walk performs while the task is pending, including
+  accesses reached through calls — the access record's chain carries
+  the "via 'g'" path);
+* ``task`` — two sibling tasks pending at the same time;
+* ``var`` — the continuation touching a ``spawn x = f(...)`` target
+  variable before the sync that makes it well-defined.
+
+Control flow is handled conservatively in the direction that can only
+*add* pairs: after ``if``/``else`` the active set is the union of both
+arms (a sync inside one branch does not clear the other's tasks), and
+loop bodies containing a spawn are walked twice with renamed induction
+variables so a task of iteration *i* pairs against the accesses and
+tasks of iteration *i′ ≠ i*.  ``rt_sync`` clears the active set —
+after it, nothing spawned before may run concurrently with what
+follows.  Tasks still active when the walk falls off the end of the
+function *escape* into every caller (the VM's implicit sync is at
+``run_main`` exit, not at function return); the access summary records
+them so call sites respawn them into the caller's tracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Task:
+    """One spawn site: the callee, the ``spawn_into`` target variable
+    (None for plain ``spawn``), and the task body's access records
+    substituted into the spawning function's symbol space."""
+
+    tid: int
+    callee: str
+    target: str | None
+    records: tuple
+    span: object = None
+    #: chain of callers between the tracked function and the spawn
+    #: site (empty = spawned directly by the tracked function).
+    chain: tuple = ()
+
+
+@dataclass(frozen=True)
+class Pair:
+    """One may-happen-in-parallel observation (see module docstring
+    for the kinds)."""
+
+    kind: str               # "cont" | "task" | "var"
+    task: Task
+    access: object = None   # Access for "cont"
+    other: "Task | None" = None   # for "task"
+    var: str | None = None        # for "var"
+    var_mode: str | None = None   # "read" | "write"
+    span: object = None
+
+
+class MHPTracker:
+    """Concurrency state machine driven by the access walk."""
+
+    def __init__(self, fn: str):
+        self.fn = fn
+        self.active: list[Task] = []
+        self.pairs: list[Pair] = []
+        self.tasks: list[Task] = []
+        self._next = 0
+
+    # -- events from the walk ------------------------------------------------
+
+    def spawn(self, callee: str, target: str | None, records,
+              span=None, chain: tuple = ()) -> Task:
+        task = Task(self._next, callee, target, tuple(records), span, chain)
+        self._next += 1
+        for t in self.active:
+            self.pairs.append(Pair("task", t, other=task, span=span))
+        self.active.append(task)
+        self.tasks.append(task)
+        return task
+
+    def access(self, acc) -> None:
+        for t in self.active:
+            self.pairs.append(Pair("cont", t, access=acc,
+                                   span=getattr(acc, "span", None)))
+
+    def var_read(self, name: str, span=None) -> None:
+        self._var(name, "read", span)
+
+    def var_write(self, name: str, span=None) -> None:
+        self._var(name, "write", span)
+
+    def _var(self, name: str, mode: str, span) -> None:
+        for t in self.active:
+            if t.target == name:
+                self.pairs.append(
+                    Pair("var", t, var=name, var_mode=mode, span=span))
+
+    def sync(self) -> None:
+        self.active.clear()
+
+    # -- path-sensitivity hooks (branch join = union) ------------------------
+
+    def snapshot(self) -> list[Task]:
+        return list(self.active)
+
+    def restore(self, snap: list[Task]) -> None:
+        self.active = list(snap)
+
+    def merge(self, snap: list[Task]) -> None:
+        have = {t.tid for t in self.active}
+        for t in snap:
+            if t.tid not in have:
+                self.active.append(t)

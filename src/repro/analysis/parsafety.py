@@ -65,6 +65,9 @@ class ParallelVerdict:
     # for task verdicts, where the question does not arise.
     process_safe: bool | None = None
     process_blockers: tuple[Blocker, ...] = ()
+    # S30: when a task verdict is safe *despite* effect blockers, the
+    # race analysis discharged them; this carries its proof sentence.
+    race_note: str | None = None
 
     @property
     def construct(self) -> str:
@@ -85,8 +88,14 @@ class ParallelVerdict:
 
     def explain(self) -> str:
         lines = [self.headline()]
-        for b in self.blockers:
-            lines.append(f"  blocked by {b.render()}")
+        if self.safe and self.race_note is not None:
+            for b in self.blockers:
+                lines.append(
+                    f"  hazard discharged by race analysis: {b.render()}")
+            lines.append(f"  {self.race_note}")
+        else:
+            for b in self.blockers:
+                lines.append(f"  blocked by {b.render()}")
         if self.safe and self.process_safe is False:
             for b in self.process_blockers:
                 lines.append(f"  process pool blocked by {b.render()}")
@@ -148,7 +157,16 @@ class ParallelSafety:
     def task_safe(self, name: str) -> bool:
         if name not in self.program.functions:
             return False
-        return not (self.hazards(("fn", name)) & TASK_BLOCKERS)
+        if not (self.hazards(("fn", name)) & TASK_BLOCKERS):
+            return True
+        # S30: a trap-blocked task becomes eligible when the race
+        # analysis proves every spawn-site access in bounds and
+        # disjoint from all concurrent work.  Under
+        # REPRO_NO_RACE_CHECK the analysis returns None and the S25
+        # decision stands bit-for-bit.
+        from repro.analysis.races import race_analysis_for
+        ra = race_analysis_for(self.program)
+        return ra is not None and ra.race_cleared(name)
 
     def process_safe(self, name: str) -> bool:
         """Whether a shard may execute in a *process* worker (S27):
@@ -195,7 +213,14 @@ class ParallelSafety:
         blocking = sorted((hz & blockset) - {H_SPAWN})
         blockers = tuple(self.witness(root, h) for h in blocking)
         if kind != "shard":
-            return ParallelVerdict(kind, name, safe, hz, blockers)
+            note = None
+            if safe and blocking:
+                from repro.analysis.races import race_analysis_for
+                ra = race_analysis_for(self.program)
+                if ra is not None:
+                    note = ra.cleared.get(name)
+            return ParallelVerdict(kind, name, safe, hz, blockers,
+                                   race_note=note)
         p_safe = self.process_safe(name)
         p_blocking = sorted((hz & PROCESS_BLOCKERS) - set(blocking))
         p_blockers = tuple(self.witness(root, h) for h in p_blocking)

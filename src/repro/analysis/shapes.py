@@ -647,6 +647,80 @@ class _Pass:
                 self.expr(item, st)
         return st
 
+    # -- edge refinement (S30) -----------------------------------------------
+
+    _FLIP = {"<": ">=", "<=": ">", ">": "<=", ">=": "<",
+             "==": "!=", "!=": "=="}
+    _MIRROR = {"<": ">", ">": "<", "<=": ">=", ">=": "<=",
+               "==": "==", "!=": "!="}
+
+    def refine_edge(self, block, label, st: dict) -> dict:
+        """Narrow a predecessor's out-state along its ``True``/``False``
+        edge: a loop-header or branch comparison pins the compared
+        variable's interval on the edge where it held (or failed).
+        The narrowing is a sym-preserving interval *meet* — shrinking a
+        variable's range does not change its runtime value, so any
+        exact-equality witness it carried stays valid, and an ``==``
+        comparison additionally *donates* the other side's sym (this is
+        how ``if (k == dimSize(m, 0))`` lets a later ``[0, k)`` bounds
+        guard discharge against ``m.dim0``).  Bounds stay non-strict
+        (``x < b`` narrows to ``x <= b.hi``) because float-typed
+        operands may flow through, for which ``b.hi - 1`` is unsound."""
+        if label is None or not block.items:
+            return st
+        return self._refine_cond(block.items[-1], bool(label), st)
+
+    def _refine_cond(self, cond, held: bool, st: dict) -> dict:
+        p = getattr(cond, "prod", None)
+        ch = cond.children if p is not None else ()
+        if p == "unop" and ch[0] == "!":
+            return self._refine_cond(ch[1], not held, st)
+        if p == "binop" and ch[0] in ("&&", "||"):
+            # a held && (a failed ||) pins both operands
+            if (ch[0] == "&&") == held:
+                return self._refine_cond(
+                    ch[2], held, self._refine_cond(ch[1], held, st))
+            return st
+        if p != "binop" or ch[0] not in self._FLIP:
+            return st
+        op = ch[0] if held else self._FLIP[ch[0]]
+        out = self._refine_var(ch[1], op, ch[2], st)
+        return self._refine_var(ch[2], self._MIRROR[op], ch[1], out)
+
+    def _refine_var(self, node, op, other, st: dict) -> dict:
+        """Meet ``node OP other`` into the state when node is a bare
+        variable; no-op otherwise."""
+        if getattr(node, "prod", None) != "var" or op == "!=":
+            return st
+        name = node.children[0]
+        cur = st.get(name)
+        if cur is None:
+            cur = Interval(-_INF, _INF, sym=name)
+        if not isinstance(cur, Interval):
+            return st
+        # evaluate the other side on a scratch copy: condition
+        # subexpressions must not leak bindings into the edge state
+        b = self.expr(other, dict(st))
+        if not isinstance(b, Interval):
+            return st
+        if op == "==":
+            lo, hi = max(cur.lo, b.lo), min(cur.hi, b.hi)
+            sym = b.sym or cur.sym
+        elif op in ("<", "<="):
+            lo, hi = cur.lo, min(cur.hi, b.hi)
+            sym = cur.sym
+        else:  # > >=
+            lo, hi = max(cur.lo, b.lo), cur.hi
+            sym = cur.sym
+        if lo > hi:
+            return st  # infeasible edge: keep the (sound) wider state
+        refined = Interval(lo, hi, sym)
+        if refined == cur:
+            return st
+        out = dict(st)
+        out[name] = refined
+        return out
+
 
 def _is_float_type(type_node) -> bool:
     if type_node.prod == "tFloat":
@@ -662,6 +736,7 @@ def check_shapes(cfg: CFG, diags: Diagnostics) -> None:
     states = solve(
         cfg, silent.block, join=join_states, entry_state={}, init={},
         direction="forward", widen=widen_states, widen_after=3,
+        edge=silent.refine_edge,
     )
     reporter = _Pass(cfg, diags)
     for bid in sorted(cfg.reachable()):
@@ -681,6 +756,7 @@ def proven_in_range(cfg: CFG) -> frozenset[int]:
     states = solve(
         cfg, silent.block, join=join_states, entry_state={}, init={},
         direction="forward", widen=widen_states, widen_after=3,
+        edge=silent.refine_edge,
     )
     prover = _Pass(cfg, None)
     for bid in sorted(cfg.reachable()):

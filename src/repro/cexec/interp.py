@@ -61,6 +61,11 @@ class InterpStats:
     copies: int = 0
     parallel_regions: int = 0
     tasks_spawned: int = 0
+    # How many of those spawns actually went to the worker pool instead
+    # of being elided inline (S30: race clearance makes this nonzero for
+    # effectful-but-disjoint tasks).  NOT part of the engine-differential
+    # contract — it legitimately depends on pool presence and saturation.
+    tasks_pooled: int = 0
     region_sizes: list[int] = field(default_factory=list)
     # Why the fast paths were NOT taken, reason -> count (S25 satellite):
     # fastloop_bails counts loop-nest executions that fell back to the
@@ -68,6 +73,12 @@ class InterpStats:
     # ran sequentially instead of on the worker pool.
     fastloop_bails: dict[str, int] = field(default_factory=dict)
     shard_bails: dict[str, int] = field(default_factory=dict)
+    # S30 shard disjointness certificates, region name -> one-line
+    # verdict ("proven: ..." / "not proven: ...").  Compile-time facts
+    # recorded when the region first runs; absent entirely under
+    # REPRO_NO_RACE_CHECK.  NOT part of the engine-differential
+    # contract (the tree walker does not consult the race analysis).
+    certs: dict[str, str] = field(default_factory=dict)
     # Dynamic VM instructions retired (only populated when the VM runs
     # in counting mode, e.g. under the E-IR benchmark); NOT part of the
     # engine-differential contract — O0 and O2 legitimately differ here.
@@ -109,6 +120,7 @@ class InterpStats:
         self.copies += other.copies
         self.parallel_regions += other.parallel_regions
         self.tasks_spawned += other.tasks_spawned
+        self.tasks_pooled += other.tasks_pooled
         self.instrs += other.instrs
         self.quickened += other.quickened
         self.deopts += other.deopts
@@ -121,6 +133,8 @@ class InterpStats:
                 self.fastloop_bails.get(reason, 0) + n
         for reason, n in other.shard_bails.items():
             self.shard_bails[reason] = self.shard_bails.get(reason, 0) + n
+        for region, verdict in other.certs.items():
+            self.certs.setdefault(region, verdict)
         return self
 
 

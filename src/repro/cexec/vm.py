@@ -456,6 +456,7 @@ class VM(RTRuntime):
         code = self._exec_lifted_code_for(fname)
         self.stats.parallel_regions += 1
         self.stats.region_sizes.append(total)
+        self._record_cert(fname)
         per = -(-total // self.nthreads) if total > 0 else 0
         shards = []
         for t in range(self.nthreads):
@@ -483,6 +484,22 @@ class VM(RTRuntime):
         poolable = self._poolable(code)
         for lo, hi in shards:
             self._run(ops, code.nregs, captures + [lo, hi], poolable)
+
+    def _record_cert(self, fname: str) -> None:
+        """File the S30 shard disjointness certificate for a region in
+        the bail ledger the first time it runs (no-op when the race
+        check is disabled or the region has no pool site)."""
+        if fname in self.stats.certs:
+            return
+        from repro.analysis.races import race_analysis_for
+        ra = race_analysis_for(self.program)
+        if ra is None:
+            return
+        cert = ra.certificates.get(fname)
+        if cert is not None:
+            proven, why = cert
+            self.stats.certs[fname] = \
+                ("proven: " if proven else "not proven: ") + why
 
     def _dispatch_region(self, ops, code: Code, fname: str, captures: list,
                          shards: list) -> bool:
@@ -726,6 +743,7 @@ class VM(RTRuntime):
 
             task = pool.submit(job)
             if task is not None:
+                self.stats.tasks_pooled += 1
                 outstanding = getattr(self._tl, "outstanding", None)
                 if outstanding is None:
                     outstanding = self._tl.outstanding = []

@@ -217,6 +217,13 @@ def check_main(argv: list[str]) -> int:
     ap.add_argument("--explain-parallel", action="store_true",
                     help="print a verdict per parallel construct, with "
                     "the reason chain for every refusal")
+    ap.add_argument("--races", action="store_true",
+                    help="print the S30 race analysis: findings with "
+                    "witness chains, task clearance, and shard "
+                    "disjointness certificates")
+    ap.add_argument("--json", action="store_true",
+                    help="emit one machine-readable JSON report per "
+                    "file instead of text")
     ap.add_argument("--werror", action="store_true",
                     help="treat analysis warnings as errors (exit 1)")
     ap.add_argument("-j", "--jobs", type=int, default=1,
@@ -272,8 +279,14 @@ def check_main(argv: list[str]) -> int:
                 print(e, file=sys.stderr)
             continue
         report = resp.report
-        print(report.format(explain_parallel=args.explain_parallel))
+        if args.json:
+            print(report.to_json())
+        else:
+            print(report.format(explain_parallel=args.explain_parallel,
+                                races=args.races))
         if report.error_count or (args.werror and report.warning_count):
+            failed += 1
+        if args.races and report.race_count:
             failed += 1
     if args.stats:
         print(service.stats().pretty())
@@ -460,7 +473,9 @@ def _print_interp_stats(stats) -> None:
     print(f"allocs={stats.allocs} frees={stats.frees} "
           f"copies={stats.copies} "
           f"parallel_regions={stats.parallel_regions} "
-          f"tasks_spawned={stats.tasks_spawned}")
+          f"tasks_spawned={stats.tasks_spawned}"
+          + (f" tasks_pooled={stats.tasks_pooled}"
+             if getattr(stats, "tasks_pooled", 0) else ""))
     if stats.region_sizes:
         print("region_sizes=" +
               ",".join(str(n) for n in stats.region_sizes))
@@ -468,6 +483,8 @@ def _print_interp_stats(stats) -> None:
                          ("shard bail", stats.shard_bails)):
         for reason in sorted(bails):
             print(f"{label}: {reason} x{bails[reason]}")
+    for region in sorted(getattr(stats, "certs", ())):
+        print(f"shard cert: {region}: {stats.certs[region]}")
     if stats.instrs:
         print(f"instrs={stats.instrs}")
     if (stats.quickened or stats.deopts or stats.ic_hits

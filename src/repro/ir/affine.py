@@ -11,11 +11,18 @@ against:
   :class:`ClosureRing`;
 * :func:`repro.ir.passes.strength_reduce` recognizes ``iv * k``
   products over SSA values via :func:`ssa_affine_mul` — the degenerate
-  affine form ``(0, {iv: k})``.
+  affine form ``(0, {iv: k})``;
+* :mod:`repro.analysis.access` (S30) normalizes matrix access indices
+  to affine forms over *symbolic* terms — :class:`Poly` values over
+  named atoms such as function parameters and ``rt_dim`` axis lengths —
+  by instantiating the walk with :class:`PolyRing` and the
+  ``atom_call`` hook (``rt_dim(m, k)`` call nodes act as invariant
+  atoms exactly like variables do).
 
-Keeping one tree walk means "affine" cannot drift between the two: a
-shape the vectorizer proves injective is exactly a shape the strength
-reducer would rewrite, and vice versa.
+Keeping one tree walk means "affine" cannot drift between the
+consumers: a shape the vectorizer proves injective is exactly a shape
+the strength reducer would rewrite and the race refuter can cancel,
+and vice versa.
 """
 
 from __future__ import annotations
@@ -45,6 +52,107 @@ class ClosureRing:
         return lambda rt: a(rt) * b(rt)
 
 
+class Poly:
+    """Exact integer polynomial over named atoms — the symbolic term
+    ring of the S30 access-summary analysis.
+
+    ``terms`` maps a *monomial* (sorted tuple of atom names, possibly
+    with repeats) to its integer coefficient; the empty monomial is the
+    constant term.  Atoms name runtime integers whose value is fixed
+    for the lifetime of the comparison (function parameters, ``rt_dim``
+    axis lengths of a still-bound matrix variable), so two polynomials
+    whose difference normalizes to a constant are runtime values a
+    fixed distance apart — the cancellation step every disjointness
+    refutation rests on.  Immutable; all operations return new values.
+    """
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: dict[tuple, int] | None = None):
+        self.terms = {m: c for m, c in (terms or {}).items() if c != 0}
+
+    @classmethod
+    def const(cls, v: int) -> "Poly":
+        return cls({(): int(v)})
+
+    @classmethod
+    def atom(cls, name: str) -> "Poly":
+        return cls({(name,): 1})
+
+    @property
+    def constant(self) -> int | None:
+        """The integer value, when the polynomial is a constant."""
+        if not self.terms:
+            return 0
+        if len(self.terms) == 1 and () in self.terms:
+            return self.terms[()]
+        return None
+
+    def __add__(self, other: "Poly") -> "Poly":
+        out = dict(self.terms)
+        for m, c in other.terms.items():
+            out[m] = out.get(m, 0) + c
+        return Poly(out)
+
+    def __sub__(self, other: "Poly") -> "Poly":
+        out = dict(self.terms)
+        for m, c in other.terms.items():
+            out[m] = out.get(m, 0) - c
+        return Poly(out)
+
+    def __neg__(self) -> "Poly":
+        return Poly({m: -c for m, c in self.terms.items()})
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        out: dict[tuple, int] = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                m = tuple(sorted(m1 + m2))
+                out[m] = out.get(m, 0) + c1 * c2
+        return Poly(out)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Poly) and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.terms.items()))
+
+    def atoms(self) -> frozenset:
+        return frozenset(a for m in self.terms for a in m)
+
+    def subst(self, env: dict[str, "Poly"]) -> "Poly | None":
+        """Replace atoms by polynomials; ``None`` if an atom has no
+        binding (the caller cannot name it in the target scope)."""
+        acc = Poly.const(0)
+        for m, c in self.terms.items():
+            term = Poly.const(c)
+            for a in m:
+                b = env.get(a)
+                if b is None:
+                    return None
+                term = term * b
+            acc = acc + term
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging
+        if not self.terms:
+            return "0"
+        parts = []
+        for m, c in sorted(self.terms.items()):
+            parts.append(f"{c}" + "".join(f"*{a}" for a in m))
+        return " + ".join(parts)
+
+
+class PolyRing:
+    """Ring of :class:`Poly` values (symbolic access forms)."""
+
+    const = staticmethod(Poly.const)
+    add = staticmethod(lambda a, b: a + b)
+    sub = staticmethod(lambda a, b: a - b)
+    neg = staticmethod(lambda a: -a)
+    mul = staticmethod(lambda a, b: a * b)
+
+
 def combine(ring, op, a, b):
     """Combine two affine forms ``(c0, coeffs)`` under ``+``/``-``."""
     ca, da = a
@@ -70,19 +178,24 @@ def negate(ring, a):
 
 
 def tree_affine(node, var_names, ring, *, atom, refs_var, cast_kind_of,
-                is_node):
+                is_node, atom_call=None):
     """Normalize a lowered expression tree to ``(c0, {var: coeff})``.
 
     ``atom(name)`` yields the ring term for a loop-invariant variable
     (or None to reject); ``refs_var(node, v)`` and ``cast_kind_of``
-    supply the caller's tree predicates.  Returns None when the tree is
-    not (recognizably) affine in ``var_names`` — quadratic terms,
-    division, calls.
+    supply the caller's tree predicates.  ``atom_call(node)``, when
+    given, may turn an invariant *call* node (``rt_dim(m, 2)`` embedded
+    by the matrix lowering's linear indexer) into a ring term.  Returns
+    None when the tree is not (recognizably) affine in ``var_names`` —
+    quadratic terms, division, unrecognized calls.
     """
     if not is_node(node):
         return None
     p = node.prod
     ch = node.children
+    if p == "call" and atom_call is not None:
+        term = atom_call(node)
+        return None if term is None else (term, {})
     if p == "intLit":
         return ring.const(int(ch[0])), {}
     if p == "var":
@@ -96,10 +209,10 @@ def tree_affine(node, var_names, ring, *, atom, refs_var, cast_kind_of,
     if p == "binop" and ch[0] in ("+", "-"):
         a = tree_affine(ch[1], var_names, ring, atom=atom,
                         refs_var=refs_var, cast_kind_of=cast_kind_of,
-                        is_node=is_node)
+                        is_node=is_node, atom_call=atom_call)
         b = tree_affine(ch[2], var_names, ring, atom=atom,
                         refs_var=refs_var, cast_kind_of=cast_kind_of,
-                        is_node=is_node)
+                        is_node=is_node, atom_call=atom_call)
         if a is None or b is None:
             return None
         return combine(ring, ch[0], a, b)
@@ -111,17 +224,17 @@ def tree_affine(node, var_names, ring, *, atom, refs_var, cast_kind_of,
         lin_node, inv_node = (ch[2], ch[1]) if r_lin else (ch[1], ch[2])
         lin = tree_affine(lin_node, var_names, ring, atom=atom,
                           refs_var=refs_var, cast_kind_of=cast_kind_of,
-                          is_node=is_node)
+                          is_node=is_node, atom_call=atom_call)
         inv = tree_affine(inv_node, var_names, ring, atom=atom,
                           refs_var=refs_var, cast_kind_of=cast_kind_of,
-                          is_node=is_node)
+                          is_node=is_node, atom_call=atom_call)
         if lin is None or inv is None or inv[1]:
             return None
         return scale(ring, lin, inv[0])
     if p == "unop" and ch[0] == "-":
         a = tree_affine(ch[1], var_names, ring, atom=atom,
                         refs_var=refs_var, cast_kind_of=cast_kind_of,
-                        is_node=is_node)
+                        is_node=is_node, atom_call=atom_call)
         if a is None:
             return None
         return negate(ring, a)
@@ -130,7 +243,7 @@ def tree_affine(node, var_names, ring, *, atom, refs_var, cast_kind_of,
         if cast_kind_of(ch[0]) in (None, "int"):
             return tree_affine(ch[1], var_names, ring, atom=atom,
                                refs_var=refs_var, cast_kind_of=cast_kind_of,
-                               is_node=is_node)
+                               is_node=is_node, atom_call=atom_call)
         return None
     return None
 

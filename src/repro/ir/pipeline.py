@@ -67,19 +67,27 @@ def _verify(code: Code) -> None:
                 raise AssertionError(f"register {r} out of range at {i}")
 
 
-def _run_passes(fn: TACFunc, level: int, counts) -> None:
+def _run_passes(fn: TACFunc, level: int, counts,
+                check=lambda where: None) -> None:
     poisoned = P.poisoned_values(fn)
     P.dvnt(fn, counts, poisoned)
+    check("dvnt")
     if level >= 2:
         # early DCE clears dead phi cycles (unread temp slots merged at
         # joins) so jump_thread's "phis used only locally" test sees
         # through them.
         P.dce(fn, counts)
+        check("dce")
         P.jump_thread(fn, counts, poisoned)
+        check("jump_thread")
         P.licm(fn, counts, poisoned)
+        check("licm")
         P.strength_reduce(fn, counts, poisoned)
+        check("strength_reduce")
         P.dvnt(fn, counts, poisoned)
+        check("dvnt")
     P.dce(fn, counts)
+    check("dce")
 
 
 def optimize_code(code: Code, level: int, counts) -> Code:
@@ -90,7 +98,17 @@ def optimize_code(code: Code, level: int, counts) -> Code:
     try:
         fn = decode(code)
         build_ssa(fn)
-        _run_passes(fn, level, counts)
+        # Under REPRO_IR_STRICT the SSA verifier pins well-formedness
+        # between every pass (tests/ir also runs it unconditionally);
+        # otherwise passes stay check-free and any breakage is caught
+        # by the structural _verify + bailout below.
+        if os.environ.get("REPRO_IR_STRICT"):
+            from repro.ir.verify import verify_fn
+            verify_fn(fn, where="build_ssa")
+            _run_passes(fn, level, counts,
+                        check=lambda where: verify_fn(fn, where=where))
+        else:
+            _run_passes(fn, level, counts)
         reg, nregs = destroy_ssa(fn)
         out = linearize(fn, reg, nregs)
         _verify(out)

@@ -7,7 +7,7 @@ from __future__ import annotations
 import pytest
 
 from repro.programs import PROGRAMS, load
-from tests.analysis.common import messages, report_for
+from tests.analysis.common import cfgs_for, messages, report_for
 
 PHASE = "analysis.shape"
 
@@ -119,3 +119,71 @@ def test_paper_programs_have_zero_diagnostics(name):
     r = report_for(load(name), extensions=("matrix", "transform"),
                    filename=name)
     assert r.diagnostics == (), [str(d) for d in r.diagnostics]
+
+
+# -- S30 branch-edge refinement ----------------------------------------------
+#
+# The interval pass narrows states along labeled CFG edges (the True /
+# False sides of branch and loop-header comparisons), so guards that
+# sanitize an unknown value before an access now discharge statically.
+
+
+def proven_counts(source: str) -> dict[str, int]:
+    from repro.analysis.shapes import proven_in_range
+
+    return {name: len(proven_in_range(cfg))
+            for name, cfg in cfgs_for(source).items()}
+
+
+EQ_GUARDED = """
+int f(Matrix float <1> m, int k) {
+    if (k == dimSize(m, 0)) {
+        Matrix float <1> r = with ([0] <= [i] < [k])
+            genarray([dimSize(m, 0)], 2.0 * i);
+        printFloat(r[0]);
+    }
+    return 0;
+}
+int main() {
+    Matrix float <1> m = readMatrix("m.data");
+    printInt(f(m, dimSize(m, 0)));
+    return 0;
+}
+"""
+
+NUM_GUARDED = """
+int f(int k) {
+    Matrix float <1> r = init(Matrix float <1>, 8);
+    if (k >= 0) {
+        if (k <= 8) {
+            r = with ([0] <= [i] < [k]) genarray([8], 2.0 * i);
+        }
+    }
+    printFloat(r[0]);
+    return 0;
+}
+int main() { printInt(f(5)); return 0; }
+"""
+
+
+def test_equality_guard_donates_dim_witness():
+    # ``k == dimSize(m, 0)`` donates the dimension's symbolic witness to
+    # ``k`` on the True edge, so the with-loop's [0, k) range check
+    # against a genarray of that same dimension is proven in range.
+    assert proven_counts(EQ_GUARDED)["f"] == 1
+    unguarded = EQ_GUARDED.replace("if (k == dimSize(m, 0)) {", "{")
+    assert proven_counts(unguarded)["f"] == 0
+
+
+def test_numeric_guards_narrow_unknown_bound():
+    # ``0 <= k <= 8`` pins the unknown bound numerically; [0, k) then
+    # fits a genarray of size 8.
+    assert proven_counts(NUM_GUARDED)["f"] == 1
+    unguarded = NUM_GUARDED.replace("if (k <= 8) {", "{")
+    assert proven_counts(unguarded)["f"] == 0
+
+
+def test_refinement_keeps_guarded_access_silent():
+    # No diagnostics either way: refinement adds proofs, never reports.
+    assert shape_msgs(report_for(EQ_GUARDED)) == []
+    assert shape_msgs(report_for(NUM_GUARDED)) == []
